@@ -1,0 +1,51 @@
+"""Obscurity-level ablation (Section VII-B prose).
+
+The paper states: "While all obscurity levels, including Full and
+NoConst, consistently improved on the baseline systems, we only show
+results for the best-performing obscurity level NoConstOp."  This bench
+regenerates that comparison for Pipeline+.
+"""
+
+from _harness import accuracy, dataset_names, format_rows, publish
+from repro.core import Obscurity
+from repro.eval import EvalConfig
+
+LEVELS = (Obscurity.FULL, Obscurity.NO_CONST, Obscurity.NO_CONST_OP)
+
+
+def _run_obscurity() -> dict[tuple[str, str], tuple[float, float]]:
+    results = {}
+    for dataset in dataset_names():
+        baseline = accuracy(dataset, "Pipeline")
+        results[(dataset, "baseline")] = baseline
+        for level in LEVELS:
+            results[(dataset, level.value)] = accuracy(
+                dataset, "Pipeline+", EvalConfig(obscurity=level)
+            )
+    return results
+
+
+def test_obscurity_ablation(benchmark):
+    results = benchmark.pedantic(_run_obscurity, rounds=1, iterations=1)
+    rows = [
+        [dataset.upper(), level, kw, fq]
+        for (dataset, level), (kw, fq) in results.items()
+    ]
+    table = format_rows(["Dataset", "Obscurity", "KW (%)", "FQ (%)"], rows)
+    publish(
+        "ablation_obscurity",
+        "Ablation — fragment obscurity levels (Pipeline+ vs baseline)",
+        table,
+    )
+
+    for dataset in dataset_names():
+        baseline_fq = results[(dataset, "baseline")][1]
+        for level in LEVELS:
+            level_fq = results[(dataset, level.value)][1]
+            assert level_fq > baseline_fq, (
+                f"{dataset}/{level.value}: every obscurity level must "
+                f"improve on the baseline"
+            )
+        # NoConstOp is the best-performing level (ties allowed).
+        best = max(results[(dataset, level.value)][1] for level in LEVELS)
+        assert results[(dataset, Obscurity.NO_CONST_OP.value)][1] >= best - 1e-9

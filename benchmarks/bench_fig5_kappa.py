@@ -1,0 +1,40 @@
+"""Figure 5 — Pipeline+ accuracy as a function of κ (λ fixed at 0.8).
+
+The paper sweeps the number of candidate keyword mappings kept per
+keyword over 2..10 and reports that any κ ≥ 5 yields roughly constant
+accuracy (κ=5 is the default everywhere else).
+"""
+
+from _harness import accuracy, dataset_names, format_rows, publish
+from repro.eval import EvalConfig
+
+KAPPA_VALUES = (2, 4, 5, 6, 8, 10)
+
+
+def _run_kappa_sweep() -> dict[str, list[tuple[int, float]]]:
+    series: dict[str, list[tuple[int, float]]] = {}
+    for dataset in dataset_names():
+        points = []
+        for kappa in KAPPA_VALUES:
+            _, fq = accuracy(dataset, "Pipeline+", EvalConfig(kappa=kappa))
+            points.append((kappa, fq))
+        series[dataset] = points
+    return series
+
+
+def test_fig5_kappa_sweep(benchmark):
+    series = benchmark.pedantic(_run_kappa_sweep, rounds=1, iterations=1)
+    rows = []
+    for dataset, points in series.items():
+        for kappa, fq in points:
+            rows.append([dataset.upper(), kappa, fq])
+    table = format_rows(["Dataset", "kappa", "FQ (%)"], rows)
+    publish("fig5", "Figure 5 — Pipeline+ accuracy vs kappa (lambda=0.8)", table)
+
+    for dataset, points in series.items():
+        by_kappa = dict(points)
+        plateau = [by_kappa[k] for k in (5, 6, 8, 10)]
+        # κ ≥ 5 is a plateau: spread within a few points.
+        assert max(plateau) - min(plateau) <= 5.0, f"{dataset}: plateau"
+        # Small κ must not beat the plateau (tight pruning loses candidates).
+        assert by_kappa[2] <= max(plateau) + 1e-9, f"{dataset}: kappa=2"

@@ -1,0 +1,41 @@
+"""Figure 6 — Pipeline+ accuracy as a function of λ (κ fixed at 5).
+
+λ weights word similarity against the log-driven score.  The paper finds
+a wide plateau for 0.1 ≤ λ ≤ 0.8 and a sharp drop as λ → 1 (log evidence
+is crucial); at λ = 0 the Yelp benchmark suffers because similarity
+scores are needed to rank configurations at all.
+"""
+
+from _harness import accuracy, dataset_names, format_rows, publish
+from repro.eval import EvalConfig
+
+LAMBDA_VALUES = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def _run_lambda_sweep() -> dict[str, list[tuple[float, float]]]:
+    series: dict[str, list[tuple[float, float]]] = {}
+    for dataset in dataset_names():
+        points = []
+        for lam in LAMBDA_VALUES:
+            _, fq = accuracy(dataset, "Pipeline+", EvalConfig(lam=lam))
+            points.append((lam, fq))
+        series[dataset] = points
+    return series
+
+
+def test_fig6_lambda_sweep(benchmark):
+    series = benchmark.pedantic(_run_lambda_sweep, rounds=1, iterations=1)
+    rows = []
+    for dataset, points in series.items():
+        for lam, fq in points:
+            rows.append([dataset.upper(), lam, fq])
+    table = format_rows(["Dataset", "lambda", "FQ (%)"], rows)
+    publish("fig6", "Figure 6 — Pipeline+ accuracy vs lambda (kappa=5)", table)
+
+    for dataset, points in series.items():
+        by_lambda = dict(points)
+        plateau = [by_lambda[l] for l in (0.1, 0.2, 0.4, 0.6, 0.8)]
+        assert max(plateau) - min(plateau) <= 8.0, f"{dataset}: plateau"
+        # λ→1 (similarity only) must fall well below the plateau: the log
+        # information is crucial for most queries (paper Section VII-D).
+        assert by_lambda[1.0] < min(plateau) - 5.0, f"{dataset}: lambda=1 drop"

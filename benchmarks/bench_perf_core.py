@@ -1,0 +1,81 @@
+"""Engineering micro-benchmarks of the core operations.
+
+Not part of the paper's evaluation; these keep the implementation honest
+about the costs that matter in deployment: QFG construction from a log,
+keyword mapping latency, Steiner-tree join inference, and full-text
+search.
+"""
+
+import pytest
+
+from repro.core import QueryLog, Templar
+from repro.core.fragments import fragments_of_sql
+from repro.core.qfg import QueryFragmentGraph
+from repro.datasets import load_dataset
+from repro.embedding.model import CompositeModel
+from repro.schema_graph import JoinGraph, steiner_tree
+
+
+@pytest.fixture(scope="module")
+def mas():
+    return load_dataset("mas")
+
+
+@pytest.fixture(scope="module")
+def mas_log(mas):
+    return QueryLog([item.gold_sql for item in mas.usable_items()])
+
+
+@pytest.fixture(scope="module")
+def templar(mas, mas_log):
+    return Templar(mas.database, CompositeModel(mas.lexicon), mas_log)
+
+
+def test_perf_qfg_construction(benchmark, mas, mas_log):
+    """Build the QFG from the full MAS log (~194 statements)."""
+    graph = benchmark(mas_log.build_qfg, mas.database.catalog)
+    assert graph.total_queries > 0
+
+
+def test_perf_fragment_extraction(benchmark, mas):
+    """Parse + bind + fragment one representative log statement."""
+    sql = mas.usable_items()[0].gold_sql
+    fragments = benchmark(fragments_of_sql, sql, mas.database.catalog)
+    assert fragments
+
+
+def test_perf_keyword_mapping(benchmark, mas, templar):
+    """MAPKEYWORDS on a two-keyword NLQ."""
+    item = next(i for i in mas.usable_items() if len(i.keywords) == 2)
+    configs = benchmark(templar.map_keywords, item.keywords)
+    assert configs
+
+
+def test_perf_join_inference(benchmark, templar):
+    """INFERJOINS across the publication-domain trap."""
+    paths = benchmark(templar.infer_joins, ["publication", "domain"])
+    assert paths
+
+
+def test_perf_steiner_default(benchmark, mas):
+    """Raw KMB Steiner solve on the MAS join graph."""
+    graph = JoinGraph.from_catalog(mas.database.catalog)
+    tree = benchmark(steiner_tree, graph, ["author", "domain", "conference"])
+    assert tree is not None
+
+
+def test_perf_fulltext_search(benchmark, mas):
+    """Boolean-mode full-text probe over all searchable columns."""
+    index = mas.database.fulltext
+    hits = benchmark(index.search, ["query", "optimization"])
+    assert hits
+
+
+def test_perf_full_translation(benchmark, mas, templar):
+    """End-to-end Pipeline+ translation of one NLQ."""
+    from repro.nlidb import PipelineNLIDB
+
+    system = PipelineNLIDB(mas.database, templar.similarity, templar)
+    item = mas.usable_items()[0]
+    results = benchmark(system.translate, item.keywords)
+    assert results

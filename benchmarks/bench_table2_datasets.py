@@ -1,0 +1,48 @@
+"""Table II — statistics of each benchmark dataset.
+
+Regenerates the dataset-statistics table (size is the paper's reported
+dump size; relations/attributes/FK-PK/queries are measured from our
+builders and must match the paper exactly — they are also asserted by
+the dataset validators).
+"""
+
+from _harness import format_rows, publish
+from repro.datasets import load_dataset
+
+PAPER = {
+    "mas": (3.2, 17, 53, 19, 194),
+    "yelp": (2.0, 7, 38, 7, 127),
+    "imdb": (1.3, 16, 65, 20, 128),
+}
+
+
+def _build_table2() -> list[list[object]]:
+    rows = []
+    for name in ("mas", "yelp", "imdb"):
+        stats = load_dataset(name).stats()
+        paper = PAPER[name]
+        rows.append(
+            [
+                name.upper(),
+                f"{stats['size_gb']} GB (paper {paper[0]} GB)",
+                stats["relations"],
+                stats["attributes"],
+                stats["fk_pk"],
+                stats["queries"],
+            ]
+        )
+    return rows
+
+
+def test_table2_dataset_statistics(benchmark):
+    rows = benchmark.pedantic(_build_table2, rounds=1, iterations=1)
+    table = format_rows(
+        ["Dataset", "Size", "Rels", "Attrs", "FK-PK", "Queries"], rows
+    )
+    publish("table2", "Table II — benchmark dataset statistics", table)
+    for row, name in zip(rows, ("mas", "yelp", "imdb")):
+        paper = PAPER[name]
+        assert row[2] == paper[1], f"{name} relations"
+        assert row[3] == paper[2], f"{name} attributes"
+        assert row[4] == paper[3], f"{name} FK-PK"
+        assert row[5] == paper[4], f"{name} queries"

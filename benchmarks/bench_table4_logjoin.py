@@ -1,0 +1,34 @@
+"""Table IV — improvement from activating log-based joins in Pipeline+.
+
+Toggles the Join Path Generator's log-driven edge weights (LogJoin N vs
+Y) while keeping log-driven keyword mapping on, exactly the ablation of
+Section VII-B3.
+"""
+
+from _harness import PAPER_TABLE4, accuracy, dataset_names, format_rows, publish
+from repro.eval import EvalConfig
+
+
+def _run_table4() -> dict[tuple[str, str], float]:
+    results = {}
+    for dataset in dataset_names():
+        for logjoin in ("N", "Y"):
+            config = EvalConfig(use_log_joins=(logjoin == "Y"))
+            _, fq = accuracy(dataset, "Pipeline+", config)
+            results[(dataset, logjoin)] = fq
+    return results
+
+
+def test_table4_logjoin_ablation(benchmark):
+    results = benchmark.pedantic(_run_table4, rounds=1, iterations=1)
+    rows = [
+        [dataset.upper(), logjoin, fq, PAPER_TABLE4[(dataset, logjoin)]]
+        for (dataset, logjoin), fq in results.items()
+    ]
+    table = format_rows(["Dataset", "LogJoin", "FQ (%)", "paper"], rows)
+    publish("table4", "Table IV — LogJoin ablation (Pipeline+)", table)
+
+    for dataset in dataset_names():
+        off = results[(dataset, "N")]
+        on = results[(dataset, "Y")]
+        assert on > off, f"{dataset}: log-driven joins must improve FQ"

@@ -1,0 +1,30 @@
+"""Templar: augmenting NLIDBs with SQL query logs (ICDE 2019 reproduction).
+
+The package reproduces *Bridging the Semantic Gap with SQL Query Logs in
+Natural Language Interfaces to Databases* (Baik, Jagadish, Li; ICDE 2019)
+as a complete system: the Templar augmentation layer, every substrate it
+needs (in-memory relational engine, SQL front-end, schema-graph Steiner
+machinery, similarity models), the Pipeline/NaLIR systems it is evaluated
+against, the three benchmark datasets, and the evaluation harness.
+
+Quick start::
+
+    from repro.core import Templar, QueryLog
+    from repro.datasets import load_dataset
+    from repro.embedding import CompositeModel
+    from repro.nlidb import PipelineNLIDB
+
+    dataset = load_dataset("mas")
+    log = QueryLog([item.gold_sql for item in dataset.usable_items()])
+    templar = Templar(dataset.database, CompositeModel(dataset.lexicon), log)
+    system = PipelineNLIDB(dataset.database, templar.similarity, templar)
+    result = system.top_translation(dataset.usable_items()[0].keywords)
+    print(result.sql)
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-versus-measured numbers.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

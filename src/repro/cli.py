@@ -1,0 +1,185 @@
+"""Command-line interface: run experiments and translate NLQs.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli stats
+    python -m repro.cli evaluate --dataset mas --system Pipeline+
+    python -m repro.cli sweep --parameter kappa --dataset mas
+    python -m repro.cli translate --dataset mas --nlq "return the papers after 2000"
+    python -m repro.cli export --dataset yelp --output yelp.sql
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import QueryLog, Templar
+from repro.core.explain import explain_configuration
+from repro.datasets import DATASET_BUILDERS, load_dataset
+from repro.embedding import CompositeModel
+from repro.eval import EvalConfig, evaluate_system
+from repro.eval.harness import SYSTEM_NAMES
+from repro.eval.reporting import format_rows, percentage
+from repro.nlidb import NalirNLIDB, NalirParser, PipelineNLIDB
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(DATASET_BUILDERS):
+        stats = load_dataset(name).stats()
+        rows.append(
+            [name.upper(), stats["relations"], stats["attributes"],
+             stats["fk_pk"], stats["queries"]]
+        )
+    print(format_rows(["Dataset", "Rels", "Attrs", "FK-PK", "Queries"], rows))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    config = EvalConfig(
+        kappa=args.kappa,
+        lam=args.lam,
+        use_log_joins=not args.no_log_joins,
+    )
+    result = evaluate_system(dataset, args.system, config)
+    print(
+        f"{args.system} on {args.dataset.upper()}: "
+        f"KW {percentage(result.kw_accuracy)}%  "
+        f"FQ {percentage(result.fq_accuracy)}%"
+    )
+    if args.families:
+        rows = [
+            [family, correct, total]
+            for family, (correct, total) in result.family_breakdown().items()
+        ]
+        print(format_rows(["family", "correct", "total"], rows))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    if args.parameter == "kappa":
+        values = [2, 4, 5, 6, 8, 10]
+        configs = [EvalConfig(kappa=value) for value in values]
+    else:
+        values = [round(0.1 * i, 1) for i in range(11)]
+        configs = [EvalConfig(lam=value) for value in values]
+    rows = []
+    for value, config in zip(values, configs):
+        result = evaluate_system(dataset, "Pipeline+", config)
+        rows.append([value, percentage(result.fq_accuracy)])
+    print(format_rows([args.parameter, "FQ (%)"], rows))
+    return 0
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    db = dataset.database
+    model = CompositeModel(dataset.lexicon)
+    log = QueryLog([item.gold_sql for item in dataset.usable_items()])
+    templar = Templar(db, model, log)
+    # Best-effort parsing for end users (the evaluation harness uses the
+    # failure-faithful parser instead).
+    parser = NalirParser(db, dataset.schema_terms, simulate_failures=False)
+    system = NalirNLIDB(db, model, parser, templar)
+
+    parsed = parser.parse(args.nlq)
+    if parsed.failed:
+        print("could not parse the NLQ into keywords", file=sys.stderr)
+        return 1
+    print("keywords:")
+    for keyword in parsed.keywords:
+        print(f"  {keyword.text!r} ({keyword.metadata.context.value})")
+    for note in parsed.notes:
+        print(f"  note: {note}")
+
+    results = system.translate(parsed.keywords)
+    if not results:
+        print("no translation found", file=sys.stderr)
+        return 1
+    top = results[0]
+    from repro.sql.formatter import format_query
+
+    print(f"\nSQL: {top.sql}")
+    print(format_query(top.query))
+    if args.explain:
+        print("\n" + explain_configuration(
+            top.configuration, templar.qfg
+        ).render())
+    if args.execute:
+        answer = db.execute(top.sql)
+        print(f"\nanswer ({len(answer.rows)} rows):")
+        for row in answer.rows[: args.limit]:
+            print(f"  {row}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.datasets.export import export_dataset_sql
+
+    dataset = load_dataset(args.dataset)
+    path = export_dataset_sql(dataset, args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Templar reproduction: experiments and NLQ translation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("stats", help="print Table II dataset statistics")
+
+    evaluate = sub.add_parser("evaluate", help="cross-validated accuracy")
+    evaluate.add_argument("--dataset", choices=sorted(DATASET_BUILDERS),
+                          default="mas")
+    evaluate.add_argument("--system", choices=SYSTEM_NAMES, default="Pipeline+")
+    evaluate.add_argument("--kappa", type=int, default=5)
+    evaluate.add_argument("--lam", type=float, default=0.8)
+    evaluate.add_argument("--no-log-joins", action="store_true")
+    evaluate.add_argument("--families", action="store_true",
+                          help="print the per-family breakdown")
+
+    sweep = sub.add_parser("sweep", help="parameter sweep (Figures 5/6)")
+    sweep.add_argument("--dataset", choices=sorted(DATASET_BUILDERS),
+                       default="mas")
+    sweep.add_argument("--parameter", choices=["kappa", "lam"],
+                       default="kappa")
+
+    translate = sub.add_parser("translate", help="translate one NLQ")
+    translate.add_argument("--dataset", choices=sorted(DATASET_BUILDERS),
+                           default="mas")
+    translate.add_argument("--nlq", required=True)
+    translate.add_argument("--explain", action="store_true",
+                           help="show the evidence decomposition")
+    translate.add_argument("--execute", action="store_true",
+                           help="run the SQL against the synthetic database")
+    translate.add_argument("--limit", type=int, default=10)
+
+    export = sub.add_parser("export", help="dump a dataset as SQL DDL+INSERTs")
+    export.add_argument("--dataset", choices=sorted(DATASET_BUILDERS),
+                        default="mas")
+    export.add_argument("--output", required=True)
+    return parser
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "evaluate": _cmd_evaluate,
+    "sweep": _cmd_sweep,
+    "translate": _cmd_translate,
+    "export": _cmd_export,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Templar core: the paper's contribution.
+
+* :mod:`repro.core.fragments` — query fragments (Definition 3) with the
+  three obscurity levels of Section IV, and extraction from bound SQL.
+* :mod:`repro.core.qfg` — the Query Fragment Graph (Definition 6).
+* :mod:`repro.core.log` — query log container and QFG construction.
+* :mod:`repro.core.keyword_mapper` — MAPKEYWORDS (Algorithms 1-3) and
+  configuration ranking (Section V-C).
+* :mod:`repro.core.join_inference` — INFERJOINS (Section VI) with
+  log-driven edge weights and self-join forking.
+* :mod:`repro.core.templar` — the facade an NLIDB talks to.
+"""
+
+from repro.core.fragments import (
+    FragmentContext,
+    FragmentKind,
+    Obscurity,
+    QueryFragment,
+    extract_fragments,
+    fragments_of_sql,
+)
+from repro.core.interface import (
+    Configuration,
+    Keyword,
+    KeywordMetadata,
+    QueryFragmentMapping,
+)
+from repro.core.join_inference import JoinPath, JoinPathGenerator
+from repro.core.keyword_mapper import KeywordMapper, ScoringParams
+from repro.core.log import QueryLog
+from repro.core.qfg import QueryFragmentGraph
+from repro.core.templar import Templar
+
+__all__ = [
+    "Configuration",
+    "FragmentContext",
+    "FragmentKind",
+    "JoinPath",
+    "JoinPathGenerator",
+    "Keyword",
+    "KeywordMapper",
+    "KeywordMetadata",
+    "Obscurity",
+    "QueryFragment",
+    "QueryFragmentGraph",
+    "QueryFragmentMapping",
+    "QueryLog",
+    "ScoringParams",
+    "Templar",
+    "extract_fragments",
+    "fragments_of_sql",
+]

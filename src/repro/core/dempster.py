@@ -1,0 +1,94 @@
+"""Dempster-Shafer evidence combination for configuration scoring.
+
+Section V-C2 of the paper: "We can also replace this means of combining
+evidence from multiple sources with other approaches, such as the
+Dempster Shafer Theory in [6].  We opt for a linear combination due to
+its simplicity."  This module implements the alternative so the two can
+be compared (see ``benchmarks/bench_ablation_scoring.py``).
+
+Each evidence source (word similarity, log co-occurrence) is treated as a
+mass function over the frame {correct, incorrect} with some mass left on
+the universal set (ignorance).  Dempster's rule combines them:
+
+    m(A) = ( Σ_{B∩C=A} m1(B)·m2(C) ) / (1 - K),
+    K    = Σ_{B∩C=∅} m1(B)·m2(C)
+
+With two-element frames this reduces to the closed form implemented in
+:func:`combine_beliefs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Belief:
+    """A mass function over {correct, incorrect} with residual ignorance.
+
+    ``support`` is mass on "correct", ``against`` on "incorrect"; the
+    remainder stays on the frame (ignorance).
+    """
+
+    support: float
+    against: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.support < 0 or self.against < 0:
+            raise ReproError("belief masses must be non-negative")
+        if self.support + self.against > 1.0 + 1e-9:
+            raise ReproError("belief masses must sum to at most 1")
+
+    @property
+    def ignorance(self) -> float:
+        return max(0.0, 1.0 - self.support - self.against)
+
+
+def combine_beliefs(first: Belief, second: Belief) -> Belief:
+    """Dempster's rule of combination on the two-element frame."""
+    conflict = first.support * second.against + first.against * second.support
+    if conflict >= 1.0 - 1e-12:
+        raise ReproError("total conflict between evidence sources")
+    normalizer = 1.0 - conflict
+    support = (
+        first.support * second.support
+        + first.support * second.ignorance
+        + first.ignorance * second.support
+    ) / normalizer
+    against = (
+        first.against * second.against
+        + first.against * second.ignorance
+        + first.ignorance * second.against
+    ) / normalizer
+    return Belief(min(1.0, support), min(1.0, against))
+
+
+def belief_from_similarity(sigma: float, discount: float = 0.9) -> Belief:
+    """Similarity evidence: σ supports, (1-σ) is mostly ignorance.
+
+    ``discount`` caps how much a source can commit — the standard way to
+    keep Dempster's rule from saturating on a single confident source.
+    """
+    sigma = min(1.0, max(0.0, sigma))
+    return Belief(support=discount * sigma, against=discount * (1.0 - sigma) * 0.25)
+
+
+def belief_from_dice(dice: float, discount: float = 0.9) -> Belief:
+    """Log evidence: Dice supports; absence of co-occurrence is weak
+    negative evidence (logs are incomplete, so most mass stays ignorant)."""
+    dice = min(1.0, max(0.0, dice))
+    return Belief(support=discount * dice, against=discount * (1.0 - dice) * 0.1)
+
+
+def dempster_score(sigma: float, dice: float) -> float:
+    """Combined plausibility-style score of one configuration.
+
+    Returns belief(support) after combining the similarity and log
+    sources — a drop-in replacement for the paper's λ-combination.
+    """
+    combined = combine_beliefs(
+        belief_from_similarity(sigma), belief_from_dice(dice)
+    )
+    return combined.support

@@ -1,0 +1,105 @@
+"""Explanations for keyword mapping decisions.
+
+NLIDB users (and NLIDB developers debugging the mapper) need to know *why*
+a configuration won: was it word similarity, or log evidence?  This module
+decomposes the paper's Score(φ) = λ·Score_σ + (1-λ)·Score_QFG into
+per-mapping and per-pair contributions and renders them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.fragments import FragmentContext
+from repro.core.interface import Configuration
+from repro.core.qfg import QueryFragmentGraph
+
+
+@dataclass(frozen=True)
+class PairEvidence:
+    """Log evidence for one pair of non-FROM fragments."""
+
+    first: str
+    second: str
+    co_occurrences: float
+    dice: float
+
+
+@dataclass(frozen=True)
+class MappingExplanation:
+    keyword: str
+    fragment: str
+    similarity: float
+
+
+@dataclass(frozen=True)
+class ConfigurationExplanation:
+    """The decomposed evidence behind one configuration's score."""
+
+    mappings: tuple[MappingExplanation, ...]
+    pairs: tuple[PairEvidence, ...]
+    sigma_score: float
+    qfg_score: float
+    lam: float
+    score: float
+
+    def render(self) -> str:
+        """Human-readable multi-line explanation."""
+        lines = [f"score = {self.score:.4f}  "
+                 f"(λ·Score_σ + (1-λ)·Score_QFG, λ={self.lam})"]
+        lines.append(f"  word similarity Score_σ = {self.sigma_score:.4f}")
+        for mapping in self.mappings:
+            lines.append(
+                f"    {mapping.keyword!r} -> {mapping.fragment} "
+                f"(σ={mapping.similarity:.3f})"
+            )
+        lines.append(f"  log evidence Score_QFG = {self.qfg_score:.4f}")
+        if not self.pairs:
+            lines.append("    (no fragment pairs; falls back to Score_σ)")
+        for pair in self.pairs:
+            lines.append(
+                f"    Dice({pair.first}, {pair.second}) = {pair.dice:.3f} "
+                f"({pair.co_occurrences:g} co-occurrences)"
+            )
+        return "\n".join(lines)
+
+
+def explain_configuration(
+    configuration: Configuration,
+    qfg: QueryFragmentGraph | None,
+    lam: float = 0.8,
+) -> ConfigurationExplanation:
+    """Decompose a configuration's score into its evidence."""
+    mappings = tuple(
+        MappingExplanation(
+            keyword=mapping.keyword.text,
+            fragment=str(mapping.fragment),
+            similarity=mapping.score,
+        )
+        for mapping in configuration.mappings
+    )
+    pairs: list[PairEvidence] = []
+    if qfg is not None:
+        non_relation = [
+            mapping.fragment
+            for mapping in configuration.mappings
+            if mapping.fragment.context is not FragmentContext.FROM
+        ]
+        for index, first in enumerate(non_relation):
+            for second in non_relation[index + 1 :]:
+                pairs.append(
+                    PairEvidence(
+                        first=first.key(qfg.obscurity),
+                        second=second.key(qfg.obscurity),
+                        co_occurrences=qfg.ne(first, second),
+                        dice=qfg.dice(first, second),
+                    )
+                )
+    return ConfigurationExplanation(
+        mappings=mappings,
+        pairs=tuple(pairs),
+        sigma_score=configuration.sigma_score,
+        qfg_score=configuration.qfg_score,
+        lam=lam,
+        score=configuration.score,
+    )

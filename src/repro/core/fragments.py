@@ -1,0 +1,430 @@
+"""Query fragments (Definition 3) and their extraction from SQL.
+
+A fragment is a pair (χ, τ): a SQL expression or non-join predicate plus
+the clause context it appears in.  Fragments are the atomic unit the Query
+Fragment Graph counts; their *canonical keys* depend on the obscurity
+level (Section IV):
+
+* ``Full``       — ``publication.year > 2000``
+* ``NoConst``    — ``publication.year > ?val``
+* ``NoConstOp``  — ``publication.year ?op ?val``
+
+Aliases are resolved to relation names before key construction, so
+``p.year`` and ``pub.year`` share a QFG vertex.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.db.catalog import Catalog
+from repro.db.types import SqlValue
+from repro.errors import MappingError
+from repro.sql.ast import (
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FuncCall,
+    InPredicate,
+    IsNullPredicate,
+    Literal,
+    NotPredicate,
+    OpPlaceholder,
+    OrPredicate,
+    Predicate,
+    Star,
+    Subquery,
+    ValuePlaceholder,
+)
+from repro.sql.binder import BoundQuery, bind_query
+from repro.sql.parser import parse_query
+
+
+class FragmentContext(enum.Enum):
+    """The clause a fragment lives in (τ of Definition 3)."""
+
+    SELECT = "SELECT"
+    FROM = "FROM"
+    WHERE = "WHERE"
+    GROUP_BY = "GROUP BY"
+    HAVING = "HAVING"
+    ORDER_BY = "ORDER BY"
+
+
+class FragmentKind(enum.Enum):
+    RELATION = "relation"    # a FROM-clause relation
+    ATTRIBUTE = "attribute"  # a projected/grouped/ordered attribute
+    PREDICATE = "predicate"  # a non-join WHERE/HAVING condition
+
+
+class Obscurity(enum.Enum):
+    """How much of a predicate is blanked in the fragment key (Section IV)."""
+
+    FULL = "Full"
+    NO_CONST = "NoConst"
+    NO_CONST_OP = "NoConstOp"
+
+
+@dataclass(frozen=True)
+class QueryFragment:
+    """One query fragment with full structure retained.
+
+    ``relation``/``attribute`` identify the schema element; predicates add
+    ``operator`` and ``value`` (``value is None`` means the source was
+    already obscured); attribute fragments may carry ``aggregates`` (the
+    ordered function list F of the keyword metadata), an aggregate
+    DISTINCT flag and an ORDER BY direction.
+    """
+
+    context: FragmentContext
+    kind: FragmentKind
+    relation: str | None = None
+    attribute: str | None = None
+    operator: str | None = None
+    value: SqlValue | None = None
+    aggregates: tuple[str, ...] = ()
+    distinct: bool = False
+    descending: bool = False
+    #: value is pre-rendered SQL text (IN lists, BETWEEN ranges, NULL,
+    #: subqueries) and must not be re-quoted.
+    value_is_raw: bool = False
+
+    # ------------------------------------------------------------ rendering
+
+    @property
+    def column_text(self) -> str:
+        """``relation.attribute`` (or bare ``*`` / relation name)."""
+        if self.kind is FragmentKind.RELATION:
+            return self.relation or "?rel"
+        if self.attribute == "*":
+            base = "*"
+        elif self.relation is not None:
+            base = f"{self.relation}.{self.attribute}"
+        else:
+            base = self.attribute or "?attr"
+        for func in reversed(self.aggregates):
+            inner = f"DISTINCT {base}" if self.distinct else base
+            base = f"{func}({inner})"
+        return base
+
+    def _value_text(self) -> str:
+        if self.value is None:
+            return "?val"
+        if self.value_is_raw:
+            return str(self.value)
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        if isinstance(self.value, float) and self.value.is_integer():
+            return str(int(self.value))
+        return str(self.value)
+
+    def expression(self, obscurity: Obscurity = Obscurity.FULL) -> str:
+        """The χ part of the fragment at the given obscurity level."""
+        if self.kind in (FragmentKind.RELATION, FragmentKind.ATTRIBUTE):
+            return self.column_text
+        operator = self.operator or "?op"
+        if obscurity is Obscurity.NO_CONST_OP:
+            return f"{self.column_text} ?op ?val"
+        if obscurity is Obscurity.NO_CONST:
+            return f"{self.column_text} {operator} ?val"
+        return f"{self.column_text} {operator} {self._value_text()}"
+
+    def key(self, obscurity: Obscurity = Obscurity.NO_CONST_OP) -> str:
+        """Canonical QFG vertex key at ``obscurity``."""
+        return f"{self.context.value}::{self.expression(obscurity)}"
+
+    def __str__(self) -> str:
+        return f"({self.expression(Obscurity.FULL)}, {self.context.value})"
+
+    # ------------------------------------------------------------ helpers
+
+    @property
+    def is_relation(self) -> bool:
+        return self.kind is FragmentKind.RELATION
+
+    def similarity_tokens(self) -> list[str]:
+        """Tokens a similarity model should compare a keyword against.
+
+        Value predicates expose the matched value text; everything else
+        exposes schema-name tokens (relation and/or attribute).  Numeric
+        predicates expose their attribute, not the number.
+        """
+        from repro.embedding.tokenize import word_tokens
+
+        if (
+            self.kind is FragmentKind.PREDICATE
+            and isinstance(self.value, str)
+        ):
+            return word_tokens(self.value)
+        tokens: list[str] = []
+        if self.relation:
+            tokens.extend(word_tokens(self.relation))
+        if self.attribute and self.attribute != "*":
+            tokens.extend(word_tokens(self.attribute))
+        return tokens
+
+    def attribute_tokens(self) -> list[str]:
+        """Tokens of the attribute name alone."""
+        from repro.embedding.tokenize import word_tokens
+
+        if self.attribute and self.attribute != "*":
+            return word_tokens(self.attribute)
+        return []
+
+    def relation_tokens(self) -> list[str]:
+        """Tokens of the relation name alone."""
+        from repro.embedding.tokenize import word_tokens
+
+        return word_tokens(self.relation) if self.relation else []
+
+
+# --------------------------------------------------------------------------
+# Extraction from SQL
+# --------------------------------------------------------------------------
+
+
+def fragments_of_sql(sql: str, catalog: Catalog) -> list[QueryFragment]:
+    """Parse, bind and extract the fragments of one SQL statement."""
+    bound = bind_query(parse_query(sql), catalog)
+    return extract_fragments(bound)
+
+
+def extract_fragments(bound: BoundQuery) -> list[QueryFragment]:
+    """All fragments of a bound query, including nested subqueries.
+
+    Join conditions are excluded (they belong to join paths); each FROM
+    instance yields a RELATION fragment; SELECT / GROUP BY / ORDER BY
+    yield ATTRIBUTE fragments; non-join WHERE and HAVING conjuncts yield
+    PREDICATE fragments.
+    """
+    fragments: list[QueryFragment] = []
+
+    for relation in bound.instances.values():
+        fragments.append(
+            QueryFragment(
+                context=FragmentContext.FROM,
+                kind=FragmentKind.RELATION,
+                relation=relation,
+            )
+        )
+
+    for item in bound.query.select:
+        fragment = _expr_fragment(item.expr, bound, FragmentContext.SELECT)
+        if fragment is not None:
+            fragments.append(fragment)
+
+    for conjunct in bound.filter_conjuncts:
+        fragments.extend(
+            _predicate_fragments(conjunct, bound, FragmentContext.WHERE)
+        )
+
+    for expr in bound.query.group_by:
+        fragment = _expr_fragment(expr, bound, FragmentContext.GROUP_BY)
+        if fragment is not None:
+            fragments.append(fragment)
+
+    if bound.query.having is not None:
+        fragments.extend(
+            _predicate_fragments(bound.query.having, bound, FragmentContext.HAVING)
+        )
+
+    for order in bound.query.order_by:
+        fragment = _expr_fragment(
+            order.expr, bound, FragmentContext.ORDER_BY, descending=order.descending
+        )
+        if fragment is not None:
+            fragments.append(fragment)
+
+    for sub in bound.subqueries:
+        fragments.extend(extract_fragments(sub))
+
+    return fragments
+
+
+def _expr_fragment(
+    expr: Expr,
+    bound: BoundQuery,
+    context: FragmentContext,
+    descending: bool = False,
+) -> QueryFragment | None:
+    """ATTRIBUTE fragment for a SELECT/GROUP BY/ORDER BY expression."""
+    aggregates: list[str] = []
+    distinct = False
+    inner = expr
+    while isinstance(inner, FuncCall):
+        aggregates.append(inner.name.upper())
+        distinct = distinct or inner.distinct
+        if not inner.args:
+            inner = Star()
+            break
+        inner = inner.args[0]
+    if isinstance(inner, ColumnRef):
+        column = bound.resolve(inner)
+        return QueryFragment(
+            context=context,
+            kind=FragmentKind.ATTRIBUTE,
+            relation=column.relation,
+            attribute=column.column,
+            aggregates=tuple(aggregates),
+            distinct=distinct,
+            descending=descending,
+        )
+    if isinstance(inner, Star):
+        relation = None
+        if len(bound.instances) == 1:
+            relation = next(iter(bound.instances.values()))
+        return QueryFragment(
+            context=context,
+            kind=FragmentKind.ATTRIBUTE,
+            relation=relation,
+            attribute="*",
+            aggregates=tuple(aggregates),
+            distinct=distinct,
+            descending=descending,
+        )
+    if isinstance(inner, (Literal, ValuePlaceholder, Subquery)):
+        return None  # constants/subqueries in SELECT carry no mapping signal
+    raise MappingError(f"cannot extract a fragment from expression {inner!r}")
+
+
+def _predicate_fragments(
+    predicate: Predicate, bound: BoundQuery, context: FragmentContext
+) -> list[QueryFragment]:
+    """PREDICATE fragments of one conjunct.
+
+    Disjunctions/negations contribute the fragments of their children —
+    the co-occurrence signal cares about which attributes were filtered,
+    not the boolean structure.
+    """
+    if isinstance(predicate, Comparison):
+        fragment = _comparison_fragment(predicate, bound, context)
+        return [fragment] if fragment is not None else []
+    if isinstance(predicate, InPredicate):
+        target = _expr_fragment(predicate.left, bound, context)
+        if target is None:
+            return []
+        values = [
+            v.value for v in predicate.values if isinstance(v, Literal)
+        ]
+        rendered = ", ".join(_render_value(v) for v in values) if values else None
+        return [
+            QueryFragment(
+                context=context,
+                kind=FragmentKind.PREDICATE,
+                relation=target.relation,
+                attribute=target.attribute,
+                aggregates=target.aggregates,
+                distinct=target.distinct,
+                operator="NOT IN" if predicate.negated else "IN",
+                value=rendered,
+                value_is_raw=True,
+            )
+        ]
+    if isinstance(predicate, BetweenPredicate):
+        target = _expr_fragment(predicate.left, bound, context)
+        if target is None:
+            return []
+        low = predicate.low.value if isinstance(predicate.low, Literal) else None
+        high = predicate.high.value if isinstance(predicate.high, Literal) else None
+        rendered = (
+            f"{_render_value(low)} AND {_render_value(high)}"
+            if low is not None and high is not None
+            else None
+        )
+        return [
+            QueryFragment(
+                context=context,
+                kind=FragmentKind.PREDICATE,
+                relation=target.relation,
+                attribute=target.attribute,
+                aggregates=target.aggregates,
+                distinct=target.distinct,
+                operator="NOT BETWEEN" if predicate.negated else "BETWEEN",
+                value=rendered,
+                value_is_raw=True,
+            )
+        ]
+    if isinstance(predicate, IsNullPredicate):
+        target = _expr_fragment(predicate.left, bound, context)
+        if target is None:
+            return []
+        return [
+            QueryFragment(
+                context=context,
+                kind=FragmentKind.PREDICATE,
+                relation=target.relation,
+                attribute=target.attribute,
+                operator="IS NOT" if predicate.negated else "IS",
+                value="NULL",
+                value_is_raw=True,
+            )
+        ]
+    if isinstance(predicate, (OrPredicate,)):
+        fragments: list[QueryFragment] = []
+        for child in predicate.children:
+            fragments.extend(_predicate_fragments(child, bound, context))
+        return fragments
+    if isinstance(predicate, NotPredicate):
+        return _predicate_fragments(predicate.child, bound, context)
+    # AndPredicate inside OR/NOT structures:
+    from repro.sql.ast import AndPredicate
+
+    if isinstance(predicate, AndPredicate):
+        fragments = []
+        for child in predicate.children:
+            fragments.extend(_predicate_fragments(child, bound, context))
+        return fragments
+    raise MappingError(f"cannot extract fragments from predicate {predicate!r}")
+
+
+def _comparison_fragment(
+    predicate: Comparison, bound: BoundQuery, context: FragmentContext
+) -> QueryFragment | None:
+    left, right = predicate.left, predicate.right
+    op = predicate.op
+    # Orient column-first.
+    if isinstance(right, ColumnRef) and not isinstance(left, ColumnRef):
+        left, right = right, left
+        if isinstance(op, str):
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+    target = _expr_fragment(left, bound, context)
+    if target is None:
+        return None
+    if isinstance(right, Literal):
+        value: SqlValue | None = right.value
+    elif isinstance(right, ValuePlaceholder):
+        value = None
+    elif isinstance(right, Subquery):
+        value = f"({_render_subquery(right)})"
+    elif isinstance(right, ColumnRef):
+        # Same-instance column comparison: keep as an opaque predicate.
+        other = bound.resolve(right)
+        value = f"{other.relation}.{other.column}"
+    else:
+        return None
+    operator = "?op" if isinstance(op, OpPlaceholder) else op
+    return QueryFragment(
+        context=context,
+        kind=FragmentKind.PREDICATE,
+        relation=target.relation,
+        attribute=target.attribute,
+        aggregates=target.aggregates,
+        distinct=target.distinct,
+        operator=None if isinstance(op, OpPlaceholder) else operator,
+        value=value,
+    )
+
+
+def _render_value(value: SqlValue) -> str:
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return str(value)
+
+
+def _render_subquery(sub: Subquery) -> str:
+    from repro.sql.writer import write_query
+
+    return write_query(sub.query)

@@ -1,0 +1,530 @@
+"""MAPKEYWORDS: Algorithms 1–3 plus configuration ranking (Section V).
+
+The mapper turns keywords (with parser metadata) into ranked
+configurations:
+
+1. :meth:`KeywordMapper.keyword_candidates` (Algorithm 2) retrieves
+   candidate fragments from the database — numeric attributes for
+   number-bearing keywords, all relations for FROM-context keywords, all
+   attributes for SELECT-context keywords, and full-text value matches
+   otherwise.
+2. :meth:`KeywordMapper.score_and_prune` (Algorithm 3) scores each
+   candidate with the similarity model (``simtext``/``simnum``) and keeps
+   the top-κ (exact matches evict everything else).
+3. :meth:`KeywordMapper.map_keywords` (Algorithm 1) combines candidates
+   into configurations scored by
+   ``Score(φ) = λ·Score_σ(φ) + (1-λ)·Score_QFG(φ)`` — the geometric-mean
+   word-similarity score blended with the Dice-based log score.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import re
+from dataclasses import dataclass
+
+from repro.core.fragments import FragmentContext, FragmentKind, QueryFragment
+from repro.core.interface import (
+    Configuration,
+    Keyword,
+    QueryFragmentMapping,
+)
+from repro.core.qfg import QueryFragmentGraph
+from repro.db.catalog import ColumnRefSpec
+from repro.db.database import Database
+from repro.db.stemmer import stem
+from repro.embedding.model import SimilarityModel
+from repro.embedding.tokenize import content_tokens, word_tokens
+from repro.errors import MappingError
+
+_NUMBER_RE = re.compile(r"\d+(?:\.\d+)?")
+
+#: Comparative/temporal words that parsers fold into the operator ω; they
+#: are stripped from numeric keywords before text scoring unless nothing
+#: else remains (so "after 2000" still scores "after" against "year").
+OPERATOR_WORDS = frozenset(
+    {
+        "more", "less", "than", "least", "most", "at", "over", "under",
+        "after", "before", "between", "fewer", "greater", "above",
+        "below", "exactly", "since", "about", "around",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ScoringParams:
+    """Tunable parameters of the mapper (paper defaults)."""
+
+    kappa: int = 5              # top-κ candidates kept per keyword
+    lam: float = 0.8            # λ weight of Score_σ vs Score_QFG
+    exact_epsilon: float = 1e-3  # σ ≥ 1-ε counts as an exact match
+    numeric_fallback: float = 1e-3  # ε returned by simnum on empty predicates
+    dice_floor: float = 1e-4    # floor for unseen co-occurrences in Score_QFG
+    empty_text_score: float = 0.5  # σ when a keyword has no scorable text
+    tie_tolerance: float = 1e-9  # float tolerance for κ-th place ties
+    max_configurations: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.kappa < 1:
+            raise MappingError("kappa must be >= 1")
+        if not 0.0 <= self.lam <= 1.0:
+            raise MappingError("lambda must be in [0, 1]")
+
+
+def extract_number(text: str) -> int | float | None:
+    """First numeric token of ``text`` (int when integral), else None."""
+    match = _NUMBER_RE.search(text)
+    if match is None:
+        return None
+    raw = match.group(0)
+    return float(raw) if "." in raw else int(raw)
+
+
+def strip_number(text: str) -> str:
+    """``text`` with the first numeric token removed."""
+    return _NUMBER_RE.sub(" ", text, count=1).strip()
+
+
+class KeywordMapper:
+    """Executes MAPKEYWORDS against one database."""
+
+    def __init__(
+        self,
+        database: Database,
+        similarity: SimilarityModel,
+        qfg: QueryFragmentGraph | None = None,
+        params: ScoringParams | None = None,
+    ) -> None:
+        self.database = database
+        self.similarity = similarity
+        self.qfg = qfg
+        self.params = params or ScoringParams()
+
+    # ----------------------------------------------------- Algorithm 1
+
+    def map_keywords(self, keywords: list[Keyword]) -> list[Configuration]:
+        """Ranked configurations for ``keywords`` (empty when unmappable)."""
+        per_keyword: list[list[QueryFragmentMapping]] = []
+        for keyword in keywords:
+            candidates = self.keyword_candidates(keyword)
+            scored = self.score_and_prune(keyword, candidates)
+            if not scored:
+                return []
+            per_keyword.append(scored)
+        return self._rank_configurations(per_keyword)
+
+    # ----------------------------------------------------- Algorithm 2
+
+    def keyword_candidates(self, keyword: Keyword) -> list[QueryFragment]:
+        """Candidate fragments for one keyword (Algorithm 2)."""
+        metadata = keyword.metadata
+        number = extract_number(keyword.text)
+        # The numeric branch requires both a number and an extracted
+        # comparison operator ω; a value phrase that merely contains a
+        # digit ("Distant Echoes 2") stays on the full-text path.
+        if number is not None and metadata.comparison_op is not None:
+            return self._numeric_candidates(keyword, number)
+        if metadata.context is FragmentContext.FROM:
+            return [
+                QueryFragment(
+                    context=FragmentContext.FROM,
+                    kind=FragmentKind.RELATION,
+                    relation=relation,
+                )
+                for relation in self.database.relations
+            ]
+        if metadata.context in (
+            FragmentContext.SELECT,
+            FragmentContext.ORDER_BY,
+            FragmentContext.GROUP_BY,
+        ):
+            return [
+                QueryFragment(
+                    context=metadata.context,
+                    kind=FragmentKind.ATTRIBUTE,
+                    relation=ref.table,
+                    attribute=ref.column,
+                    aggregates=metadata.aggregates,
+                    distinct=metadata.distinct,
+                    descending=metadata.descending,
+                )
+                for ref in self.database.attributes()
+            ]
+        return self._value_candidates(keyword)
+
+    def _numeric_candidates(
+        self, keyword: Keyword, number: int | float
+    ) -> list[QueryFragment]:
+        """Numeric attributes whose predicate ``attr ω number`` is non-empty.
+
+        Keywords carrying aggregate metadata (e.g. *more than 5 papers*)
+        become HAVING candidates instead: one per relation, counting its
+        first primary-key (or display) column.  The paper's Algorithm 2
+        leaves the aggregate case implicit; this is the natural extension
+        (the ``exec`` non-emptiness check does not apply to aggregates).
+        """
+        operator = keyword.metadata.comparison_op or "="
+        if keyword.metadata.aggregates:
+            return self._aggregate_candidates(keyword, number, operator)
+        candidates: list[QueryFragment] = []
+        for ref in self.database.numeric_attributes():
+            if self.database.predicate_nonempty(
+                ref.table, ref.column, operator, number
+            ):
+                candidates.append(
+                    QueryFragment(
+                        context=FragmentContext.WHERE,
+                        kind=FragmentKind.PREDICATE,
+                        relation=ref.table,
+                        attribute=ref.column,
+                        operator=operator,
+                        value=number,
+                    )
+                )
+        return candidates
+
+    def _aggregate_candidates(
+        self, keyword: Keyword, number: int | float, operator: str
+    ) -> list[QueryFragment]:
+        candidates: list[QueryFragment] = []
+        for relation in self.database.relations:
+            schema = self.database.catalog.table(relation)
+            if schema.primary_key:
+                attribute = schema.primary_key[0]
+            elif schema.display_column is not None:
+                attribute = schema.display_column
+            else:
+                attribute = schema.columns[0].name
+            candidates.append(
+                QueryFragment(
+                    context=FragmentContext.HAVING,
+                    kind=FragmentKind.PREDICATE,
+                    relation=relation,
+                    attribute=attribute,
+                    operator=operator,
+                    value=number,
+                    aggregates=keyword.metadata.aggregates,
+                    distinct=keyword.metadata.distinct,
+                )
+            )
+        return candidates
+
+    def _value_candidates(self, keyword: Keyword) -> list[QueryFragment]:
+        """Full-text value predicates for a text keyword (Algorithm 2, L16)."""
+        candidates: list[QueryFragment] = []
+        for ref in self.database.text_attributes():
+            tokens = self._search_tokens(keyword.text, ref)
+            if not tokens:
+                continue
+            values = self.database.fulltext.search_column(
+                ref.table, ref.column, tokens
+            )
+            for value in values:
+                candidates.append(
+                    QueryFragment(
+                        context=FragmentContext.WHERE,
+                        kind=FragmentKind.PREDICATE,
+                        relation=ref.table,
+                        attribute=ref.column,
+                        operator=keyword.metadata.comparison_op or "=",
+                        value=value,
+                    )
+                )
+        return candidates
+
+    def _search_tokens(self, text: str, ref: ColumnRefSpec) -> list[str]:
+        """Search tokens with schema-name tokens of the candidate removed.
+
+        Following Section V-A: if a stemmed keyword token exactly matches
+        the stemmed attribute or relation name of the candidate, drop it so
+        the search is not over-constrained (*movie Saving Private Ryan*
+        drops *movie* when probing ``movie.title``).
+        """
+        schema_stems = {
+            stem(token)
+            for token in word_tokens(ref.table) + word_tokens(ref.column)
+        }
+        tokens = content_tokens(text)
+        filtered = [token for token in tokens if stem(token) not in schema_stems]
+        return filtered or tokens
+
+    # ----------------------------------------------------- Algorithm 3
+
+    def score_and_prune(
+        self, keyword: Keyword, candidates: list[QueryFragment]
+    ) -> list[QueryFragmentMapping]:
+        """Score candidates and keep the top-κ (Algorithm 3 + PRUNE)."""
+        mappings = [
+            QueryFragmentMapping(keyword, fragment, self._score(keyword, fragment))
+            for fragment in candidates
+        ]
+        if (
+            keyword.metadata.aggregates
+            and keyword.metadata.context is FragmentContext.SELECT
+        ):
+            mappings = self._collapse_aggregate_candidates(mappings)
+        mappings.sort(
+            key=lambda mapping: (-mapping.score, mapping.fragment.key())
+        )
+        return self._prune(mappings)
+
+    def _collapse_aggregate_candidates(
+        self, mappings: list[QueryFragmentMapping]
+    ) -> list[QueryFragmentMapping]:
+        """One aggregate candidate per relation.
+
+        An aggregate keyword ("number of papers") scores every attribute
+        of a relation identically through the relation name, which floods
+        the top-κ cut with indistinguishable siblings and starves other
+        relations.  Aggregating a relation means counting its entity, so
+        keep its display column (falling back to primary key, then first
+        column) as the single representative.
+        """
+        best: dict[str, QueryFragmentMapping] = {}
+        for mapping in mappings:
+            relation = mapping.fragment.relation
+            if relation is None:
+                continue
+            schema = self.database.catalog.table(relation)
+            preferred = (
+                schema.display_column
+                or (schema.primary_key[0] if schema.primary_key else None)
+                or schema.column_names[0]
+            )
+            current = best.get(relation)
+            candidate_rank = (
+                -mapping.score,
+                mapping.fragment.attribute != preferred,
+                mapping.fragment.key(),
+            )
+            if current is None:
+                best[relation] = mapping
+                continue
+            current_rank = (
+                -current.score,
+                current.fragment.attribute != preferred,
+                current.fragment.key(),
+            )
+            if candidate_rank < current_rank:
+                best[relation] = mapping
+        return list(best.values())
+
+    def _score(self, keyword: Keyword, fragment: QueryFragment) -> float:
+        number = extract_number(keyword.text)
+        if number is not None and keyword.metadata.comparison_op is not None:
+            # simnum: the candidate generator already verified exec(c) is
+            # non-empty, so score the non-numeric remainder of the keyword.
+            # Comparative words already folded into ω are stripped unless
+            # they are all that remains.
+            tokens = content_tokens(strip_number(keyword.text))
+            filtered = [t for t in tokens if t not in OPERATOR_WORDS]
+            text = " ".join(filtered or tokens)
+            return self._text_similarity(text, fragment)
+        return self._text_similarity(keyword.text, fragment)
+
+    def _text_similarity(self, text: str, fragment: QueryFragment) -> float:
+        """Directional keyword→fragment similarity in [0, 1].
+
+        * Value predicates compare against the matched value text (with
+          the keyword's schema-name tokens removed first; exact value
+          matches score 1.0).
+        * Relation fragments compare against the relation name.
+        * Attribute fragments (and numeric predicates) compare against the
+          attribute name; when the attribute is the relation's *display
+          column* the relation name also counts — this is how "papers"
+          reaches both ``journal.name`` and ``publication.title``, the
+          confusion of the paper's Example 1.
+        """
+        keyword_tokens = content_tokens(text) if text.strip() else []
+        if fragment.kind is FragmentKind.PREDICATE and isinstance(
+            fragment.value, str
+        ):
+            return self._value_similarity(keyword_tokens, fragment)
+        if not keyword_tokens:
+            return self.params.empty_text_score
+        if fragment.kind is FragmentKind.RELATION:
+            relation_tokens = fragment.relation_tokens()
+            return self._directional(
+                keyword_tokens, relation_tokens
+            ) * self._coverage_factor(keyword_tokens, relation_tokens)
+        attribute_tokens = fragment.attribute_tokens()
+        # Coverage-penalized: a keyword matching only part of a compound
+        # attribute name ("citations" vs citation_num) must score below an
+        # exact match, or spurious exact ties evict the right candidates.
+        attribute_score = (
+            self._directional(keyword_tokens, attribute_tokens)
+            * self._coverage_factor(keyword_tokens, attribute_tokens)
+            if attribute_tokens
+            else 0.0
+        )
+        # Display attributes stand in for their relation ("papers" reaches
+        # publication.title via "publication"); aggregate predicates are
+        # about the counted entity, so its relation name counts too.  The
+        # coverage factor keeps junction relations (domain_journal) from
+        # matching their member nouns at full strength.
+        if self._is_display_attribute(fragment) or fragment.aggregates:
+            relation_tokens = fragment.relation_tokens()
+            relation_score = self._directional(
+                keyword_tokens, relation_tokens
+            ) * self._coverage_factor(keyword_tokens, relation_tokens)
+            return max(attribute_score, relation_score)
+        return attribute_score
+
+    def _value_similarity(
+        self, keyword_tokens: list[str], fragment: QueryFragment
+    ) -> float:
+        schema_stems = {
+            stem(token)
+            for token in word_tokens(fragment.relation or "")
+            + word_tokens(fragment.attribute or "")
+        }
+        stripped = [
+            token for token in keyword_tokens if stem(token) not in schema_stems
+        ]
+        keyword_tokens = stripped or keyword_tokens
+        value_tokens = word_tokens(str(fragment.value))
+        if keyword_tokens == value_tokens:
+            return 1.0
+        if not keyword_tokens or not value_tokens:
+            return self.params.empty_text_score
+        # Penalize low coverage of the value so a keyword merely *contained*
+        # in a long value (e.g. a paper title that mentions the phrase) does
+        # not tie with the exact-match candidate.
+        coverage = min(1.0, len(keyword_tokens) / len(value_tokens))
+        return self._directional(keyword_tokens, value_tokens) * (
+            0.5 + 0.5 * coverage
+        )
+
+    def _is_display_attribute(self, fragment: QueryFragment) -> bool:
+        if fragment.relation is None or fragment.attribute in (None, "*"):
+            return fragment.attribute == "*"
+        schema = self.database.catalog.table(fragment.relation)
+        return schema.display_column == fragment.attribute
+
+    def _directional(self, source: list[str], target: list[str]) -> float:
+        if not source or not target:
+            return self.params.empty_text_score
+        total = 0.0
+        for token in source:
+            total += max(
+                self.similarity.token_similarity(token, other) for other in target
+            )
+        return total / len(source)
+
+    def _coverage_factor(self, source: list[str], target: list[str]) -> float:
+        """Penalty for covering a multi-token target name only partially.
+
+        Coverage is semantic, not positional: each target token counts as
+        covered to the degree of its best match among the source tokens.
+        ``journal`` inside ``domain_journal`` leaves ``domain`` uncovered
+        (factor ≈ 0.65), while a two-token name whose tokens both relate
+        to the keyword ("tv series" vs "films") keeps most of its score.
+        """
+        if not target:
+            return 1.0
+        backward = self._directional(target, source)
+        return 0.5 + 0.5 * backward
+
+    def _prune(
+        self, mappings: list[QueryFragmentMapping]
+    ) -> list[QueryFragmentMapping]:
+        if not mappings:
+            return []
+        exact_cut = 1.0 - self.params.exact_epsilon
+        exact = [mapping for mapping in mappings if mapping.score >= exact_cut]
+        if exact:
+            return exact
+        kappa = self.params.kappa
+        if len(mappings) <= kappa:
+            return mappings
+        threshold = mappings[kappa - 1].score
+        kept = [
+            mapping
+            for mapping in mappings
+            if mapping.score > threshold + self.params.tie_tolerance
+        ]
+        # Keep κ-th place ties with non-zero scores.
+        if threshold > 0.0:
+            kept.extend(
+                mapping
+                for mapping in mappings
+                if abs(mapping.score - threshold) <= self.params.tie_tolerance
+            )
+        return kept[: kappa * 4]  # bound runaway tie groups
+
+    # ------------------------------------------------ configuration scoring
+
+    def _rank_configurations(
+        self, per_keyword: list[list[QueryFragmentMapping]]
+    ) -> list[Configuration]:
+        combo_count = math.prod(len(options) for options in per_keyword)
+        if combo_count > self.params.max_configurations:
+            # Degrade gracefully: keep only the top-κ of each keyword (ties
+            # dropped) to bound the product.
+            per_keyword = [
+                options[: self.params.kappa] for options in per_keyword
+            ]
+
+        configurations: list[Configuration] = []
+        for combo in itertools.product(*per_keyword):
+            sigma = self._score_sigma(combo)
+            qfg = self._score_qfg(combo, fallback=sigma)
+            if self.qfg is None:
+                final = sigma
+            else:
+                final = self.params.lam * sigma + (1.0 - self.params.lam) * qfg
+            configurations.append(
+                Configuration(
+                    mappings=tuple(combo),
+                    sigma_score=sigma,
+                    qfg_score=qfg,
+                    score=final,
+                )
+            )
+        configurations.sort(
+            key=lambda config: (
+                -config.score,
+                tuple(m.fragment.key() for m in config.mappings),
+            )
+        )
+        return configurations
+
+    @staticmethod
+    def _score_sigma(combo: tuple[QueryFragmentMapping, ...]) -> float:
+        """Score_σ: geometric mean of the mapping similarity scores."""
+        product = 1.0
+        for mapping in combo:
+            product *= max(mapping.score, 1e-12)
+        return product ** (1.0 / len(combo))
+
+    def _score_qfg(
+        self, combo: tuple[QueryFragmentMapping, ...], fallback: float
+    ) -> float:
+        """Score_QFG: Dice aggregated over pairs of non-FROM fragments.
+
+        The paper's formula takes the product of Dice over all fragment
+        pairs raised to 1/|φ|.  Configurations with fewer than two non-FROM
+        fragments carry no pairwise evidence; we fall back to Score_σ so
+        the λ-combination stays meaningful (documented in DESIGN.md).
+        Unseen pairs contribute the ``dice_floor`` instead of zero.
+        """
+        if self.qfg is None:
+            return fallback
+        non_relation = [
+            mapping.fragment
+            for mapping in combo
+            if mapping.fragment.context is not FragmentContext.FROM
+        ]
+        if len(non_relation) < 2:
+            return fallback
+        product = 1.0
+        pair_count = 0
+        for i, first in enumerate(non_relation):
+            for second in non_relation[i + 1 :]:
+                dice = self.qfg.dice(first, second)
+                product *= max(dice, self.params.dice_floor)
+                pair_count += 1
+        if pair_count == 0:
+            return fallback
+        return product ** (1.0 / len(combo))

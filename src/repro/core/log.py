@@ -1,0 +1,73 @@
+"""Query log container: raw SQL in, Query Fragment Graph out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.core.fragments import Obscurity, fragments_of_sql
+from repro.core.qfg import QueryFragmentGraph
+from repro.db.catalog import Catalog
+from repro.errors import ReproError
+
+
+@dataclass
+class QueryLog:
+    """An ordered collection of SQL statements issued against one schema."""
+
+    queries: list[str] = field(default_factory=list)
+
+    def add(self, sql: str) -> None:
+        sql = sql.strip()
+        if sql:
+            self.queries.append(sql)
+
+    def extend(self, statements: Iterable[str]) -> None:
+        for sql in statements:
+            self.add(sql)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.queries)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "QueryLog":
+        """Load one statement per non-empty line (``--`` comments skipped)."""
+        log = cls()
+        for line in Path(path).read_text().splitlines():
+            line = line.strip()
+            if line and not line.startswith("--"):
+                log.add(line)
+        return log
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text("\n".join(self.queries) + "\n")
+
+    def build_qfg(
+        self,
+        catalog: Catalog,
+        obscurity: Obscurity = Obscurity.NO_CONST_OP,
+        strict: bool = False,
+    ) -> QueryFragmentGraph:
+        """Parse every log entry and accumulate the QFG.
+
+        Real logs contain noise; by default unparseable/unbindable entries
+        are skipped and counted in ``qfg_skipped`` (attached to the returned
+        graph).  ``strict=True`` raises instead.
+        """
+        graph = QueryFragmentGraph(obscurity)
+        skipped = 0
+        for sql in self.queries:
+            try:
+                fragments = fragments_of_sql(sql, catalog)
+            except ReproError:
+                if strict:
+                    raise
+                skipped += 1
+                continue
+            graph.add_query(fragments)
+        graph.skipped = skipped  # type: ignore[attr-defined]
+        return graph

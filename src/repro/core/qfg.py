@@ -1,0 +1,139 @@
+"""The Query Fragment Graph (Definition 6).
+
+Vertices are fragment keys at a fixed obscurity level; ``nv`` counts the
+queries a fragment occurs in; ``ne`` counts pairwise co-occurrence within
+a query.  The Dice coefficient over (nv, ne) is the affinity signal both
+the keyword mapper (Score_QFG) and the join path generator (log-driven
+edge weights) consume.
+
+The graph supports incremental updates (``add_query``) and JSON
+persistence, so a deployment can keep absorbing its live query log.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.fragments import FragmentContext, Obscurity, QueryFragment
+from repro.errors import ReproError
+
+
+class QueryFragmentGraph:
+    """Co-occurrence statistics of query fragments in a SQL log."""
+
+    def __init__(self, obscurity: Obscurity = Obscurity.NO_CONST_OP) -> None:
+        self.obscurity = obscurity
+        self._nv: Counter[str] = Counter()
+        self._ne: Counter[tuple[str, str]] = Counter()
+        self.total_queries = 0
+
+    # ------------------------------------------------------------ building
+
+    def key_of(self, fragment: QueryFragment | str) -> str:
+        if isinstance(fragment, str):
+            return fragment
+        return fragment.key(self.obscurity)
+
+    def add_query(self, fragments: Iterable[QueryFragment]) -> None:
+        """Count one query's fragments (deduplicated within the query)."""
+        keys = sorted({self.key_of(fragment) for fragment in fragments})
+        if not keys:
+            return
+        self.total_queries += 1
+        for key in keys:
+            self._nv[key] += 1
+        for i, first in enumerate(keys):
+            for second in keys[i + 1 :]:
+                self._ne[(first, second)] += 1
+
+    # ------------------------------------------------------------- queries
+
+    def nv(self, fragment: QueryFragment | str) -> int:
+        """Occurrence count of a fragment in the log."""
+        return self._nv.get(self.key_of(fragment), 0)
+
+    def ne(self, a: QueryFragment | str, b: QueryFragment | str) -> int:
+        """Co-occurrence count of two fragments."""
+        key_a, key_b = self.key_of(a), self.key_of(b)
+        if key_a == key_b:
+            return self._nv.get(key_a, 0)
+        if key_a > key_b:
+            key_a, key_b = key_b, key_a
+        return self._ne.get((key_a, key_b), 0)
+
+    def dice(self, a: QueryFragment | str, b: QueryFragment | str) -> float:
+        """Dice similarity coefficient of two fragments (0 when unseen)."""
+        denominator = self.nv(a) + self.nv(b)
+        if denominator == 0:
+            return 0.0
+        return 2.0 * self.ne(a, b) / denominator
+
+    def relation_key(self, relation: str) -> str:
+        """The vertex key of a FROM-context relation fragment."""
+        return f"{FragmentContext.FROM.value}::{relation}"
+
+    def relation_dice(self, relation_a: str, relation_b: str) -> float:
+        """Dice between two relations' FROM fragments (join edge signal)."""
+        return self.dice(self.relation_key(relation_a), self.relation_key(relation_b))
+
+    @property
+    def vertex_count(self) -> int:
+        return len(self._nv)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._ne)
+
+    def vertices(self) -> list[str]:
+        return sorted(self._nv)
+
+    def top_fragments(self, limit: int = 10) -> list[tuple[str, int]]:
+        """Most frequent fragment keys (for inspection/debugging)."""
+        return self._nv.most_common(limit)
+
+    # ---------------------------------------------------------- persistence
+
+    def to_dict(self) -> dict:
+        return {
+            "obscurity": self.obscurity.value,
+            "total_queries": self.total_queries,
+            "nv": dict(self._nv),
+            "ne": [
+                {"a": a, "b": b, "count": count}
+                for (a, b), count in sorted(self._ne.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryFragmentGraph":
+        try:
+            obscurity = Obscurity(data["obscurity"])
+            graph = cls(obscurity)
+            graph.total_queries = int(data["total_queries"])
+            graph._nv = Counter({str(k): int(v) for k, v in data["nv"].items()})
+            graph._ne = Counter(
+                {
+                    (str(entry["a"]), str(entry["b"])): int(entry["count"])
+                    for entry in data["ne"]
+                }
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed QFG payload: {exc}") from exc
+        return graph
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=1))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "QueryFragmentGraph":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryFragmentGraph({self.obscurity.value}, "
+            f"{self.vertex_count} vertices, {self.edge_count} edges, "
+            f"{self.total_queries} queries)"
+        )

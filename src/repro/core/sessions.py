@@ -1,0 +1,112 @@
+"""Session-aware Query Fragment Graph (the paper's stated future work).
+
+Section VIII: "Possible future work includes exploring the influence of
+user sessions in the SQL query log."  This module implements the natural
+first step: fragments co-occurring *within one user session* receive
+additional co-occurrence mass, on the intuition that consecutive queries
+of a session explore one information need, so their fragments are related
+even across statement boundaries.
+
+A :class:`SessionLog` is an ordered list of (session_id, sql) pairs; a
+:class:`SessionQFG` counts, in addition to the per-query statistics of
+the base QFG, cross-query co-occurrences within a session window, scaled
+by ``session_weight``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.fragments import Obscurity, fragments_of_sql
+from repro.core.qfg import QueryFragmentGraph
+from repro.db.catalog import Catalog
+from repro.errors import ReproError
+
+
+@dataclass
+class SessionLog:
+    """SQL statements grouped into user sessions (insertion ordered)."""
+
+    entries: list[tuple[str, str]] = field(default_factory=list)
+
+    def add(self, session_id: str, sql: str) -> None:
+        sql = sql.strip()
+        if sql:
+            self.entries.append((session_id, sql))
+
+    def sessions(self) -> dict[str, list[str]]:
+        grouped: dict[str, list[str]] = defaultdict(list)
+        for session_id, sql in self.entries:
+            grouped[session_id].append(sql)
+        return dict(grouped)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class SessionQFG(QueryFragmentGraph):
+    """QFG with fractional cross-query session co-occurrence.
+
+    ``ne`` gains ``session_weight`` (default 0.5) for each pair of
+    fragments that appear in *different* queries of the same session
+    within ``window`` consecutive statements.  ``nv`` is unchanged, so
+    Dice still normalizes by per-query occurrence counts; session
+    evidence only ever adds affinity.
+    """
+
+    def __init__(
+        self,
+        obscurity: Obscurity = Obscurity.NO_CONST_OP,
+        session_weight: float = 0.5,
+        window: int = 3,
+    ) -> None:
+        super().__init__(obscurity)
+        if not 0.0 <= session_weight <= 1.0:
+            raise ReproError("session_weight must be in [0, 1]")
+        if window < 1:
+            raise ReproError("window must be >= 1")
+        self.session_weight = session_weight
+        self.window = window
+
+    def add_session(self, statements: list[list]) -> None:
+        """Count a session: each element is one query's fragment list."""
+        key_sets = []
+        for fragments in statements:
+            keys = sorted({self.key_of(f) for f in fragments})
+            self.add_query(fragments)
+            key_sets.append(keys)
+        for index, keys in enumerate(key_sets):
+            upper = min(len(key_sets), index + 1 + self.window)
+            for other_keys in key_sets[index + 1 : upper]:
+                self._add_cross(keys, other_keys)
+
+    def _add_cross(self, first: list[str], second: list[str]) -> None:
+        for a in first:
+            for b in second:
+                if a == b:
+                    continue
+                pair = (a, b) if a < b else (b, a)
+                self._ne[pair] += self.session_weight  # type: ignore[assignment]
+
+    @classmethod
+    def from_session_log(
+        cls,
+        log: SessionLog,
+        catalog: Catalog,
+        obscurity: Obscurity = Obscurity.NO_CONST_OP,
+        session_weight: float = 0.5,
+        window: int = 3,
+    ) -> "SessionQFG":
+        """Build from a session log, skipping unparseable statements."""
+        graph = cls(obscurity, session_weight, window)
+        for session_statements in log.sessions().values():
+            parsed = []
+            for sql in session_statements:
+                try:
+                    parsed.append(fragments_of_sql(sql, catalog))
+                except ReproError:
+                    continue
+            if parsed:
+                graph.add_session(parsed)
+        return graph

@@ -1,0 +1,111 @@
+"""The Templar facade: what an NLIDB plugs into (Figure 2).
+
+A :class:`Templar` instance owns the Query Fragment Graph built from a SQL
+query log and serves the two interface calls:
+
+* :meth:`Templar.map_keywords` — MAPKEYWORDS(D, S, M),
+* :meth:`Templar.infer_joins` — INFERJOINS(Gs, B_D).
+
+The two calls are independent; the NLIDB decides when to invoke each
+(Section III-E).  ``use_log_keywords`` / ``use_log_joins`` toggle the two
+log-driven components separately, which is what the Table IV ablation
+needs.
+"""
+
+from __future__ import annotations
+
+from repro.core.fragments import Obscurity, fragments_of_sql
+from repro.core.interface import Configuration, Keyword
+from repro.core.join_inference import JoinPath, JoinPathGenerator
+from repro.core.keyword_mapper import KeywordMapper, ScoringParams
+from repro.core.log import QueryLog
+from repro.core.qfg import QueryFragmentGraph
+from repro.db.catalog import ColumnRefSpec
+from repro.db.database import Database
+from repro.embedding.model import SimilarityModel
+from repro.errors import ReproError
+
+
+class Templar:
+    """Log-augmentation layer for pipeline NLIDBs."""
+
+    def __init__(
+        self,
+        database: Database,
+        similarity: SimilarityModel,
+        query_log: QueryLog | None = None,
+        *,
+        obscurity: Obscurity = Obscurity.NO_CONST_OP,
+        params: ScoringParams | None = None,
+        use_log_keywords: bool = True,
+        use_log_joins: bool = True,
+        join_top_k: int = 3,
+    ) -> None:
+        self.database = database
+        self.similarity = similarity
+        self.obscurity = obscurity
+        self.params = params or ScoringParams()
+        self.use_log_keywords = use_log_keywords
+        self.use_log_joins = use_log_joins
+
+        if query_log is not None:
+            self.qfg: QueryFragmentGraph | None = query_log.build_qfg(
+                database.catalog, obscurity
+            )
+        else:
+            self.qfg = None
+
+        self.keyword_mapper = KeywordMapper(
+            database,
+            similarity,
+            qfg=self.qfg if use_log_keywords else None,
+            params=self.params,
+        )
+        self.join_generator = JoinPathGenerator(
+            database.catalog,
+            qfg=self.qfg,
+            use_log_weights=use_log_joins,
+            top_k=join_top_k,
+        )
+
+    # ---------------------------------------------------------- interface
+
+    def map_keywords(self, keywords: list[Keyword]) -> list[Configuration]:
+        """MAPKEYWORDS: ranked configurations for the NLQ's keywords."""
+        return self.keyword_mapper.map_keywords(keywords)
+
+    def infer_joins(self, known: list[str | ColumnRefSpec]) -> list[JoinPath]:
+        """INFERJOINS: ranked join paths for the bag of known rels/attrs.
+
+        Attributes (``ColumnRefSpec``) are replaced by their parent
+        relation, as the paper converts B_D to B_R.
+        """
+        bag = [
+            item.table if isinstance(item, ColumnRefSpec) else item
+            for item in known
+        ]
+        return self.join_generator.infer(bag)
+
+    # --------------------------------------------------------- maintenance
+
+    def observe_query(self, sql: str) -> None:
+        """Incrementally add one executed SQL statement to the QFG.
+
+        Lets a deployment keep learning from its live log.  No-op setup:
+        when Templar was constructed without a log, an empty QFG is created
+        on first use.
+        """
+        if self.qfg is None:
+            self.qfg = QueryFragmentGraph(self.obscurity)
+            if self.use_log_keywords:
+                self.keyword_mapper.qfg = self.qfg
+            self.join_generator.qfg = self.qfg
+        try:
+            fragments = fragments_of_sql(sql, self.database.catalog)
+        except ReproError as exc:
+            raise ReproError(f"cannot observe query: {exc}") from exc
+        self.qfg.add_query(fragments)
+
+    def __repr__(self) -> str:
+        qfg = repr(self.qfg) if self.qfg is not None else "no log"
+        return f"Templar({self.database.name!r}, {qfg})"

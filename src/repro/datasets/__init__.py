@@ -1,0 +1,23 @@
+"""Benchmark datasets: MAS, Yelp and IMDB.
+
+Each dataset reproduces the *statistics* of Table II exactly (relations,
+attributes, FK-PK constraints, usable query count) over deterministic
+synthetic data, and ships:
+
+* the populated :class:`~repro.db.database.Database`,
+* a workload of benchmark items (NLQ, hand-parsed keywords, gold SQL),
+  including the over-complex items the paper excluded (flagged),
+* the curated similarity lexicon that stands in for word2vec (with the
+  calibrated confusions described in DESIGN.md §5),
+* the schema-synonym terms NaLIR's parser needs.
+"""
+
+from repro.datasets.base import BenchmarkDataset, BenchmarkItem
+from repro.datasets.registry import DATASET_BUILDERS, load_dataset
+
+__all__ = [
+    "BenchmarkDataset",
+    "BenchmarkItem",
+    "DATASET_BUILDERS",
+    "load_dataset",
+]

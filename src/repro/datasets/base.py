@@ -1,0 +1,90 @@
+"""Common dataset structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.interface import Keyword
+from repro.db.database import Database
+from repro.embedding.lexicon import Lexicon
+from repro.errors import DatasetError
+
+
+@dataclass
+class BenchmarkItem:
+    """One NLQ with its hand annotations.
+
+    * ``keywords`` — the hand-parsed keywords + metadata fed to Pipeline
+      (the paper hand-parsed NLQs for Pipeline to factor out parser noise),
+    * ``nlq`` — the raw natural language query fed to NaLIR's parser,
+    * ``gold_sql`` — the hand-annotated SQL translation,
+    * ``excluded`` — True for the over-complex/ambiguous items the paper
+      removed (2 for MAS, 1 for Yelp, 3 for IMDB); they ship for fidelity
+      but are skipped by the harness,
+    * ``family`` — the template family id (used for error analysis).
+    """
+
+    item_id: str
+    nlq: str
+    keywords: list[Keyword]
+    gold_sql: str
+    family: str
+    excluded: bool = False
+    exclusion_reason: str | None = None
+
+
+@dataclass
+class BenchmarkDataset:
+    """A populated database plus its annotated workload."""
+
+    name: str
+    database: Database
+    items: list[BenchmarkItem]
+    lexicon: Lexicon
+    #: NL nouns referring to schema elements, for the NaLIR parser.
+    schema_terms: list[str] = field(default_factory=list)
+    #: the size the paper reports for the original dump, for Table II.
+    reference_size_gb: float = 0.0
+    #: WordNet-style overrides for NaLIR's similarity model: unlike the
+    #: word-embedding model, WordNet places "paper" and "publication" in
+    #: the same synset, so NaLIR maps entity nouns *correctly* — its
+    #: accuracy is bounded by its parser instead (paper Section VII-C).
+    nalir_lexicon: Lexicon | None = None
+
+    def nalir_model_lexicon(self) -> Lexicon:
+        """The lexicon NaLIR's WordNet-like model should use."""
+        if self.nalir_lexicon is None:
+            return self.lexicon
+        return self.lexicon.merge(self.nalir_lexicon)
+
+    def usable_items(self) -> list[BenchmarkItem]:
+        return [item for item in self.items if not item.excluded]
+
+    def stats(self) -> dict[str, object]:
+        """The Table II row for this dataset."""
+        catalog_stats = self.database.catalog.stats()
+        return {
+            "dataset": self.name,
+            "size_gb": self.reference_size_gb,
+            "relations": catalog_stats["relations"],
+            "attributes": catalog_stats["attributes"],
+            "fk_pk": catalog_stats["fk_pk"],
+            "queries": len(self.usable_items()),
+        }
+
+    def validate_counts(
+        self, relations: int, attributes: int, fk_pk: int, queries: int
+    ) -> None:
+        """Assert the Table II statistics; raises :class:`DatasetError`."""
+        stats = self.stats()
+        expected = {
+            "relations": relations,
+            "attributes": attributes,
+            "fk_pk": fk_pk,
+            "queries": queries,
+        }
+        for key, value in expected.items():
+            if stats[key] != value:
+                raise DatasetError(
+                    f"{self.name}: {key} is {stats[key]}, expected {value}"
+                )

@@ -1,0 +1,106 @@
+"""Deterministic synthetic data pools and helpers.
+
+All generation is driven by a seeded :class:`random.Random`, so every
+dataset build is bit-identical across runs and machines.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+FIRST_NAMES = [
+    "John", "Jane", "Wei", "Maria", "Ahmed", "Elena", "Rajesh", "Sofia",
+    "Hiroshi", "Fatima", "Carlos", "Ingrid", "Dmitri", "Amara", "Pierre",
+    "Yuki", "Omar", "Greta", "Luis", "Priya", "Marco", "Nadia", "Erik",
+    "Chen", "Isabel", "Kwame", "Olga", "Tariq", "Helena", "Diego",
+]
+
+LAST_NAMES = [
+    "Smith", "Doe", "Zhang", "Garcia", "Hassan", "Petrov", "Kumar",
+    "Rossi", "Tanaka", "Ali", "Mendez", "Larsson", "Ivanov", "Okafor",
+    "Dubois", "Sato", "Farouk", "Muller", "Torres", "Sharma", "Bianchi",
+    "Haddad", "Nilsson", "Liu", "Moreno", "Mensah", "Volkov", "Rahman",
+    "Kovacs", "Silva",
+]
+
+CITIES = [
+    "Dallas", "Los Angeles", "Chicago", "Phoenix", "Seattle", "Denver",
+    "Atlanta", "Boston", "Portland", "Austin", "Madison", "Pittsburgh",
+]
+
+TITLE_ADJECTIVES = [
+    "Scalable", "Efficient", "Adaptive", "Robust", "Distributed",
+    "Incremental", "Parallel", "Approximate", "Secure", "Interactive",
+    "Learned", "Streaming", "Declarative", "Probabilistic", "Fast",
+]
+
+TITLE_SUFFIXES = [
+    "at Scale", "in the Cloud", "for Modern Hardware", "Revisited",
+    "with Guarantees", "in Practice", "under Uncertainty",
+    "for Large Graphs", "on Multicore Machines", "over Data Streams",
+]
+
+
+class DataGen:
+    """Seeded helper around :class:`random.Random`."""
+
+    def __init__(self, seed: int) -> None:
+        self.random = random.Random(seed)
+
+    def choice(self, pool: Sequence[T]) -> T:
+        return self.random.choice(pool)
+
+    def sample(self, pool: Sequence[T], count: int) -> list[T]:
+        count = min(count, len(pool))
+        return self.random.sample(list(pool), count)
+
+    def int_between(self, low: int, high: int) -> int:
+        return self.random.randint(low, high)
+
+    def float_between(self, low: float, high: float, digits: int = 2) -> float:
+        return round(self.random.uniform(low, high), digits)
+
+    def chance(self, probability: float) -> bool:
+        return self.random.random() < probability
+
+    def person_name(self, used: set[str] | None = None) -> str:
+        """A unique "First Last" name (suffix digits if the pool runs out)."""
+        for _ in range(200):
+            name = f"{self.choice(FIRST_NAMES)} {self.choice(LAST_NAMES)}"
+            if used is None:
+                return name
+            if name not in used:
+                used.add(name)
+                return name
+        # Pool exhausted: disambiguate deterministically.
+        base = f"{self.choice(FIRST_NAMES)} {self.choice(LAST_NAMES)}"
+        index = 2
+        while f"{base} {index}" in used:  # type: ignore[operator]
+            index += 1
+        name = f"{base} {index}"
+        used.add(name)  # type: ignore[union-attr]
+        return name
+
+    def paper_title(self, topic: str, used: set[str] | None = None) -> str:
+        """A unique paper-style title built around ``topic``."""
+        topic_title = topic.title()
+        for _ in range(200):
+            title = (
+                f"{self.choice(TITLE_ADJECTIVES)} {topic_title} "
+                f"{self.choice(TITLE_SUFFIXES)}"
+            )
+            if used is None:
+                return title
+            if title not in used:
+                used.add(title)
+                return title
+        base = f"{self.choice(TITLE_ADJECTIVES)} {topic_title}"
+        index = 2
+        while f"{base} Part {index}" in used:  # type: ignore[operator]
+            index += 1
+        title = f"{base} Part {index}"
+        used.add(title)  # type: ignore[union-attr]
+        return title

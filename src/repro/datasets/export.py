@@ -1,0 +1,119 @@
+"""Export a benchmark dataset as portable SQL (DDL + INSERTs).
+
+Lets a downstream user load the synthetic benchmarks into a real DBMS
+(MySQL/Postgres/SQLite) and run Templar against it, or inspect the data
+outside this library.  The dialect is conservative: ``CREATE TABLE`` with
+INTEGER/REAL/TEXT types, primary keys, foreign keys, and batched
+``INSERT`` statements.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.datasets.base import BenchmarkDataset
+from repro.db.catalog import TableSchema
+from repro.db.database import Database
+from repro.db.types import ColumnType, SqlValue
+
+_TYPE_NAMES = {
+    ColumnType.INTEGER: "INTEGER",
+    ColumnType.FLOAT: "REAL",
+    ColumnType.TEXT: "TEXT",
+}
+
+
+def _render_value(value: SqlValue) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return str(value)
+
+
+def render_create_table(schema: TableSchema, database: Database) -> str:
+    """The CREATE TABLE statement of one relation."""
+    lines = []
+    for column in schema.columns:
+        lines.append(f"  {column.name} {_TYPE_NAMES[column.type]}")
+    if schema.primary_key:
+        lines.append(f"  PRIMARY KEY ({', '.join(schema.primary_key)})")
+    for fk in database.catalog.foreign_keys:
+        if fk.source == schema.name:
+            lines.append(
+                f"  FOREIGN KEY ({fk.source_column}) "
+                f"REFERENCES {fk.target} ({fk.target_column})"
+            )
+    body = ",\n".join(lines)
+    return f"CREATE TABLE {schema.name} (\n{body}\n);"
+
+
+def render_inserts(
+    schema: TableSchema, database: Database, batch_size: int = 50
+) -> list[str]:
+    """Batched INSERT statements for one relation's rows."""
+    table = database.table(schema.name)
+    statements: list[str] = []
+    rows = table.rows
+    for start in range(0, len(rows), batch_size):
+        batch = rows[start : start + batch_size]
+        values = ",\n  ".join(
+            "(" + ", ".join(_render_value(v) for v in row) + ")"
+            for row in batch
+        )
+        columns = ", ".join(schema.column_names)
+        statements.append(
+            f"INSERT INTO {schema.name} ({columns}) VALUES\n  {values};"
+        )
+    return statements
+
+
+def export_database_sql(database: Database) -> str:
+    """The full SQL dump of a database (dependency-ordered DDL first)."""
+    parts: list[str] = [f"-- SQL dump of database {database.name!r}"]
+    ordered = _dependency_order(database)
+    for name in ordered:
+        parts.append(render_create_table(database.catalog.table(name), database))
+    for name in ordered:
+        parts.extend(render_inserts(database.catalog.table(name), database))
+    return "\n\n".join(parts) + "\n"
+
+
+def _dependency_order(database: Database) -> list[str]:
+    """Tables ordered so FK targets come before their sources."""
+    remaining = set(database.catalog.table_names)
+    dependencies = {
+        name: {
+            fk.target
+            for fk in database.catalog.foreign_keys
+            if fk.source == name and fk.target != name
+        }
+        for name in remaining
+    }
+    ordered: list[str] = []
+    while remaining:
+        ready = sorted(
+            name
+            for name in remaining
+            if dependencies[name] <= set(ordered)
+        )
+        if not ready:
+            # FK cycle (e.g. cite → publication → ...); emit the rest in
+            # name order — loaders with deferred constraints handle it.
+            ordered.extend(sorted(remaining))
+            break
+        ordered.extend(ready)
+        remaining -= set(ready)
+    return ordered
+
+
+def export_dataset_sql(dataset: BenchmarkDataset, path: str | Path) -> Path:
+    """Write the dataset's database dump plus its gold workload as comments."""
+    output = Path(path)
+    dump = export_database_sql(dataset.database)
+    workload_lines = ["-- Benchmark workload (NLQ => gold SQL)"]
+    for item in dataset.usable_items():
+        workload_lines.append(f"-- NLQ: {item.nlq}")
+        workload_lines.append(f"-- {item.gold_sql}")
+    output.write_text(dump + "\n" + "\n".join(workload_lines) + "\n")
+    return output

@@ -1,0 +1,295 @@
+"""The IMDB benchmark dataset: schema and synthetic data.
+
+Schema follows the IMDB database used by SQLizer [41]:
+16 relations, 65 attributes, 20 FK-PK constraints (Table II).  The
+``msid`` columns of the junction tables reference movies *and* TV series
+(dual foreign keys), as in the original dump where ``msid`` is a shared
+movie-or-series id — this is what creates the movie/series join-path
+ambiguity the workload exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.datagen import DataGen
+from repro.db.catalog import Catalog, Column, ForeignKey, TableSchema
+from repro.db.database import Database
+from repro.db.types import ColumnType
+
+_TEXT = ColumnType.TEXT
+_INT = ColumnType.INTEGER
+
+GENRES = [
+    "Comedy", "Drama", "Action", "Thriller", "Romance", "Horror",
+    "Documentary", "Animation", "Adventure", "Mystery",
+]
+
+KEYWORDS = [
+    "heist", "time travel", "road trip", "coming of age", "space opera",
+    "courtroom", "undercover", "survival", "revenge", "small town",
+]
+
+COMPANIES = [
+    ("Summit Crest Pictures", "us"), ("Bluebird Films", "us"),
+    ("Northlight Studios", "uk"), ("Aurora Entertainment", "us"),
+    ("Silverline Productions", "fr"), ("Harbor Gate Media", "us"),
+    ("Redwood Pictures", "ca"), ("Golden Arch Studios", "us"),
+]
+
+NATIONALITIES = [
+    "American", "British", "French", "German", "Italian", "Japanese",
+    "Canadian", "Australian", "Indian", "Spanish",
+]
+
+MOVIE_WORDS_A = [
+    "Midnight", "Silent", "Broken", "Golden", "Crimson", "Hidden",
+    "Electric", "Paper", "Winter", "Burning", "Distant", "Hollow",
+]
+
+MOVIE_WORDS_B = [
+    "Harbor", "Letters", "Horizon", "Garden", "Echoes", "Crossing",
+    "Promise", "Shadows", "Rivers", "Station", "Orchard", "Signal",
+]
+
+SERIES_WORDS_B = [
+    "Chronicles", "Files", "Tales", "Days", "Nights", "Streets",
+    "Secrets", "Stories",
+]
+
+ROLES = [
+    "the detective", "the mentor", "the stranger", "the captain",
+    "the rival", "the journalist", "the healer", "the drifter",
+]
+
+
+@dataclass
+class ImdbBuild:
+    database: Database
+    genres: list[str] = field(default_factory=list)
+    #: title -> dict(year, genre, director, actors, company, keyword)
+    movies: dict[str, dict] = field(default_factory=dict)
+    series: dict[str, dict] = field(default_factory=dict)
+    actors: list[str] = field(default_factory=list)
+    directors: list[str] = field(default_factory=list)
+    producers: list[str] = field(default_factory=list)
+    writers: list[str] = field(default_factory=list)
+    companies: list[str] = field(default_factory=list)
+    keywords: list[str] = field(default_factory=list)
+    #: (actor, actor) pairs sharing a movie
+    costar_pairs: list[tuple[str, str]] = field(default_factory=list)
+
+
+def _person_table(name: str, pk: str) -> TableSchema:
+    return TableSchema(name, [
+        Column(pk, _INT), Column("gender", _TEXT, searchable=True),
+        Column("name", _TEXT, display=True, searchable=True),
+        Column("nationality", _TEXT, searchable=True),
+        Column("birth_city", _TEXT, searchable=True),
+        Column("birth_year", _INT),
+    ], primary_key=pk)
+
+
+def build_imdb_catalog() -> Catalog:
+    """16 relations / 65 attributes / 20 FK-PK constraints (Table II)."""
+    catalog = Catalog()
+    catalog.add_table(_person_table("actor", "aid"))
+    catalog.add_table(TableSchema("cast", [
+        Column("id", _INT), Column("msid", _INT), Column("aid", _INT),
+        Column("role", _TEXT, searchable=True),
+    ], primary_key="id"))
+    catalog.add_table(TableSchema("classification", [
+        Column("id", _INT), Column("msid", _INT), Column("gid", _INT),
+    ], primary_key="id"))
+    catalog.add_table(TableSchema("company", [
+        Column("id", _INT), Column("name", _TEXT, display=True, searchable=True),
+        Column("country_code", _TEXT),
+    ], primary_key="id"))
+    catalog.add_table(TableSchema("copyright", [
+        Column("id", _INT), Column("msid", _INT), Column("cid", _INT),
+    ], primary_key="id"))
+    catalog.add_table(TableSchema("directed_by", [
+        Column("id", _INT), Column("msid", _INT), Column("did", _INT),
+    ], primary_key="id"))
+    catalog.add_table(_person_table("director", "did"))
+    catalog.add_table(TableSchema("genre", [
+        Column("gid", _INT), Column("genre", _TEXT, display=True, searchable=True),
+    ], primary_key="gid"))
+    catalog.add_table(TableSchema("keyword", [
+        Column("id", _INT), Column("keyword", _TEXT, display=True, searchable=True),
+    ], primary_key="id"))
+    catalog.add_table(TableSchema("made_by", [
+        Column("id", _INT), Column("msid", _INT), Column("pid", _INT),
+    ], primary_key="id"))
+    catalog.add_table(TableSchema("movie", [
+        Column("mid", _INT), Column("title", _TEXT, display=True, searchable=True),
+        Column("release_year", _INT), Column("title_aka", _TEXT, searchable=True),
+        Column("budget", _INT),
+    ], primary_key="mid"))
+    catalog.add_table(_person_table("producer", "pid"))
+    catalog.add_table(TableSchema("tags", [
+        Column("id", _INT), Column("msid", _INT), Column("kid", _INT),
+    ], primary_key="id"))
+    catalog.add_table(TableSchema("tv_series", [
+        Column("sid", _INT), Column("title", _TEXT, display=True, searchable=True),
+        Column("release_year", _INT), Column("num_of_seasons", _INT),
+        Column("num_of_episodes", _INT), Column("title_aka", _TEXT, searchable=True),
+        Column("budget", _INT),
+    ], primary_key="sid"))
+    catalog.add_table(_person_table("writer", "wid"))
+    catalog.add_table(TableSchema("written_by", [
+        Column("id", _INT), Column("msid", _INT), Column("wid", _INT),
+    ], primary_key="id"))
+
+    fks = [
+        ("cast", "msid", "movie", "mid"),
+        ("cast", "msid", "tv_series", "sid"),
+        ("cast", "aid", "actor", "aid"),
+        ("classification", "msid", "movie", "mid"),
+        ("classification", "msid", "tv_series", "sid"),
+        ("classification", "gid", "genre", "gid"),
+        ("copyright", "msid", "movie", "mid"),
+        ("copyright", "cid", "company", "id"),
+        ("directed_by", "msid", "movie", "mid"),
+        ("directed_by", "msid", "tv_series", "sid"),
+        ("directed_by", "did", "director", "did"),
+        ("made_by", "msid", "movie", "mid"),
+        ("made_by", "msid", "tv_series", "sid"),
+        ("made_by", "pid", "producer", "pid"),
+        ("tags", "msid", "movie", "mid"),
+        ("tags", "msid", "tv_series", "sid"),
+        ("tags", "kid", "keyword", "id"),
+        ("written_by", "msid", "movie", "mid"),
+        ("written_by", "msid", "tv_series", "sid"),
+        ("written_by", "wid", "writer", "wid"),
+    ]
+    for source, source_column, target, target_column in fks:
+        catalog.add_foreign_key(
+            ForeignKey(source, source_column, target, target_column)
+        )
+    return catalog
+
+
+def build_imdb(seed: int = 33, movie_count: int = 150, series_count: int = 40) -> ImdbBuild:
+    gen = DataGen(seed)
+    catalog = build_imdb_catalog()
+    db = Database("imdb", catalog)
+    build = ImdbBuild(database=db, genres=list(GENRES))
+
+    used_names: set[str] = set()
+
+    def insert_people(table: str, count: int, target: list[str]) -> None:
+        for pid in range(1, count + 1):
+            name = gen.person_name(used_names)
+            db.insert(table, (
+                pid, "female" if gen.chance(0.45) else "male", name,
+                gen.choice(NATIONALITIES), gen.choice(
+                    ["Springfield", "Riverton", "Lakewood", "Fairview",
+                     "Georgetown", "Ashland"]
+                ),
+                gen.int_between(1930, 1995),
+            ))
+            target.append(name)
+
+    insert_people("actor", 70, build.actors)
+    insert_people("director", 30, build.directors)
+    insert_people("producer", 24, build.producers)
+    insert_people("writer", 24, build.writers)
+
+    for gid, genre in enumerate(GENRES, start=1):
+        db.insert("genre", (gid, genre))
+    for kid, keyword in enumerate(KEYWORDS, start=1):
+        db.insert("keyword", (kid, keyword))
+        build.keywords.append(keyword)
+    for cid, (name, country) in enumerate(COMPANIES, start=1):
+        db.insert("company", (cid, name, country))
+        build.companies.append(name)
+
+    used_titles: set[str] = set()
+
+    def fresh_title(words_b: list[str]) -> str:
+        for _ in range(300):
+            title = f"{gen.choice(MOVIE_WORDS_A)} {gen.choice(words_b)}"
+            if title not in used_titles:
+                used_titles.add(title)
+                return title
+        index = 2
+        base = f"{gen.choice(MOVIE_WORDS_A)} {gen.choice(words_b)}"
+        while f"{base} {index}" in used_titles:
+            index += 1
+        title = f"{base} {index}"
+        used_titles.add(title)
+        return title
+
+    junction_ids = {name: 1 for name in (
+        "cast", "classification", "copyright", "directed_by", "made_by",
+        "tags", "written_by",
+    )}
+
+    def link(table: str, msid: int, other: int) -> None:
+        db.insert(table, (junction_ids[table], msid, other))
+        junction_ids[table] += 1
+
+    def link_cast(msid: int, aid: int, role: str) -> None:
+        db.insert("cast", (junction_ids["cast"], msid, aid, role))
+        junction_ids["cast"] += 1
+
+    costar_pairs: set[tuple[str, str]] = set()
+    # Movies use ids 1..movie_count; series use ids (10000+).  Junction
+    # msid values land in the right table because queries always join via
+    # one declared FK at a time.
+    for mid in range(1, movie_count + 1):
+        title = fresh_title(MOVIE_WORDS_B)
+        year = gen.int_between(1985, 2015)
+        genre = gen.choice(GENRES)
+        gid = GENRES.index(genre) + 1
+        budget = gen.int_between(1, 200) * 1_000_000
+        db.insert("movie", (mid, title, year, f"{title} (aka)", budget))
+        link("classification", mid, gid)
+        keyword = gen.choice(KEYWORDS)
+        link("tags", mid, KEYWORDS.index(keyword) + 1)
+        director = gen.choice(build.directors)
+        link("directed_by", mid, build.directors.index(director) + 1)
+        producer = gen.choice(build.producers)
+        link("made_by", mid, build.producers.index(producer) + 1)
+        writer = gen.choice(build.writers)
+        link("written_by", mid, build.writers.index(writer) + 1)
+        company = gen.choice(build.companies)
+        link("copyright", mid, build.companies.index(company) + 1)
+        actors = gen.sample(build.actors, gen.int_between(1, 3))
+        for actor in actors:
+            link_cast(mid, build.actors.index(actor) + 1, gen.choice(ROLES))
+        for i, first in enumerate(sorted(actors)):
+            for second in sorted(actors)[i + 1 :]:
+                costar_pairs.add((first, second))
+        build.movies[title] = {
+            "mid": mid, "year": year, "genre": genre, "director": director,
+            "producer": producer, "writer": writer, "company": company,
+            "actors": actors, "keyword": keyword, "budget": budget,
+        }
+
+    for index in range(series_count):
+        sid = 10_000 + index + 1
+        title = fresh_title(SERIES_WORDS_B)
+        year = gen.int_between(1990, 2015)
+        genre = gen.choice(GENRES)
+        db.insert("tv_series", (
+            sid, title, year, gen.int_between(1, 12),
+            gen.int_between(6, 240), f"{title} (aka)",
+            gen.int_between(1, 60) * 1_000_000,
+        ))
+        link("classification", sid, GENRES.index(genre) + 1)
+        director = gen.choice(build.directors)
+        link("directed_by", sid, build.directors.index(director) + 1)
+        keyword = gen.choice(KEYWORDS)
+        link("tags", sid, KEYWORDS.index(keyword) + 1)
+        actors = gen.sample(build.actors, gen.int_between(1, 3))
+        for actor in actors:
+            link_cast(sid, build.actors.index(actor) + 1, gen.choice(ROLES))
+        build.series[title] = {
+            "sid": sid, "year": year, "genre": genre, "director": director,
+            "actors": actors, "keyword": keyword,
+        }
+
+    build.costar_pairs = sorted(costar_pairs)
+    return build

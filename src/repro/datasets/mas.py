@@ -1,0 +1,367 @@
+"""The Microsoft Academic Search (MAS) benchmark dataset.
+
+Schema follows the paper's Figure 1 (the simplified MAS schema graph,
+which omits a direct publication↔domain junction — that omission is what
+makes Examples 1/2/6's join-path traps possible) plus two auxiliary
+statistics relations so the catalog matches Table II exactly:
+17 relations, 53 attributes, 19 FK-PK constraints.
+
+Data is synthetic and deterministic (seeded); value pools are sized so
+the benchmark NLQs have non-empty answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.datagen import DataGen
+from repro.db.catalog import Catalog, Column, ForeignKey, TableSchema
+from repro.db.database import Database
+from repro.db.types import ColumnType
+
+_TEXT = ColumnType.TEXT
+_INT = ColumnType.INTEGER
+_FLOAT = ColumnType.FLOAT
+
+DOMAINS = [
+    "Databases", "Machine Learning", "Data Mining", "Operating Systems",
+    "Computer Vision", "Networks", "Theory", "Security", "Graphics",
+    "Natural Language Processing",
+]
+
+#: (acronym, full name, domain)
+CONFERENCES = [
+    ("SIGMOD", "ACM SIGMOD International Conference on Management of Data", "Databases"),
+    ("VLDB", "International Conference on Very Large Data Bases", "Databases"),
+    ("ICDE", "IEEE International Conference on Data Engineering", "Databases"),
+    ("ICML", "International Conference on Machine Learning", "Machine Learning"),
+    ("KDD", "ACM SIGKDD Conference on Knowledge Discovery and Data Mining", "Data Mining"),
+    ("ICDM", "IEEE International Conference on Data Mining", "Data Mining"),
+    ("OSDI", "USENIX Symposium on Operating Systems Design and Implementation", "Operating Systems"),
+    ("SOSP", "ACM Symposium on Operating Systems Principles", "Operating Systems"),
+    ("CVPR", "IEEE Conference on Computer Vision and Pattern Recognition", "Computer Vision"),
+    ("ICCV", "IEEE International Conference on Computer Vision", "Computer Vision"),
+    ("SIGCOMM", "ACM SIGCOMM Conference", "Networks"),
+    ("STOC", "ACM Symposium on Theory of Computing", "Theory"),
+    ("CCS", "ACM Conference on Computer and Communications Security", "Security"),
+    ("SIGGRAPH", "ACM SIGGRAPH Conference", "Graphics"),
+    ("ACL", "Annual Meeting of the Association for Computational Linguistics", "Natural Language Processing"),
+    ("NIPS", "Conference on Neural Information Processing Systems", "Machine Learning"),
+]
+
+#: (acronym, full name, domain)
+JOURNALS = [
+    ("TKDE", "IEEE Transactions on Knowledge and Data Engineering", "Databases"),
+    ("VLDBJ", "The VLDB Journal", "Databases"),
+    ("TODS", "ACM Transactions on Database Systems", "Databases"),
+    ("JMLR", "Journal of Machine Learning Research", "Machine Learning"),
+    ("DMKD", "Data Mining and Knowledge Discovery", "Data Mining"),
+    ("TOCS", "ACM Transactions on Computer Systems", "Operating Systems"),
+    ("PAMI", "IEEE Transactions on Pattern Analysis and Machine Intelligence", "Computer Vision"),
+    ("TON", "IEEE/ACM Transactions on Networking", "Networks"),
+    ("SICOMP", "SIAM Journal on Computing", "Theory"),
+    ("TISSEC", "ACM Transactions on Information and System Security", "Security"),
+    ("TOG", "ACM Transactions on Graphics", "Graphics"),
+    ("TMC", "IEEE Transactions on Mobile Computing", "Networks"),
+    ("CL", "Computational Linguistics", "Natural Language Processing"),
+]
+
+#: (keyword, domain)
+KEYWORDS = [
+    ("query optimization", "Databases"), ("transaction processing", "Databases"),
+    ("neural networks", "Machine Learning"), ("reinforcement learning", "Machine Learning"),
+    ("frequent itemsets", "Data Mining"), ("anomaly detection", "Data Mining"),
+    ("virtual memory", "Operating Systems"), ("file systems", "Operating Systems"),
+    ("object detection", "Computer Vision"), ("image segmentation", "Computer Vision"),
+    ("congestion control", "Networks"), ("software defined networking", "Networks"),
+    ("approximation algorithms", "Theory"), ("computational complexity", "Theory"),
+    ("intrusion detection", "Security"), ("homomorphic encryption", "Security"),
+    ("ray tracing", "Graphics"), ("mesh generation", "Graphics"),
+    ("machine translation", "Natural Language Processing"),
+    ("semantic parsing", "Natural Language Processing"),
+]
+
+#: (name, continent)
+ORGANIZATIONS = [
+    ("University of Michigan", "North America"),
+    ("Stanford University", "North America"),
+    ("Massachusetts Institute of Technology", "North America"),
+    ("Carnegie Mellon University", "North America"),
+    ("University of Washington", "North America"),
+    ("ETH Zurich", "Europe"),
+    ("University of Oxford", "Europe"),
+    ("Max Planck Institute", "Europe"),
+    ("Tsinghua University", "Asia"),
+    ("National University of Singapore", "Asia"),
+    ("University of Tokyo", "Asia"),
+    ("University of Melbourne", "Australia"),
+]
+
+YEAR_RANGE = (1990, 2015)
+
+
+@dataclass
+class MasBuild:
+    """The populated database plus the entity pools workloads sample from."""
+
+    database: Database
+    domains: list[str] = field(default_factory=list)
+    conferences: list[tuple[int, str, str]] = field(default_factory=list)  # cid, name, domain
+    journals: list[tuple[int, str, str]] = field(default_factory=list)     # jid, name, domain
+    keywords: list[tuple[int, str, str]] = field(default_factory=list)     # kid, keyword, domain
+    organizations: list[tuple[int, str]] = field(default_factory=list)     # oid, name
+    authors: list[tuple[int, str]] = field(default_factory=list)           # aid, name
+    #: pid -> (title, year, venue_kind, venue_name, author names)
+    publications: dict[int, dict] = field(default_factory=dict)
+    #: pairs of author names who co-authored at least one paper
+    coauthor_pairs: list[tuple[str, str]] = field(default_factory=list)
+    #: author name -> number of papers
+    paper_counts: dict[str, int] = field(default_factory=dict)
+
+
+def build_mas_catalog() -> Catalog:
+    """17 relations / 53 attributes / 19 FK-PK constraints (Table II)."""
+    catalog = Catalog()
+
+    def table(name: str, columns: list[Column], pk: str | None = None) -> None:
+        catalog.add_table(TableSchema(name, columns, primary_key=pk))
+
+    table("author", [
+        Column("aid", _INT), Column("name", _TEXT, display=True, searchable=True),
+        Column("homepage", _TEXT), Column("oid", _INT),
+    ], pk="aid")
+    table("cite", [Column("citing", _INT), Column("cited", _INT)])
+    table("conference", [
+        Column("cid", _INT), Column("name", _TEXT, display=True, searchable=True),
+        Column("full_name", _TEXT, searchable=True), Column("homepage", _TEXT),
+    ], pk="cid")
+    table("domain", [
+        Column("did", _INT), Column("name", _TEXT, display=True, searchable=True),
+    ], pk="did")
+    table("domain_author", [Column("aid", _INT), Column("did", _INT)])
+    table("domain_conference", [Column("cid", _INT), Column("did", _INT)])
+    table("domain_journal", [Column("jid", _INT), Column("did", _INT)])
+    table("domain_keyword", [Column("did", _INT), Column("kid", _INT)])
+    table("journal", [
+        Column("jid", _INT), Column("name", _TEXT, display=True, searchable=True),
+        Column("full_name", _TEXT, searchable=True), Column("homepage", _TEXT),
+    ], pk="jid")
+    table("keyword", [
+        Column("kid", _INT), Column("keyword", _TEXT, display=True, searchable=True),
+    ], pk="kid")
+    table("organization", [
+        Column("oid", _INT), Column("name", _TEXT, display=True, searchable=True),
+        Column("continent", _TEXT, searchable=True), Column("homepage", _TEXT),
+    ], pk="oid")
+    table("publication", [
+        Column("pid", _INT), Column("title", _TEXT, display=True, searchable=True),
+        Column("abstract", _TEXT), Column("year", _INT), Column("cid", _INT),
+        Column("jid", _INT), Column("citation_num", _INT),
+        Column("reference_num", _INT),
+    ], pk="pid")
+    table("publication_keyword", [Column("pid", _INT), Column("kid", _INT)])
+    table("writes", [Column("aid", _INT), Column("pid", _INT)])
+    # domain_publication exists in the MAS dump but carries no declared FK
+    # constraints here, matching the paper's Figure 1 schema graph (which
+    # omits a direct publication↔domain edge — the premise of Examples
+    # 1/2/6's join-path traps).  See DESIGN.md §5.
+    table("domain_publication", [Column("did", _INT), Column("pid", _INT)])
+    # Auxiliary statistics tables (no declared FKs; see DESIGN.md §5) that
+    # bring the catalog to Table II's 17 relations / 53 attributes.
+    table("author_stats", [
+        Column("aid", _INT), Column("pub_count", _INT),
+        Column("citation_count", _INT), Column("h_index", _INT),
+    ])
+    table("venue_metrics", [
+        Column("vid", _INT), Column("venue_type", _TEXT),
+        Column("impact_factor", _FLOAT), Column("rank", _INT),
+        Column("pub_count", _INT),
+    ])
+
+    fks = [
+        ("author", "oid", "organization", "oid"),
+        ("author_stats", "aid", "author", "aid"),
+        ("cite", "citing", "publication", "pid"),
+        ("cite", "cited", "publication", "pid"),
+        # Only the pid side of domain_publication carries a declared
+        # constraint (as in the dump), so the schema graph still has no
+        # 2-edge publication↔domain shortcut — preserving Figure 1 and
+        # the Example 2/6 join-path trap.
+        ("domain_publication", "pid", "publication", "pid"),
+        ("domain_author", "aid", "author", "aid"),
+        ("domain_author", "did", "domain", "did"),
+        ("domain_conference", "cid", "conference", "cid"),
+        ("domain_conference", "did", "domain", "did"),
+        ("domain_journal", "jid", "journal", "jid"),
+        ("domain_journal", "did", "domain", "did"),
+        ("domain_keyword", "did", "domain", "did"),
+        ("domain_keyword", "kid", "keyword", "kid"),
+        ("publication", "cid", "conference", "cid"),
+        ("publication", "jid", "journal", "jid"),
+        ("publication_keyword", "pid", "publication", "pid"),
+        ("publication_keyword", "kid", "keyword", "kid"),
+        ("writes", "aid", "author", "aid"),
+        ("writes", "pid", "publication", "pid"),
+    ]
+    for source, source_column, target, target_column in fks:
+        catalog.add_foreign_key(
+            ForeignKey(source, source_column, target, target_column)
+        )
+    return catalog
+
+
+def build_mas(seed: int = 11, publication_count: int = 260) -> MasBuild:
+    """Build and populate the MAS database."""
+    gen = DataGen(seed)
+    catalog = build_mas_catalog()
+    db = Database("mas", catalog)
+    build = MasBuild(database=db, domains=list(DOMAINS))
+
+    domain_ids = {name: index + 1 for index, name in enumerate(DOMAINS)}
+    for name, did in domain_ids.items():
+        db.insert("domain", (did, name))
+
+    for index, (name, continent) in enumerate(ORGANIZATIONS, start=1):
+        db.insert(
+            "organization",
+            (index, name, continent, f"https://{name.split()[0].lower()}.edu"),
+        )
+        build.organizations.append((index, name))
+
+    domain_conferences: dict[str, list[int]] = {name: [] for name in DOMAINS}
+    for index, (acronym, full_name, domain) in enumerate(CONFERENCES, start=1):
+        db.insert(
+            "conference",
+            (index, acronym, full_name, f"https://{acronym.lower()}.org"),
+        )
+        db.insert("domain_conference", (index, domain_ids[domain]))
+        domain_conferences[domain].append(index)
+        build.conferences.append((index, acronym, domain))
+
+    domain_journals: dict[str, list[int]] = {name: [] for name in DOMAINS}
+    for index, (acronym, full_name, domain) in enumerate(JOURNALS, start=1):
+        db.insert(
+            "journal",
+            (index, acronym, full_name, f"https://{acronym.lower()}.org"),
+        )
+        db.insert("domain_journal", (index, domain_ids[domain]))
+        domain_journals[domain].append(index)
+        build.journals.append((index, acronym, domain))
+
+    domain_keywords: dict[str, list[int]] = {name: [] for name in DOMAINS}
+    for index, (keyword, domain) in enumerate(KEYWORDS, start=1):
+        db.insert("keyword", (index, keyword))
+        db.insert("domain_keyword", (domain_ids[domain], index))
+        domain_keywords[domain].append(index)
+        build.keywords.append((index, keyword, domain))
+
+    # Authors: 80, each affiliated with one organization and 1-2 domains.
+    used_names: set[str] = set()
+    author_domains: dict[int, list[str]] = {}
+    for aid in range(1, 81):
+        name = gen.person_name(used_names)
+        oid = gen.int_between(1, len(ORGANIZATIONS))
+        db.insert(
+            "author",
+            (aid, name, f"https://people.example.org/{aid}", oid),
+        )
+        domains = gen.sample(DOMAINS, gen.int_between(1, 2))
+        author_domains[aid] = domains
+        for domain in domains:
+            db.insert("domain_author", (aid, domain_ids[domain]))
+        build.authors.append((aid, name))
+
+    author_by_domain: dict[str, list[int]] = {name: [] for name in DOMAINS}
+    for aid, domains in author_domains.items():
+        for domain in domains:
+            author_by_domain[domain].append(aid)
+
+    # Publications.
+    used_titles: set[str] = set()
+    author_names = dict(build.authors)
+    paper_counts: dict[str, int] = {}
+    coauthor_pairs: set[tuple[str, str]] = set()
+    for pid in range(1, publication_count + 1):
+        kid, keyword, domain = build.keywords[
+            gen.int_between(0, len(build.keywords) - 1)
+        ]
+        title = gen.paper_title(keyword, used_titles)
+        year = gen.int_between(*YEAR_RANGE)
+        use_conference = gen.chance(0.65)
+        cid = jid = None
+        venue_kind = "conference" if use_conference else "journal"
+        if use_conference:
+            cid = gen.choice(domain_conferences[domain])
+            venue_name = next(n for i, n, d in build.conferences if i == cid)
+        else:
+            jid = gen.choice(domain_journals[domain])
+            venue_name = next(n for i, n, d in build.journals if i == jid)
+        citation_num = gen.int_between(0, 480)
+        reference_num = gen.int_between(4, 60)
+        db.insert(
+            "publication",
+            (pid, title, f"Abstract of {title}.", year, cid, jid,
+             citation_num, reference_num),
+        )
+        db.insert("publication_keyword", (pid, kid))
+        db.insert("domain_publication", (domain_ids[domain], pid))
+        extra_kid = gen.choice(domain_keywords[domain])
+        if extra_kid != kid and gen.chance(0.4):
+            db.insert("publication_keyword", (pid, extra_kid))
+
+        # 1-3 authors, preferring the paper's domain.
+        pool = author_by_domain[domain] or [a for a, _ in build.authors]
+        team = gen.sample(pool, gen.int_between(1, min(3, len(pool))))
+        names = []
+        for aid in team:
+            db.insert("writes", (aid, pid))
+            names.append(author_names[aid])
+            paper_counts[author_names[aid]] = (
+                paper_counts.get(author_names[aid], 0) + 1
+            )
+        for i, first in enumerate(sorted(names)):
+            for second in sorted(names)[i + 1 :]:
+                coauthor_pairs.add((first, second))
+        build.publications[pid] = {
+            "title": title,
+            "year": year,
+            "venue_kind": venue_kind,
+            "venue_name": venue_name,
+            "domain": domain,
+            "authors": names,
+            "keyword": keyword,
+        }
+
+    # Citations: random pairs among publications.
+    for _ in range(publication_count * 2):
+        citing = gen.int_between(1, publication_count)
+        cited = gen.int_between(1, publication_count)
+        if citing != cited:
+            db.insert("cite", (citing, cited))
+
+    # Derived statistics tables.
+    for aid, name in build.authors:
+        count = paper_counts.get(name, 0)
+        db.insert(
+            "author_stats",
+            (aid, count, gen.int_between(0, 2000), gen.int_between(0, 40)),
+        )
+    vid = 1
+    for cid, name, _ in build.conferences:
+        db.insert(
+            "venue_metrics",
+            (vid, "conference", gen.float_between(0.5, 9.5),
+             gen.int_between(1, 50), gen.int_between(50, 900)),
+        )
+        vid += 1
+    for jid, name, _ in build.journals:
+        db.insert(
+            "venue_metrics",
+            (vid, "journal", gen.float_between(0.5, 9.5),
+             gen.int_between(1, 50), gen.int_between(50, 900)),
+        )
+        vid += 1
+
+    build.coauthor_pairs = sorted(coauthor_pairs)
+    build.paper_counts = paper_counts
+    return build

@@ -1,0 +1,39 @@
+"""Dataset registry with memoized builders."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.base import BenchmarkDataset
+from repro.datasets.workload_imdb import build_imdb_dataset
+from repro.datasets.workload_mas import build_mas_dataset
+from repro.datasets.workload_yelp import build_yelp_dataset
+from repro.errors import DatasetError
+
+DATASET_BUILDERS: dict[str, Callable[[int], BenchmarkDataset]] = {
+    "mas": build_mas_dataset,
+    "yelp": build_yelp_dataset,
+    "imdb": build_imdb_dataset,
+}
+
+_DEFAULT_SEEDS = {"mas": 11, "yelp": 22, "imdb": 33}
+
+_cache: dict[tuple[str, int], BenchmarkDataset] = {}
+
+
+def load_dataset(name: str, seed: int | None = None) -> BenchmarkDataset:
+    """Build (or fetch the memoized) benchmark dataset ``name``.
+
+    Datasets are deterministic for a given seed, so memoization is safe
+    and keeps the benchmark harness fast.
+    """
+    if name not in DATASET_BUILDERS:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_BUILDERS)}"
+        )
+    if seed is None:
+        seed = _DEFAULT_SEEDS[name]
+    key = (name, seed)
+    if key not in _cache:
+        _cache[key] = DATASET_BUILDERS[name](seed)
+    return _cache[key]

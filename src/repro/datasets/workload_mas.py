@@ -1,0 +1,559 @@
+"""MAS benchmark workload: 194 usable NLQ-SQL pairs (+2 excluded).
+
+Template families mirror the query classes of the original MAS benchmark
+[22]: entity lookups, venue/domain filters, numeric predicates,
+aggregations, self-joins and citation queries.  Each family is annotated
+with its expected behaviour class:
+
+* ``B`` — baseline-winnable: unambiguous keywords, unique shortest join.
+* ``T`` — Templar-winnable: the word-similarity model's calibrated
+  confusion ("papers" ~ journal > publication) or a join-path trap makes
+  the baseline fail; log evidence fixes it.
+* ``H`` — hard: beyond every compared system (citation self-joins,
+  explicit relation references), forming the accuracy ceiling like the
+  paper's residual errors.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import BenchmarkDataset
+from repro.datasets.datagen import DataGen
+from repro.datasets.mas import MasBuild, build_mas
+from repro.datasets.workload_util import (
+    ORDER_BY,
+    SELECT,
+    WHERE,
+    FROM,
+    ItemFactory,
+    kw,
+    sql_quote,
+)
+from repro.embedding.lexicon import Lexicon
+
+#: NL nouns the NaLIR parser should recognize as schema terms.
+MAS_SCHEMA_TERMS = [
+    "papers", "paper", "publications", "authors", "author", "journals",
+    "journal", "conferences", "conference", "domains", "domain",
+    "keywords", "keyword", "organizations", "organization", "citations",
+    "homepage", "abstract", "year", "continent",
+]
+
+
+def mas_lexicon() -> Lexicon:
+    """Calibrated word-similarity pairs for MAS (see DESIGN.md §5).
+
+    The ("paper", "journal") > ("paper", "publication") near-tie is the
+    confusion of the paper's Example 1: word similarity alone prefers the
+    wrong mapping by a hair, and only log evidence flips it.
+    """
+    lexicon = Lexicon()
+    entries = {
+        # A near-tie, as word2vec produces: the wrong mapping wins on word
+        # similarity alone by a hair, and log evidence must flip it.
+        ("paper", "journal"): 0.59,
+        ("paper", "publication"): 0.585,
+        ("paper", "title"): 0.55,
+        ("paper", "conference"): 0.30,
+        ("article", "publication"): 0.60,
+        ("author", "writes"): 0.40,
+        ("after", "year"): 0.70,
+        ("before", "year"): 0.70,
+        ("since", "year"): 0.70,
+        ("recent", "year"): 0.70,
+        ("cited", "citation"): 0.80,
+        ("cites", "citation"): 0.70,
+        ("venue", "conference"): 0.55,
+        ("venue", "journal"): 0.55,
+        ("area", "domain"): 0.75,
+        ("field", "domain"): 0.70,
+        ("affiliation", "organization"): 0.80,
+        ("institution", "organization"): 0.80,
+    }
+    for (a, b), score in entries.items():
+        lexicon.add(a, b, score)
+    return lexicon
+
+
+def mas_nalir_lexicon() -> Lexicon:
+    """WordNet-style overrides: paper/publication share a synset, so
+    NaLIR's lexicon maps entity nouns correctly (unlike word2vec); its
+    errors come from the parser instead (Section VII-C)."""
+    lexicon = Lexicon()
+    lexicon.add("paper", "publication", 0.90)
+    lexicon.add("paper", "journal", 0.45)
+    lexicon.add("paper", "title", 0.60)
+    return lexicon
+
+
+def build_mas_dataset(seed: int = 11) -> BenchmarkDataset:
+    """Build the full MAS dataset (database + 196 annotated items)."""
+    build = build_mas(seed)
+    gen = DataGen(seed + 1000)
+    factory = ItemFactory("mas")
+
+    # Domain-filter families are publication-heavy on purpose: real MAS
+    # logs are dominated by paper queries, and the Dice coefficient needs
+    # that imbalance to overcome its popularity penalty (DESIGN.md §5).
+    _papers_in_domain(build, gen, factory, count=14)          # T (LogJoin)
+    _journals_in_domain(build, gen, factory, count=4)         # B
+    _conferences_in_domain(build, gen, factory, count=4)      # B
+    _papers_by_author(build, gen, factory, count=8)           # T
+    _authors_of_paper(build, gen, factory, count=12)          # B
+    _papers_after_year(build, gen, factory, count=8)          # T
+    _papers_in_conference(build, gen, factory, count=8)       # T
+    _papers_in_journal(build, gen, factory, count=8)          # T
+    _count_papers_of_author(build, gen, factory, count=6)     # T
+    _count_papers_in_conference(build, gen, factory, count=6)  # T
+    _authors_in_domain(build, gen, factory, count=8)          # B
+    _organization_of_author(build, gen, factory, count=8)     # B
+    _papers_by_two_authors(build, gen, factory, count=8)      # T (self-join)
+    _papers_in_domain_after_year(build, gen, factory, count=10)  # T (LogJoin)
+    _authors_with_min_papers(build, gen, factory, count=6)    # T (HAVING)
+    _papers_with_keyword(build, gen, factory, count=6)        # T
+    _authors_with_papers_in_conference(build, gen, factory, count=6)  # H
+    _papers_citing_title(build, gen, factory, count=6)        # H
+    _authors_from_continent(build, gen, factory, count=4)     # B
+    _homepage_of_venue(build, gen, factory, count=8)          # T (tie-break)
+    _papers_min_citations(build, gen, factory, count=8)       # T
+    _abstract_of_paper(build, gen, factory, count=6)          # B
+    _authors_of_most_cited_paper(build, gen, factory, count=6)  # B
+    _papers_cited_by_title(build, gen, factory, count=6)      # H
+    _papers_same_venue_as(build, gen, factory, count=12)      # H (nested)
+    _papers_between_years(build, gen, factory, count=8)       # H (BETWEEN)
+    _excluded_items(factory)
+
+    dataset = BenchmarkDataset(
+        name="mas",
+        database=build.database,
+        items=factory.items,
+        lexicon=mas_lexicon(),
+        schema_terms=MAS_SCHEMA_TERMS,
+        reference_size_gb=3.2,
+        nalir_lexicon=mas_nalir_lexicon(),
+    )
+    dataset.validate_counts(relations=17, attributes=53, fk_pk=19, queries=194)
+    return dataset
+
+
+# ---------------------------------------------------------------------------
+# Template families
+# ---------------------------------------------------------------------------
+
+
+def _papers_in_domain(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    """Example 6 of the paper: domain reached through the keyword path."""
+    gold_template = (
+        "SELECT t1.title FROM publication t1, publication_keyword t2, "
+        "keyword t3, domain_keyword t4, domain t5 "
+        "WHERE t5.name = {domain} "
+        "AND t2.pid = t1.pid AND t2.kid = t3.kid "
+        "AND t4.kid = t3.kid AND t4.did = t5.did"
+    )
+    for domain in build.domains[: min(count, len(build.domains))]:
+        f.add(
+            "papers_in_domain",
+            f"return the papers in the {domain} domain",
+            [kw("papers", SELECT), kw(f"{domain} domain", WHERE)],
+            gold_template.format(domain=sql_quote(domain)),
+        )
+    # Phrasing variant ("area") for counts beyond the domain pool.
+    for domain in build.domains[: max(0, count - len(build.domains))]:
+        f.add(
+            "papers_in_domain",
+            f"return the papers in the {domain} area",
+            [kw("papers", SELECT), kw(domain, WHERE)],
+            gold_template.format(domain=sql_quote(domain)),
+        )
+
+
+def _journals_in_domain(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    for domain in build.domains[:count]:
+        f.add(
+            "journals_in_domain",
+            f"return the journals in the {domain} domain",
+            [kw("journals", SELECT), kw(f"{domain} domain", WHERE)],
+            "SELECT t1.name FROM journal t1, domain_journal t2, domain t3 "
+            f"WHERE t3.name = {sql_quote(domain)} "
+            "AND t2.jid = t1.jid AND t2.did = t3.did",
+        )
+
+
+def _conferences_in_domain(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    for domain in build.domains[:count]:
+        f.add(
+            "conferences_in_domain",
+            f"return the conferences in the {domain} domain",
+            [kw("conferences", SELECT), kw(f"{domain} domain", WHERE)],
+            "SELECT t1.name FROM conference t1, domain_conference t2, domain t3 "
+            f"WHERE t3.name = {sql_quote(domain)} "
+            "AND t2.cid = t1.cid AND t2.did = t3.did",
+        )
+
+
+def _papers_by_author(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    authors = [name for _, name in build.authors if build.paper_counts.get(name)]
+    for name in gen.sample(authors, count):
+        f.add(
+            "papers_by_author",
+            f"return the papers of {name}",
+            [kw("papers", SELECT), kw(name, WHERE)],
+            "SELECT t1.title FROM publication t1, writes t2, author t3 "
+            f"WHERE t3.name = {sql_quote(name)} "
+            "AND t2.aid = t3.aid AND t2.pid = t1.pid",
+        )
+
+
+def _authors_of_paper(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    pids = gen.sample(sorted(build.publications), count)
+    for pid in pids:
+        title = build.publications[pid]["title"]
+        f.add(
+            "authors_of_paper",
+            f"return the authors of '{title}'",
+            [kw("authors", SELECT), kw(title, WHERE)],
+            "SELECT t1.name FROM author t1, writes t2, publication t3 "
+            f"WHERE t3.title = {sql_quote(title)} "
+            "AND t2.aid = t1.aid AND t2.pid = t3.pid",
+        )
+
+
+def _papers_after_year(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    years = gen.sample(range(1992, 2013), count)
+    for year in years:
+        f.add(
+            "papers_after_year",
+            f"return the papers after {year}",
+            [kw("papers", SELECT), kw(f"after {year}", WHERE, op=">")],
+            f"SELECT t1.title FROM publication t1 WHERE t1.year > {year}",
+        )
+
+
+def _papers_in_conference(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    for cid, name, _ in gen.sample(build.conferences, count):
+        f.add(
+            "papers_in_conference",
+            f"return the papers in {name} conference",
+            [kw("papers", SELECT), kw(f"{name} conference", WHERE)],
+            "SELECT t1.title FROM publication t1, conference t2 "
+            f"WHERE t2.name = {sql_quote(name)} AND t1.cid = t2.cid",
+        )
+
+
+def _papers_in_journal(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    for jid, name, _ in gen.sample(build.journals, count):
+        f.add(
+            "papers_in_journal",
+            f"return the papers in {name} journal",
+            [kw("papers", SELECT), kw(f"{name} journal", WHERE)],
+            "SELECT t1.title FROM publication t1, journal t2 "
+            f"WHERE t2.name = {sql_quote(name)} AND t1.jid = t2.jid",
+        )
+
+
+def _count_papers_of_author(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    authors = [name for _, name in build.authors if build.paper_counts.get(name)]
+    for name in gen.sample(authors, count):
+        f.add(
+            "count_papers_of_author",
+            f"return the number of papers of {name}",
+            [kw("papers", SELECT, aggregates=("COUNT",)), kw(name, WHERE)],
+            "SELECT COUNT(t1.title) FROM publication t1, writes t2, author t3 "
+            f"WHERE t3.name = {sql_quote(name)} "
+            "AND t2.aid = t3.aid AND t2.pid = t1.pid",
+        )
+
+
+def _count_papers_in_conference(
+    build: MasBuild, gen: DataGen, f: ItemFactory, count: int
+):
+    for cid, name, _ in gen.sample(build.conferences, count):
+        f.add(
+            "count_papers_in_conference",
+            f"return the number of papers in {name} conference",
+            [
+                kw("papers", SELECT, aggregates=("COUNT",)),
+                kw(f"{name} conference", WHERE),
+            ],
+            "SELECT COUNT(t1.title) FROM publication t1, conference t2 "
+            f"WHERE t2.name = {sql_quote(name)} AND t1.cid = t2.cid",
+        )
+
+
+def _authors_in_domain(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    for domain in build.domains[:count]:
+        f.add(
+            "authors_in_domain",
+            f"return the authors in the {domain} domain",
+            [kw("authors", SELECT), kw(f"{domain} domain", WHERE)],
+            "SELECT t1.name FROM author t1, domain_author t2, domain t3 "
+            f"WHERE t3.name = {sql_quote(domain)} "
+            "AND t2.aid = t1.aid AND t2.did = t3.did",
+        )
+
+
+def _organization_of_author(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    for _, name in gen.sample(build.authors, count):
+        f.add(
+            "organization_of_author",
+            f"return the organization of {name}",
+            [kw("organization", SELECT), kw(name, WHERE)],
+            "SELECT t1.name FROM organization t1, author t2 "
+            f"WHERE t2.name = {sql_quote(name)} AND t2.oid = t1.oid",
+        )
+
+
+def _papers_by_two_authors(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    """Example 7 of the paper: self-join via FORK."""
+    pairs = gen.sample(build.coauthor_pairs, count)
+    for first, second in pairs:
+        f.add(
+            "papers_by_two_authors",
+            f"return the papers of both {first} and {second}",
+            [kw("papers", SELECT), kw(first, WHERE), kw(second, WHERE)],
+            "SELECT t3.title FROM author t1, author t2, publication t3, "
+            "writes t4, writes t5 "
+            f"WHERE t1.name = {sql_quote(first)} "
+            f"AND t2.name = {sql_quote(second)} "
+            "AND t4.aid = t1.aid AND t4.pid = t3.pid "
+            "AND t5.aid = t2.aid AND t5.pid = t3.pid",
+        )
+
+
+def _papers_in_domain_after_year(
+    build: MasBuild, gen: DataGen, f: ItemFactory, count: int
+):
+    years = gen.sample(range(1995, 2011), count)
+    for domain, year in zip(build.domains[:count], years):
+        f.add(
+            "papers_in_domain_after_year",
+            f"return the papers in the {domain} domain after {year}",
+            [
+                kw("papers", SELECT),
+                kw(f"{domain} domain", WHERE),
+                kw(f"after {year}", WHERE, op=">"),
+            ],
+            "SELECT t1.title FROM publication t1, publication_keyword t2, "
+            "keyword t3, domain_keyword t4, domain t5 "
+            f"WHERE t5.name = {sql_quote(domain)} AND t1.year > {year} "
+            "AND t2.pid = t1.pid AND t2.kid = t3.kid "
+            "AND t4.kid = t3.kid AND t4.did = t5.did",
+        )
+
+
+def _authors_with_min_papers(
+    build: MasBuild, gen: DataGen, f: ItemFactory, count: int
+):
+    for n in range(2, 2 + count):
+        f.add(
+            "authors_with_min_papers",
+            f"return the authors who have more than {n} papers",
+            [
+                kw("authors", SELECT),
+                kw(f"more than {n} papers", WHERE, op=">", aggregates=("COUNT",)),
+            ],
+            "SELECT t1.name FROM author t1, writes t2, publication t3 "
+            "WHERE t2.aid = t1.aid AND t2.pid = t3.pid "
+            f"GROUP BY t1.name HAVING COUNT(t3.pid) > {n}",
+        )
+
+
+def _papers_with_keyword(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    for kid, keyword, _ in gen.sample(build.keywords, count):
+        f.add(
+            "papers_with_keyword",
+            f"return the papers with the keyword '{keyword}'",
+            [kw("papers", SELECT), kw(keyword, WHERE)],
+            "SELECT t1.title FROM publication t1, publication_keyword t2, "
+            "keyword t3 "
+            f"WHERE t3.keyword = {sql_quote(keyword)} "
+            "AND t2.pid = t1.pid AND t2.kid = t3.kid",
+        )
+
+
+def _authors_with_papers_in_conference(
+    build: MasBuild, gen: DataGen, f: ItemFactory, count: int
+):
+    """Hard family: explicit relation reference in a relative clause.
+
+    Hand-parsed keywords carry "papers" as a FROM-context keyword; the
+    FROM context is excluded from Score_QFG (Section V-C2), so the
+    calibrated "papers"~journal confusion cannot be fixed by the log —
+    these items bound every system's accuracy, and they are precisely the
+    NLQs the paper's NaLIR error analysis calls out.
+    """
+    for cid, name, _ in gen.sample(build.conferences, count):
+        f.add(
+            "authors_with_papers_in_conference",
+            f"return the authors who have papers in {name} conference",
+            [
+                kw("authors", SELECT),
+                kw("papers", FROM),
+                kw(f"{name} conference", WHERE),
+            ],
+            "SELECT t1.name FROM author t1, writes t2, publication t3, "
+            "conference t4 "
+            f"WHERE t4.name = {sql_quote(name)} "
+            "AND t2.aid = t1.aid AND t2.pid = t3.pid AND t3.cid = t4.cid",
+        )
+
+
+def _papers_citing_title(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    """Hard family: a publication self-join through the cite relation."""
+    pids = gen.sample(sorted(build.publications), count)
+    for pid in pids:
+        title = build.publications[pid]["title"]
+        f.add(
+            "papers_citing_title",
+            f"return the papers citing '{title}'",
+            [kw("papers", SELECT), kw("cite", FROM), kw(title, WHERE)],
+            "SELECT t1.title FROM publication t1, cite t2, publication t3 "
+            f"WHERE t3.title = {sql_quote(title)} "
+            "AND t2.citing = t1.pid AND t2.cited = t3.pid",
+        )
+
+
+def _papers_cited_by_title(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    """Hard family: the reverse citation self-join."""
+    pids = gen.sample(sorted(build.publications), count)
+    for pid in pids:
+        title = build.publications[pid]["title"]
+        f.add(
+            "papers_cited_by_title",
+            f"return the papers cited by '{title}'",
+            [kw("papers", SELECT), kw("cite", FROM), kw(title, WHERE)],
+            "SELECT t1.title FROM publication t1, cite t2, publication t3 "
+            f"WHERE t3.title = {sql_quote(title)} "
+            "AND t2.cited = t1.pid AND t2.citing = t3.pid",
+        )
+
+
+def _authors_from_continent(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    continents = ["North America", "Europe", "Asia", "Australia"][:count]
+    for continent in continents:
+        f.add(
+            "authors_from_continent",
+            f"return the authors in {continent}",
+            [kw("authors", SELECT), kw(continent, WHERE)],
+            "SELECT t1.name FROM author t1, organization t2 "
+            f"WHERE t2.continent = {sql_quote(continent)} AND t1.oid = t2.oid",
+        )
+
+
+def _homepage_of_venue(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    """Tie-break family: "homepage" matches four relations exactly."""
+    venues = [
+        ("conference", name) for _, name, _ in build.conferences[: count // 2]
+    ] + [("journal", name) for _, name, _ in build.journals[: count - count // 2]]
+    for relation, name in venues:
+        f.add(
+            "homepage_of_venue",
+            f"return the homepage of {name}",
+            [kw("homepage", SELECT), kw(name, WHERE)],
+            f"SELECT t1.homepage FROM {relation} t1 "
+            f"WHERE t1.name = {sql_quote(name)}",
+        )
+
+
+def _papers_min_citations(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    values = gen.sample(range(50, 460, 25), count)
+    for n in values:
+        f.add(
+            "papers_min_citations",
+            f"return the papers with more than {n} citations",
+            [kw("papers", SELECT), kw(f"more than {n} citations", WHERE, op=">")],
+            f"SELECT t1.title FROM publication t1 WHERE t1.citation_num > {n}",
+        )
+
+
+def _abstract_of_paper(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    pids = gen.sample(sorted(build.publications), count)
+    for pid in pids:
+        title = build.publications[pid]["title"]
+        f.add(
+            "abstract_of_paper",
+            f"return the abstract of '{title}'",
+            [kw("abstract", SELECT), kw(title, WHERE)],
+            "SELECT t1.abstract FROM publication t1 "
+            f"WHERE t1.title = {sql_quote(title)}",
+        )
+
+
+def _authors_of_most_cited_paper(
+    build: MasBuild, gen: DataGen, f: ItemFactory, count: int
+):
+    variants = [
+        ("most cited", "citation_num", 1),
+        ("most cited", "citation_num", 3),
+        ("most cited", "citation_num", 5),
+        ("most recent", "year", 1),
+        ("most recent", "year", 3),
+        ("most recent", "year", 5),
+    ][:count]
+    for phrase, attr, limit in variants:
+        plural = "papers" if limit > 1 else "paper"
+        top = f"top {limit} " if limit > 1 else ""
+        f.add(
+            "authors_of_most_cited_paper",
+            f"return the authors of the {top}{phrase} {plural}",
+            [
+                kw("authors", SELECT),
+                kw(phrase, ORDER_BY, descending=True, limit=limit),
+            ],
+            "SELECT t1.name FROM author t1, writes t2, publication t3 "
+            "WHERE t2.aid = t1.aid AND t2.pid = t3.pid "
+            f"ORDER BY t3.{attr} DESC LIMIT {limit}",
+        )
+
+
+def _papers_same_venue_as(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    """Hard family: implicit nesting (a publication self-join via the venue)."""
+    pids = [
+        pid
+        for pid, info in sorted(build.publications.items())
+        if info["venue_kind"] == "conference"
+    ]
+    for pid in gen.sample(pids, count):
+        title = build.publications[pid]["title"]
+        f.add(
+            "papers_same_venue_as",
+            f"return the papers in the same conference as '{title}'",
+            [kw("papers", SELECT), kw(title, WHERE)],
+            "SELECT t1.title FROM publication t1, conference t2, publication t3 "
+            f"WHERE t3.title = {sql_quote(title)} "
+            "AND t1.cid = t2.cid AND t3.cid = t2.cid",
+        )
+
+
+def _papers_between_years(build: MasBuild, gen: DataGen, f: ItemFactory, count: int):
+    """Hard family: BETWEEN predicates are outside Algorithm 2's reach."""
+    starts = gen.sample(range(1992, 2008), count)
+    for start in starts:
+        end = start + gen.int_between(2, 5)
+        f.add(
+            "papers_between_years",
+            f"return the papers between {start} and {end}",
+            [kw("papers", SELECT), kw(f"between {start} and {end}", WHERE)],
+            "SELECT t1.title FROM publication t1 "
+            f"WHERE t1.year BETWEEN {start} AND {end}",
+        )
+
+
+def _excluded_items(f: ItemFactory) -> None:
+    """The two over-complex MAS items the paper removed (Section VII-A4)."""
+    f.add(
+        "excluded_correlated",
+        "return the authors whose papers are cited more than any paper "
+        "written by Jane Doe",
+        [],
+        "-- correlated nested subquery; excluded per paper Section VII-A4",
+        excluded=True,
+        exclusion_reason="correlated nested subquery",
+    )
+    f.add(
+        "excluded_ambiguous",
+        "return the most influential venue in each area over the last decade",
+        [],
+        "-- ambiguous even for a human annotator; excluded per paper",
+        excluded=True,
+        exclusion_reason="ambiguous intent",
+    )

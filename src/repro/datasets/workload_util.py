@@ -1,0 +1,73 @@
+"""Shared helpers for workload (benchmark item) generators."""
+
+from __future__ import annotations
+
+from repro.core.fragments import FragmentContext
+from repro.core.interface import Keyword, KeywordMetadata
+from repro.datasets.base import BenchmarkItem
+
+SELECT = FragmentContext.SELECT
+FROM = FragmentContext.FROM
+WHERE = FragmentContext.WHERE
+ORDER_BY = FragmentContext.ORDER_BY
+
+
+def sql_quote(value: str) -> str:
+    """Single-quote a SQL string literal, escaping embedded quotes."""
+    return "'" + value.replace("'", "''") + "'"
+
+
+def kw(
+    text: str,
+    context: FragmentContext,
+    op: str | None = None,
+    aggregates: tuple[str, ...] = (),
+    grouped: bool = False,
+    distinct: bool = False,
+    descending: bool = False,
+    limit: int | None = None,
+) -> Keyword:
+    """Shorthand for a hand-parsed keyword with metadata."""
+    return Keyword(
+        text,
+        KeywordMetadata(
+            context=context,
+            comparison_op=op,
+            aggregates=aggregates,
+            grouped=grouped,
+            distinct=distinct,
+            descending=descending,
+            limit=limit,
+        ),
+    )
+
+
+class ItemFactory:
+    """Sequentially numbered :class:`BenchmarkItem` builder for one dataset."""
+
+    def __init__(self, dataset: str) -> None:
+        self.dataset = dataset
+        self.counter = 0
+        self.items: list[BenchmarkItem] = []
+
+    def add(
+        self,
+        family: str,
+        nlq: str,
+        keywords: list[Keyword],
+        gold_sql: str,
+        excluded: bool = False,
+        exclusion_reason: str | None = None,
+    ) -> BenchmarkItem:
+        self.counter += 1
+        item = BenchmarkItem(
+            item_id=f"{self.dataset}-{self.counter:03d}",
+            nlq=nlq,
+            keywords=keywords,
+            gold_sql=gold_sql,
+            family=family,
+            excluded=excluded,
+            exclusion_reason=exclusion_reason,
+        )
+        self.items.append(item)
+        return item

@@ -1,0 +1,377 @@
+"""Yelp benchmark workload: 127 usable NLQ-SQL pairs (+1 excluded).
+
+Behaviour classes (see :mod:`repro.datasets.workload_mas`):
+``B`` baseline-winnable, ``T`` Templar-winnable, ``H`` hard.  Yelp's
+traps centre on the review/tip ambiguity ("reviews" matching both
+``review.text`` and ``business.review_count``), the two rating columns,
+and the user↔business path through review vs tip.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import BenchmarkDataset
+from repro.datasets.datagen import DataGen
+from repro.datasets.workload_util import (
+    FROM,
+    SELECT,
+    WHERE,
+    ItemFactory,
+    kw,
+    sql_quote,
+)
+from repro.datasets.yelp import YelpBuild, build_yelp
+from repro.embedding.lexicon import Lexicon
+
+YELP_SCHEMA_TERMS = [
+    "businesses", "business", "users", "user", "reviews", "review",
+    "tips", "tip", "checkins", "checkin", "categories", "category",
+    "neighbourhoods", "neighbourhood", "rating", "ratings", "address",
+    "city", "state",
+]
+
+
+def yelp_lexicon() -> Lexicon:
+    lexicon = Lexicon()
+    entries = {
+        ("place", "business"): 0.70,
+        ("restaurant", "business"): 0.60,
+        ("restaurant", "category"): 0.55,
+        ("customer", "user"): 0.75,
+        ("reviewer", "user"): 0.70,
+        ("score", "rating"): 0.80,
+        ("stars", "rating"): 0.80,
+        ("after", "year"): 0.70,
+        ("since", "year"): 0.70,
+        ("location", "address"): 0.70,
+        ("area", "neighbourhood"): 0.60,
+    }
+    for (a, b), score in entries.items():
+        lexicon.add(a, b, score)
+    return lexicon
+
+
+def build_yelp_dataset(seed: int = 22) -> BenchmarkDataset:
+    build = build_yelp(seed)
+    gen = DataGen(seed + 1000)
+    factory = ItemFactory("yelp")
+
+    _businesses_in_city(build, gen, factory, count=6)         # B
+    _users_reviewed_business(build, gen, factory, count=4)    # B
+    _users_of_business(build, gen, factory, count=6)          # T (LogJoin)
+    _reviews_of_business(build, gen, factory, count=8)        # T
+    _businesses_rating_above(build, gen, factory, count=8)    # T
+    _category_in_city(build, gen, factory, count=8)           # B
+    _count_reviews_of_business(build, gen, factory, count=8)  # T
+    _avg_rating_of_business(build, gen, factory, count=8)     # T
+    _tips_for_business(build, gen, factory, count=6)          # B
+    _count_checkins(build, gen, factory, count=6)             # B
+    _businesses_in_state(build, gen, factory, count=4)        # B
+    _reviews_in_year(build, gen, factory, count=5)            # B (join tiebreak)
+    _address_of_business(build, gen, factory, count=6)        # B
+    _businesses_min_reviews(build, gen, factory, count=6)     # B
+    _businesses_in_neighbourhood(build, gen, factory, count=6)  # B
+    _checkins_on_day(build, gen, factory, count=4)            # B
+    _reviews_rating_above(build, gen, factory, count=8)       # T
+    _reviews_in_month(build, gen, factory, count=10)          # H
+    _open_businesses_in_city(build, gen, factory, count=10)   # H
+    _excluded_items(factory)
+
+    dataset = BenchmarkDataset(
+        name="yelp",
+        database=build.database,
+        items=factory.items,
+        lexicon=yelp_lexicon(),
+        schema_terms=YELP_SCHEMA_TERMS,
+        reference_size_gb=2.0,
+    )
+    dataset.validate_counts(relations=7, attributes=38, fk_pk=7, queries=127)
+    return dataset
+
+
+def _businesses_in_city(build: YelpBuild, gen: DataGen, f: ItemFactory, count: int):
+    cities = (build.cities * 2)[:count]
+    for city in cities:
+        f.add(
+            "businesses_in_city",
+            f"return the businesses in {city}",
+            [kw("businesses", SELECT), kw(city, WHERE)],
+            "SELECT t1.name FROM business t1 "
+            f"WHERE t1.city = {sql_quote(city)}",
+        )
+
+
+def _users_reviewed_business(build: YelpBuild, gen: DataGen, f: ItemFactory, count: int):
+    for name in gen.sample(build.reviewed, count):
+        f.add(
+            "users_reviewed_business",
+            f"return the users with reviews of {name}",
+            [kw("users", SELECT), kw("reviews", FROM), kw(name, WHERE)],
+            "SELECT t1.name FROM user t1, review t2, business t3 "
+            f"WHERE t3.name = {sql_quote(name)} "
+            "AND t2.user_id = t1.uid AND t2.business_id = t3.bid",
+        )
+
+
+def _users_of_business(build: YelpBuild, gen: DataGen, f: ItemFactory, count: int):
+    """LogJoin family: user↔business ties between review and tip routes.
+
+    The annotation keeps only the entity and value keywords, so the join
+    path must be inferred.  Under unit weights the two-edge review and
+    tip routes tie — the system cannot choose and the tie rule scores it
+    incorrect; log-driven weights make the (dominant) review route
+    strictly cheaper, exactly Section VI-A2's "mitigates ... identical
+    scores given to equal-length join paths".
+    """
+    for name in gen.sample(build.reviewed, count):
+        f.add(
+            "users_of_business",
+            f"return the users of {name}",
+            [kw("users", SELECT), kw(name, WHERE)],
+            "SELECT t1.name FROM user t1, review t2, business t3 "
+            f"WHERE t3.name = {sql_quote(name)} "
+            "AND t2.user_id = t1.uid AND t2.business_id = t3.bid",
+        )
+
+
+def _reviews_of_business(build: YelpBuild, gen: DataGen, f: ItemFactory, count: int):
+    for name in gen.sample(build.reviewed, count):
+        f.add(
+            "reviews_of_business",
+            f"return the reviews of {name}",
+            [kw("reviews", SELECT), kw(name, WHERE)],
+            "SELECT t1.text FROM review t1, business t2 "
+            f"WHERE t2.name = {sql_quote(name)} AND t1.business_id = t2.bid",
+        )
+
+
+def _businesses_rating_above(build: YelpBuild, gen: DataGen, f: ItemFactory, count: int):
+    thresholds = [2.5, 3.0, 3.5, 4.0, 4.5, 2.0, 3.2, 4.2][:count]
+    for threshold in thresholds:
+        f.add(
+            "businesses_rating_above",
+            f"return the businesses with rating above {threshold}",
+            [
+                kw("businesses", SELECT),
+                kw(f"rating above {threshold}", WHERE, op=">"),
+            ],
+            f"SELECT t1.name FROM business t1 WHERE t1.rating > {threshold}",
+        )
+
+
+def _category_in_city(build: YelpBuild, gen: DataGen, f: ItemFactory, count: int):
+    combos = []
+    for name, info in sorted(build.businesses.items()):
+        for category in info["categories"]:
+            combos.append((category, info["city"]))
+    seen: set[tuple[str, str]] = set()
+    unique = [c for c in combos if not (c in seen or seen.add(c))]
+    for category, city in gen.sample(unique, count):
+        f.add(
+            "category_in_city",
+            f"return the {category} businesses in {city}",
+            [
+                kw("businesses", SELECT),
+                kw(category, WHERE),
+                kw(city, WHERE),
+            ],
+            "SELECT t1.name FROM business t1, category t2 "
+            f"WHERE t2.category_name = {sql_quote(category)} "
+            f"AND t1.city = {sql_quote(city)} AND t2.business_id = t1.bid",
+        )
+
+
+def _count_reviews_of_business(build: YelpBuild, gen: DataGen, f: ItemFactory, count: int):
+    for name in gen.sample(build.reviewed, count):
+        f.add(
+            "count_reviews_of_business",
+            f"return the number of reviews of {name}",
+            [kw("reviews", SELECT, aggregates=("COUNT",)), kw(name, WHERE)],
+            "SELECT COUNT(t1.text) FROM review t1, business t2 "
+            f"WHERE t2.name = {sql_quote(name)} AND t1.business_id = t2.bid",
+        )
+
+
+def _avg_rating_of_business(build: YelpBuild, gen: DataGen, f: ItemFactory, count: int):
+    for name in gen.sample(build.reviewed, count):
+        f.add(
+            "avg_rating_of_business",
+            f"return the average rating of {name}",
+            [kw("rating", SELECT, aggregates=("AVG",)), kw(name, WHERE)],
+            "SELECT AVG(t1.rating) FROM review t1, business t2 "
+            f"WHERE t2.name = {sql_quote(name)} AND t1.business_id = t2.bid",
+        )
+
+
+def _tips_for_business(build: YelpBuild, gen: DataGen, f: ItemFactory, count: int):
+    for name in gen.sample(build.tipped, count):
+        f.add(
+            "tips_for_business",
+            f"return the tips for {name}",
+            [kw("tips", SELECT), kw(name, WHERE)],
+            "SELECT t1.text FROM tip t1, business t2 "
+            f"WHERE t2.name = {sql_quote(name)} AND t1.business_id = t2.bid",
+        )
+
+
+def _count_checkins(build: YelpBuild, gen: DataGen, f: ItemFactory, count: int):
+    for name in gen.sample(build.checked_in, count):
+        f.add(
+            "count_checkins",
+            f"return the number of checkins of {name}",
+            [kw("checkins", SELECT, aggregates=("COUNT",)), kw(name, WHERE)],
+            "SELECT COUNT(t1.count) FROM checkin t1, business t2 "
+            f"WHERE t2.name = {sql_quote(name)} AND t1.business_id = t2.bid",
+        )
+
+
+def _businesses_in_state(build: YelpBuild, gen: DataGen, f: ItemFactory, count: int):
+    states = ["TX", "CA", "IL", "WA", "MA", "CO"][:count]
+    for state in states:
+        f.add(
+            "businesses_in_state",
+            f"return the businesses in {state}",
+            [kw("businesses", SELECT), kw(state, WHERE)],
+            f"SELECT t1.name FROM business t1 WHERE t1.state = {sql_quote(state)}",
+        )
+
+
+def _reviews_in_year(build: YelpBuild, gen: DataGen, f: ItemFactory, count: int):
+    pairs = []
+    seen: set[tuple[str, int]] = set()
+    for name in build.reviewed:
+        for year in sorted(set(build.review_years)):
+            if (name, year) not in seen:
+                seen.add((name, year))
+                pairs.append((name, year))
+    for name, year in gen.sample(pairs, count):
+        f.add(
+            "reviews_in_year",
+            f"return the reviews of {name} in {year}",
+            [
+                kw("reviews", SELECT),
+                kw(name, WHERE),
+                kw(f"in {year}", WHERE, op="="),
+            ],
+            "SELECT t1.text FROM review t1, business t2 "
+            f"WHERE t2.name = {sql_quote(name)} AND t1.year = {year} "
+            "AND t1.business_id = t2.bid",
+        )
+
+
+def _address_of_business(build: YelpBuild, gen: DataGen, f: ItemFactory, count: int):
+    for name in gen.sample(sorted(build.businesses), count):
+        f.add(
+            "address_of_business",
+            f"return the address of {name}",
+            [kw("address", SELECT), kw(name, WHERE)],
+            "SELECT t1.full_address FROM business t1 "
+            f"WHERE t1.name = {sql_quote(name)}",
+        )
+
+
+def _businesses_min_reviews(build: YelpBuild, gen: DataGen, f: ItemFactory, count: int):
+    values = gen.sample(range(10, 110, 10), count)
+    for n in values:
+        f.add(
+            "businesses_min_reviews",
+            f"return the businesses with more than {n} reviews",
+            [
+                kw("businesses", SELECT),
+                kw(f"more than {n} reviews", WHERE, op=">"),
+            ],
+            f"SELECT t1.name FROM business t1 WHERE t1.review_count > {n}",
+        )
+
+
+def _businesses_in_neighbourhood(
+    build: YelpBuild, gen: DataGen, f: ItemFactory, count: int
+):
+    neighbourhoods = sorted(
+        {
+            info["neighbourhood"]
+            for info in build.businesses.values()
+            if info["neighbourhood"]
+        }
+    )
+    for neighbourhood in gen.sample(neighbourhoods, count):
+        f.add(
+            "businesses_in_neighbourhood",
+            f"return the businesses in the {neighbourhood} neighbourhood",
+            [kw("businesses", SELECT), kw(f"{neighbourhood} neighbourhood", WHERE)],
+            "SELECT t1.name FROM business t1, neighbourhood t2 "
+            f"WHERE t2.neighbourhood_name = {sql_quote(neighbourhood)} "
+            "AND t2.business_id = t1.bid",
+        )
+
+
+def _checkins_on_day(build: YelpBuild, gen: DataGen, f: ItemFactory, count: int):
+    days = ["Sunday", "Saturday", "Friday", "Monday", "Wednesday"][:count]
+    for day in days:
+        f.add(
+            "checkins_on_day",
+            f"return the checkins on {day}",
+            [kw("checkins", SELECT), kw(day, WHERE)],
+            "SELECT t1.count FROM checkin t1 "
+            f"WHERE t1.day = {sql_quote(day)}",
+        )
+
+
+def _reviews_rating_above(build: YelpBuild, gen: DataGen, f: ItemFactory, count: int):
+    """Templar family: business.rating vs review.rating tie on the filter."""
+    thresholds = [2, 3, 4, 2, 3, 4, 2, 3][:count]
+    names = gen.sample(build.reviewed, count)
+    for name, threshold in zip(names, thresholds):
+        f.add(
+            "reviews_rating_above",
+            f"return the reviews of {name} with rating above {threshold}",
+            [
+                kw("reviews", SELECT),
+                kw(name, WHERE),
+                kw(f"rating above {threshold}", WHERE, op=">"),
+            ],
+            "SELECT t1.text FROM review t1, business t2 "
+            f"WHERE t2.name = {sql_quote(name)} AND t1.rating > {threshold} "
+            "AND t1.business_id = t2.bid",
+        )
+
+
+def _open_businesses_in_city(build: YelpBuild, gen: DataGen, f: ItemFactory, count: int):
+    """Hard family: "open" has no textual counterpart (is_open is 0/1)."""
+    cities = (build.cities * 2)[:count]
+    for city in cities:
+        f.add(
+            "open_businesses_in_city",
+            f"return the open businesses in {city}",
+            [kw("businesses", SELECT), kw("open", WHERE), kw(city, WHERE)],
+            "SELECT t1.name FROM business t1 "
+            f"WHERE t1.is_open = 1 AND t1.city = {sql_quote(city)}",
+        )
+
+
+def _reviews_in_month(build: YelpBuild, gen: DataGen, f: ItemFactory, count: int):
+    """Hard family: month names have no textual counterpart in the data."""
+    months = [
+        ("January", 1), ("February", 2), ("March", 3), ("April", 4),
+        ("May", 5), ("June", 6), ("July", 7), ("August", 8),
+        ("September", 9), ("October", 10), ("November", 11), ("December", 12),
+    ][:count]
+    for month_name, month in months:
+        f.add(
+            "reviews_in_month",
+            f"return the reviews written in {month_name}",
+            [kw("reviews", SELECT), kw(month_name, WHERE)],
+            f"SELECT t1.text FROM review t1 WHERE t1.month = {month}",
+        )
+
+
+def _excluded_items(f: ItemFactory) -> None:
+    """The one over-complex Yelp item the paper removed."""
+    f.add(
+        "excluded_correlated",
+        "return the businesses whose rating is above the average rating of "
+        "their city",
+        [],
+        "-- correlated nested subquery; excluded per paper Section VII-A4",
+        excluded=True,
+        exclusion_reason="correlated nested subquery",
+    )

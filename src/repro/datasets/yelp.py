@@ -1,0 +1,226 @@
+"""The Yelp benchmark dataset: schema and synthetic data.
+
+Schema follows the Yelp database used by SQLizer [41] and the paper:
+7 relations, 38 attributes, 7 FK-PK constraints (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.datagen import CITIES, DataGen
+from repro.db.catalog import Catalog, Column, ForeignKey, TableSchema
+from repro.db.database import Database
+from repro.db.types import ColumnType
+
+_TEXT = ColumnType.TEXT
+_INT = ColumnType.INTEGER
+_FLOAT = ColumnType.FLOAT
+
+STATE_OF_CITY = {
+    "Dallas": "TX", "Los Angeles": "CA", "Chicago": "IL", "Phoenix": "AZ",
+    "Seattle": "WA", "Denver": "CO", "Atlanta": "GA", "Boston": "MA",
+    "Portland": "OR", "Austin": "TX", "Madison": "WI", "Pittsburgh": "PA",
+}
+
+CATEGORIES = [
+    "Restaurants", "Italian", "Mexican", "Chinese", "Bars", "Coffee",
+    "Bakeries", "Gyms", "Salons", "Hotels", "Pizza", "Sushi", "Burgers",
+    "Vegan", "Steakhouses",
+]
+
+NEIGHBOURHOODS = [
+    "Downtown", "Riverside", "Old Town", "Uptown", "Lakeview", "Midtown",
+    "Harborside", "Greenfield",
+]
+
+BUSINESS_FIRST = [
+    "Golden", "Silver", "Rustic", "Urban", "Cozy", "Grand", "Happy",
+    "Blue", "Sunny", "Royal", "Velvet", "Iron", "Copper", "Maple", "Cedar",
+]
+
+BUSINESS_SECOND = [
+    "Dragon", "Table", "Fork", "Garden", "Spoon", "Oven", "Grill",
+    "Corner", "House", "Kettle", "Anchor", "Lantern", "Barrel", "Door",
+]
+
+DAYS = ["Monday", "Tuesday", "Wednesday", "Thursday", "Friday",
+        "Saturday", "Sunday"]
+
+REVIEW_SNIPPETS = [
+    "Great atmosphere and friendly staff.",
+    "The food was outstanding and arrived quickly.",
+    "Service was slow but the dishes were worth the wait.",
+    "A hidden gem with generous portions.",
+    "Would definitely come back with friends.",
+    "Prices are fair for the quality you get.",
+    "The ambiance is perfect for a quiet evening.",
+    "Disappointing experience, the order was wrong.",
+]
+
+TIP_SNIPPETS = [
+    "Try the daily special.",
+    "Parking is easier on the side street.",
+    "Ask for the corner booth.",
+    "Happy hour starts at five.",
+    "The patio is dog friendly.",
+    "Order ahead on busy weekends.",
+]
+
+
+@dataclass
+class YelpBuild:
+    database: Database
+    cities: list[str] = field(default_factory=list)
+    categories: list[str] = field(default_factory=list)
+    #: business name -> dict(city, state, categories, neighbourhood)
+    businesses: dict[str, dict] = field(default_factory=dict)
+    users: list[str] = field(default_factory=list)
+    #: businesses that have at least one review / tip / checkin
+    reviewed: list[str] = field(default_factory=list)
+    tipped: list[str] = field(default_factory=list)
+    checked_in: list[str] = field(default_factory=list)
+    review_years: list[int] = field(default_factory=list)
+
+
+def build_yelp_catalog() -> Catalog:
+    """7 relations / 38 attributes / 7 FK-PK constraints (Table II)."""
+    catalog = Catalog()
+    catalog.add_table(TableSchema("business", [
+        Column("bid", _INT), Column("business_id", _TEXT),
+        Column("name", _TEXT, display=True, searchable=True),
+        Column("full_address", _TEXT, searchable=True),
+        Column("city", _TEXT, searchable=True),
+        Column("state", _TEXT, searchable=True),
+        Column("latitude", _FLOAT), Column("longitude", _FLOAT),
+        Column("review_count", _INT), Column("is_open", _INT),
+        Column("rating", _FLOAT),
+    ], primary_key="bid"))
+    catalog.add_table(TableSchema("category", [
+        Column("id", _INT), Column("business_id", _INT),
+        Column("category_name", _TEXT, display=True, searchable=True),
+    ], primary_key="id"))
+    catalog.add_table(TableSchema("user", [
+        Column("uid", _INT), Column("user_id", _TEXT),
+        Column("name", _TEXT, display=True, searchable=True),
+    ], primary_key="uid"))
+    catalog.add_table(TableSchema("checkin", [
+        Column("cid", _INT), Column("business_id", _INT),
+        # count is the payload of a checkin row; marking it as the display
+        # column lets "checkins" project it, as the benchmark gold does.
+        Column("count", _INT, display=True), Column("day", _TEXT, searchable=True),
+    ], primary_key="cid"))
+    catalog.add_table(TableSchema("neighbourhood", [
+        Column("id", _INT), Column("business_id", _INT),
+        Column("neighbourhood_name", _TEXT, display=True, searchable=True),
+    ], primary_key="id"))
+    catalog.add_table(TableSchema("review", [
+        Column("rid", _INT), Column("business_id", _INT),
+        Column("user_id", _INT), Column("rating", _FLOAT),
+        Column("text", _TEXT, display=True, searchable=True),
+        Column("year", _INT), Column("month", _INT),
+    ], primary_key="rid"))
+    catalog.add_table(TableSchema("tip", [
+        Column("id", _INT), Column("business_id", _INT),
+        Column("text", _TEXT, display=True, searchable=True),
+        Column("user_id", _INT), Column("likes", _INT),
+        Column("year", _INT), Column("month", _INT),
+    ], primary_key="id"))
+
+    for source, column in [
+        ("category", "business_id"), ("checkin", "business_id"),
+        ("neighbourhood", "business_id"), ("review", "business_id"),
+        ("tip", "business_id"),
+    ]:
+        catalog.add_foreign_key(ForeignKey(source, column, "business", "bid"))
+    catalog.add_foreign_key(ForeignKey("review", "user_id", "user", "uid"))
+    catalog.add_foreign_key(ForeignKey("tip", "user_id", "user", "uid"))
+    return catalog
+
+
+def build_yelp(seed: int = 22, business_count: int = 90) -> YelpBuild:
+    gen = DataGen(seed)
+    catalog = build_yelp_catalog()
+    db = Database("yelp", catalog)
+    build = YelpBuild(database=db, cities=list(CITIES), categories=list(CATEGORIES))
+
+    used_users: set[str] = set()
+    for uid in range(1, 61):
+        name = gen.person_name(used_users)
+        db.insert("user", (uid, f"u{uid:04d}", name))
+        build.users.append(name)
+
+    used_names: set[str] = set()
+    category_id = 1
+    neighbourhood_id = 1
+    for bid in range(1, business_count + 1):
+        name = None
+        while name is None or name in used_names:
+            name = f"{gen.choice(BUSINESS_FIRST)} {gen.choice(BUSINESS_SECOND)}"
+        used_names.add(name)
+        city = gen.choice(CITIES)
+        state = STATE_OF_CITY[city]
+        street = f"{gen.int_between(10, 999)} {gen.choice(BUSINESS_SECOND)} St"
+        address = f"{street}, {city}, {state} {gen.int_between(10000, 99999)}"
+        rating = gen.float_between(1.5, 5.0, 1)
+        review_count = gen.int_between(0, 120)
+        db.insert("business", (
+            bid, f"b{bid:04d}", name, address, city, state,
+            gen.float_between(25.0, 48.0, 4), gen.float_between(-123.0, -71.0, 4),
+            review_count, 1 if gen.chance(0.85) else 0, rating,
+        ))
+        categories = gen.sample(CATEGORIES, gen.int_between(1, 3))
+        for category in categories:
+            db.insert("category", (category_id, bid, category))
+            category_id += 1
+        neighbourhood = None
+        if gen.chance(0.6):
+            neighbourhood = gen.choice(NEIGHBOURHOODS)
+            db.insert("neighbourhood", (neighbourhood_id, bid, neighbourhood))
+            neighbourhood_id += 1
+        build.businesses[name] = {
+            "bid": bid,
+            "city": city,
+            "state": state,
+            "categories": categories,
+            "neighbourhood": neighbourhood,
+        }
+
+    business_names = sorted(build.businesses)
+    reviewed: set[str] = set()
+    for rid in range(1, 301):
+        name = gen.choice(business_names)
+        bid = build.businesses[name]["bid"]
+        year = gen.int_between(2008, 2015)
+        db.insert("review", (
+            rid, bid, gen.int_between(1, 60),
+            float(gen.int_between(1, 5)), gen.choice(REVIEW_SNIPPETS),
+            year, gen.int_between(1, 12),
+        ))
+        reviewed.add(name)
+        build.review_years.append(year)
+
+    tipped: set[str] = set()
+    for tid in range(1, 151):
+        name = gen.choice(business_names)
+        bid = build.businesses[name]["bid"]
+        db.insert("tip", (
+            tid, bid, gen.choice(TIP_SNIPPETS), gen.int_between(1, 60),
+            gen.int_between(0, 40), gen.int_between(2008, 2015),
+            gen.int_between(1, 12),
+        ))
+        tipped.add(name)
+
+    checked: set[str] = set()
+    for cid in range(1, 181):
+        name = gen.choice(business_names)
+        bid = build.businesses[name]["bid"]
+        db.insert("checkin", (
+            cid, bid, gen.int_between(1, 100), gen.choice(DAYS),
+        ))
+        checked.add(name)
+
+    build.reviewed = sorted(reviewed)
+    build.tipped = sorted(tipped)
+    build.checked_in = sorted(checked)
+    return build

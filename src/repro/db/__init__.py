@@ -1,0 +1,31 @@
+"""In-memory relational database engine.
+
+This subpackage is the substrate that replaces MySQL 5.7 in the original
+Templar deployment.  It provides:
+
+* a typed catalog with foreign-key constraints (:mod:`repro.db.catalog`),
+* row storage with per-column statistics (:mod:`repro.db.table`),
+* a database facade (:mod:`repro.db.database`),
+* a Porter-stemmed inverted full-text index replicating MySQL's
+  ``MATCH ... AGAINST (... IN BOOLEAN MODE)`` prefix search
+  (:mod:`repro.db.fulltext`),
+* a SELECT executor with hash joins, grouping and aggregation
+  (:mod:`repro.db.executor`).
+"""
+
+from repro.db.catalog import Catalog, Column, ColumnRefSpec, ForeignKey, TableSchema
+from repro.db.database import Database
+from repro.db.table import Table
+from repro.db.types import ColumnType, coerce_value
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnRefSpec",
+    "ColumnType",
+    "Database",
+    "ForeignKey",
+    "Table",
+    "TableSchema",
+    "coerce_value",
+]

@@ -1,0 +1,213 @@
+"""Schema catalog: tables, columns and foreign-key constraints.
+
+The catalog is the single source of truth for the schema graph
+(:mod:`repro.schema_graph`), the SQL binder (:mod:`repro.sql.binder`) and
+the keyword mapper's candidate generation (relations and attributes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.types import ColumnType
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition.
+
+    ``display`` marks the human-facing attribute of a relation (e.g.
+    ``publication.title``) that NLIDBs project when an NLQ references the
+    relation as a whole.  ``searchable`` marks text columns included in the
+    full-text index.
+    """
+
+    name: str
+    type: ColumnType
+    display: bool = False
+    searchable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name {self.name!r}")
+        if self.searchable and self.type is not ColumnType.TEXT:
+            raise SchemaError(
+                f"column {self.name!r}: only TEXT columns can be searchable"
+            )
+
+
+@dataclass(frozen=True)
+class ColumnRefSpec:
+    """A fully-qualified ``table.column`` reference within a catalog."""
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """An FK-PK constraint: ``source.source_column -> target.target_column``."""
+
+    source: str
+    source_column: str
+    target: str
+    target_column: str
+
+    @property
+    def source_ref(self) -> ColumnRefSpec:
+        return ColumnRefSpec(self.source, self.source_column)
+
+    @property
+    def target_ref(self) -> ColumnRefSpec:
+        return ColumnRefSpec(self.target, self.target_column)
+
+    def __str__(self) -> str:
+        return f"{self.source_ref} -> {self.target_ref}"
+
+
+class TableSchema:
+    """An ordered collection of columns with an optional primary key."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: list[Column],
+        primary_key: tuple[str, ...] | str | None = None,
+    ) -> None:
+        if not name or not name.isidentifier():
+            raise SchemaError(f"invalid table name {name!r}")
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        self.name = name
+        self.columns: tuple[Column, ...] = tuple(columns)
+        self._by_name = {column.name: column for column in self.columns}
+        if len(self._by_name) != len(self.columns):
+            raise SchemaError(f"table {name!r} has duplicate column names")
+        if isinstance(primary_key, str):
+            primary_key = (primary_key,)
+        self.primary_key: tuple[str, ...] = tuple(primary_key or ())
+        for pk_column in self.primary_key:
+            if pk_column not in self._by_name:
+                raise SchemaError(
+                    f"table {name!r}: primary key column {pk_column!r} not found"
+                )
+        display_columns = [c.name for c in self.columns if c.display]
+        if len(display_columns) > 1:
+            raise SchemaError(
+                f"table {name!r} declares multiple display columns: {display_columns}"
+            )
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    @property
+    def display_column(self) -> str | None:
+        """Name of the display column, or ``None`` if not declared."""
+        for column in self.columns:
+            if column.display:
+                return column.name
+        return None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}") from None
+
+    def column_index(self, name: str) -> int:
+        for index, column in enumerate(self.columns):
+            if column.name == name:
+                return index
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def __repr__(self) -> str:
+        return f"TableSchema({self.name!r}, {len(self.columns)} columns)"
+
+
+@dataclass
+class Catalog:
+    """All table schemas plus foreign-key constraints for one database."""
+
+    tables: dict[str, TableSchema] = field(default_factory=dict)
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    def add_table(self, schema: TableSchema) -> TableSchema:
+        if schema.name in self.tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        self.tables[schema.name] = schema
+        return schema
+
+    def add_foreign_key(self, fk: ForeignKey) -> ForeignKey:
+        """Register ``fk`` after validating both endpoints exist."""
+        for table, column in ((fk.source, fk.source_column), (fk.target, fk.target_column)):
+            if table not in self.tables:
+                raise SchemaError(f"foreign key references unknown table {table!r}")
+            if not self.tables[table].has_column(column):
+                raise SchemaError(
+                    f"foreign key references unknown column {table}.{column}"
+                )
+        self.foreign_keys.append(fk)
+        return fk
+
+    def table(self, name: str) -> TableSchema:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self.tables
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self.tables)
+
+    def all_attributes(self) -> list[ColumnRefSpec]:
+        """Every ``table.column`` pair in the catalog, in schema order."""
+        refs: list[ColumnRefSpec] = []
+        for schema in self.tables.values():
+            for column in schema.columns:
+                refs.append(ColumnRefSpec(schema.name, column.name))
+        return refs
+
+    def numeric_attributes(self) -> list[ColumnRefSpec]:
+        """All INTEGER/FLOAT attributes (candidates for numeric keywords)."""
+        return [
+            ColumnRefSpec(schema.name, column.name)
+            for schema in self.tables.values()
+            for column in schema.columns
+            if column.type.is_numeric
+        ]
+
+    def text_attributes(self) -> list[ColumnRefSpec]:
+        """All searchable TEXT attributes (candidates for value keywords)."""
+        return [
+            ColumnRefSpec(schema.name, column.name)
+            for schema in self.tables.values()
+            for column in schema.columns
+            if column.searchable
+        ]
+
+    def foreign_keys_of(self, table: str) -> list[ForeignKey]:
+        """Foreign keys where ``table`` is either endpoint."""
+        return [
+            fk
+            for fk in self.foreign_keys
+            if fk.source == table or fk.target == table
+        ]
+
+    def stats(self) -> dict[str, int]:
+        """Counts used to reproduce Table II of the paper."""
+        return {
+            "relations": len(self.tables),
+            "attributes": sum(len(t.columns) for t in self.tables.values()),
+            "fk_pk": len(self.foreign_keys),
+        }

@@ -1,0 +1,134 @@
+"""Database facade: catalog + tables + full-text index + execution.
+
+A :class:`Database` is what Templar's keyword mapper receives as ``D`` in
+``MAPKEYWORDS(D, S, M)``: it answers schema questions (relations,
+attributes), runs candidate predicates (``exec(c)``), and serves the
+boolean-mode full-text search for value keywords.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.db.catalog import Catalog, ColumnRefSpec, ForeignKey, TableSchema
+from repro.db.fulltext import FullTextIndex
+from repro.db.table import Table
+from repro.db.types import SqlValue
+from repro.errors import SchemaError
+
+
+class Database:
+    """An in-memory database instance."""
+
+    def __init__(self, name: str, catalog: Catalog | None = None) -> None:
+        self.name = name
+        self.catalog = catalog or Catalog()
+        self._tables: dict[str, Table] = {
+            table_name: Table(schema)
+            for table_name, schema in self.catalog.tables.items()
+        }
+        self._fulltext: FullTextIndex | None = None
+
+    # ------------------------------------------------------------------ DDL
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Register ``schema`` and allocate empty storage for it."""
+        self.catalog.add_table(schema)
+        table = Table(schema)
+        self._tables[schema.name] = table
+        self._fulltext = None
+        return table
+
+    def add_foreign_key(self, fk: ForeignKey) -> ForeignKey:
+        return self.catalog.add_foreign_key(fk)
+
+    # ------------------------------------------------------------------ DML
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"unknown table {name!r}") from None
+
+    def insert(self, table: str, values: Sequence[Any] | dict[str, Any]) -> None:
+        self.table(table).insert(values)
+        self._fulltext = None
+
+    def insert_many(
+        self, table: str, rows: Iterable[Sequence[Any] | dict[str, Any]]
+    ) -> int:
+        count = self.table(table).insert_many(rows)
+        self._fulltext = None
+        return count
+
+    # ----------------------------------------------------------- inspection
+
+    @property
+    def relations(self) -> tuple[str, ...]:
+        return self.catalog.table_names
+
+    def attributes(self) -> list[ColumnRefSpec]:
+        return self.catalog.all_attributes()
+
+    def numeric_attributes(self) -> list[ColumnRefSpec]:
+        return self.catalog.numeric_attributes()
+
+    def text_attributes(self) -> list[ColumnRefSpec]:
+        return self.catalog.text_attributes()
+
+    def row_count(self, table: str) -> int:
+        return len(self.table(table))
+
+    def total_rows(self) -> int:
+        return sum(len(table) for table in self._tables.values())
+
+    # ---------------------------------------------------------- primitives
+
+    def predicate_nonempty(
+        self, table: str, column: str, op: str, literal: SqlValue
+    ) -> bool:
+        """The paper's ``exec(c)`` check: does any row satisfy the predicate?"""
+        return self.table(table).any_value_satisfies(column, op, literal)
+
+    def distinct_values(self, table: str, column: str) -> list[SqlValue]:
+        return self.table(table).distinct_values(column)
+
+    @property
+    def fulltext(self) -> FullTextIndex:
+        """The full-text index, (re)built lazily after any mutation."""
+        if self._fulltext is None:
+            index = FullTextIndex()
+            for ref in self.catalog.text_attributes():
+                table = self.table(ref.table)
+                for value in table.distinct_values(ref.column):
+                    if isinstance(value, str):
+                        index.add_value(ref.table, ref.column, value)
+            self._fulltext = index
+        return self._fulltext
+
+    # ------------------------------------------------------------ execution
+
+    def execute(self, sql: str) -> "QueryResult":
+        """Parse, bind and execute a SELECT statement against this database.
+
+        Provided so examples and tests can answer translated NLQs
+        end-to-end.  Imported lazily to keep the module dependency graph
+        acyclic (the executor depends on the SQL front-end, which depends on
+        this package's catalog).
+        """
+        from repro.db.executor import execute_sql
+
+        return execute_sql(self, sql)
+
+    def __repr__(self) -> str:
+        return (
+            f"Database({self.name!r}, {len(self._tables)} tables, "
+            f"{self.total_rows()} rows)"
+        )
+
+
+# Re-exported here for type checkers; defined in the executor module.
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.executor import QueryResult

@@ -1,0 +1,492 @@
+"""SELECT executor over the in-memory engine.
+
+Executes bound queries: greedy hash joins over the FROM instances, filter
+evaluation with SQL three-valued-ish semantics, grouping and aggregation,
+HAVING, ORDER BY, DISTINCT and LIMIT.  Uncorrelated subqueries are
+materialized once.
+
+This executor exists so examples and tests can run translated NLQs
+end-to-end; Templar itself only needs the cheaper primitives on
+:class:`~repro.db.database.Database`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.db.types import SqlValue, compare_values, like_match
+from repro.errors import ExecutionError
+from repro.sql.ast import (
+    AndPredicate,
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FuncCall,
+    InPredicate,
+    IsNullPredicate,
+    Literal,
+    NotPredicate,
+    OpPlaceholder,
+    OrPredicate,
+    Predicate,
+    Query,
+    Star,
+    Subquery,
+    ValuePlaceholder,
+)
+from repro.sql.binder import BoundQuery, bind_query
+from repro.sql.parser import parse_query
+from repro.sql.writer import write_expr
+
+#: One in-flight joined row: instance name -> source row tuple.
+Env = dict[str, tuple[SqlValue, ...]]
+
+
+@dataclass
+class QueryResult:
+    """Materialized result of a SELECT."""
+
+    columns: list[str]
+    rows: list[tuple[SqlValue, ...]]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> SqlValue:
+        """The single value of a 1x1 result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"expected a 1x1 result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def column(self, index: int = 0) -> list[SqlValue]:
+        return [row[index] for row in self.rows]
+
+
+def execute_sql(database: Database, sql: str) -> QueryResult:
+    """Parse, bind and execute ``sql`` against ``database``."""
+    query = parse_query(sql)
+    bound = bind_query(query, database.catalog)
+    return execute_bound(database, bound)
+
+
+def execute_bound(database: Database, bound: BoundQuery) -> QueryResult:
+    """Execute an already-bound query."""
+    executor = _Executor(database, bound)
+    return executor.run()
+
+
+class _Executor:
+    def __init__(self, database: Database, bound: BoundQuery) -> None:
+        self.database = database
+        self.bound = bound
+        self.query: Query = bound.query
+
+    # ------------------------------------------------------------- driver
+
+    def run(self) -> QueryResult:
+        envs = self._join_from_clause()
+        envs = [env for env in envs if self._filters_pass(env)]
+
+        if self._is_aggregate_query():
+            rows = self._execute_grouped(envs)
+        else:
+            rows = [
+                tuple(self._eval_expr(item.expr, env) for item in self.query.select)
+                for env in envs
+            ]
+            rows = self._order_rows(rows, envs)
+
+        if self.query.distinct:
+            rows = _dedupe(rows)
+        if self.query.limit is not None:
+            rows = rows[: self.query.limit]
+        return QueryResult(columns=self._column_names(), rows=rows)
+
+    def _column_names(self) -> list[str]:
+        names: list[str] = []
+        for item in self.query.select:
+            names.append(item.alias or write_expr(item.expr))
+        return names
+
+    # ---------------------------------------------------------------- FROM
+
+    def _join_from_clause(self) -> list[Env]:
+        instances = list(self.bound.instances.items())  # (name, relation)
+        if not instances:
+            raise ExecutionError("query has no FROM clause")
+
+        joined: list[Env] = []
+        remaining = dict(instances)
+        # Start from the first FROM entry.
+        first_name, first_relation = instances[0]
+        for row in self.database.table(first_relation).rows:
+            joined.append({first_name: row})
+        del remaining[first_name]
+        placed = {first_name}
+
+        conditions = [jc for jc in self.bound.join_conditions]
+        while remaining:
+            pick = self._pick_next_instance(placed, remaining, conditions)
+            name, relation = pick
+            applicable = [
+                jc
+                for jc in conditions
+                if {jc.left.instance, jc.right.instance} <= placed | {name}
+                and name in (jc.left.instance, jc.right.instance)
+            ]
+            joined = self._join_one(joined, name, relation, applicable, placed)
+            placed.add(name)
+            del remaining[name]
+        return joined
+
+    def _pick_next_instance(
+        self,
+        placed: set[str],
+        remaining: dict[str, str],
+        conditions,
+    ) -> tuple[str, str]:
+        """Prefer an instance connected to the placed set (avoids cross joins)."""
+        for name, relation in remaining.items():
+            for jc in conditions:
+                pair = {jc.left.instance, jc.right.instance}
+                if name in pair and (pair - {name}) <= placed:
+                    return name, relation
+        # No connected instance: fall back to the first remaining (cross join).
+        name = next(iter(remaining))
+        return name, remaining[name]
+
+    def _join_one(
+        self,
+        joined: list[Env],
+        name: str,
+        relation: str,
+        conditions,
+        placed: set[str],
+    ) -> list[Env]:
+        table = self.database.table(relation)
+        hash_conditions = [
+            jc
+            for jc in conditions
+            if (jc.left.instance == name) != (jc.right.instance == name)
+        ]
+        if hash_conditions:
+            jc = hash_conditions[0]
+            if jc.left.instance == name:
+                new_col, old_col = jc.left, jc.right
+            else:
+                new_col, old_col = jc.right, jc.left
+            new_index = table.schema.column_index(new_col.column)
+            buckets: dict[SqlValue, list[tuple[SqlValue, ...]]] = {}
+            for row in table.rows:
+                buckets.setdefault(row[new_index], []).append(row)
+            old_schema = self.database.table(
+                self.bound.instances[old_col.instance]
+            ).schema
+            old_index = old_schema.column_index(old_col.column)
+            result: list[Env] = []
+            rest = hash_conditions[1:]
+            for env in joined:
+                key = env[old_col.instance][old_index]
+                if key is None:
+                    continue
+                for row in buckets.get(key, ()):
+                    new_env = dict(env)
+                    new_env[name] = row
+                    if all(self._join_condition_holds(jc2, new_env) for jc2 in rest):
+                        result.append(new_env)
+            return result
+        # Cross join (rare; only for disconnected FROM lists).
+        result = []
+        for env in joined:
+            for row in table.rows:
+                new_env = dict(env)
+                new_env[name] = row
+                result.append(new_env)
+        return result
+
+    def _join_condition_holds(self, jc, env: Env) -> bool:
+        left = self._column_value(jc.left.instance, jc.left.column, env)
+        right = self._column_value(jc.right.instance, jc.right.column, env)
+        return left is not None and left == right
+
+    # ------------------------------------------------------------- filters
+
+    def _filters_pass(self, env: Env) -> bool:
+        return all(
+            self._eval_predicate(p, env) for p in self.bound.filter_conjuncts
+        )
+
+    def _eval_predicate(self, predicate: Predicate, env: Env | None) -> bool:
+        if isinstance(predicate, Comparison):
+            if isinstance(predicate.op, OpPlaceholder):
+                raise ExecutionError("cannot execute an obscured ?op predicate")
+            left = self._eval_expr(predicate.left, env)
+            right = self._eval_expr(predicate.right, env)
+            if predicate.op in ("LIKE", "NOT LIKE"):
+                if right is None:
+                    return False
+                matched = like_match(left, str(right))
+                return not matched if predicate.op == "NOT LIKE" else matched
+            return compare_values(left, right, predicate.op)
+        if isinstance(predicate, InPredicate):
+            left = self._eval_expr(predicate.left, env)
+            if len(predicate.values) == 1 and isinstance(
+                predicate.values[0], Subquery
+            ):
+                candidates = self._subquery_column(predicate.values[0])
+            else:
+                candidates = [self._eval_expr(v, env) for v in predicate.values]
+            found = any(
+                compare_values(left, candidate, "=") for candidate in candidates
+            )
+            return not found if predicate.negated else found
+        if isinstance(predicate, BetweenPredicate):
+            left = self._eval_expr(predicate.left, env)
+            low = self._eval_expr(predicate.low, env)
+            high = self._eval_expr(predicate.high, env)
+            inside = compare_values(left, low, ">=") and compare_values(
+                left, high, "<="
+            )
+            return not inside if predicate.negated else inside
+        if isinstance(predicate, IsNullPredicate):
+            left = self._eval_expr(predicate.left, env)
+            is_null = left is None
+            return not is_null if predicate.negated else is_null
+        if isinstance(predicate, AndPredicate):
+            return all(self._eval_predicate(c, env) for c in predicate.children)
+        if isinstance(predicate, OrPredicate):
+            return any(self._eval_predicate(c, env) for c in predicate.children)
+        if isinstance(predicate, NotPredicate):
+            return not self._eval_predicate(predicate.child, env)
+        raise ExecutionError(f"unsupported predicate {predicate!r}")
+
+    # ----------------------------------------------------------- expression
+
+    def _column_value(self, instance: str, column: str, env: Env) -> SqlValue:
+        relation = self.bound.instances[instance]
+        index = self.database.table(relation).schema.column_index(column)
+        return env[instance][index]
+
+    def _eval_expr(self, expr: Expr, env: Env | None) -> SqlValue:
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, ValuePlaceholder):
+            raise ExecutionError("cannot execute an obscured ?val expression")
+        if isinstance(expr, ColumnRef):
+            if env is None:
+                raise ExecutionError(
+                    f"column {expr} referenced outside row context"
+                )
+            column = self.bound.resolve(expr)
+            return self._column_value(column.instance, column.column, env)
+        if isinstance(expr, Subquery):
+            return self._subquery_scalar(expr)
+        if isinstance(expr, FuncCall):
+            if expr.is_aggregate:
+                raise ExecutionError(
+                    f"aggregate {expr.name} outside grouping context"
+                )
+            raise ExecutionError(f"unsupported function {expr.name!r}")
+        if isinstance(expr, Star):
+            raise ExecutionError("bare * only supported inside COUNT(*)")
+        raise ExecutionError(f"unsupported expression {expr!r}")
+
+    def _subquery_result(self, sub: Subquery) -> QueryResult:
+        bound = bind_query(sub.query, self.database.catalog)
+        return execute_bound(self.database, bound)
+
+    def _subquery_scalar(self, sub: Subquery) -> SqlValue:
+        return self._subquery_result(sub).scalar()
+
+    def _subquery_column(self, sub: Subquery) -> list[SqlValue]:
+        return self._subquery_result(sub).column(0)
+
+    # ------------------------------------------------------------ grouping
+
+    def _is_aggregate_query(self) -> bool:
+        if self.query.group_by:
+            return True
+        return any(
+            isinstance(item.expr, FuncCall) and item.expr.is_aggregate
+            for item in self.query.select
+        )
+
+    def _execute_grouped(self, envs: list[Env]) -> list[tuple[SqlValue, ...]]:
+        groups: dict[tuple[SqlValue, ...], list[Env]] = {}
+        order: list[tuple[SqlValue, ...]] = []
+        for env in envs:
+            key = tuple(
+                self._eval_expr(expr, env) for expr in self.query.group_by
+            )
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(env)
+        if not self.query.group_by and not groups:
+            # Aggregate over an empty input still yields one row (e.g. COUNT=0).
+            groups[()] = []
+            order.append(())
+
+        rows: list[tuple[SqlValue, ...]] = []
+        group_sort_keys: list[tuple] = []
+        for key in order:
+            members = groups[key]
+            if self.query.having is not None and not self._eval_group_predicate(
+                self.query.having, members
+            ):
+                continue
+            row = tuple(
+                self._eval_group_expr(item.expr, members)
+                for item in self.query.select
+            )
+            rows.append(row)
+            if self.query.order_by:
+                group_sort_keys.append(
+                    tuple(
+                        (
+                            self._eval_group_expr(item.expr, members),
+                            item.descending,
+                        )
+                        for item in self.query.order_by
+                    )
+                )
+        if self.query.order_by and rows:
+            rows = _sort_with_keys(rows, group_sort_keys)
+        return rows
+
+    def _eval_group_predicate(self, predicate: Predicate, members: list[Env]) -> bool:
+        if isinstance(predicate, Comparison):
+            if isinstance(predicate.op, OpPlaceholder):
+                raise ExecutionError("cannot execute an obscured ?op predicate")
+            left = self._eval_group_expr(predicate.left, members)
+            right = self._eval_group_expr(predicate.right, members)
+            return compare_values(left, right, predicate.op)
+        if isinstance(predicate, AndPredicate):
+            return all(
+                self._eval_group_predicate(c, members) for c in predicate.children
+            )
+        if isinstance(predicate, OrPredicate):
+            return any(
+                self._eval_group_predicate(c, members) for c in predicate.children
+            )
+        if isinstance(predicate, NotPredicate):
+            return not self._eval_group_predicate(predicate.child, members)
+        raise ExecutionError(f"unsupported HAVING predicate {predicate!r}")
+
+    def _eval_group_expr(self, expr: Expr, members: list[Env]) -> SqlValue:
+        if isinstance(expr, FuncCall) and expr.is_aggregate:
+            return self._eval_aggregate(expr, members)
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, Subquery):
+            return self._subquery_scalar(expr)
+        # Non-aggregate expression: evaluate on a representative member
+        # (valid because it must be a grouping key).
+        if not members:
+            return None
+        return self._eval_expr(expr, members[0])
+
+    def _eval_aggregate(self, func: FuncCall, members: list[Env]) -> SqlValue:
+        name = func.name.upper()
+        if name == "COUNT" and (not func.args or isinstance(func.args[0], Star)):
+            return len(members)
+        if not func.args:
+            raise ExecutionError(f"aggregate {name} requires an argument")
+        values = [self._eval_expr(func.args[0], env) for env in members]
+        values = [value for value in values if value is not None]
+        if func.distinct:
+            values = _dedupe_values(values)
+        if name == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if name == "SUM":
+            return sum(values)  # type: ignore[arg-type]
+        if name == "AVG":
+            return sum(values) / len(values)  # type: ignore[arg-type]
+        if name == "MIN":
+            return min(values)  # type: ignore[type-var]
+        if name == "MAX":
+            return max(values)  # type: ignore[type-var]
+        raise ExecutionError(f"unsupported aggregate {name!r}")
+
+    # ------------------------------------------------------------- ordering
+
+    def _order_rows(
+        self, rows: list[tuple[SqlValue, ...]], envs: list[Env]
+    ) -> list[tuple[SqlValue, ...]]:
+        if not self.query.order_by or not rows:
+            return rows
+        sort_keys = [
+            tuple(
+                (self._eval_expr(item.expr, env), item.descending)
+                for item in self.query.order_by
+            )
+            for env in envs
+        ]
+        return _sort_with_keys(rows, sort_keys)
+
+
+def _sort_with_keys(
+    rows: list[tuple[SqlValue, ...]], keys: list[tuple]
+) -> list[tuple[SqlValue, ...]]:
+    """Stable sort of ``rows`` by per-row (value, descending) key tuples.
+
+    NULLs sort last ascending / first descending, mirroring MySQL.
+    """
+
+    def sort_key(pair):
+        _, key = pair
+        transformed = []
+        for value, descending in key:
+            null_rank = 1 if value is None else 0
+            if descending:
+                null_rank = -null_rank
+            transformed.append((null_rank, _Reversed(value) if descending else value))
+        return tuple(transformed)
+
+    paired = sorted(zip(rows, keys), key=sort_key)
+    return [row for row, _ in paired]
+
+
+class _Reversed:
+    """Wrapper inverting comparison order for DESC sort keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: SqlValue) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        if self.value is None:
+            return other.value is not None and False
+        if other.value is None:
+            return True  # non-null sorts before null under DESC
+        return other.value < self.value  # type: ignore[operator]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and self.value == other.value
+
+
+def _dedupe(rows: list[tuple[SqlValue, ...]]) -> list[tuple[SqlValue, ...]]:
+    seen: set[tuple[SqlValue, ...]] = set()
+    result: list[tuple[SqlValue, ...]] = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            result.append(row)
+    return result
+
+
+def _dedupe_values(values: list[SqlValue]) -> list[SqlValue]:
+    seen: set[SqlValue] = set()
+    result: list[SqlValue] = []
+    for value in values:
+        if value not in seen:
+            seen.add(value)
+            result.append(value)
+    return result

@@ -1,0 +1,120 @@
+"""Porter-stemmed inverted full-text index.
+
+Replicates the slice of MySQL's ``MATCH ... AGAINST ('+tok1* +tok2*' IN
+BOOLEAN MODE)`` behaviour that Templar's keyword mapper uses (Section V-A):
+every query token must match some indexed token of the value by *stemmed
+prefix*.  The index is built over all ``searchable`` TEXT columns of a
+database.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.db.stemmer import stem
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+")
+
+
+def tokenize_text(text: str) -> list[str]:
+    """Lowercased alphanumeric word tokens of ``text``."""
+    return [match.group(0).lower() for match in _WORD_RE.finditer(text)]
+
+
+@dataclass(frozen=True)
+class FullTextHit:
+    """One distinct value matched by a full-text search."""
+
+    table: str
+    column: str
+    value: str
+
+    @property
+    def ref(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+class FullTextIndex:
+    """Inverted index over the distinct values of searchable columns.
+
+    Postings map a *stemmed token* to the set of distinct values containing
+    it.  Prefix search walks a sorted token list; with benchmark-scale
+    vocabularies a linear scan over the sorted keys within the prefix range
+    is fast and keeps the structure simple.
+    """
+
+    def __init__(self) -> None:
+        # (table, column) -> stemmed token -> set of distinct values
+        self._postings: dict[tuple[str, str], dict[str, set[str]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        # (table, column) -> sorted token cache (invalidated on add)
+        self._sorted_tokens: dict[tuple[str, str], list[str]] = {}
+
+    def add_value(self, table: str, column: str, value: str) -> None:
+        """Index one value of ``table.column``."""
+        key = (table, column)
+        postings = self._postings[key]
+        for token in tokenize_text(value):
+            postings[stem(token)].add(value)
+        self._sorted_tokens.pop(key, None)
+
+    def columns(self) -> list[tuple[str, str]]:
+        """All indexed ``(table, column)`` pairs."""
+        return list(self._postings)
+
+    def _tokens_for(self, key: tuple[str, str]) -> list[str]:
+        cached = self._sorted_tokens.get(key)
+        if cached is None:
+            cached = sorted(self._postings[key])
+            self._sorted_tokens[key] = cached
+        return cached
+
+    def _values_with_prefix(self, key: tuple[str, str], prefix: str) -> set[str]:
+        """Distinct values containing a token whose stem starts with ``prefix``."""
+        postings = self._postings[key]
+        values: set[str] = set()
+        if prefix in postings:
+            values |= postings[prefix]
+        for token in self._tokens_for(key):
+            if token.startswith(prefix) and token != prefix:
+                values |= postings[token]
+        return values
+
+    def search_column(
+        self, table: str, column: str, query_tokens: list[str]
+    ) -> list[str]:
+        """Boolean-mode search of one column.
+
+        Every stemmed query token must prefix-match some indexed token of a
+        value (the ``+tok*`` semantics).  Returns matching distinct values
+        sorted for determinism.  An empty token list matches nothing.
+        """
+        if not query_tokens:
+            return []
+        key = (table, column)
+        if key not in self._postings:
+            return []
+        result: set[str] | None = None
+        for token in query_tokens:
+            stemmed = stem(token)
+            matched = self._values_with_prefix(key, stemmed)
+            result = matched if result is None else (result & matched)
+            if not result:
+                return []
+        assert result is not None
+        return sorted(result)
+
+    def search(self, query_tokens: list[str]) -> list[FullTextHit]:
+        """Boolean-mode search across all indexed columns."""
+        hits: list[FullTextHit] = []
+        for table, column in sorted(self._postings):
+            for value in self.search_column(table, column, query_tokens):
+                hits.append(FullTextHit(table, column, value))
+        return hits
+
+    def vocabulary_size(self, table: str, column: str) -> int:
+        """Number of distinct stemmed tokens indexed for a column."""
+        return len(self._postings.get((table, column), {}))

@@ -1,0 +1,105 @@
+"""Row storage for one relation, with per-column statistics.
+
+Rows are stored as tuples in insertion order.  The keyword mapper needs
+cheap answers to two questions per column: *does any value satisfy this
+predicate* (numeric candidates) and *what distinct values match these
+stemmed tokens* (text candidates); this module keeps the supporting
+structures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.db.catalog import TableSchema
+from repro.db.types import SqlValue, coerce_value, compare_values
+from repro.errors import DataError
+
+
+class Table:
+    """An in-memory relation: a schema plus a list of row tuples."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self.rows: list[tuple[SqlValue, ...]] = []
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[SqlValue, ...]]:
+        return iter(self.rows)
+
+    def insert(self, values: Sequence[Any] | dict[str, Any]) -> tuple[SqlValue, ...]:
+        """Insert one row, coercing each value to its column type.
+
+        ``values`` may be positional (one per column) or a mapping from
+        column name to value; missing mapped columns become NULL.
+        """
+        if isinstance(values, dict):
+            unknown = set(values) - set(self.schema.column_names)
+            if unknown:
+                raise DataError(
+                    f"table {self.schema.name!r}: unknown columns {sorted(unknown)}"
+                )
+            ordered: list[Any] = [values.get(name) for name in self.schema.column_names]
+        else:
+            if len(values) != len(self.schema.columns):
+                raise DataError(
+                    f"table {self.schema.name!r}: expected "
+                    f"{len(self.schema.columns)} values, got {len(values)}"
+                )
+            ordered = list(values)
+        row = tuple(
+            coerce_value(value, column.type)
+            for value, column in zip(ordered, self.schema.columns)
+        )
+        self.rows.append(row)
+        return row
+
+    def insert_many(self, rows: Iterable[Sequence[Any] | dict[str, Any]]) -> int:
+        """Insert every row in ``rows``; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def column_values(self, column: str) -> list[SqlValue]:
+        """All values (including duplicates and NULLs) of ``column``."""
+        index = self.schema.column_index(column)
+        return [row[index] for row in self.rows]
+
+    def distinct_values(self, column: str) -> list[SqlValue]:
+        """Distinct non-NULL values of ``column`` in first-seen order."""
+        index = self.schema.column_index(column)
+        seen: dict[SqlValue, None] = {}
+        for row in self.rows:
+            value = row[index]
+            if value is not None and value not in seen:
+                seen[value] = None
+        return list(seen)
+
+    def any_value_satisfies(self, column: str, op: str, literal: SqlValue) -> bool:
+        """True if any row's ``column`` value satisfies ``value op literal``.
+
+        This is the engine-level primitive behind the paper's ``exec(c)``
+        non-emptiness check for numeric candidate predicates.
+        """
+        index = self.schema.column_index(column)
+        return any(
+            compare_values(row[index], literal, op) for row in self.rows
+        )
+
+    def count_satisfying(self, column: str, op: str, literal: SqlValue) -> int:
+        """Number of rows whose ``column`` satisfies the comparison."""
+        index = self.schema.column_index(column)
+        return sum(
+            1 for row in self.rows if compare_values(row[index], literal, op)
+        )
+
+    def value_range(self, column: str) -> tuple[SqlValue, SqlValue] | None:
+        """(min, max) over non-NULL values, or None for an empty column."""
+        values = [v for v in self.column_values(column) if v is not None]
+        if not values:
+            return None
+        return min(values), max(values)

@@ -1,0 +1,162 @@
+"""Column types and value coercion for the in-memory engine.
+
+The engine supports the three types Templar's benchmarks need: integers,
+floats and text.  NULLs are represented by ``None`` and compare false
+against everything, mirroring SQL three-valued logic closely enough for the
+predicate checks Templar performs (``exec(c)`` non-emptiness tests).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import DataError
+
+#: Python value accepted in a table cell.
+SqlValue = int | float | str | None
+
+
+class ColumnType(enum.Enum):
+    """Storage type of a column."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for INTEGER and FLOAT columns."""
+        return self in (ColumnType.INTEGER, ColumnType.FLOAT)
+
+
+def coerce_value(value: Any, column_type: ColumnType) -> SqlValue:
+    """Coerce ``value`` to ``column_type``, raising :class:`DataError` on failure.
+
+    ``None`` passes through for any type (NULL).  Numeric strings are
+    accepted for numeric columns; everything is stringified for TEXT.
+    """
+    if value is None:
+        return None
+    if column_type is ColumnType.TEXT:
+        if isinstance(value, str):
+            return value
+        return str(value)
+    if column_type is ColumnType.INTEGER:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError as exc:
+                raise DataError(f"cannot coerce {value!r} to INTEGER") from exc
+        raise DataError(f"cannot coerce {value!r} to INTEGER")
+    if column_type is ColumnType.FLOAT:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError as exc:
+                raise DataError(f"cannot coerce {value!r} to FLOAT") from exc
+        raise DataError(f"cannot coerce {value!r} to FLOAT")
+    raise DataError(f"unknown column type {column_type!r}")
+
+
+def compare_values(left: SqlValue, right: SqlValue, op: str) -> bool:
+    """Evaluate ``left op right`` with SQL-ish semantics.
+
+    Comparisons involving NULL are false.  Numeric values compare
+    numerically; text compares lexicographically.  Cross-type comparisons
+    between numbers and numeric-looking strings are attempted numerically,
+    otherwise the comparison is false rather than an error (matching the
+    permissive behaviour of MySQL that the original system relied on).
+    """
+    if left is None or right is None:
+        return False
+    lhs, rhs = _align(left, right)
+    if lhs is None or rhs is None:
+        return False
+    if op == "=":
+        return lhs == rhs
+    if op in ("!=", "<>"):
+        return lhs != rhs
+    if op == "<":
+        return lhs < rhs
+    if op == "<=":
+        return lhs <= rhs
+    if op == ">":
+        return lhs > rhs
+    if op == ">=":
+        return lhs >= rhs
+    raise DataError(f"unsupported comparison operator {op!r}")
+
+
+def _align(left: SqlValue, right: SqlValue) -> tuple[Any, Any]:
+    """Bring two non-NULL values into a comparable domain.
+
+    Returns ``(None, None)`` when no sensible comparison exists.
+    """
+    left_num = isinstance(left, (int, float)) and not isinstance(left, bool)
+    right_num = isinstance(right, (int, float)) and not isinstance(right, bool)
+    if left_num and right_num:
+        return left, right
+    if isinstance(left, str) and isinstance(right, str):
+        return left, right
+    # One side numeric, the other text: try parsing the text side.
+    if left_num and isinstance(right, str):
+        parsed = _try_parse_number(right)
+        return (left, parsed) if parsed is not None else (None, None)
+    if right_num and isinstance(left, str):
+        parsed = _try_parse_number(left)
+        return (parsed, right) if parsed is not None else (None, None)
+    return None, None
+
+
+def _try_parse_number(text: str) -> float | None:
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def like_match(value: SqlValue, pattern: str) -> bool:
+    """Evaluate a SQL ``LIKE`` pattern (``%`` and ``_`` wildcards), case-insensitively.
+
+    MySQL's default collation is case-insensitive, and the benchmark
+    workloads rely on that behaviour for value predicates.
+    """
+    if value is None:
+        return False
+    text = str(value).lower()
+    pattern = pattern.lower()
+    return _like(text, 0, pattern, 0)
+
+
+def _like(text: str, ti: int, pattern: str, pi: int) -> bool:
+    while pi < len(pattern):
+        ch = pattern[pi]
+        if ch == "%":
+            # Collapse consecutive % and try every suffix.
+            while pi < len(pattern) and pattern[pi] == "%":
+                pi += 1
+            if pi == len(pattern):
+                return True
+            for start in range(ti, len(text) + 1):
+                if _like(text, start, pattern, pi):
+                    return True
+            return False
+        if ti >= len(text):
+            return False
+        if ch == "_" or ch == text[ti]:
+            ti += 1
+            pi += 1
+            continue
+        return False
+    return ti == len(text)

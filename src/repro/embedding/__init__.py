@@ -1,0 +1,34 @@
+"""Word/phrase similarity models.
+
+The original Templar evaluation used word2vec vectors trained on Google
+News.  Offline, we substitute a deterministic stack with the same two
+properties the experiments depend on (see DESIGN.md §5):
+
+* genuine synonym pairs score high — provided by a curated domain
+  :class:`~repro.embedding.lexicon.Lexicon` (including the *confusions*
+  the paper reports, e.g. "papers" scoring slightly higher against
+  ``journal`` than against ``publication``),
+* morphological/surface variants score high — provided by a
+  character-n-gram hashing model (:class:`NgramHashingModel`), the same
+  mechanism fastText uses for out-of-vocabulary words.
+"""
+
+from repro.embedding.lexicon import Lexicon
+from repro.embedding.model import (
+    CompositeModel,
+    LexiconModel,
+    NgramHashingModel,
+    SimilarityModel,
+)
+from repro.embedding.tokenize import STOPWORDS, content_tokens, word_tokens
+
+__all__ = [
+    "STOPWORDS",
+    "CompositeModel",
+    "Lexicon",
+    "LexiconModel",
+    "NgramHashingModel",
+    "SimilarityModel",
+    "content_tokens",
+    "word_tokens",
+]

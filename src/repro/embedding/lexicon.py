@@ -1,0 +1,80 @@
+"""Curated similarity lexicon.
+
+A :class:`Lexicon` stores calibrated token-pair similarities.  Each
+benchmark dataset ships one (see :mod:`repro.datasets`); entries encode
+both genuine synonymy (``authors`` ~ ``author`` ~ ``name``) and the
+systematic confusions the paper attributes to word-embedding models
+(``papers`` scoring higher against ``journal`` than ``publication``),
+which are exactly the errors the Query Fragment Graph corrects.
+"""
+
+from __future__ import annotations
+
+from repro.db.stemmer import stem
+from repro.errors import ReproError
+
+
+class Lexicon:
+    """Symmetric token-pair similarity table with stem-level fallback."""
+
+    def __init__(self, entries: dict[tuple[str, str], float] | None = None) -> None:
+        self._table: dict[tuple[str, str], float] = {}
+        if entries:
+            for (a, b), score in entries.items():
+                self.add(a, b, score)
+
+    @staticmethod
+    def _key(a: str, b: str) -> tuple[str, str]:
+        a, b = a.lower(), b.lower()
+        return (a, b) if a <= b else (b, a)
+
+    def add(self, a: str, b: str, score: float) -> None:
+        """Register a symmetric similarity for a token pair.
+
+        Both the raw pair and the Porter-stemmed pair are stored, so an
+        entry for ``paper``/``publication`` also answers lookups for
+        ``papers``/``publications``.
+        """
+        if not 0.0 <= score <= 1.0:
+            raise ReproError(f"lexicon score {score} out of [0, 1]")
+        self._table[self._key(a, b)] = score
+        stemmed = self._key(stem(a), stem(b))
+        self._table.setdefault(stemmed, score)
+
+    def update(self, entries: dict[tuple[str, str], float]) -> None:
+        for (a, b), score in entries.items():
+            self.add(a, b, score)
+
+    def merge(self, other: "Lexicon") -> "Lexicon":
+        """A new lexicon with ``other``'s entries overriding this one's."""
+        merged = Lexicon()
+        merged._table = dict(self._table)
+        merged._table.update(other._table)
+        return merged
+
+    def lookup(self, a: str, b: str) -> float | None:
+        """Similarity for a token pair.
+
+        Checks the exact pair first, then the Porter-stemmed pair — so an
+        entry for ``paper``/``publication`` also covers ``papers``.
+        Identical tokens (or identical stems) score 1.0 without needing an
+        entry.  Returns ``None`` for unknown pairs.
+        """
+        a, b = a.lower(), b.lower()
+        if a == b:
+            return 1.0
+        direct = self._table.get(self._key(a, b))
+        if direct is not None:
+            return direct
+        stemmed_a, stemmed_b = stem(a), stem(b)
+        if stemmed_a == stemmed_b:
+            return 1.0
+        if (stemmed_a, stemmed_b) != (a, b):
+            return self._table.get(self._key(stemmed_a, stemmed_b))
+        return None
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, pair: tuple[str, str]) -> bool:
+        return self.lookup(pair[0], pair[1]) is not None

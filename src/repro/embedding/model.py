@@ -1,0 +1,157 @@
+"""Similarity model implementations.
+
+All models implement :class:`SimilarityModel`:
+
+* :class:`NgramHashingModel` — deterministic character-n-gram hashing
+  embeddings (fastText-style subword vectors), giving high scores to
+  surface/morphological variants and near-neutral scores to unrelated
+  tokens.  Replaces word2vec's nearest-neighbour structure offline.
+* :class:`LexiconModel` — curated pair table only, with a flat default for
+  unknown pairs; models the coarse WordNet-based similarity NaLIR uses.
+* :class:`CompositeModel` — lexicon first, n-gram backoff otherwise; the
+  stand-in for Pipeline's word2vec model.
+
+Scores are in [0, 1]; like the paper's Pipeline, cosine values are
+normalized into that range.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from abc import ABC, abstractmethod
+
+from repro.embedding.lexicon import Lexicon
+from repro.embedding.tokenize import content_tokens
+
+
+class SimilarityModel(ABC):
+    """Phrase-level similarity in [0, 1]."""
+
+    @abstractmethod
+    def token_similarity(self, a: str, b: str) -> float:
+        """Similarity of two single tokens."""
+
+    def similarity(self, phrase_a: str, phrase_b: str) -> float:
+        """Similarity of two phrases via symmetric best-match alignment.
+
+        For each content token of one phrase, take its best match in the
+        other; average the two directions.  Identical phrases score 1.0.
+        """
+        if phrase_a.strip().lower() == phrase_b.strip().lower():
+            return 1.0
+        tokens_a = content_tokens(phrase_a)
+        tokens_b = content_tokens(phrase_b)
+        if not tokens_a or not tokens_b:
+            return 0.0
+        forward = self._directional(tokens_a, tokens_b)
+        backward = self._directional(tokens_b, tokens_a)
+        return (forward + backward) / 2.0
+
+    def _directional(self, source: list[str], target: list[str]) -> float:
+        total = 0.0
+        for token in source:
+            total += max(self.token_similarity(token, other) for other in target)
+        return total / len(source)
+
+
+class NgramHashingModel(SimilarityModel):
+    """Deterministic subword hashing embeddings.
+
+    Each token is embedded as the sum of hashed character 3- and 4-gram
+    vectors of ``<token>`` plus a whole-word vector; similarity is cosine
+    clipped to [0, 1].  Tokens sharing morphology share many n-grams and
+    score high; unrelated tokens land near 0 — keeping the backoff on the
+    same calibrated scale as the curated lexicon entries.
+    """
+
+    def __init__(self, dimensions: int = 64, word_weight: float = 2.0) -> None:
+        self.dimensions = dimensions
+        self.word_weight = word_weight
+        self._vector_cache: dict[str, tuple[float, ...]] = {}
+
+    # ------------------------------------------------------------- vectors
+
+    def vector(self, token: str) -> tuple[float, ...]:
+        token = token.lower()
+        cached = self._vector_cache.get(token)
+        if cached is not None:
+            return cached
+        values = [0.0] * self.dimensions
+        for gram in self._ngrams(token):
+            index, sign = self._hash(gram)
+            values[index] += sign
+        index, sign = self._hash(f"WORD:{token}")
+        values[index] += sign * self.word_weight
+        norm = math.sqrt(sum(v * v for v in values))
+        if norm > 0:
+            values = [v / norm for v in values]
+        result = tuple(values)
+        self._vector_cache[token] = result
+        return result
+
+    def _ngrams(self, token: str) -> list[str]:
+        padded = f"<{token}>"
+        grams: list[str] = []
+        for size in (3, 4):
+            if len(padded) < size:
+                continue
+            for start in range(len(padded) - size + 1):
+                grams.append(padded[start : start + size])
+        return grams or [padded]
+
+    def _hash(self, text: str) -> tuple[int, float]:
+        digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+        value = int.from_bytes(digest, "big")
+        index = value % self.dimensions
+        sign = 1.0 if (value >> 63) & 1 else -1.0
+        return index, sign
+
+    # ---------------------------------------------------------- similarity
+
+    def token_similarity(self, a: str, b: str) -> float:
+        a, b = a.lower(), b.lower()
+        if a == b:
+            return 1.0
+        vec_a = self.vector(a)
+        vec_b = self.vector(b)
+        cosine = sum(x * y for x, y in zip(vec_a, vec_b))
+        return max(0.0, min(1.0, cosine))
+
+
+class LexiconModel(SimilarityModel):
+    """Curated lexicon only; unknown pairs get a flat low default.
+
+    Approximates WordNet-based similarity: precise on listed
+    synonym/confusion pairs, uninformative elsewhere.
+    """
+
+    def __init__(self, lexicon: Lexicon, default: float = 0.1) -> None:
+        self.lexicon = lexicon
+        self.default = default
+
+    def token_similarity(self, a: str, b: str) -> float:
+        found = self.lexicon.lookup(a, b)
+        return self.default if found is None else found
+
+
+class CompositeModel(SimilarityModel):
+    """Lexicon-first model with n-gram hashing backoff.
+
+    The reproduction's stand-in for word2vec: curated pairs return their
+    calibrated scores; everything else falls back to subword similarity.
+    """
+
+    def __init__(
+        self,
+        lexicon: Lexicon | None = None,
+        backoff: NgramHashingModel | None = None,
+    ) -> None:
+        self.lexicon = lexicon or Lexicon()
+        self.backoff = backoff or NgramHashingModel()
+
+    def token_similarity(self, a: str, b: str) -> float:
+        found = self.lexicon.lookup(a, b)
+        if found is not None:
+            return found
+        return self.backoff.token_similarity(a, b)

@@ -1,0 +1,40 @@
+"""Word tokenization shared by the similarity models.
+
+Identifiers and phrases alike are lowercased and split on non-alphanumeric
+boundaries, so ``publication_keyword`` and ``Publication Keyword`` yield
+the same tokens.  :func:`content_tokens` additionally strips English
+stopwords, which keeps phrase similarity focused on content words.
+"""
+
+from __future__ import annotations
+
+import re
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+")
+
+#: Small closed-class stopword list; enough for benchmark NLQ phrases.
+STOPWORDS = frozenset(
+    {
+        "a", "an", "the", "of", "in", "on", "at", "by", "for", "to",
+        "from", "with", "and", "or", "all", "any", "is", "are", "was",
+        "were", "be", "been", "that", "which", "who", "whom", "whose",
+        "it", "its", "this", "these", "those", "than", "as", "into",
+        "each", "per", "both", "has", "have", "had", "do", "does", "did",
+    }
+)
+
+
+def word_tokens(text: str) -> list[str]:
+    """Lowercased alphanumeric tokens of ``text``."""
+    return [match.group(0).lower() for match in _WORD_RE.finditer(text)]
+
+
+def content_tokens(text: str) -> list[str]:
+    """Word tokens with stopwords removed.
+
+    Falls back to the full token list when *everything* is a stopword, so
+    degenerate inputs still produce a comparable representation.
+    """
+    tokens = word_tokens(text)
+    content = [token for token in tokens if token not in STOPWORDS]
+    return content or tokens

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the Templar reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Subsystems define
+narrower classes below so tests and callers can assert on the precise
+failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SchemaError(ReproError):
+    """Invalid schema definition (duplicate table, unknown column, bad FK)."""
+
+
+class DataError(ReproError):
+    """Invalid data for a table (arity mismatch, type coercion failure)."""
+
+
+class SQLSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the offending position so error messages can point at the
+    failing token.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class BindError(ReproError):
+    """A parsed query does not resolve against the catalog.
+
+    Examples: unknown relation, unknown column, ambiguous unqualified
+    column, alias collision.
+    """
+
+
+class ExecutionError(ReproError):
+    """A bound query could not be evaluated by the executor."""
+
+
+class GraphError(ReproError):
+    """Schema-graph level failure (unknown relation, disconnected terminals)."""
+
+
+class MappingError(ReproError):
+    """Keyword mapping failed (no candidates, invalid metadata)."""
+
+
+class TranslationError(ReproError):
+    """An NLIDB could not produce any SQL translation for an NLQ."""
+
+
+class DatasetError(ReproError):
+    """A benchmark dataset failed to build or validate."""

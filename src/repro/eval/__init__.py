@@ -1,0 +1,22 @@
+"""Evaluation harness: the paper's Section VII protocol.
+
+4-fold cross-validation where the query log is the gold SQL of the three
+training folds; KW (keyword mapping) and FQ (full query) top-1 accuracy
+with the tie-as-incorrect rule; reporting helpers that print the paper's
+tables and figures.
+"""
+
+from repro.eval.folds import split_folds
+from repro.eval.harness import EvalConfig, SystemResult, evaluate_system
+from repro.eval.metrics import fq_correct, kw_correct
+from repro.eval.reporting import format_rows
+
+__all__ = [
+    "EvalConfig",
+    "SystemResult",
+    "evaluate_system",
+    "format_rows",
+    "fq_correct",
+    "kw_correct",
+    "split_folds",
+]

@@ -1,0 +1,41 @@
+"""Cross-validation fold splitting (Section VII-A4)."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+from repro.errors import ReproError
+
+T = TypeVar("T")
+
+
+def split_folds(items: Sequence[T], folds: int = 4, seed: int = 17) -> list[list[T]]:
+    """Randomly split ``items`` into ``folds`` near-equal folds.
+
+    The split is seeded and deterministic.  Fold sizes differ by at most
+    one element.
+    """
+    if folds < 2:
+        raise ReproError("need at least 2 folds")
+    if len(items) < folds:
+        raise ReproError(f"cannot split {len(items)} items into {folds} folds")
+    shuffled = list(items)
+    random.Random(seed).shuffle(shuffled)
+    result: list[list[T]] = [[] for _ in range(folds)]
+    for index, item in enumerate(shuffled):
+        result[index % folds].append(item)
+    return result
+
+
+def train_test_split(
+    fold_sets: list[list[T]], test_index: int
+) -> tuple[list[T], list[T]]:
+    """(training items, test items) for trial ``test_index``."""
+    if not 0 <= test_index < len(fold_sets):
+        raise ReproError(f"fold index {test_index} out of range")
+    train: list[T] = []
+    for index, fold in enumerate(fold_sets):
+        if index != test_index:
+            train.extend(fold)
+    return train, list(fold_sets[test_index])

@@ -1,0 +1,174 @@
+"""Cross-validated evaluation of the four systems (Section VII).
+
+For each of the 4 trials, the SQL query log is the *gold SQL of the three
+training folds* — exactly the paper's setup — and the held-out fold is
+translated.  Results aggregate across trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.fragments import Obscurity
+from repro.core.keyword_mapper import ScoringParams
+from repro.core.log import QueryLog
+from repro.core.templar import Templar
+from repro.datasets.base import BenchmarkDataset, BenchmarkItem
+from repro.embedding.model import CompositeModel, LexiconModel
+from repro.errors import ReproError
+from repro.eval.folds import split_folds, train_test_split
+from repro.eval.metrics import fq_correct, kw_correct
+from repro.nlidb.nalir import NalirNLIDB
+from repro.nlidb.nalir_parser import NalirParser
+from repro.nlidb.pipeline import PipelineNLIDB
+
+SYSTEM_NAMES = ("NaLIR", "NaLIR+", "Pipeline", "Pipeline+")
+
+
+@dataclass(frozen=True)
+class EvalConfig:
+    """Evaluation parameters; defaults mirror the paper's headline setup."""
+
+    kappa: int = 5
+    lam: float = 0.8
+    obscurity: Obscurity = Obscurity.NO_CONST_OP
+    use_log_keywords: bool = True
+    use_log_joins: bool = True
+    folds: int = 4
+    fold_seed: int = 17
+    max_configurations: int = 10
+
+    def scoring_params(self) -> ScoringParams:
+        return ScoringParams(kappa=self.kappa, lam=self.lam)
+
+
+@dataclass
+class ItemOutcome:
+    item_id: str
+    family: str
+    kw: bool
+    fq: bool
+    top_sql: str | None
+
+
+@dataclass
+class SystemResult:
+    """Aggregated accuracy of one system on one dataset."""
+
+    system: str
+    dataset: str
+    outcomes: list[ItemOutcome] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def kw_accuracy(self) -> float:
+        return sum(o.kw for o in self.outcomes) / self.total if self.total else 0.0
+
+    @property
+    def fq_accuracy(self) -> float:
+        return sum(o.fq for o in self.outcomes) / self.total if self.total else 0.0
+
+    def failures(self, metric: str = "fq") -> list[ItemOutcome]:
+        return [
+            o for o in self.outcomes if not (o.kw if metric == "kw" else o.fq)
+        ]
+
+    def family_breakdown(self, metric: str = "fq") -> dict[str, tuple[int, int]]:
+        """family -> (correct, total), for error analysis."""
+        breakdown: dict[str, list[int]] = {}
+        for outcome in self.outcomes:
+            entry = breakdown.setdefault(outcome.family, [0, 0])
+            entry[1] += 1
+            entry[0] += int(outcome.kw if metric == "kw" else outcome.fq)
+        return {k: (v[0], v[1]) for k, v in sorted(breakdown.items())}
+
+
+def _build_system(
+    name: str,
+    dataset: BenchmarkDataset,
+    log: QueryLog,
+    config: EvalConfig,
+):
+    """Instantiate one of the four compared systems for a trial."""
+    database = dataset.database
+    composite = CompositeModel(dataset.lexicon)
+    if name == "Pipeline":
+        return PipelineNLIDB(
+            database, composite, None,
+            max_configurations=config.max_configurations,
+            params=config.scoring_params(),
+        )
+    if name == "Pipeline+":
+        templar = Templar(
+            database, composite, log,
+            obscurity=config.obscurity,
+            params=config.scoring_params(),
+            use_log_keywords=config.use_log_keywords,
+            use_log_joins=config.use_log_joins,
+        )
+        return PipelineNLIDB(
+            database, composite, templar,
+            max_configurations=config.max_configurations,
+        )
+    parser = NalirParser(database, dataset.schema_terms)
+    wordnet_like = LexiconModel(dataset.nalir_model_lexicon())
+    if name == "NaLIR":
+        return NalirNLIDB(
+            database, wordnet_like, parser, None,
+            max_configurations=config.max_configurations,
+            params=config.scoring_params(),
+        )
+    if name == "NaLIR+":
+        templar = Templar(
+            database, composite, log,
+            obscurity=config.obscurity,
+            params=config.scoring_params(),
+            use_log_keywords=config.use_log_keywords,
+            use_log_joins=config.use_log_joins,
+        )
+        return NalirNLIDB(
+            database, wordnet_like, parser, templar,
+            max_configurations=config.max_configurations,
+        )
+    raise ReproError(f"unknown system {name!r}; choose from {SYSTEM_NAMES}")
+
+
+def _translate(system, item: BenchmarkItem):
+    if isinstance(system, NalirNLIDB):
+        return system.translate_nlq(item.nlq)
+    return system.translate(item.keywords)
+
+
+def evaluate_system(
+    dataset: BenchmarkDataset,
+    system_name: str,
+    config: EvalConfig | None = None,
+) -> SystemResult:
+    """Run the full 4-fold cross-validated evaluation of one system."""
+    config = config or EvalConfig()
+    items = dataset.usable_items()
+    folds = split_folds(items, config.folds, config.fold_seed)
+    result = SystemResult(system=system_name, dataset=dataset.name)
+    catalog = dataset.database.catalog
+
+    for trial in range(config.folds):
+        train, test = train_test_split(folds, trial)
+        log = QueryLog([item.gold_sql for item in train])
+        system = _build_system(system_name, dataset, log, config)
+        for item in test:
+            try:
+                results = _translate(system, item)
+            except ReproError:
+                results = []
+            outcome = ItemOutcome(
+                item_id=item.item_id,
+                family=item.family,
+                kw=kw_correct(item, results, catalog),
+                fq=fq_correct(item, results, catalog),
+                top_sql=results[0].sql if results else None,
+            )
+            result.outcomes.append(outcome)
+    return result

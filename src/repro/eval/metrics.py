@@ -1,0 +1,73 @@
+"""KW and FQ correctness checks (Section VII-A5).
+
+* **FQ** — the top-1 SQL must be equivalent to the gold annotation
+  (canonical-form comparison); a top-1 score tie between *different*
+  queries counts as incorrect.
+* **KW** — every non-relation keyword must be mapped correctly.  We check
+  the top configuration's non-FROM fragments against the gold SQL's
+  fragments (at Full obscurity), in both directions, ignoring GROUP BY
+  fragments (which the SQL builder derives rather than maps).
+"""
+
+from __future__ import annotations
+
+from repro.core.fragments import FragmentContext, Obscurity, fragments_of_sql
+from repro.datasets.base import BenchmarkItem
+from repro.db.catalog import Catalog
+from repro.errors import ReproError
+from repro.nlidb.base import TranslationResult
+from repro.sql.canonical import queries_equivalent
+
+
+def gold_fragment_keys(item: BenchmarkItem, catalog: Catalog) -> set[str]:
+    """Non-FROM, non-GROUP-BY fragment keys of the gold SQL (Full level)."""
+    fragments = fragments_of_sql(item.gold_sql, catalog)
+    return {
+        fragment.key(Obscurity.FULL)
+        for fragment in fragments
+        if fragment.context
+        not in (FragmentContext.FROM, FragmentContext.GROUP_BY)
+    }
+
+
+def kw_correct(
+    item: BenchmarkItem,
+    results: list[TranslationResult],
+    catalog: Catalog,
+) -> bool:
+    """True when the top configuration maps all non-relation keywords right."""
+    if not results:
+        return False
+    try:
+        gold_keys = gold_fragment_keys(item, catalog)
+    except ReproError:
+        return False
+    top = results[0]
+    config_keys = {
+        mapping.fragment.key(Obscurity.FULL)
+        for mapping in top.configuration.mappings
+        if mapping.fragment.context
+        not in (FragmentContext.FROM, FragmentContext.GROUP_BY)
+    }
+    return config_keys == gold_keys
+
+
+def fq_correct(
+    item: BenchmarkItem,
+    results: list[TranslationResult],
+    catalog: Catalog,
+    tie_tolerance: float = 1e-9,
+) -> bool:
+    """True when the top-1 SQL matches gold and is not tied with a rival."""
+    if not results:
+        return False
+    top = results[0]
+    if not queries_equivalent(top.query, item.gold_sql, catalog):
+        return False
+    # Tie rule: a different query tied for first place voids the answer.
+    for other in results[1:]:
+        if not top.ties_with(other, tie_tolerance):
+            break
+        if not queries_equivalent(top.query, other.query, catalog):
+            return False
+    return True

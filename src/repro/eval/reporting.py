@@ -1,0 +1,29 @@
+"""Plain-text table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_rows(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned text table (headers + rows)."""
+    table = [list(map(str, headers))] + [list(map(str, row)) for row in rows]
+    widths = [
+        max(len(row[column]) for row in table)
+        for column in range(len(headers))
+    ]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def percentage(value: float) -> str:
+    """Format an accuracy fraction the way the paper prints it."""
+    return f"{100.0 * value:.1f}"

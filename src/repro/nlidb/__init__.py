@@ -1,0 +1,28 @@
+"""NLIDB implementations augmented (or not) by Templar.
+
+* :mod:`repro.nlidb.base` — common interface and result types.
+* :mod:`repro.nlidb.sql_builder` — configuration + join path → SQL AST
+  (the construction step the paper leaves to the NLIDB).
+* :mod:`repro.nlidb.pipeline` — the paper's Pipeline baseline (SQLizer's
+  keyword mapping + shortest join path, Section VII-A2) and its Templar-
+  augmented variant Pipeline+.
+* :mod:`repro.nlidb.nalir_parser` / :mod:`repro.nlidb.nalir` — a
+  simulation of NaLIR's parse-tree front-end with its documented failure
+  modes, and the NaLIR / NaLIR+ systems built on it.
+"""
+
+from repro.nlidb.base import NLIDB, TranslationResult
+from repro.nlidb.nalir import NalirNLIDB
+from repro.nlidb.nalir_parser import NalirParser, ParsedNLQ
+from repro.nlidb.pipeline import PipelineNLIDB
+from repro.nlidb.sql_builder import build_sql
+
+__all__ = [
+    "NLIDB",
+    "NalirNLIDB",
+    "NalirParser",
+    "ParsedNLQ",
+    "PipelineNLIDB",
+    "TranslationResult",
+    "build_sql",
+]

@@ -1,0 +1,111 @@
+"""Self-join support: the FORK procedure (Algorithm 4 of the paper).
+
+When the bag of known relations contains a relation ``d`` times, the join
+path must contain ``d`` instances of it (a self-join).  FORK clones the
+portion of the schema graph that *depends on* the duplicated relation —
+neighbors that hold a foreign key pointing at it — and stops cloning when
+traversal follows an FK→PK edge outward, connecting the clone to the shared
+original vertex.  This reproduces Figure 4: duplicating ``author`` clones
+``author`` and ``writes`` while ``publication`` stays shared.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import GraphError
+from repro.schema_graph.graph import JoinEdge, JoinGraph
+
+
+def fork_instance_name(relation: str, copy_index: int) -> str:
+    """Instance name of the ``copy_index``-th clone (2-based) of a relation."""
+    return f"{relation}#{copy_index}"
+
+
+def fork(graph: JoinGraph, instance: str) -> tuple[JoinGraph, str]:
+    """Fork ``graph`` at ``instance``; returns (new graph, clone name).
+
+    The input graph is not modified.  The clone is named
+    ``relation#2`` (``#3`` ... for repeated forks of the same relation).
+    """
+    if not graph.has_instance(instance):
+        raise GraphError(f"cannot fork unknown instance {instance!r}")
+
+    forked = graph.copy()
+    relation = forked.relation_of(instance)
+
+    copy_index = 2
+    while forked.has_instance(fork_instance_name(relation, copy_index)):
+        copy_index += 1
+    clone_name = fork_instance_name(relation, copy_index)
+    forked.add_instance(clone_name, relation)
+
+    # Mirrored DFS over (original vertex, its clone), per Algorithm 4.
+    stack: list[tuple[str, str]] = [(instance, clone_name)]
+    visited: set[str] = set()
+    clones: dict[str, str] = {instance: clone_name}
+
+    while stack:
+        old_vertex, new_vertex = stack.pop()
+        if old_vertex in visited:
+            continue
+        visited.add(old_vertex)
+        for edge in list(graph.neighbors(old_vertex)):
+            neighbor = edge.other(old_vertex)
+            if neighbor in visited:
+                continue
+            if edge.source == old_vertex:
+                # FK→PK edge leaving the duplicated region: terminate the
+                # fork here and share the original target (Line 13-14).
+                forked.add_edge(
+                    JoinEdge(
+                        new_vertex, edge.source_column, neighbor, edge.target_column
+                    )
+                )
+            else:
+                # The neighbor depends on us (holds the FK): clone it and
+                # keep walking (Lines 16-20).
+                neighbor_clone = clones.get(neighbor)
+                if neighbor_clone is None:
+                    neighbor_relation = forked.relation_of(neighbor)
+                    index = 2
+                    while forked.has_instance(
+                        fork_instance_name(neighbor_relation, index)
+                    ):
+                        index += 1
+                    neighbor_clone = fork_instance_name(neighbor_relation, index)
+                    forked.add_instance(neighbor_clone, neighbor_relation)
+                    clones[neighbor] = neighbor_clone
+                forked.add_edge(
+                    JoinEdge(
+                        neighbor_clone,
+                        edge.source_column,
+                        new_vertex,
+                        edge.target_column,
+                    )
+                )
+                stack.append((neighbor, neighbor_clone))
+    return forked, clone_name
+
+
+def fork_for_duplicates(
+    graph: JoinGraph, relation_bag: list[str]
+) -> tuple[JoinGraph, list[str]]:
+    """Fork the graph once per duplicate reference; returns (graph, terminals).
+
+    ``relation_bag`` is the bag B_R of known relations (with multiplicity).
+    For a relation appearing ``d`` times, FORK runs ``d - 1`` times and the
+    returned terminal list contains the original plus each clone, so the
+    Steiner solver spans every instance.
+    """
+    counts = Counter(relation_bag)
+    forked = graph
+    terminals: list[str] = []
+    for relation, count in counts.items():
+        if not graph.has_instance(relation):
+            raise GraphError(f"unknown relation {relation!r} in bag")
+        terminals.append(relation)
+        for _ in range(count - 1):
+            forked, clone_name = fork(forked, relation)
+            terminals.append(clone_name)
+    return forked, terminals

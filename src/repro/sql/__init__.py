@@ -1,0 +1,65 @@
+"""SQL front-end: tokenizer, AST, parser, writer, binder, canonicalizer.
+
+This subpackage replaces the JSqlParser dependency of the original Java
+implementation.  It covers the dialect found in Templar's query logs and
+benchmarks: SELECT with optional DISTINCT and aggregates, comma-style and
+ANSI ``JOIN ... ON`` FROM clauses, conjunctive/disjunctive WHERE with
+comparisons, LIKE, IN, BETWEEN and IS NULL, GROUP BY / HAVING / ORDER BY /
+LIMIT, and uncorrelated subqueries.  Obscured placeholders (``?val``,
+``?op``) from the paper's fragment notation parse as first-class nodes.
+"""
+
+from repro.sql.ast import (
+    AndPredicate,
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    FuncCall,
+    InPredicate,
+    IsNullPredicate,
+    Literal,
+    NotPredicate,
+    OpPlaceholder,
+    OrderItem,
+    OrPredicate,
+    Query,
+    SelectItem,
+    Star,
+    Subquery,
+    TableRef,
+    ValuePlaceholder,
+)
+from repro.sql.binder import BoundQuery, JoinCondition, bind_query
+from repro.sql.canonical import canonical_sql, queries_equivalent
+from repro.sql.parser import parse_query
+from repro.sql.writer import write_expr, write_predicate, write_query
+
+__all__ = [
+    "AndPredicate",
+    "BetweenPredicate",
+    "BoundQuery",
+    "ColumnRef",
+    "Comparison",
+    "FuncCall",
+    "InPredicate",
+    "IsNullPredicate",
+    "JoinCondition",
+    "Literal",
+    "NotPredicate",
+    "OpPlaceholder",
+    "OrPredicate",
+    "OrderItem",
+    "Query",
+    "SelectItem",
+    "Star",
+    "Subquery",
+    "TableRef",
+    "ValuePlaceholder",
+    "bind_query",
+    "canonical_sql",
+    "parse_query",
+    "queries_equivalent",
+    "write_expr",
+    "write_predicate",
+    "write_query",
+]

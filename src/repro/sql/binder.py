@@ -1,0 +1,173 @@
+"""Bind a parsed query to a catalog.
+
+Binding resolves aliases to relations, qualifies column references, and
+classifies WHERE conjuncts into *join conditions* (column = column across
+two table instances) versus *filter predicates*.  That classification is
+load-bearing for Templar: join conditions are represented by join paths,
+never by query fragments (Definition 3 restricts fragments to expressions
+and non-join predicates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.catalog import Catalog
+from repro.errors import BindError
+from repro.sql.ast import (
+    ColumnRef,
+    Comparison,
+    Predicate,
+    Query,
+    Subquery,
+    expr_column_refs,
+)
+
+
+@dataclass(frozen=True)
+class BoundColumn:
+    """A column reference resolved to a concrete table instance."""
+
+    instance: str  # alias if the table was aliased, else the table name
+    relation: str  # the underlying relation name
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.relation}.{self.column}"
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """An equality join between two table instances."""
+
+    left: BoundColumn
+    right: BoundColumn
+
+    def normalized(self) -> "JoinCondition":
+        """Order endpoints deterministically so A=B equals B=A."""
+        lhs_key = (self.left.instance, self.left.column)
+        rhs_key = (self.right.instance, self.right.column)
+        if lhs_key <= rhs_key:
+            return self
+        return JoinCondition(self.right, self.left)
+
+
+@dataclass
+class BoundQuery:
+    """A query resolved against a catalog."""
+
+    query: Query
+    catalog: Catalog
+    #: instance name -> relation name, in FROM order
+    instances: dict[str, str] = field(default_factory=dict)
+    join_conditions: list[JoinCondition] = field(default_factory=list)
+    filter_conjuncts: list[Predicate] = field(default_factory=list)
+    #: bound subqueries discovered anywhere in the tree
+    subqueries: list["BoundQuery"] = field(default_factory=list)
+
+    def relation_bag(self) -> list[str]:
+        """Relations in the FROM clause, with duplicates (a bag, not a set)."""
+        return list(self.instances.values())
+
+    def resolve(self, ref: ColumnRef) -> BoundColumn:
+        """Resolve one column reference within this query's scope."""
+        return _resolve(ref, self.instances, self.catalog)
+
+
+def bind_query(query: Query, catalog: Catalog) -> BoundQuery:
+    """Bind ``query`` against ``catalog``.
+
+    Raises :class:`BindError` for unknown relations or columns, ambiguous
+    unqualified columns, duplicate aliases, or duplicate unaliased uses of
+    the same relation (which would make references ambiguous).
+    """
+    instances: dict[str, str] = {}
+    for ref in query.from_tables:
+        if not catalog.has_table(ref.table):
+            raise BindError(f"unknown relation {ref.table!r}")
+        name = ref.name
+        if name in instances:
+            raise BindError(
+                f"duplicate table instance {name!r}; alias repeated relations"
+            )
+        instances[name] = ref.table
+
+    bound = BoundQuery(query=query, catalog=catalog, instances=instances)
+
+    # Validate every column reference in the query body.
+    for expr in query.iter_expressions():
+        for ref in expr_column_refs(expr):
+            _resolve(ref, instances, catalog)
+
+    # Classify WHERE conjuncts.
+    for conjunct in query.where_conjuncts():
+        join = _as_join_condition(conjunct, bound)
+        if join is not None:
+            bound.join_conditions.append(join)
+        else:
+            bound.filter_conjuncts.append(conjunct)
+
+    # Bind nested subqueries.  Subqueries bind in their own scope, so a
+    # correlated reference to an outer instance raises BindError here —
+    # matching the paper, which excluded correlated nested queries.
+    for expr in query.iter_expressions():
+        _collect_subqueries(expr, catalog, bound)
+
+    return bound
+
+
+def _collect_subqueries(expr: object, catalog: Catalog, bound: BoundQuery) -> None:
+    if isinstance(expr, Subquery):
+        bound.subqueries.append(bind_query(expr.query, catalog))
+    elif hasattr(expr, "args"):  # FuncCall
+        for arg in expr.args:  # type: ignore[attr-defined]
+            _collect_subqueries(arg, catalog, bound)
+
+
+def _resolve(
+    ref: ColumnRef, instances: dict[str, str], catalog: Catalog
+) -> BoundColumn:
+    if ref.qualifier is not None:
+        relation = instances.get(ref.qualifier)
+        if relation is None:
+            # Allow qualifying by the bare relation name when it was not
+            # aliased away (common in hand-written gold SQL).
+            if ref.qualifier in instances.values() and ref.qualifier not in instances:
+                raise BindError(
+                    f"relation {ref.qualifier!r} was aliased; "
+                    f"use its alias to reference columns"
+                )
+            raise BindError(f"unknown table instance {ref.qualifier!r}")
+        if not catalog.table(relation).has_column(ref.column):
+            raise BindError(f"relation {relation!r} has no column {ref.column!r}")
+        return BoundColumn(ref.qualifier, relation, ref.column)
+
+    matches = [
+        (instance, relation)
+        for instance, relation in instances.items()
+        if catalog.table(relation).has_column(ref.column)
+    ]
+    if not matches:
+        raise BindError(f"column {ref.column!r} not found in any FROM relation")
+    if len(matches) > 1:
+        names = ", ".join(instance for instance, _ in matches)
+        raise BindError(f"column {ref.column!r} is ambiguous across: {names}")
+    instance, relation = matches[0]
+    return BoundColumn(instance, relation, ref.column)
+
+
+def _as_join_condition(
+    conjunct: Predicate, bound: BoundQuery
+) -> JoinCondition | None:
+    """Return the join condition if ``conjunct`` is ``a.x = b.y`` across instances."""
+    if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+        return None
+    if not isinstance(conjunct.left, ColumnRef) or not isinstance(
+        conjunct.right, ColumnRef
+    ):
+        return None
+    left = bound.resolve(conjunct.left)
+    right = bound.resolve(conjunct.right)
+    if left.instance == right.instance:
+        return None
+    return JoinCondition(left, right).normalized()

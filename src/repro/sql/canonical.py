@@ -1,0 +1,265 @@
+"""Canonical forms and equivalence checking for SELECT statements.
+
+The evaluation harness must decide whether a system's top-1 SQL matches the
+gold annotation (the paper checked this by hand).  We canonicalize both
+queries and compare strings.  Canonicalization:
+
+* binds the query (aliases resolved to relations),
+* renames table instances to canonical names (``rel`` or ``rel~1``,
+  ``rel~2`` for self-joins), searching all alias permutations within each
+  relation group and keeping the lexicographically smallest rendering, so
+  equivalence is insensitive to alias choice even for self-joins,
+* sorts WHERE conjuncts, GROUP BY keys and IN-lists; orients comparisons
+  column-first (flipping the operator); normalizes ``<>`` to ``!=``,
+* drops cosmetic SELECT aliases; preserves SELECT order, ORDER BY order,
+  DISTINCT and LIMIT (those are semantic).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+
+from repro.db.catalog import Catalog
+from repro.errors import BindError, ReproError
+from repro.sql.ast import (
+    AndPredicate,
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FuncCall,
+    InPredicate,
+    IsNullPredicate,
+    Literal,
+    NotPredicate,
+    OpPlaceholder,
+    OrPredicate,
+    Predicate,
+    Query,
+    Star,
+    Subquery,
+    ValuePlaceholder,
+)
+from repro.sql.binder import BoundQuery, bind_query
+from repro.sql.parser import parse_query
+
+_FLIPPED_OP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+_MAX_PERMUTATIONS = 5040  # 7! — far above any realistic self-join count
+
+
+def canonical_sql(sql: str | Query, catalog: Catalog) -> str:
+    """Return the canonical string form of ``sql`` under ``catalog``."""
+    query = parse_query(sql) if isinstance(sql, str) else sql
+    bound = bind_query(query, catalog)
+    return _canonical_bound(bound)
+
+
+def queries_equivalent(a: str | Query, b: str | Query, catalog: Catalog) -> bool:
+    """True if the two SELECTs are equivalent up to canonicalization.
+
+    Unparseable or unbindable input compares unequal rather than raising,
+    since the harness treats a malformed system output as simply wrong.
+    """
+    try:
+        return canonical_sql(a, catalog) == canonical_sql(b, catalog)
+    except ReproError:
+        return False
+
+
+def _canonical_bound(bound: BoundQuery) -> str:
+    groups: dict[str, list[str]] = defaultdict(list)
+    for instance, relation in bound.instances.items():
+        groups[relation].append(instance)
+
+    permutation_count = 1
+    for instances in groups.values():
+        for k in range(2, len(instances) + 1):
+            permutation_count *= k
+    if permutation_count > _MAX_PERMUTATIONS:
+        raise BindError(
+            f"too many self-join alias permutations ({permutation_count})"
+        )
+
+    best: str | None = None
+    for mapping in _instance_mappings(groups):
+        rendering = _render(bound, mapping)
+        if best is None or rendering < best:
+            best = rendering
+    assert best is not None  # FROM is never empty for a bound query
+    return best
+
+
+def _instance_mappings(groups: dict[str, list[str]]):
+    """Yield dicts mapping original instance names to canonical names."""
+    relations = sorted(groups)
+    per_relation: list[list[dict[str, str]]] = []
+    for relation in relations:
+        instances = groups[relation]
+        options: list[dict[str, str]] = []
+        if len(instances) == 1:
+            options.append({instances[0]: relation})
+        else:
+            for perm in itertools.permutations(instances):
+                options.append(
+                    {
+                        instance: f"{relation}~{index + 1}"
+                        for index, instance in enumerate(perm)
+                    }
+                )
+        per_relation.append(options)
+    for combo in itertools.product(*per_relation):
+        merged: dict[str, str] = {}
+        for part in combo:
+            merged.update(part)
+        yield merged
+
+
+def _render(bound: BoundQuery, mapping: dict[str, str]) -> str:
+    resolve = _make_resolver(bound, mapping)
+
+    select_parts = [
+        _canon_expr(item.expr, resolve, bound) for item in bound.query.select
+    ]
+    from_part = ", ".join(sorted(mapping.values()))
+
+    where_parts = sorted(
+        [_canon_join(jc, mapping) for jc in bound.join_conditions]
+        + [_canon_predicate(p, resolve, bound) for p in bound.filter_conjuncts]
+    )
+
+    pieces = ["SELECT"]
+    if bound.query.distinct:
+        pieces.append("DISTINCT")
+    pieces.append(", ".join(select_parts))
+    pieces.append("FROM " + from_part)
+    if where_parts:
+        pieces.append("WHERE " + " AND ".join(where_parts))
+    if bound.query.group_by:
+        keys = sorted(
+            _canon_expr(expr, resolve, bound) for expr in bound.query.group_by
+        )
+        pieces.append("GROUP BY " + ", ".join(keys))
+    if bound.query.having is not None:
+        pieces.append(
+            "HAVING " + _canon_predicate(bound.query.having, resolve, bound)
+        )
+    if bound.query.order_by:
+        rendered = []
+        for item in bound.query.order_by:
+            text = _canon_expr(item.expr, resolve, bound)
+            rendered.append(f"{text} DESC" if item.descending else text)
+        pieces.append("ORDER BY " + ", ".join(rendered))
+    if bound.query.limit is not None:
+        pieces.append(f"LIMIT {bound.query.limit}")
+    return " ".join(pieces)
+
+
+def _make_resolver(bound: BoundQuery, mapping: dict[str, str]):
+    def resolve(ref: ColumnRef) -> str:
+        column = bound.resolve(ref)
+        return f"{mapping[column.instance]}.{column.column}"
+
+    return resolve
+
+
+def _canon_expr(expr: Expr, resolve, bound: BoundQuery) -> str:
+    if isinstance(expr, ColumnRef):
+        return resolve(expr)
+    if isinstance(expr, Literal):
+        return _canon_literal(expr)
+    if isinstance(expr, ValuePlaceholder):
+        return f"?{expr.name}"
+    if isinstance(expr, Star):
+        return "*"  # a qualified star is equivalent to * for single tables
+    if isinstance(expr, FuncCall):
+        inner = ", ".join(_canon_expr(arg, resolve, bound) for arg in expr.args)
+        if expr.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expr.name.upper()}({inner})"
+    if isinstance(expr, Subquery):
+        return "(" + canonical_sql(expr.query, bound.catalog) + ")"
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def _canon_literal(literal: Literal) -> str:
+    value = literal.value
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)
+
+
+def _canon_join(jc, mapping: dict[str, str]) -> str:
+    left = f"{mapping[jc.left.instance]}.{jc.left.column}"
+    right = f"{mapping[jc.right.instance]}.{jc.right.column}"
+    if right < left:
+        left, right = right, left
+    return f"{left} = {right}"
+
+
+def _canon_predicate(predicate: Predicate, resolve, bound: BoundQuery) -> str:
+    if isinstance(predicate, Comparison):
+        return _canon_comparison(predicate, resolve, bound)
+    if isinstance(predicate, InPredicate):
+        left = _canon_expr(predicate.left, resolve, bound)
+        values = sorted(
+            _canon_expr(value, resolve, bound) for value in predicate.values
+        )
+        keyword = "NOT IN" if predicate.negated else "IN"
+        return f"{left} {keyword} ({', '.join(values)})"
+    if isinstance(predicate, BetweenPredicate):
+        left = _canon_expr(predicate.left, resolve, bound)
+        low = _canon_expr(predicate.low, resolve, bound)
+        high = _canon_expr(predicate.high, resolve, bound)
+        keyword = "NOT BETWEEN" if predicate.negated else "BETWEEN"
+        return f"{left} {keyword} {low} AND {high}"
+    if isinstance(predicate, IsNullPredicate):
+        left = _canon_expr(predicate.left, resolve, bound)
+        keyword = "IS NOT NULL" if predicate.negated else "IS NULL"
+        return f"{left} {keyword}"
+    if isinstance(predicate, AndPredicate):
+        parts = sorted(
+            _canon_predicate(child, resolve, bound) for child in predicate.children
+        )
+        return "(" + " AND ".join(parts) + ")"
+    if isinstance(predicate, OrPredicate):
+        parts = sorted(
+            _canon_predicate(child, resolve, bound) for child in predicate.children
+        )
+        return "(" + " OR ".join(parts) + ")"
+    if isinstance(predicate, NotPredicate):
+        return "NOT (" + _canon_predicate(predicate.child, resolve, bound) + ")"
+    raise TypeError(f"unknown predicate node {predicate!r}")
+
+
+def _canon_comparison(predicate: Comparison, resolve, bound: BoundQuery) -> str:
+    op = predicate.op
+    if isinstance(op, OpPlaceholder):
+        op_text = "?op"
+    else:
+        op_text = "!=" if op == "<>" else op
+    left = predicate.left
+    right = predicate.right
+    # Orient column-vs-literal comparisons column-first.
+    if (
+        isinstance(left, (Literal, ValuePlaceholder))
+        and isinstance(right, ColumnRef)
+        and op_text in _FLIPPED_OP
+    ):
+        left, right = right, left
+        op_text = _FLIPPED_OP[op_text]
+    left_text = _canon_expr(left, resolve, bound)
+    right_text = _canon_expr(right, resolve, bound)
+    # Orient symmetric column-to-column comparisons deterministically
+    # (never move a literal in front of a column).
+    if (
+        op_text in ("=", "!=")
+        and isinstance(left, ColumnRef)
+        and isinstance(right, ColumnRef)
+        and right_text < left_text
+    ):
+        left_text, right_text = right_text, left_text
+    return f"{left_text} {op_text} {right_text}"

@@ -1,0 +1,61 @@
+"""Multi-line SQL pretty-printer.
+
+The writer (:mod:`repro.sql.writer`) produces a canonical single-line
+form for fragment keys and equivalence checks; this module renders the
+same AST for humans — one clause per line, aligned conjuncts — used by
+the CLI and handy in error analysis.
+"""
+
+from __future__ import annotations
+
+from repro.sql.ast import Query, conjuncts
+from repro.sql.parser import parse_query
+from repro.sql.writer import (
+    _write_order_item,
+    _write_select_item,
+    _write_table_ref,
+    write_expr,
+    write_predicate,
+)
+
+
+def format_query(query: Query | str, indent: str = "  ") -> str:
+    """Render a SELECT statement one clause per line.
+
+    Accepts an AST or SQL text.  WHERE conjuncts are split one per line
+    with aligned ``AND``.
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+
+    lines: list[str] = []
+    select_kw = "SELECT DISTINCT" if query.distinct else "SELECT"
+    lines.append(
+        f"{select_kw} "
+        + ", ".join(_write_select_item(item) for item in query.select)
+    )
+    lines.append(
+        "FROM " + ", ".join(_write_table_ref(ref) for ref in query.from_tables)
+    )
+    where_parts = conjuncts(query.where)
+    if where_parts:
+        first, *rest = [write_predicate(part) for part in where_parts]
+        lines.append(f"WHERE {first}")
+        lines.extend(f"{indent}AND {part}" for part in rest)
+    if query.group_by:
+        lines.append(
+            "GROUP BY " + ", ".join(write_expr(expr) for expr in query.group_by)
+        )
+    if query.having is not None:
+        having_parts = [write_predicate(p) for p in conjuncts(query.having)]
+        first, *rest = having_parts
+        lines.append(f"HAVING {first}")
+        lines.extend(f"{indent}AND {part}" for part in rest)
+    if query.order_by:
+        lines.append(
+            "ORDER BY "
+            + ", ".join(_write_order_item(item) for item in query.order_by)
+        )
+    if query.limit is not None:
+        lines.append(f"LIMIT {query.limit}")
+    return "\n".join(lines)

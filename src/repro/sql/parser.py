@@ -1,0 +1,368 @@
+"""Recursive-descent parser for the query-log SQL dialect.
+
+Grammar (informal):
+
+    query     := SELECT [DISTINCT] select_list FROM table_list
+                 [WHERE predicate] [GROUP BY expr_list [HAVING predicate]]
+                 [ORDER BY order_list] [LIMIT number]
+    table_list:= table_ref ((',' table_ref) | (join_clause))*
+    join_clause := [INNER|LEFT [OUTER]|RIGHT [OUTER]] JOIN table_ref ON predicate
+    predicate := or_pred ;  or_pred := and_pred (OR and_pred)*
+    and_pred  := unary_pred (AND unary_pred)*
+    unary_pred:= NOT unary_pred | '(' predicate ')' | comparison
+    comparison:= expr ( cmp_op expr | [NOT] LIKE expr | [NOT] IN '(' ... ')'
+               | [NOT] BETWEEN expr AND expr | IS [NOT] NULL )
+    expr      := literal | placeholder | func '(' ... ')' | column | '(' query ')'
+
+ANSI joins are normalized into comma-form plus WHERE conjuncts, matching
+the style of the paper's logs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError
+from repro.sql.ast import (
+    AndPredicate,
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FuncCall,
+    InPredicate,
+    IsNullPredicate,
+    Literal,
+    NotPredicate,
+    OpPlaceholder,
+    OrPredicate,
+    OrderItem,
+    Predicate,
+    Query,
+    SelectItem,
+    Star,
+    Subquery,
+    TableRef,
+    ValuePlaceholder,
+    make_and,
+)
+from repro.sql.tokenizer import tokenize
+from repro.sql.tokens import Token, TokenKind
+
+
+def parse_query(sql: str) -> Query:
+    """Parse ``sql`` into a :class:`Query`, raising :class:`SQLSyntaxError`."""
+    parser = _Parser(tokenize(sql))
+    query = parser.parse_select()
+    parser.expect_eof()
+    return query
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------ plumbing
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def accept_keyword(self, *words: str) -> bool:
+        if self.current.is_keyword(*words):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise SQLSyntaxError(
+                f"expected {word}, found {self.current.text!r}",
+                position=self.current.position,
+            )
+        return self.advance()
+
+    def expect(self, kind: TokenKind) -> Token:
+        if self.current.kind is not kind:
+            raise SQLSyntaxError(
+                f"expected {kind.value}, found {self.current.text!r}",
+                position=self.current.position,
+            )
+        return self.advance()
+
+    def expect_eof(self) -> None:
+        if self.current.kind is not TokenKind.EOF:
+            raise SQLSyntaxError(
+                f"unexpected trailing input {self.current.text!r}",
+                position=self.current.position,
+            )
+
+    # --------------------------------------------------------------- query
+
+    def parse_select(self) -> Query:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        select = self._parse_select_list()
+        self.expect_keyword("FROM")
+        from_tables, join_conditions = self._parse_table_list()
+
+        where: Predicate | None = None
+        if self.accept_keyword("WHERE"):
+            where = self._parse_predicate()
+        where = make_and(
+            join_conditions + ([where] if where is not None else [])
+        )
+
+        group_by: tuple[Expr, ...] = ()
+        having: Predicate | None = None
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by = tuple(self._parse_expr_list())
+            if self.accept_keyword("HAVING"):
+                having = self._parse_predicate()
+
+        order_by: tuple[OrderItem, ...] = ()
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by = tuple(self._parse_order_list())
+
+        limit: int | None = None
+        if self.accept_keyword("LIMIT"):
+            token = self.expect(TokenKind.NUMBER)
+            limit = int(token.text)
+
+        return Query(
+            select=tuple(select),
+            from_tables=tuple(from_tables),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_select_list(self) -> list[SelectItem]:
+        items = [self._parse_select_item()]
+        while self.current.kind is TokenKind.COMMA:
+            self.advance()
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        expr = self._parse_expr()
+        alias: str | None = None
+        if self.accept_keyword("AS"):
+            alias = self.expect(TokenKind.IDENTIFIER).text
+        elif self.current.kind is TokenKind.IDENTIFIER:
+            alias = self.advance().text
+        return SelectItem(expr, alias)
+
+    # ---------------------------------------------------------------- FROM
+
+    def _parse_table_list(self) -> tuple[list[TableRef], list[Predicate]]:
+        tables = [self._parse_table_ref()]
+        join_conditions: list[Predicate] = []
+        while True:
+            if self.current.kind is TokenKind.COMMA:
+                self.advance()
+                tables.append(self._parse_table_ref())
+                continue
+            if self.current.is_keyword("JOIN", "INNER", "LEFT", "RIGHT"):
+                self._consume_join_prefix()
+                tables.append(self._parse_table_ref())
+                self.expect_keyword("ON")
+                join_conditions.append(self._parse_predicate())
+                continue
+            break
+        return tables, join_conditions
+
+    def _consume_join_prefix(self) -> None:
+        if self.accept_keyword("INNER"):
+            pass
+        elif self.accept_keyword("LEFT") or self.accept_keyword("RIGHT"):
+            self.accept_keyword("OUTER")
+        self.expect_keyword("JOIN")
+
+    def _parse_table_ref(self) -> TableRef:
+        table = self.expect(TokenKind.IDENTIFIER).text
+        alias: str | None = None
+        if self.accept_keyword("AS"):
+            alias = self.expect(TokenKind.IDENTIFIER).text
+        elif self.current.kind is TokenKind.IDENTIFIER:
+            alias = self.advance().text
+        return TableRef(table, alias)
+
+    # ----------------------------------------------------------- predicate
+
+    def _parse_predicate(self) -> Predicate:
+        return self._parse_or()
+
+    def _parse_or(self) -> Predicate:
+        parts = [self._parse_and()]
+        while self.accept_keyword("OR"):
+            parts.append(self._parse_and())
+        if len(parts) == 1:
+            return parts[0]
+        return OrPredicate(tuple(parts))
+
+    def _parse_and(self) -> Predicate:
+        parts = [self._parse_unary_predicate()]
+        while self.accept_keyword("AND"):
+            parts.append(self._parse_unary_predicate())
+        if len(parts) == 1:
+            return parts[0]
+        return AndPredicate(tuple(parts))
+
+    def _parse_unary_predicate(self) -> Predicate:
+        if self.accept_keyword("NOT"):
+            return NotPredicate(self._parse_unary_predicate())
+        if self.current.kind is TokenKind.LPAREN and not self._paren_is_subquery():
+            self.advance()
+            inner = self._parse_predicate()
+            self.expect(TokenKind.RPAREN)
+            return inner
+        return self._parse_comparison()
+
+    def _paren_is_subquery(self) -> bool:
+        """Lookahead: '(' SELECT means a subquery expression, not grouping."""
+        nxt = self._tokens[self._pos + 1]
+        return nxt.is_keyword("SELECT")
+
+    def _parse_comparison(self) -> Predicate:
+        left = self._parse_expr()
+        token = self.current
+        if token.kind is TokenKind.OPERATOR:
+            op = self.advance().text
+            right = self._parse_expr()
+            return Comparison(left, op, right)
+        if token.kind is TokenKind.PLACEHOLDER and token.text == "?op":
+            self.advance()
+            right = self._parse_expr()
+            return Comparison(left, OpPlaceholder(), right)
+        negated = False
+        if token.is_keyword("NOT"):
+            self.advance()
+            negated = True
+            token = self.current
+        if token.is_keyword("LIKE"):
+            self.advance()
+            right = self._parse_expr()
+            return Comparison(left, "NOT LIKE" if negated else "LIKE", right)
+        if token.is_keyword("IN"):
+            self.advance()
+            self.expect(TokenKind.LPAREN)
+            if self.current.is_keyword("SELECT"):
+                sub = self.parse_select()
+                self.expect(TokenKind.RPAREN)
+                return InPredicate(left, (Subquery(sub),), negated)
+            values = [self._parse_expr()]
+            while self.current.kind is TokenKind.COMMA:
+                self.advance()
+                values.append(self._parse_expr())
+            self.expect(TokenKind.RPAREN)
+            return InPredicate(left, tuple(values), negated)
+        if token.is_keyword("BETWEEN"):
+            self.advance()
+            low = self._parse_expr()
+            self.expect_keyword("AND")
+            high = self._parse_expr()
+            return BetweenPredicate(left, low, high, negated)
+        if token.is_keyword("IS"):
+            self.advance()
+            is_negated = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return IsNullPredicate(left, is_negated)
+        if negated:
+            raise SQLSyntaxError(
+                "expected LIKE/IN/BETWEEN after NOT", position=token.position
+            )
+        raise SQLSyntaxError(
+            f"expected comparison, found {token.text!r}", position=token.position
+        )
+
+    # ---------------------------------------------------------- expression
+
+    def _parse_expr_list(self) -> list[Expr]:
+        exprs = [self._parse_expr()]
+        while self.current.kind is TokenKind.COMMA:
+            self.advance()
+            exprs.append(self._parse_expr())
+        return exprs
+
+    def _parse_order_list(self) -> list[OrderItem]:
+        items = [self._parse_order_item()]
+        while self.current.kind is TokenKind.COMMA:
+            self.advance()
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self._parse_expr()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return OrderItem(expr, descending)
+
+    def _parse_expr(self) -> Expr:
+        token = self.current
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            text = token.text
+            value: int | float = float(text) if "." in text else int(text)
+            return Literal(value)
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return Literal(token.text)
+        if token.kind is TokenKind.PLACEHOLDER:
+            self.advance()
+            return ValuePlaceholder(token.text.lstrip("?"))
+        if token.kind is TokenKind.STAR:
+            self.advance()
+            return Star()
+        if token.kind is TokenKind.LPAREN:
+            self.advance()
+            if self.current.is_keyword("SELECT"):
+                sub = self.parse_select()
+                self.expect(TokenKind.RPAREN)
+                return Subquery(sub)
+            inner = self._parse_expr()
+            self.expect(TokenKind.RPAREN)
+            return inner
+        if token.kind is TokenKind.IDENTIFIER:
+            return self._parse_identifier_expr()
+        raise SQLSyntaxError(
+            f"expected expression, found {token.text!r}", position=token.position
+        )
+
+    def _parse_identifier_expr(self) -> Expr:
+        name = self.expect(TokenKind.IDENTIFIER).text
+        if self.current.kind is TokenKind.LPAREN:
+            return self._parse_func_call(name)
+        if self.current.kind is TokenKind.DOT:
+            self.advance()
+            if self.current.kind is TokenKind.STAR:
+                self.advance()
+                return Star(qualifier=name)
+            column = self.expect(TokenKind.IDENTIFIER).text
+            return ColumnRef(name, column)
+        return ColumnRef(None, name)
+
+    def _parse_func_call(self, name: str) -> FuncCall:
+        self.expect(TokenKind.LPAREN)
+        distinct = self.accept_keyword("DISTINCT")
+        args: list[Expr] = []
+        if self.current.kind is not TokenKind.RPAREN:
+            args.append(self._parse_expr())
+            while self.current.kind is TokenKind.COMMA:
+                self.advance()
+                args.append(self._parse_expr())
+        self.expect(TokenKind.RPAREN)
+        return FuncCall(name.upper(), tuple(args), distinct)

@@ -1,0 +1,154 @@
+"""Hand-written SQL tokenizer for the query-log dialect."""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError
+from repro.sql.tokens import KEYWORDS, Token, TokenKind
+
+_OPERATOR_STARTS = "=<>!"
+_SINGLE_CHAR = {
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "*": TokenKind.STAR,
+}
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql`` into a list ending with an EOF token.
+
+    Raises :class:`SQLSyntaxError` on unterminated strings or characters
+    outside the dialect.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            text, i = _read_string(sql, i)
+            tokens.append(Token(TokenKind.STRING, text, i))
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and sql[i + 1].isdigit()
+        ):
+            text, i = _read_number(sql, i)
+            tokens.append(Token(TokenKind.NUMBER, text, i))
+            continue
+        if ch == "-" and i + 1 < n and (sql[i + 1].isdigit() or sql[i + 1] == "."):
+            # A negative literal — only valid where a value can start
+            # (after an operator/keyword/comma/paren), since the dialect
+            # has no arithmetic.
+            if not tokens or tokens[-1].kind in (
+                TokenKind.OPERATOR,
+                TokenKind.KEYWORD,
+                TokenKind.COMMA,
+                TokenKind.LPAREN,
+                TokenKind.PLACEHOLDER,
+            ):
+                text, i = _read_number(sql, i + 1)
+                tokens.append(Token(TokenKind.NUMBER, f"-{text}", i))
+                continue
+            raise SQLSyntaxError("arithmetic is not supported", position=i)
+        if ch.isalpha() or ch == "_":
+            text, i = _read_word(sql, i)
+            kind = (
+                TokenKind.KEYWORD if text.upper() in KEYWORDS else TokenKind.IDENTIFIER
+            )
+            tokens.append(Token(kind, text, i))
+            continue
+        if ch == "`" or ch == '"':
+            text, i = _read_quoted_identifier(sql, i, ch)
+            tokens.append(Token(TokenKind.IDENTIFIER, text, i))
+            continue
+        if ch == "?":
+            text, i = _read_placeholder(sql, i)
+            tokens.append(Token(TokenKind.PLACEHOLDER, text, i))
+            continue
+        if ch in _OPERATOR_STARTS:
+            text, i = _read_operator(sql, i)
+            tokens.append(Token(TokenKind.OPERATOR, text, i))
+            continue
+        if ch in _SINGLE_CHAR:
+            tokens.append(Token(_SINGLE_CHAR[ch], ch, i + 1))
+            i += 1
+            continue
+        if ch == ";" and i == n - 1:
+            break  # trailing statement terminator is tolerated
+        raise SQLSyntaxError(f"unexpected character {ch!r}", position=i)
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string starting at ``start``.
+
+    Doubled quotes (``''``) escape a literal quote, per the SQL standard.
+    The returned text excludes the delimiters and un-escapes quotes.
+    """
+    i = start + 1
+    parts: list[str] = []
+    while i < len(sql):
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < len(sql) and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SQLSyntaxError("unterminated string literal", position=start)
+
+
+def _read_quoted_identifier(sql: str, start: int, quote: str) -> tuple[str, int]:
+    end = sql.find(quote, start + 1)
+    if end < 0:
+        raise SQLSyntaxError("unterminated quoted identifier", position=start)
+    return sql[start + 1 : end], end + 1
+
+
+def _read_number(sql: str, start: int) -> tuple[str, int]:
+    i = start
+    seen_dot = False
+    while i < len(sql):
+        ch = sql[i]
+        if ch.isdigit():
+            i += 1
+            continue
+        if ch == "." and not seen_dot and i + 1 < len(sql) and sql[i + 1].isdigit():
+            seen_dot = True
+            i += 1
+            continue
+        break
+    return sql[start:i], i
+
+
+def _read_word(sql: str, start: int) -> tuple[str, int]:
+    i = start
+    while i < len(sql) and (sql[i].isalnum() or sql[i] == "_"):
+        i += 1
+    return sql[start:i], i
+
+
+def _read_placeholder(sql: str, start: int) -> tuple[str, int]:
+    i = start + 1
+    while i < len(sql) and (sql[i].isalnum() or sql[i] == "_"):
+        i += 1
+    if i == start + 1:
+        raise SQLSyntaxError("bare '?' placeholder must be named", position=start)
+    return sql[start:i], i
+
+
+def _read_operator(sql: str, start: int) -> tuple[str, int]:
+    two = sql[start : start + 2]
+    if two in ("<=", ">=", "<>", "!="):
+        return two, start + 2
+    one = sql[start]
+    if one in "=<>":
+        return one, start + 1
+    raise SQLSyntaxError(f"unexpected operator start {one!r}", position=start)

@@ -1,0 +1,52 @@
+"""Token kinds and the token dataclass shared by tokenizer and parser."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"        # SELECT, FROM, WHERE, ...
+    IDENTIFIER = "identifier"  # table/column/alias names
+    NUMBER = "number"          # integer or float literal
+    STRING = "string"          # 'single quoted'
+    OPERATOR = "operator"      # = != <> < <= > >=
+    PLACEHOLDER = "placeholder"  # ?val ?op ?attr ...
+    COMMA = ","
+    DOT = "."
+    LPAREN = "("
+    RPAREN = ")"
+    STAR = "*"
+    EOF = "eof"
+
+
+#: Reserved words recognized case-insensitively.  Everything else is an
+#: identifier.  Aggregate function names are *not* reserved: they are
+#: ordinary identifiers that the parser treats as functions when followed
+#: by '('.
+KEYWORDS = frozenset(
+    {
+        "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "OR", "NOT",
+        "GROUP", "BY", "HAVING", "ORDER", "ASC", "DESC", "LIMIT",
+        "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "ON", "AS",
+        "LIKE", "IN", "BETWEEN", "IS", "NULL", "EXISTS",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.upper in words
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}@{self.position})"

@@ -1,0 +1,138 @@
+"""Render AST nodes back to SQL text.
+
+The writer produces a single normalized surface form (uppercase keywords,
+single spaces, explicit comma joins), which the canonicalizer and the QFG
+rely on for stable fragment keys.
+"""
+
+from __future__ import annotations
+
+from repro.sql.ast import (
+    AndPredicate,
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FuncCall,
+    InPredicate,
+    IsNullPredicate,
+    Literal,
+    NotPredicate,
+    OpPlaceholder,
+    OrPredicate,
+    OrderItem,
+    Predicate,
+    Query,
+    SelectItem,
+    Star,
+    Subquery,
+    TableRef,
+    ValuePlaceholder,
+)
+
+
+def write_query(query: Query) -> str:
+    """Render a full SELECT statement."""
+    parts = ["SELECT"]
+    if query.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_write_select_item(item) for item in query.select))
+    parts.append("FROM")
+    parts.append(", ".join(_write_table_ref(ref) for ref in query.from_tables))
+    if query.where is not None:
+        parts.append("WHERE")
+        parts.append(write_predicate(query.where))
+    if query.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(write_expr(expr) for expr in query.group_by))
+    if query.having is not None:
+        parts.append("HAVING")
+        parts.append(write_predicate(query.having))
+    if query.order_by:
+        parts.append("ORDER BY")
+        parts.append(", ".join(_write_order_item(item) for item in query.order_by))
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    return " ".join(parts)
+
+
+def _write_select_item(item: SelectItem) -> str:
+    rendered = write_expr(item.expr)
+    if item.alias:
+        return f"{rendered} AS {item.alias}"
+    return rendered
+
+
+def _write_table_ref(ref: TableRef) -> str:
+    if ref.alias:
+        return f"{ref.table} {ref.alias}"
+    return ref.table
+
+
+def _write_order_item(item: OrderItem) -> str:
+    rendered = write_expr(item.expr)
+    return f"{rendered} DESC" if item.descending else rendered
+
+
+def write_expr(expr: Expr) -> str:
+    """Render one expression."""
+    if isinstance(expr, ColumnRef):
+        return str(expr)
+    if isinstance(expr, Literal):
+        if isinstance(expr.value, str):
+            escaped = expr.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(expr.value)
+    if isinstance(expr, ValuePlaceholder):
+        return f"?{expr.name}"
+    if isinstance(expr, Star):
+        return f"{expr.qualifier}.*" if expr.qualifier else "*"
+    if isinstance(expr, FuncCall):
+        inner = ", ".join(write_expr(arg) for arg in expr.args)
+        if expr.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expr.name}({inner})"
+    if isinstance(expr, Subquery):
+        return f"({write_query(expr.query)})"
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def write_predicate(predicate: Predicate) -> str:
+    """Render one predicate tree (parenthesizing OR under AND)."""
+    if isinstance(predicate, Comparison):
+        op = "?op" if isinstance(predicate.op, OpPlaceholder) else predicate.op
+        return f"{write_expr(predicate.left)} {op} {write_expr(predicate.right)}"
+    if isinstance(predicate, InPredicate):
+        values = ", ".join(write_expr(value) for value in predicate.values)
+        keyword = "NOT IN" if predicate.negated else "IN"
+        # A subquery IN-source renders with its own parens already.
+        if len(predicate.values) == 1 and isinstance(predicate.values[0], Subquery):
+            return f"{write_expr(predicate.left)} {keyword} {values}"
+        return f"{write_expr(predicate.left)} {keyword} ({values})"
+    if isinstance(predicate, BetweenPredicate):
+        keyword = "NOT BETWEEN" if predicate.negated else "BETWEEN"
+        return (
+            f"{write_expr(predicate.left)} {keyword} "
+            f"{write_expr(predicate.low)} AND {write_expr(predicate.high)}"
+        )
+    if isinstance(predicate, IsNullPredicate):
+        keyword = "IS NOT NULL" if predicate.negated else "IS NULL"
+        return f"{write_expr(predicate.left)} {keyword}"
+    if isinstance(predicate, AndPredicate):
+        return " AND ".join(
+            _maybe_paren(child) for child in predicate.children
+        )
+    if isinstance(predicate, OrPredicate):
+        return " OR ".join(
+            _maybe_paren(child) for child in predicate.children
+        )
+    if isinstance(predicate, NotPredicate):
+        return f"NOT ({write_predicate(predicate.child)})"
+    raise TypeError(f"unknown predicate node {predicate!r}")
+
+
+def _maybe_paren(predicate: Predicate) -> str:
+    rendered = write_predicate(predicate)
+    if isinstance(predicate, (OrPredicate, AndPredicate)):
+        return f"({rendered})"
+    return rendered

@@ -1,0 +1,229 @@
+"""Tests for the binder (alias resolution, join classification) and the
+canonicalizer (SQL equivalence)."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.sql import bind_query, canonical_sql, parse_query, queries_equivalent
+
+
+class TestBinder:
+    def test_alias_resolution(self, mini_db):
+        bound = bind_query(
+            parse_query("SELECT p.title FROM publication p"), mini_db.catalog
+        )
+        assert bound.instances == {"p": "publication"}
+
+    def test_unaliased_table_usable_by_name(self, mini_db):
+        bound = bind_query(
+            parse_query("SELECT publication.title FROM publication"),
+            mini_db.catalog,
+        )
+        column = bound.resolve(parse_query(
+            "SELECT publication.title FROM publication"
+        ).select[0].expr)
+        assert column.relation == "publication"
+
+    def test_unqualified_column_unique(self, mini_db):
+        bound = bind_query(
+            parse_query("SELECT title FROM publication"), mini_db.catalog
+        )
+        assert bound.instances == {"publication": "publication"}
+
+    def test_unqualified_column_ambiguous(self, mini_db):
+        with pytest.raises(BindError, match="ambiguous"):
+            bind_query(
+                parse_query("SELECT name FROM journal, author"),
+                mini_db.catalog,
+            )
+
+    def test_unknown_relation(self, mini_db):
+        with pytest.raises(BindError):
+            bind_query(parse_query("SELECT a FROM nope"), mini_db.catalog)
+
+    def test_unknown_column(self, mini_db):
+        with pytest.raises(BindError):
+            bind_query(
+                parse_query("SELECT p.nope FROM publication p"),
+                mini_db.catalog,
+            )
+
+    def test_unknown_alias(self, mini_db):
+        with pytest.raises(BindError):
+            bind_query(
+                parse_query("SELECT x.title FROM publication p"),
+                mini_db.catalog,
+            )
+
+    def test_duplicate_unaliased_relation_rejected(self, mini_db):
+        with pytest.raises(BindError):
+            bind_query(
+                parse_query("SELECT title FROM publication, publication"),
+                mini_db.catalog,
+            )
+
+    def test_join_condition_classification(self, mini_db):
+        bound = bind_query(
+            parse_query(
+                "SELECT p.title FROM publication p, journal j "
+                "WHERE j.name = 'TKDE' AND p.jid = j.jid"
+            ),
+            mini_db.catalog,
+        )
+        assert len(bound.join_conditions) == 1
+        assert len(bound.filter_conjuncts) == 1
+        join = bound.join_conditions[0]
+        assert {join.left.relation, join.right.relation} == {
+            "publication", "journal",
+        }
+
+    def test_same_instance_comparison_is_filter(self, mini_db):
+        bound = bind_query(
+            parse_query(
+                "SELECT p.title FROM publication p WHERE p.pid = p.jid"
+            ),
+            mini_db.catalog,
+        )
+        assert not bound.join_conditions
+        assert len(bound.filter_conjuncts) == 1
+
+    def test_relation_bag_with_self_join(self, mini_db):
+        bound = bind_query(
+            parse_query(
+                "SELECT p.title FROM publication p, writes w1, writes w2 "
+                "WHERE w1.pid = p.pid AND w2.pid = p.pid"
+            ),
+            mini_db.catalog,
+        )
+        assert sorted(bound.relation_bag()) == [
+            "publication", "writes", "writes",
+        ]
+
+    def test_subquery_bound_separately(self, mini_db):
+        bound = bind_query(
+            parse_query(
+                "SELECT title FROM publication WHERE year = "
+                "(SELECT MAX(year) FROM publication)"
+            ),
+            mini_db.catalog,
+        )
+        assert len(bound.subqueries) == 1
+
+    def test_correlated_subquery_rejected(self, mini_db):
+        with pytest.raises(BindError):
+            bind_query(
+                parse_query(
+                    "SELECT p.title FROM publication p WHERE p.year = "
+                    "(SELECT MAX(p.year) FROM journal j)"
+                ),
+                mini_db.catalog,
+            )
+
+
+class TestCanonical:
+    def test_alias_insensitive(self, mini_db):
+        a = "SELECT p.title FROM publication p, journal j WHERE p.jid = j.jid AND j.name = 'TKDE'"
+        b = "SELECT x.title FROM journal y, publication x WHERE y.name = 'TKDE' AND y.jid = x.jid"
+        assert queries_equivalent(a, b, mini_db.catalog)
+
+    def test_conjunct_order_insensitive(self, mini_db):
+        a = "SELECT title FROM publication WHERE year > 2000 AND jid = 1"
+        b = "SELECT title FROM publication WHERE jid = 1 AND year > 2000"
+        assert queries_equivalent(a, b, mini_db.catalog)
+
+    def test_comparison_orientation(self, mini_db):
+        a = "SELECT title FROM publication WHERE year > 2000"
+        b = "SELECT title FROM publication WHERE 2000 < year"
+        assert queries_equivalent(a, b, mini_db.catalog)
+
+    def test_join_condition_orientation(self, mini_db):
+        a = "SELECT p.title FROM publication p, journal j WHERE p.jid = j.jid"
+        b = "SELECT p.title FROM publication p, journal j WHERE j.jid = p.jid"
+        assert queries_equivalent(a, b, mini_db.catalog)
+
+    def test_different_predicates_not_equivalent(self, mini_db):
+        a = "SELECT title FROM publication WHERE year > 2000"
+        b = "SELECT title FROM publication WHERE year >= 2000"
+        assert not queries_equivalent(a, b, mini_db.catalog)
+
+    def test_different_projection_not_equivalent(self, mini_db):
+        a = "SELECT title FROM publication"
+        b = "SELECT year FROM publication"
+        assert not queries_equivalent(a, b, mini_db.catalog)
+
+    def test_self_join_alias_permutation(self, mini_db):
+        a = (
+            "SELECT p.title FROM author a1, author a2, publication p, "
+            "writes w1, writes w2 "
+            "WHERE a1.name = 'John Smith' AND a2.name = 'Jane Doe' "
+            "AND w1.aid = a1.aid AND w2.aid = a2.aid "
+            "AND w1.pid = p.pid AND w2.pid = p.pid"
+        )
+        # Swap which alias carries which author (and the writes pairing).
+        b = (
+            "SELECT p.title FROM author a1, author a2, publication p, "
+            "writes w1, writes w2 "
+            "WHERE a2.name = 'John Smith' AND a1.name = 'Jane Doe' "
+            "AND w1.aid = a2.aid AND w2.aid = a1.aid "
+            "AND w1.pid = p.pid AND w2.pid = p.pid"
+        )
+        assert queries_equivalent(a, b, mini_db.catalog)
+
+    def test_self_join_value_swap_not_equivalent(self, mini_db):
+        a = (
+            "SELECT p.title FROM author a1, publication p, writes w1 "
+            "WHERE a1.name = 'John Smith' AND w1.aid = a1.aid AND w1.pid = p.pid"
+        )
+        b = (
+            "SELECT p.title FROM author a1, publication p, writes w1 "
+            "WHERE a1.name = 'Jane Doe' AND w1.aid = a1.aid AND w1.pid = p.pid"
+        )
+        assert not queries_equivalent(a, b, mini_db.catalog)
+
+    def test_float_integer_literal_normalization(self, mini_db):
+        a = "SELECT title FROM publication WHERE year > 2000"
+        b = "SELECT title FROM publication WHERE year > 2000.0"
+        assert queries_equivalent(a, b, mini_db.catalog)
+
+    def test_in_list_order_insensitive(self, mini_db):
+        a = "SELECT name FROM journal WHERE jid IN (1, 2)"
+        b = "SELECT name FROM journal WHERE jid IN (2, 1)"
+        assert queries_equivalent(a, b, mini_db.catalog)
+
+    def test_select_alias_ignored(self, mini_db):
+        a = "SELECT title AS x FROM publication"
+        b = "SELECT title FROM publication"
+        assert queries_equivalent(a, b, mini_db.catalog)
+
+    def test_limit_and_distinct_are_semantic(self, mini_db):
+        assert not queries_equivalent(
+            "SELECT title FROM publication",
+            "SELECT DISTINCT title FROM publication",
+            mini_db.catalog,
+        )
+        assert not queries_equivalent(
+            "SELECT title FROM publication",
+            "SELECT title FROM publication LIMIT 1",
+            mini_db.catalog,
+        )
+
+    def test_order_by_order_is_semantic(self, mini_db):
+        assert not queries_equivalent(
+            "SELECT title FROM publication ORDER BY year",
+            "SELECT title FROM publication ORDER BY year DESC",
+            mini_db.catalog,
+        )
+
+    def test_unparseable_input_is_not_equivalent(self, mini_db):
+        assert not queries_equivalent(
+            "SELECT title FROM publication", "garbage ( SELECT", mini_db.catalog
+        )
+
+    def test_canonical_is_idempotent(self, mini_db):
+        sql = (
+            "SELECT p.title FROM publication p, journal j "
+            "WHERE j.name = 'TKDE' AND p.jid = j.jid"
+        )
+        once = canonical_sql(sql, mini_db.catalog)
+        twice = canonical_sql(once, mini_db.catalog)
+        assert once == twice

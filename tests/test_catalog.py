@@ -1,0 +1,135 @@
+"""Tests for the schema catalog."""
+
+import pytest
+
+from repro.db import Catalog, Column, ColumnType, ForeignKey, TableSchema
+from repro.errors import SchemaError
+
+_INT = ColumnType.INTEGER
+_TEXT = ColumnType.TEXT
+
+
+def make_schema() -> TableSchema:
+    return TableSchema(
+        "publication",
+        [
+            Column("pid", _INT),
+            Column("title", _TEXT, display=True, searchable=True),
+            Column("year", _INT),
+        ],
+        primary_key="pid",
+    )
+
+
+class TestColumn:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("bad name", _INT)
+
+    def test_searchable_requires_text(self):
+        with pytest.raises(SchemaError):
+            Column("year", _INT, searchable=True)
+
+    def test_display_allowed_on_any_type(self):
+        assert Column("count", _INT, display=True).display
+
+
+class TestTableSchema:
+    def test_column_lookup(self):
+        schema = make_schema()
+        assert schema.column("title").type is _TEXT
+        assert schema.column_index("year") == 2
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            make_schema().column("nope")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", _INT), Column("a", _INT)])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_unknown_pk_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", _INT)], primary_key="b")
+
+    def test_multiple_display_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                [Column("a", _TEXT, display=True), Column("b", _TEXT, display=True)],
+            )
+
+    def test_display_column_property(self):
+        assert make_schema().display_column == "title"
+
+    def test_no_display_column(self):
+        schema = TableSchema("t", [Column("a", _INT)])
+        assert schema.display_column is None
+
+    def test_string_pk_normalized_to_tuple(self):
+        assert make_schema().primary_key == ("pid",)
+
+
+class TestCatalog:
+    def test_add_and_lookup(self):
+        catalog = Catalog()
+        catalog.add_table(make_schema())
+        assert catalog.has_table("publication")
+        assert catalog.table("publication").name == "publication"
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.add_table(make_schema())
+        with pytest.raises(SchemaError):
+            catalog.add_table(make_schema())
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(SchemaError):
+            Catalog().table("nope")
+
+    def test_foreign_key_validation(self):
+        catalog = Catalog()
+        catalog.add_table(make_schema())
+        with pytest.raises(SchemaError):
+            catalog.add_foreign_key(
+                ForeignKey("publication", "jid", "journal", "jid")
+            )
+
+    def test_foreign_key_unknown_column(self):
+        catalog = Catalog()
+        catalog.add_table(make_schema())
+        catalog.add_table(TableSchema("journal", [Column("jid", _INT)]))
+        with pytest.raises(SchemaError):
+            catalog.add_foreign_key(
+                ForeignKey("publication", "nope", "journal", "jid")
+            )
+
+    def test_attribute_enumeration(self):
+        catalog = Catalog()
+        catalog.add_table(make_schema())
+        refs = [str(ref) for ref in catalog.all_attributes()]
+        assert refs == ["publication.pid", "publication.title", "publication.year"]
+
+    def test_numeric_and_text_attributes(self):
+        catalog = Catalog()
+        catalog.add_table(make_schema())
+        numeric = {str(r) for r in catalog.numeric_attributes()}
+        assert numeric == {"publication.pid", "publication.year"}
+        text = {str(r) for r in catalog.text_attributes()}
+        assert text == {"publication.title"}  # only searchable columns
+
+    def test_stats(self):
+        catalog = Catalog()
+        catalog.add_table(make_schema())
+        stats = catalog.stats()
+        assert stats == {"relations": 1, "attributes": 3, "fk_pk": 0}
+
+    def test_foreign_keys_of(self, mini_db):
+        fks = mini_db.catalog.foreign_keys_of("writes")
+        assert len(fks) == 2
+        fks_journal = mini_db.catalog.foreign_keys_of("journal")
+        assert len(fks_journal) == 1

@@ -1,0 +1,134 @@
+"""Tests for the CLI, the SQL export and the explanation module."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.explain import explain_configuration
+from repro.datasets.export import (
+    export_database_sql,
+    export_dataset_sql,
+    render_create_table,
+    render_inserts,
+)
+
+
+class TestExplain:
+    def test_decomposition(self, mini_templar):
+        from repro.core import FragmentContext, Keyword, KeywordMetadata
+
+        configs = mini_templar.map_keywords(
+            [
+                Keyword("papers", KeywordMetadata(FragmentContext.SELECT)),
+                Keyword(
+                    "after 2000",
+                    KeywordMetadata(FragmentContext.WHERE, comparison_op=">"),
+                ),
+            ]
+        )
+        explanation = explain_configuration(configs[0], mini_templar.qfg)
+        assert len(explanation.mappings) == 2
+        assert len(explanation.pairs) == 1
+        assert explanation.pairs[0].dice > 0
+        rendered = explanation.render()
+        assert "Score_σ" in rendered and "Dice" in rendered
+
+    def test_without_qfg(self, mini_db, mini_model):
+        from repro.core import (
+            FragmentContext,
+            Keyword,
+            KeywordMetadata,
+            Templar,
+        )
+
+        templar = Templar(mini_db, mini_model, None)
+        configs = templar.map_keywords(
+            [Keyword("TKDE", KeywordMetadata(FragmentContext.WHERE))]
+        )
+        explanation = explain_configuration(configs[0], None)
+        assert explanation.pairs == ()
+        assert "falls back" in explanation.render()
+
+
+class TestExport:
+    def test_create_table_rendering(self, mini_db):
+        ddl = render_create_table(
+            mini_db.catalog.table("publication"), mini_db
+        )
+        assert "CREATE TABLE publication" in ddl
+        assert "PRIMARY KEY (pid)" in ddl
+        assert "FOREIGN KEY (jid) REFERENCES journal (jid)" in ddl
+
+    def test_insert_rendering_and_escaping(self, mini_db):
+        mini_db.insert("journal", (9, "O'Reilly"))
+        inserts = render_inserts(mini_db.catalog.table("journal"), mini_db)
+        assert any("O''Reilly" in stmt for stmt in inserts)
+
+    def test_null_rendering(self, mini_db):
+        mini_db.insert("journal", (10, None))
+        inserts = render_inserts(mini_db.catalog.table("journal"), mini_db)
+        assert any("NULL" in stmt for stmt in inserts)
+
+    def test_dependency_order(self, mini_db):
+        dump = export_database_sql(mini_db)
+        # journal/author DDL must precede their FK sources.
+        assert dump.index("CREATE TABLE journal") < dump.index(
+            "CREATE TABLE publication"
+        )
+        assert dump.index("CREATE TABLE author") < dump.index(
+            "CREATE TABLE writes"
+        )
+
+    def test_dataset_export_includes_workload(self, mini_db, tmp_path, mas_dataset):
+        path = export_dataset_sql(mas_dataset, tmp_path / "mas.sql")
+        text = path.read_text()
+        assert "CREATE TABLE publication" in text
+        assert "-- NLQ:" in text
+
+    def test_batching(self, mas_dataset):
+        schema = mas_dataset.database.catalog.table("publication")
+        inserts = render_inserts(schema, mas_dataset.database, batch_size=50)
+        assert len(inserts) == -(-len(mas_dataset.database.table("publication").rows) // 50)
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["evaluate", "--dataset", "mas"])
+        assert args.system == "Pipeline+"
+
+    def test_stats_command(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "MAS" in out and "YELP" in out and "IMDB" in out
+
+    def test_translate_command(self, capsys):
+        code = main(
+            [
+                "translate",
+                "--dataset", "mas",
+                "--nlq", "return the papers after 2005",
+                "--explain",
+                "--execute",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SQL: SELECT" in out
+        assert "Score_σ" in out
+        assert "answer" in out
+
+    def test_translate_unparseable(self, capsys):
+        code = main(
+            ["translate", "--dataset", "mas", "--nlq", "xyzzy gibberish"]
+        )
+        assert code == 1
+
+    def test_export_command(self, tmp_path, capsys):
+        out_file = tmp_path / "dump.sql"
+        assert main(["export", "--dataset", "mas", "--output", str(out_file)]) == 0
+        assert out_file.exists()
+
+    def test_evaluate_command_smoke(self, capsys):
+        assert main(["evaluate", "--dataset", "yelp", "--system", "Pipeline"]) == 0
+        out = capsys.readouterr().out
+        assert "Pipeline on YELP" in out

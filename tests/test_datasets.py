@@ -1,0 +1,160 @@
+"""Validation of the three benchmark datasets (Table II fidelity,
+well-formed annotations, determinism)."""
+
+import pytest
+
+from repro.core import Obscurity, fragments_of_sql
+from repro.core.fragments import FragmentContext
+from repro.datasets import load_dataset
+from repro.errors import DatasetError
+from repro.sql import bind_query, parse_query
+
+EXPECTED = {
+    "mas": {"relations": 17, "attributes": 53, "fk_pk": 19, "queries": 194,
+            "excluded": 2},
+    "yelp": {"relations": 7, "attributes": 38, "fk_pk": 7, "queries": 127,
+             "excluded": 1},
+    "imdb": {"relations": 16, "attributes": 65, "fk_pk": 20, "queries": 128,
+             "excluded": 3},
+}
+
+
+@pytest.fixture(params=["mas", "yelp", "imdb"])
+def dataset(request, mas_dataset, yelp_dataset, imdb_dataset):
+    return {"mas": mas_dataset, "yelp": yelp_dataset, "imdb": imdb_dataset}[
+        request.param
+    ]
+
+
+class TestTable2Fidelity:
+    def test_statistics_match_paper(self, dataset):
+        expected = EXPECTED[dataset.name]
+        stats = dataset.stats()
+        assert stats["relations"] == expected["relations"]
+        assert stats["attributes"] == expected["attributes"]
+        assert stats["fk_pk"] == expected["fk_pk"]
+        assert stats["queries"] == expected["queries"]
+
+    def test_excluded_item_counts(self, dataset):
+        excluded = [item for item in dataset.items if item.excluded]
+        assert len(excluded) == EXPECTED[dataset.name]["excluded"]
+        assert all(item.exclusion_reason for item in excluded)
+
+
+class TestAnnotations:
+    def test_every_gold_sql_parses_and_binds(self, dataset):
+        for item in dataset.usable_items():
+            bound = bind_query(
+                parse_query(item.gold_sql), dataset.database.catalog
+            )
+            assert bound.instances, item.item_id
+
+    def test_item_ids_unique(self, dataset):
+        ids = [item.item_id for item in dataset.items]
+        assert len(ids) == len(set(ids))
+
+    def test_nlqs_unique(self, dataset):
+        nlqs = [item.nlq for item in dataset.usable_items()]
+        assert len(nlqs) == len(set(nlqs))
+
+    def test_every_usable_item_has_keywords(self, dataset):
+        for item in dataset.usable_items():
+            assert item.keywords, item.item_id
+
+    def test_value_keywords_reference_existing_values(self, dataset):
+        """Gold predicates must hold values present in the database, or
+        the full-text retrieval could never find them."""
+        db = dataset.database
+        for item in dataset.usable_items():
+            fragments = fragments_of_sql(item.gold_sql, db.catalog)
+            for fragment in fragments:
+                if (
+                    fragment.context is FragmentContext.WHERE
+                    and fragment.operator == "="
+                    and isinstance(fragment.value, str)
+                    and not fragment.value_is_raw
+                ):
+                    values = db.distinct_values(
+                        fragment.relation, fragment.attribute
+                    )
+                    assert fragment.value in values, (
+                        f"{item.item_id}: {fragment} not in data"
+                    )
+
+    def test_gold_answers_nonempty_for_equality_families(self, dataset):
+        """Most benchmark queries should return rows on the synthetic data
+        (annotators pick values that exist)."""
+        db = dataset.database
+        nonempty = 0
+        total = 0
+        for item in dataset.usable_items()[:40]:
+            result = db.execute(item.gold_sql)
+            total += 1
+            nonempty += bool(result.rows)
+        assert nonempty / total > 0.8
+
+
+class TestDeterminism:
+    def test_same_seed_same_items(self, dataset):
+        rebuilt = load_dataset(dataset.name, seed={"mas": 11, "yelp": 22,
+                                                   "imdb": 33}[dataset.name])
+        assert [i.gold_sql for i in rebuilt.items] == [
+            i.gold_sql for i in dataset.items
+        ]
+
+    def test_registry_memoizes(self, dataset):
+        again = load_dataset(dataset.name)
+        assert again is dataset
+
+
+class TestRegistry:
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("nope")
+
+
+class TestLexicons:
+    def test_mas_confusion_is_a_near_tie(self, mas_dataset):
+        lexicon = mas_dataset.lexicon
+        journal = lexicon.lookup("paper", "journal")
+        publication = lexicon.lookup("paper", "publication")
+        assert journal > publication  # the baseline errs...
+        assert journal - publication < 0.02  # ...by a hair
+
+    def test_imdb_confusion_is_a_near_tie(self, imdb_dataset):
+        lexicon = imdb_dataset.lexicon
+        series = lexicon.lookup("film", "series")
+        movie = lexicon.lookup("film", "movie")
+        assert series > movie
+        assert series - movie < 0.02
+
+    def test_nalir_lexicon_fixes_synonymy(self, mas_dataset):
+        """WordNet-style: paper/publication share a synset for NaLIR."""
+        merged = mas_dataset.nalir_model_lexicon()
+        assert merged.lookup("paper", "publication") > merged.lookup(
+            "paper", "journal"
+        )
+
+
+class TestGoldFragmentCoverage:
+    def test_gold_fragments_extractable(self, dataset):
+        """Every usable gold query yields at least a SELECT and a FROM
+        fragment — the minimum the KW metric needs."""
+        for item in dataset.usable_items():
+            fragments = fragments_of_sql(
+                item.gold_sql, dataset.database.catalog
+            )
+            contexts = {f.context for f in fragments}
+            assert FragmentContext.FROM in contexts, item.item_id
+
+    def test_obscured_keys_stable(self, dataset):
+        item = dataset.usable_items()[0]
+        first = {
+            f.key(Obscurity.NO_CONST_OP)
+            for f in fragments_of_sql(item.gold_sql, dataset.database.catalog)
+        }
+        second = {
+            f.key(Obscurity.NO_CONST_OP)
+            for f in fragments_of_sql(item.gold_sql, dataset.database.catalog)
+        }
+        assert first == second

@@ -1,0 +1,110 @@
+"""Additional dataset-level invariants discovered to matter during
+calibration — they pin the traps each workload is built around."""
+
+import pytest
+
+from repro.core import QueryLog
+from repro.schema_graph import JoinGraph, steiner_tree
+
+
+class TestMasSchemaTraps:
+    def test_no_direct_publication_domain_shortcut(self, mas_dataset):
+        """Figure 1's premise: publication reaches domain only through a
+        venue or the keyword chain (3-4 edges), never in 2."""
+        graph = JoinGraph.from_catalog(mas_dataset.database.catalog)
+        tree = steiner_tree(graph, ["publication", "domain"])
+        assert tree.edge_count >= 3
+
+    def test_keyword_path_exists(self, mas_dataset):
+        graph = JoinGraph.from_catalog(mas_dataset.database.catalog)
+        for relation in ("publication_keyword", "keyword", "domain_keyword"):
+            assert graph.has_instance(relation)
+
+    def test_cite_is_publication_self_referencing(self, mas_dataset):
+        fks = mas_dataset.database.catalog.foreign_keys_of("cite")
+        targets = {fk.target for fk in fks if fk.source == "cite"}
+        assert targets == {"publication"}
+
+    def test_coauthor_pairs_exist_for_self_join_family(self, mas_dataset):
+        items = [
+            item for item in mas_dataset.usable_items()
+            if item.family == "papers_by_two_authors"
+        ]
+        assert items
+        for item in items:
+            # Both author values must co-occur on at least one paper.
+            result = mas_dataset.database.execute(item.gold_sql)
+            assert result.rows, item.item_id
+
+
+class TestImdbSchemaTraps:
+    def test_msid_reaches_movie_and_series(self, imdb_dataset):
+        """The dual-FK msid junctions create the movie/series ambiguity."""
+        catalog = imdb_dataset.database.catalog
+        for junction in ("cast", "classification", "directed_by", "tags"):
+            targets = {
+                fk.target
+                for fk in catalog.foreign_keys_of(junction)
+                if fk.source == junction and fk.source_column == "msid"
+            }
+            assert targets == {"movie", "tv_series"}, junction
+
+    def test_actor_keyword_paths_tie_under_unit_weights(self, imdb_dataset):
+        """actors_in_series_tagged's premise: movie and series routes tie."""
+        from repro.schema_graph import top_k_steiner_trees
+
+        graph = JoinGraph.from_catalog(imdb_dataset.database.catalog)
+        trees = top_k_steiner_trees(graph, ["actor", "keyword"], 2)
+        assert len(trees) == 2
+        assert trees[0].cost == trees[1].cost
+        routes = {"movie" in t.vertices for t in trees}
+        assert routes == {True, False}  # one via movie, one via tv_series
+
+
+class TestYelpSchemaTraps:
+    def test_user_business_routes_tie(self, yelp_dataset):
+        """users_of_business's premise: review and tip routes tie."""
+        from repro.schema_graph import top_k_steiner_trees
+
+        graph = JoinGraph.from_catalog(yelp_dataset.database.catalog)
+        trees = top_k_steiner_trees(graph, ["user", "business"], 2)
+        assert len(trees) == 2
+        assert trees[0].cost == trees[1].cost
+
+    def test_log_breaks_the_tie_toward_review(self, yelp_dataset):
+        from repro.core.join_inference import JoinPathGenerator
+
+        log = QueryLog([i.gold_sql for i in yelp_dataset.usable_items()])
+        qfg = log.build_qfg(yelp_dataset.database.catalog)
+        generator = JoinPathGenerator(yelp_dataset.database.catalog, qfg=qfg)
+        paths = generator.infer(["user", "business"])
+        assert "review" in paths[0].instances
+        assert len(paths) < 2 or paths[0].cost < paths[1].cost - 1e-9
+
+
+class TestWorkloadBalance:
+    """The behaviour-class mix is what calibrates Table III; pin it."""
+
+    def test_mas_family_count(self, mas_dataset):
+        families = {item.family for item in mas_dataset.usable_items()}
+        assert len(families) == 26
+
+    def test_yelp_family_count(self, yelp_dataset):
+        families = {item.family for item in yelp_dataset.usable_items()}
+        assert len(families) == 19
+
+    def test_imdb_family_count(self, imdb_dataset):
+        families = {item.family for item in imdb_dataset.usable_items()}
+        assert len(families) == 24
+
+    @pytest.mark.parametrize("name", ["mas", "yelp", "imdb"])
+    def test_no_family_dominates(
+        self, name, mas_dataset, yelp_dataset, imdb_dataset
+    ):
+        dataset = {
+            "mas": mas_dataset, "yelp": yelp_dataset, "imdb": imdb_dataset
+        }[name]
+        from collections import Counter
+
+        counts = Counter(item.family for item in dataset.usable_items())
+        assert max(counts.values()) <= 16

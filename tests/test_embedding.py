@@ -1,0 +1,135 @@
+"""Tests for the similarity substrate (lexicon + n-gram + composite)."""
+
+import pytest
+
+from repro.embedding import (
+    CompositeModel,
+    Lexicon,
+    LexiconModel,
+    NgramHashingModel,
+    content_tokens,
+    word_tokens,
+)
+from repro.errors import ReproError
+
+
+class TestTokenize:
+    def test_identifier_splitting(self):
+        assert word_tokens("publication_keyword") == ["publication", "keyword"]
+
+    def test_case_folding(self):
+        assert word_tokens("Databases Domain") == ["databases", "domain"]
+
+    def test_content_tokens_strip_stopwords(self):
+        assert content_tokens("the papers of the domain") == ["papers", "domain"]
+
+    def test_content_tokens_fallback_when_all_stopwords(self):
+        assert content_tokens("of the") == ["of", "the"]
+
+
+class TestLexicon:
+    def test_direct_lookup_symmetric(self):
+        lexicon = Lexicon({("paper", "journal"): 0.6})
+        assert lexicon.lookup("paper", "journal") == 0.6
+        assert lexicon.lookup("journal", "paper") == 0.6
+
+    def test_identical_tokens_score_one(self):
+        assert Lexicon().lookup("paper", "paper") == 1.0
+
+    def test_stem_equality_scores_one(self):
+        assert Lexicon().lookup("papers", "paper") == 1.0
+
+    def test_stemmed_pair_fallback(self):
+        lexicon = Lexicon({("paper", "publication"): 0.58})
+        # 'papers' stems to 'paper'; 'publications' stems like 'publication'.
+        assert lexicon.lookup("papers", "publications") == 0.58
+
+    def test_unknown_pair_is_none(self):
+        assert Lexicon().lookup("zebra", "giraffe") is None
+
+    def test_score_bounds_validated(self):
+        with pytest.raises(ReproError):
+            Lexicon().add("a", "b", 1.5)
+
+    def test_merge_overrides(self):
+        base = Lexicon({("a", "b"): 0.3})
+        override = Lexicon({("a", "b"): 0.9})
+        merged = base.merge(override)
+        assert merged.lookup("a", "b") == 0.9
+        assert base.lookup("a", "b") == 0.3
+
+    def test_contains(self):
+        lexicon = Lexicon({("a", "b"): 0.3})
+        assert ("a", "b") in lexicon
+        assert ("a", "z") not in lexicon
+
+
+class TestNgramModel:
+    def test_identical_token_is_one(self):
+        model = NgramHashingModel()
+        assert model.token_similarity("paper", "paper") == 1.0
+
+    def test_morphological_variants_beat_unrelated(self):
+        model = NgramHashingModel()
+        related = model.token_similarity("paper", "papers")
+        unrelated = model.token_similarity("paper", "business")
+        assert related > unrelated
+        assert related > 0.25
+
+    def test_unrelated_tokens_score_low(self):
+        model = NgramHashingModel()
+        assert model.token_similarity("paper", "business") < 0.35
+
+    def test_stem_equal_variants_hit_one_via_lexicon(self):
+        # The composite stack handles morphology through the lexicon's
+        # stem-equality rule; the n-gram model is only the backoff.
+        model = CompositeModel(Lexicon())
+        assert model.token_similarity("paper", "papers") == 1.0
+
+    def test_deterministic(self):
+        first = NgramHashingModel().token_similarity("query", "queries")
+        second = NgramHashingModel().token_similarity("query", "queries")
+        assert first == second
+
+    def test_bounds(self):
+        model = NgramHashingModel()
+        for a, b in [("a", "b"), ("xy", "yx"), ("same", "same")]:
+            assert 0.0 <= model.token_similarity(a, b) <= 1.0
+
+    def test_vector_is_unit_norm(self):
+        vector = NgramHashingModel().vector("publication")
+        norm = sum(v * v for v in vector) ** 0.5
+        assert norm == pytest.approx(1.0)
+
+
+class TestLexiconModel:
+    def test_known_pair(self):
+        model = LexiconModel(Lexicon({("paper", "journal"): 0.6}))
+        assert model.token_similarity("paper", "journal") == 0.6
+
+    def test_unknown_pair_gets_default(self):
+        model = LexiconModel(Lexicon(), default=0.1)
+        assert model.token_similarity("zebra", "giraffe") == 0.1
+
+
+class TestCompositeModel:
+    def test_lexicon_takes_precedence(self):
+        model = CompositeModel(Lexicon({("paper", "journal"): 0.6}))
+        assert model.token_similarity("paper", "journal") == 0.6
+
+    def test_backoff_for_unknown_pairs(self):
+        model = CompositeModel(Lexicon())
+        assert model.token_similarity("index", "indexes") > 0.4
+
+    def test_phrase_similarity_identical(self):
+        model = CompositeModel(Lexicon())
+        assert model.similarity("query optimization", "Query Optimization") == 1.0
+
+    def test_phrase_similarity_partial(self):
+        model = CompositeModel(Lexicon({("paper", "publication"): 0.6}))
+        score = model.similarity("papers", "publication title")
+        assert 0.0 < score < 1.0
+
+    def test_phrase_similarity_empty(self):
+        model = CompositeModel(Lexicon())
+        assert model.similarity("", "anything") == 0.0

@@ -1,0 +1,160 @@
+"""Tests for the evaluation harness: folds, metrics, tie rule."""
+
+import pytest
+
+from repro.core import QueryLog, Templar
+from repro.core.interface import Keyword, KeywordMetadata
+from repro.core.fragments import FragmentContext
+from repro.datasets.base import BenchmarkItem
+from repro.embedding import CompositeModel
+from repro.errors import ReproError
+from repro.eval import EvalConfig, evaluate_system
+from repro.eval.folds import split_folds, train_test_split
+from repro.eval.metrics import fq_correct, kw_correct
+from repro.nlidb import PipelineNLIDB
+
+
+class TestFolds:
+    def test_near_equal_sizes(self):
+        folds = split_folds(list(range(10)), 4, seed=1)
+        sizes = sorted(len(fold) for fold in folds)
+        assert sizes == [2, 2, 3, 3]
+
+    def test_partition_is_complete(self):
+        items = list(range(25))
+        folds = split_folds(items, 4, seed=7)
+        rejoined = sorted(x for fold in folds for x in fold)
+        assert rejoined == items
+
+    def test_deterministic(self):
+        first = split_folds(list(range(20)), 4, seed=3)
+        second = split_folds(list(range(20)), 4, seed=3)
+        assert first == second
+
+    def test_different_seed_differs(self):
+        a = split_folds(list(range(20)), 4, seed=3)
+        b = split_folds(list(range(20)), 4, seed=4)
+        assert a != b
+
+    def test_train_test_split(self):
+        folds = split_folds(list(range(8)), 4, seed=1)
+        train, test = train_test_split(folds, 2)
+        assert sorted(train + test) == list(range(8))
+        assert test == folds[2]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            split_folds([1], 4)
+        with pytest.raises(ReproError):
+            split_folds(list(range(8)), 1)
+        with pytest.raises(ReproError):
+            train_test_split(split_folds(list(range(8)), 4), 9)
+
+
+def make_item(gold_sql: str) -> BenchmarkItem:
+    return BenchmarkItem(
+        item_id="x-001",
+        nlq="return the papers after 2000",
+        keywords=[
+            Keyword("papers", KeywordMetadata(FragmentContext.SELECT)),
+            Keyword(
+                "after 2000",
+                KeywordMetadata(FragmentContext.WHERE, comparison_op=">"),
+            ),
+        ],
+        gold_sql=gold_sql,
+        family="test",
+    )
+
+
+class TestMetrics:
+    def test_fq_correct_on_equivalent_sql(self, mini_db, mini_model, mini_templar):
+        system = PipelineNLIDB(mini_db, mini_model, mini_templar)
+        item = make_item("SELECT title FROM publication WHERE year > 2000")
+        results = system.translate(item.keywords)
+        assert fq_correct(item, results, mini_db.catalog)
+        assert kw_correct(item, results, mini_db.catalog)
+
+    def test_fq_incorrect_on_wrong_sql(self, mini_db, mini_model):
+        baseline = PipelineNLIDB(mini_db, mini_model, None)
+        item = make_item("SELECT title FROM publication WHERE year > 2000")
+        results = baseline.translate(item.keywords)
+        assert not fq_correct(item, results, mini_db.catalog)
+        assert not kw_correct(item, results, mini_db.catalog)
+
+    def test_empty_results_incorrect(self, mini_db):
+        item = make_item("SELECT title FROM publication WHERE year > 2000")
+        assert not fq_correct(item, [], mini_db.catalog)
+        assert not kw_correct(item, [], mini_db.catalog)
+
+    def test_tie_for_first_counts_incorrect(self, mini_db, mini_model, mini_templar):
+        system = PipelineNLIDB(mini_db, mini_model, mini_templar)
+        item = make_item("SELECT title FROM publication WHERE year > 2000")
+        results = system.translate(item.keywords)
+        top = results[0]
+        # Forge a tie with a different query.
+        import dataclasses
+
+        rival_query = results[1].query if len(results) > 1 else None
+        if rival_query is None or rival_query == top.query:
+            rival = dataclasses.replace(
+                top,
+                query=dataclasses.replace(top.query, distinct=True),
+            )
+        else:
+            rival = dataclasses.replace(
+                results[1],
+                config_score=top.config_score,
+                join_score=top.join_score,
+            )
+        forged = [top, rival]
+        assert not fq_correct(item, forged, mini_db.catalog)
+
+    def test_tie_with_same_query_is_fine(self, mini_db, mini_model, mini_templar):
+        system = PipelineNLIDB(mini_db, mini_model, mini_templar)
+        item = make_item("SELECT title FROM publication WHERE year > 2000")
+        results = system.translate(item.keywords)
+        forged = [results[0], results[0]]
+        assert fq_correct(item, forged, mini_db.catalog)
+
+    def test_kw_ignores_relation_keywords(self, mini_db, mini_model, mini_templar):
+        """FROM-context fragments are excluded from the KW metric."""
+        system = PipelineNLIDB(mini_db, mini_model, mini_templar)
+        item = BenchmarkItem(
+            item_id="x-002",
+            nlq="return the papers of John Smith",
+            keywords=[
+                Keyword("papers", KeywordMetadata(FragmentContext.SELECT)),
+                Keyword("writes", KeywordMetadata(FragmentContext.FROM)),
+                Keyword("John Smith", KeywordMetadata(FragmentContext.WHERE)),
+            ],
+            gold_sql=(
+                "SELECT p.title FROM publication p, writes w, author a "
+                "WHERE a.name = 'John Smith' AND w.aid = a.aid AND w.pid = p.pid"
+            ),
+            family="test",
+        )
+        results = system.translate(item.keywords)
+        assert kw_correct(item, results, mini_db.catalog)
+
+
+class TestHarness:
+    def test_mas_smoke_single_system(self, mas_dataset):
+        result = evaluate_system(mas_dataset, "Pipeline+", EvalConfig())
+        assert result.total == 194
+        assert 0.5 < result.fq_accuracy <= 1.0
+        assert result.kw_accuracy >= result.fq_accuracy
+
+    def test_family_breakdown_sums(self, mas_dataset):
+        result = evaluate_system(mas_dataset, "Pipeline", EvalConfig())
+        breakdown = result.family_breakdown()
+        assert sum(total for _, total in breakdown.values()) == result.total
+
+    def test_unknown_system_rejected(self, mas_dataset):
+        with pytest.raises(ReproError):
+            evaluate_system(mas_dataset, "GPT", EvalConfig())
+
+    def test_failures_listing(self, mas_dataset):
+        result = evaluate_system(mas_dataset, "Pipeline", EvalConfig())
+        failures = result.failures("fq")
+        assert all(not outcome.fq for outcome in failures)

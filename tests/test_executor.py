@@ -1,0 +1,203 @@
+"""Tests for the SELECT executor."""
+
+import pytest
+
+from repro.errors import BindError, ExecutionError
+from repro.sql.parser import parse_query
+
+
+class TestProjectionAndFilter:
+    def test_simple_filter(self, mini_db):
+        result = mini_db.execute(
+            "SELECT title FROM publication WHERE year > 2004"
+        )
+        assert result.column() == [
+            "Streaming Joins Revisited", "Adaptive Indexing",
+        ]
+
+    def test_multiple_columns(self, mini_db):
+        result = mini_db.execute("SELECT jid, name FROM journal")
+        assert result.rows == [(1, "TKDE"), (2, "TMC")]
+        assert result.columns == ["jid", "name"]
+
+    def test_like_filter(self, mini_db):
+        result = mini_db.execute(
+            "SELECT title FROM publication WHERE title LIKE '%Joins%'"
+        )
+        assert result.column() == ["Streaming Joins Revisited"]
+
+    def test_in_filter(self, mini_db):
+        result = mini_db.execute(
+            "SELECT name FROM journal WHERE jid IN (1, 2)"
+        )
+        assert result.column() == ["TKDE", "TMC"]
+
+    def test_between_filter(self, mini_db):
+        result = mini_db.execute(
+            "SELECT title FROM publication WHERE year BETWEEN 2000 AND 2006"
+        )
+        assert len(result) == 2
+
+    def test_or_predicate(self, mini_db):
+        result = mini_db.execute(
+            "SELECT title FROM publication WHERE year < 2000 OR year > 2009"
+        )
+        assert len(result) == 2
+
+    def test_not_predicate(self, mini_db):
+        result = mini_db.execute(
+            "SELECT title FROM publication WHERE NOT (year > 2000)"
+        )
+        assert result.column() == ["Mobile Network Survey"]
+
+    def test_is_null(self, mini_db):
+        mini_db.insert("publication", (9, "Untitled", None, None))
+        result = mini_db.execute(
+            "SELECT title FROM publication WHERE year IS NULL"
+        )
+        assert result.column() == ["Untitled"]
+
+
+class TestJoins:
+    def test_hash_join(self, mini_db):
+        result = mini_db.execute(
+            "SELECT p.title FROM publication p, journal j "
+            "WHERE j.name = 'TKDE' AND p.jid = j.jid"
+        )
+        assert sorted(result.column()) == [
+            "Adaptive Indexing",
+            "Scalable Query Processing",
+            "Streaming Joins Revisited",
+        ]
+
+    def test_three_way_join(self, mini_db):
+        result = mini_db.execute(
+            "SELECT p.title FROM publication p, writes w, author a "
+            "WHERE a.name = 'Jane Doe' AND w.aid = a.aid AND w.pid = p.pid"
+        )
+        assert sorted(result.column()) == [
+            "Adaptive Indexing", "Scalable Query Processing",
+        ]
+
+    def test_explicit_join_syntax(self, mini_db):
+        result = mini_db.execute(
+            "SELECT p.title FROM publication p JOIN journal j ON p.jid = j.jid "
+            "WHERE j.name = 'TMC'"
+        )
+        assert result.column() == ["Mobile Network Survey"]
+
+    def test_self_join(self, mini_db):
+        result = mini_db.execute(
+            "SELECT p.title FROM author a1, author a2, publication p, "
+            "writes w1, writes w2 "
+            "WHERE a1.name = 'John Smith' AND a2.name = 'Jane Doe' "
+            "AND w1.aid = a1.aid AND w2.aid = a2.aid "
+            "AND w1.pid = p.pid AND w2.pid = p.pid"
+        )
+        assert result.column() == ["Scalable Query Processing"]
+
+    def test_cross_join_when_disconnected(self, mini_db):
+        result = mini_db.execute("SELECT j.name, a.name FROM journal j, author a")
+        assert len(result) == 4  # 2 journals x 2 authors
+
+
+class TestAggregation:
+    def test_count_star(self, mini_db):
+        assert mini_db.execute("SELECT COUNT(*) FROM publication").scalar() == 4
+
+    def test_count_column_ignores_nulls(self, mini_db):
+        mini_db.insert("publication", (9, "Untitled", None, None))
+        assert mini_db.execute("SELECT COUNT(year) FROM publication").scalar() == 4
+
+    def test_count_distinct(self, mini_db):
+        assert (
+            mini_db.execute("SELECT COUNT(DISTINCT jid) FROM publication").scalar()
+            == 2
+        )
+
+    def test_sum_avg_min_max(self, mini_db):
+        row = mini_db.execute(
+            "SELECT SUM(year), AVG(year), MIN(year), MAX(year) FROM publication"
+        ).rows[0]
+        assert row[0] == 2004 + 1999 + 2006 + 2010
+        assert row[2] == 1999 and row[3] == 2010
+
+    def test_aggregate_over_empty_input(self, mini_db):
+        result = mini_db.execute(
+            "SELECT COUNT(*) FROM publication WHERE year > 3000"
+        )
+        assert result.scalar() == 0
+
+    def test_group_by(self, mini_db):
+        result = mini_db.execute(
+            "SELECT j.name, COUNT(p.pid) FROM publication p, journal j "
+            "WHERE p.jid = j.jid GROUP BY j.name ORDER BY COUNT(p.pid) DESC"
+        )
+        assert result.rows == [("TKDE", 3), ("TMC", 1)]
+
+    def test_having(self, mini_db):
+        result = mini_db.execute(
+            "SELECT j.name FROM publication p, journal j "
+            "WHERE p.jid = j.jid GROUP BY j.name HAVING COUNT(p.pid) > 1"
+        )
+        assert result.column() == ["TKDE"]
+
+    def test_min_of_empty_group_is_null(self, mini_db):
+        result = mini_db.execute(
+            "SELECT MIN(year) FROM publication WHERE year > 3000"
+        )
+        assert result.scalar() is None
+
+
+class TestOrderLimitDistinct:
+    def test_order_by_asc(self, mini_db):
+        result = mini_db.execute(
+            "SELECT title FROM publication ORDER BY year"
+        )
+        assert result.column()[0] == "Mobile Network Survey"
+
+    def test_order_by_desc_with_limit(self, mini_db):
+        result = mini_db.execute(
+            "SELECT title FROM publication ORDER BY year DESC LIMIT 2"
+        )
+        assert result.column() == ["Adaptive Indexing", "Streaming Joins Revisited"]
+
+    def test_distinct(self, mini_db):
+        result = mini_db.execute("SELECT DISTINCT jid FROM publication")
+        assert sorted(result.column()) == [1, 2]
+
+    def test_limit_zero(self, mini_db):
+        assert len(mini_db.execute("SELECT title FROM publication LIMIT 0")) == 0
+
+
+class TestSubqueries:
+    def test_scalar_subquery_comparison(self, mini_db):
+        result = mini_db.execute(
+            "SELECT title FROM publication "
+            "WHERE year = (SELECT MAX(year) FROM publication)"
+        )
+        assert result.column() == ["Adaptive Indexing"]
+
+    def test_in_subquery(self, mini_db):
+        result = mini_db.execute(
+            "SELECT name FROM journal WHERE jid IN "
+            "(SELECT jid FROM publication WHERE year > 2005)"
+        )
+        assert result.column() == ["TKDE"]
+
+    def test_scalar_subquery_shape_error(self, mini_db):
+        with pytest.raises(ExecutionError):
+            mini_db.execute(
+                "SELECT title FROM publication "
+                "WHERE year = (SELECT year FROM publication)"
+            )
+
+
+class TestErrors:
+    def test_unknown_column_is_bind_error(self, mini_db):
+        with pytest.raises(BindError):
+            mini_db.execute("SELECT nope FROM publication")
+
+    def test_result_scalar_shape_check(self, mini_db):
+        with pytest.raises(ExecutionError):
+            mini_db.execute("SELECT title FROM publication").scalar()

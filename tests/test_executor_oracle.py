@@ -1,0 +1,124 @@
+"""Property tests: the SELECT executor against a brute-force oracle.
+
+The oracle evaluates simple filter/join queries by materializing the full
+cross product in plain Python; the executor must agree on randomly
+generated predicates and join shapes.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.types import compare_values
+from tests.conftest import build_mini_db
+
+OPS = ["=", "!=", "<", "<=", ">", ">="]
+
+
+class TestFilterOracle:
+    @given(
+        st.sampled_from(["pid", "year", "jid"]),
+        st.sampled_from(OPS),
+        st.integers(-5, 2020),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_table_filter(self, column, op, literal):
+        db = build_mini_db()
+        result = db.execute(
+            f"SELECT title FROM publication WHERE {column} {op} {literal}"
+        )
+        table = db.table("publication")
+        index = table.schema.column_index(column)
+        title_index = table.schema.column_index("title")
+        expected = [
+            row[title_index]
+            for row in table.rows
+            if compare_values(row[index], literal, op)
+        ]
+        assert result.column() == expected
+
+    @given(
+        st.sampled_from(OPS),
+        st.integers(1995, 2012),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_conjunction(self, op, year, jid):
+        db = build_mini_db()
+        result = db.execute(
+            f"SELECT pid FROM publication WHERE year {op} {year} "
+            f"AND jid = {jid}"
+        )
+        table = db.table("publication")
+        expected = [
+            row[0]
+            for row in table.rows
+            if compare_values(row[2], year, op)
+            and compare_values(row[3], jid, "=")
+        ]
+        assert result.column() == expected
+
+
+class TestJoinOracle:
+    @given(st.sampled_from(OPS), st.integers(1995, 2012))
+    @settings(max_examples=40, deadline=None)
+    def test_two_table_join(self, op, year):
+        db = build_mini_db()
+        result = db.execute(
+            "SELECT p.pid, j.name FROM publication p, journal j "
+            f"WHERE p.jid = j.jid AND p.year {op} {year}"
+        )
+        publications = db.table("publication").rows
+        journals = db.table("journal").rows
+        expected = sorted(
+            (p[0], j[1])
+            for p, j in itertools.product(publications, journals)
+            if p[3] is not None
+            and p[3] == j[0]
+            and compare_values(p[2], year, op)
+        )
+        assert sorted(result.rows) == expected
+
+    @given(st.integers(0, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_count_matches_row_enumeration(self, jid):
+        db = build_mini_db()
+        count = db.execute(
+            f"SELECT COUNT(*) FROM publication WHERE jid = {jid}"
+        ).scalar()
+        expected = sum(
+            1 for row in db.table("publication").rows if row[3] == jid
+        )
+        assert count == expected
+
+
+class TestAggregateOracle:
+    @given(st.sampled_from(["MIN", "MAX", "SUM"]))
+    @settings(max_examples=20, deadline=None)
+    def test_aggregate_against_python(self, func):
+        db = build_mini_db()
+        value = db.execute(f"SELECT {func}(year) FROM publication").scalar()
+        years = [
+            row[2] for row in db.table("publication").rows if row[2] is not None
+        ]
+        expected = {"MIN": min, "MAX": max, "SUM": sum}[func](years)
+        assert value == expected
+
+    @given(st.integers(1, 2))
+    @settings(max_examples=10, deadline=None)
+    def test_group_by_against_python(self, minimum):
+        db = build_mini_db()
+        result = db.execute(
+            "SELECT jid, COUNT(pid) FROM publication GROUP BY jid "
+            f"HAVING COUNT(pid) >= {minimum}"
+        )
+        from collections import Counter
+
+        counts = Counter(
+            row[3] for row in db.table("publication").rows
+        )
+        expected = {
+            jid: count for jid, count in counts.items() if count >= minimum
+        }
+        assert dict(result.rows) == expected

@@ -1,0 +1,146 @@
+"""Tests for the extensions: session-aware QFG and Dempster-Shafer."""
+
+import pytest
+
+from repro.core.dempster import (
+    Belief,
+    belief_from_dice,
+    belief_from_similarity,
+    combine_beliefs,
+    dempster_score,
+)
+from repro.core.fragments import fragments_of_sql
+from repro.core.sessions import SessionLog, SessionQFG
+from repro.errors import ReproError
+
+
+class TestSessionLog:
+    def test_grouping(self):
+        log = SessionLog()
+        log.add("s1", "SELECT a FROM t")
+        log.add("s2", "SELECT b FROM t")
+        log.add("s1", "SELECT c FROM t")
+        sessions = log.sessions()
+        assert len(sessions["s1"]) == 2
+        assert len(sessions["s2"]) == 1
+
+    def test_blank_statements_skipped(self):
+        log = SessionLog()
+        log.add("s1", "   ")
+        assert len(log) == 0
+
+
+class TestSessionQFG:
+    def test_cross_query_co_occurrence(self, mini_db):
+        """Fragments of different queries in one session gain affinity."""
+        log = SessionLog()
+        log.add("s1", "SELECT title FROM publication WHERE year > 2000")
+        log.add("s1", "SELECT name FROM journal")
+        qfg = SessionQFG.from_session_log(
+            log, mini_db.catalog, session_weight=0.5
+        )
+        cross = qfg.ne("SELECT::publication.title", "SELECT::journal.name")
+        assert cross == pytest.approx(0.5)
+
+    def test_plain_qfg_has_no_cross_affinity(self, mini_db, mini_log):
+        plain = mini_log.build_qfg(mini_db.catalog)
+        assert plain.ne("SELECT::journal.name", "SELECT::publication.title") == 0
+
+    def test_window_limits_reach(self, mini_db):
+        log = SessionLog()
+        statements = [
+            "SELECT title FROM publication",
+            "SELECT name FROM journal",
+            "SELECT name FROM author",
+        ]
+        for sql in statements:
+            log.add("s1", sql)
+        qfg = SessionQFG.from_session_log(
+            log, mini_db.catalog, window=1
+        )
+        # publication (1st) and author (3rd) are outside the window of 1.
+        assert qfg.ne("SELECT::publication.title", "SELECT::author.name") == 0
+        assert qfg.ne("SELECT::publication.title", "SELECT::journal.name") > 0
+
+    def test_within_query_counts_unscaled(self, mini_db):
+        log = SessionLog()
+        log.add("s1", "SELECT title FROM publication WHERE year > 2000")
+        qfg = SessionQFG.from_session_log(log, mini_db.catalog)
+        assert (
+            qfg.ne("SELECT::publication.title", "WHERE::publication.year ?op ?val")
+            == 1
+        )
+
+    def test_dice_boost_from_sessions(self, mini_db):
+        log = SessionLog()
+        for session in ("s1", "s2", "s3"):
+            log.add(session, "SELECT title FROM publication WHERE year > 2000")
+            log.add(session, "SELECT name FROM journal")
+        qfg = SessionQFG.from_session_log(log, mini_db.catalog)
+        assert qfg.dice("SELECT::publication.title", "SELECT::journal.name") > 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ReproError):
+            SessionQFG(session_weight=2.0)
+        with pytest.raises(ReproError):
+            SessionQFG(window=0)
+
+    def test_unparseable_statements_skipped(self, mini_db):
+        log = SessionLog()
+        log.add("s1", "NOT SQL")
+        log.add("s1", "SELECT title FROM publication")
+        qfg = SessionQFG.from_session_log(log, mini_db.catalog)
+        assert qfg.total_queries == 1
+
+
+class TestDempster:
+    def test_belief_validation(self):
+        with pytest.raises(ReproError):
+            Belief(0.8, 0.5)
+        with pytest.raises(ReproError):
+            Belief(-0.1)
+
+    def test_ignorance_complement(self):
+        belief = Belief(0.6, 0.2)
+        assert belief.ignorance == pytest.approx(0.2)
+
+    def test_combination_with_vacuous_is_identity_like(self):
+        vacuous = Belief(0.0, 0.0)
+        evidence = Belief(0.6, 0.1)
+        combined = combine_beliefs(evidence, vacuous)
+        assert combined.support == pytest.approx(evidence.support)
+        assert combined.against == pytest.approx(evidence.against)
+
+    def test_agreement_reinforces(self):
+        a = Belief(0.6, 0.0)
+        b = Belief(0.5, 0.0)
+        combined = combine_beliefs(a, b)
+        assert combined.support > max(a.support, b.support)
+
+    def test_commutative(self):
+        a = Belief(0.6, 0.1)
+        b = Belief(0.3, 0.2)
+        ab = combine_beliefs(a, b)
+        ba = combine_beliefs(b, a)
+        assert ab.support == pytest.approx(ba.support)
+        assert ab.against == pytest.approx(ba.against)
+
+    def test_total_conflict_raises(self):
+        with pytest.raises(ReproError):
+            combine_beliefs(Belief(1.0, 0.0), Belief(0.0, 1.0))
+
+    def test_dempster_score_monotone_in_both_sources(self):
+        low = dempster_score(0.3, 0.1)
+        higher_sigma = dempster_score(0.6, 0.1)
+        higher_dice = dempster_score(0.3, 0.5)
+        assert higher_sigma > low
+        assert higher_dice > low
+
+    def test_score_bounds(self):
+        for sigma in (0.0, 0.5, 1.0):
+            for dice in (0.0, 0.5, 1.0):
+                assert 0.0 <= dempster_score(sigma, dice) <= 1.0
+
+    def test_helper_beliefs_valid(self):
+        assert belief_from_similarity(0.7).support <= 0.9
+        assert belief_from_dice(0.4).ignorance > 0

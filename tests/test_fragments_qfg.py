@@ -1,0 +1,265 @@
+"""Tests for query fragments (Definition 3) and the QFG (Definition 6)."""
+
+import pytest
+
+from repro.core import Obscurity, QueryFragmentGraph, QueryLog, fragments_of_sql
+from repro.core.fragments import FragmentContext, FragmentKind, QueryFragment
+
+
+def keys(fragments, obscurity=Obscurity.NO_CONST_OP):
+    return sorted(f.key(obscurity) for f in fragments)
+
+
+class TestExtraction:
+    def test_definition3_example(self, mini_db):
+        """The fragment example right under Definition 3."""
+        fragments = fragments_of_sql(
+            "SELECT p.title FROM publication p, journal j "
+            "WHERE p.year = 15 AND p.jid = j.jid",
+            mini_db.catalog,
+        )
+        assert keys(fragments, Obscurity.FULL) == [
+            "FROM::journal",
+            "FROM::publication",
+            "SELECT::publication.title",
+            "WHERE::publication.year = 15",
+        ]
+
+    def test_join_conditions_excluded(self, mini_db):
+        fragments = fragments_of_sql(
+            "SELECT p.title FROM publication p, journal j WHERE p.jid = j.jid",
+            mini_db.catalog,
+        )
+        assert all(f.kind is not FragmentKind.PREDICATE for f in fragments)
+
+    def test_aliases_resolved_to_relations(self, mini_db):
+        a = fragments_of_sql(
+            "SELECT p.title FROM publication p", mini_db.catalog
+        )
+        b = fragments_of_sql(
+            "SELECT pub.title FROM publication pub", mini_db.catalog
+        )
+        assert keys(a) == keys(b)
+
+    def test_obscurity_levels(self, mini_db):
+        fragment = next(
+            f
+            for f in fragments_of_sql(
+                "SELECT title FROM publication WHERE year > 2000",
+                mini_db.catalog,
+            )
+            if f.kind is FragmentKind.PREDICATE
+        )
+        assert fragment.key(Obscurity.FULL) == "WHERE::publication.year > 2000"
+        assert fragment.key(Obscurity.NO_CONST) == "WHERE::publication.year > ?val"
+        assert (
+            fragment.key(Obscurity.NO_CONST_OP)
+            == "WHERE::publication.year ?op ?val"
+        )
+
+    def test_aggregate_fragment(self, mini_db):
+        fragments = fragments_of_sql(
+            "SELECT COUNT(DISTINCT p.title) FROM publication p",
+            mini_db.catalog,
+        )
+        select = [f for f in fragments if f.context is FragmentContext.SELECT]
+        assert select[0].key() == "SELECT::COUNT(DISTINCT publication.title)"
+
+    def test_count_star_single_relation(self, mini_db):
+        fragments = fragments_of_sql(
+            "SELECT COUNT(*) FROM publication", mini_db.catalog
+        )
+        select = [f for f in fragments if f.context is FragmentContext.SELECT]
+        assert select[0].attribute == "*"
+        assert select[0].relation == "publication"
+
+    def test_group_by_and_having(self, mini_db):
+        fragments = fragments_of_sql(
+            "SELECT j.name, COUNT(p.pid) FROM publication p, journal j "
+            "WHERE p.jid = j.jid GROUP BY j.name HAVING COUNT(p.pid) > 2",
+            mini_db.catalog,
+        )
+        contexts = {f.context for f in fragments}
+        assert FragmentContext.GROUP_BY in contexts
+        assert FragmentContext.HAVING in contexts
+        having = next(f for f in fragments if f.context is FragmentContext.HAVING)
+        assert having.key(Obscurity.FULL) == "HAVING::COUNT(publication.pid) > 2"
+
+    def test_order_by_fragment(self, mini_db):
+        fragments = fragments_of_sql(
+            "SELECT title FROM publication ORDER BY year DESC",
+            mini_db.catalog,
+        )
+        order = next(f for f in fragments if f.context is FragmentContext.ORDER_BY)
+        assert order.descending
+        assert order.key() == "ORDER BY::publication.year"
+
+    def test_in_predicate_fragment(self, mini_db):
+        fragments = fragments_of_sql(
+            "SELECT title FROM publication WHERE jid IN (1, 2)",
+            mini_db.catalog,
+        )
+        predicate = next(f for f in fragments if f.kind is FragmentKind.PREDICATE)
+        assert predicate.operator == "IN"
+        assert predicate.key() == "WHERE::publication.jid ?op ?val"
+
+    def test_between_fragment(self, mini_db):
+        fragments = fragments_of_sql(
+            "SELECT title FROM publication WHERE year BETWEEN 2000 AND 2005",
+            mini_db.catalog,
+        )
+        predicate = next(f for f in fragments if f.kind is FragmentKind.PREDICATE)
+        assert predicate.operator == "BETWEEN"
+        assert (
+            predicate.key(Obscurity.FULL)
+            == "WHERE::publication.year BETWEEN 2000 AND 2005"
+        )
+
+    def test_or_children_both_counted(self, mini_db):
+        fragments = fragments_of_sql(
+            "SELECT title FROM publication WHERE year < 2000 OR jid = 1",
+            mini_db.catalog,
+        )
+        predicates = [f for f in fragments if f.kind is FragmentKind.PREDICATE]
+        assert len(predicates) == 2
+
+    def test_subquery_fragments_included(self, mini_db):
+        fragments = fragments_of_sql(
+            "SELECT title FROM publication WHERE year = "
+            "(SELECT MAX(year) FROM publication)",
+            mini_db.catalog,
+        )
+        all_keys = keys(fragments)
+        assert "SELECT::MAX(publication.year)" in all_keys
+
+    def test_obscured_source_parses(self, mini_db):
+        fragments = fragments_of_sql(
+            "SELECT title FROM publication WHERE publication.year ?op ?val",
+            mini_db.catalog,
+        )
+        predicate = next(f for f in fragments if f.kind is FragmentKind.PREDICATE)
+        assert predicate.operator is None and predicate.value is None
+        assert predicate.key(Obscurity.FULL) == "WHERE::publication.year ?op ?val"
+
+    def test_similarity_tokens_value_predicate(self):
+        fragment = QueryFragment(
+            context=FragmentContext.WHERE,
+            kind=FragmentKind.PREDICATE,
+            relation="journal",
+            attribute="name",
+            operator="=",
+            value="TKDE",
+        )
+        assert fragment.similarity_tokens() == ["tkde"]
+
+    def test_similarity_tokens_numeric_predicate_uses_schema(self):
+        fragment = QueryFragment(
+            context=FragmentContext.WHERE,
+            kind=FragmentKind.PREDICATE,
+            relation="publication",
+            attribute="year",
+            operator=">",
+            value=2000,
+        )
+        assert fragment.similarity_tokens() == ["publication", "year"]
+
+
+class TestQFG:
+    def test_figure3_counts(self, mini_db):
+        """The Figure 3 walk-through: occurrence and co-occurrence counts."""
+        log = QueryLog()
+        for _ in range(25):
+            log.add("SELECT j.name FROM journal j")
+        for _ in range(5):
+            log.add("SELECT p.title FROM publication p WHERE p.year > 2003")
+        for _ in range(3):
+            log.add(
+                "SELECT p.title FROM journal j, publication p "
+                "WHERE j.name = 'TMC' AND p.jid = j.jid"
+            )
+        qfg = log.build_qfg(mini_db.catalog)
+        assert qfg.total_queries == 33
+        assert qfg.nv("FROM::journal") == 28
+        assert qfg.nv("FROM::publication") == 8
+        assert qfg.nv("SELECT::publication.title") == 8
+        assert qfg.nv("WHERE::publication.year ?op ?val") == 5
+        assert qfg.nv("WHERE::journal.name ?op ?val") == 3
+        assert qfg.ne("SELECT::publication.title", "FROM::publication") == 8
+        assert qfg.ne("SELECT::journal.name", "FROM::publication") == 0
+
+    def test_dice_coefficient(self, mini_db, mini_log):
+        qfg = mini_log.build_qfg(mini_db.catalog)
+        title = "SELECT::publication.title"
+        year = "WHERE::publication.year ?op ?val"
+        expected = 2 * qfg.ne(title, year) / (qfg.nv(title) + qfg.nv(year))
+        assert qfg.dice(title, year) == pytest.approx(expected)
+        # Concrete counts from the fixture log: 6 year + 4 TKDE + 3 author
+        # + 2 ORDER BY queries project publication.title.
+        assert qfg.nv(title) == 15
+        assert qfg.ne(title, year) == 6
+
+    def test_dice_of_unseen_pair_is_zero(self, mini_db, mini_log):
+        qfg = mini_log.build_qfg(mini_db.catalog)
+        assert qfg.dice("SELECT::journal.name", "nope") == 0.0
+
+    def test_self_dice_is_one(self, mini_db, mini_log):
+        qfg = mini_log.build_qfg(mini_db.catalog)
+        key = "SELECT::publication.title"
+        assert qfg.dice(key, key) == 1.0
+
+    def test_fragments_deduplicated_within_query(self, mini_db):
+        qfg = QueryFragmentGraph()
+        fragments = fragments_of_sql(
+            "SELECT title FROM publication WHERE year > 2000 AND year < 2010",
+            mini_db.catalog,
+        )
+        qfg.add_query(fragments)
+        # Both year predicates share the NoConstOp key -> counted once.
+        assert qfg.nv("WHERE::publication.year ?op ?val") == 1
+
+    def test_relation_dice(self, mini_db, mini_log):
+        qfg = mini_log.build_qfg(mini_db.catalog)
+        assert qfg.relation_dice("publication", "journal") > 0
+        assert qfg.relation_dice("journal", "author") == 0.0
+
+    def test_persistence_round_trip(self, mini_db, mini_log, tmp_path):
+        qfg = mini_log.build_qfg(mini_db.catalog)
+        path = tmp_path / "qfg.json"
+        qfg.save(path)
+        loaded = QueryFragmentGraph.load(path)
+        assert loaded.total_queries == qfg.total_queries
+        assert loaded.obscurity == qfg.obscurity
+        for key in qfg.vertices():
+            assert loaded.nv(key) == qfg.nv(key)
+
+    def test_malformed_payload_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            QueryFragmentGraph.from_dict({"oops": True})
+
+    def test_log_skips_unparseable_entries(self, mini_db):
+        log = QueryLog(
+            ["SELECT title FROM publication", "THIS IS NOT SQL ((("]
+        )
+        qfg = log.build_qfg(mini_db.catalog)
+        assert qfg.total_queries == 1
+        assert qfg.skipped == 1
+
+    def test_log_strict_mode_raises(self, mini_db):
+        from repro.errors import ReproError
+
+        log = QueryLog(["NOT SQL"])
+        with pytest.raises(ReproError):
+            log.build_qfg(mini_db.catalog, strict=True)
+
+    def test_log_file_round_trip(self, mini_db, mini_log, tmp_path):
+        path = tmp_path / "log.sql"
+        mini_log.save(path)
+        loaded = QueryLog.from_file(path)
+        assert len(loaded) == len(mini_log)
+
+    def test_top_fragments(self, mini_db, mini_log):
+        qfg = mini_log.build_qfg(mini_db.catalog)
+        top = qfg.top_fragments(2)
+        assert top[0][0] == "FROM::publication"

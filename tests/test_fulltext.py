@@ -1,0 +1,99 @@
+"""Tests for the Porter-stemmed full-text index."""
+
+from repro.db.fulltext import FullTextIndex, tokenize_text
+
+
+class TestTokenize:
+    def test_basic_tokens(self):
+        assert tokenize_text("Scalable Query-Processing!") == [
+            "scalable", "query", "processing",
+        ]
+
+    def test_numbers_kept(self):
+        assert tokenize_text("Part 2") == ["part", "2"]
+
+    def test_empty(self):
+        assert tokenize_text("--- !!") == []
+
+
+def make_index() -> FullTextIndex:
+    index = FullTextIndex()
+    for value in [
+        "Scalable Query Processing",
+        "Query Optimization Revisited",
+        "Mobile Network Survey",
+    ]:
+        index.add_value("publication", "title", value)
+    index.add_value("journal", "name", "TKDE")
+    return index
+
+
+class TestSearch:
+    def test_single_token_stemmed(self):
+        index = make_index()
+        # 'queries' stems to 'queri', prefix of... exact stem 'queri' matches
+        # the stem of 'query'.
+        hits = index.search_column("publication", "title", ["query"])
+        assert hits == [
+            "Query Optimization Revisited",
+            "Scalable Query Processing",
+        ]
+
+    def test_all_tokens_must_match(self):
+        index = make_index()
+        hits = index.search_column(
+            "publication", "title", ["query", "processing"]
+        )
+        assert hits == ["Scalable Query Processing"]
+
+    def test_prefix_semantics(self):
+        index = make_index()
+        # 'optim' is a prefix of the stem of 'optimization'.
+        hits = index.search_column("publication", "title", ["optim"])
+        assert hits == ["Query Optimization Revisited"]
+
+    def test_morphological_match_through_stemming(self):
+        index = make_index()
+        hits = index.search_column("publication", "title", ["networks"])
+        assert hits == ["Mobile Network Survey"]
+
+    def test_no_match(self):
+        index = make_index()
+        assert index.search_column("publication", "title", ["zebra"]) == []
+
+    def test_empty_token_list_matches_nothing(self):
+        index = make_index()
+        assert index.search_column("publication", "title", []) == []
+
+    def test_unknown_column(self):
+        index = make_index()
+        assert index.search_column("publication", "abstract", ["query"]) == []
+
+    def test_cross_column_search(self):
+        index = make_index()
+        hits = index.search(["tkde"])
+        assert len(hits) == 1
+        assert hits[0].table == "journal"
+        assert hits[0].value == "TKDE"
+        assert hits[0].ref == "journal.name"
+
+    def test_search_is_deterministic_sorted(self):
+        index = make_index()
+        first = index.search_column("publication", "title", ["query"])
+        second = index.search_column("publication", "title", ["query"])
+        assert first == second == sorted(first)
+
+    def test_vocabulary_size(self):
+        index = make_index()
+        assert index.vocabulary_size("journal", "name") == 1
+        assert index.vocabulary_size("publication", "title") > 3
+
+    def test_case_insensitive(self):
+        index = make_index()
+        assert index.search_column("journal", "name", ["TKDE"]) == ["TKDE"]
+
+    def test_incremental_add_invalidates_cache(self):
+        index = make_index()
+        assert index.search_column("journal", "name", ["tods"]) == []
+        index.add_value("journal", "name", "TODS")
+        assert index.search_column("journal", "name", ["tods"]) == ["TODS"]

@@ -1,0 +1,127 @@
+"""Tests for INFERJOINS and the Templar facade."""
+
+import pytest
+
+from repro.core import (
+    FragmentContext,
+    JoinPathGenerator,
+    Keyword,
+    KeywordMetadata,
+    QueryLog,
+    Templar,
+)
+from repro.db.catalog import ColumnRefSpec
+from repro.errors import GraphError, ReproError
+
+
+class TestJoinPathGenerator:
+    def test_single_relation(self, mini_db):
+        generator = JoinPathGenerator(mini_db.catalog)
+        paths = generator.infer(["publication"])
+        assert paths[0].edges == []
+        assert paths[0].score == 1.0
+
+    def test_direct_join(self, mini_db):
+        generator = JoinPathGenerator(mini_db.catalog)
+        best = generator.best(["publication", "journal"])
+        assert best.score == 1.0
+        assert len(best.edges) == 1
+
+    def test_two_hop_join(self, mini_db):
+        generator = JoinPathGenerator(mini_db.catalog)
+        best = generator.best(["author", "publication"])
+        assert "writes" in best.instances
+        assert best.score == 0.5
+
+    def test_self_join_bag(self, mini_db):
+        generator = JoinPathGenerator(mini_db.catalog)
+        best = generator.best(["author", "author", "publication"])
+        assert "author#2" in best.instances
+        assert "writes#2" in best.instances
+        assert len(best.edges) == 4
+
+    def test_log_weights_change_cost(self, mini_db, mini_log):
+        qfg = mini_log.build_qfg(mini_db.catalog)
+        log_generator = JoinPathGenerator(mini_db.catalog, qfg=qfg)
+        plain = JoinPathGenerator(mini_db.catalog)
+        log_path = log_generator.best(["publication", "journal"])
+        plain_path = plain.best(["publication", "journal"])
+        assert log_path.cost < plain_path.cost  # frequent joins are cheap
+
+    def test_log_weights_disabled(self, mini_db, mini_log):
+        qfg = mini_log.build_qfg(mini_db.catalog)
+        generator = JoinPathGenerator(
+            mini_db.catalog, qfg=qfg, use_log_weights=False
+        )
+        path = generator.best(["publication", "journal"])
+        assert path.cost == 1.0  # unit weights
+
+    def test_empty_bag_rejected(self, mini_db):
+        with pytest.raises(GraphError):
+            JoinPathGenerator(mini_db.catalog).infer([])
+
+    def test_unknown_relation_rejected(self, mini_db):
+        with pytest.raises(GraphError):
+            JoinPathGenerator(mini_db.catalog).infer(["nope"])
+
+    def test_ranked_alternatives(self, mini_db):
+        generator = JoinPathGenerator(mini_db.catalog, top_k=3)
+        paths = generator.infer(["author", "journal"])
+        costs = [p.cost for p in paths]
+        assert costs == sorted(costs)
+
+    def test_relation_of_mapping(self, mini_db):
+        generator = JoinPathGenerator(mini_db.catalog)
+        best = generator.best(["author", "author"])
+        assert best.relation_of("author#2") == "author"
+
+
+class TestTemplarFacade:
+    def test_interface_calls(self, mini_templar):
+        keywords = [
+            Keyword("papers", KeywordMetadata(FragmentContext.SELECT)),
+            Keyword(
+                "after 2000",
+                KeywordMetadata(FragmentContext.WHERE, comparison_op=">"),
+            ),
+        ]
+        configs = mini_templar.map_keywords(keywords)
+        assert configs
+        paths = mini_templar.infer_joins(["publication", "journal"])
+        assert paths
+
+    def test_infer_joins_accepts_attributes(self, mini_templar):
+        paths = mini_templar.infer_joins(
+            [ColumnRefSpec("publication", "title"), "journal"]
+        )
+        assert paths[0].instances == ["journal", "publication"]
+
+    def test_toggles_isolate_components(self, mini_db, mini_model, mini_log):
+        keywords_only = Templar(
+            mini_db, mini_model, mini_log, use_log_joins=False
+        )
+        assert keywords_only.keyword_mapper.qfg is not None
+        path = keywords_only.join_generator.best(["publication", "journal"])
+        assert path.cost == 1.0
+
+        joins_only = Templar(
+            mini_db, mini_model, mini_log, use_log_keywords=False
+        )
+        assert joins_only.keyword_mapper.qfg is None
+        assert joins_only.join_generator.qfg is not None
+
+    def test_observe_query_updates_qfg(self, mini_db, mini_model):
+        templar = Templar(mini_db, mini_model, None)
+        assert templar.qfg is None
+        templar.observe_query("SELECT title FROM publication")
+        assert templar.qfg.total_queries == 1
+        templar.observe_query("SELECT name FROM journal")
+        assert templar.qfg.total_queries == 2
+
+    def test_observe_invalid_query_raises(self, mini_db, mini_model):
+        templar = Templar(mini_db, mini_model, None)
+        with pytest.raises(ReproError):
+            templar.observe_query("NOT SQL AT ALL (")
+
+    def test_repr(self, mini_templar):
+        assert "Templar" in repr(mini_templar)

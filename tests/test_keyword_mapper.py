@@ -1,0 +1,236 @@
+"""Tests for MAPKEYWORDS (Algorithms 1-3) and configuration ranking."""
+
+import pytest
+
+from repro.core import FragmentContext, Keyword, KeywordMetadata
+from repro.core.fragments import FragmentKind
+from repro.core.keyword_mapper import (
+    KeywordMapper,
+    ScoringParams,
+    extract_number,
+    strip_number,
+)
+from repro.errors import MappingError
+
+SELECT = FragmentContext.SELECT
+WHERE = FragmentContext.WHERE
+FROM = FragmentContext.FROM
+
+
+def kw(text, context, op=None, aggregates=(), **kwargs):
+    return Keyword(
+        text,
+        KeywordMetadata(
+            context=context, comparison_op=op, aggregates=aggregates, **kwargs
+        ),
+    )
+
+
+@pytest.fixture()
+def mapper(mini_db, mini_model):
+    return KeywordMapper(mini_db, mini_model)
+
+
+@pytest.fixture()
+def log_mapper(mini_db, mini_model, mini_log):
+    qfg = mini_log.build_qfg(mini_db.catalog)
+    return KeywordMapper(mini_db, mini_model, qfg=qfg)
+
+
+class TestNumberHelpers:
+    def test_extract_integer(self):
+        assert extract_number("after 2000") == 2000
+
+    def test_extract_float(self):
+        assert extract_number("above 4.5") == 4.5
+
+    def test_no_number(self):
+        assert extract_number("papers") is None
+
+    def test_strip_number(self):
+        assert strip_number("after 2000") == "after"
+
+
+class TestCandidates:
+    def test_numeric_branch_requires_operator(self, mapper):
+        """A value phrase containing a digit stays on the full-text path."""
+        candidates = mapper.keyword_candidates(kw("after 2005", WHERE, op=">"))
+        assert all(c.kind is FragmentKind.PREDICATE for c in candidates)
+        assert all(c.value == 2005 for c in candidates)
+        # Only publication.year has values above 2005 in the mini db.
+        assert {c.attribute for c in candidates} == {"year"}
+
+    def test_numeric_exec_check_filters_empty(self, mapper):
+        candidates = mapper.keyword_candidates(kw("after 2050", WHERE, op=">"))
+        assert candidates == []
+
+    def test_from_context_yields_relations(self, mapper):
+        candidates = mapper.keyword_candidates(kw("papers", FROM))
+        assert {c.relation for c in candidates} == {
+            "publication", "journal", "author", "writes",
+        }
+        assert all(c.kind is FragmentKind.RELATION for c in candidates)
+
+    def test_select_context_yields_all_attributes(self, mapper, mini_db):
+        candidates = mapper.keyword_candidates(kw("papers", SELECT))
+        assert len(candidates) == len(mini_db.attributes())
+
+    def test_select_aggregates_carried(self, mapper):
+        candidates = mapper.keyword_candidates(
+            kw("papers", SELECT, aggregates=("COUNT",))
+        )
+        assert all(c.aggregates == ("COUNT",) for c in candidates)
+
+    def test_value_keyword_full_text(self, mapper):
+        candidates = mapper.keyword_candidates(kw("TKDE", WHERE))
+        assert [
+            (c.relation, c.attribute, c.value) for c in candidates
+        ] == [("journal", "name", "TKDE")]
+
+    def test_value_keyword_schema_token_stripped(self, mapper):
+        """'TKDE journal' finds journal.name='TKDE' by dropping 'journal'."""
+        candidates = mapper.keyword_candidates(kw("TKDE journal", WHERE))
+        assert any(c.value == "TKDE" for c in candidates)
+
+    def test_aggregate_numeric_yields_having(self, mapper):
+        candidates = mapper.keyword_candidates(
+            kw("more than 2 papers", WHERE, op=">", aggregates=("COUNT",))
+        )
+        assert all(c.context is FragmentContext.HAVING for c in candidates)
+        assert len(candidates) == 4  # one per relation
+
+
+class TestScoring:
+    def test_exact_value_match_scores_one(self, mapper):
+        candidates = mapper.keyword_candidates(kw("TKDE", WHERE))
+        scored = mapper.score_and_prune(kw("TKDE", WHERE), candidates)
+        assert scored[0].score == 1.0
+
+    def test_exact_match_prunes_others(self, mapper, mini_db):
+        mini_db.insert("journal", (3, "TKDE Letters"))
+        keyword = kw("TKDE", WHERE)
+        scored = mapper.score_and_prune(
+            keyword, mapper.keyword_candidates(keyword)
+        )
+        # The partial match "TKDE Letters" is evicted by the exact match.
+        assert [m.fragment.value for m in scored] == ["TKDE"]
+
+    def test_display_attribute_reaches_relation_name(self, mapper):
+        keyword = kw("papers", SELECT)
+        scored = mapper.score_and_prune(
+            keyword, mapper.keyword_candidates(keyword)
+        )
+        by_key = {m.fragment.key(): m.score for m in scored}
+        # journal.name narrowly beats publication.title (the calibrated
+        # confusion), both far above non-display attributes.
+        assert by_key["SELECT::journal.name"] > by_key["SELECT::publication.title"]
+
+    def test_top_kappa_pruning(self, mini_db, mini_model):
+        params = ScoringParams(kappa=2)
+        mapper = KeywordMapper(mini_db, mini_model, params=params)
+        keyword = kw("papers", SELECT)
+        scored = mapper.score_and_prune(
+            keyword, mapper.keyword_candidates(keyword)
+        )
+        assert len(scored) <= 2 * 4  # kappa plus bounded ties
+
+    def test_numeric_scores_operator_word(self, mapper):
+        keyword = kw("after 2005", WHERE, op=">")
+        scored = mapper.score_and_prune(
+            keyword, mapper.keyword_candidates(keyword)
+        )
+        assert scored[0].fragment.attribute == "year"
+        # lexicon (after, year) = 0.7, times the semantic coverage factor
+        # 0.5 + 0.5 * 0.7.
+        assert scored[0].score == pytest.approx(0.70 * 0.85)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(MappingError):
+            ScoringParams(kappa=0)
+        with pytest.raises(MappingError):
+            ScoringParams(lam=1.5)
+
+
+class TestConfigurations:
+    def paper_keywords(self):
+        return [kw("papers", SELECT), kw("after 2000", WHERE, op=">")]
+
+    def test_baseline_prefers_journal(self, mapper):
+        """Without a log, word similarity alone picks the wrong mapping
+        (the paper's Example 1)."""
+        configs = mapper.map_keywords(self.paper_keywords())
+        top = configs[0].mappings[0].fragment
+        assert top.relation == "journal"
+
+    def test_log_flips_to_publication(self, log_mapper):
+        """With the QFG, log evidence overrides the similarity near-tie
+        (the paper's Example 3)."""
+        configs = log_mapper.map_keywords(self.paper_keywords())
+        top = configs[0].mappings[0].fragment
+        assert top.relation == "publication"
+        assert top.attribute == "title"
+
+    def test_scores_are_ordered(self, log_mapper):
+        configs = log_mapper.map_keywords(self.paper_keywords())
+        scores = [c.score for c in configs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_sigma_score_is_geometric_mean(self, mapper):
+        configs = mapper.map_keywords(self.paper_keywords())
+        top = configs[0]
+        product = 1.0
+        for mapping in top.mappings:
+            product *= mapping.score
+        assert top.sigma_score == pytest.approx(
+            product ** (1 / len(top.mappings))
+        )
+
+    def test_lambda_one_ignores_log(self, mini_db, mini_model, mini_log):
+        qfg = mini_log.build_qfg(mini_db.catalog)
+        pure_sigma = KeywordMapper(
+            mini_db, mini_model, qfg=qfg, params=ScoringParams(lam=1.0)
+        )
+        configs = pure_sigma.map_keywords(self.paper_keywords())
+        assert configs[0].mappings[0].fragment.relation == "journal"
+
+    def test_lambda_zero_is_pure_log(self, mini_db, mini_model, mini_log):
+        qfg = mini_log.build_qfg(mini_db.catalog)
+        pure_log = KeywordMapper(
+            mini_db, mini_model, qfg=qfg, params=ScoringParams(lam=0.0)
+        )
+        configs = pure_log.map_keywords(self.paper_keywords())
+        assert configs[0].mappings[0].fragment.relation == "publication"
+
+    def test_unmappable_keyword_returns_empty(self, mapper):
+        configs = mapper.map_keywords([kw("zzzqqq", WHERE)])
+        assert configs == []
+
+    def test_single_keyword_falls_back_to_sigma(self, log_mapper):
+        configs = log_mapper.map_keywords([kw("TKDE", WHERE)])
+        assert configs[0].qfg_score == configs[0].sigma_score
+
+    def test_relation_bag_single_instance(self, log_mapper):
+        configs = log_mapper.map_keywords(self.paper_keywords())
+        assert configs[0].relation_bag() == ["publication"]
+
+    def test_relation_bag_self_join(self, log_mapper):
+        configs = log_mapper.map_keywords(
+            [
+                kw("papers", SELECT),
+                kw("John Smith", WHERE),
+                kw("Jane Doe", WHERE),
+            ]
+        )
+        bag = configs[0].relation_bag()
+        assert bag.count("author") == 2
+
+    def test_aggregate_collapse_keeps_display(self, mapper):
+        keyword = kw("papers", SELECT, aggregates=("COUNT",))
+        scored = mapper.score_and_prune(
+            keyword, mapper.keyword_candidates(keyword)
+        )
+        publication = [
+            m for m in scored if m.fragment.relation == "publication"
+        ]
+        assert len(publication) == 1
+        assert publication[0].fragment.attribute == "title"

@@ -1,0 +1,231 @@
+"""Tests for the SQL builder, Pipeline/Pipeline+ and NaLIR systems."""
+
+import pytest
+
+from repro.core import FragmentContext, Keyword, KeywordMetadata, Templar
+from repro.embedding import LexiconModel
+from repro.nlidb import NalirNLIDB, NalirParser, PipelineNLIDB
+from repro.sql import queries_equivalent
+
+SELECT = FragmentContext.SELECT
+WHERE = FragmentContext.WHERE
+
+
+def kw(text, context, op=None, aggregates=(), **kwargs):
+    return Keyword(
+        text,
+        KeywordMetadata(
+            context=context, comparison_op=op, aggregates=aggregates, **kwargs
+        ),
+    )
+
+
+@pytest.fixture()
+def pipeline(mini_db, mini_model):
+    return PipelineNLIDB(mini_db, mini_model, None)
+
+
+@pytest.fixture()
+def pipeline_plus(mini_db, mini_model, mini_templar):
+    return PipelineNLIDB(mini_db, mini_model, mini_templar)
+
+
+class TestPipelineTranslation:
+    def test_baseline_reproduces_example1(self, pipeline, mini_db):
+        """Word similarity maps "papers" to journal — the wrong SQL."""
+        results = pipeline.translate(
+            [kw("papers", SELECT), kw("after 2000", WHERE, op=">")]
+        )
+        assert "journal" in results[0].sql
+
+    def test_augmented_reproduces_example3(self, pipeline_plus, mini_db):
+        results = pipeline_plus.translate(
+            [kw("papers", SELECT), kw("after 2000", WHERE, op=">")]
+        )
+        assert queries_equivalent(
+            results[0].sql,
+            "SELECT title FROM publication WHERE year > 2000",
+            mini_db.catalog,
+        )
+
+    def test_value_predicate_translation(self, pipeline_plus, mini_db):
+        results = pipeline_plus.translate(
+            [kw("papers", SELECT), kw("TKDE", WHERE)]
+        )
+        assert queries_equivalent(
+            results[0].sql,
+            "SELECT p.title FROM publication p, journal j "
+            "WHERE j.name = 'TKDE' AND p.jid = j.jid",
+            mini_db.catalog,
+        )
+
+    def test_self_join_translation(self, pipeline_plus, mini_db):
+        """The paper's Example 7 end to end."""
+        results = pipeline_plus.translate(
+            [
+                kw("papers", SELECT),
+                kw("John Smith", WHERE),
+                kw("Jane Doe", WHERE),
+            ]
+        )
+        gold = (
+            "SELECT p.title FROM author a1, author a2, publication p, "
+            "writes w1, writes w2 "
+            "WHERE a1.name = 'John Smith' AND a2.name = 'Jane Doe' "
+            "AND a1.aid = w1.aid AND a2.aid = w2.aid "
+            "AND p.pid = w1.pid AND p.pid = w2.pid"
+        )
+        assert queries_equivalent(results[0].sql, gold, mini_db.catalog)
+
+    def test_count_aggregate_translation(self, pipeline_plus, mini_db):
+        results = pipeline_plus.translate(
+            [
+                kw("papers", SELECT, aggregates=("COUNT",)),
+                kw("John Smith", WHERE),
+            ]
+        )
+        assert queries_equivalent(
+            results[0].sql,
+            "SELECT COUNT(p.title) FROM publication p, writes w, author a "
+            "WHERE a.name = 'John Smith' AND w.aid = a.aid AND w.pid = p.pid",
+            mini_db.catalog,
+        )
+
+    def test_having_translation(self, pipeline_plus, mini_db):
+        results = pipeline_plus.translate(
+            [
+                kw("authors", SELECT),
+                kw("more than 1 papers", WHERE, op=">", aggregates=("COUNT",)),
+            ]
+        )
+        top = results[0].sql
+        assert "GROUP BY" in top and "HAVING" in top
+
+    def test_order_by_and_limit(self, pipeline_plus, mini_db):
+        results = pipeline_plus.translate(
+            [
+                kw("papers", SELECT),
+                kw("year", FragmentContext.ORDER_BY, descending=True, limit=2),
+            ]
+        )
+        assert results[0].sql.endswith("ORDER BY t1.year DESC LIMIT 2")
+
+    def test_results_are_ranked(self, pipeline_plus):
+        results = pipeline_plus.translate(
+            [kw("papers", SELECT), kw("after 2000", WHERE, op=">")]
+        )
+        keys = [r.rank_key for r in results]
+        assert keys == sorted(keys, reverse=True)
+
+    def test_unmappable_returns_empty(self, pipeline):
+        assert pipeline.translate([kw("zzzqqq", WHERE)]) == []
+
+    def test_executed_answer_matches_database(self, pipeline_plus, mini_db):
+        results = pipeline_plus.translate(
+            [kw("papers", SELECT), kw("after 2000", WHERE, op=">")]
+        )
+        answer = mini_db.execute(results[0].sql)
+        assert sorted(answer.column()) == [
+            "Adaptive Indexing",
+            "Scalable Query Processing",
+            "Streaming Joins Revisited",
+        ]
+
+
+class TestNalirParser:
+    @pytest.fixture()
+    def parser(self, mini_db):
+        return NalirParser(
+            mini_db, ["papers", "authors", "journals", "year"]
+        )
+
+    def test_simple_parse(self, parser):
+        parsed = parser.parse("return the papers after 2000")
+        assert [(k.text, k.metadata.context.value) for k in parsed.keywords] == [
+            ("papers", "SELECT"), ("after 2000", "WHERE"),
+        ]
+        assert parsed.keywords[1].metadata.comparison_op == ">"
+
+    def test_quoted_value(self, parser):
+        parsed = parser.parse(
+            "return the authors of 'Scalable Query Processing'"
+        )
+        assert parsed.keywords[1].text == "Scalable Query Processing"
+
+    def test_capitalized_value_run(self, parser):
+        parsed = parser.parse("return the papers of John Smith")
+        assert parsed.keywords[1].text == "John Smith"
+
+    def test_aggregate_phrase(self, parser):
+        parsed = parser.parse("return the number of papers in TKDE")
+        assert parsed.keywords[0].metadata.aggregates == ("COUNT",)
+
+    def test_failure_chained_of(self, parser):
+        """Failure (c): chained 'of' PPs lose the aggregate."""
+        parsed = parser.parse("return the number of papers of John Smith")
+        assert parsed.keywords[0].metadata.aggregates == ()
+        assert any("chained 'of'" in note for note in parsed.notes)
+
+    def test_failure_relative_clause_relation(self, parser):
+        """Failure (a): explicit relation reference in a relative clause."""
+        parsed = parser.parse(
+            "return the authors who have papers in 'Adaptive Indexing'"
+        )
+        assert any("mis-attached" in note for note in parsed.notes)
+        papers_kw = next(k for k in parsed.keywords if k.text == "papers")
+        assert papers_kw.metadata.context is WHERE  # corrupted metadata
+
+    def test_failure_nested_aggregate(self, parser):
+        """Failure (b): nested aggregate comparison loses COUNT."""
+        parsed = parser.parse("return the authors who have more than 3 papers")
+        numeric = parsed.keywords[1]
+        assert numeric.metadata.aggregates == ()
+        assert any("lost aggregate" in note for note in parsed.notes)
+
+    def test_term_folded_into_comparison(self, parser):
+        parsed = parser.parse("return the papers with year above 2000")
+        assert parsed.keywords[1].text == "year above 2000"
+        assert parsed.keywords[1].metadata.comparison_op == ">"
+
+    def test_wh_word_stripped(self, parser):
+        parsed = parser.parse("what are the papers after 2000")
+        assert parsed.keywords[0].text == "papers"
+
+    def test_empty_parse_flagged(self, parser):
+        parsed = parser.parse("hello world nothing here")
+        assert parsed.failed
+
+
+class TestNalirSystem:
+    @pytest.fixture()
+    def nalir(self, mini_db, mini_lexicon):
+        parser = NalirParser(mini_db, ["papers", "authors", "journals"])
+        return NalirNLIDB(mini_db, LexiconModel(mini_lexicon), parser, None)
+
+    @pytest.fixture()
+    def nalir_plus(self, mini_db, mini_lexicon, mini_templar):
+        parser = NalirParser(mini_db, ["papers", "authors", "journals"])
+        return NalirNLIDB(
+            mini_db, LexiconModel(mini_lexicon), parser, mini_templar
+        )
+
+    def test_translate_nlq(self, nalir):
+        results = nalir.translate_nlq("return the papers after 2000")
+        assert results  # the baseline translates (possibly wrongly)
+
+    def test_augmented_beats_baseline_on_confusion(
+        self, nalir, nalir_plus, mini_db
+    ):
+        nlq = "return the papers after 2000"
+        base = nalir.translate_nlq(nlq)[0]
+        plus = nalir_plus.translate_nlq(nlq)[0]
+        gold = "SELECT title FROM publication WHERE year > 2000"
+        assert not queries_equivalent(base.sql, gold, mini_db.catalog)
+        assert queries_equivalent(plus.sql, gold, mini_db.catalog)
+
+    def test_unparseable_nlq_returns_empty(self, nalir):
+        assert nalir.translate_nlq("gibberish nothing") == []
+
+    def test_names(self, nalir, nalir_plus):
+        assert nalir.name == "NaLIR"
+        assert nalir_plus.name == "NaLIR+"

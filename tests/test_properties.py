@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Obscurity, QueryFragmentGraph
+from repro.core.fragments import FragmentContext, FragmentKind, QueryFragment
+from repro.db.stemmer import stem
+from repro.db.types import compare_values, like_match
+from repro.embedding import NgramHashingModel
+from repro.schema_graph import JoinEdge, JoinGraph, steiner_tree
+from repro.sql import canonical_sql, parse_query, write_query
+from tests.conftest import build_mini_db
+
+words = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=12)
+identifiers = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8)
+
+
+class TestStemmerProperties:
+    @given(words)
+    def test_stem_never_longer(self, word):
+        assert len(stem(word)) <= len(word)
+
+    @given(words)
+    def test_stem_deterministic(self, word):
+        assert stem(word) == stem(word)
+
+    @given(words)
+    def test_stem_is_lowercase_prefix_compatible(self, word):
+        # Stems contain only characters drawn from the (lowercased) input
+        # alphabet plus 'e'/'i' rewrites; at minimum they are non-empty
+        # for non-empty input.
+        assert stem(word)
+
+
+class TestCompareProperties:
+    @given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+    def test_trichotomy(self, a, b):
+        relations = [
+            compare_values(a, b, "<"),
+            compare_values(a, b, "="),
+            compare_values(a, b, ">"),
+        ]
+        assert sum(relations) == 1
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_le_is_lt_or_eq(self, a, b):
+        assert compare_values(a, b, "<=") == (
+            compare_values(a, b, "<") or compare_values(a, b, "=")
+        )
+
+    @given(words)
+    def test_like_self_match(self, text):
+        assert like_match(text, text)
+
+    @given(words, words)
+    def test_percent_prefix(self, a, b):
+        assert like_match(a + b, a + "%")
+
+
+class TestNgramModelProperties:
+    @given(words, words)
+    @settings(max_examples=50)
+    def test_symmetry(self, a, b):
+        model = NgramHashingModel()
+        assert model.token_similarity(a, b) == model.token_similarity(b, a)
+
+    @given(words)
+    @settings(max_examples=50)
+    def test_identity(self, token):
+        assert NgramHashingModel().token_similarity(token, token) == 1.0
+
+    @given(words, words)
+    @settings(max_examples=50)
+    def test_bounds(self, a, b):
+        score = NgramHashingModel().token_similarity(a, b)
+        assert 0.0 <= score <= 1.0
+
+
+def fragment_strategy():
+    contexts = st.sampled_from(
+        [FragmentContext.SELECT, FragmentContext.WHERE, FragmentContext.FROM]
+    )
+
+    def build(context, relation, attribute, value):
+        if context is FragmentContext.FROM:
+            return QueryFragment(
+                context=context, kind=FragmentKind.RELATION, relation=relation
+            )
+        if context is FragmentContext.WHERE:
+            return QueryFragment(
+                context=context,
+                kind=FragmentKind.PREDICATE,
+                relation=relation,
+                attribute=attribute,
+                operator="=",
+                value=value,
+            )
+        return QueryFragment(
+            context=context,
+            kind=FragmentKind.ATTRIBUTE,
+            relation=relation,
+            attribute=attribute,
+        )
+
+    return st.builds(
+        build,
+        contexts,
+        identifiers,
+        identifiers,
+        st.integers(0, 99),
+    )
+
+
+class TestQFGProperties:
+    @given(st.lists(st.lists(fragment_strategy(), min_size=1, max_size=5),
+                    min_size=1, max_size=8))
+    @settings(max_examples=50)
+    def test_dice_bounds_and_symmetry(self, queries):
+        qfg = QueryFragmentGraph(Obscurity.NO_CONST_OP)
+        for fragments in queries:
+            qfg.add_query(fragments)
+        vertices = qfg.vertices()
+        for a in vertices[:5]:
+            for b in vertices[:5]:
+                dice = qfg.dice(a, b)
+                assert 0.0 <= dice <= 1.0
+                assert dice == qfg.dice(b, a)
+
+    @given(st.lists(st.lists(fragment_strategy(), min_size=1, max_size=5),
+                    min_size=1, max_size=8))
+    @settings(max_examples=50)
+    def test_ne_never_exceeds_nv(self, queries):
+        qfg = QueryFragmentGraph(Obscurity.NO_CONST_OP)
+        for fragments in queries:
+            qfg.add_query(fragments)
+        vertices = qfg.vertices()
+        for a in vertices[:5]:
+            for b in vertices[:5]:
+                assert qfg.ne(a, b) <= min(qfg.nv(a), qfg.nv(b))
+
+    @given(st.lists(st.lists(fragment_strategy(), min_size=1, max_size=5),
+                    min_size=1, max_size=6))
+    @settings(max_examples=30)
+    def test_persistence_round_trip(self, queries):
+        qfg = QueryFragmentGraph(Obscurity.NO_CONST_OP)
+        for fragments in queries:
+            qfg.add_query(fragments)
+        clone = QueryFragmentGraph.from_dict(qfg.to_dict())
+        assert clone.vertices() == qfg.vertices()
+        for vertex in qfg.vertices():
+            assert clone.nv(vertex) == qfg.nv(vertex)
+
+
+class TestSteinerProperties:
+    @st.composite
+    def random_graph(draw):
+        size = draw(st.integers(3, 8))
+        graph = JoinGraph()
+        for index in range(size):
+            graph.add_instance(f"r{index}", f"r{index}")
+        # A random spanning-ish tree plus extra edges keeps it connected.
+        for index in range(1, size):
+            parent = draw(st.integers(0, index - 1))
+            graph.add_edge(JoinEdge(f"r{index}", "fk", f"r{parent}", "pk"))
+        extra = draw(st.integers(0, 3))
+        for _ in range(extra):
+            a = draw(st.integers(0, size - 1))
+            b = draw(st.integers(0, size - 1))
+            if a != b:
+                graph.add_edge(JoinEdge(f"r{a}", "fk2", f"r{b}", "pk2"))
+        return graph
+
+    @given(random_graph(), st.data())
+    @settings(max_examples=50)
+    def test_tree_spans_terminals(self, graph, data):
+        size = graph.instance_count()
+        count = data.draw(st.integers(1, min(4, size)))
+        terminals = [f"r{i}" for i in range(count)]
+        tree = steiner_tree(graph, terminals)
+        assert tree is not None
+        assert set(terminals) <= set(tree.vertices)
+        # A tree has exactly |V| - 1 edges.
+        assert len(tree.edges) == len(tree.vertices) - 1
+
+    @given(random_graph(), st.data())
+    @settings(max_examples=50)
+    def test_cost_matches_edge_sum(self, graph, data):
+        size = graph.instance_count()
+        count = data.draw(st.integers(2, min(4, size)))
+        terminals = [f"r{i}" for i in range(count)]
+        tree = steiner_tree(graph, terminals)
+        assert tree.cost == len(tree.edges)  # unit weights
+
+
+class TestCanonicalProperties:
+    @given(
+        st.integers(1900, 2020),
+        st.sampled_from(["=", "<", ">", "<=", ">="]),
+    )
+    @settings(max_examples=40)
+    def test_canonical_idempotent(self, year, op):
+        db = build_mini_db()
+        sql = f"SELECT title FROM publication WHERE year {op} {year}"
+        once = canonical_sql(sql, db.catalog)
+        assert canonical_sql(once, db.catalog) == once
+
+    @given(st.permutations(["year > 2000", "jid = 1", "pid < 9"]))
+    @settings(max_examples=20)
+    def test_conjunct_permutation_invariance(self, conjuncts):
+        db = build_mini_db()
+        sql = "SELECT title FROM publication WHERE " + " AND ".join(conjuncts)
+        baseline = canonical_sql(
+            "SELECT title FROM publication WHERE year > 2000 AND jid = 1 "
+            "AND pid < 9",
+            db.catalog,
+        )
+        assert canonical_sql(sql, db.catalog) == baseline
+
+
+class TestParserProperties:
+    @given(st.integers(0, 10**9), st.sampled_from(["=", "<", ">", "<=", ">="]))
+    @settings(max_examples=40)
+    def test_write_parse_fixpoint_numeric(self, value, op):
+        sql = f"SELECT a FROM t WHERE b {op} {value}"
+        query = parse_query(sql)
+        assert parse_query(write_query(query)) == query
+
+    @given(st.text(alphabet="abcdef 'é", min_size=0, max_size=12))
+    @settings(max_examples=40)
+    def test_string_literal_round_trip(self, value):
+        from repro.sql.ast import Literal
+        from repro.sql.writer import write_expr
+
+        rendered = write_expr(Literal(value))
+        query = parse_query(f"SELECT a FROM t WHERE b = {rendered}")
+        predicate = query.where_conjuncts()[0]
+        assert predicate.right == Literal(value)

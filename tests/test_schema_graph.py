@@ -1,0 +1,258 @@
+"""Tests for the join graph, Steiner solver and FORK."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.schema_graph import (
+    JoinEdge,
+    JoinGraph,
+    SchemaGraph,
+    fork_for_duplicates,
+    steiner_tree,
+    top_k_steiner_trees,
+)
+from repro.schema_graph.fork import fork
+
+
+def mas_like_graph() -> JoinGraph:
+    """The Figure 1 topology used by the paper's examples."""
+    graph = JoinGraph()
+    for relation in [
+        "publication", "conference", "journal", "domain",
+        "domain_conference", "domain_journal", "keyword",
+        "publication_keyword", "domain_keyword", "author", "writes",
+    ]:
+        graph.add_instance(relation, relation)
+    for edge in [
+        ("publication", "cid", "conference", "cid"),
+        ("publication", "jid", "journal", "jid"),
+        ("domain_conference", "cid", "conference", "cid"),
+        ("domain_conference", "did", "domain", "did"),
+        ("domain_journal", "jid", "journal", "jid"),
+        ("domain_journal", "did", "domain", "did"),
+        ("publication_keyword", "pid", "publication", "pid"),
+        ("publication_keyword", "kid", "keyword", "kid"),
+        ("domain_keyword", "kid", "keyword", "kid"),
+        ("domain_keyword", "did", "domain", "did"),
+        ("writes", "aid", "author", "aid"),
+        ("writes", "pid", "publication", "pid"),
+    ]:
+        graph.add_edge(JoinEdge(*edge))
+    return graph
+
+
+class TestJoinGraph:
+    def test_from_catalog(self, mini_db):
+        graph = JoinGraph.from_catalog(mini_db.catalog)
+        assert graph.instance_count() == 4
+        assert len(graph.edges) == 3
+
+    def test_duplicate_instance_rejected(self):
+        graph = JoinGraph()
+        graph.add_instance("a", "a")
+        with pytest.raises(GraphError):
+            graph.add_instance("a", "a")
+
+    def test_edge_endpoints_must_exist(self):
+        graph = JoinGraph()
+        graph.add_instance("a", "a")
+        with pytest.raises(GraphError):
+            graph.add_edge(JoinEdge("a", "x", "b", "y"))
+
+    def test_neighbors(self):
+        graph = mas_like_graph()
+        assert len(graph.neighbors("publication")) == 4
+
+    def test_copy_is_independent(self):
+        graph = mas_like_graph()
+        clone = graph.copy()
+        clone.add_instance("extra", "extra")
+        assert not graph.has_instance("extra")
+
+
+class TestSteiner:
+    def test_single_terminal(self):
+        tree = steiner_tree(mas_like_graph(), ["publication"])
+        assert tree.edges == frozenset()
+        assert tree.score == 1.0
+
+    def test_direct_edge(self):
+        tree = steiner_tree(mas_like_graph(), ["publication", "journal"])
+        assert tree.edge_count == 1
+        assert tree.score == 1.0
+
+    def test_paper_example2_shortest_path_trap(self):
+        """Unit weights pick a 3-edge venue path, not the keyword path."""
+        tree = steiner_tree(mas_like_graph(), ["publication", "domain"])
+        assert tree.edge_count == 3
+        assert "keyword" not in tree.vertices
+
+    def test_log_weights_flip_to_keyword_path(self):
+        """The paper's Example 6: cheap keyword-path edges win."""
+        cheap = {
+            ("publication_keyword", "publication"),
+            ("publication_keyword", "keyword"),
+            ("domain_keyword", "keyword"),
+            ("domain_keyword", "domain"),
+        }
+
+        def log_weight(edge, source_relation, target_relation):
+            if (source_relation, target_relation) in cheap:
+                return 0.2
+            return 1.0
+
+        tree = steiner_tree(
+            mas_like_graph(), ["publication", "domain"], log_weight
+        )
+        assert "keyword" in tree.vertices
+        assert tree.edge_count == 4
+        assert tree.cost == pytest.approx(0.8)
+
+    def test_three_terminals(self):
+        tree = steiner_tree(
+            mas_like_graph(), ["author", "publication", "journal"]
+        )
+        assert {"author", "writes", "publication", "journal"} <= set(
+            tree.vertices
+        )
+
+    def test_duplicate_terminals_deduplicated(self):
+        tree = steiner_tree(mas_like_graph(), ["publication", "publication"])
+        assert tree.edges == frozenset()
+
+    def test_disconnected_returns_none(self):
+        graph = JoinGraph()
+        graph.add_instance("a", "a")
+        graph.add_instance("b", "b")
+        assert steiner_tree(graph, ["a", "b"]) is None
+
+    def test_unknown_terminal_raises(self):
+        with pytest.raises(GraphError):
+            steiner_tree(mas_like_graph(), ["nope"])
+
+    def test_empty_terminals_raise(self):
+        with pytest.raises(GraphError):
+            steiner_tree(mas_like_graph(), [])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphError):
+            steiner_tree(
+                mas_like_graph(),
+                ["publication", "journal"],
+                lambda e, s, t: -1.0,
+            )
+
+    def test_score_prefers_fewer_edges(self):
+        short = steiner_tree(mas_like_graph(), ["publication", "journal"])
+        long = steiner_tree(mas_like_graph(), ["publication", "domain"])
+        assert short.score > long.score
+
+
+class TestTopK:
+    def test_costs_non_decreasing(self):
+        # publication→domain has exactly three routes in the Figure 1
+        # topology (conference, journal, keyword), so k=4 yields 3 trees.
+        trees = top_k_steiner_trees(
+            mas_like_graph(), ["publication", "domain"], 4
+        )
+        costs = [tree.cost for tree in trees]
+        assert costs == sorted(costs)
+        assert len(trees) == 3
+
+    def test_trees_are_distinct(self):
+        trees = top_k_steiner_trees(
+            mas_like_graph(), ["publication", "domain"], 4
+        )
+        signatures = {tree.signature() for tree in trees}
+        assert len(signatures) == len(trees)
+
+    def test_first_matches_single_solve(self):
+        graph = mas_like_graph()
+        best = steiner_tree(graph, ["publication", "domain"])
+        trees = top_k_steiner_trees(graph, ["publication", "domain"], 3)
+        assert trees[0].cost == best.cost
+
+    def test_k_zero(self):
+        assert top_k_steiner_trees(mas_like_graph(), ["publication"], 0) == []
+
+    def test_alternatives_include_both_venue_paths(self):
+        trees = top_k_steiner_trees(
+            mas_like_graph(), ["publication", "domain"], 3
+        )
+        via = {
+            "conference" if "conference" in t.vertices else
+            "journal" if "journal" in t.vertices else "keyword"
+            for t in trees
+        }
+        assert {"conference", "journal"} <= via
+
+
+class TestFork:
+    def test_fork_clones_dependents(self):
+        """Figure 4: forking author clones author and writes; publication
+        stays shared."""
+        graph = mas_like_graph()
+        forked, clone = fork(graph, "author")
+        assert clone == "author#2"
+        assert forked.has_instance("writes#2")
+        assert not forked.has_instance("publication#2")
+        # The cloned writes links to the *shared* publication.
+        edges = [
+            e for e in forked.neighbors("writes#2") if e.touches("publication")
+        ]
+        assert len(edges) == 1
+
+    def test_fork_preserves_original(self):
+        graph = mas_like_graph()
+        fork(graph, "author")
+        assert not graph.has_instance("author#2")
+
+    def test_fork_unknown_instance(self):
+        with pytest.raises(GraphError):
+            fork(mas_like_graph(), "nope")
+
+    def test_fork_for_duplicates_terminals(self):
+        graph = mas_like_graph()
+        forked, terminals = fork_for_duplicates(
+            graph, ["author", "author", "publication"]
+        )
+        assert terminals == ["author", "author#2", "publication"]
+
+    def test_self_join_steiner_tree(self):
+        """The paper's Example 7 join structure."""
+        graph = mas_like_graph()
+        forked, terminals = fork_for_duplicates(
+            graph, ["author", "author", "publication"]
+        )
+        tree = steiner_tree(forked, terminals)
+        assert {"author", "author#2", "writes", "writes#2", "publication"} == set(
+            tree.vertices
+        )
+        assert tree.edge_count == 4
+
+    def test_triple_fork(self):
+        graph = mas_like_graph()
+        forked, terminals = fork_for_duplicates(graph, ["author"] * 3)
+        assert terminals == ["author", "author#2", "author#3"]
+        tree = steiner_tree(forked, terminals + ["publication"])
+        assert tree is not None
+        assert len([v for v in tree.vertices if v.startswith("writes")]) == 3
+
+
+class TestSchemaGraph:
+    def test_definition1_stats(self, mini_db):
+        graph = SchemaGraph(mini_db.catalog)
+        stats = graph.stats()
+        assert stats["relation_vertices"] == 4
+        assert stats["attribute_vertices"] == 4 + 2 + 2 + 2
+        assert stats["projection_edges"] == stats["attribute_vertices"]
+        assert stats["fk_pk_edges"] == 3
+
+    def test_weight_function(self, mini_db):
+        graph = SchemaGraph(mini_db.catalog)
+        assert graph.weight("publication", "publication.title") == 1.0
+        assert graph.weight("publication", "journal") == float("inf")
+
+    def test_join_graph_view(self, mini_db):
+        graph = SchemaGraph(mini_db.catalog).join_graph()
+        assert graph.instance_count() == 4

@@ -1,0 +1,189 @@
+"""Direct unit tests for the SQL builder (configuration + path → AST)."""
+
+import pytest
+
+from repro.core import FragmentContext, JoinPathGenerator
+from repro.core.fragments import FragmentKind, QueryFragment
+from repro.core.interface import (
+    Configuration,
+    Keyword,
+    KeywordMetadata,
+    QueryFragmentMapping,
+)
+from repro.errors import TranslationError
+from repro.nlidb.sql_builder import build_sql
+from repro.sql.writer import write_query
+
+SELECT = FragmentContext.SELECT
+WHERE = FragmentContext.WHERE
+
+
+def mapping(keyword_text, fragment, context=SELECT, score=1.0, **meta):
+    keyword = Keyword(keyword_text, KeywordMetadata(context=context, **meta))
+    return QueryFragmentMapping(keyword, fragment, score)
+
+
+def config(*mappings):
+    return Configuration(
+        mappings=tuple(mappings), sigma_score=1.0, qfg_score=1.0, score=1.0
+    )
+
+
+def attribute(relation, attr, context=SELECT, aggregates=(), descending=False):
+    return QueryFragment(
+        context=context,
+        kind=FragmentKind.ATTRIBUTE,
+        relation=relation,
+        attribute=attr,
+        aggregates=aggregates,
+        descending=descending,
+    )
+
+
+def predicate(relation, attr, op, value, context=WHERE, aggregates=()):
+    return QueryFragment(
+        context=context,
+        kind=FragmentKind.PREDICATE,
+        relation=relation,
+        attribute=attr,
+        operator=op,
+        value=value,
+        aggregates=aggregates,
+    )
+
+
+@pytest.fixture()
+def joins(mini_db):
+    return JoinPathGenerator(mini_db.catalog)
+
+
+class TestBuildSql:
+    def test_single_relation(self, mini_db, joins):
+        c = config(
+            mapping("papers", attribute("publication", "title")),
+            mapping("after 2000", predicate("publication", "year", ">", 2000),
+                    context=WHERE),
+        )
+        path = joins.best(c.relation_bag())
+        query = build_sql(c, path, mini_db.catalog)
+        assert write_query(query) == (
+            "SELECT t1.title FROM publication t1 WHERE t1.year > 2000"
+        )
+
+    def test_join_conditions_emitted(self, mini_db, joins):
+        c = config(
+            mapping("papers", attribute("publication", "title")),
+            mapping("TKDE", predicate("journal", "name", "=", "TKDE"),
+                    context=WHERE),
+        )
+        path = joins.best(c.relation_bag())
+        sql = write_query(build_sql(c, path, mini_db.catalog))
+        assert "t2.name = 'TKDE'" in sql or "t1.name = 'TKDE'" in sql
+        assert "jid" in sql  # the FK-PK join condition
+
+    def test_aggregate_projection(self, mini_db, joins):
+        c = config(
+            mapping(
+                "papers",
+                attribute("publication", "title", aggregates=("COUNT",)),
+                aggregates=("COUNT",),
+            ),
+        )
+        path = joins.best(c.relation_bag())
+        sql = write_query(build_sql(c, path, mini_db.catalog))
+        assert sql.startswith("SELECT COUNT(t1.title)")
+
+    def test_group_by_added_for_mixed_select(self, mini_db, joins):
+        c = config(
+            mapping("journals", attribute("journal", "name")),
+            mapping(
+                "papers",
+                attribute("publication", "title", aggregates=("COUNT",)),
+                aggregates=("COUNT",),
+            ),
+        )
+        path = joins.best(c.relation_bag())
+        sql = write_query(build_sql(c, path, mini_db.catalog))
+        assert "GROUP BY" in sql
+
+    def test_having_clause(self, mini_db, joins):
+        c = config(
+            mapping("authors", attribute("author", "name")),
+            mapping(
+                "more than 2 papers",
+                predicate(
+                    "publication", "pid", ">", 2,
+                    context=FragmentContext.HAVING, aggregates=("COUNT",),
+                ),
+                context=WHERE,
+                aggregates=("COUNT",),
+                comparison_op=">",
+            ),
+        )
+        path = joins.best(c.relation_bag())
+        sql = write_query(build_sql(c, path, mini_db.catalog))
+        assert "HAVING COUNT" in sql
+        assert "GROUP BY" in sql
+
+    def test_order_by_and_limit(self, mini_db, joins):
+        c = config(
+            mapping("papers", attribute("publication", "title")),
+            mapping(
+                "most recent",
+                attribute(
+                    "publication", "year",
+                    context=FragmentContext.ORDER_BY, descending=True,
+                ),
+                context=FragmentContext.ORDER_BY,
+                descending=True,
+                limit=3,
+            ),
+        )
+        path = joins.best(c.relation_bag())
+        sql = write_query(build_sql(c, path, mini_db.catalog))
+        assert sql.endswith("ORDER BY t1.year DESC LIMIT 3")
+
+    def test_self_join_value_routing(self, mini_db, joins):
+        c = config(
+            mapping("papers", attribute("publication", "title")),
+            mapping("John Smith", predicate("author", "name", "=", "John Smith"),
+                    context=WHERE),
+            mapping("Jane Doe", predicate("author", "name", "=", "Jane Doe"),
+                    context=WHERE),
+        )
+        bag = c.relation_bag()
+        assert bag.count("author") == 2
+        path = joins.best(bag)
+        sql = write_query(build_sql(c, path, mini_db.catalog))
+        # Both values appear, on different author instances.
+        assert "John Smith" in sql and "Jane Doe" in sql
+        assert sql.count("author") == 2
+
+    def test_default_projection_when_no_select(self, mini_db, joins):
+        c = config(
+            mapping("after 2000", predicate("publication", "year", ">", 2000),
+                    context=WHERE),
+        )
+        path = joins.best(c.relation_bag())
+        sql = write_query(build_sql(c, path, mini_db.catalog))
+        assert sql.startswith("SELECT t1.title")  # display column fallback
+
+    def test_missing_relation_in_path_raises(self, mini_db, joins):
+        c = config(
+            mapping("papers", attribute("publication", "title")),
+            mapping("TKDE", predicate("journal", "name", "=", "TKDE"),
+                    context=WHERE),
+        )
+        # A path over the wrong relation set cannot realize the config.
+        bad_path = joins.best(["author"])
+        with pytest.raises(TranslationError):
+            build_sql(c, bad_path, mini_db.catalog)
+
+    def test_distinct_metadata(self, mini_db, joins):
+        c = config(
+            mapping("papers", attribute("publication", "title"),
+                    distinct=True),
+        )
+        path = joins.best(c.relation_bag())
+        sql = write_query(build_sql(c, path, mini_db.catalog))
+        assert sql.startswith("SELECT DISTINCT")

@@ -1,0 +1,246 @@
+"""Tests for the SQL tokenizer, parser and writer."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql import parse_query, write_query
+from repro.sql.ast import (
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    FuncCall,
+    InPredicate,
+    IsNullPredicate,
+    Literal,
+    OpPlaceholder,
+    OrPredicate,
+    Star,
+    Subquery,
+    ValuePlaceholder,
+    conjuncts,
+)
+from repro.sql.tokenizer import tokenize
+from repro.sql.tokens import TokenKind
+
+
+class TestTokenizer:
+    def test_basic_statement(self):
+        tokens = tokenize("SELECT a FROM t WHERE b = 1")
+        kinds = [t.kind for t in tokens]
+        assert kinds[-1] is TokenKind.EOF
+        assert tokens[0].is_keyword("SELECT")
+
+    def test_string_literal_with_escape(self):
+        tokens = tokenize("SELECT 'O''Brien'")
+        assert tokens[1].kind is TokenKind.STRING
+        assert tokens[1].text == "O'Brien"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT 'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("SELECT 42, 3.14")
+        assert tokens[1].text == "42"
+        assert tokens[3].text == "3.14"
+
+    def test_operators(self):
+        tokens = tokenize("a <= b >= c <> d != e < f > g = h")
+        ops = [t.text for t in tokens if t.kind is TokenKind.OPERATOR]
+        assert ops == ["<=", ">=", "<>", "!=", "<", ">", "="]
+
+    def test_placeholders(self):
+        tokens = tokenize("a ?op ?val")
+        assert [t.text for t in tokens if t.kind is TokenKind.PLACEHOLDER] == [
+            "?op", "?val",
+        ]
+
+    def test_bare_question_mark_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("a ? b")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT $$$")
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('SELECT `weird` FROM "quoted"')
+        identifiers = [t.text for t in tokens if t.kind is TokenKind.IDENTIFIER]
+        assert identifiers == ["weird", "quoted"]
+
+    def test_trailing_semicolon_tolerated(self):
+        tokens = tokenize("SELECT a FROM t;")
+        assert tokens[-1].kind is TokenKind.EOF
+
+
+class TestParser:
+    def test_simple_select(self):
+        query = parse_query("SELECT t.a FROM table1 t")
+        assert query.select[0].expr == ColumnRef("t", "a")
+        assert query.from_tables[0].table == "table1"
+        assert query.from_tables[0].alias == "t"
+
+    def test_paper_example(self):
+        # The fragment example of Definition 3.
+        query = parse_query(
+            "SELECT t.a FROM table1 t, table2 u "
+            "WHERE t.b = 15 AND t.id = u.id"
+        )
+        parts = query.where_conjuncts()
+        assert len(parts) == 2
+        assert parts[0] == Comparison(ColumnRef("t", "b"), "=", Literal(15))
+
+    def test_distinct(self):
+        assert parse_query("SELECT DISTINCT a FROM t").distinct
+
+    def test_star(self):
+        query = parse_query("SELECT * FROM t")
+        assert query.select[0].expr == Star()
+
+    def test_qualified_star(self):
+        query = parse_query("SELECT t.* FROM t")
+        assert query.select[0].expr == Star("t")
+
+    def test_aggregates(self):
+        query = parse_query("SELECT COUNT(DISTINCT t.a), MAX(b) FROM t")
+        count = query.select[0].expr
+        assert isinstance(count, FuncCall)
+        assert count.name == "COUNT" and count.distinct
+
+    def test_count_star(self):
+        query = parse_query("SELECT COUNT(*) FROM t")
+        expr = query.select[0].expr
+        assert isinstance(expr, FuncCall) and expr.args == (Star(),)
+
+    def test_explicit_join_normalized(self):
+        query = parse_query(
+            "SELECT a FROM t JOIN u ON t.id = u.id WHERE u.b = 1"
+        )
+        assert len(query.from_tables) == 2
+        assert len(query.where_conjuncts()) == 2
+
+    def test_left_join_normalized(self):
+        query = parse_query("SELECT a FROM t LEFT OUTER JOIN u ON t.id = u.id")
+        assert len(query.from_tables) == 2
+
+    def test_group_by_having(self):
+        query = parse_query(
+            "SELECT a, COUNT(b) FROM t GROUP BY a HAVING COUNT(b) > 2"
+        )
+        assert query.group_by == (ColumnRef(None, "a"),)
+        assert isinstance(query.having, Comparison)
+
+    def test_order_by_directions(self):
+        query = parse_query("SELECT a FROM t ORDER BY a ASC, b DESC")
+        assert not query.order_by[0].descending
+        assert query.order_by[1].descending
+
+    def test_limit(self):
+        assert parse_query("SELECT a FROM t LIMIT 5").limit == 5
+
+    def test_in_list(self):
+        query = parse_query("SELECT a FROM t WHERE b IN (1, 2, 3)")
+        predicate = query.where_conjuncts()[0]
+        assert isinstance(predicate, InPredicate)
+        assert len(predicate.values) == 3
+
+    def test_not_in(self):
+        query = parse_query("SELECT a FROM t WHERE b NOT IN (1)")
+        assert query.where_conjuncts()[0].negated
+
+    def test_between(self):
+        query = parse_query("SELECT a FROM t WHERE b BETWEEN 1 AND 5")
+        predicate = query.where_conjuncts()[0]
+        assert isinstance(predicate, BetweenPredicate)
+        assert predicate.low == Literal(1) and predicate.high == Literal(5)
+
+    def test_like(self):
+        query = parse_query("SELECT a FROM t WHERE b LIKE '%x%'")
+        assert query.where_conjuncts()[0].op == "LIKE"
+
+    def test_not_like(self):
+        query = parse_query("SELECT a FROM t WHERE b NOT LIKE 'x'")
+        assert query.where_conjuncts()[0].op == "NOT LIKE"
+
+    def test_is_null_and_not_null(self):
+        query = parse_query("SELECT a FROM t WHERE b IS NULL AND c IS NOT NULL")
+        first, second = query.where_conjuncts()
+        assert isinstance(first, IsNullPredicate) and not first.negated
+        assert second.negated
+
+    def test_or_precedence(self):
+        query = parse_query("SELECT a FROM t WHERE a = 1 AND b = 2 OR c = 3")
+        # AND binds tighter: (a AND b) OR c → a single OR at the top.
+        assert isinstance(query.where, OrPredicate)
+
+    def test_parenthesized_boolean(self):
+        query = parse_query("SELECT a FROM t WHERE a = 1 AND (b = 2 OR c = 3)")
+        parts = query.where_conjuncts()
+        assert len(parts) == 2
+        assert isinstance(parts[1], OrPredicate)
+
+    def test_subquery_expression(self):
+        query = parse_query(
+            "SELECT a FROM t WHERE b = (SELECT MAX(b) FROM t)"
+        )
+        predicate = query.where_conjuncts()[0]
+        assert isinstance(predicate.right, Subquery)
+
+    def test_in_subquery(self):
+        query = parse_query(
+            "SELECT a FROM t WHERE b IN (SELECT b FROM u)"
+        )
+        predicate = query.where_conjuncts()[0]
+        assert isinstance(predicate.values[0], Subquery)
+
+    def test_obscured_placeholders(self):
+        query = parse_query("SELECT a FROM t WHERE t.b ?op ?val")
+        predicate = query.where_conjuncts()[0]
+        assert isinstance(predicate.op, OpPlaceholder)
+        assert predicate.right == ValuePlaceholder("val")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT a FROM t garbage !")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT a")
+
+    def test_conjuncts_flattening(self):
+        query = parse_query(
+            "SELECT a FROM t WHERE a = 1 AND b = 2 AND c = 3 AND d = 4"
+        )
+        assert len(conjuncts(query.where)) == 4
+
+
+class TestWriterRoundTrip:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT t.a FROM table1 t",
+            "SELECT DISTINCT a FROM t",
+            "SELECT COUNT(DISTINCT t.a) FROM t",
+            "SELECT a FROM t WHERE b = 'x' AND c > 3",
+            "SELECT a FROM t WHERE b IN (1, 2)",
+            "SELECT a FROM t WHERE b BETWEEN 1 AND 2",
+            "SELECT a FROM t WHERE b IS NOT NULL",
+            "SELECT a FROM t WHERE b LIKE '%x%'",
+            "SELECT a, COUNT(b) FROM t GROUP BY a HAVING COUNT(b) > 2",
+            "SELECT a FROM t ORDER BY a DESC LIMIT 3",
+            "SELECT a FROM t WHERE t.b ?op ?val",
+            "SELECT a FROM t WHERE b = (SELECT MAX(b) FROM t)",
+        ],
+    )
+    def test_parse_write_parse_fixpoint(self, sql):
+        """write(parse(x)) must itself parse to the same AST."""
+        first = parse_query(sql)
+        written = write_query(first)
+        second = parse_query(written)
+        assert first == second
+
+    def test_string_escaping_round_trip(self):
+        query = parse_query("SELECT a FROM t WHERE b = 'O''Brien'")
+        written = write_query(query)
+        assert "O''Brien" in written
+        assert parse_query(written) == query

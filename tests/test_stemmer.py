@@ -1,0 +1,128 @@
+"""Porter stemmer tests against the algorithm's canonical behaviour."""
+
+import pytest
+
+from repro.db.stemmer import stem, stem_tokens
+
+
+class TestCanonicalPairs:
+    """Examples from Porter's original paper and reference vocabularies."""
+
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valency", "valenc"),
+            ("hesitancy", "hesit"),
+            ("digitizer", "digit"),
+            ("conformably", "conform"),
+            ("radically", "radic"),
+            ("differently", "differ"),
+            ("vilely", "vile"),
+            ("analogously", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formality", "formal"),
+            ("sensitivity", "sensit"),
+            ("sensibility", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electricity", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ],
+    )
+    def test_pair(self, word, expected):
+        assert stem(word) == expected
+
+
+class TestDomainWords:
+    """The stems Templar's full-text search relies on."""
+
+    def test_restaurant_businesses(self):
+        # The paper's own example: "restaurant businesses" -> restaur busi.
+        assert stem("restaurant") == "restaur"
+        assert stem("businesses") == "busi"
+
+    def test_papers_and_paper_share_a_stem(self):
+        assert stem("papers") == stem("paper")
+
+    def test_citing_and_cite_share_a_stem(self):
+        assert stem("citing") == stem("cite")
+
+    def test_reviews_and_review_share_a_stem(self):
+        assert stem("reviews") == stem("review")
+
+
+class TestEdgeCases:
+    def test_short_words_unchanged(self):
+        assert stem("a") == "a"
+        assert stem("is") == "is"
+
+    def test_lowercasing(self):
+        assert stem("TKDE") == "tkde"
+        assert stem("Databases") == stem("databases")
+
+    def test_stem_is_idempotent_for_common_words(self):
+        for word in ["papers", "relational", "reviews", "directing"]:
+            once = stem(word)
+            assert stem(once) == once or len(stem(once)) <= len(once)
+
+    def test_stem_tokens_preserves_order(self):
+        assert stem_tokens(["papers", "citing"]) == [stem("papers"), stem("citing")]

@@ -1,0 +1,97 @@
+"""Tests for table storage and the database facade."""
+
+import pytest
+
+from repro.db import Catalog, Column, ColumnType, Database, TableSchema
+from repro.errors import DataError, SchemaError
+
+_INT = ColumnType.INTEGER
+_TEXT = ColumnType.TEXT
+
+
+class TestTable:
+    def test_insert_positional(self, mini_db):
+        table = mini_db.table("journal")
+        row = table.insert((3, "TODS"))
+        assert row == (3, "TODS")
+        assert len(table) == 3
+
+    def test_insert_mapping(self, mini_db):
+        table = mini_db.table("journal")
+        row = table.insert({"jid": 4, "name": "VLDBJ"})
+        assert row == (4, "VLDBJ")
+
+    def test_insert_mapping_missing_becomes_null(self, mini_db):
+        row = mini_db.table("journal").insert({"jid": 5})
+        assert row == (5, None)
+
+    def test_insert_mapping_unknown_column(self, mini_db):
+        with pytest.raises(DataError):
+            mini_db.table("journal").insert({"nope": 1})
+
+    def test_insert_arity_mismatch(self, mini_db):
+        with pytest.raises(DataError):
+            mini_db.table("journal").insert((1,))
+
+    def test_insert_coerces_types(self, mini_db):
+        row = mini_db.table("journal").insert(("7", 123))
+        assert row == (7, "123")
+
+    def test_column_values_and_distinct(self, mini_db):
+        values = mini_db.table("publication").column_values("jid")
+        assert values == [1, 2, 1, 1]
+        assert mini_db.table("publication").distinct_values("jid") == [1, 2]
+
+    def test_distinct_skips_nulls(self, mini_db):
+        mini_db.table("journal").insert((9, None))
+        assert None not in mini_db.table("journal").distinct_values("name")
+
+    def test_any_value_satisfies(self, mini_db):
+        table = mini_db.table("publication")
+        assert table.any_value_satisfies("year", ">", 2005)
+        assert not table.any_value_satisfies("year", ">", 2015)
+
+    def test_count_satisfying(self, mini_db):
+        assert mini_db.table("publication").count_satisfying("year", ">", 2000) == 3
+
+    def test_value_range(self, mini_db):
+        assert mini_db.table("publication").value_range("year") == (1999, 2010)
+
+    def test_value_range_empty(self):
+        db = Database("t", Catalog())
+        db.create_table(TableSchema("x", [Column("a", _INT)]))
+        assert db.table("x").value_range("a") is None
+
+
+class TestDatabase:
+    def test_relations_listing(self, mini_db):
+        assert set(mini_db.relations) == {
+            "publication", "journal", "author", "writes",
+        }
+
+    def test_unknown_table(self, mini_db):
+        with pytest.raises(SchemaError):
+            mini_db.table("nope")
+
+    def test_predicate_nonempty(self, mini_db):
+        assert mini_db.predicate_nonempty("publication", "year", ">", 2000)
+        assert not mini_db.predicate_nonempty("publication", "year", "<", 1990)
+
+    def test_row_counts(self, mini_db):
+        assert mini_db.row_count("publication") == 4
+        assert mini_db.total_rows() == 4 + 2 + 2 + 4
+
+    def test_fulltext_rebuilt_after_insert(self, mini_db):
+        assert not mini_db.fulltext.search_column("journal", "name", ["tods"])
+        mini_db.insert("journal", (3, "TODS"))
+        assert mini_db.fulltext.search_column("journal", "name", ["tods"]) == [
+            "TODS"
+        ]
+
+    def test_insert_many_returns_count(self, mini_db):
+        count = mini_db.insert_many("journal", [(10, "A"), (11, "B")])
+        assert count == 2
+
+    def test_repr_mentions_size(self, mini_db):
+        text = repr(mini_db)
+        assert "mini" in text and "tables" in text

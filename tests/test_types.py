@@ -1,0 +1,126 @@
+"""Unit tests for repro.db.types: coercion, comparison, LIKE."""
+
+import pytest
+
+from repro.db.types import ColumnType, coerce_value, compare_values, like_match
+from repro.errors import DataError
+
+
+class TestCoercion:
+    def test_none_passes_through_all_types(self):
+        for column_type in ColumnType:
+            assert coerce_value(None, column_type) is None
+
+    def test_integer_from_int(self):
+        assert coerce_value(42, ColumnType.INTEGER) == 42
+
+    def test_integer_from_numeric_string(self):
+        assert coerce_value("42", ColumnType.INTEGER) == 42
+
+    def test_integer_from_integral_float(self):
+        assert coerce_value(42.0, ColumnType.INTEGER) == 42
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(DataError):
+            coerce_value(42.5, ColumnType.INTEGER)
+
+    def test_integer_rejects_text(self):
+        with pytest.raises(DataError):
+            coerce_value("hello", ColumnType.INTEGER)
+
+    def test_float_from_int(self):
+        assert coerce_value(3, ColumnType.FLOAT) == 3.0
+
+    def test_float_from_string(self):
+        assert coerce_value("3.5", ColumnType.FLOAT) == 3.5
+
+    def test_float_rejects_text(self):
+        with pytest.raises(DataError):
+            coerce_value("pi", ColumnType.FLOAT)
+
+    def test_text_stringifies_numbers(self):
+        assert coerce_value(7, ColumnType.TEXT) == "7"
+
+    def test_text_keeps_strings(self):
+        assert coerce_value("abc", ColumnType.TEXT) == "abc"
+
+    def test_bool_coerces_to_int(self):
+        assert coerce_value(True, ColumnType.INTEGER) == 1
+
+    def test_is_numeric_property(self):
+        assert ColumnType.INTEGER.is_numeric
+        assert ColumnType.FLOAT.is_numeric
+        assert not ColumnType.TEXT.is_numeric
+
+
+class TestCompareValues:
+    @pytest.mark.parametrize(
+        "left,op,right,expected",
+        [
+            (5, "=", 5, True),
+            (5, "=", 6, False),
+            (5, "!=", 6, True),
+            (5, "<>", 6, True),
+            (5, "<", 6, True),
+            (6, "<=", 6, True),
+            (7, ">", 6, True),
+            (6, ">=", 7, False),
+            ("abc", "=", "abc", True),
+            ("abc", "<", "abd", True),
+        ],
+    )
+    def test_basic_comparisons(self, left, op, right, expected):
+        assert compare_values(left, right, op) is expected
+
+    def test_null_comparisons_are_false(self):
+        assert not compare_values(None, 5, "=")
+        assert not compare_values(5, None, "=")
+        assert not compare_values(None, None, "=")
+
+    def test_numeric_string_vs_number(self):
+        assert compare_values(5, "5", "=")
+        assert compare_values("2004", 2000, ">")
+
+    def test_non_numeric_string_vs_number_is_false(self):
+        assert not compare_values("abc", 5, "=")
+        assert not compare_values("abc", 5, "<")
+
+    def test_int_float_cross_comparison(self):
+        assert compare_values(5, 5.0, "=")
+        assert compare_values(5.5, 5, ">")
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(DataError):
+            compare_values(1, 2, "~")
+
+
+class TestLikeMatch:
+    @pytest.mark.parametrize(
+        "value,pattern,expected",
+        [
+            ("hello", "hello", True),
+            ("hello", "HELLO", True),  # case-insensitive like MySQL
+            ("hello", "h%", True),
+            ("hello", "%o", True),
+            ("hello", "%ell%", True),
+            ("hello", "h_llo", True),
+            ("hello", "h_lo", False),
+            ("hello", "%", True),
+            ("", "%", True),
+            ("", "_", False),
+            ("abc", "a%c", True),
+            ("abc", "a%b", False),
+            ("aXbXc", "a%b%c", True),
+        ],
+    )
+    def test_patterns(self, value, pattern, expected):
+        assert like_match(value, pattern) is expected
+
+    def test_null_never_matches(self):
+        assert not like_match(None, "%")
+
+    def test_numbers_match_textually(self):
+        assert like_match(2004, "20%")
+
+    def test_consecutive_percent_collapse(self):
+        assert like_match("abc", "a%%c")

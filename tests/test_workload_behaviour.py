@@ -1,0 +1,171 @@
+"""Integration tests: per-family behaviour classes on the benchmarks.
+
+Each workload family is designed as baseline-winnable (B),
+Templar-winnable (T) or hard (H) — see the workload modules.  These tests
+pin the designed behaviour on one cross-validation trial per dataset, so
+a regression in the mapper/joiner shows up as a family flipping class.
+"""
+
+import pytest
+
+from repro.core import QueryLog, Templar
+from repro.embedding import CompositeModel
+from repro.eval.folds import split_folds, train_test_split
+from repro.eval.metrics import fq_correct
+from repro.nlidb import PipelineNLIDB
+
+
+def run_trial(dataset, families):
+    """Translate fold-0 items of the given families with both systems."""
+    items = dataset.usable_items()
+    folds = split_folds(items, 4, 17)
+    train, test = train_test_split(folds, 0)
+    log = QueryLog([item.gold_sql for item in train])
+    model = CompositeModel(dataset.lexicon)
+    templar = Templar(dataset.database, model, log)
+    baseline = PipelineNLIDB(dataset.database, model, None)
+    augmented = PipelineNLIDB(dataset.database, model, templar)
+    catalog = dataset.database.catalog
+
+    outcomes = {}
+    for item in test:
+        if item.family not in families:
+            continue
+        base_ok = fq_correct(item, baseline.translate(item.keywords), catalog)
+        plus_ok = fq_correct(item, augmented.translate(item.keywords), catalog)
+        outcomes.setdefault(item.family, []).append((base_ok, plus_ok))
+    return outcomes
+
+
+def rate(pairs, index):
+    return sum(p[index] for p in pairs) / len(pairs)
+
+
+class TestMasBehaviour:
+    @pytest.fixture(scope="class")
+    def outcomes(self, mas_dataset):
+        return run_trial(
+            mas_dataset,
+            families={
+                # T: the calibrated confusion (papers ~ journal) families
+                "papers_by_author", "papers_in_conference",
+                "papers_in_domain", "papers_after_year",
+                # B: unambiguous families
+                "authors_of_paper", "organization_of_author",
+                "abstract_of_paper",
+                # H: hard families
+                "papers_citing_title", "papers_between_years",
+                "papers_same_venue_as",
+            },
+        )
+
+    def test_templar_families_flip(self, outcomes):
+        for family in (
+            "papers_by_author", "papers_in_conference",
+            "papers_in_domain", "papers_after_year",
+        ):
+            pairs = outcomes.get(family)
+            if not pairs:
+                continue
+            assert rate(pairs, 0) == 0.0, f"{family}: baseline should fail"
+            assert rate(pairs, 1) == 1.0, f"{family}: Pipeline+ should win"
+
+    def test_baseline_families_hold(self, outcomes):
+        for family in (
+            "authors_of_paper", "organization_of_author", "abstract_of_paper",
+        ):
+            pairs = outcomes.get(family)
+            if not pairs:
+                continue
+            assert rate(pairs, 0) == 1.0, f"{family}: baseline should win"
+            assert rate(pairs, 1) == 1.0, f"{family}: Pipeline+ must not regress"
+
+    def test_hard_families_cap_everyone(self, outcomes):
+        for family in (
+            "papers_citing_title", "papers_between_years",
+            "papers_same_venue_as",
+        ):
+            pairs = outcomes.get(family)
+            if not pairs:
+                continue
+            assert rate(pairs, 0) == 0.0, f"{family}: baseline"
+            assert rate(pairs, 1) == 0.0, f"{family}: Pipeline+"
+
+
+class TestYelpBehaviour:
+    @pytest.fixture(scope="class")
+    def outcomes(self, yelp_dataset):
+        return run_trial(
+            yelp_dataset,
+            families={
+                "avg_rating_of_business", "reviews_rating_above",
+                "businesses_in_city", "tips_for_business",
+                "reviews_in_month", "open_businesses_in_city",
+            },
+        )
+
+    def test_rating_ambiguity_is_templar_win(self, outcomes):
+        for family in ("avg_rating_of_business", "reviews_rating_above"):
+            pairs = outcomes.get(family)
+            if not pairs:
+                continue
+            assert rate(pairs, 0) == 0.0, family
+            assert rate(pairs, 1) == 1.0, family
+
+    def test_unambiguous_families_hold(self, outcomes):
+        for family in ("businesses_in_city", "tips_for_business"):
+            pairs = outcomes.get(family)
+            if not pairs:
+                continue
+            assert rate(pairs, 0) == 1.0, family
+            assert rate(pairs, 1) == 1.0, family
+
+    def test_hard_families(self, outcomes):
+        for family in ("reviews_in_month", "open_businesses_in_city"):
+            pairs = outcomes.get(family)
+            if not pairs:
+                continue
+            assert rate(pairs, 1) == 0.0, family
+
+
+class TestImdbBehaviour:
+    @pytest.fixture(scope="class")
+    def outcomes(self, imdb_dataset):
+        return run_trial(
+            imdb_dataset,
+            families={
+                "films_by_director", "films_in_genre",
+                "actors_in_series_tagged",
+                "actors_in_film", "directors_of_film",
+                "films_of_director_of", "films_between_years",
+            },
+        )
+
+    def test_film_confusion_is_templar_win(self, outcomes):
+        for family in ("films_by_director", "films_in_genre"):
+            pairs = outcomes.get(family)
+            if not pairs:
+                continue
+            assert rate(pairs, 0) == 0.0, family
+            assert rate(pairs, 1) == 1.0, family
+
+    def test_logjoin_family(self, outcomes):
+        """actors_in_series_tagged is won purely by log-driven joins."""
+        pairs = outcomes.get("actors_in_series_tagged")
+        if pairs:
+            assert rate(pairs, 0) == 0.0
+            assert rate(pairs, 1) == 1.0
+
+    def test_unambiguous_families_hold(self, outcomes):
+        for family in ("actors_in_film", "directors_of_film"):
+            pairs = outcomes.get(family)
+            if not pairs:
+                continue
+            assert rate(pairs, 0) >= 0.99, family
+
+    def test_hard_families(self, outcomes):
+        for family in ("films_of_director_of", "films_between_years"):
+            pairs = outcomes.get(family)
+            if not pairs:
+                continue
+            assert rate(pairs, 1) == 0.0, family
