@@ -1,11 +1,31 @@
-"""Legacy setup shim.
+"""Packaging for the Templar reproduction.
 
 The offline build environment ships setuptools without the ``wheel``
 package, so PEP 660 editable installs are unavailable; this file lets
-``pip install -e .`` use the legacy ``setup.py develop`` path.  All project
-metadata lives in ``pyproject.toml``.
+``pip install -e .`` use the legacy ``setup.py develop`` path and carries
+the project metadata directly (there is no pyproject.toml).
+
+Installing registers the ``repro`` console script, so all subcommands
+(``repro stats``, ``repro evaluate``, ``repro serve``, ``repro warmup``,
+…) work without ``python -m repro.cli``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-templar",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Bridging the Semantic Gap with SQL Query Logs in "
+        "Natural Language Interfaces to Databases' (ICDE 2019), with a "
+        "production serving layer"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+)

@@ -7,20 +7,25 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli sweep --parameter kappa --dataset mas
     python -m repro.cli translate --dataset mas --nlq "return the papers after 2000"
     python -m repro.cli export --dataset yelp --output yelp.sql
+    python -m repro.cli warmup --dataset mas --artifacts ./artifacts
+    python -m repro.cli serve --dataset mas --artifacts ./artifacts --port 8080
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 
 from repro.core import QueryLog, Templar
 from repro.core.explain import explain_configuration
 from repro.datasets import DATASET_BUILDERS, load_dataset
 from repro.embedding import CompositeModel
+from repro.errors import ReproError
 from repro.eval import EvalConfig, evaluate_system
 from repro.eval.harness import SYSTEM_NAMES
-from repro.eval.reporting import format_rows, percentage
+from repro.eval.reporting import format_kv, format_rows, percentage
 from repro.nlidb import NalirNLIDB, NalirParser, PipelineNLIDB
 
 
@@ -125,6 +130,95 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_warmup(args: argparse.Namespace) -> int:
+    """Compile serving artifacts for a dataset (startup = load, not rebuild)."""
+    from repro.serving import ArtifactStore
+
+    dataset = load_dataset(args.dataset)
+    store = ArtifactStore(args.artifacts)
+
+    started = time.perf_counter()
+    artifacts = store.compile(dataset, version=args.version)
+    compile_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    store.load(dataset.name, artifacts.version)
+    load_seconds = time.perf_counter() - started
+
+    counts = artifacts.manifest["counts"]
+    print(format_kv([
+        ("dataset", dataset.name),
+        ("version", artifacts.version),
+        ("path", artifacts.path),
+        ("log queries", counts["log_queries"]),
+        ("qfg vertices", counts["qfg_vertices"]),
+        ("qfg edges", counts["qfg_edges"]),
+        ("compile + verify", f"{compile_seconds * 1000:.1f} ms"),
+        ("verified load", f"{load_seconds * 1000:.1f} ms"),
+    ]))
+    return 0
+
+
+def _build_service(args: argparse.Namespace):
+    """(service, parser) for ``repro serve`` — artifact-backed when possible."""
+    from repro.serving import ArtifactStore, TranslationService
+
+    if args.version is not None and args.artifacts is None:
+        raise ReproError(
+            "--version pins an artifact version and requires --artifacts; "
+            "without it the server rebuilds state from the query log"
+        )
+    dataset = load_dataset(args.dataset)
+    database = dataset.database
+    if args.artifacts is not None:
+        artifacts = ArtifactStore(args.artifacts).load(
+            dataset.name, args.version
+        )
+        # Serve the state that was compiled: the artifact lexicon, not the
+        # (possibly newer) in-process dataset lexicon.
+        model = CompositeModel(artifacts.lexicon)
+        templar = artifacts.build_templar(database, model)
+    else:
+        model = CompositeModel(dataset.lexicon)
+        log = QueryLog([item.gold_sql for item in dataset.usable_items()])
+        templar = Templar(database, model, log)
+    nlidb = PipelineNLIDB(database, model, templar)
+    service = TranslationService(
+        nlidb,
+        cache_size=args.cache_size,
+        max_workers=args.workers,
+        learn_batch_size=args.learn_batch,
+    )
+    parser = NalirParser(database, dataset.schema_terms, simulate_failures=False)
+    return service, parser
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the JSON translation endpoint for one dataset."""
+    from repro.serving import make_server
+
+    service, parser = _build_service(args)
+    server = make_server(
+        service, host=args.host, port=args.port, parser=parser, quiet=False
+    )
+    host, port = server.server_address[:2]
+    print(format_kv([
+        ("serving", f"{service.nlidb.name} on {args.dataset.upper()}"),
+        ("endpoint", f"http://{host}:{port}/translate"),
+        ("health", f"http://{host}:{port}/healthz"),
+        ("stats", f"http://{host}:{port}/stats"),
+        ("metrics", f"http://{host}:{port}/metrics"),
+    ]))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        service.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -164,6 +258,34 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--dataset", choices=sorted(DATASET_BUILDERS),
                         default="mas")
     export.add_argument("--output", required=True)
+
+    warmup = sub.add_parser(
+        "warmup", help="compile versioned serving artifacts for a dataset"
+    )
+    warmup.add_argument("--dataset", choices=sorted(DATASET_BUILDERS),
+                        default="mas")
+    warmup.add_argument("--artifacts", required=True,
+                        help="artifact store root directory")
+    warmup.add_argument("--version", default=None,
+                        help="explicit version id (default: QFG fingerprint)")
+
+    serve = sub.add_parser(
+        "serve", help="run the JSON translation HTTP endpoint"
+    )
+    serve.add_argument("--dataset", choices=sorted(DATASET_BUILDERS),
+                       default="mas")
+    serve.add_argument("--artifacts", default=None,
+                       help="load state from this artifact store instead of "
+                            "rebuilding from the query log")
+    serve.add_argument("--version", default=None,
+                       help="artifact version to serve (default: latest)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--cache-size", type=int, default=2048)
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--learn-batch", type=int, default=None,
+                       help="absorb served queries into the QFG every N "
+                            "observations (default: learning off)")
     return parser
 
 
@@ -173,12 +295,27 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "translate": _cmd_translate,
     "export": _cmd_export,
+    "warmup": _cmd_warmup,
+    "serve": _cmd_serve,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream pipe closed early (e.g. `repro stats | head`); keep
+        # the interpreter's exit-time flush from raising a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except (ReproError, OSError) as exc:
+        # Operational failures (unknown dataset, missing/corrupt artifact
+        # paths, unparseable input, ports in use, unreadable files) get a
+        # one-line actionable message instead of a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

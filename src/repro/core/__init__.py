@@ -24,6 +24,7 @@ from repro.core.interface import (
     Keyword,
     KeywordMetadata,
     QueryFragmentMapping,
+    keywords_cache_key,
 )
 from repro.core.join_inference import JoinPath, JoinPathGenerator
 from repro.core.keyword_mapper import KeywordMapper, ScoringParams
@@ -49,4 +50,5 @@ __all__ = [
     "Templar",
     "extract_fragments",
     "fragments_of_sql",
+    "keywords_cache_key",
 ]

@@ -49,6 +49,15 @@ class Keyword:
         return self.text
 
 
+def keywords_cache_key(keywords: list[Keyword] | tuple[Keyword, ...]) -> tuple:
+    """Order-sensitive hashable key for a whole keyword request.
+
+    Keywords are frozen dataclasses, so the tuple's auto-generated
+    equality/hash already covers every field — including any added later.
+    """
+    return tuple(keywords)
+
+
 @dataclass(frozen=True)
 class QueryFragmentMapping:
     """Definition 4: (keyword, query fragment, similarity score)."""

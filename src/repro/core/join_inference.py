@@ -65,13 +65,16 @@ class JoinPathGenerator:
         use_log_weights: bool = True,
         top_k: int = 3,
         min_weight: float = 0.01,
+        base_graph: JoinGraph | None = None,
     ) -> None:
         self.catalog = catalog
         self.qfg = qfg
         self.use_log_weights = use_log_weights
         self.top_k = top_k
         self.min_weight = min_weight
-        self._base_graph = JoinGraph.from_catalog(catalog)
+        # A precomputed graph (e.g. deserialized from a serving artifact)
+        # skips the from-catalog rebuild; it must describe the same schema.
+        self._base_graph = base_graph or JoinGraph.from_catalog(catalog)
 
     # ------------------------------------------------------------- weights
 

@@ -12,6 +12,7 @@ persistence, so a deployment can keep absorbing its live query log.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections import Counter
 from pathlib import Path
@@ -29,6 +30,9 @@ class QueryFragmentGraph:
         self._nv: Counter[str] = Counter()
         self._ne: Counter[tuple[str, str]] = Counter()
         self.total_queries = 0
+        #: monotonically increasing change counter; caches keyed on graph
+        #: state compare revisions instead of hashing the whole graph.
+        self.revision = 0
 
     # ------------------------------------------------------------ building
 
@@ -48,6 +52,9 @@ class QueryFragmentGraph:
         for i, first in enumerate(keys):
             for second in keys[i + 1 :]:
                 self._ne[(first, second)] += 1
+        # Bumped last: a concurrent reader keying caches on the revision
+        # must never pair the new revision with half-applied counts.
+        self.revision += 1
 
     # ------------------------------------------------------------- queries
 
@@ -123,6 +130,30 @@ class QueryFragmentGraph:
         except (KeyError, TypeError, ValueError) as exc:
             raise ReproError(f"malformed QFG payload: {exc}") from exc
         return graph
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the graph (hex SHA-256).
+
+        Two graphs with identical counts produce identical fingerprints
+        regardless of insertion order — the artifact store uses this for
+        integrity-checked loads and cache-key derivation.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def snapshot(self) -> "QueryFragmentGraph":
+        """An independent deep copy of the current graph state.
+
+        For callers that need a stable view of a graph that keeps
+        absorbing queries — e.g. serializing an artifact version while a
+        live service continues to learn.
+        """
+        clone = QueryFragmentGraph(self.obscurity)
+        clone.total_queries = self.total_queries
+        clone._nv = Counter(self._nv)
+        clone._ne = Counter(self._ne)
+        clone.revision = self.revision
+        return clone
 
     def save(self, path: str | Path) -> None:
         Path(path).write_text(json.dumps(self.to_dict(), indent=1))

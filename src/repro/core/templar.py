@@ -24,6 +24,7 @@ from repro.db.catalog import ColumnRefSpec
 from repro.db.database import Database
 from repro.embedding.model import SimilarityModel
 from repro.errors import ReproError
+from repro.schema_graph.graph import JoinGraph
 
 
 class Templar:
@@ -35,11 +36,13 @@ class Templar:
         similarity: SimilarityModel,
         query_log: QueryLog | None = None,
         *,
+        qfg: QueryFragmentGraph | None = None,
         obscurity: Obscurity = Obscurity.NO_CONST_OP,
         params: ScoringParams | None = None,
         use_log_keywords: bool = True,
         use_log_joins: bool = True,
         join_top_k: int = 3,
+        join_graph: "JoinGraph | None" = None,
     ) -> None:
         self.database = database
         self.similarity = similarity
@@ -48,10 +51,23 @@ class Templar:
         self.use_log_keywords = use_log_keywords
         self.use_log_joins = use_log_joins
 
+        if query_log is not None and qfg is not None:
+            raise ReproError(
+                "pass either query_log (build the QFG) or qfg (prebuilt), not both"
+            )
         if query_log is not None:
             self.qfg: QueryFragmentGraph | None = query_log.build_qfg(
                 database.catalog, obscurity
             )
+        elif qfg is not None:
+            # Prebuilt graph (e.g. deserialized from an artifact store):
+            # startup becomes a load instead of a from-log rebuild.
+            if qfg.obscurity is not obscurity:
+                raise ReproError(
+                    f"prebuilt QFG obscurity {qfg.obscurity.value} does not "
+                    f"match requested {obscurity.value}"
+                )
+            self.qfg = qfg
         else:
             self.qfg = None
 
@@ -66,6 +82,7 @@ class Templar:
             qfg=self.qfg,
             use_log_weights=use_log_joins,
             top_k=join_top_k,
+            base_graph=join_graph,
         )
 
     # ---------------------------------------------------------- interface
@@ -88,6 +105,19 @@ class Templar:
 
     # --------------------------------------------------------- maintenance
 
+    def swap_qfg(self, graph: QueryFragmentGraph) -> None:
+        """Install ``graph`` as the active QFG for every consumer.
+
+        The stage references are rewired first and ``self.qfg`` last:
+        ``self.qfg`` is the revision source serving caches key on, so a
+        translation racing the swap files its result under the retiring
+        revision instead of pairing the new revision with old scores.
+        """
+        if self.use_log_keywords:
+            self.keyword_mapper.qfg = graph
+        self.join_generator.qfg = graph
+        self.qfg = graph
+
     def observe_query(self, sql: str) -> None:
         """Incrementally add one executed SQL statement to the QFG.
 
@@ -96,10 +126,7 @@ class Templar:
         on first use.
         """
         if self.qfg is None:
-            self.qfg = QueryFragmentGraph(self.obscurity)
-            if self.use_log_keywords:
-                self.keyword_mapper.qfg = self.qfg
-            self.join_generator.qfg = self.qfg
+            self.swap_qfg(QueryFragmentGraph(self.obscurity))
         try:
             fragments = fragments_of_sql(sql, self.database.catalog)
         except ReproError as exc:

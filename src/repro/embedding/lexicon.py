@@ -73,6 +73,33 @@ class Lexicon:
             return self._table.get(self._key(stemmed_a, stemmed_b))
         return None
 
+    # ------------------------------------------------------------ persistence
+
+    def to_dict(self) -> dict:
+        """JSON-serializable payload: one ``[a, b, score]`` entry per pair.
+
+        The stored table is dumped verbatim (including the stem-level
+        entries ``add`` derived), so a round trip reproduces lookups
+        exactly rather than re-deriving them.
+        """
+        return {
+            "entries": [
+                [a, b, score] for (a, b), score in sorted(self._table.items())
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Lexicon":
+        try:
+            lexicon = cls()
+            for a, b, score in data["entries"]:
+                if not 0.0 <= float(score) <= 1.0:
+                    raise ReproError(f"lexicon score {score} out of [0, 1]")
+                lexicon._table[cls._key(str(a), str(b))] = float(score)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed lexicon payload: {exc}") from exc
+        return lexicon
+
     def __len__(self) -> int:
         return len(self._table)
 

@@ -61,3 +61,11 @@ class TranslationError(ReproError):
 
 class DatasetError(ReproError):
     """A benchmark dataset failed to build or validate."""
+
+
+class ArtifactError(ReproError):
+    """A serving artifact is missing, corrupt, or version-incompatible."""
+
+
+class ServingError(ReproError):
+    """The translation service received an invalid or unservable request."""

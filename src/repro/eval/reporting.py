@@ -27,3 +27,13 @@ def format_rows(
 def percentage(value: float) -> str:
     """Format an accuracy fraction the way the paper prints it."""
     return f"{100.0 * value:.1f}"
+
+
+def format_kv(pairs: Sequence[tuple[str, object]]) -> str:
+    """Render aligned ``key  value`` lines (serving/CLI status output)."""
+    if not pairs:
+        return ""
+    width = max(len(str(key)) for key, _ in pairs)
+    return "\n".join(
+        f"{str(key).ljust(width)}  {value}" for key, value in pairs
+    )

@@ -1,0 +1,55 @@
+"""Production serving layer: artifacts, caching service, telemetry, HTTP.
+
+The research pipeline rebuilds its state from the raw query log on every
+run; this package is what turns the reproduction into something that can
+sit behind traffic:
+
+* :mod:`repro.serving.artifacts` — compile a dataset + query log into
+  versioned on-disk artifacts (QFG tables, lexicon, catalog, schema
+  graph) and load them back with integrity checks, so startup is a
+  deserialize instead of a rebuild.
+* :mod:`repro.serving.service` — :class:`TranslationService`: LRU-cached
+  keyword mapping, join paths and whole translations, deduplicated
+  concurrent ``translate_batch``, and online QFG ingestion of served
+  queries.
+* :mod:`repro.serving.cache` / :mod:`repro.serving.telemetry` — the
+  thread-safe LRU cache and the latency/QPS/counter registry behind it.
+* :mod:`repro.serving.http_server` — a stdlib-only JSON endpoint
+  (``repro serve`` wires it to a dataset).
+"""
+
+from repro.serving.artifacts import (
+    ArtifactStore,
+    ServingArtifacts,
+    catalog_from_dict,
+    catalog_to_dict,
+    join_graph_from_dict,
+    join_graph_to_dict,
+)
+from repro.serving.cache import CacheStats, LRUCache
+from repro.serving.http_server import ServingHTTPServer, make_server
+from repro.serving.service import (
+    CachingJoinPathGenerator,
+    CachingKeywordMapper,
+    TranslationService,
+)
+from repro.serving.telemetry import LatencySummary, MetricsRegistry, percentile
+
+__all__ = [
+    "ArtifactStore",
+    "CacheStats",
+    "CachingJoinPathGenerator",
+    "CachingKeywordMapper",
+    "LRUCache",
+    "LatencySummary",
+    "MetricsRegistry",
+    "ServingArtifacts",
+    "ServingHTTPServer",
+    "TranslationService",
+    "catalog_from_dict",
+    "catalog_to_dict",
+    "join_graph_from_dict",
+    "join_graph_to_dict",
+    "make_server",
+    "percentile",
+]

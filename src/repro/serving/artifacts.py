@@ -1,0 +1,457 @@
+"""Versioned on-disk serving artifacts with integrity-checked load.
+
+A deployment should not re-parse its whole query log at every process
+start.  :class:`ArtifactStore` compiles a dataset + query log once into a
+versioned directory of JSON artifacts — the QFG co-occurrence tables, the
+similarity lexicon, the schema catalog and the relation join graph — and
+loads them back with checksum verification, so startup is a deserialize
+instead of a rebuild.
+
+Layout under the store root::
+
+    <root>/<dataset>/<version>/qfg.json
+                              /lexicon.json
+                              /catalog.json
+                              /schema_graph.json
+                              /query_log.sql
+                              /manifest.json
+    <root>/<dataset>/LATEST          # name of the newest version
+
+The version id defaults to a prefix of the QFG content fingerprint, so
+recompiling an unchanged log is idempotent and a changed log gets a fresh
+version automatically.  ``manifest.json`` records the format version, a
+SHA-256 per artifact file and the QFG fingerprint; :meth:`ArtifactStore.load`
+verifies all of them and raises :class:`~repro.errors.ArtifactError` on
+any mismatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.fragments import Obscurity
+from repro.core.log import QueryLog
+from repro.core.qfg import QueryFragmentGraph
+from repro.core.templar import Templar
+from repro.datasets.base import BenchmarkDataset
+from repro.db.catalog import Catalog, Column, ForeignKey, TableSchema
+from repro.db.database import Database
+from repro.db.types import ColumnType
+from repro.embedding.lexicon import Lexicon
+from repro.embedding.model import CompositeModel, SimilarityModel
+from repro.errors import ArtifactError, ReproError
+from repro.schema_graph.graph import JoinEdge, JoinGraph
+
+FORMAT_VERSION = 1
+
+#: Version ids become directory names; restrict them so user input cannot
+#: escape the store root or collide with the LATEST pointer file.
+_VERSION_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def _check_version_id(version: str) -> str:
+    # Case-insensitive LATEST check: the pointer file must stay safe on
+    # case-insensitive filesystems too.
+    if version.upper() == "LATEST" or not _VERSION_RE.match(version):
+        raise ArtifactError(
+            f"invalid artifact version id {version!r}: use 1-64 letters, "
+            f"digits, dots, dashes or underscores (not 'LATEST')"
+        )
+    return version
+
+#: Artifact files covered by manifest checksums.
+_ARTIFACT_FILES = (
+    "qfg.json",
+    "lexicon.json",
+    "catalog.json",
+    "schema_graph.json",
+    "query_log.sql",
+)
+
+
+# ---------------------------------------------------------------- catalog
+
+
+def catalog_to_dict(catalog: Catalog) -> dict:
+    return {
+        "tables": [
+            {
+                "name": schema.name,
+                "primary_key": list(schema.primary_key),
+                "columns": [
+                    {
+                        "name": column.name,
+                        "type": column.type.value,
+                        "display": column.display,
+                        "searchable": column.searchable,
+                    }
+                    for column in schema.columns
+                ],
+            }
+            for schema in catalog.tables.values()
+        ],
+        "foreign_keys": [
+            {
+                "source": fk.source,
+                "source_column": fk.source_column,
+                "target": fk.target,
+                "target_column": fk.target_column,
+            }
+            for fk in catalog.foreign_keys
+        ],
+    }
+
+
+def catalog_from_dict(data: dict) -> Catalog:
+    try:
+        catalog = Catalog()
+        for table in data["tables"]:
+            columns = [
+                Column(
+                    name=column["name"],
+                    type=ColumnType(column["type"]),
+                    display=bool(column.get("display", False)),
+                    searchable=bool(column.get("searchable", False)),
+                )
+                for column in table["columns"]
+            ]
+            catalog.add_table(
+                TableSchema(
+                    table["name"],
+                    columns,
+                    primary_key=tuple(table.get("primary_key", ())) or None,
+                )
+            )
+        for fk in data["foreign_keys"]:
+            catalog.add_foreign_key(
+                ForeignKey(
+                    fk["source"], fk["source_column"],
+                    fk["target"], fk["target_column"],
+                )
+            )
+    except (KeyError, TypeError, ValueError, ReproError) as exc:
+        raise ArtifactError(f"malformed catalog payload: {exc}") from exc
+    return catalog
+
+
+# ------------------------------------------------------------ join graph
+
+
+def join_graph_to_dict(graph: JoinGraph) -> dict:
+    return {
+        "instances": dict(graph.instances),
+        "edges": [
+            {
+                "source": edge.source,
+                "source_column": edge.source_column,
+                "target": edge.target,
+                "target_column": edge.target_column,
+            }
+            for edge in graph.edges
+        ],
+    }
+
+
+def join_graph_from_dict(data: dict) -> JoinGraph:
+    try:
+        graph = JoinGraph()
+        for instance, relation in data["instances"].items():
+            graph.add_instance(str(instance), str(relation))
+        for edge in data["edges"]:
+            graph.add_edge(
+                JoinEdge(
+                    edge["source"], edge["source_column"],
+                    edge["target"], edge["target_column"],
+                )
+            )
+    except (KeyError, TypeError, ReproError) as exc:
+        raise ArtifactError(f"malformed schema graph payload: {exc}") from exc
+    return graph
+
+
+# ----------------------------------------------------------------- store
+
+
+@dataclass
+class ServingArtifacts:
+    """Everything a serving process needs, loaded from one version."""
+
+    dataset: str
+    version: str
+    path: Path
+    qfg: QueryFragmentGraph
+    lexicon: Lexicon
+    catalog: Catalog
+    join_graph: JoinGraph
+    manifest: dict
+
+    def verify_schema(self, database: Database) -> None:
+        """Assert the artifacts were compiled against ``database``'s schema.
+
+        QFG vertex keys and join-graph weights are expressed in terms of
+        relation/attribute names; serving them over a database with a
+        different schema silently misscores, so the stored catalog acts
+        as a compile-time witness to check the live schema against.
+        (The stored join graph is derived deterministically from the
+        catalog, so a separate comparison would be redundant.)
+        """
+        live = catalog_to_dict(database.catalog)
+        stored = catalog_to_dict(self.catalog)
+        if live != stored:
+            raise ArtifactError(
+                f"artifacts {self.dataset}/{self.version} were compiled "
+                f"for a different schema than database {database.name!r}; "
+                f"re-run `repro warmup`"
+            )
+
+    def build_templar(
+        self,
+        database: Database,
+        similarity: SimilarityModel | None = None,
+        **templar_kwargs,
+    ) -> Templar:
+        """A Templar over ``database`` with the prebuilt (deserialized) QFG.
+
+        The database still comes from the dataset builder (artifacts hold
+        log-derived and schema-level state, not table rows); what the
+        artifact path removes is the per-startup log parse.  The stored
+        catalog is checked against the database first (see
+        :meth:`verify_schema`), and the stored join graph becomes the
+        join generator's base graph.
+        """
+        self.verify_schema(database)
+        model = similarity or CompositeModel(self.lexicon)
+        return Templar(
+            database,
+            model,
+            qfg=self.qfg,
+            obscurity=self.qfg.obscurity,
+            join_graph=self.join_graph,
+            **templar_kwargs,
+        )
+
+
+class ArtifactStore:
+    """Compile-once, load-many store of serving artifacts."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------- compile
+
+    def compile(
+        self,
+        dataset: BenchmarkDataset,
+        log: QueryLog | None = None,
+        *,
+        obscurity: Obscurity = Obscurity.NO_CONST_OP,
+        version: str | None = None,
+    ) -> ServingArtifacts:
+        """Build every artifact for ``dataset`` and persist one version.
+
+        ``log`` defaults to the gold SQL of the dataset's usable items
+        (the paper's query-log source).  Returns the loaded artifacts so
+        callers can verify the round trip immediately.
+        """
+        if log is None:
+            log = QueryLog([item.gold_sql for item in dataset.usable_items()])
+        catalog = dataset.database.catalog
+        qfg = log.build_qfg(catalog, obscurity)
+        fingerprint = qfg.fingerprint()
+        lexicon_payload = dataset.lexicon.to_dict()
+        catalog_payload = catalog_to_dict(catalog)
+        if version is None:
+            # The version id covers every artifact payload, not just the
+            # QFG: a lexicon or schema change with an unchanged log must
+            # mint a fresh version, never overwrite a pinned one.
+            combined = hashlib.sha256()
+            for payload in (fingerprint, lexicon_payload, catalog_payload):
+                combined.update(
+                    json.dumps(payload, sort_keys=True).encode("utf-8")
+                )
+            version = combined.hexdigest()[:12]
+        _check_version_id(version)
+
+        contents = {
+            "qfg.json": json.dumps(qfg.to_dict(), indent=1),
+            "lexicon.json": json.dumps(lexicon_payload, indent=1),
+            "catalog.json": json.dumps(catalog_payload, indent=1),
+            "schema_graph.json": json.dumps(
+                join_graph_to_dict(JoinGraph.from_catalog(catalog)), indent=1
+            ),
+            "query_log.sql": "\n".join(log.queries) + "\n",
+        }
+        checksums = {
+            name: hashlib.sha256(text.encode("utf-8")).hexdigest()
+            for name, text in contents.items()
+        }
+
+        target = self.root / dataset.name / version
+        existing_manifest = target / "manifest.json"
+        if existing_manifest.is_file():
+            # A version is immutable: identical content is an idempotent
+            # no-op, different content must mint a different version.
+            try:
+                recorded = json.loads(existing_manifest.read_text()).get(
+                    "checksums", {}
+                )
+            except (OSError, json.JSONDecodeError):
+                recorded = None
+            if recorded == checksums:
+                return self.load(dataset.name, version)
+            raise ArtifactError(
+                f"artifact version {version!r} of dataset {dataset.name!r} "
+                f"already exists with different content; pick a new "
+                f"version id (versions are immutable)"
+            )
+        target.mkdir(parents=True, exist_ok=True)
+        for name, text in contents.items():
+            (target / name).write_text(text)
+
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "dataset": dataset.name,
+            "version": version,
+            "created": time.time(),
+            "obscurity": obscurity.value,
+            "qfg_fingerprint": fingerprint,
+            "counts": {
+                "log_queries": len(log),
+                "qfg_vertices": qfg.vertex_count,
+                "qfg_edges": qfg.edge_count,
+                "lexicon_entries": len(dataset.lexicon),
+                "relations": len(catalog.tables),
+                "foreign_keys": len(catalog.foreign_keys),
+            },
+            "checksums": checksums,
+        }
+        (target / "manifest.json").write_text(json.dumps(manifest, indent=1))
+        (self.root / dataset.name / "LATEST").write_text(version)
+        return self.load(dataset.name, version)
+
+    # --------------------------------------------------------------- load
+
+    def versions(self, dataset: str) -> list[str]:
+        """All loadable versions of ``dataset`` (oldest first).
+
+        Versions whose manifest is unreadable are skipped — a corrupt or
+        half-written version must not break latest-version resolution.
+        """
+        base = self.root / dataset
+        if not base.is_dir():
+            return []
+        found: list[tuple[float, str]] = []
+        for path in base.iterdir():
+            manifest_path = path / "manifest.json"
+            if not (path.is_dir() and manifest_path.is_file()):
+                continue
+            try:
+                created = float(
+                    json.loads(manifest_path.read_text()).get("created", 0.0)
+                )
+            except (OSError, TypeError, ValueError, json.JSONDecodeError):
+                continue
+            found.append((created, path.name))
+        return [name for _, name in sorted(found)]
+
+    def resolve(self, dataset: str, version: str | None = None) -> Path:
+        """Directory of ``version`` (or the latest one), verified to exist."""
+        base = self.root / dataset
+        if version is None:
+            latest = base / "LATEST"
+            if latest.is_file():
+                version = latest.read_text().strip()
+            if version is None or not (base / version / "manifest.json").is_file():
+                # No LATEST pointer, or it names a deleted/broken version:
+                # fall back to scanning for the newest loadable one.
+                compiled = self.versions(dataset)
+                if not compiled:
+                    raise ArtifactError(
+                        f"no artifacts for dataset {dataset!r} under "
+                        f"{self.root}; run `repro warmup --dataset {dataset} "
+                        f"--artifacts {self.root}` first"
+                    )
+                version = compiled[-1]
+        target = base / _check_version_id(version)
+        if not (target / "manifest.json").is_file():
+            raise ArtifactError(
+                f"artifact version {version!r} of dataset {dataset!r} not "
+                f"found under {self.root}"
+            )
+        return target
+
+    def load(
+        self, dataset: str, version: str | None = None
+    ) -> ServingArtifacts:
+        """Load one artifact version, verifying checksums and fingerprint."""
+        target = self.resolve(dataset, version)
+        try:
+            manifest = json.loads((target / "manifest.json").read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ArtifactError(f"unreadable manifest in {target}: {exc}") from exc
+
+        if manifest.get("format_version") != FORMAT_VERSION:
+            raise ArtifactError(
+                f"artifact format {manifest.get('format_version')!r} is not "
+                f"supported (expected {FORMAT_VERSION}); recompile with "
+                f"`repro warmup`"
+            )
+        checksums = manifest.get("checksums", {})
+        raw: dict[str, bytes] = {}
+        for name in _ARTIFACT_FILES:
+            path = target / name
+            if not path.is_file():
+                raise ArtifactError(f"artifact file {name} missing from {target}")
+            data = path.read_bytes()
+            recorded = checksums.get(name)
+            actual = hashlib.sha256(data).hexdigest()
+            if recorded != actual:
+                raise ArtifactError(
+                    f"artifact file {name} in {target} is corrupt: checksum "
+                    f"{actual[:12]}… does not match manifest {str(recorded)[:12]}…"
+                )
+            raw[name] = data
+
+        try:
+            qfg = QueryFragmentGraph.from_dict(json.loads(raw["qfg.json"]))
+            lexicon = Lexicon.from_dict(json.loads(raw["lexicon.json"]))
+            catalog = catalog_from_dict(json.loads(raw["catalog.json"]))
+            join_graph = join_graph_from_dict(
+                json.loads(raw["schema_graph.json"])
+            )
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(f"malformed artifact JSON in {target}: {exc}") from exc
+        except ReproError as exc:
+            raise ArtifactError(str(exc)) from exc
+
+        fingerprint = qfg.fingerprint()
+        if manifest.get("qfg_fingerprint") != fingerprint:
+            raise ArtifactError(
+                f"QFG fingerprint mismatch in {target}: reconstructed "
+                f"{fingerprint[:12]}…, manifest says "
+                f"{str(manifest.get('qfg_fingerprint'))[:12]}…"
+            )
+        try:
+            dataset_name = manifest["dataset"]
+            version_name = manifest["version"]
+        except KeyError as exc:
+            # The manifest itself has no checksum entry, so tolerate edits.
+            raise ArtifactError(
+                f"manifest in {target} is missing required key {exc}; "
+                f"recompile with `repro warmup`"
+            ) from exc
+        return ServingArtifacts(
+            dataset=dataset_name,
+            version=version_name,
+            path=target,
+            qfg=qfg,
+            lexicon=lexicon,
+            catalog=catalog,
+            join_graph=join_graph,
+            manifest=manifest,
+        )

@@ -1,0 +1,127 @@
+"""Thread-safe LRU cache with hit/miss statistics.
+
+The serving layer keeps three of these (whole-request translations,
+keyword-mapping results, join paths).  The implementation favours
+predictability over cleverness: a plain ``OrderedDict`` guarded by a
+lock, move-to-end on hit, evict-oldest on overflow.  ``get_or_compute``
+runs the factory *outside* the lock, so a slow miss never blocks
+concurrent hits; two threads racing on the same key may both compute, and
+the second write wins — acceptable because cached computations are pure.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+from repro.errors import ServingError
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters of one cache."""
+
+    name: str
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served from cache (0.0 when unused)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction."""
+
+    def __init__(self, maxsize: int = 1024, name: str = "cache") -> None:
+        if maxsize < 1:
+            raise ServingError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.name = name
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def get_or_compute(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Cached value for ``key``, computing (and storing) it on a miss."""
+        value = self.get(key, _MISSING)
+        if value is not _MISSING:
+            return value
+        value = factory()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries (statistics counters are kept)."""
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                name=self.name,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._data),
+                maxsize=self.maxsize,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"LRUCache({self.name!r}, {stats.size}/{stats.maxsize}, "
+            f"{stats.hits} hits, {stats.misses} misses)"
+        )

@@ -1,0 +1,200 @@
+"""Stdlib-only JSON HTTP endpoint for the translation service.
+
+Endpoints::
+
+    GET  /healthz    liveness + uptime
+    GET  /stats      caches, QFG state, metrics (TranslationService.stats)
+    GET  /metrics    telemetry snapshot only
+    POST /translate  {"keywords": [...]} or {"nlq": "..."} -> ranked SQL
+
+``POST /translate`` accepts either hand-parsed keywords (the Pipeline
+input contract) or a raw NLQ when the server was built with a parser.
+Optional request fields: ``limit`` (cap returned results) and ``observe``
+(feed the top translation back into the QFG learning queue).
+
+Built on ``http.server.ThreadingHTTPServer`` so concurrent requests
+exercise the service's thread-safe caches without any third-party
+dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ReproError, ServingError
+from repro.serving.service import TranslationService
+from repro.serving.wire import keywords_from_payload, results_to_payload
+
+#: Reject request bodies above this size (1 MiB) before reading them.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`TranslationService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: TranslationService,
+        parser=None,
+        quiet: bool = True,
+    ) -> None:
+        self.service = service
+        self.parser = parser
+        self.quiet = quiet
+        super().__init__(address, ServingRequestHandler)
+
+
+class ServingRequestHandler(BaseHTTPRequestHandler):
+    server: ServingHTTPServer
+
+    #: Socket timeout: a client announcing more body bytes than it sends
+    #: must not pin a handler thread forever.
+    timeout = 30.0
+
+    #: Every response carries Content-Length, so keep-alive is safe and
+    #: spares sequential clients a TCP handshake per request.
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------- plumbing
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_json_body(self) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError as exc:
+            raise ServingError("Content-Length header must be an integer") from exc
+        if length <= 0:
+            raise ServingError("request body is required")
+        if length > MAX_BODY_BYTES:
+            raise ServingError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServingError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServingError("request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------- routing
+
+    def do_GET(self) -> None:  # noqa: N802
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "system": getattr(self.server.service.nlidb, "name", "nlidb"),
+                    "uptime_seconds": round(
+                        self.server.service.metrics.uptime_seconds(), 3
+                    ),
+                },
+            )
+        elif path == "/stats":
+            self._send_json(200, self.server.service.stats())
+        elif path == "/metrics":
+            self._send_json(200, self.server.service.metrics.snapshot())
+        else:
+            self._send_error_json(404, f"unknown path {path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        path = self.path.split("?", 1)[0]
+        if path != "/translate":
+            self._send_error_json(404, f"unknown path {path!r}")
+            return
+        try:
+            payload = self._read_json_body()
+            # Validate cheap request fields before paying for translation.
+            limit = payload.get("limit")
+            if limit is not None and (
+                not isinstance(limit, int)
+                or isinstance(limit, bool)
+                or limit < 1
+            ):
+                raise ServingError("'limit' must be a positive integer")
+            observe = payload.get("observe", False)
+            if not isinstance(observe, bool):
+                raise ServingError("'observe' must be a boolean")
+            if observe and self.server.service.templar is None:
+                raise ServingError(
+                    "this service cannot observe queries: the wrapped NLIDB "
+                    "has no Templar"
+                )
+            if observe and not self.server.service.learning_enabled:
+                # Without a drain schedule the queue would just fill and
+                # drop; refusing beats acknowledging a permanent no-op.
+                raise ServingError(
+                    "online learning is disabled on this server; restart "
+                    "with --learn-batch to accept 'observe'"
+                )
+            keywords = self._request_keywords(payload)
+            results = self.server.service.translate(keywords)
+            if observe and results:
+                self.server.service.observe(results[0].sql)
+        except ServingError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        except ReproError as exc:
+            self._send_error_json(422, f"translation failed: {exc}")
+            return
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            # A JSON client must get a JSON failure, not a reset socket.
+            try:
+                self._send_error_json(
+                    500, f"internal error: {type(exc).__name__}: {exc}"
+                )
+            except OSError:
+                pass  # client already gone; nothing left to tell it
+            raise
+        try:
+            self._send_json(200, results_to_payload(results, limit))
+        except OSError:
+            pass  # client disconnected before reading the response
+
+    def _request_keywords(self, payload: dict):
+        if "keywords" in payload:
+            return keywords_from_payload(payload["keywords"])
+        if "nlq" in payload:
+            parser = self.server.parser
+            if parser is None:
+                raise ServingError(
+                    "this server was started without an NLQ parser; send "
+                    "hand-parsed 'keywords' instead"
+                )
+            parsed = parser.parse(str(payload["nlq"]))
+            if parsed.failed:
+                raise ServingError(
+                    f"could not parse the NLQ into keywords: {payload['nlq']!r}"
+                )
+            return parsed.keywords
+        raise ServingError("request must contain either 'keywords' or 'nlq'")
+
+
+def make_server(
+    service: TranslationService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    parser=None,
+    quiet: bool = True,
+) -> ServingHTTPServer:
+    """A ready-to-run server; ``port=0`` picks a free port (for tests)."""
+    return ServingHTTPServer((host, port), service, parser=parser, quiet=quiet)

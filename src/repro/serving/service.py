@@ -1,0 +1,363 @@
+"""Cached, concurrent translation serving on top of an NLIDB.
+
+:class:`TranslationService` wraps a :class:`~repro.nlidb.base.NLIDB`
+(Pipeline/Pipeline+ or NaLIR) with three LRU caches — whole-request
+translations, keyword-mapping configurations and join paths — a
+``translate_batch`` API that deduplicates identical requests and fans the
+rest out over a thread pool, and online ingestion of served queries back
+into the Query Fragment Graph.
+
+Cache keys include the QFG revision counter, so absorbing new queries
+(which changes scores) invalidates stale entries implicitly: the next
+request under the new revision misses and recomputes, while the LRU
+discipline ages the old-revision entries out.  Translation is a pure
+computation over shared read-only structures, which is what makes the
+thread-pool fan-out safe; the only mutation — ``absorb_pending`` — is
+serialized behind a lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from repro.core.fragments import fragments_of_sql
+from repro.core.interface import Configuration, Keyword, keywords_cache_key
+from repro.core.join_inference import JoinPath, JoinPathGenerator
+from repro.core.qfg import QueryFragmentGraph
+from repro.core.templar import Templar
+from repro.errors import ReproError, ServingError
+from repro.nlidb.base import NLIDB, TranslationResult
+from repro.serving.cache import LRUCache
+from repro.serving.telemetry import MetricsRegistry
+
+
+class CachingKeywordMapper:
+    """Drop-in ``map_keywords`` memoizer around a keyword mapper."""
+
+    def __init__(self, inner, cache: LRUCache, revision_fn) -> None:
+        self.inner = inner
+        self.cache = cache
+        self._revision = revision_fn
+
+    def map_keywords(self, keywords: list[Keyword]) -> list[Configuration]:
+        key = (keywords_cache_key(keywords), self._revision())
+        return self.cache.get_or_compute(
+            key, lambda: self.inner.map_keywords(keywords)
+        )
+
+    def __getattr__(self, name: str):
+        # Everything besides map_keywords (qfg, params, …) is the inner
+        # mapper's business; delegate so the wrapper stays drop-in.
+        return getattr(self.inner, name)
+
+
+class CachingJoinPathGenerator:
+    """Drop-in ``infer`` memoizer around a :class:`JoinPathGenerator`."""
+
+    def __init__(
+        self, inner: JoinPathGenerator, cache: LRUCache, revision_fn
+    ) -> None:
+        self.inner = inner
+        self.cache = cache
+        self._revision = revision_fn
+
+    def infer(self, relation_bag: list[str]) -> list[JoinPath]:
+        key = (tuple(relation_bag), self._revision())
+        return self.cache.get_or_compute(
+            key, lambda: self.inner.infer(relation_bag)
+        )
+
+    def best(self, relation_bag: list[str]) -> JoinPath | None:
+        paths = self.infer(relation_bag)
+        return paths[0] if paths else None
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+
+class TranslationService:
+    """Production front door of one NLIDB: caching, batching, learning."""
+
+    def __init__(
+        self,
+        nlidb: NLIDB,
+        *,
+        templar: Templar | None = None,
+        cache_size: int = 2048,
+        max_workers: int = 4,
+        learn_batch_size: int | None = None,
+        max_pending: int = 1024,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ServingError("max_workers must be >= 1")
+        if max_pending < 1:
+            raise ServingError("max_pending must be >= 1")
+        if learn_batch_size is not None and not (
+            1 <= learn_batch_size <= max_pending
+        ):
+            raise ServingError(
+                f"learn_batch_size ({learn_batch_size}) must be between 1 "
+                f"and max_pending ({max_pending}), or None to disable "
+                f"auto-draining"
+            )
+        self.nlidb = nlidb
+        self.templar = templar or getattr(nlidb, "templar", None)
+        self.metrics = metrics or MetricsRegistry()
+        self.learn_batch_size = learn_batch_size
+        self.max_pending = max_pending
+
+        self._translate_cache = LRUCache(cache_size, "translate")
+        self._mapping_cache = LRUCache(cache_size, "keyword_mapping")
+        self._join_cache = LRUCache(cache_size, "join_paths")
+        self._install_stage_caches()
+
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._learn_lock = threading.Lock()     # guards _pending + drain flag
+        self._absorb_lock = threading.Lock()    # serializes graph swaps
+        self._pending: list[str] = []
+        self._drain_scheduled = False
+
+        # Force lazy one-time structures (the full-text index) to build now,
+        # on this thread, instead of racing inside the first batch.
+        database = getattr(nlidb, "database", None)
+        if database is not None:
+            database.fulltext
+
+    def _install_stage_caches(self) -> None:
+        """Memoize the NLIDB's mapper and join generator in place.
+
+        Pipeline and NaLIR both keep their stages in ``_mapper`` /
+        ``_joins``; systems without those attributes still get the
+        whole-request cache.
+        """
+        mapper = getattr(self.nlidb, "_mapper", None)
+        joins = getattr(self.nlidb, "_joins", None)
+        if isinstance(mapper, CachingKeywordMapper) or isinstance(
+            joins, CachingJoinPathGenerator
+        ):
+            # A second service would leave the first one's caches (and its
+            # revision source) silently in charge.
+            raise ServingError(
+                "this NLIDB is already wrapped by a TranslationService; "
+                "one service per NLIDB instance"
+            )
+        if mapper is not None:
+            self.nlidb._mapper = CachingKeywordMapper(
+                mapper, self._mapping_cache, self._qfg_revision
+            )
+        if joins is not None:
+            self.nlidb._joins = CachingJoinPathGenerator(
+                joins, self._join_cache, self._qfg_revision
+            )
+
+    def _qfg_revision(self) -> int:
+        if self.templar is None or self.templar.qfg is None:
+            return -1
+        return self.templar.qfg.revision
+
+    # ----------------------------------------------------------- translate
+
+    def translate(self, keywords: Sequence[Keyword]) -> list[TranslationResult]:
+        """Ranked translations for one request, served from cache when warm."""
+        key = (keywords_cache_key(tuple(keywords)), self._qfg_revision())
+        self.metrics.increment("requests")
+        with self.metrics.time("translate"):
+            # Hit/miss tallies live on the cache itself (stats()["caches"]).
+            cached = self._translate_cache.get(key)
+            if cached is not None:
+                return cached
+            with self.metrics.time("translate_uncached"):
+                results = self.nlidb.translate(list(keywords))
+            self._translate_cache.put(key, results)
+            return results
+
+    def top_translation(
+        self, keywords: Sequence[Keyword]
+    ) -> TranslationResult | None:
+        results = self.translate(keywords)
+        return results[0] if results else None
+
+    def translate_batch(
+        self, requests: Sequence[Sequence[Keyword]]
+    ) -> list[list[TranslationResult]]:
+        """Translate many requests: dedupe, then fan out over the pool.
+
+        Identical requests (same keywords and metadata) are computed once;
+        results come back in input order.  Failures propagate — a batch is
+        a unit of work, not a best-effort sweep.
+        """
+        self.metrics.increment("batch_requests")
+        with self.metrics.time("translate_batch"):
+            unique: dict[tuple, Sequence[Keyword]] = {}
+            order: list[tuple] = []
+            for request in requests:
+                key = keywords_cache_key(tuple(request))
+                order.append(key)
+                if key not in unique:
+                    unique[key] = request
+            self.metrics.increment(
+                "batch_deduplicated", len(requests) - len(unique)
+            )
+            futures = {
+                key: self._pool.submit(self.translate, request)
+                for key, request in unique.items()
+            }
+            resolved = {key: future.result() for key, future in futures.items()}
+            return [resolved[key] for key in order]
+
+    def warm(self, requests: Sequence[Sequence[Keyword]]) -> int:
+        """Precompute a workload into the caches; returns requests served."""
+        return len(self.translate_batch(requests))
+
+    # ------------------------------------------------------------ learning
+
+    def observe(self, sql: str) -> None:
+        """Queue one served SQL statement for QFG ingestion.
+
+        Ingestion is deferred (see :meth:`absorb_pending`) so the hot path
+        never pays for graph updates; with ``learn_batch_size`` set, the
+        queue schedules its own drain on the worker pool every N
+        observations — the observing request never waits for the graph
+        rebuild.  The queue is bounded by ``max_pending`` — without a
+        drain schedule the oldest observations are dropped (and counted)
+        rather than growing without limit.
+        """
+        if self.templar is None:
+            raise ServingError(
+                "cannot observe queries: the wrapped NLIDB has no Templar"
+            )
+        schedule_drain = False
+        with self._learn_lock:
+            self._pending.append(sql)
+            if len(self._pending) > self.max_pending:
+                del self._pending[0]
+                self.metrics.increment("observed_dropped")
+            if (
+                self.learn_batch_size is not None
+                and len(self._pending) >= self.learn_batch_size
+                and not self._drain_scheduled
+            ):
+                # One drain task at a time; a burst of observations must
+                # not queue redundant no-op drains onto the worker pool.
+                self._drain_scheduled = True
+                schedule_drain = True
+        self.metrics.increment("observed_queued")
+        if schedule_drain:
+            self._pool.submit(self._drain)
+
+    def _drain(self) -> None:
+        resubmit = False
+        try:
+            self.absorb_pending()
+        finally:
+            with self._learn_lock:
+                # Observations that arrived while this drain ran must not
+                # strand in the queue waiting for future traffic.
+                resubmit = (
+                    self.learn_batch_size is not None
+                    and len(self._pending) >= self.learn_batch_size
+                )
+                self._drain_scheduled = resubmit
+        if resubmit:
+            self._pool.submit(self._drain)
+
+    def absorb_pending(self) -> int:
+        """Apply queued observations to the QFG; returns how many absorbed.
+
+        Copy-on-write: the batch is ingested into a snapshot of the live
+        graph, then swapped in atomically — in-flight translations keep
+        reading a consistent (old) graph, and the higher revision of the
+        new one retires every revision-keyed cache entry.  The parse work
+        happens outside ``_learn_lock``, so concurrent ``observe`` calls
+        never wait on a drain.
+        """
+        templar = self.templar
+        if templar is None:
+            raise ServingError(
+                "cannot absorb queries: the wrapped NLIDB has no Templar"
+            )
+        with self._absorb_lock:
+            with self._learn_lock:
+                pending, self._pending = self._pending, []
+            if not pending:
+                return 0
+            if templar.qfg is not None:
+                working = templar.qfg.snapshot()
+            else:
+                working = QueryFragmentGraph(templar.obscurity)
+            absorbed = 0
+            for sql in pending:
+                try:
+                    fragments = fragments_of_sql(
+                        sql, templar.database.catalog
+                    )
+                except ReproError:
+                    self.metrics.increment("observe_errors")
+                    continue
+                working.add_query(fragments)
+                absorbed += 1
+            if absorbed:
+                templar.swap_qfg(working)
+        self.metrics.increment("observed_absorbed", absorbed)
+        return absorbed
+
+    @property
+    def learning_enabled(self) -> bool:
+        """True when observations both can be absorbed and will be drained."""
+        return self.templar is not None and self.learn_batch_size is not None
+
+    @property
+    def pending_observations(self) -> int:
+        with self._learn_lock:
+            return len(self._pending)
+
+    # ----------------------------------------------------------- lifecycle
+
+    def stats(self) -> dict:
+        """JSON-ready operational snapshot (caches, metrics, QFG state)."""
+        qfg = self.templar.qfg if self.templar is not None else None
+        return {
+            "system": getattr(self.nlidb, "name", "nlidb"),
+            "caches": [
+                cache.stats().as_dict()
+                for cache in (
+                    self._translate_cache,
+                    self._mapping_cache,
+                    self._join_cache,
+                )
+            ],
+            "qfg": (
+                {
+                    "vertices": qfg.vertex_count,
+                    "edges": qfg.edge_count,
+                    "total_queries": qfg.total_queries,
+                    "revision": qfg.revision,
+                }
+                if qfg is not None
+                else None
+            ),
+            "pending_observations": self.pending_observations,
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def clear_caches(self) -> None:
+        for cache in (self._translate_cache, self._mapping_cache, self._join_cache):
+            cache.clear()
+
+    def close(self) -> None:
+        # Observations were acknowledged to clients; don't drop them on
+        # the floor at shutdown.
+        if self.templar is not None and self.pending_observations:
+            self.absorb_pending()
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "TranslationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

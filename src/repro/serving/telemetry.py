@@ -1,0 +1,169 @@
+"""Serving telemetry: latency percentiles, counters, and QPS.
+
+A :class:`MetricsRegistry` is deliberately small: named monotonic
+counters plus named latency series (bounded ring buffers of the most
+recent observations, with arrival timestamps for windowed QPS).  The HTTP
+endpoint and the CLI both render :meth:`MetricsRegistry.snapshot`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+#: Observations retained per latency series; old samples age out so the
+#: percentiles track recent behaviour rather than all-time history.
+DEFAULT_WINDOW = 4096
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) with linear interpolation."""
+    if not values:
+        return 0.0
+    return _interpolate(sorted(values), q)
+
+
+def _interpolate(ordered: list[float], q: float) -> float:
+    """Percentile of an already-sorted non-empty sample."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile {q} out of [0, 100]")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Aggregates of one latency series, in milliseconds."""
+
+    name: str
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "mean_ms": round(self.mean_ms, 3),
+            "p50_ms": round(self.p50_ms, 3),
+            "p95_ms": round(self.p95_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "max_ms": round(self.max_ms, 3),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe counters and latency series for one service."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        #: name -> deque of (monotonic arrival time, duration seconds)
+        self._series: dict[str, deque[tuple[float, float]]] = {}
+        self._window = window
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------ recording
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def record_latency(self, name: str, seconds: float) -> None:
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                series = deque(maxlen=self._window)
+                self._series[name] = series
+            series.append((time.monotonic(), seconds))
+
+    def time(self, name: str) -> "_Timer":
+        """Context manager recording the block's wall time under ``name``."""
+        return _Timer(self, name)
+
+    # ------------------------------------------------------------- reading
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def latency_summary(self, name: str) -> LatencySummary:
+        with self._lock:
+            samples = [duration for _, duration in self._series.get(name, ())]
+        millis = sorted(s * 1000.0 for s in samples)
+        return LatencySummary(
+            name=name,
+            count=len(millis),
+            mean_ms=sum(millis) / len(millis) if millis else 0.0,
+            p50_ms=_interpolate(millis, 50.0) if millis else 0.0,
+            p95_ms=_interpolate(millis, 95.0) if millis else 0.0,
+            p99_ms=_interpolate(millis, 99.0) if millis else 0.0,
+            max_ms=millis[-1] if millis else 0.0,
+        )
+
+    def qps(self, name: str, window_seconds: float = 60.0) -> float:
+        """Requests per second over the trailing window (retained samples)."""
+        now = time.monotonic()
+        cutoff = now - window_seconds
+        with self._lock:
+            series = self._series.get(name)
+            if not series:
+                return 0.0
+            ring_full = len(series) == series.maxlen
+            oldest = series[0][0]
+            recent = sum(1 for arrived, _ in series if arrived >= cutoff)
+        if recent == 0:
+            return 0.0
+        if ring_full and oldest > cutoff:
+            # The ring evicted samples that were still inside the window;
+            # rate over the span actually retained, or high traffic would
+            # be underreported against the full window.
+            elapsed = max(now - oldest, 1e-9)
+        else:
+            # Capped by process age so a fresh service does not report an
+            # artificially low rate.
+            elapsed = min(window_seconds, max(now - self._started, 1e-9))
+        return recent / elapsed
+
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._started
+
+    def snapshot(self) -> dict:
+        """JSON-ready view of every counter and latency series."""
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+            names = sorted(self._series)
+        return {
+            "uptime_seconds": round(self.uptime_seconds(), 3),
+            "counters": counters,
+            "latencies": {
+                name: self.latency_summary(name).as_dict() for name in names
+            },
+            "qps": {name: round(self.qps(name), 3) for name in names},
+        }
+
+
+class _Timer:
+    def __init__(self, registry: MetricsRegistry, name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._registry.record_latency(
+            self._name, time.perf_counter() - self._start
+        )

@@ -1,0 +1,107 @@
+"""JSON wire format of the serving API.
+
+Converts between the typed request/response objects
+(:class:`~repro.core.interface.Keyword`,
+:class:`~repro.nlidb.base.TranslationResult`) and plain dicts for the
+HTTP endpoint.  Kept separate from the transport so tests and alternative
+frontends can reuse the codec.
+"""
+
+from __future__ import annotations
+
+from repro.core.fragments import FragmentContext
+from repro.core.interface import Keyword, KeywordMetadata
+from repro.nlidb.base import TranslationResult
+from repro.errors import ServingError
+
+
+def keyword_to_dict(keyword: Keyword) -> dict:
+    metadata = keyword.metadata
+    payload: dict = {"text": keyword.text, "context": metadata.context.value}
+    if metadata.comparison_op is not None:
+        payload["comparison_op"] = metadata.comparison_op
+    if metadata.aggregates:
+        payload["aggregates"] = list(metadata.aggregates)
+    if metadata.grouped:
+        payload["grouped"] = True
+    if metadata.distinct:
+        payload["distinct"] = True
+    if metadata.descending:
+        payload["descending"] = True
+    if metadata.limit is not None:
+        payload["limit"] = metadata.limit
+    return payload
+
+
+def keyword_from_dict(data: dict) -> Keyword:
+    if not isinstance(data, dict):
+        raise ServingError(f"keyword must be an object, got {type(data).__name__}")
+    try:
+        text = str(data["text"])
+        context = FragmentContext(data.get("context", "WHERE"))
+    except KeyError as exc:
+        raise ServingError(f"keyword is missing required field {exc}") from exc
+    except ValueError as exc:
+        valid = ", ".join(c.value for c in FragmentContext)
+        raise ServingError(
+            f"unknown keyword context {data.get('context')!r}; one of: {valid}"
+        ) from exc
+    comparison_op = data.get("comparison_op")
+    if comparison_op is not None and not isinstance(comparison_op, str):
+        raise ServingError(
+            f"'comparison_op' for {text!r} must be a string operator"
+        )
+    aggregates = data.get("aggregates", ())
+    if not isinstance(aggregates, (list, tuple)):
+        # A bare string would be iterated character-by-character.
+        raise ServingError(
+            f"'aggregates' for {text!r} must be an array of function names"
+        )
+    limit = data.get("limit")
+    if limit is not None and (
+        not isinstance(limit, int) or isinstance(limit, bool) or limit < 1
+    ):
+        raise ServingError(
+            f"'limit' for {text!r} must be a positive integer"
+        )
+    flags = {}
+    for flag in ("grouped", "distinct", "descending"):
+        value = data.get(flag, False)
+        if not isinstance(value, bool):
+            raise ServingError(f"{flag!r} for {text!r} must be a boolean")
+        flags[flag] = value
+    try:
+        metadata = KeywordMetadata(
+            context=context,
+            comparison_op=comparison_op,
+            aggregates=tuple(str(a).upper() for a in aggregates),
+            limit=limit,
+            **flags,
+        )
+    except (TypeError, ValueError) as exc:
+        raise ServingError(f"invalid keyword field for {text!r}: {exc}") from exc
+    return Keyword(text=text, metadata=metadata)
+
+
+def keywords_from_payload(data: object) -> list[Keyword]:
+    if not isinstance(data, list) or not data:
+        raise ServingError("'keywords' must be a non-empty array of objects")
+    return [keyword_from_dict(item) for item in data]
+
+
+def result_to_dict(result: TranslationResult) -> dict:
+    return {
+        "sql": result.sql,
+        "config_score": round(result.config_score, 6),
+        "join_score": round(result.join_score, 6),
+    }
+
+
+def results_to_payload(
+    results: list[TranslationResult], limit: int | None = None
+) -> dict:
+    shown = results if limit is None else results[:limit]
+    return {
+        "count": len(results),
+        "results": [result_to_dict(result) for result in shown],
+    }

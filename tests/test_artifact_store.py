@@ -1,0 +1,314 @@
+"""Round-trip tests for QFG persistence and the serving artifact store."""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import pytest
+
+from repro.core import QueryFragmentGraph, Templar
+from repro.datasets.base import BenchmarkDataset
+from repro.embedding import CompositeModel, Lexicon
+from repro.errors import ArtifactError
+from repro.nlidb import PipelineNLIDB
+from repro.serving import (
+    ArtifactStore,
+    catalog_from_dict,
+    catalog_to_dict,
+    join_graph_from_dict,
+    join_graph_to_dict,
+)
+from repro.schema_graph.graph import JoinGraph
+
+
+@pytest.fixture()
+def mini_qfg(mini_db, mini_log):
+    return mini_log.build_qfg(mini_db.catalog)
+
+
+@pytest.fixture()
+def mini_dataset(mini_db, mini_lexicon):
+    return BenchmarkDataset(
+        name="mini", database=mini_db, items=[], lexicon=mini_lexicon
+    )
+
+
+class TestQfgRoundTrip:
+    def test_json_round_trip_identical_scores(self, mini_qfg, tmp_path):
+        path = tmp_path / "qfg.json"
+        mini_qfg.save(path)
+        loaded = QueryFragmentGraph.load(path)
+
+        assert loaded.obscurity is mini_qfg.obscurity
+        assert loaded.total_queries == mini_qfg.total_queries
+        assert loaded.vertices() == mini_qfg.vertices()
+        # Every pairwise Dice score — the signal both consumers read —
+        # must survive the round trip exactly.
+        for a, b in itertools.combinations(mini_qfg.vertices(), 2):
+            assert loaded.dice(a, b) == mini_qfg.dice(a, b)
+        assert loaded.fingerprint() == mini_qfg.fingerprint()
+
+    def test_fingerprint_is_insertion_order_independent(self, mini_db, mini_log):
+        forward = mini_log.build_qfg(mini_db.catalog)
+        reversed_log = type(mini_log)(list(reversed(mini_log.queries)))
+        backward = reversed_log.build_qfg(mini_db.catalog)
+        assert forward.fingerprint() == backward.fingerprint()
+
+    def test_revision_tracks_added_queries(self, mini_qfg, mini_db):
+        from repro.core.fragments import fragments_of_sql
+
+        before = mini_qfg.revision
+        fragments = fragments_of_sql(
+            "SELECT p.title FROM publication p WHERE p.year > 2005",
+            mini_db.catalog,
+        )
+        mini_qfg.add_query(fragments)
+        assert mini_qfg.revision == before + 1
+
+    def test_snapshot_is_independent(self, mini_qfg, mini_db):
+        from repro.core.fragments import fragments_of_sql
+
+        snapshot = mini_qfg.snapshot()
+        fragments = fragments_of_sql(
+            "SELECT j.name FROM journal j", mini_db.catalog
+        )
+        mini_qfg.add_query(fragments)
+        assert snapshot.total_queries == mini_qfg.total_queries - 1
+        assert snapshot.fingerprint() != mini_qfg.fingerprint()
+
+
+class TestComponentRoundTrips:
+    def test_lexicon_round_trip_preserves_lookups(self, mini_lexicon):
+        loaded = Lexicon.from_dict(mini_lexicon.to_dict())
+        assert len(loaded) == len(mini_lexicon)
+        for a, b in (("paper", "journal"), ("papers", "publications"),
+                     ("after", "year"), ("paper", "nonsense")):
+            assert loaded.lookup(a, b) == mini_lexicon.lookup(a, b)
+
+    def test_catalog_round_trip(self, mini_db):
+        catalog = mini_db.catalog
+        loaded = catalog_from_dict(catalog_to_dict(catalog))
+        assert loaded.table_names == catalog.table_names
+        assert loaded.stats() == catalog.stats()
+        for name in catalog.table_names:
+            original, copy = catalog.table(name), loaded.table(name)
+            assert copy.column_names == original.column_names
+            assert copy.primary_key == original.primary_key
+            assert copy.display_column == original.display_column
+        assert [str(fk) for fk in loaded.foreign_keys] == [
+            str(fk) for fk in catalog.foreign_keys
+        ]
+
+    def test_join_graph_round_trip(self, mini_db):
+        graph = JoinGraph.from_catalog(mini_db.catalog)
+        loaded = join_graph_from_dict(join_graph_to_dict(graph))
+        assert loaded.instances == graph.instances
+        assert [str(e) for e in loaded.edges] == [str(e) for e in graph.edges]
+
+    def test_malformed_payloads_raise_artifact_error(self):
+        with pytest.raises(ArtifactError):
+            catalog_from_dict({"tables": [{"name": "x"}], "foreign_keys": []})
+        with pytest.raises(ArtifactError):
+            join_graph_from_dict({"instances": {}, "edges": [{"source": "a"}]})
+
+
+class TestArtifactStore:
+    def test_compile_load_round_trip(self, mini_dataset, mini_log, tmp_path):
+        store = ArtifactStore(tmp_path)
+        compiled = store.compile(mini_dataset, mini_log)
+        loaded = store.load("mini")
+
+        assert loaded.version == compiled.version
+        assert loaded.qfg.fingerprint() == compiled.qfg.fingerprint()
+        assert loaded.catalog.stats() == mini_dataset.database.catalog.stats()
+        assert len(loaded.lexicon) == len(mini_dataset.lexicon)
+        assert loaded.manifest["counts"]["log_queries"] == len(mini_log)
+
+    def test_recompiling_same_log_is_idempotent(
+        self, mini_dataset, mini_log, tmp_path
+    ):
+        store = ArtifactStore(tmp_path)
+        first = store.compile(mini_dataset, mini_log)
+        second = store.compile(mini_dataset, mini_log)
+        assert first.version == second.version
+        assert store.versions("mini") == [first.version]
+
+    def test_versions_are_immutable(self, mini_dataset, mini_log, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.compile(mini_dataset, mini_log, version="pinned")
+        mini_dataset.lexicon.add("paper", "manuscript", 0.8)
+        with pytest.raises(ArtifactError, match="immutable"):
+            store.compile(mini_dataset, mini_log, version="pinned")
+
+    def test_idempotent_recompile_keeps_latest_pointer(
+        self, mini_dataset, mini_log, tmp_path
+    ):
+        store = ArtifactStore(tmp_path)
+        store.compile(mini_dataset, mini_log, version="v1")
+        newest = store.compile(mini_dataset, mini_log)  # content-derived id
+        store.compile(mini_dataset, mini_log, version="v1")  # no-op rebuild
+        assert (tmp_path / "mini" / "LATEST").read_text() == newest.version
+
+    def test_lexicon_change_mints_new_version(
+        self, mini_dataset, mini_log, tmp_path
+    ):
+        store = ArtifactStore(tmp_path)
+        old = store.compile(mini_dataset, mini_log)
+        mini_dataset.lexicon.add("paper", "article", 0.9)
+        new = store.compile(mini_dataset, mini_log)
+        # Same log, different lexicon: a pinned version must never be
+        # silently overwritten in place.
+        assert new.version != old.version
+        assert store.load("mini", old.version).manifest["counts"][
+            "lexicon_entries"
+        ] < new.manifest["counts"]["lexicon_entries"]
+
+    def test_latest_resolution_after_log_growth(
+        self, mini_dataset, mini_log, tmp_path
+    ):
+        store = ArtifactStore(tmp_path)
+        old = store.compile(mini_dataset, mini_log)
+        mini_log.add("SELECT a.name FROM author a")
+        new = store.compile(mini_dataset, mini_log)
+        assert old.version != new.version
+        assert store.load("mini").version == new.version
+        assert store.load("mini", old.version).version == old.version
+
+    def test_missing_dataset_has_actionable_error(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ArtifactError, match="repro warmup"):
+            store.load("mas")
+
+    def test_hostile_version_ids_rejected(
+        self, mini_dataset, mini_log, tmp_path
+    ):
+        store = ArtifactStore(tmp_path)
+        for bad in ("LATEST", "latest", "../escape", "a/b", "", ".hidden"):
+            with pytest.raises(ArtifactError, match="version id"):
+                store.compile(mini_dataset, mini_log, version=bad)
+        with pytest.raises(ArtifactError, match="version id"):
+            store.load("mini", "../escape")
+        assert not (tmp_path.parent / "escape").exists()
+
+    def test_unknown_version_rejected(self, mini_dataset, mini_log, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.compile(mini_dataset, mini_log)
+        with pytest.raises(ArtifactError, match="not found"):
+            store.load("mini", "deadbeef0000")
+
+    def test_corrupt_sibling_manifest_does_not_break_resolution(
+        self, mini_dataset, mini_log, tmp_path
+    ):
+        store = ArtifactStore(tmp_path)
+        good = store.compile(mini_dataset, mini_log)
+        broken = tmp_path / "mini" / "halfwritten"
+        broken.mkdir()
+        (broken / "manifest.json").write_text("{truncated")
+        nulled = tmp_path / "mini" / "nullcreated"
+        nulled.mkdir()
+        (nulled / "manifest.json").write_text('{"created": null}')
+        (tmp_path / "mini" / "LATEST").unlink()
+        assert store.versions("mini") == [good.version]
+        assert store.load("mini").version == good.version
+
+    def test_manifest_missing_keys_is_artifact_error(
+        self, mini_dataset, mini_log, tmp_path
+    ):
+        store = ArtifactStore(tmp_path)
+        compiled = store.compile(mini_dataset, mini_log)
+        manifest_path = compiled.path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["dataset"]
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="missing required key"):
+            store.load("mini", compiled.version)
+
+    def test_stale_latest_pointer_falls_back_to_scan(
+        self, mini_dataset, mini_log, tmp_path
+    ):
+        store = ArtifactStore(tmp_path)
+        good = store.compile(mini_dataset, mini_log)
+        (tmp_path / "mini" / "LATEST").write_text("deleted-version")
+        assert store.load("mini").version == good.version
+
+    def test_corrupt_artifact_detected(self, mini_dataset, mini_log, tmp_path):
+        store = ArtifactStore(tmp_path)
+        compiled = store.compile(mini_dataset, mini_log)
+        qfg_path = compiled.path / "qfg.json"
+        payload = json.loads(qfg_path.read_text())
+        payload["total_queries"] = 999
+        qfg_path.write_text(json.dumps(payload))
+        with pytest.raises(ArtifactError, match="corrupt"):
+            store.load("mini")
+
+    def test_missing_artifact_file_detected(
+        self, mini_dataset, mini_log, tmp_path
+    ):
+        store = ArtifactStore(tmp_path)
+        compiled = store.compile(mini_dataset, mini_log)
+        (compiled.path / "lexicon.json").unlink()
+        with pytest.raises(ArtifactError, match="missing"):
+            store.load("mini")
+
+    def test_future_format_version_rejected(
+        self, mini_dataset, mini_log, tmp_path
+    ):
+        store = ArtifactStore(tmp_path)
+        compiled = store.compile(mini_dataset, mini_log)
+        manifest_path = compiled.path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 999
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="format"):
+            store.load("mini")
+
+    def test_schema_mismatch_rejected_at_build(
+        self, mini_dataset, mini_log, tmp_path
+    ):
+        from repro.db import Column, ColumnType, Database, TableSchema
+        from repro.db.catalog import Catalog
+
+        store = ArtifactStore(tmp_path)
+        artifacts = store.compile(mini_dataset, mini_log)
+        other = Database("other", Catalog())
+        other.create_table(
+            TableSchema("venue", [Column("vid", ColumnType.INTEGER)],
+                        primary_key="vid")
+        )
+        with pytest.raises(ArtifactError, match="different schema"):
+            artifacts.build_templar(other)
+
+    def test_artifact_templar_translates_identically(
+        self, mini_dataset, mini_log, mini_model, tmp_path
+    ):
+        """A from-artifacts Templar scores exactly like a from-log one."""
+        db = mini_dataset.database
+        rebuilt = Templar(db, mini_model, mini_log)
+        direct = PipelineNLIDB(db, mini_model, rebuilt)
+
+        store = ArtifactStore(tmp_path)
+        artifacts = store.compile(mini_dataset, mini_log)
+        restored = artifacts.build_templar(db, mini_model)
+        served = PipelineNLIDB(db, mini_model, restored)
+
+        from repro.core import Keyword, KeywordMetadata
+        from repro.core.fragments import FragmentContext
+
+        requests = [
+            [
+                Keyword("papers", KeywordMetadata(FragmentContext.SELECT)),
+                Keyword(
+                    "after 2000",
+                    KeywordMetadata(FragmentContext.WHERE, comparison_op=">"),
+                ),
+            ],
+            [
+                Keyword("papers", KeywordMetadata(FragmentContext.SELECT)),
+                Keyword("TKDE", KeywordMetadata(FragmentContext.WHERE)),
+            ],
+        ]
+        for keywords in requests:
+            expected = [(r.sql, r.config_score) for r in direct.translate(keywords)]
+            actual = [(r.sql, r.config_score) for r in served.translate(keywords)]
+            assert actual == expected

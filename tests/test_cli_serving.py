@@ -1,0 +1,53 @@
+"""CLI tests for the serving subcommands and hardened error handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestWarmupCommand:
+    def test_warmup_compiles_and_reports(self, tmp_path, capsys):
+        assert main(["warmup", "--dataset", "mas",
+                     "--artifacts", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "mas" in out
+        assert "qfg vertices" in out
+        assert (tmp_path / "mas" / "LATEST").is_file()
+
+    def test_warmup_explicit_version(self, tmp_path, capsys):
+        assert main(["warmup", "--dataset", "mas", "--artifacts",
+                     str(tmp_path), "--version", "v1"]) == 0
+        assert (tmp_path / "mas" / "v1" / "manifest.json").is_file()
+        assert "v1" in capsys.readouterr().out
+
+
+class TestHardenedErrors:
+    def test_unknown_dataset_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["warmup", "--dataset", "enron", "--artifacts", "/tmp/x"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_missing_artifacts_is_one_line_error(self, tmp_path, capsys):
+        code = main(["serve", "--dataset", "mas",
+                     "--artifacts", str(tmp_path / "empty"), "--port", "0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "repro warmup" in err
+        assert "Traceback" not in err
+
+    def test_version_without_artifacts_rejected(self, capsys):
+        code = main(["serve", "--dataset", "mas", "--version", "abc123",
+                     "--port", "0"])
+        assert code == 2
+        assert "--artifacts" in capsys.readouterr().err
+
+    def test_stale_version_is_one_line_error(self, tmp_path, capsys):
+        main(["warmup", "--dataset", "mas", "--artifacts", str(tmp_path)])
+        capsys.readouterr()
+        code = main(["serve", "--dataset", "mas", "--artifacts",
+                     str(tmp_path), "--version", "gone", "--port", "0"])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
