@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli translate --dataset mas --nlq "return the papers after 2000"
     python -m repro.cli export --dataset yelp --output yelp.sql
     python -m repro.cli warmup --dataset mas --artifacts ./artifacts
+    python -m repro.cli ingest --dataset mas --log big.sql --artifacts ./artifacts
     python -m repro.cli serve --dataset mas --artifacts ./artifacts --port 8080
 """
 
@@ -159,6 +160,72 @@ def _cmd_warmup(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Parallel sharded QFG build from a log file, published as artifacts."""
+    from pathlib import Path
+
+    from repro.ingest import ingest_log
+
+    dataset = load_dataset(args.dataset)
+    catalog = dataset.database.catalog
+
+    log_path = Path(args.log)
+    if args.generate:
+        from repro.datasets.loggen import write_synthetic_log
+
+        write_synthetic_log(
+            log_path, catalog, args.generate, seed=args.seed
+        )
+        print(f"generated a ~{args.generate}-statement synthetic log "
+              f"at {log_path}")
+    if not log_path.is_file():
+        raise ReproError(
+            f"log file {log_path} not found (use --generate N to synthesize one)"
+        )
+
+    checkpoint = args.checkpoint
+    if checkpoint is None and args.artifacts is not None:
+        # Outside the store's <dataset>/<version> namespace so a killed
+        # ingest's leftover manifest can never look like a version.
+        checkpoint = Path(args.artifacts) / ".ingest-checkpoint" / args.dataset
+
+    result = ingest_log(
+        log_path,
+        catalog,
+        num_shards=args.shards,
+        workers=args.workers,
+        checkpoint_dir=checkpoint,
+        resume=not args.no_resume,
+    )
+    stats = result.stats
+    rows: list[tuple[str, object]] = [
+        ("dataset", dataset.name),
+        ("log", log_path),
+        ("statements", stats.raw_statements),
+        ("unique statements", stats.unique_statements),
+        ("skipped (noise)", stats.skipped_statements),
+        ("dedup ratio", f"{stats.dedup_ratio:.1f}x"),
+        ("shards", f"{stats.num_shards} "
+                   f"({stats.reused_shards} reused from checkpoint)"),
+        ("workers", stats.workers),
+        ("wall clock", f"{stats.total_seconds:.2f} s"),
+        ("throughput", f"{stats.statements_per_second:,.0f} stmts/s"),
+        ("qfg", f"{result.qfg.vertex_count} vertices, "
+                f"{result.qfg.edge_count} edges"),
+        ("fingerprint", result.qfg.fingerprint()[:12]),
+    ]
+    if args.artifacts is not None:
+        from repro.serving import ArtifactStore
+
+        artifacts = ArtifactStore(args.artifacts).compile(
+            dataset, result.log, qfg=result.qfg, version=args.version
+        )
+        rows.append(("published version", artifacts.version))
+        rows.append(("artifact path", artifacts.path))
+    print(format_kv(rows))
+    return 0
+
+
 def _build_service(args: argparse.Namespace):
     """(service, parser) for ``repro serve`` — artifact-backed when possible."""
     from repro.serving import ArtifactStore, TranslationService
@@ -269,6 +336,40 @@ def build_parser() -> argparse.ArgumentParser:
     warmup.add_argument("--version", default=None,
                         help="explicit version id (default: QFG fingerprint)")
 
+    ingest = sub.add_parser(
+        "ingest",
+        help="parallel sharded QFG build from a SQL log, published as "
+             "serving artifacts",
+    )
+    ingest.add_argument("--dataset", choices=sorted(DATASET_BUILDERS),
+                        default="mas")
+    ingest.add_argument("--log", required=True,
+                        help="SQL log file (multi-line statements, ';' "
+                             "separation and -- comments all handled)")
+    ingest.add_argument("--artifacts", default=None,
+                        help="publish the ingested QFG to this artifact "
+                             "store (repro serve/warmup consume it); "
+                             "omit for a dry run")
+    ingest.add_argument("--version", default=None,
+                        help="explicit artifact version id")
+    ingest.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: CPU count; "
+                             "1 = inline)")
+    ingest.add_argument("--shards", type=int, default=8,
+                        help="number of log shards")
+    ingest.add_argument("--checkpoint", default=None,
+                        help="checkpoint directory (default: "
+                             "<artifacts>/.ingest-checkpoint/<dataset> "
+                             "when --artifacts is given)")
+    ingest.add_argument("--no-resume", action="store_true",
+                        help="ignore an existing checkpoint and rebuild "
+                             "every shard")
+    ingest.add_argument("--generate", type=int, default=None,
+                        help="first synthesize a messy log of N statements "
+                             "at --log (benchmark/demo aid)")
+    ingest.add_argument("--seed", type=int, default=2019,
+                        help="seed for --generate")
+
     serve = sub.add_parser(
         "serve", help="run the JSON translation HTTP endpoint"
     )
@@ -296,6 +397,7 @@ _COMMANDS = {
     "translate": _cmd_translate,
     "export": _cmd_export,
     "warmup": _cmd_warmup,
+    "ingest": _cmd_ingest,
     "serve": _cmd_serve,
 }
 

@@ -35,12 +35,26 @@ class QueryLog:
 
     @classmethod
     def from_file(cls, path: str | Path) -> "QueryLog":
-        """Load one statement per non-empty line (``--`` comments skipped)."""
+        """Load a SQL log file.
+
+        Line-per-statement files (the seed format: no ``;``, no inline
+        comments, every line starting a statement) take the original
+        fast path.  Anything messier — trailing ``;``, blank-line
+        separated multi-line statements, inline ``--`` comments — is
+        delegated to the streaming ingest reader, which normalizes each
+        statement to one line.
+        """
+        from repro.ingest.reader import is_line_per_statement, iter_statements
+
+        text = Path(path).read_text()
         log = cls()
-        for line in Path(path).read_text().splitlines():
-            line = line.strip()
-            if line and not line.startswith("--"):
-                log.add(line)
+        if is_line_per_statement(text):
+            for line in text.splitlines():
+                line = line.strip()
+                if line and not line.startswith("--"):
+                    log.add(line)
+            return log
+        log.extend(iter_statements(text.splitlines()))
         return log
 
     def save(self, path: str | Path) -> None:
@@ -55,19 +69,17 @@ class QueryLog:
         """Parse every log entry and accumulate the QFG.
 
         Real logs contain noise; by default unparseable/unbindable entries
-        are skipped and counted in ``qfg_skipped`` (attached to the returned
-        graph).  ``strict=True`` raises instead.
+        are skipped and counted in the graph's ``skipped`` field (which
+        survives serialization).  ``strict=True`` raises instead.
         """
         graph = QueryFragmentGraph(obscurity)
-        skipped = 0
         for sql in self.queries:
             try:
                 fragments = fragments_of_sql(sql, catalog)
             except ReproError:
                 if strict:
                     raise
-                skipped += 1
+                graph.skipped += 1
                 continue
             graph.add_query(fragments)
-        graph.skipped = skipped  # type: ignore[attr-defined]
         return graph

@@ -30,6 +30,10 @@ class QueryFragmentGraph:
         self._nv: Counter[str] = Counter()
         self._ne: Counter[tuple[str, str]] = Counter()
         self.total_queries = 0
+        #: log statements that could not be parsed/bound and therefore
+        #: contributed nothing; persisted so artifact consumers can see
+        #: how noisy the source log was.
+        self.skipped = 0
         #: monotonically increasing change counter; caches keyed on graph
         #: state compare revisions instead of hashing the whole graph.
         self.revision = 0
@@ -41,20 +45,51 @@ class QueryFragmentGraph:
             return fragment
         return fragment.key(self.obscurity)
 
-    def add_query(self, fragments: Iterable[QueryFragment]) -> None:
-        """Count one query's fragments (deduplicated within the query)."""
+    def add_query(self, fragments: Iterable[QueryFragment], count: int = 1) -> None:
+        """Count one query's fragments (deduplicated within the query).
+
+        ``count`` folds that many identical occurrences in at once: the
+        ingest pipeline deduplicates a log into (statement, count) pairs,
+        and weighted insertion makes that lossless — ``add_query(f, n)``
+        produces the same graph as ``n`` calls to ``add_query(f)``.
+        """
+        if count < 1:
+            raise ReproError(f"add_query count must be >= 1, got {count}")
         keys = sorted({self.key_of(fragment) for fragment in fragments})
         if not keys:
             return
-        self.total_queries += 1
+        self.total_queries += count
         for key in keys:
-            self._nv[key] += 1
+            self._nv[key] += count
         for i, first in enumerate(keys):
             for second in keys[i + 1 :]:
-                self._ne[(first, second)] += 1
+                self._ne[(first, second)] += count
         # Bumped last: a concurrent reader keying caches on the revision
         # must never pair the new revision with half-applied counts.
         self.revision += 1
+
+    def merge(self, other: "QueryFragmentGraph") -> "QueryFragmentGraph":
+        """Fold ``other``'s counts into this graph in place (and return it).
+
+        Merging is commutative and associative over the count tables, so
+        partial graphs built from disjoint log shards merge into exactly
+        the graph one sequential pass over the concatenated log would
+        produce — same :meth:`fingerprint`.  Merging an empty graph is
+        the identity (up to ``revision``, which is not part of the
+        fingerprint).  Both graphs must share an obscurity level: vertex
+        keys from different levels name different fragment spaces.
+        """
+        if other.obscurity is not self.obscurity:
+            raise ReproError(
+                f"cannot merge QFGs at different obscurity levels "
+                f"({self.obscurity.value} vs {other.obscurity.value})"
+            )
+        self._nv.update(other._nv)
+        self._ne.update(other._ne)
+        self.total_queries += other.total_queries
+        self.skipped += other.skipped
+        self.revision += 1
+        return self
 
     # ------------------------------------------------------------- queries
 
@@ -107,12 +142,25 @@ class QueryFragmentGraph:
         return {
             "obscurity": self.obscurity.value,
             "total_queries": self.total_queries,
+            "skipped": self.skipped,
             "nv": dict(self._nv),
             "ne": [
-                {"a": a, "b": b, "count": count}
+                {"a": a, "b": b, "count": self._count(count)}
                 for (a, b), count in sorted(self._ne.items())
             ],
         }
+
+    @staticmethod
+    def _count(value) -> int | float:
+        """Canonical numeric form of an edge count.
+
+        Session-weighted graphs hold fractional co-occurrence mass that
+        an ``int()`` cast would drop, so fractions survive; integral
+        floats (``2.0`` from summed half-weights) normalize to ``int``
+        so a graph and its serialization round trip fingerprint-equal.
+        """
+        number = float(value)
+        return int(number) if number.is_integer() else number
 
     @classmethod
     def from_dict(cls, data: dict) -> "QueryFragmentGraph":
@@ -120,10 +168,11 @@ class QueryFragmentGraph:
             obscurity = Obscurity(data["obscurity"])
             graph = cls(obscurity)
             graph.total_queries = int(data["total_queries"])
+            graph.skipped = int(data.get("skipped", 0))
             graph._nv = Counter({str(k): int(v) for k, v in data["nv"].items()})
             graph._ne = Counter(
                 {
-                    (str(entry["a"]), str(entry["b"])): int(entry["count"])
+                    (str(entry["a"]), str(entry["b"])): cls._count(entry["count"])
                     for entry in data["ne"]
                 }
             )
@@ -150,6 +199,7 @@ class QueryFragmentGraph:
         """
         clone = QueryFragmentGraph(self.obscurity)
         clone.total_queries = self.total_queries
+        clone.skipped = self.skipped
         clone._nv = Counter(self._nv)
         clone._ne = Counter(self._ne)
         clone.revision = self.revision

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from fractions import Fraction
+from pathlib import Path
 
 from repro.core.fragments import Obscurity, fragments_of_sql
 from repro.core.qfg import QueryFragmentGraph
@@ -44,6 +46,35 @@ class SessionLog:
     def __len__(self) -> int:
         return len(self.entries)
 
+    @classmethod
+    def from_file(cls, path: str | Path) -> "SessionLog":
+        """Load ``session_id<TAB>sql`` lines (blank/comment lines skipped).
+
+        The SQL side runs through the ingest reader's normalizer, so a
+        trailing ``;`` or an inline ``--`` comment doesn't create a
+        distinct statement variant.
+        """
+        from repro.ingest.reader import normalize_statement
+
+        log = cls()
+        for number, line in enumerate(Path(path).read_text().splitlines(), 1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("--"):
+                continue
+            session_id, sep, sql = stripped.partition("\t")
+            if not sep or not session_id.strip():
+                raise ReproError(
+                    f"{path}:{number}: expected 'session_id<TAB>sql', "
+                    f"got {stripped[:60]!r}"
+                )
+            log.add(session_id.strip(), normalize_statement(sql))
+        return log
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(
+            "".join(f"{sid}\t{sql}\n" for sid, sql in self.entries)
+        )
+
 
 class SessionQFG(QueryFragmentGraph):
     """QFG with fractional cross-query session co-occurrence.
@@ -67,6 +98,12 @@ class SessionQFG(QueryFragmentGraph):
         if window < 1:
             raise ReproError("window must be >= 1")
         self.session_weight = session_weight
+        #: Edge mass accumulates as an exact rational so summation order
+        #: cannot change the result: a sharded parallel build (sessions
+        #: grouped per shard, partial graphs merged) lands on exactly
+        #: the same counts — and fingerprint — as the sequential build,
+        #: for any weight, not just binary-exact ones like 0.5.
+        self._session_mass = Fraction(session_weight)
         self.window = window
 
     def add_session(self, statements: list[list]) -> None:
@@ -87,7 +124,7 @@ class SessionQFG(QueryFragmentGraph):
                 if a == b:
                     continue
                 pair = (a, b) if a < b else (b, a)
-                self._ne[pair] += self.session_weight  # type: ignore[assignment]
+                self._ne[pair] += self._session_mass  # type: ignore[assignment]
 
     @classmethod
     def from_session_log(

@@ -13,11 +13,14 @@ synthetic data, and ships:
 """
 
 from repro.datasets.base import BenchmarkDataset, BenchmarkItem
+from repro.datasets.loggen import SyntheticLogGenerator, write_synthetic_log
 from repro.datasets.registry import DATASET_BUILDERS, load_dataset
 
 __all__ = [
     "BenchmarkDataset",
     "BenchmarkItem",
     "DATASET_BUILDERS",
+    "SyntheticLogGenerator",
     "load_dataset",
+    "write_synthetic_log",
 ]

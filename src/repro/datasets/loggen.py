@@ -1,0 +1,262 @@
+"""Synthetic large-log generator for ingest benchmarks and smoke tests.
+
+Production query logs are duplicate-heavy (a few application query
+shapes issued millions of times), messy (pretty-printed multi-line
+statements, inline comments, trailing semicolons, transaction noise)
+and big.  :class:`SyntheticLogGenerator` reproduces all three properties
+deterministically for any catalog in this repo:
+
+* a **pool** of unique, validated-parseable statements is derived from
+  the catalog (projections, filtered scans, aggregates, FK joins,
+  ORDER BY / GROUP BY shapes),
+* emissions sample the pool with a Zipf-like skew, so dedup ratios look
+  like real traffic,
+* the *messy* renderer re-formats each emission (line splits at clause
+  keywords, inline ``-- comments``, optional ``;``, blank separators)
+  and injects occasional transaction noise (``COMMIT;`` …) that the QFG
+  build must count as skipped, not crash on.
+
+Everything is driven by one seeded RNG: same seed, same log, bit for
+bit — which is what lets the benchmark assert fingerprint parity between
+sequential and parallel builds of the same file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.fragments import fragments_of_sql
+from repro.datasets.datagen import CITIES, DataGen, LAST_NAMES, TITLE_ADJECTIVES
+from repro.db.catalog import Catalog
+from repro.db.types import ColumnType
+from repro.errors import DatasetError, ReproError
+
+#: Statements that are valid log noise but not parseable SELECTs; the
+#: ingest pipeline must count them as skipped.
+NOISE_STATEMENTS = ["BEGIN", "COMMIT", "ROLLBACK", "SET search_path = main"]
+
+_TEXT_VALUES = CITIES + LAST_NAMES + TITLE_ADJECTIVES
+_COMPARISONS = [">", "<", ">=", "<=", "="]
+
+
+class SyntheticLogGenerator:
+    """Deterministic messy-log emitter over one catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        seed: int = 2019,
+        pool_size: int = 400,
+    ) -> None:
+        if pool_size < 1:
+            raise DatasetError(f"pool_size must be >= 1, got {pool_size}")
+        self.catalog = catalog
+        self.gen = DataGen(seed)
+        self.pool = self._build_pool(pool_size)
+        # Zipf-like sampling weights: rank r gets mass 1/(r+1).
+        self._weights = [1.0 / (rank + 1) for rank in range(len(self.pool))]
+
+    # ---------------------------------------------------------- statement pool
+
+    def _build_pool(self, pool_size: int) -> list[str]:
+        """Unique statements, every one validated against the catalog."""
+        pool: list[str] = []
+        seen: set[str] = set()
+        attempts = 0
+        limit = pool_size * 60
+        while len(pool) < pool_size and attempts < limit:
+            attempts += 1
+            sql = self._candidate()
+            if sql is None or sql in seen:
+                continue
+            try:
+                fragments_of_sql(sql, self.catalog)
+            except ReproError:
+                continue
+            seen.add(sql)
+            pool.append(sql)
+        if not pool:
+            raise DatasetError(
+                "could not derive any parseable statement from the catalog"
+            )
+        return pool
+
+    def _candidate(self) -> str | None:
+        builders = [
+            self._projection,
+            self._filtered_scan,
+            self._filtered_scan,   # filters dominate real traffic
+            self._aggregate,
+            self._text_filter,
+            self._ordered_scan,
+            self._grouped_count,
+            self._fk_join,
+            self._fk_join,
+        ]
+        return self.gen.choice(builders)()
+
+    def _table(self):
+        name = self.gen.choice(sorted(self.catalog.tables))
+        return self.catalog.tables[name]
+
+    def _column(self, table, predicate=None) -> str | None:
+        names = [
+            column.name
+            for column in table.columns
+            if predicate is None or predicate(column)
+        ]
+        return self.gen.choice(names) if names else None
+
+    def _projection(self) -> str | None:
+        table = self._table()
+        column = self._column(table)
+        if column is None:
+            return None
+        return f"SELECT {table.name}.{column} FROM {table.name}"
+
+    def _filtered_scan(self) -> str | None:
+        table = self._table()
+        column = self._column(table)
+        numeric = self._column(table, lambda c: c.type.is_numeric)
+        if column is None or numeric is None:
+            return None
+        op = self.gen.choice(_COMPARISONS)
+        value = self.gen.int_between(1, 2020)
+        return (
+            f"SELECT {table.name}.{column} FROM {table.name} "
+            f"WHERE {table.name}.{numeric} {op} {value}"
+        )
+
+    def _aggregate(self) -> str | None:
+        table = self._table()
+        column = self._column(table)
+        if column is None:
+            return None
+        func = self.gen.choice(["COUNT", "COUNT", "MAX", "MIN"])
+        return f"SELECT {func}({table.name}.{column}) FROM {table.name}"
+
+    def _text_filter(self) -> str | None:
+        table = self._table()
+        column = self._column(table)
+        text = self._column(table, lambda c: c.type is ColumnType.TEXT)
+        if column is None or text is None:
+            return None
+        value = self.gen.choice(_TEXT_VALUES)
+        return (
+            f"SELECT {table.name}.{column} FROM {table.name} "
+            f"WHERE {table.name}.{text} = '{value}'"
+        )
+
+    def _ordered_scan(self) -> str | None:
+        table = self._table()
+        column = self._column(table)
+        order = self._column(table, lambda c: c.type.is_numeric)
+        if column is None or order is None:
+            return None
+        direction = self.gen.choice(["ASC", "DESC"])
+        return (
+            f"SELECT {table.name}.{column} FROM {table.name} "
+            f"ORDER BY {table.name}.{order} {direction}"
+        )
+
+    def _grouped_count(self) -> str | None:
+        table = self._table()
+        column = self._column(table)
+        if column is None:
+            return None
+        return (
+            f"SELECT {table.name}.{column}, COUNT(*) FROM {table.name} "
+            f"GROUP BY {table.name}.{column}"
+        )
+
+    def _fk_join(self) -> str | None:
+        if not self.catalog.foreign_keys:
+            return None
+        fk = self.gen.choice(self.catalog.foreign_keys)
+        source = self.catalog.tables[fk.source]
+        target = self.catalog.tables[fk.target]
+        projected = self._column(source)
+        numeric = self._column(target, lambda c: c.type.is_numeric)
+        if projected is None:
+            return None
+        sql = (
+            f"SELECT s.{projected} FROM {source.name} s, {target.name} t "
+            f"WHERE s.{fk.source_column} = t.{fk.target_column}"
+        )
+        if numeric is not None and self.gen.chance(0.6):
+            op = self.gen.choice(_COMPARISONS)
+            sql += f" AND t.{numeric} {op} {self.gen.int_between(1, 2020)}"
+        return sql
+
+    # ----------------------------------------------------------------- emit
+
+    def statements(self, count: int) -> Iterator[str]:
+        """``count`` clean one-line statements, Zipf-sampled from the pool."""
+        choices = self.gen.random.choices
+        for _ in range(count):
+            yield choices(self.pool, weights=self._weights)[0]
+
+    def lines(self, count: int, noise_rate: float = 0.01) -> Iterator[str]:
+        """Raw log lines for ``count`` statements, messy-rendered.
+
+        ``noise_rate`` injects that fraction of extra transaction-noise
+        statements (they count toward skipped, not toward ``count``).
+        """
+        serial = 0
+        for sql in self.statements(count):
+            serial += 1
+            if noise_rate > 0 and self.gen.chance(noise_rate):
+                yield f"{self.gen.choice(NOISE_STATEMENTS)};"
+            yield from self._render(sql, serial)
+
+    def _render(self, sql: str, serial: int) -> Iterator[str]:
+        """One statement as it might appear in a real log."""
+        pieces = [sql]
+        if self.gen.chance(0.3):
+            pieces = _split_clauses(sql)
+        if self.gen.chance(0.2):
+            pieces[0] += f"  -- request {serial}"
+        if self.gen.chance(0.5):
+            pieces[-1] += ";"
+        yield from pieces
+        if self.gen.chance(0.3):
+            yield ""
+
+    def write(
+        self, path: str | Path, count: int, noise_rate: float = 0.01
+    ) -> Path:
+        """Stream a messy log of ``count`` statements to ``path``."""
+        path = Path(path)
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in self.lines(count, noise_rate):
+                handle.write(line + "\n")
+        return path
+
+
+def _split_clauses(sql: str) -> list[str]:
+    """Pretty-print one statement across lines at clause keywords."""
+    pieces = [sql]
+    for keyword in (" FROM ", " WHERE ", " AND ", " ORDER BY ", " GROUP BY "):
+        next_pieces: list[str] = []
+        for piece in pieces:
+            head, sep, tail = piece.partition(keyword)
+            next_pieces.append(head)
+            if sep:
+                next_pieces.append(sep.strip() + " " + tail)
+        pieces = next_pieces
+    return pieces
+
+
+def write_synthetic_log(
+    path: str | Path,
+    catalog: Catalog,
+    statements: int,
+    *,
+    seed: int = 2019,
+    pool_size: int = 400,
+    noise_rate: float = 0.01,
+) -> Path:
+    """Convenience wrapper: build a generator and write one messy log."""
+    generator = SyntheticLogGenerator(catalog, seed=seed, pool_size=pool_size)
+    return generator.write(path, statements, noise_rate)

@@ -67,5 +67,22 @@ class ArtifactError(ReproError):
     """A serving artifact is missing, corrupt, or version-incompatible."""
 
 
+class IngestError(ReproError):
+    """The log ingestion pipeline received invalid input or state."""
+
+
+class IngestInterrupted(IngestError):
+    """An ingest run stopped before every shard was built.
+
+    Completed shards are already committed to the checkpoint, so a
+    re-run with ``resume=True`` continues from them.  ``completed``
+    counts the shards this run committed before stopping.
+    """
+
+    def __init__(self, message: str, completed: int = 0) -> None:
+        self.completed = completed
+        super().__init__(message)
+
+
 class ServingError(ReproError):
     """The translation service received an invalid or unservable request."""

@@ -1,0 +1,57 @@
+"""Scalable query-log ingestion: stream → dedup → shard → parallel → merge.
+
+The paper's semantic signal is the SQL query log, and at production
+volumes (the ROADMAP's "millions of users") absorbing that log is the
+bottleneck.  This package turns the one-statement-per-line, single
+threaded seed path into a pipeline for huge, messy logs:
+
+* :mod:`repro.ingest.reader` — streaming statement reader (multi-line
+  statements, ``;`` separation, quote-aware ``--`` comments, whitespace
+  normalization).
+* :mod:`repro.ingest.pipeline` — dedup with counts, deterministic
+  sharding (session-aware for :class:`~repro.core.sessions.SessionLog`),
+  per-shard partial QFGs in parallel worker processes, exact merge.
+* :mod:`repro.ingest.checkpoint` — durable per-shard commits bound to a
+  plan fingerprint, so an interrupted ingest resumes from the shards it
+  already built.
+
+The merged graph is fingerprint-identical to a sequential
+``QueryLog.build_qfg`` over the same raw log; ``repro ingest`` wires the
+pipeline to the artifact store so ``repro serve``/``repro warmup``
+consume the published version.
+"""
+
+from repro.ingest.checkpoint import IngestCheckpoint, plan_fingerprint
+from repro.ingest.pipeline import (
+    IngestResult,
+    IngestStats,
+    build_shard,
+    dedup_statements,
+    ingest_log,
+    ingest_session_log,
+    shard_entries,
+    shard_sessions,
+)
+from repro.ingest.reader import (
+    is_line_per_statement,
+    iter_statements,
+    normalize_statement,
+    read_statements,
+)
+
+__all__ = [
+    "IngestCheckpoint",
+    "IngestResult",
+    "IngestStats",
+    "build_shard",
+    "dedup_statements",
+    "ingest_log",
+    "ingest_session_log",
+    "is_line_per_statement",
+    "iter_statements",
+    "normalize_statement",
+    "plan_fingerprint",
+    "read_statements",
+    "shard_entries",
+    "shard_sessions",
+]

@@ -1,0 +1,160 @@
+"""Shard-level checkpointing for resumable ingest runs.
+
+An ingest over a huge log should not restart from zero when the process
+dies at shard 47 of 64.  :class:`IngestCheckpoint` persists every
+completed shard's partial QFG plus a manifest binding them to a *plan
+fingerprint* — a hash of the shard contents, shard count and obscurity
+level.  A resumed run with the same plan loads the committed shards and
+builds only the rest; a run whose plan differs (the log changed, the
+shard count changed) silently discards the stale checkpoint and starts
+fresh, so a checkpoint can never leak counts from an older log into a
+newer graph.
+
+Layout under the checkpoint directory::
+
+    manifest.json        {"format": 1, "plan": …, "completed": {"3": sha256, …}}
+    shard-0003.json      QueryFragmentGraph.to_dict() of shard 3
+
+Writes are write-to-temp + ``os.replace`` so a kill mid-commit leaves
+either the previous manifest or the new one, never a torn file; a shard
+whose checksum no longer matches is treated as not built rather than
+poisoning the merge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.core.qfg import QueryFragmentGraph
+from repro.errors import ReproError
+
+CHECKPOINT_FORMAT = 1
+_MANIFEST = "manifest.json"
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    temp = path.with_name(path.name + ".tmp")
+    temp.write_text(text)
+    os.replace(temp, path)
+
+
+def plan_fingerprint(
+    shards: list[list[tuple[str, int]]], obscurity_value: str
+) -> str:
+    """Content hash of one ingest plan (shard contents + parameters)."""
+    digest = hashlib.sha256()
+    digest.update(f"{CHECKPOINT_FORMAT}\x00{obscurity_value}\x00".encode())
+    digest.update(f"{len(shards)}\x00".encode())
+    for shard in shards:
+        shard_digest = hashlib.sha256()
+        for sql, count in shard:
+            shard_digest.update(f"{count}\x01{sql}\x02".encode("utf-8"))
+        digest.update(shard_digest.digest())
+    return digest.hexdigest()
+
+
+class IngestCheckpoint:
+    """Completed-shard ledger for one ingest plan."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self._plan: str | None = None
+        self._num_shards = 0
+        self._completed: dict[int, str] = {}
+
+    def _shard_path(self, index: int) -> Path:
+        return self.directory / f"shard-{index:04d}.json"
+
+    # -------------------------------------------------------------- begin
+
+    def begin(self, plan: str, num_shards: int) -> set[int]:
+        """Bind to ``plan`` and return the shard indices already built.
+
+        A manifest written for a different plan (or an unreadable one)
+        is discarded; committed shard files are re-verified against their
+        recorded checksums so a corrupt file demotes its shard to
+        not-built instead of failing the run.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._plan = plan
+        self._num_shards = num_shards
+        self._completed = {}
+        manifest_path = self.directory / _MANIFEST
+        if not manifest_path.is_file():
+            return set()
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return set()
+        if (
+            manifest.get("format") != CHECKPOINT_FORMAT
+            or manifest.get("plan") != plan
+            or manifest.get("num_shards") != num_shards
+        ):
+            return set()
+        recorded = manifest.get("completed", {})
+        if not isinstance(recorded, dict):
+            return set()
+        for key, checksum in recorded.items():
+            try:
+                index = int(key)
+            except (TypeError, ValueError):
+                continue
+            path = self._shard_path(index)
+            if not path.is_file():
+                continue
+            try:
+                text = path.read_text()
+            except OSError:
+                continue
+            if _sha256(text) == checksum:
+                self._completed[index] = checksum
+        return set(self._completed)
+
+    # ------------------------------------------------------------- commit
+
+    def commit_shard(self, index: int, graph: QueryFragmentGraph) -> None:
+        """Persist one built shard and record it in the manifest."""
+        if self._plan is None:
+            raise ReproError("IngestCheckpoint.begin() must run first")
+        text = json.dumps(graph.to_dict(), sort_keys=True)
+        _atomic_write(self._shard_path(index), text)
+        self._completed[index] = _sha256(text)
+        manifest = {
+            "format": CHECKPOINT_FORMAT,
+            "plan": self._plan,
+            "num_shards": self._num_shards,
+            "completed": {str(i): c for i, c in sorted(self._completed.items())},
+        }
+        _atomic_write(self.directory / _MANIFEST, json.dumps(manifest, indent=1))
+
+    def load_shard(self, index: int) -> QueryFragmentGraph:
+        """Deserialize a committed shard's partial graph."""
+        if index not in self._completed:
+            raise ReproError(f"shard {index} is not committed in this checkpoint")
+        return QueryFragmentGraph.from_dict(
+            json.loads(self._shard_path(index).read_text())
+        )
+
+    # -------------------------------------------------------------- clear
+
+    def clear(self) -> None:
+        """Delete every checkpoint file (after a successful merge)."""
+        if not self.directory.is_dir():
+            return
+        for path in self.directory.glob("shard-*.json"):
+            path.unlink(missing_ok=True)
+        (self.directory / _MANIFEST).unlink(missing_ok=True)
+        try:
+            self.directory.rmdir()  # only if nothing else lives there
+        except OSError:
+            pass
+        self._completed = {}
+        self._plan = None

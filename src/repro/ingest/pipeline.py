@@ -1,0 +1,396 @@
+"""Parallel, sharded, checkpointed QFG construction from huge SQL logs.
+
+The sequential baseline (``QueryLog.build_qfg``) parses every statement
+of the log, duplicates included.  Production logs are overwhelmingly
+duplicate-heavy — a handful of application query shapes issued millions
+of times — so this pipeline:
+
+1. **streams** the log through the robust reader (constant memory),
+2. **deduplicates** normalized statements into (statement, count) pairs,
+3. **shards** the unique statements round-robin into ``num_shards``
+   buckets,
+4. **builds** a partial QFG per shard, in parallel worker processes when
+   ``workers > 1`` (each statement is parsed once and folded in with
+   ``add_query(count=n)``),
+5. **merges** the partial graphs with :meth:`QueryFragmentGraph.merge`.
+
+Because weighted insertion and shard merging are exact, the final graph
+is fingerprint-identical to the sequential build over the raw log — the
+speedup costs no fidelity.  With a checkpoint directory each completed
+shard is committed durably, so a killed ingest resumes from the shards
+it already built (see :mod:`repro.ingest.checkpoint`).
+
+Session logs get the same treatment via :func:`ingest_session_log`:
+whole sessions are never split across shards, so the session-window
+co-occurrence mass of every shard is exactly what the direct build
+produces, and the shard merge stays lossless.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.core.fragments import Obscurity, fragments_of_sql
+from repro.core.log import QueryLog
+from repro.core.qfg import QueryFragmentGraph
+from repro.core.sessions import SessionLog, SessionQFG
+from repro.db.catalog import Catalog
+from repro.errors import IngestError, IngestInterrupted, ReproError
+from repro.ingest.checkpoint import IngestCheckpoint, plan_fingerprint
+from repro.ingest.reader import (
+    iter_statements,
+    normalize_statement,
+    read_statements,
+)
+
+#: One log entry after deduplication: (normalized SQL, occurrence count).
+ShardEntry = tuple[str, int]
+
+
+# ----------------------------------------------------------------- stats
+
+
+@dataclass(frozen=True)
+class IngestStats:
+    """What one ingest run read, reused and built."""
+
+    raw_statements: int        #: statements read from the source log
+    unique_statements: int     #: distinct statements after normalization
+    skipped_statements: int    #: unparseable occurrences (noise)
+    num_shards: int
+    workers: int
+    reused_shards: int         #: loaded from the checkpoint, not rebuilt
+    built_shards: int
+    read_seconds: float
+    build_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.read_seconds + self.build_seconds
+
+    @property
+    def statements_per_second(self) -> float:
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return self.raw_statements / self.total_seconds
+
+    @property
+    def dedup_ratio(self) -> float:
+        if self.unique_statements == 0:
+            return 1.0
+        return self.raw_statements / self.unique_statements
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """The merged graph plus the deduplicated log and run statistics."""
+
+    qfg: QueryFragmentGraph
+    log: QueryLog              #: unique normalized statements, first-seen order
+    entries: list[ShardEntry]  #: (statement, count), first-seen order
+    stats: IngestStats
+
+
+# ------------------------------------------------------------- dedup/shard
+
+
+def dedup_statements(statements: Iterable[str]) -> tuple[list[ShardEntry], int]:
+    """Collapse a statement stream to (statement, count) pairs.
+
+    Returns the pairs in first-seen order plus the raw statement total.
+    """
+    counts: dict[str, int] = {}
+    total = 0
+    for sql in statements:
+        total += 1
+        counts[sql] = counts.get(sql, 0) + 1
+    return list(counts.items()), total
+
+
+def shard_entries(
+    entries: list[ShardEntry], num_shards: int
+) -> list[list[ShardEntry]]:
+    """Deterministic round-robin split of deduplicated entries."""
+    if num_shards < 1:
+        raise IngestError(f"num_shards must be >= 1, got {num_shards}")
+    return [entries[index::num_shards] for index in range(num_shards)]
+
+
+# ------------------------------------------------------------ shard build
+
+
+def build_shard(
+    entries: Iterable[ShardEntry],
+    catalog: Catalog,
+    obscurity: Obscurity = Obscurity.NO_CONST_OP,
+) -> QueryFragmentGraph:
+    """Partial QFG of one shard: parse each unique statement once,
+    fold it in weighted by its occurrence count."""
+    graph = QueryFragmentGraph(obscurity)
+    for sql, count in entries:
+        try:
+            fragments = fragments_of_sql(sql, catalog)
+        except ReproError:
+            graph.skipped += count
+            continue
+        graph.add_query(fragments, count=count)
+    return graph
+
+
+def _build_shard_remote(payload: tuple) -> dict:
+    """Worker-process entry point (module-level for pickling).
+
+    The catalog travels as its JSON payload and the graph returns as its
+    ``to_dict()`` form, so nothing crosses the process boundary but plain
+    data.
+    """
+    entries, catalog_payload, obscurity_value = payload
+    from repro.serving.artifacts import catalog_from_dict
+
+    catalog = catalog_from_dict(catalog_payload)
+    return build_shard(entries, catalog, Obscurity(obscurity_value)).to_dict()
+
+
+def _build_session_shard_remote(payload: tuple) -> SessionQFG:
+    """Worker-process entry point for session-log shards.
+
+    Returns the graph object itself (pickled across the process
+    boundary) rather than ``to_dict()``: session edge mass is exact
+    rational arithmetic, and rounding it to JSON floats before the merge
+    would break the fingerprint-parity guarantee for non-dyadic weights.
+    """
+    entries, catalog_payload, obscurity_value, weight, window = payload
+    from repro.serving.artifacts import catalog_from_dict
+
+    catalog = catalog_from_dict(catalog_payload)
+    shard_log = SessionLog(list(entries))
+    return SessionQFG.from_session_log(
+        shard_log,
+        catalog,
+        Obscurity(obscurity_value),
+        session_weight=weight,
+        window=window,
+    )
+
+
+# --------------------------------------------------------------- pipeline
+
+
+def _statement_stream(
+    source: str | Path | QueryLog | Iterable[str],
+) -> Iterator[str]:
+    """Normalize any accepted source into a stream of clean statements.
+
+    * path → streamed through the robust file reader,
+    * ``QueryLog`` → each stored statement normalized,
+    * any other iterable → treated as raw log lines.
+    """
+    if isinstance(source, (str, Path)):
+        return read_statements(source)
+    if isinstance(source, QueryLog):
+        return (normalize_statement(sql) for sql in source)
+    return iter_statements(iter(source))
+
+
+def _default_workers() -> int:
+    return os.cpu_count() or 1
+
+
+def ingest_log(
+    source: str | Path | QueryLog | Iterable[str],
+    catalog: Catalog,
+    *,
+    obscurity: Obscurity = Obscurity.NO_CONST_OP,
+    num_shards: int = 8,
+    workers: int | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = True,
+    keep_checkpoint: bool = False,
+    fail_after_shards: int | None = None,
+) -> IngestResult:
+    """Build a QFG from ``source`` via dedup → shard → parallel build → merge.
+
+    ``workers`` defaults to the CPU count; ``workers <= 1`` builds shards
+    inline (deterministic, no subprocesses).  With ``checkpoint_dir``
+    each completed shard is committed durably and — when ``resume`` is
+    true and the plan (log content, shard count, obscurity) is unchanged
+    — a re-run reuses committed shards instead of rebuilding them.  The
+    checkpoint is cleared after a successful merge unless
+    ``keep_checkpoint`` is set.
+
+    ``fail_after_shards`` is fault injection for tests and benchmarks:
+    raise :class:`IngestInterrupted` once that many shards were built and
+    committed in this run, simulating a mid-ingest kill.
+    """
+    workers = _default_workers() if workers is None else max(1, workers)
+    read_started = time.perf_counter()
+    entries, raw_total = dedup_statements(_statement_stream(source))
+    shards = shard_entries(entries, num_shards)
+    read_seconds = time.perf_counter() - read_started
+
+    checkpoint: IngestCheckpoint | None = None
+    completed: set[int] = set()
+    if checkpoint_dir is not None:
+        checkpoint = IngestCheckpoint(checkpoint_dir)
+        plan = plan_fingerprint(shards, obscurity.value)
+        previously = checkpoint.begin(plan, num_shards)
+        if resume:
+            completed = previously
+        elif previously:
+            checkpoint.clear()
+            checkpoint.begin(plan, num_shards)
+
+    build_started = time.perf_counter()
+    shard_graphs: dict[int, QueryFragmentGraph] = {
+        index: checkpoint.load_shard(index)  # type: ignore[union-attr]
+        for index in completed
+    }
+    to_build = [index for index in range(num_shards) if index not in completed]
+
+    built = 0
+
+    def _commit(index: int, graph: QueryFragmentGraph) -> None:
+        nonlocal built
+        shard_graphs[index] = graph
+        if checkpoint is not None:
+            checkpoint.commit_shard(index, graph)
+        built += 1
+        if fail_after_shards is not None and built >= fail_after_shards:
+            raise IngestInterrupted(
+                f"ingest interrupted after {built} shard(s) "
+                f"({len(to_build) - built} left)",
+                completed=built,
+            )
+
+    if workers > 1 and len(to_build) > 1:
+        catalog_payload = _catalog_payload(catalog)
+        executor = ProcessPoolExecutor(max_workers=min(workers, len(to_build)))
+        try:
+            futures = {
+                executor.submit(
+                    _build_shard_remote,
+                    (shards[index], catalog_payload, obscurity.value),
+                ): index
+                for index in to_build
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                # Commit in shard order within each completed batch so the
+                # fault-injection cut is deterministic under test.
+                for future in sorted(done, key=futures.__getitem__):
+                    _commit(futures[future], QueryFragmentGraph.from_dict(
+                        future.result()
+                    ))
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
+    else:
+        for index in to_build:
+            _commit(index, build_shard(shards[index], catalog, obscurity))
+
+    merged = QueryFragmentGraph(obscurity)
+    for index in range(num_shards):
+        merged.merge(shard_graphs[index])
+    build_seconds = time.perf_counter() - build_started
+
+    if checkpoint is not None and not keep_checkpoint:
+        checkpoint.clear()
+
+    stats = IngestStats(
+        raw_statements=raw_total,
+        unique_statements=len(entries),
+        skipped_statements=merged.skipped,
+        num_shards=num_shards,
+        workers=workers,
+        reused_shards=len(completed),
+        built_shards=len(to_build),
+        read_seconds=read_seconds,
+        build_seconds=build_seconds,
+    )
+    return IngestResult(
+        qfg=merged,
+        log=QueryLog([sql for sql, _ in entries]),
+        entries=entries,
+        stats=stats,
+    )
+
+
+def _catalog_payload(catalog: Catalog) -> dict:
+    from repro.serving.artifacts import catalog_to_dict
+
+    return catalog_to_dict(catalog)
+
+
+# ----------------------------------------------------------- session logs
+
+
+def shard_sessions(log: SessionLog, num_shards: int) -> list[SessionLog]:
+    """Split a session log into shards without ever splitting a session.
+
+    Sessions are assigned greedily (first-appearance order, largest
+    running balance wins) to the currently lightest shard, which keeps
+    shard sizes even under skewed session lengths while staying fully
+    deterministic.
+    """
+    if num_shards < 1:
+        raise IngestError(f"num_shards must be >= 1, got {num_shards}")
+    grouped = log.sessions()
+    shards: list[SessionLog] = [SessionLog() for _ in range(num_shards)]
+    loads = [0] * num_shards
+    for session_id, statements in grouped.items():
+        target = loads.index(min(loads))  # lowest index wins ties
+        for sql in statements:
+            shards[target].add(session_id, sql)
+        loads[target] += len(statements)
+    return shards
+
+
+def ingest_session_log(
+    log: SessionLog,
+    catalog: Catalog,
+    *,
+    obscurity: Obscurity = Obscurity.NO_CONST_OP,
+    session_weight: float = 0.5,
+    window: int = 3,
+    num_shards: int = 8,
+    workers: int | None = None,
+) -> SessionQFG:
+    """Parallel sharded build of a :class:`SessionQFG`.
+
+    Because shards hold whole sessions, per-shard window co-occurrence
+    equals the direct build's, and the count merge is exact — the result
+    is fingerprint-identical to
+    :meth:`SessionQFG.from_session_log` over the same log.
+    """
+    workers = _default_workers() if workers is None else max(1, workers)
+    shards = [
+        shard for shard in shard_sessions(log, num_shards) if len(shard)
+    ]
+    merged = SessionQFG(obscurity, session_weight=session_weight, window=window)
+    if workers > 1 and len(shards) > 1:
+        catalog_payload = _catalog_payload(catalog)
+        with ProcessPoolExecutor(max_workers=min(workers, len(shards))) as pool:
+            payloads = [
+                (shard.entries, catalog_payload, obscurity.value,
+                 session_weight, window)
+                for shard in shards
+            ]
+            for result in pool.map(_build_session_shard_remote, payloads):
+                merged.merge(result)
+    else:
+        for shard in shards:
+            merged.merge(
+                SessionQFG.from_session_log(
+                    shard,
+                    catalog,
+                    obscurity,
+                    session_weight=session_weight,
+                    window=window,
+                )
+            )
+    return merged

@@ -1,0 +1,199 @@
+"""Streaming reader for messy real-world SQL query logs.
+
+The seed format was one statement per line; production logs are not that
+tidy.  :func:`iter_statements` turns an arbitrary line stream into clean
+one-line SQL statements, handling:
+
+* multi-line statements (pretty-printed queries, clause-per-line),
+* ``;``-terminated statements, several per line if need be,
+* blank-line separation (a blank line always ends a pending statement),
+* inline and full-line ``--`` comments (quote-aware: ``'a -- b'`` is a
+  string literal, not a comment),
+* whitespace normalization outside string literals, so byte-different
+  renderings of one query deduplicate to one key downstream.
+
+The reader never parses SQL — it only needs quote state and statement
+boundaries — so it streams arbitrarily large logs in constant memory.
+A line that begins a new statement keyword (``SELECT``, ``INSERT``, …)
+implicitly terminates the previous statement, which is what keeps the
+seed line-per-statement files reading identically through this path.
+
+Newlines inside string literals are folded to a single space; the SQL
+front-end treats them as plain whitespace anyway.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: First tokens that can only begin a new statement.  Continuation lines
+#: of a pretty-printed query (``FROM …``, ``WHERE …``) never start with
+#: one of these, which is how the reader splits keyword-less logs.
+#: ``SET`` and ``VALUES`` are deliberately absent: they begin *clauses*
+#: of multi-line UPDATE/INSERT statements far more often than they begin
+#: statements of their own (standalone ``SET …;`` noise carries its own
+#: terminator anyway).
+STATEMENT_STARTERS = frozenset({
+    "SELECT", "WITH", "INSERT", "UPDATE", "DELETE", "CREATE", "DROP",
+    "ALTER", "EXPLAIN", "BEGIN", "COMMIT", "ROLLBACK",
+    "VACUUM", "ANALYZE", "TRUNCATE", "GRANT", "REVOKE",
+})
+
+
+def _starts_statement(text: str) -> bool:
+    head = text.split(None, 1)
+    return bool(head) and head[0].upper() in STATEMENT_STARTERS
+
+
+def iter_statements(lines: Iterable[str]) -> Iterator[str]:
+    """Yield normalized one-line SQL statements from raw log lines."""
+    parts: list[str] = []
+    in_quote = False
+    #: unclosed-parenthesis depth of the pending statement; a statement
+    #: keyword at depth > 0 is a subquery (``… IN (\nSELECT …``), never
+    #: the start of a new statement, and a blank line at depth > 0 is
+    #: formatting inside the parenthesized block, not a separator.
+    depth = 0
+
+    def _append(segment: str) -> None:
+        if not segment:
+            return
+        if parts:
+            parts.append(" ")
+        parts.append(segment)
+
+    def _flush() -> str | None:
+        nonlocal depth
+        depth = 0
+        text = "".join(parts).strip()
+        parts.clear()
+        return text or None
+
+    for raw in lines:
+        piece: list[str] = []
+        saw_comment = False
+        # Depth before this line's characters: the keyword-boundary test
+        # below must see the nesting the *previous* lines left open.
+        segment_depth = depth
+        i, n = 0, len(raw)
+        while i < n:
+            ch = raw[i]
+            if in_quote:
+                if ch == "'":
+                    if raw[i + 1 : i + 2] == "'":  # '' escape
+                        piece.append("''")
+                        i += 2
+                        continue
+                    in_quote = False
+                piece.append(ch)
+                i += 1
+                continue
+            if ch == "'":
+                in_quote = True
+                piece.append(ch)
+                i += 1
+                continue
+            if ch == "-" and raw[i + 1 : i + 2] == "-":
+                saw_comment = True
+                break  # rest of the line is commentary
+            if ch == ";":
+                segment = "".join(piece).strip()
+                piece = []
+                if (
+                    parts
+                    and segment
+                    and segment_depth == 0
+                    and _starts_statement(segment)
+                ):
+                    # The segment begins a new statement: whatever was
+                    # pending (an unterminated statement from earlier
+                    # lines) ends here, as its own statement.
+                    done = _flush()
+                    if done:
+                        yield done
+                _append(segment)
+                done = _flush()
+                if done:
+                    yield done
+                segment_depth = 0
+                i += 1
+                continue
+            if ch == "(":
+                depth += 1
+            elif ch == ")" and depth > 0:
+                depth -= 1
+            if ch.isspace():
+                if piece and piece[-1] != " ":
+                    piece.append(" ")
+                i += 1
+                continue
+            piece.append(ch)
+            i += 1
+
+        segment = "".join(piece).strip()
+        if in_quote:
+            # Unterminated literal: the statement continues; the newline
+            # folds into the single separator space _append provides.
+            _append(segment)
+            continue
+        if not segment:
+            # A truly blank line at depth 0 ends the pending statement; a
+            # comment-only line, or a blank line inside an open
+            # parenthesis, is a no-op in the middle of one.
+            if not saw_comment and depth == 0:
+                done = _flush()
+                if done:
+                    yield done
+            continue
+        if parts and segment_depth == 0 and _starts_statement(segment):
+            # This line starts a fresh statement, ending the pending one.
+            # With segment_depth == 0, the scan's current depth is the
+            # nesting this line itself opened — preserve it across the
+            # flush (which resets the bookkeeping for the old statement).
+            line_depth = depth
+            done = _flush()
+            if done:
+                yield done
+            _append(segment)
+            depth = line_depth
+            continue
+        _append(segment)
+
+    done = _flush()
+    if done:
+        yield done
+
+
+def read_statements(path: str | Path) -> Iterator[str]:
+    """Stream the statements of a log file (constant memory)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        yield from iter_statements(handle)
+
+
+def normalize_statement(sql: str) -> str:
+    """One statement's canonical one-line form (the reader's output).
+
+    Deduplication keys on this, so formatting variants of a query —
+    different indentation, trailing ``;``, an inline comment — all fold
+    into one (statement, count) pair.
+    """
+    return "; ".join(iter_statements(sql.splitlines())).strip()
+
+
+def is_line_per_statement(text: str) -> bool:
+    """True when the seed fast path (one statement per line) is safe.
+
+    That requires: no ``;`` anywhere, no inline comments, and every
+    non-blank non-comment line starting with a statement keyword (a
+    continuation line such as ``FROM t`` disqualifies the file).
+    """
+    if ";" in text:
+        return False
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("--"):
+            continue
+        if "--" in stripped or not _starts_statement(stripped):
+            return False
+    return True

@@ -251,17 +251,30 @@ class ArtifactStore:
         *,
         obscurity: Obscurity = Obscurity.NO_CONST_OP,
         version: str | None = None,
+        qfg: QueryFragmentGraph | None = None,
     ) -> ServingArtifacts:
         """Build every artifact for ``dataset`` and persist one version.
 
         ``log`` defaults to the gold SQL of the dataset's usable items
-        (the paper's query-log source).  Returns the loaded artifacts so
-        callers can verify the round trip immediately.
+        (the paper's query-log source).  ``qfg`` publishes a prebuilt
+        graph — e.g. the ingest pipeline's parallel sharded merge —
+        instead of rebuilding one from ``log``; ``log`` is then the
+        provenance record (typically the deduplicated statements) and
+        must be supplied.  Returns the loaded artifacts so callers can
+        verify the round trip immediately.
         """
+        if qfg is not None:
+            if log is None:
+                raise ArtifactError(
+                    "publishing a prebuilt QFG requires the query log it "
+                    "was built from (provenance for the artifact version)"
+                )
+            obscurity = qfg.obscurity
         if log is None:
             log = QueryLog([item.gold_sql for item in dataset.usable_items()])
         catalog = dataset.database.catalog
-        qfg = log.build_qfg(catalog, obscurity)
+        if qfg is None:
+            qfg = log.build_qfg(catalog, obscurity)
         fingerprint = qfg.fingerprint()
         lexicon_payload = dataset.lexicon.to_dict()
         catalog_payload = catalog_to_dict(catalog)
@@ -322,6 +335,8 @@ class ArtifactStore:
             "qfg_fingerprint": fingerprint,
             "counts": {
                 "log_queries": len(log),
+                "qfg_queries": qfg.total_queries,
+                "qfg_skipped": qfg.skipped,
                 "qfg_vertices": qfg.vertex_count,
                 "qfg_edges": qfg.edge_count,
                 "lexicon_entries": len(dataset.lexicon),
@@ -339,8 +354,10 @@ class ArtifactStore:
     def versions(self, dataset: str) -> list[str]:
         """All loadable versions of ``dataset`` (oldest first).
 
-        Versions whose manifest is unreadable are skipped — a corrupt or
-        half-written version must not break latest-version resolution.
+        Versions whose manifest is unreadable, or whose manifest is not
+        an artifact manifest at all (e.g. an ingest checkpoint's), are
+        skipped — foreign or half-written directories must not break
+        latest-version resolution.
         """
         base = self.root / dataset
         if not base.is_dir():
@@ -351,9 +368,10 @@ class ArtifactStore:
             if not (path.is_dir() and manifest_path.is_file()):
                 continue
             try:
-                created = float(
-                    json.loads(manifest_path.read_text()).get("created", 0.0)
-                )
+                manifest = json.loads(manifest_path.read_text())
+                if manifest.get("format_version") != FORMAT_VERSION:
+                    continue
+                created = float(manifest.get("created", 0.0))
             except (OSError, TypeError, ValueError, json.JSONDecodeError):
                 continue
             found.append((created, path.name))

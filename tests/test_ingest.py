@@ -1,0 +1,518 @@
+"""Tests for the ingest subsystem: reader, merge algebra, sharding,
+parallel pipeline, checkpoint resume, and the synthetic log generator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import QueryLog
+from repro.core.fragments import Obscurity, fragments_of_sql
+from repro.core.qfg import QueryFragmentGraph
+from repro.core.sessions import SessionLog, SessionQFG
+from repro.datasets.loggen import SyntheticLogGenerator, write_synthetic_log
+from repro.errors import IngestInterrupted, ReproError
+from repro.ingest import (
+    dedup_statements,
+    ingest_log,
+    ingest_session_log,
+    is_line_per_statement,
+    iter_statements,
+    normalize_statement,
+    shard_entries,
+    shard_sessions,
+)
+
+
+def read(text: str) -> list[str]:
+    return list(iter_statements(text.splitlines()))
+
+
+class TestReader:
+    def test_line_per_statement(self):
+        assert read("SELECT a FROM t\nSELECT b FROM t\n") == [
+            "SELECT a FROM t",
+            "SELECT b FROM t",
+        ]
+
+    def test_trailing_semicolons(self):
+        assert read("SELECT a FROM t;\nSELECT b FROM t;") == [
+            "SELECT a FROM t",
+            "SELECT b FROM t",
+        ]
+
+    def test_multiple_statements_one_line(self):
+        assert read("SELECT a FROM t; SELECT b FROM t") == [
+            "SELECT a FROM t",
+            "SELECT b FROM t",
+        ]
+
+    def test_multi_line_statement_blank_separated(self):
+        text = "SELECT a\nFROM t\nWHERE x > 1\n\nSELECT b\nFROM u\n"
+        assert read(text) == [
+            "SELECT a FROM t WHERE x > 1",
+            "SELECT b FROM u",
+        ]
+
+    def test_keyword_starts_new_statement_without_separator(self):
+        text = "SELECT a\nFROM t\nSELECT b FROM u"
+        assert read(text) == ["SELECT a FROM t", "SELECT b FROM u"]
+
+    def test_semicolon_line_after_unterminated_statement(self):
+        # The pending statement ends when the next one begins, even when
+        # only the second carries a terminator.
+        text = "SELECT a FROM t\nSELECT b FROM u;"
+        assert read(text) == ["SELECT a FROM t", "SELECT b FROM u"]
+
+    def test_inline_comment_stripped(self):
+        assert read("SELECT a FROM t  -- trace 7\n") == ["SELECT a FROM t"]
+
+    def test_full_line_comment_inside_statement_is_noop(self):
+        text = "SELECT a\n-- picks recent rows\nFROM t WHERE x > 1\n"
+        assert read(text) == ["SELECT a FROM t WHERE x > 1"]
+
+    def test_comment_marker_inside_quotes_preserved(self):
+        text = "SELECT a FROM t WHERE b = 'x -- not a comment'\n"
+        assert read(text) == ["SELECT a FROM t WHERE b = 'x -- not a comment'"]
+
+    def test_semicolon_inside_quotes_preserved(self):
+        text = "SELECT a FROM t WHERE b = 'x; y';\n"
+        assert read(text) == ["SELECT a FROM t WHERE b = 'x; y'"]
+
+    def test_multiline_subquery_not_split(self):
+        # A line-leading SELECT inside an open parenthesis is a subquery,
+        # not a new statement.
+        text = (
+            "SELECT title FROM publication WHERE jid IN (\n"
+            "SELECT jid FROM journal\n"
+            ")\n"
+        )
+        assert read(text) == [
+            "SELECT title FROM publication WHERE jid IN ( "
+            "SELECT jid FROM journal )"
+        ]
+
+    def test_blank_line_inside_parentheses_is_not_a_separator(self):
+        text = (
+            "SELECT title FROM publication WHERE jid IN (\n\n"
+            "SELECT jid FROM journal )\n"
+        )
+        assert read(text) == [
+            "SELECT title FROM publication WHERE jid IN ( "
+            "SELECT jid FROM journal )"
+        ]
+
+    def test_statement_after_closed_subquery_still_splits(self):
+        text = (
+            "SELECT title FROM publication WHERE jid IN (\n"
+            "SELECT jid FROM journal )\n"
+            "SELECT name FROM author\n"
+        )
+        assert read(text) == [
+            "SELECT title FROM publication WHERE jid IN ( "
+            "SELECT jid FROM journal )",
+            "SELECT name FROM author",
+        ]
+
+    def test_multiline_subquery_parses(self, mini_db):
+        text = (
+            "SELECT title FROM publication WHERE jid IN (\n"
+            "SELECT jid FROM journal\n"
+            ");\n"
+        )
+        (statement,) = read(text)
+        fragments_of_sql(statement, mini_db.catalog)  # must not raise
+
+    def test_multiline_update_set_clause_not_split(self):
+        text = "UPDATE publication\nSET year = 2001\nWHERE pid = 3;\n"
+        assert read(text) == ["UPDATE publication SET year = 2001 WHERE pid = 3"]
+
+    def test_quoted_parentheses_ignored_by_depth_tracking(self):
+        text = "SELECT a FROM t WHERE b = '('\nSELECT c FROM u\n"
+        assert read(text) == [
+            "SELECT a FROM t WHERE b = '('",
+            "SELECT c FROM u",
+        ]
+
+    def test_quote_escape(self):
+        text = "SELECT a FROM t WHERE b = 'O''Brien';"
+        assert read(text) == ["SELECT a FROM t WHERE b = 'O''Brien'"]
+
+    def test_whitespace_normalized_outside_quotes(self):
+        assert read("SELECT   a\tFROM    t WHERE b = 'two  spaces'") == [
+            "SELECT a FROM t WHERE b = 'two  spaces'"
+        ]
+
+    def test_normalize_statement_folds_variants(self):
+        variants = [
+            "SELECT a FROM t WHERE x > 1",
+            "SELECT a FROM t WHERE x > 1;",
+            "SELECT a\n  FROM t\n  WHERE x > 1",
+            "SELECT  a FROM t   WHERE x > 1  -- comment",
+        ]
+        normalized = {normalize_statement(v) for v in variants}
+        assert normalized == {"SELECT a FROM t WHERE x > 1"}
+
+    def test_fast_path_detection(self):
+        assert is_line_per_statement("SELECT a FROM t\n-- note\nSELECT b FROM t")
+        assert not is_line_per_statement("SELECT a FROM t;")
+        assert not is_line_per_statement("SELECT a FROM t -- inline")
+        assert not is_line_per_statement("SELECT a\nFROM t")
+
+
+class TestQueryLogFromFile:
+    def test_seed_format_unchanged(self, tmp_path):
+        path = tmp_path / "log.sql"
+        path.write_text("-- header\nSELECT a FROM t\n\nSELECT b FROM t\n")
+        assert QueryLog.from_file(path).queries == [
+            "SELECT a FROM t",
+            "SELECT b FROM t",
+        ]
+
+    def test_messy_format_delegates_to_reader(self, tmp_path):
+        path = tmp_path / "log.sql"
+        path.write_text(
+            "SELECT a\nFROM t  -- pretty-printed\nWHERE x > 1;\n\n"
+            "SELECT b FROM u;\n"
+        )
+        assert QueryLog.from_file(path).queries == [
+            "SELECT a FROM t WHERE x > 1",
+            "SELECT b FROM u",
+        ]
+
+
+class TestWeightedAddQuery:
+    def test_count_n_equals_n_single_adds(self, mini_db):
+        fragments = fragments_of_sql(
+            "SELECT title FROM publication WHERE year > 2000", mini_db.catalog
+        )
+        weighted = QueryFragmentGraph()
+        weighted.add_query(fragments, count=5)
+        repeated = QueryFragmentGraph()
+        for _ in range(5):
+            repeated.add_query(fragments)
+        assert weighted.fingerprint() == repeated.fingerprint()
+        assert weighted.total_queries == 5
+
+    def test_invalid_count_raises(self, mini_db):
+        fragments = fragments_of_sql(
+            "SELECT name FROM journal", mini_db.catalog
+        )
+        with pytest.raises(ReproError):
+            QueryFragmentGraph().add_query(fragments, count=0)
+
+
+class TestMergeAlgebra:
+    def _graph_of(self, statements, catalog):
+        return QueryLog(list(statements)).build_qfg(catalog)
+
+    def test_merge_equals_concatenated_build(self, mini_db, mini_log):
+        statements = mini_log.queries
+        half = len(statements) // 2
+        first = self._graph_of(statements[:half], mini_db.catalog)
+        second = self._graph_of(statements[half:], mini_db.catalog)
+        merged = first.merge(second)
+        full = self._graph_of(statements, mini_db.catalog)
+        assert merged.fingerprint() == full.fingerprint()
+
+    def test_merge_commutes(self, mini_db, mini_log):
+        statements = mini_log.queries
+        a1 = self._graph_of(statements[:5], mini_db.catalog)
+        b1 = self._graph_of(statements[5:], mini_db.catalog)
+        a2 = self._graph_of(statements[:5], mini_db.catalog)
+        b2 = self._graph_of(statements[5:], mini_db.catalog)
+        assert a1.merge(b1).fingerprint() == b2.merge(a2).fingerprint()
+
+    def test_merge_with_empty_is_identity(self, mini_db, mini_log):
+        graph = mini_log.build_qfg(mini_db.catalog)
+        before = graph.fingerprint()
+        graph.merge(QueryFragmentGraph())
+        assert graph.fingerprint() == before
+
+    def test_merge_obscurity_mismatch_raises(self):
+        with pytest.raises(ReproError):
+            QueryFragmentGraph(Obscurity.NO_CONST_OP).merge(
+                QueryFragmentGraph(Obscurity.FULL)
+            )
+
+    def test_merge_sums_skipped(self):
+        first, second = QueryFragmentGraph(), QueryFragmentGraph()
+        first.skipped, second.skipped = 2, 3
+        assert first.merge(second).skipped == 5
+
+
+class TestSkippedField:
+    def test_round_trips_serialization(self, mini_db):
+        log = QueryLog(["NOT SQL", "SELECT name FROM journal"])
+        graph = log.build_qfg(mini_db.catalog)
+        assert graph.skipped == 1
+        restored = QueryFragmentGraph.from_dict(
+            json.loads(json.dumps(graph.to_dict()))
+        )
+        assert restored.skipped == 1
+        assert restored.fingerprint() == graph.fingerprint()
+
+    def test_old_payloads_without_skipped_load(self, mini_db):
+        log = QueryLog(["SELECT name FROM journal"])
+        payload = log.build_qfg(mini_db.catalog).to_dict()
+        del payload["skipped"]
+        assert QueryFragmentGraph.from_dict(payload).skipped == 0
+
+    def test_snapshot_preserves_skipped(self, mini_db):
+        graph = QueryLog(["junk"]).build_qfg(mini_db.catalog)
+        assert graph.snapshot().skipped == 1
+
+    def test_fractional_session_counts_round_trip(self, mini_db):
+        log = SessionLog()
+        log.add("s1", "SELECT title FROM publication")
+        log.add("s1", "SELECT name FROM journal")
+        graph = SessionQFG.from_session_log(log, mini_db.catalog)
+        restored = QueryFragmentGraph.from_dict(
+            json.loads(json.dumps(graph.to_dict()))
+        )
+        assert restored.ne(
+            "SELECT::publication.title", "SELECT::journal.name"
+        ) == pytest.approx(0.5)
+        assert restored.fingerprint() == graph.fingerprint()
+
+
+class TestShards:
+    def test_shard_entries_partition(self):
+        entries = [(f"q{i}", i + 1) for i in range(10)]
+        shards = shard_entries(entries, 3)
+        assert len(shards) == 3
+        flat = [entry for shard in shards for entry in shard]
+        assert sorted(flat) == sorted(entries)
+
+    def test_shard_entries_invalid_count(self):
+        with pytest.raises(ReproError):
+            shard_entries([], 0)
+
+    def test_sessions_never_split(self):
+        log = SessionLog()
+        for i in range(40):
+            log.add(f"s{i % 7}", f"SELECT a FROM t WHERE x > {i}")
+        shards = shard_sessions(log, 3)
+        owner: dict[str, int] = {}
+        for index, shard in enumerate(shards):
+            for session_id, _ in shard.entries:
+                assert owner.setdefault(session_id, index) == index
+        assert sum(len(shard) for shard in shards) == len(log)
+
+    def test_session_shards_deterministic(self):
+        log = SessionLog()
+        for i in range(30):
+            log.add(f"s{i % 5}", f"SELECT a FROM t WHERE x > {i}")
+        first = [shard.entries for shard in shard_sessions(log, 4)]
+        second = [shard.entries for shard in shard_sessions(log, 4)]
+        assert first == second
+
+
+class TestPipeline:
+    @pytest.fixture()
+    def messy_log(self, mini_db, tmp_path):
+        generator = SyntheticLogGenerator(mini_db.catalog, seed=11,
+                                          pool_size=40)
+        return generator.write(tmp_path / "log.sql", 600, noise_rate=0.05)
+
+    def test_fingerprint_parity_inline(self, mini_db, messy_log):
+        sequential = QueryLog.from_file(messy_log).build_qfg(mini_db.catalog)
+        result = ingest_log(messy_log, mini_db.catalog, num_shards=5,
+                            workers=1)
+        assert result.qfg.fingerprint() == sequential.fingerprint()
+        assert result.qfg.skipped == sequential.skipped
+        assert result.stats.raw_statements >= 600
+        assert result.stats.unique_statements < result.stats.raw_statements
+
+    def test_fingerprint_parity_worker_processes(self, mini_db, messy_log):
+        sequential = QueryLog.from_file(messy_log).build_qfg(mini_db.catalog)
+        result = ingest_log(messy_log, mini_db.catalog, num_shards=4,
+                            workers=2)
+        assert result.qfg.fingerprint() == sequential.fingerprint()
+
+    def test_accepts_query_log_and_lines(self, mini_db, mini_log):
+        from_log = ingest_log(mini_log, mini_db.catalog, num_shards=2,
+                              workers=1)
+        lines = "\n".join(mini_log.queries).splitlines()
+        from_lines = ingest_log(lines, mini_db.catalog, num_shards=2,
+                                workers=1)
+        sequential = mini_log.build_qfg(mini_db.catalog)
+        assert from_log.qfg.fingerprint() == sequential.fingerprint()
+        assert from_lines.qfg.fingerprint() == sequential.fingerprint()
+
+    def test_checkpoint_resume(self, mini_db, messy_log, tmp_path):
+        checkpoint = tmp_path / "ckpt"
+        with pytest.raises(IngestInterrupted):
+            ingest_log(messy_log, mini_db.catalog, num_shards=6, workers=1,
+                       checkpoint_dir=checkpoint, fail_after_shards=2)
+        assert (checkpoint / "manifest.json").is_file()
+        sequential = QueryLog.from_file(messy_log).build_qfg(mini_db.catalog)
+        resumed = ingest_log(messy_log, mini_db.catalog, num_shards=6,
+                             workers=1, checkpoint_dir=checkpoint)
+        assert resumed.stats.reused_shards == 2
+        assert resumed.stats.built_shards == 4
+        assert resumed.qfg.fingerprint() == sequential.fingerprint()
+        # A successful run clears its checkpoint.
+        assert not (checkpoint / "manifest.json").exists()
+
+    def test_stale_checkpoint_discarded_when_log_changes(
+        self, mini_db, messy_log, tmp_path
+    ):
+        checkpoint = tmp_path / "ckpt"
+        with pytest.raises(IngestInterrupted):
+            ingest_log(messy_log, mini_db.catalog, num_shards=4, workers=1,
+                       checkpoint_dir=checkpoint, fail_after_shards=1)
+        other = QueryLog(["SELECT name FROM journal"])
+        result = ingest_log(other, mini_db.catalog, num_shards=4, workers=1,
+                            checkpoint_dir=checkpoint)
+        assert result.stats.reused_shards == 0
+        assert result.qfg.fingerprint() == other.build_qfg(
+            mini_db.catalog
+        ).fingerprint()
+
+    def test_no_resume_rebuilds_everything(self, mini_db, messy_log, tmp_path):
+        checkpoint = tmp_path / "ckpt"
+        with pytest.raises(IngestInterrupted):
+            ingest_log(messy_log, mini_db.catalog, num_shards=4, workers=1,
+                       checkpoint_dir=checkpoint, fail_after_shards=2)
+        result = ingest_log(messy_log, mini_db.catalog, num_shards=4,
+                            workers=1, checkpoint_dir=checkpoint,
+                            resume=False)
+        assert result.stats.reused_shards == 0
+        assert result.stats.built_shards == 4
+
+    def test_dedup_statements_counts(self):
+        entries, total = dedup_statements(["a", "b", "a", "a"])
+        assert total == 4
+        assert entries == [("a", 3), ("b", 1)]
+
+
+class TestSessionIngest:
+    def test_parity_with_direct_build(self, mini_db):
+        generator = SyntheticLogGenerator(mini_db.catalog, seed=3,
+                                          pool_size=30)
+        log = SessionLog()
+        for index, sql in enumerate(generator.statements(120)):
+            log.add(f"user{index % 9}", sql)
+        direct = SessionQFG.from_session_log(log, mini_db.catalog)
+        sharded = ingest_session_log(log, mini_db.catalog, num_shards=4,
+                                     workers=1)
+        assert sharded.fingerprint() == direct.fingerprint()
+
+    def test_parity_for_non_dyadic_weights(self, mini_db):
+        # 0.1 is not binary-exact; parity must hold anyway because the
+        # session mass accumulates as exact rationals.
+        generator = SyntheticLogGenerator(mini_db.catalog, seed=13,
+                                          pool_size=25)
+        log = SessionLog()
+        for index, sql in enumerate(generator.statements(70)):
+            log.add(f"user{index % 7}", sql)
+        direct = SessionQFG.from_session_log(log, mini_db.catalog,
+                                             session_weight=0.1)
+        for shards in (2, 3, 5):
+            sharded = ingest_session_log(log, mini_db.catalog,
+                                         session_weight=0.1,
+                                         num_shards=shards, workers=1)
+            assert sharded.fingerprint() == direct.fingerprint()
+
+    def test_parity_for_non_dyadic_weights_across_processes(self, mini_db):
+        generator = SyntheticLogGenerator(mini_db.catalog, seed=13,
+                                          pool_size=25)
+        log = SessionLog()
+        for index, sql in enumerate(generator.statements(60)):
+            log.add(f"user{index % 6}", sql)
+        direct = SessionQFG.from_session_log(log, mini_db.catalog,
+                                             session_weight=0.3)
+        sharded = ingest_session_log(log, mini_db.catalog,
+                                     session_weight=0.3,
+                                     num_shards=3, workers=2)
+        assert sharded.fingerprint() == direct.fingerprint()
+
+    def test_session_log_file_round_trip(self, tmp_path):
+        log = SessionLog()
+        log.add("s1", "SELECT a FROM t;")
+        log.add("s2", "SELECT b FROM u")
+        path = tmp_path / "sessions.tsv"
+        log.save(path)
+        loaded = SessionLog.from_file(path)
+        # Normalization strips the trailing semicolon on load.
+        assert loaded.entries == [
+            ("s1", "SELECT a FROM t"),
+            ("s2", "SELECT b FROM u"),
+        ]
+
+    def test_session_log_file_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "sessions.tsv"
+        path.write_text("no tab separator here\n")
+        with pytest.raises(ReproError):
+            SessionLog.from_file(path)
+
+
+class TestLogGenerator:
+    def test_deterministic(self, mini_db, tmp_path):
+        first = write_synthetic_log(tmp_path / "a.sql", mini_db.catalog, 200,
+                                    seed=5, pool_size=30)
+        second = write_synthetic_log(tmp_path / "b.sql", mini_db.catalog, 200,
+                                     seed=5, pool_size=30)
+        assert first.read_text() == second.read_text()
+
+    def test_pool_statements_parse(self, mini_db):
+        generator = SyntheticLogGenerator(mini_db.catalog, seed=5,
+                                          pool_size=30)
+        for sql in generator.pool:
+            fragments_of_sql(sql, mini_db.catalog)  # must not raise
+
+    def test_zero_noise_log_has_no_skips(self, mini_db, tmp_path):
+        path = write_synthetic_log(tmp_path / "clean.sql", mini_db.catalog,
+                                   150, seed=5, pool_size=30, noise_rate=0.0)
+        graph = QueryLog.from_file(path).build_qfg(mini_db.catalog)
+        assert graph.skipped == 0
+        assert graph.total_queries >= 150
+
+
+class TestArtifactPublish:
+    def test_ingest_publish_and_serve_load(self, mas_dataset, tmp_path):
+        from repro.serving import ArtifactStore
+
+        generator = SyntheticLogGenerator(mas_dataset.database.catalog,
+                                          seed=9, pool_size=50)
+        log_path = generator.write(tmp_path / "log.sql", 300)
+        result = ingest_log(log_path, mas_dataset.database.catalog,
+                            num_shards=3, workers=1)
+        store = ArtifactStore(tmp_path / "store")
+        published = store.compile(mas_dataset, result.log, qfg=result.qfg)
+        loaded = store.load(mas_dataset.name)
+        assert loaded.version == published.version
+        assert loaded.qfg.fingerprint() == result.qfg.fingerprint()
+        assert loaded.qfg.skipped == result.qfg.skipped
+        assert loaded.manifest["counts"]["qfg_queries"] == (
+            result.qfg.total_queries
+        )
+
+    def test_leftover_checkpoint_is_not_an_artifact_version(
+        self, mas_dataset, tmp_path
+    ):
+        # A killed `repro ingest` leaves a checkpoint manifest behind;
+        # version listing/resolution must never mistake it for a version.
+        from repro.errors import ArtifactError
+        from repro.ingest import IngestCheckpoint
+        from repro.serving import ArtifactStore
+
+        store_root = tmp_path / "store"
+        stray = store_root / mas_dataset.name / "stray-checkpoint"
+        checkpoint = IngestCheckpoint(stray)
+        checkpoint.begin("some-plan", 2)
+        checkpoint.commit_shard(0, QueryFragmentGraph())
+        store = ArtifactStore(store_root)
+        assert store.versions(mas_dataset.name) == []
+        with pytest.raises(ArtifactError, match="no artifacts"):
+            store.resolve(mas_dataset.name)
+
+    def test_prebuilt_qfg_requires_log(self, mas_dataset, tmp_path):
+        from repro.errors import ArtifactError
+        from repro.serving import ArtifactStore
+
+        graph = QueryFragmentGraph()
+        with pytest.raises(ArtifactError):
+            ArtifactStore(tmp_path).compile(mas_dataset, qfg=graph)
