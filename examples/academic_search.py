@@ -9,19 +9,19 @@ Reproduces the Introduction's story end to end:
 * Example 3/6 — Templar's QFG fixes the mapping and the log-driven edge
   weights route through the ``keyword`` relation.
 
+Both systems are built through the same declarative entry point — only
+the backend name differs.
+
 Run:  python examples/academic_search.py
 """
 
-from repro.core import QueryLog, Templar
+from repro.api import Engine, EngineConfig
+from repro.core import QueryLog
 from repro.datasets import load_dataset
-from repro.embedding import CompositeModel
-from repro.nlidb import PipelineNLIDB
 
 
 def main() -> None:
     dataset = load_dataset("mas")
-    db = dataset.database
-    model = CompositeModel(dataset.lexicon)
 
     # The SQL query log: every gold query except the one we are asking
     # (in the paper's evaluation this is the 3-fold training split).
@@ -31,29 +31,34 @@ def main() -> None:
         [i.gold_sql for i in items if i.item_id != target.item_id]
     )
 
-    templar = Templar(db, model, log)
-    baseline = PipelineNLIDB(db, model, None)
-    augmented = PipelineNLIDB(db, model, templar)
+    baseline = Engine.from_config(
+        EngineConfig(dataset="mas", backend="pipeline"), dataset=dataset
+    )
+    augmented = Engine.from_config(
+        EngineConfig(dataset="mas", backend="pipeline+", log_source="none"),
+        dataset=dataset,
+        query_log=log,
+    )
 
     print(f"NLQ: {target.nlq}\n")
 
     print("— Baseline Pipeline (word similarity + shortest joins):")
-    result = baseline.top_translation(target.keywords)
+    result = baseline.translate(target.keywords)
     print(f"  {result.sql}")
     print("  (maps 'papers' to journal and routes via the shortest path —")
     print("   the paper's Examples 1 and 2)\n")
 
     print("— Pipeline+ (Templar-augmented):")
-    result_plus = augmented.top_translation(target.keywords)
+    result_plus = augmented.translate(target.keywords)
     print(f"  {result_plus.sql}")
     print(f"  gold: {target.gold_sql}\n")
 
     print("Join paths ranked by INFERJOINS for {publication, domain}:")
-    for path in templar.infer_joins(["publication", "domain"]):
+    for path in augmented.templar.infer_joins(["publication", "domain"]):
         print(f"  cost={path.cost:.3f}  {path.describe()}")
 
     print("\nAnswering the corrected SQL against the database:")
-    answer = db.execute(result_plus.sql)
+    answer = dataset.database.execute(result_plus.sql)
     for row in answer.rows[:5]:
         print(f"  {row[0]}")
     if len(answer.rows) > 5:
@@ -62,9 +67,12 @@ def main() -> None:
     # The self-join case (the paper's Example 7).
     two_author = next(i for i in items if i.family == "papers_by_two_authors")
     print(f"\nSelf-join NLQ: {two_author.nlq}")
-    result_join = augmented.top_translation(two_author.keywords)
+    result_join = augmented.translate(two_author.keywords)
     print(f"  {result_join.sql}")
-    print(f"  answer: {db.execute(result_join.sql).rows}")
+    print(f"  answer: {dataset.database.execute(result_join.sql).rows}")
+
+    baseline.close()
+    augmented.close()
 
 
 if __name__ == "__main__":

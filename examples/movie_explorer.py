@@ -5,45 +5,56 @@ rule-based parser (including its documented failure modes), NaLIR vs
 NaLIR+ translations, and the session-aware QFG extension (the paper's
 stated future work).
 
+Both systems come from the backend registry via ``Engine.from_config`` —
+``simulate_parse_failures=True`` keeps the paper-faithful parser.
+
 Run:  python examples/movie_explorer.py
 """
 
-from repro.core import QueryLog, Templar
+from repro.api import Engine, EngineConfig
 from repro.core.sessions import SessionLog, SessionQFG
+from repro.core import QueryLog
 from repro.datasets import load_dataset
-from repro.embedding import CompositeModel, LexiconModel
-from repro.nlidb import NalirNLIDB, NalirParser
+from repro.errors import ServingError
+
+
+def translate_sql(engine: Engine, nlq: str) -> str | None:
+    """Top SQL for a raw NLQ, or None when the parse/translation fails."""
+    try:
+        return engine.translate(nlq).sql
+    except ServingError:  # the simulated parser failed on this NLQ
+        return None
 
 
 def main() -> None:
     dataset = load_dataset("imdb")
     db = dataset.database
-    composite = CompositeModel(dataset.lexicon)
-    wordnet_like = LexiconModel(dataset.nalir_model_lexicon())
-
     items = dataset.usable_items()
-    log = QueryLog([i.gold_sql for i in items])
-    templar = Templar(db, composite, log)
-    parser = NalirParser(db, dataset.schema_terms)
 
-    nalir = NalirNLIDB(db, wordnet_like, parser, None)
-    nalir_plus = NalirNLIDB(db, wordnet_like, parser, templar)
+    faithful = dict(dataset="imdb", simulate_parse_failures=True)
+    nalir = Engine.from_config(
+        EngineConfig(backend="nalir", **faithful), dataset=dataset
+    )
+    nalir_plus = Engine.from_config(
+        EngineConfig(backend="nalir+", log_source="dataset", **faithful),
+        dataset=dataset,
+    )
 
     for family in ("films_by_director", "actors_in_series_tagged",
                    "actors_min_films"):
         item = next(i for i in items if i.family == family)
-        parsed = parser.parse(item.nlq)
+        parsed = nalir.parser.parse(item.nlq)
         print(f"NLQ: {item.nlq}")
         print(f"  parsed keywords: "
               f"{[(k.text, k.metadata.context.value) for k in parsed.keywords]}")
         for note in parsed.notes:
             print(f"  parser note: {note}")
-        base = nalir.translate_nlq(item.nlq)
-        plus = nalir_plus.translate_nlq(item.nlq)
-        print(f"  NaLIR : {base[0].sql if base else '(no translation)'}")
-        print(f"  NaLIR+: {plus[0].sql if plus else '(no translation)'}")
+        base = translate_sql(nalir, item.nlq)
+        plus = translate_sql(nalir_plus, item.nlq)
+        print(f"  NaLIR : {base if base else '(no translation)'}")
+        print(f"  NaLIR+: {plus if plus else '(no translation)'}")
         if plus:
-            answer = db.execute(plus[0].sql)
+            answer = db.execute(plus)
             print(f"  answer ({len(answer.rows)} rows): {answer.rows[:3]}")
         print()
 
@@ -57,10 +68,14 @@ def main() -> None:
         sessions, db.catalog, session_weight=0.5, window=3
     )
     print(f"Session-aware QFG: {session_qfg}")
+    log = QueryLog([i.gold_sql for i in items])
     plain = log.build_qfg(db.catalog)
     pair = ("SELECT::movie.title", "WHERE::director.name ?op ?val")
     print(f"  plain   Dice{pair}: {plain.dice(*pair):.3f}")
     print(f"  session Dice{pair}: {session_qfg.dice(*pair):.3f}")
+
+    nalir.close()
+    nalir_plus.close()
 
 
 if __name__ == "__main__":

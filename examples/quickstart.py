@@ -1,22 +1,18 @@
-"""Quickstart: augment keyword mapping and join inference with a SQL log.
+"""Quickstart: one declarative Engine over a log-augmented NLIDB.
 
-Builds a small academic database, feeds Templar a query log, and shows
-the two interface calls of the paper (MAPKEYWORDS and INFERJOINS) plus
-final SQL construction and execution.
+Builds a small academic database, describes the whole stack with an
+:class:`~repro.api.config.EngineConfig`, and shows the paper's two
+interface calls (MAPKEYWORDS and INFERJOINS) plus final SQL construction
+and execution — for both pre-parsed keywords and a raw NLQ string.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import (
-    FragmentContext,
-    Keyword,
-    KeywordMetadata,
-    QueryLog,
-    Templar,
-)
+from repro.api import Engine, EngineConfig
+from repro.core import FragmentContext, Keyword, KeywordMetadata, QueryLog
+from repro.datasets.base import BenchmarkDataset
 from repro.db import Catalog, Column, ColumnType, Database, ForeignKey, TableSchema
-from repro.embedding import CompositeModel, Lexicon
-from repro.nlidb import PipelineNLIDB
+from repro.embedding import Lexicon
 
 
 def build_database() -> Database:
@@ -72,20 +68,35 @@ def build_log() -> QueryLog:
     return log
 
 
-def main() -> None:
-    db = build_database()
+def build_dataset() -> BenchmarkDataset:
+    """Wrap the mini database for the Engine (no benchmark workload).
 
-    # The similarity model: a curated lexicon (with word2vec's typical
-    # near-tie confusion between "papers" and journal/publication) over a
-    # deterministic character-n-gram backoff.
+    The similarity lexicon carries word2vec's typical near-tie confusion
+    between "papers" and journal/publication.
+    """
     lexicon = Lexicon()
     lexicon.add("paper", "journal", 0.59)
     lexicon.add("paper", "publication", 0.585)
     lexicon.add("after", "year", 0.7)
-    model = CompositeModel(lexicon)
+    return BenchmarkDataset(
+        name="quickstart",
+        database=build_database(),
+        items=[],
+        lexicon=lexicon,
+        schema_terms=["papers", "journals"],
+    )
 
-    templar = Templar(db, model, build_log())
-    print(templar)
+
+def main() -> None:
+    # The whole stack — database, similarity model, query log, backend,
+    # caches — described declaratively and assembled by Engine.from_config.
+    # (Named datasets need only EngineConfig(dataset="mas"); here we
+    # inject the custom mini dataset and its Figure 3a log.)
+    config = EngineConfig(dataset="quickstart", backend="pipeline+",
+                          log_source="none")
+    engine = Engine.from_config(config, dataset=build_dataset(),
+                                query_log=build_log())
+    print(engine.templar)
 
     # The NLQ "return the papers after 2000", hand-parsed into keywords
     # with metadata — exactly what a pipeline NLIDB sends to Templar.
@@ -98,20 +109,26 @@ def main() -> None:
     ]
 
     print("\nMAPKEYWORDS — ranked configurations:")
-    for config in templar.map_keywords(keywords)[:3]:
-        print(f"  {config}")
+    for mapping_config in engine.templar.map_keywords(keywords)[:3]:
+        print(f"  {mapping_config}")
 
     print("\nINFERJOINS — ranked join paths for {publication, journal}:")
-    for path in templar.infer_joins(["publication", "journal"]):
+    for path in engine.templar.infer_joins(["publication", "journal"]):
         print(f"  {path}")
 
-    # An NLIDB wires both calls together; Pipeline+ is ours.
-    augmented = PipelineNLIDB(db, model, templar)
-    result = augmented.top_translation(keywords)
-    print(f"\nFinal SQL: {result.sql}")
+    # The Engine answers the unified TranslationRequest: pre-parsed
+    # keywords or a raw NLQ string, same TranslationResponse either way.
+    response = engine.translate(keywords)
+    print(f"\nFinal SQL: {response.sql}")
 
-    answer = db.execute(result.sql)
+    raw = engine.translate("return the papers after 2000")
+    print(f"Raw-NLQ SQL: {raw.sql}")
+    print(f"Provenance: {raw.provenance['backend']} on "
+          f"{raw.provenance['dataset']}")
+
+    answer = engine.dataset.database.execute(response.sql)
     print(f"Answer rows: {answer.rows}")
+    engine.close()
 
 
 if __name__ == "__main__":

@@ -3,51 +3,59 @@
 Shows the ambiguities that make log augmentation matter outside academia:
 "rating" lives on both ``business`` and ``review``; "reviews" matches the
 ``review`` relation *and* ``business.review_count``.  Also demonstrates
-incremental log learning — Templar keeps absorbing queries it observes
-at run time via :meth:`Templar.observe_query`.
+incremental log learning — an Engine started with an *empty* log keeps
+absorbing the queries it observes at run time.
 
 Run:  python examples/yelp_reviews.py
 """
 
-from repro.core import QueryLog, Templar
+from repro.api import Engine, EngineConfig
 from repro.datasets import load_dataset
-from repro.embedding import CompositeModel
-from repro.nlidb import PipelineNLIDB
 
 
 def main() -> None:
     dataset = load_dataset("yelp")
     db = dataset.database
-    model = CompositeModel(dataset.lexicon)
-
     items = dataset.usable_items()
-    log = QueryLog([i.gold_sql for i in items])
-    templar = Templar(db, model, log)
-    system = PipelineNLIDB(db, model, templar)
-    baseline = PipelineNLIDB(db, model, None)
+
+    baseline = Engine.from_config(
+        EngineConfig(dataset="yelp", backend="pipeline"), dataset=dataset
+    )
+    system = Engine.from_config(
+        EngineConfig(dataset="yelp", backend="pipeline+",
+                     log_source="dataset"),
+        dataset=dataset,
+    )
 
     for family in ("avg_rating_of_business", "reviews_rating_above"):
         item = next(i for i in items if i.family == family)
         print(f"NLQ: {item.nlq}")
-        base = baseline.top_translation(item.keywords)
-        plus = system.top_translation(item.keywords)
-        print(f"  Pipeline : {base.sql if base else '(no translation)'}")
+        base = baseline.translate(item.keywords)
+        plus = system.translate(item.keywords)
+        print(f"  Pipeline : {base.sql if base.sql else '(no translation)'}")
         print(f"  Pipeline+: {plus.sql}")
         answer = db.execute(plus.sql)
         preview = answer.rows[:3]
         print(f"  answer ({len(answer.rows)} rows): {preview}\n")
 
-    # Incremental learning: a fresh Templar with an empty log absorbs
-    # queries as the deployment runs.
-    fresh = Templar(db, model, None)
+    # Incremental learning: an engine with an empty log (log_source
+    # "none") absorbs queries as the deployment runs.
+    fresh = Engine.from_config(
+        EngineConfig(dataset="yelp", backend="pipeline+", log_source="none"),
+        dataset=dataset,
+    )
     nlq_item = next(i for i in items if i.family == "avg_rating_of_business")
     print("Incremental QFG: observing the live query stream...")
     for i in items[:60]:
-        fresh.observe_query(i.gold_sql)
-    print(f"  {fresh.qfg}")
-    fresh_system = PipelineNLIDB(db, model, fresh)
-    result = fresh_system.top_translation(nlq_item.keywords)
+        fresh.observe(i.gold_sql)
+    fresh.absorb_pending()
+    print(f"  {fresh.templar.qfg}")
+    result = fresh.translate(nlq_item.keywords)
     print(f"  after 60 observed queries: {result.sql}")
+
+    baseline.close()
+    system.close()
+    fresh.close()
 
 
 if __name__ == "__main__":

@@ -5,26 +5,31 @@ Natural Language Interfaces to Databases* (Baik, Jagadish, Li; ICDE 2019)
 as a complete system: the Templar augmentation layer, every substrate it
 needs (in-memory relational engine, SQL front-end, schema-graph Steiner
 machinery, similarity models), the Pipeline/NaLIR systems it is evaluated
-against, the three benchmark datasets, and the evaluation harness.
+against, the three benchmark datasets, the evaluation harness, and a
+production serving stack behind one declarative entry point.
 
 Quick start::
 
-    from repro.core import Templar, QueryLog
-    from repro.datasets import load_dataset
-    from repro.embedding import CompositeModel
-    from repro.nlidb import PipelineNLIDB
+    from repro.api import Engine, EngineConfig
 
-    dataset = load_dataset("mas")
-    log = QueryLog([item.gold_sql for item in dataset.usable_items()])
-    templar = Templar(dataset.database, CompositeModel(dataset.lexicon), log)
-    system = PipelineNLIDB(dataset.database, templar.similarity, templar)
-    result = system.top_translation(dataset.usable_items()[0].keywords)
-    print(result.sql)
+    with Engine.from_config(EngineConfig(dataset="mas")) as engine:
+        response = engine.translate("return the papers after 2000")
+        print(response.sql)
 
 See README.md for the architecture overview and EXPERIMENTS.md for the
 paper-versus-measured numbers.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+__all__ = ["Engine", "EngineConfig", "__version__"]
+
+
+def __getattr__(name: str):
+    # Lazy re-exports: `repro.Engine` without paying the full import
+    # chain (datasets, serving) for `import repro` alone.
+    if name in ("Engine", "EngineConfig"):
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,26 @@
+"""Unified public API: declarative configs, one Engine, one wire format.
+
+* :mod:`repro.api.config` — :class:`EngineConfig`, the serializable
+  description of a deployment (dataset, backend, log source, scoring and
+  serving knobs) with a strict ``to_dict``/``from_dict``/``from_file``
+  codec.
+* :mod:`repro.api.engine` — :class:`Engine`, the facade every frontend
+  (CLI, HTTP, eval, examples) builds through ``Engine.from_config`` and
+  talks to via ``translate`` / ``translate_batch`` / ``explain`` /
+  ``observe``.
+
+The request/response pair lives in :mod:`repro.serving.wire` and is
+re-exported here for convenience.
+"""
+
+from repro.api.config import LOG_SOURCES, EngineConfig
+from repro.api.engine import Engine
+from repro.serving.wire import TranslationRequest, TranslationResponse
+
+__all__ = [
+    "Engine",
+    "EngineConfig",
+    "LOG_SOURCES",
+    "TranslationRequest",
+    "TranslationResponse",
+]

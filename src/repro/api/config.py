@@ -1,0 +1,173 @@
+"""Declarative engine configuration: one serializable object per deployment.
+
+:class:`EngineConfig` captures everything :class:`~repro.api.engine.Engine`
+needs to assemble a translation stack — dataset, backend, query-log
+source, similarity/scoring knobs, serving cache sizes — as a frozen,
+JSON-round-trippable dataclass.  Every frontend (CLI, HTTP server, eval
+harness, examples) describes *what* to run with one of these instead of
+hand-wiring constructors.
+
+The codec is strict: :meth:`EngineConfig.from_dict` rejects unknown keys
+with a :class:`~repro.errors.ConfigError`, so a typo in a config file
+fails loudly instead of silently running defaults.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+
+from repro.core.fragments import Obscurity
+from repro.core.keyword_mapper import ScoringParams
+from repro.errors import ConfigError
+
+#: Where the query log that feeds the QFG comes from.
+#:
+#: * ``"dataset"`` — the gold SQL of the dataset's usable items (the
+#:   paper's log source),
+#: * ``"file"`` — a SQL log file at :attr:`EngineConfig.log_path` (messy
+#:   real-world formats handled by the ingest reader),
+#: * ``"artifacts"`` — a compiled version in the artifact store at
+#:   :attr:`EngineConfig.artifacts` (startup is a verified load, not a
+#:   rebuild; ``repro warmup`` / ``repro ingest`` publish these),
+#: * ``"none"`` — start with an empty log (online learning only).
+LOG_SOURCES = ("dataset", "file", "artifacts", "none")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything needed to build an :class:`~repro.api.engine.Engine`."""
+
+    # What to serve.
+    dataset: str = "mas"
+    backend: str = "pipeline+"
+
+    # Where the query log comes from (see LOG_SOURCES).
+    log_source: str = "dataset"
+    log_path: str | None = None
+    artifacts: str | None = None
+    artifact_version: str | None = None
+
+    # Templar / scoring knobs (paper defaults).
+    obscurity: str = Obscurity.NO_CONST_OP.value
+    kappa: int = 5
+    lam: float = 0.8
+    use_log_keywords: bool = True
+    use_log_joins: bool = True
+    max_configurations: int = 10
+
+    # Serving knobs.
+    cache_size: int = 2048
+    max_workers: int = 4
+    learn_batch_size: int | None = None
+
+    # NLQ front-end: the harness keeps the paper-faithful failure modes,
+    # end-user frontends use the best-effort parse.
+    simulate_parse_failures: bool = False
+
+    def __post_init__(self) -> None:
+        if self.log_source not in LOG_SOURCES:
+            raise ConfigError(
+                f"unknown log_source {self.log_source!r}; "
+                f"one of: {', '.join(LOG_SOURCES)}"
+            )
+        if self.log_source == "file" and not self.log_path:
+            raise ConfigError("log_source 'file' requires log_path")
+        if self.log_path is not None and self.log_source != "file":
+            # A set-but-unused field would silently train on the wrong log.
+            raise ConfigError(
+                f"log_path is only used with log_source 'file' "
+                f"(got log_source {self.log_source!r})"
+            )
+        if self.log_source == "artifacts" and not self.artifacts:
+            raise ConfigError(
+                "log_source 'artifacts' requires the artifacts store root"
+            )
+        if self.artifacts is not None and self.log_source != "artifacts":
+            raise ConfigError(
+                f"artifacts is only used with log_source 'artifacts' "
+                f"(got log_source {self.log_source!r})"
+            )
+        if self.artifact_version is not None and not self.artifacts:
+            raise ConfigError(
+                "artifact_version pins a store version and requires artifacts"
+            )
+        try:
+            Obscurity(self.obscurity)
+        except ValueError:
+            valid = ", ".join(o.value for o in Obscurity)
+            raise ConfigError(
+                f"unknown obscurity {self.obscurity!r}; one of: {valid}"
+            ) from None
+        if self.kappa < 1:
+            raise ConfigError(f"kappa must be >= 1, got {self.kappa}")
+        if not 0.0 <= self.lam <= 1.0:
+            raise ConfigError(f"lam must be in [0, 1], got {self.lam}")
+        if self.max_configurations < 1:
+            raise ConfigError(
+                f"max_configurations must be >= 1, got {self.max_configurations}"
+            )
+        if self.cache_size < 1:
+            raise ConfigError(f"cache_size must be >= 1, got {self.cache_size}")
+        if self.max_workers < 1:
+            raise ConfigError(f"max_workers must be >= 1, got {self.max_workers}")
+
+    # ------------------------------------------------------------ resolved
+
+    def obscurity_level(self) -> Obscurity:
+        return Obscurity(self.obscurity)
+
+    def scoring_params(self) -> ScoringParams:
+        return ScoringParams(kappa=self.kappa, lam=self.lam)
+
+    # --------------------------------------------------------------- codec
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict; ``from_dict(to_dict())`` is the identity."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineConfig":
+        """Strict decode: unknown keys raise :class:`ConfigError`."""
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"engine config must be an object, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown engine config field(s): {', '.join(unknown)}; "
+                f"allowed: {', '.join(sorted(known))}"
+            )
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ConfigError(f"invalid engine config: {exc}") from exc
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "EngineConfig":
+        """Load a JSON config file."""
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except OSError as exc:
+            raise ConfigError(f"cannot read engine config {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"engine config {path} is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(data)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the config as JSON; the file round-trips via from_file."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=1, sort_keys=True))
+        return path
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the configuration."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -1,0 +1,382 @@
+"""The unified entry point: ``Engine.from_config`` builds the whole stack.
+
+The paper draws Templar as one facade an NLIDB plugs into (Figure 2);
+this module is the repo-level analogue: one declarative construction path
+shared by the CLI, the HTTP server, the evaluation harness and the
+examples.  An :class:`Engine` resolves an
+:class:`~repro.api.config.EngineConfig` into
+
+* a benchmark dataset (database, lexicon, workload),
+* a query log — rebuilt from gold SQL, streamed from a log file, loaded
+  from a published artifact version, or empty,
+* a registered NLIDB backend (:mod:`repro.nlidb.registry`),
+* a cached, concurrent :class:`~repro.serving.TranslationService`,
+* a best-effort NLQ parser for raw-string requests,
+
+and then answers :class:`~repro.serving.wire.TranslationRequest`\\ s —
+raw NLQ strings or pre-parsed keyword lists — with the unified
+:class:`~repro.serving.wire.TranslationResponse`.
+
+Quick start::
+
+    from repro.api import Engine, EngineConfig
+
+    with Engine.from_config(EngineConfig(dataset="mas")) as engine:
+        response = engine.translate("return the papers after 2000")
+        print(response.sql)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.api.config import EngineConfig
+from repro.core.explain import ConfigurationExplanation, explain_configuration
+from repro.core.interface import Keyword
+from repro.core.log import QueryLog
+from repro.core.templar import Templar
+from repro.datasets.base import BenchmarkDataset
+from repro.datasets.registry import load_dataset
+from repro.embedding.model import CompositeModel
+from repro.errors import ConfigError, ServingError, TranslationError
+from repro.nlidb.base import NLIDB
+from repro.nlidb.nalir_parser import NalirParser
+from repro.nlidb.registry import BackendSpec, build_backend, get_backend
+from repro.serving.service import (
+    TranslationService,
+    resolve_request_keywords,
+    translate_request,
+)
+from repro.serving.wire import TranslationRequest, TranslationResponse
+
+
+class Engine:
+    """One assembled translation stack, built declaratively from a config.
+
+    Construct with :meth:`from_config`; the direct constructor wires
+    pre-built parts together (dependency injection for tests and custom
+    datasets).
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        *,
+        dataset: BenchmarkDataset,
+        backend: BackendSpec,
+        nlidb: NLIDB,
+        service: TranslationService,
+        parser: NalirParser | None = None,
+        templar: Templar | None = None,
+        artifact_version: str | None = None,
+    ) -> None:
+        self.config = config
+        self.dataset = dataset
+        self.backend = backend
+        self.nlidb = nlidb
+        self.service = service
+        self.parser = parser
+        self.templar = templar
+        self.artifact_version = artifact_version
+        # Everything in the provenance is immutable after construction;
+        # hash the config once instead of on every request.
+        self._provenance = {
+            "backend": backend.display_name,
+            "dataset": dataset.name,
+            "config_fingerprint": config.fingerprint()[:12],
+        }
+        if artifact_version is not None:
+            self._provenance["artifact_version"] = artifact_version
+
+    # -------------------------------------------------------- construction
+
+    @classmethod
+    def from_config(
+        cls,
+        config: EngineConfig | dict | str | Path,
+        *,
+        dataset: BenchmarkDataset | None = None,
+        query_log: QueryLog | None = None,
+    ) -> "Engine":
+        """Resolve a config into a ready engine.
+
+        ``config`` may be an :class:`EngineConfig`, a plain dict (strictly
+        decoded), or a path to a JSON config file.  ``dataset`` overrides
+        the named dataset with an in-memory one (custom schemas, tests);
+        ``query_log`` overrides the log source with an explicit log
+        (incompatible with ``log_source="artifacts"``).
+        """
+        if isinstance(config, (str, Path)):
+            config = EngineConfig.from_file(config)
+        elif isinstance(config, dict):
+            config = EngineConfig.from_dict(config)
+        if dataset is None:
+            dataset = load_dataset(config.dataset)
+        spec = get_backend(config.backend)
+
+        templar: Templar | None = None
+        artifact_version: str | None = None
+        if query_log is not None and config.log_source in ("artifacts", "file"):
+            # Overriding a concretely configured log source would leave
+            # the config (and its fingerprint) claiming a different log
+            # than the engine trains on.
+            raise ConfigError(
+                f"an explicit query_log cannot override log_source "
+                f"{config.log_source!r}; use log_source 'none' (or "
+                f"'dataset') with an injected log"
+            )
+        if not spec.augmented:
+            # A baseline backend consumes no log; explicitly requested
+            # log state must fail loudly, not be silently dropped.
+            if config.log_source in ("artifacts", "file"):
+                raise ConfigError(
+                    f"backend {spec.name!r} is not log-augmented and cannot "
+                    f"serve log_source {config.log_source!r}; use the "
+                    f"augmented variant or log_source 'dataset'/'none'"
+                )
+            if query_log is not None:
+                raise ConfigError(
+                    f"backend {spec.name!r} is not log-augmented and cannot "
+                    f"use an injected query_log"
+                )
+        if spec.augmented:
+            templar_kwargs = dict(
+                obscurity=config.obscurity_level(),
+                params=config.scoring_params(),
+                use_log_keywords=config.use_log_keywords,
+                use_log_joins=config.use_log_joins,
+            )
+            if config.log_source == "artifacts":
+                from repro.serving.artifacts import ArtifactStore
+
+                artifacts = ArtifactStore(config.artifacts).load(
+                    dataset.name, config.artifact_version
+                )
+                if artifacts.qfg.obscurity is not config.obscurity_level():
+                    # Serving a different obscurity than the config
+                    # declares would silently misdescribe the deployment.
+                    raise ConfigError(
+                        f"config obscurity {config.obscurity!r} does not "
+                        f"match artifact version {artifacts.version!r} "
+                        f"(compiled with {artifacts.qfg.obscurity.value!r}); "
+                        f"align the config or recompile the artifacts"
+                    )
+                artifact_version = artifacts.version
+                # build_templar pins obscurity to the compiled QFG's; the
+                # check above guarantees that equals the config's.
+                templar_kwargs.pop("obscurity")
+                # Serve the state that was compiled: the artifact lexicon,
+                # not the (possibly newer) in-process dataset's.
+                templar = artifacts.build_templar(
+                    dataset.database, **templar_kwargs
+                )
+            else:
+                log = query_log
+                if log is None:
+                    if config.log_source == "dataset":
+                        log = QueryLog(
+                            [item.gold_sql for item in dataset.usable_items()]
+                        )
+                    elif config.log_source == "file":
+                        log = QueryLog.from_file(config.log_path)
+                    # "none": stay empty; observe() grows the QFG online.
+                templar = Templar(
+                    dataset.database,
+                    CompositeModel(dataset.lexicon),
+                    log,
+                    **templar_kwargs,
+                )
+
+        nlidb = build_backend(
+            config.backend,
+            dataset,
+            templar,
+            max_configurations=config.max_configurations,
+            params=config.scoring_params(),
+            simulate_parse_failures=config.simulate_parse_failures,
+        )
+        service = TranslationService(
+            nlidb,
+            templar=templar,
+            cache_size=config.cache_size,
+            max_workers=config.max_workers,
+            learn_batch_size=config.learn_batch_size,
+        )
+        # Raw-NLQ front-end: a backend that brings its own parser (the
+        # NaLIR family, plugins with parses_nlq=True) keeps it; everyone
+        # else gets the rule-based parser as a best-effort front door.
+        parser = getattr(nlidb, "parser", None)
+        if parser is None:
+            parser = NalirParser(
+                dataset.database,
+                dataset.schema_terms,
+                simulate_failures=config.simulate_parse_failures,
+            )
+        return cls(
+            config,
+            dataset=dataset,
+            backend=spec,
+            nlidb=nlidb,
+            service=service,
+            parser=parser,
+            templar=templar,
+            artifact_version=artifact_version,
+        )
+
+    # ----------------------------------------------------------- translate
+
+    def translate(
+        self,
+        request: TranslationRequest | str | Sequence[Keyword] | dict,
+        *,
+        limit: int | None = None,
+        observe: bool | None = None,
+    ) -> TranslationResponse:
+        """Answer one request (raw NLQ, keywords, payload, or request).
+
+        When the request asks to ``observe``, the top translation is fed
+        back into the QFG learning queue after translation.
+        """
+        request = TranslationRequest.of(request, limit=limit, observe=observe)
+        self._check_observable(request)
+        response = translate_request(
+            self.service, request,
+            parser=self.parser, provenance=self.provenance(),
+        )
+        if request.observe and response.results:
+            self.observe(response.results[0].sql)
+        return response
+
+    def _check_observable(self, request: TranslationRequest) -> None:
+        """Reject an unservable ``observe`` before paying for translation."""
+        if request.observe and self.templar is None:
+            raise ServingError(
+                "cannot observe queries: the wrapped NLIDB has no Templar"
+            )
+
+    def translate_batch(
+        self,
+        requests: Sequence[TranslationRequest | str | Sequence[Keyword] | dict],
+    ) -> list[TranslationResponse]:
+        """Translate many requests at once, deduplicated and fanned out.
+
+        NLQ requests are parsed up front, then the whole batch goes
+        through the service's deduplicating thread-pool path; responses
+        come back in input order.
+        """
+        normalized = [TranslationRequest.of(request) for request in requests]
+        for request in normalized:
+            self._check_observable(request)
+        started = time.perf_counter()
+        keyword_lists: list[tuple[Keyword, ...]] = []
+        parse_ms: list[float] = []
+        for request in normalized:
+            keywords, elapsed = self._resolve_keywords(request)
+            keyword_lists.append(keywords)
+            parse_ms.append(elapsed)
+        batches = self.service.translate_batch(keyword_lists)
+        batch_ms = (time.perf_counter() - started) * 1000.0
+        responses = []
+        for request, keywords, results, parsed in zip(
+            normalized, keyword_lists, batches, parse_ms
+        ):
+            # Requests in a batch are translated concurrently and
+            # deduplicated, so no honest per-request translate time
+            # exists; "translate"/"total" carry the shared batch
+            # wall-clock (keeping the TranslationResponse key contract)
+            # and "batch_size" marks them as batch-level numbers.
+            responses.append(TranslationResponse(
+                request=request,
+                results=results,
+                keywords=keywords,
+                provenance=self.provenance(),
+                timings_ms={
+                    "parse": parsed,
+                    "translate": batch_ms,
+                    "total": batch_ms,
+                    "batch_size": len(normalized),
+                },
+            ))
+        for response in responses:
+            if response.request.observe and response.results:
+                self.observe(response.results[0].sql)
+        return responses
+
+    def _resolve_keywords(
+        self, request: TranslationRequest
+    ) -> tuple[tuple[Keyword, ...], float]:
+        return resolve_request_keywords(request, self.parser)
+
+    def explain(
+        self, request: TranslationRequest | str | Sequence[Keyword] | dict
+    ) -> ConfigurationExplanation:
+        """Decompose the winning configuration's score for one request.
+
+        A pure diagnostic: the request's ``observe`` flag is ignored so
+        explaining never mutates QFG learning state.
+        """
+        response = self.translate(request, observe=False)
+        if response.top is None:
+            raise TranslationError(
+                "nothing to explain: the request produced no translation"
+            )
+        return explain_configuration(
+            response.top.configuration,
+            self.templar.qfg if self.templar is not None else None,
+        )
+
+    # ------------------------------------------------------------ learning
+
+    def observe(self, sql: str) -> None:
+        """Queue one served SQL statement for QFG ingestion."""
+        self.service.observe(sql)
+
+    def absorb_pending(self) -> int:
+        """Apply queued observations to the QFG now; returns how many."""
+        return self.service.absorb_pending()
+
+    # ----------------------------------------------------------- lifecycle
+
+    def provenance(self) -> dict:
+        """How answers are produced: backend, dataset, config identity."""
+        return dict(self._provenance)
+
+    def fingerprint(self) -> str:
+        """Content identity of the engine: config plus resolved log state.
+
+        Two engines with equal fingerprints serve identical scores, so
+        the config round trip (``to_dict`` → ``from_dict``) must preserve
+        this exactly.
+        """
+        digest = hashlib.sha256(self.config.fingerprint().encode("utf-8"))
+        digest.update(self.backend.name.encode("utf-8"))
+        digest.update(self.dataset.name.encode("utf-8"))
+        qfg = self.templar.qfg if self.templar is not None else None
+        digest.update(
+            qfg.fingerprint().encode("utf-8") if qfg is not None else b"no-qfg"
+        )
+        return digest.hexdigest()
+
+    def stats(self) -> dict:
+        """Operational snapshot: service stats plus engine provenance."""
+        stats = self.service.stats()
+        stats["engine"] = self.provenance()
+        return stats
+
+    def close(self) -> None:
+        self.service.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine({self.backend.display_name} on {self.dataset.name!r}, "
+            f"log_source={self.config.log_source!r})"
+        )

@@ -10,6 +10,15 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli warmup --dataset mas --artifacts ./artifacts
     python -m repro.cli ingest --dataset mas --log big.sql --artifacts ./artifacts
     python -m repro.cli serve --dataset mas --artifacts ./artifacts --port 8080
+
+Every subcommand that translates or serves builds its stack through
+``repro.api.Engine.from_config`` — the CLI only describes *what* to run
+(an :class:`~repro.api.config.EngineConfig`) and prints the results.
+
+Exit codes are uniform across subcommands: 0 on success, 1 when a
+translation request produced no result (unparseable NLQ, empty ranking),
+2 on any operational :class:`~repro.errors.ReproError` (unknown dataset,
+missing artifacts, unreadable files, ports in use, ...).
 """
 
 from __future__ import annotations
@@ -18,16 +27,21 @@ import argparse
 import os
 import sys
 import time
+import warnings
 
-from repro.core import QueryLog, Templar
-from repro.core.explain import explain_configuration
+from repro import __version__
+from repro.api import Engine, EngineConfig
 from repro.datasets import DATASET_BUILDERS, load_dataset
-from repro.embedding import CompositeModel
 from repro.errors import ReproError
 from repro.eval import EvalConfig, evaluate_system
 from repro.eval.harness import SYSTEM_NAMES
 from repro.eval.reporting import format_kv, format_rows, percentage
-from repro.nlidb import NalirNLIDB, NalirParser, PipelineNLIDB
+from repro.nlidb.registry import backend_names
+
+#: Uniform exit codes (see module docstring).
+EXIT_OK = 0
+EXIT_NO_RESULT = 1
+EXIT_ERROR = 2
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -39,7 +53,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
              stats["fk_pk"], stats["queries"]]
         )
     print(format_rows(["Dataset", "Rels", "Attrs", "FK-PK", "Queries"], rows))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -61,7 +75,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             for family, (correct, total) in result.family_breakdown().items()
         ]
         print(format_rows(["family", "correct", "total"], rows))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -77,49 +91,57 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         result = evaluate_system(dataset, "Pipeline+", config)
         rows.append([value, percentage(result.fq_accuracy)])
     print(format_rows([args.parameter, "FQ (%)"], rows))
-    return 0
+    return EXIT_OK
+
+
+def _engine_config(args: argparse.Namespace) -> EngineConfig:
+    """The declarative description shared by ``translate`` and ``serve``."""
+    artifacts = getattr(args, "artifacts", None)
+    return EngineConfig(
+        dataset=args.dataset,
+        backend=getattr(args, "backend", "pipeline+"),
+        log_source="artifacts" if artifacts is not None else "dataset",
+        artifacts=artifacts,
+        artifact_version=getattr(args, "version", None),
+        cache_size=getattr(args, "cache_size", 2048),
+        max_workers=getattr(args, "workers", 4),
+        learn_batch_size=getattr(args, "learn_batch", None),
+        # Best-effort parsing for end users (the evaluation harness uses
+        # the failure-faithful parser instead).
+        simulate_parse_failures=False,
+    )
 
 
 def _cmd_translate(args: argparse.Namespace) -> int:
-    dataset = load_dataset(args.dataset)
-    db = dataset.database
-    model = CompositeModel(dataset.lexicon)
-    log = QueryLog([item.gold_sql for item in dataset.usable_items()])
-    templar = Templar(db, model, log)
-    # Best-effort parsing for end users (the evaluation harness uses the
-    # failure-faithful parser instead).
-    parser = NalirParser(db, dataset.schema_terms, simulate_failures=False)
-    system = NalirNLIDB(db, model, parser, templar)
+    with Engine.from_config(_engine_config(args)) as engine:
+        parsed = engine.parser.parse(args.nlq)
+        if parsed.failed:
+            print("could not parse the NLQ into keywords", file=sys.stderr)
+            return EXIT_NO_RESULT
+        print("keywords:")
+        for keyword in parsed.keywords:
+            print(f"  {keyword.text!r} ({keyword.metadata.context.value})")
+        for note in parsed.notes:
+            print(f"  note: {note}")
 
-    parsed = parser.parse(args.nlq)
-    if parsed.failed:
-        print("could not parse the NLQ into keywords", file=sys.stderr)
-        return 1
-    print("keywords:")
-    for keyword in parsed.keywords:
-        print(f"  {keyword.text!r} ({keyword.metadata.context.value})")
-    for note in parsed.notes:
-        print(f"  note: {note}")
+        response = engine.translate(parsed.keywords)
+        if not response.results:
+            print("no translation found", file=sys.stderr)
+            return EXIT_NO_RESULT
+        top = response.top
+        from repro.sql.formatter import format_query
 
-    results = system.translate(parsed.keywords)
-    if not results:
-        print("no translation found", file=sys.stderr)
-        return 1
-    top = results[0]
-    from repro.sql.formatter import format_query
-
-    print(f"\nSQL: {top.sql}")
-    print(format_query(top.query))
-    if args.explain:
-        print("\n" + explain_configuration(
-            top.configuration, templar.qfg
-        ).render())
-    if args.execute:
-        answer = db.execute(top.sql)
-        print(f"\nanswer ({len(answer.rows)} rows):")
-        for row in answer.rows[: args.limit]:
-            print(f"  {row}")
-    return 0
+        print(f"\nSQL: {top.sql}")
+        print(format_query(top.query))
+        if args.explain:
+            # Served from the translate cache, so this costs one lookup.
+            print("\n" + engine.explain(parsed.keywords).render())
+        if args.execute:
+            answer = engine.dataset.database.execute(top.sql)
+            print(f"\nanswer ({len(answer.rows)} rows):")
+            for row in answer.rows[: args.limit]:
+                print(f"  {row}")
+    return EXIT_OK
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -128,7 +150,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset)
     path = export_dataset_sql(dataset, args.output)
     print(f"wrote {path}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_warmup(args: argparse.Namespace) -> int:
@@ -157,7 +179,7 @@ def _cmd_warmup(args: argparse.Namespace) -> int:
         ("compile + verify", f"{compile_seconds * 1000:.1f} ms"),
         ("verified load", f"{load_seconds * 1000:.1f} ms"),
     ]))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
@@ -223,54 +245,47 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         rows.append(("published version", artifacts.version))
         rows.append(("artifact path", artifacts.path))
     print(format_kv(rows))
-    return 0
+    return EXIT_OK
 
 
-def _build_service(args: argparse.Namespace):
-    """(service, parser) for ``repro serve`` — artifact-backed when possible."""
-    from repro.serving import ArtifactStore, TranslationService
-
-    if args.version is not None and args.artifacts is None:
+def _check_serve_args(args: argparse.Namespace) -> None:
+    if getattr(args, "version", None) is not None and args.artifacts is None:
         raise ReproError(
             "--version pins an artifact version and requires --artifacts; "
             "without it the server rebuilds state from the query log"
         )
-    dataset = load_dataset(args.dataset)
-    database = dataset.database
-    if args.artifacts is not None:
-        artifacts = ArtifactStore(args.artifacts).load(
-            dataset.name, args.version
-        )
-        # Serve the state that was compiled: the artifact lexicon, not the
-        # (possibly newer) in-process dataset lexicon.
-        model = CompositeModel(artifacts.lexicon)
-        templar = artifacts.build_templar(database, model)
-    else:
-        model = CompositeModel(dataset.lexicon)
-        log = QueryLog([item.gold_sql for item in dataset.usable_items()])
-        templar = Templar(database, model, log)
-    nlidb = PipelineNLIDB(database, model, templar)
-    service = TranslationService(
-        nlidb,
-        cache_size=args.cache_size,
-        max_workers=args.workers,
-        learn_batch_size=args.learn_batch,
+
+
+def _build_service(args: argparse.Namespace):
+    """Deprecated: manual (service, parser) assembly for ``repro serve``.
+
+    Kept as a thin shim over the Engine; use
+    ``Engine.from_config(EngineConfig(...))`` and read ``.service`` /
+    ``.parser`` off the engine instead.
+    """
+    warnings.warn(
+        "_build_service's manual assembly is deprecated; build the stack "
+        "with repro.api.Engine.from_config",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    parser = NalirParser(database, dataset.schema_terms, simulate_failures=False)
-    return service, parser
+    _check_serve_args(args)
+    engine = Engine.from_config(_engine_config(args))
+    return engine.service, engine.parser
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the JSON translation endpoint for one dataset."""
     from repro.serving import make_server
 
-    service, parser = _build_service(args)
+    _check_serve_args(args)
+    engine = Engine.from_config(_engine_config(args))
     server = make_server(
-        service, host=args.host, port=args.port, parser=parser, quiet=False
+        engine=engine, host=args.host, port=args.port, quiet=False
     )
     host, port = server.server_address[:2]
     print(format_kv([
-        ("serving", f"{service.nlidb.name} on {args.dataset.upper()}"),
+        ("serving", f"{engine.nlidb.name} on {args.dataset.upper()}"),
         ("endpoint", f"http://{host}:{port}/translate"),
         ("health", f"http://{host}:{port}/healthz"),
         ("stats", f"http://{host}:{port}/stats"),
@@ -282,14 +297,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("\nshutting down")
     finally:
         server.shutdown()
-        service.close()
-    return 0
+        engine.close()
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Templar reproduction: experiments and NLQ translation",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -315,6 +333,9 @@ def build_parser() -> argparse.ArgumentParser:
     translate.add_argument("--dataset", choices=sorted(DATASET_BUILDERS),
                            default="mas")
     translate.add_argument("--nlq", required=True)
+    translate.add_argument("--backend", choices=backend_names(),
+                           default="pipeline+",
+                           help="registered NLIDB backend to translate with")
     translate.add_argument("--explain", action="store_true",
                            help="show the evidence decomposition")
     translate.add_argument("--execute", action="store_true",
@@ -375,6 +396,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--dataset", choices=sorted(DATASET_BUILDERS),
                        default="mas")
+    serve.add_argument("--backend", choices=backend_names(),
+                       default="pipeline+",
+                       help="registered NLIDB backend to serve")
     serve.add_argument("--artifacts", default=None,
                        help="load state from this artifact store instead of "
                             "rebuilding from the query log")
@@ -411,13 +435,13 @@ def main(argv: list[str] | None = None) -> int:
         # the interpreter's exit-time flush from raising a second time.
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
-        return 0
+        return EXIT_OK
     except (ReproError, OSError) as exc:
         # Operational failures (unknown dataset, missing/corrupt artifact
         # paths, unparseable input, ports in use, unreadable files) get a
         # one-line actionable message instead of a traceback.
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":

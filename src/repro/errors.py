@@ -86,3 +86,7 @@ class IngestInterrupted(IngestError):
 
 class ServingError(ReproError):
     """The translation service received an invalid or unservable request."""
+
+
+class ConfigError(ReproError):
+    """An :class:`~repro.api.config.EngineConfig` is invalid or unreadable."""

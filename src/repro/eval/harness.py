@@ -1,28 +1,40 @@
-"""Cross-validated evaluation of the four systems (Section VII).
+"""Cross-validated evaluation of the registered systems (Section VII).
 
 For each of the 4 trials, the SQL query log is the *gold SQL of the three
 training folds* — exactly the paper's setup — and the held-out fold is
 translated.  Results aggregate across trials.
+
+Systems are resolved through :mod:`repro.nlidb.registry`, so any backend
+registered there — including ones added outside this repo — is evaluable
+by name; ``SYSTEM_NAMES`` is derived from the registry.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.core.fragments import Obscurity
 from repro.core.keyword_mapper import ScoringParams
 from repro.core.log import QueryLog
 from repro.core.templar import Templar
-from repro.datasets.base import BenchmarkDataset, BenchmarkItem
-from repro.embedding.model import CompositeModel, LexiconModel
+from repro.datasets.base import BenchmarkDataset
+from repro.embedding.model import CompositeModel
 from repro.errors import ReproError
 from repro.eval.folds import split_folds, train_test_split
 from repro.eval.metrics import fq_correct, kw_correct
-from repro.nlidb.nalir import NalirNLIDB
-from repro.nlidb.nalir_parser import NalirParser
-from repro.nlidb.pipeline import PipelineNLIDB
+from repro.nlidb.base import NLIDB
+from repro.nlidb.registry import (
+    BackendSpec,
+    build_backend,
+    display_names,
+    get_backend,
+)
 
-SYSTEM_NAMES = ("NaLIR", "NaLIR+", "Pipeline", "Pipeline+")
+#: Display names of every registered system — ("NaLIR", "NaLIR+",
+#: "Pipeline", "Pipeline+") for the paper's four, plus any plugins
+#: registered before this module is imported.
+SYSTEM_NAMES = display_names()
 
 
 @dataclass(frozen=True)
@@ -86,60 +98,83 @@ class SystemResult:
         return {k: (v[0], v[1]) for k, v in sorted(breakdown.items())}
 
 
+def _engine_config(spec: BackendSpec, dataset_name: str, config: EvalConfig):
+    """The declarative engine description for one evaluation trial."""
+    from repro.api.config import EngineConfig
+
+    return EngineConfig(
+        dataset=dataset_name,
+        backend=spec.name,
+        # The fold log is injected explicitly per trial.
+        log_source="none",
+        obscurity=config.obscurity.value,
+        kappa=config.kappa,
+        lam=config.lam,
+        use_log_keywords=config.use_log_keywords,
+        use_log_joins=config.use_log_joins,
+        max_configurations=config.max_configurations,
+        # The paper-faithful protocol keeps the parser's documented
+        # failure modes, translates one item at a time, and never learns
+        # from its own output mid-trial.
+        simulate_parse_failures=True,
+        max_workers=1,
+    )
+
+
+def _trial_engine(
+    spec: BackendSpec,
+    dataset: BenchmarkDataset,
+    log: QueryLog,
+    config: EvalConfig,
+):
+    """One assembled engine for a trial — the same path every frontend uses."""
+    from repro.api.engine import Engine
+
+    return Engine.from_config(
+        _engine_config(spec, dataset.name, config),
+        dataset=dataset,
+        query_log=log if spec.augmented else None,
+    )
+
+
 def _build_system(
     name: str,
     dataset: BenchmarkDataset,
     log: QueryLog,
     config: EvalConfig,
-):
-    """Instantiate one of the four compared systems for a trial."""
-    database = dataset.database
-    composite = CompositeModel(dataset.lexicon)
-    if name == "Pipeline":
-        return PipelineNLIDB(
-            database, composite, None,
-            max_configurations=config.max_configurations,
-            params=config.scoring_params(),
-        )
-    if name == "Pipeline+":
+) -> NLIDB:
+    """Deprecated: hard-coded system dispatch, kept as a thin shim.
+
+    Use :func:`repro.nlidb.registry.build_backend` for a bare system, or
+    ``repro.api.Engine.from_config`` for a full stack.
+    """
+    warnings.warn(
+        "_build_system's hard-coded system dispatch is deprecated; "
+        "resolve backends through repro.nlidb.registry or build a full "
+        "stack with repro.api.Engine.from_config",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    spec = get_backend(name)
+    templar = None
+    if spec.augmented:
         templar = Templar(
-            database, composite, log,
+            dataset.database,
+            CompositeModel(dataset.lexicon),
+            log,
             obscurity=config.obscurity,
             params=config.scoring_params(),
             use_log_keywords=config.use_log_keywords,
             use_log_joins=config.use_log_joins,
         )
-        return PipelineNLIDB(
-            database, composite, templar,
-            max_configurations=config.max_configurations,
-        )
-    parser = NalirParser(database, dataset.schema_terms)
-    wordnet_like = LexiconModel(dataset.nalir_model_lexicon())
-    if name == "NaLIR":
-        return NalirNLIDB(
-            database, wordnet_like, parser, None,
-            max_configurations=config.max_configurations,
-            params=config.scoring_params(),
-        )
-    if name == "NaLIR+":
-        templar = Templar(
-            database, composite, log,
-            obscurity=config.obscurity,
-            params=config.scoring_params(),
-            use_log_keywords=config.use_log_keywords,
-            use_log_joins=config.use_log_joins,
-        )
-        return NalirNLIDB(
-            database, wordnet_like, parser, templar,
-            max_configurations=config.max_configurations,
-        )
-    raise ReproError(f"unknown system {name!r}; choose from {SYSTEM_NAMES}")
-
-
-def _translate(system, item: BenchmarkItem):
-    if isinstance(system, NalirNLIDB):
-        return system.translate_nlq(item.nlq)
-    return system.translate(item.keywords)
+    return build_backend(
+        spec.name,
+        dataset,
+        templar,
+        max_configurations=config.max_configurations,
+        params=config.scoring_params(),
+        simulate_parse_failures=True,
+    )
 
 
 def evaluate_system(
@@ -147,28 +182,38 @@ def evaluate_system(
     system_name: str,
     config: EvalConfig | None = None,
 ) -> SystemResult:
-    """Run the full 4-fold cross-validated evaluation of one system."""
+    """Run the full 4-fold cross-validated evaluation of one system.
+
+    ``system_name`` is resolved through the backend registry (canonical
+    or display name, case-insensitive); each trial's system is assembled
+    by ``Engine.from_config`` — the same construction path the CLI, HTTP
+    endpoint and examples use.  NLQ-parsing backends receive the raw NLQ
+    (routed through the engine's failure-faithful parser); the others
+    receive the hand-parsed keywords.
+    """
     config = config or EvalConfig()
+    spec = get_backend(system_name)
     items = dataset.usable_items()
     folds = split_folds(items, config.folds, config.fold_seed)
-    result = SystemResult(system=system_name, dataset=dataset.name)
+    result = SystemResult(system=spec.display_name, dataset=dataset.name)
     catalog = dataset.database.catalog
 
     for trial in range(config.folds):
         train, test = train_test_split(folds, trial)
         log = QueryLog([item.gold_sql for item in train])
-        system = _build_system(system_name, dataset, log, config)
-        for item in test:
-            try:
-                results = _translate(system, item)
-            except ReproError:
-                results = []
-            outcome = ItemOutcome(
-                item_id=item.item_id,
-                family=item.family,
-                kw=kw_correct(item, results, catalog),
-                fq=fq_correct(item, results, catalog),
-                top_sql=results[0].sql if results else None,
-            )
-            result.outcomes.append(outcome)
+        with _trial_engine(spec, dataset, log, config) as engine:
+            for item in test:
+                request = item.nlq if spec.parses_nlq else item.keywords
+                try:
+                    results = engine.translate(request).results
+                except ReproError:
+                    results = []
+                outcome = ItemOutcome(
+                    item_id=item.item_id,
+                    family=item.family,
+                    kw=kw_correct(item, results, catalog),
+                    fq=fq_correct(item, results, catalog),
+                    top_sql=results[0].sql if results else None,
+                )
+                result.outcomes.append(outcome)
     return result

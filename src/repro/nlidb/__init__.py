@@ -9,20 +9,37 @@
 * :mod:`repro.nlidb.nalir_parser` / :mod:`repro.nlidb.nalir` — a
   simulation of NaLIR's parse-tree front-end with its documented failure
   modes, and the NaLIR / NaLIR+ systems built on it.
+* :mod:`repro.nlidb.registry` — the named backend registry every
+  frontend (Engine, CLI, eval harness) resolves systems through; new
+  NLIDBs plug in with ``@register``.
 """
 
 from repro.nlidb.base import NLIDB, TranslationResult
 from repro.nlidb.nalir import NalirNLIDB
 from repro.nlidb.nalir_parser import NalirParser, ParsedNLQ
 from repro.nlidb.pipeline import PipelineNLIDB
+from repro.nlidb.registry import (
+    BackendSpec,
+    backend_names,
+    build_backend,
+    get_backend,
+    register,
+    unregister,
+)
 from repro.nlidb.sql_builder import build_sql
 
 __all__ = [
+    "BackendSpec",
     "NLIDB",
     "NalirNLIDB",
     "NalirParser",
     "ParsedNLQ",
     "PipelineNLIDB",
     "TranslationResult",
+    "backend_names",
+    "build_backend",
     "build_sql",
+    "get_backend",
+    "register",
+    "unregister",
 ]

@@ -1,0 +1,270 @@
+"""NLIDB backend registry: one dispatch point for every frontend.
+
+The paper evaluates four systems (NaLIR, NaLIR+, Pipeline, Pipeline+);
+before this module each frontend — the eval harness, the CLI, the HTTP
+server — hard-coded its own ``if name == ...`` wiring of those systems.
+The registry replaces that with named :class:`BackendSpec` entries, so
+the :class:`~repro.api.engine.Engine`, ``repro evaluate`` and any future
+frontend resolve backends by name, and new NLIDBs plug in with one
+``@register`` decorator::
+
+    from repro.nlidb.registry import register
+
+    @register("mysystem+", display_name="MySystem+", augmented=True)
+    def _build_mysystem(dataset, templar, *, max_configurations, params,
+                        simulate_parse_failures):
+        return MySystemNLIDB(dataset.database, templar, ...)
+
+Factories receive the benchmark dataset, an optional
+:class:`~repro.core.templar.Templar` (present exactly when the backend is
+``augmented``), and the shared tuning knobs; they return a ready
+:class:`~repro.nlidb.base.NLIDB`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.core.keyword_mapper import ScoringParams
+from repro.core.templar import Templar
+from repro.datasets.base import BenchmarkDataset
+from repro.embedding.model import CompositeModel, LexiconModel
+from repro.errors import ReproError
+from repro.nlidb.base import NLIDB
+from repro.nlidb.nalir import NalirNLIDB
+from repro.nlidb.nalir_parser import NalirParser
+from repro.nlidb.pipeline import PipelineNLIDB
+
+
+class BackendFactory(Protocol):
+    def __call__(
+        self,
+        dataset: BenchmarkDataset,
+        templar: Templar | None,
+        *,
+        max_configurations: int,
+        params: ScoringParams,
+        simulate_parse_failures: bool,
+    ) -> NLIDB: ...
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered NLIDB backend.
+
+    * ``name`` — canonical lower-case id used in configs (``"pipeline+"``),
+    * ``display_name`` — the paper's system name (``"Pipeline+"``),
+    * ``augmented`` — True when the backend consumes a Templar (and so a
+      query log); the caller must supply one,
+    * ``parses_nlq`` — True when the backend has its own NLQ front-end
+      (``translate_nlq``) and should receive raw NLQ strings in the
+      evaluation protocol instead of hand-parsed keywords.
+    """
+
+    name: str
+    display_name: str
+    augmented: bool
+    parses_nlq: bool
+    factory: BackendFactory
+
+
+_REGISTRY: dict[str, BackendSpec] = {}
+
+#: lowercased display name -> canonical name, so a backend resolves by
+#: the exact name SYSTEM_NAMES advertises even when it differs from the
+#: canonical id.
+_DISPLAY_ALIASES: dict[str, str] = {}
+
+
+def _canonical(name: str) -> str:
+    return name.strip().lower()
+
+
+def register(
+    name: str,
+    *,
+    display_name: str | None = None,
+    augmented: bool = False,
+    parses_nlq: bool = False,
+) -> Callable[[BackendFactory], BackendFactory]:
+    """Decorator registering ``factory`` as backend ``name``."""
+
+    def decorator(factory: BackendFactory) -> BackendFactory:
+        key = _canonical(name)
+        if not key:
+            raise ReproError("backend name must be non-empty")
+        alias = _canonical(display_name) if display_name else key
+        if (
+            key in _REGISTRY
+            or key in _DISPLAY_ALIASES
+            or alias in _REGISTRY
+            or (alias in _DISPLAY_ALIASES and _DISPLAY_ALIASES[alias] != key)
+        ):
+            raise ReproError(
+                f"NLIDB backend {key!r} (display {display_name or name!r}) "
+                f"is already registered or collides with an existing name; "
+                f"unregister it first to replace it"
+            )
+        _REGISTRY[key] = BackendSpec(
+            name=key,
+            display_name=display_name or name,
+            augmented=augmented,
+            parses_nlq=parses_nlq,
+            factory=factory,
+        )
+        if alias != key:
+            _DISPLAY_ALIASES[alias] = key
+        return factory
+
+    return decorator
+
+
+def unregister(name: str) -> None:
+    """Remove a registered backend (plugin teardown, tests)."""
+    spec = get_backend(name)
+    del _REGISTRY[spec.name]
+    _DISPLAY_ALIASES.pop(_canonical(spec.display_name), None)
+
+
+def backend_names() -> tuple[str, ...]:
+    """Canonical names of every registered backend, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def display_names() -> tuple[str, ...]:
+    """Paper-style system names of every registered backend, sorted."""
+    return tuple(sorted(spec.display_name for spec in _REGISTRY.values()))
+
+
+def get_backend(name: str) -> BackendSpec:
+    """Resolve a backend by canonical or display name (case-insensitive)."""
+    key = _canonical(name)
+    key = _DISPLAY_ALIASES.get(key, key)
+    spec = _REGISTRY.get(key)
+    if spec is None:
+        raise ReproError(
+            f"unknown NLIDB backend {name!r}; registered: "
+            f"{', '.join(backend_names())}"
+        )
+    return spec
+
+
+def build_backend(
+    name: str,
+    dataset: BenchmarkDataset,
+    templar: Templar | None = None,
+    *,
+    max_configurations: int = 10,
+    params: ScoringParams | None = None,
+    simulate_parse_failures: bool = True,
+) -> NLIDB:
+    """Instantiate backend ``name``, validating the Templar contract."""
+    spec = get_backend(name)
+    if spec.augmented and templar is None:
+        raise ReproError(
+            f"backend {spec.name!r} is log-augmented and needs a Templar; "
+            f"supply one (or use {spec.name.rstrip('+')!r} for the "
+            f"unaugmented baseline)"
+        )
+    if not spec.augmented and templar is not None:
+        raise ReproError(
+            f"backend {spec.name!r} does not consume a Templar; "
+            f"use {spec.name + '+'!r} for the log-augmented variant"
+        )
+    return spec.factory(
+        dataset,
+        templar,
+        max_configurations=max_configurations,
+        params=params or ScoringParams(),
+        simulate_parse_failures=simulate_parse_failures,
+    )
+
+
+# ------------------------------------------------- the paper's four systems
+
+
+@register("pipeline", display_name="Pipeline")
+def _build_pipeline(
+    dataset: BenchmarkDataset,
+    templar: Templar | None,
+    *,
+    max_configurations: int,
+    params: ScoringParams,
+    simulate_parse_failures: bool,
+) -> NLIDB:
+    return PipelineNLIDB(
+        dataset.database,
+        CompositeModel(dataset.lexicon),
+        None,
+        max_configurations=max_configurations,
+        params=params,
+    )
+
+
+@register("pipeline+", display_name="Pipeline+", augmented=True)
+def _build_pipeline_plus(
+    dataset: BenchmarkDataset,
+    templar: Templar | None,
+    *,
+    max_configurations: int,
+    params: ScoringParams,
+    simulate_parse_failures: bool,
+) -> NLIDB:
+    return PipelineNLIDB(
+        dataset.database,
+        templar.similarity,
+        templar,
+        max_configurations=max_configurations,
+    )
+
+
+def _nalir_front_end(
+    dataset: BenchmarkDataset, simulate_parse_failures: bool
+) -> tuple[NalirParser, LexiconModel]:
+    """NaLIR's parser plus its WordNet-style similarity model."""
+    parser = NalirParser(
+        dataset.database,
+        dataset.schema_terms,
+        simulate_failures=simulate_parse_failures,
+    )
+    return parser, LexiconModel(dataset.nalir_model_lexicon())
+
+
+@register("nalir", display_name="NaLIR", parses_nlq=True)
+def _build_nalir(
+    dataset: BenchmarkDataset,
+    templar: Templar | None,
+    *,
+    max_configurations: int,
+    params: ScoringParams,
+    simulate_parse_failures: bool,
+) -> NLIDB:
+    parser, wordnet_like = _nalir_front_end(dataset, simulate_parse_failures)
+    return NalirNLIDB(
+        dataset.database,
+        wordnet_like,
+        parser,
+        None,
+        max_configurations=max_configurations,
+        params=params,
+    )
+
+
+@register("nalir+", display_name="NaLIR+", augmented=True, parses_nlq=True)
+def _build_nalir_plus(
+    dataset: BenchmarkDataset,
+    templar: Templar | None,
+    *,
+    max_configurations: int,
+    params: ScoringParams,
+    simulate_parse_failures: bool,
+) -> NLIDB:
+    parser, wordnet_like = _nalir_front_end(dataset, simulate_parse_failures)
+    return NalirNLIDB(
+        dataset.database,
+        wordnet_like,
+        parser,
+        templar,
+        max_configurations=max_configurations,
+    )

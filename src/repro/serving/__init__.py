@@ -32,8 +32,11 @@ from repro.serving.service import (
     CachingJoinPathGenerator,
     CachingKeywordMapper,
     TranslationService,
+    resolve_request_keywords,
+    translate_request,
 )
 from repro.serving.telemetry import LatencySummary, MetricsRegistry, percentile
+from repro.serving.wire import TranslationRequest, TranslationResponse
 
 __all__ = [
     "ArtifactStore",
@@ -45,6 +48,8 @@ __all__ = [
     "MetricsRegistry",
     "ServingArtifacts",
     "ServingHTTPServer",
+    "TranslationRequest",
+    "TranslationResponse",
     "TranslationService",
     "catalog_from_dict",
     "catalog_to_dict",
@@ -52,4 +57,6 @@ __all__ = [
     "join_graph_to_dict",
     "make_server",
     "percentile",
+    "resolve_request_keywords",
+    "translate_request",
 ]

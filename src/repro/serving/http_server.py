@@ -7,10 +7,17 @@ Endpoints::
     GET  /metrics    telemetry snapshot only
     POST /translate  {"keywords": [...]} or {"nlq": "..."} -> ranked SQL
 
-``POST /translate`` accepts either hand-parsed keywords (the Pipeline
-input contract) or a raw NLQ when the server was built with a parser.
+``POST /translate`` bodies are decoded into the unified
+:class:`~repro.serving.wire.TranslationRequest` (strict: unknown fields
+are rejected) and answered with a
+:class:`~repro.serving.wire.TranslationResponse` payload — the same
+request/response pair ``Engine.translate`` and ``repro translate`` use.
 Optional request fields: ``limit`` (cap returned results) and ``observe``
 (feed the top translation back into the QFG learning queue).
+
+Servers are built either from an :class:`~repro.api.engine.Engine`
+(``make_server(engine=...)``, the ``repro serve`` path) or from a bare
+:class:`TranslationService` plus optional parser.
 
 Built on ``http.server.ThreadingHTTPServer`` so concurrent requests
 exercise the service's thread-safe caches without any third-party
@@ -23,29 +30,46 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import ReproError, ServingError
-from repro.serving.service import TranslationService
-from repro.serving.wire import keywords_from_payload, results_to_payload
+from repro.serving.service import TranslationService, translate_request
+from repro.serving.wire import TranslationRequest, TranslationResponse
 
 #: Reject request bodies above this size (1 MiB) before reading them.
 MAX_BODY_BYTES = 1 << 20
 
 
 class ServingHTTPServer(ThreadingHTTPServer):
-    """HTTP server bound to one :class:`TranslationService`."""
+    """HTTP server bound to one :class:`TranslationService` or Engine."""
 
     daemon_threads = True
 
     def __init__(
         self,
         address: tuple[str, int],
-        service: TranslationService,
+        service: TranslationService | None = None,
         parser=None,
         quiet: bool = True,
+        engine=None,
     ) -> None:
+        if engine is not None:
+            if service is not None or parser is not None:
+                raise ServingError(
+                    "pass either an engine or a service (+parser), not both"
+                )
+            service = engine.service
+            parser = engine.parser
+        if service is None:
+            raise ServingError("an HTTP server needs a service or an engine")
+        self.engine = engine
         self.service = service
         self.parser = parser
         self.quiet = quiet
         super().__init__(address, ServingRequestHandler)
+
+    def translate(self, request: TranslationRequest) -> TranslationResponse:
+        """One wire path for both construction modes (observe excluded)."""
+        if self.engine is not None:
+            return self.engine.translate(request, observe=False)
+        return translate_request(self.service, request, parser=self.parser)
 
 
 class ServingRequestHandler(BaseHTTPRequestHandler):
@@ -110,7 +134,8 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
                 },
             )
         elif path == "/stats":
-            self._send_json(200, self.server.service.stats())
+            source = self.server.engine or self.server.service
+            self._send_json(200, source.stats())
         elif path == "/metrics":
             self._send_json(200, self.server.service.metrics.snapshot())
         else:
@@ -122,34 +147,24 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(404, f"unknown path {path!r}")
             return
         try:
-            payload = self._read_json_body()
-            # Validate cheap request fields before paying for translation.
-            limit = payload.get("limit")
-            if limit is not None and (
-                not isinstance(limit, int)
-                or isinstance(limit, bool)
-                or limit < 1
-            ):
-                raise ServingError("'limit' must be a positive integer")
-            observe = payload.get("observe", False)
-            if not isinstance(observe, bool):
-                raise ServingError("'observe' must be a boolean")
-            if observe and self.server.service.templar is None:
+            # Strict decode + cheap field validation before paying for
+            # translation; unknown fields are rejected here.
+            request = TranslationRequest.from_payload(self._read_json_body())
+            if request.observe and self.server.service.templar is None:
                 raise ServingError(
                     "this service cannot observe queries: the wrapped NLIDB "
                     "has no Templar"
                 )
-            if observe and not self.server.service.learning_enabled:
+            if request.observe and not self.server.service.learning_enabled:
                 # Without a drain schedule the queue would just fill and
                 # drop; refusing beats acknowledging a permanent no-op.
                 raise ServingError(
                     "online learning is disabled on this server; restart "
                     "with --learn-batch to accept 'observe'"
                 )
-            keywords = self._request_keywords(payload)
-            results = self.server.service.translate(keywords)
-            if observe and results:
-                self.server.service.observe(results[0].sql)
+            response = self.server.translate(request)
+            if request.observe and response.results:
+                self.server.service.observe(response.results[0].sql)
         except ServingError as exc:
             self._send_error_json(400, str(exc))
             return
@@ -166,35 +181,25 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
                 pass  # client already gone; nothing left to tell it
             raise
         try:
-            self._send_json(200, results_to_payload(results, limit))
+            self._send_json(200, response.to_payload())
         except OSError:
             pass  # client disconnected before reading the response
 
-    def _request_keywords(self, payload: dict):
-        if "keywords" in payload:
-            return keywords_from_payload(payload["keywords"])
-        if "nlq" in payload:
-            parser = self.server.parser
-            if parser is None:
-                raise ServingError(
-                    "this server was started without an NLQ parser; send "
-                    "hand-parsed 'keywords' instead"
-                )
-            parsed = parser.parse(str(payload["nlq"]))
-            if parsed.failed:
-                raise ServingError(
-                    f"could not parse the NLQ into keywords: {payload['nlq']!r}"
-                )
-            return parsed.keywords
-        raise ServingError("request must contain either 'keywords' or 'nlq'")
-
 
 def make_server(
-    service: TranslationService,
+    service: TranslationService | None = None,
     host: str = "127.0.0.1",
     port: int = 8080,
     parser=None,
     quiet: bool = True,
+    *,
+    engine=None,
 ) -> ServingHTTPServer:
-    """A ready-to-run server; ``port=0`` picks a free port (for tests)."""
-    return ServingHTTPServer((host, port), service, parser=parser, quiet=quiet)
+    """A ready-to-run server; ``port=0`` picks a free port (for tests).
+
+    Pass ``engine=Engine.from_config(...)`` for the declarative path, or
+    a bare ``service`` (+ optional ``parser``) to wire parts manually.
+    """
+    return ServingHTTPServer(
+        (host, port), service, parser=parser, quiet=quiet, engine=engine
+    )

@@ -19,6 +19,7 @@ serialized behind a lock.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
 
@@ -31,6 +32,7 @@ from repro.errors import ReproError, ServingError
 from repro.nlidb.base import NLIDB, TranslationResult
 from repro.serving.cache import LRUCache
 from repro.serving.telemetry import MetricsRegistry
+from repro.serving.wire import TranslationRequest, TranslationResponse
 
 
 class CachingKeywordMapper:
@@ -75,6 +77,70 @@ class CachingJoinPathGenerator:
 
     def __getattr__(self, name: str):
         return getattr(self.inner, name)
+
+
+def resolve_request_keywords(
+    request: TranslationRequest, parser
+) -> tuple[tuple[Keyword, ...], float]:
+    """The keywords a request runs on, plus parse wall-clock in ms.
+
+    Keyword requests pass through untouched; NLQ requests are routed
+    through ``parser`` (any object with NaLIR's ``parse`` contract).
+    """
+    if request.keywords is not None:
+        return request.keywords, 0.0
+    if parser is None:
+        raise ServingError(
+            "this frontend has no NLQ parser; send hand-parsed "
+            "'keywords' instead"
+        )
+    started = time.perf_counter()
+    parsed = parser.parse(request.nlq)
+    elapsed_ms = (time.perf_counter() - started) * 1000.0
+    if parsed.failed:
+        raise ServingError(
+            f"could not parse the NLQ into keywords: {request.nlq!r}"
+        )
+    return tuple(parsed.keywords), elapsed_ms
+
+
+def translate_request(
+    service: "TranslationService",
+    request: TranslationRequest,
+    *,
+    parser=None,
+    provenance: dict | None = None,
+) -> TranslationResponse:
+    """Serve one unified request through a service: the one wire path.
+
+    Every frontend — ``Engine.translate``, the HTTP endpoint, the CLI —
+    funnels through here, so request parsing, stage timing and response
+    assembly cannot drift between them.  ``observe`` handling is left to
+    the caller (the engine and the HTTP handler have different
+    learning-availability checks).
+    """
+    started = time.perf_counter()
+    keywords, parse_ms = resolve_request_keywords(request, parser)
+    translate_started = time.perf_counter()
+    results = service.translate(keywords)
+    now = time.perf_counter()
+    timings = {
+        "parse": parse_ms,
+        "translate": (now - translate_started) * 1000.0,
+        "total": (now - started) * 1000.0,
+    }
+    base = {"system": getattr(service.nlidb, "name", "nlidb")}
+    qfg = service.templar.qfg if service.templar is not None else None
+    if qfg is not None:
+        base["qfg_revision"] = qfg.revision
+    base.update(provenance or {})
+    return TranslationResponse(
+        request=request,
+        results=results,
+        keywords=keywords,
+        provenance=base,
+        timings_ms=timings,
+    )
 
 
 class TranslationService:

@@ -5,14 +5,37 @@ Converts between the typed request/response objects
 :class:`~repro.nlidb.base.TranslationResult`) and plain dicts for the
 HTTP endpoint.  Kept separate from the transport so tests and alternative
 frontends can reuse the codec.
+
+:class:`TranslationRequest` / :class:`TranslationResponse` are the
+*unified* request/response pair every frontend shares: the HTTP endpoint,
+``Engine.translate`` / ``translate_batch`` and ``repro translate`` all
+accept a request (raw NLQ string or pre-parsed keywords) and produce a
+response carrying the ranked SQL, per-stage timings and configuration
+provenance.
+
+The codec is strict: unknown request or keyword fields raise
+:class:`~repro.errors.ServingError` instead of being silently ignored, so
+a misspelled field in a client payload fails loudly.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.fragments import FragmentContext
 from repro.core.interface import Keyword, KeywordMetadata
 from repro.nlidb.base import TranslationResult
 from repro.errors import ServingError
+
+#: Fields the request codec accepts; anything else is rejected.
+REQUEST_FIELDS = ("keywords", "nlq", "limit", "observe")
+
+#: Fields the keyword codec accepts; anything else is rejected.
+KEYWORD_FIELDS = (
+    "text", "context", "comparison_op", "aggregates",
+    "grouped", "distinct", "descending", "limit",
+)
 
 
 def keyword_to_dict(keyword: Keyword) -> dict:
@@ -36,6 +59,12 @@ def keyword_to_dict(keyword: Keyword) -> dict:
 def keyword_from_dict(data: dict) -> Keyword:
     if not isinstance(data, dict):
         raise ServingError(f"keyword must be an object, got {type(data).__name__}")
+    unknown = sorted(set(data) - set(KEYWORD_FIELDS))
+    if unknown:
+        raise ServingError(
+            f"unknown keyword field(s): {', '.join(unknown)}; "
+            f"allowed: {', '.join(KEYWORD_FIELDS)}"
+        )
     try:
         text = str(data["text"])
         context = FragmentContext(data.get("context", "WHERE"))
@@ -105,3 +134,170 @@ def results_to_payload(
         "count": len(results),
         "results": [result_to_dict(result) for result in shown],
     }
+
+
+# ------------------------------------------------- unified request/response
+
+
+def _check_limit(limit: object) -> int | None:
+    if limit is not None and (
+        not isinstance(limit, int) or isinstance(limit, bool) or limit < 1
+    ):
+        raise ServingError("'limit' must be a positive integer")
+    return limit
+
+
+@dataclass(frozen=True)
+class TranslationRequest:
+    """One translation request: a raw NLQ *or* pre-parsed keywords.
+
+    Exactly one of ``nlq`` / ``keywords`` must be set.  ``limit`` caps the
+    results surfaced in the response payload; ``observe`` asks the serving
+    side to feed the top translation back into the QFG learning queue.
+    """
+
+    nlq: str | None = None
+    keywords: tuple[Keyword, ...] | None = None
+    limit: int | None = None
+    observe: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.nlq is None) == (self.keywords is None):
+            raise ServingError(
+                "request must contain either 'keywords' or 'nlq'"
+            )
+        if self.keywords is not None:
+            if not self.keywords:
+                raise ServingError(
+                    "'keywords' must be a non-empty array of objects"
+                )
+            object.__setattr__(self, "keywords", tuple(self.keywords))
+        if self.nlq is not None and not str(self.nlq).strip():
+            raise ServingError("'nlq' must be a non-empty string")
+        _check_limit(self.limit)
+        if not isinstance(self.observe, bool):
+            raise ServingError("'observe' must be a boolean")
+
+    @classmethod
+    def of(
+        cls,
+        request: "TranslationRequest | str | Sequence[Keyword] | dict",
+        *,
+        limit: int | None = None,
+        observe: bool | None = None,
+    ) -> "TranslationRequest":
+        """Normalize any accepted request shape into a TranslationRequest.
+
+        Accepts an existing request (returned as-is unless ``limit`` /
+        ``observe`` override it), a raw NLQ string, a sequence of
+        :class:`~repro.core.interface.Keyword`, or a JSON payload dict.
+        """
+        if isinstance(request, cls):
+            if limit is None and observe is None:
+                return request
+            return cls(
+                nlq=request.nlq,
+                keywords=request.keywords,
+                limit=request.limit if limit is None else limit,
+                observe=request.observe if observe is None else observe,
+            )
+        kwargs = {
+            "limit": limit,
+            "observe": False if observe is None else observe,
+        }
+        if isinstance(request, str):
+            return cls(nlq=request, **kwargs)
+        if isinstance(request, dict):
+            parsed = cls.from_payload(request)
+            return cls.of(parsed, limit=limit, observe=observe)
+        if isinstance(request, Sequence):
+            keywords = tuple(request)
+            if not all(isinstance(k, Keyword) for k in keywords):
+                raise ServingError(
+                    "keyword requests must be sequences of Keyword objects"
+                )
+            return cls(keywords=keywords, **kwargs)
+        raise ServingError(
+            f"unsupported request type {type(request).__name__}; pass an "
+            f"NLQ string, a Keyword sequence, a payload dict, or a "
+            f"TranslationRequest"
+        )
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "TranslationRequest":
+        """Strict decode of a JSON request body."""
+        if not isinstance(payload, dict):
+            raise ServingError("request body must be a JSON object")
+        unknown = sorted(set(payload) - set(REQUEST_FIELDS))
+        if unknown:
+            raise ServingError(
+                f"unknown request field(s): {', '.join(unknown)}; "
+                f"allowed: {', '.join(REQUEST_FIELDS)}"
+            )
+        keywords = None
+        nlq = payload.get("nlq")
+        if "keywords" in payload:
+            keywords = tuple(keywords_from_payload(payload["keywords"]))
+        if nlq is not None:
+            nlq = str(nlq)
+        # limit/observe validation happens in __post_init__.
+        return cls(
+            nlq=nlq,
+            keywords=keywords,
+            limit=payload.get("limit"),
+            observe=payload.get("observe", False),
+        )
+
+    def to_payload(self) -> dict:
+        payload: dict = {}
+        if self.nlq is not None:
+            payload["nlq"] = self.nlq
+        if self.keywords is not None:
+            payload["keywords"] = [keyword_to_dict(k) for k in self.keywords]
+        if self.limit is not None:
+            payload["limit"] = self.limit
+        if self.observe:
+            payload["observe"] = True
+        return payload
+
+
+@dataclass
+class TranslationResponse:
+    """The unified answer every frontend returns.
+
+    * ``results`` — full ranked list of translations (``request.limit``
+      only caps what :meth:`to_payload` surfaces),
+    * ``keywords`` — the keywords the translation actually ran on (the
+      request's own, or the parse of its NLQ),
+    * ``provenance`` — how the answer was produced: backend, dataset,
+      config fingerprint, artifact version, QFG revision,
+    * ``timings_ms`` — per-stage wall-clock (``parse``, ``translate``,
+      ``total``); responses produced by a batched translate share the
+      batch's wall-clock for ``translate``/``total`` and carry a
+      ``batch_size`` entry marking them as batch-level numbers.
+    """
+
+    request: TranslationRequest
+    results: list[TranslationResult]
+    keywords: tuple[Keyword, ...] = ()
+    provenance: dict = field(default_factory=dict)
+    timings_ms: dict = field(default_factory=dict)
+
+    @property
+    def top(self) -> TranslationResult | None:
+        return self.results[0] if self.results else None
+
+    @property
+    def sql(self) -> str | None:
+        """The top-ranked SQL, or None when nothing translated."""
+        top = self.top
+        return top.sql if top is not None else None
+
+    def to_payload(self) -> dict:
+        payload = results_to_payload(self.results, self.request.limit)
+        payload["keywords"] = [keyword_to_dict(k) for k in self.keywords]
+        payload["provenance"] = dict(self.provenance)
+        payload["timings_ms"] = {
+            stage: round(ms, 3) for stage, ms in self.timings_ms.items()
+        }
+        return payload
