@@ -14,7 +14,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-templar",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'Bridging the Semantic Gap with SQL Query Logs in "
         "Natural Language Interfaces to Databases' (ICDE 2019), with a "

@@ -38,7 +38,16 @@ LOG_SOURCES = ("dataset", "file", "artifacts", "none")
 
 @dataclass(frozen=True)
 class EngineConfig:
-    """Everything needed to build an :class:`~repro.api.engine.Engine`."""
+    """Everything needed to build an :class:`~repro.api.engine.Engine`.
+
+    >>> config = EngineConfig(dataset="mas", backend="pipeline+", kappa=3)
+    >>> config.dataset, config.backend, config.kappa
+    ('mas', 'pipeline+', 3)
+    >>> EngineConfig(log_source="nowhere")
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigError: unknown log_source 'nowhere'; one of: dataset, file, artifacts, none
+    """
 
     # What to serve.
     dataset: str = "mas"
@@ -117,20 +126,42 @@ class EngineConfig:
     # ------------------------------------------------------------ resolved
 
     def obscurity_level(self) -> Obscurity:
+        """The configured obscurity as its enum.
+
+        >>> EngineConfig().obscurity_level()
+        <Obscurity.NO_CONST_OP: 'NoConstOp'>
+        """
         return Obscurity(self.obscurity)
 
     def scoring_params(self) -> ScoringParams:
+        """The mapper's :class:`ScoringParams` for this config.
+
+        >>> params = EngineConfig(kappa=3, lam=0.5).scoring_params()
+        >>> params.kappa, params.lam
+        (3, 0.5)
+        """
         return ScoringParams(kappa=self.kappa, lam=self.lam)
 
     # --------------------------------------------------------------- codec
 
     def to_dict(self) -> dict:
-        """JSON-ready dict; ``from_dict(to_dict())`` is the identity."""
+        """JSON-ready dict; ``from_dict(to_dict())`` is the identity.
+
+        >>> config = EngineConfig(dataset="yelp", kappa=7)
+        >>> EngineConfig.from_dict(config.to_dict()) == config
+        True
+        """
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "EngineConfig":
-        """Strict decode: unknown keys raise :class:`ConfigError`."""
+        """Strict decode: unknown keys raise :class:`ConfigError`.
+
+        >>> EngineConfig.from_dict({"dataset": "mas", "capa": 5})
+        Traceback (most recent call last):
+            ...
+        repro.errors.ConfigError: unknown engine config field(s): capa; allowed: artifact_version, artifacts, backend, cache_size, dataset, kappa, lam, learn_batch_size, log_path, log_source, max_configurations, max_workers, obscurity, simulate_parse_failures, use_log_joins, use_log_keywords
+        """
         if not isinstance(data, dict):
             raise ConfigError(
                 f"engine config must be an object, got {type(data).__name__}"
@@ -149,7 +180,14 @@ class EngineConfig:
 
     @classmethod
     def from_file(cls, path: str | Path) -> "EngineConfig":
-        """Load a JSON config file."""
+        """Load a JSON config file.
+
+        >>> import tempfile
+        >>> with tempfile.TemporaryDirectory() as root:
+        ...     saved = EngineConfig(dataset="imdb").save(root + "/e.json")
+        ...     EngineConfig.from_file(saved).dataset
+        'imdb'
+        """
         path = Path(path)
         try:
             data = json.loads(path.read_text())
@@ -168,6 +206,12 @@ class EngineConfig:
         return path
 
     def fingerprint(self) -> str:
-        """Stable content hash of the configuration."""
+        """Stable content hash of the configuration.
+
+        >>> EngineConfig().fingerprint() == EngineConfig().fingerprint()
+        True
+        >>> EngineConfig().fingerprint() == EngineConfig(kappa=9).fingerprint()
+        False
+        """
         canonical = json.dumps(self.to_dict(), sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -17,13 +17,18 @@ and then answers :class:`~repro.serving.wire.TranslationRequest`\\ s —
 raw NLQ strings or pre-parsed keyword lists — with the unified
 :class:`~repro.serving.wire.TranslationResponse`.
 
-Quick start::
+Quick start:
 
-    from repro.api import Engine, EngineConfig
+    >>> from repro.api import Engine, EngineConfig
+    >>> with Engine.from_config(EngineConfig(dataset="mas")) as engine:
+    ...     response = engine.translate("return the papers after 2000")
+    >>> response.sql
+    'SELECT t1.title FROM publication t1 WHERE t1.year > 2000'
 
-    with Engine.from_config(EngineConfig(dataset="mas")) as engine:
-        response = engine.translate("return the papers after 2000")
-        print(response.sql)
+The candidate-retrieval index of the keyword mapper
+(:class:`~repro.core.candidate_index.CandidateIndex`) is built here at
+``from_config`` time — or loaded from the artifact store when
+``log_source="artifacts"`` — so no request pays for it.
 """
 
 from __future__ import annotations
@@ -34,8 +39,9 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.api.config import EngineConfig
+from repro.core.candidate_index import CandidateIndex
 from repro.core.explain import ConfigurationExplanation, explain_configuration
-from repro.core.interface import Keyword
+from repro.core.interface import Keyword, keywords_cache_key
 from repro.core.log import QueryLog
 from repro.core.templar import Templar
 from repro.datasets.base import BenchmarkDataset
@@ -48,6 +54,7 @@ from repro.nlidb.registry import BackendSpec, build_backend, get_backend
 from repro.serving.service import (
     TranslationService,
     resolve_request_keywords,
+    take_truncation,
     translate_request,
 )
 from repro.serving.wire import TranslationRequest, TranslationResponse
@@ -59,6 +66,12 @@ class Engine:
     Construct with :meth:`from_config`; the direct constructor wires
     pre-built parts together (dependency injection for tests and custom
     datasets).
+
+    >>> from repro.api import Engine, EngineConfig
+    >>> engine = Engine.from_config(EngineConfig(dataset="mas"))
+    >>> engine
+    Engine(Pipeline+ on 'mas', log_source='dataset')
+    >>> engine.close()
     """
 
     def __init__(
@@ -108,6 +121,12 @@ class Engine:
         the named dataset with an in-memory one (custom schemas, tests);
         ``query_log`` overrides the log source with an explicit log
         (incompatible with ``log_source="artifacts"``).
+
+        >>> from repro.api import Engine
+        >>> with Engine.from_config({"dataset": "mas",
+        ...                          "backend": "pipeline"}) as engine:
+        ...     engine.backend.display_name
+        'Pipeline'
         """
         if isinstance(config, (str, Path)):
             config = EngineConfig.from_file(config)
@@ -187,6 +206,9 @@ class Engine:
                     dataset.database,
                     CompositeModel(dataset.lexicon),
                     log,
+                    candidate_index=CandidateIndex.from_database(
+                        dataset.database
+                    ),
                     **templar_kwargs,
                 )
 
@@ -239,6 +261,13 @@ class Engine:
 
         When the request asks to ``observe``, the top translation is fed
         back into the QFG learning queue after translation.
+
+        >>> from repro.api import Engine, EngineConfig
+        >>> with Engine.from_config(EngineConfig(dataset="mas")) as engine:
+        ...     response = engine.translate(
+        ...         {"nlq": "return the authors", "limit": 1})
+        >>> response.sql
+        'SELECT t1.name FROM author t1'
         """
         request = TranslationRequest.of(request, limit=limit, observe=observe)
         self._check_observable(request)
@@ -266,6 +295,13 @@ class Engine:
         NLQ requests are parsed up front, then the whole batch goes
         through the service's deduplicating thread-pool path; responses
         come back in input order.
+
+        >>> from repro.api import Engine, EngineConfig
+        >>> with Engine.from_config(EngineConfig(dataset="mas")) as engine:
+        ...     responses = engine.translate_batch(
+        ...         ["return the authors", "return the authors"])
+        >>> [response.sql for response in responses]
+        ['SELECT t1.name FROM author t1', 'SELECT t1.name FROM author t1']
         """
         normalized = [TranslationRequest.of(request) for request in requests]
         for request in normalized:
@@ -280,9 +316,21 @@ class Engine:
         batches = self.service.translate_batch(keyword_lists)
         batch_ms = (time.perf_counter() - started) * 1000.0
         responses = []
+        # Truncation reports are keyed per request; consume them once per
+        # unique keyword list so duplicates in the batch (computed once)
+        # all surface the same drop count.
+        truncated: dict[tuple, int] = {}
+        for keywords in keyword_lists:
+            key = keywords_cache_key(keywords)
+            if key not in truncated:
+                truncated[key] = take_truncation(self.service, keywords)
         for request, keywords, results, parsed in zip(
             normalized, keyword_lists, batches, parse_ms
         ):
+            provenance = self.provenance()
+            dropped = truncated[keywords_cache_key(keywords)]
+            if dropped:
+                provenance["configurations_truncated"] = dropped
             # Requests in a batch are translated concurrently and
             # deduplicated, so no honest per-request translate time
             # exists; "translate"/"total" carry the shared batch
@@ -292,7 +340,7 @@ class Engine:
                 request=request,
                 results=results,
                 keywords=keywords,
-                provenance=self.provenance(),
+                provenance=provenance,
                 timings_ms={
                     "parse": parsed,
                     "translate": batch_ms,
@@ -317,6 +365,12 @@ class Engine:
 
         A pure diagnostic: the request's ``observe`` flag is ignored so
         explaining never mutates QFG learning state.
+
+        >>> from repro.api import Engine, EngineConfig
+        >>> with Engine.from_config(EngineConfig(dataset="mas")) as engine:
+        ...     explanation = engine.explain("return the papers after 2000")
+        >>> type(explanation).__name__
+        'ConfigurationExplanation'
         """
         response = self.translate(request, observe=False)
         if response.top is None:
@@ -331,17 +385,38 @@ class Engine:
     # ------------------------------------------------------------ learning
 
     def observe(self, sql: str) -> None:
-        """Queue one served SQL statement for QFG ingestion."""
+        """Queue one served SQL statement for QFG ingestion.
+
+        >>> from repro.api import Engine, EngineConfig
+        >>> with Engine.from_config(EngineConfig(dataset="mas")) as engine:
+        ...     engine.observe("SELECT name FROM author")
+        ...     engine.service.pending_observations
+        1
+        """
         self.service.observe(sql)
 
     def absorb_pending(self) -> int:
-        """Apply queued observations to the QFG now; returns how many."""
+        """Apply queued observations to the QFG now; returns how many.
+
+        >>> from repro.api import Engine, EngineConfig
+        >>> with Engine.from_config(EngineConfig(dataset="mas")) as engine:
+        ...     engine.observe("SELECT name FROM author")
+        ...     engine.absorb_pending()
+        1
+        """
         return self.service.absorb_pending()
 
     # ----------------------------------------------------------- lifecycle
 
     def provenance(self) -> dict:
-        """How answers are produced: backend, dataset, config identity."""
+        """How answers are produced: backend, dataset, config identity.
+
+        >>> from repro.api import Engine, EngineConfig
+        >>> with Engine.from_config(EngineConfig(dataset="mas")) as engine:
+        ...     provenance = engine.provenance()
+        >>> provenance["backend"], provenance["dataset"]
+        ('Pipeline+', 'mas')
+        """
         return dict(self._provenance)
 
     def fingerprint(self) -> str:
@@ -350,6 +425,13 @@ class Engine:
         Two engines with equal fingerprints serve identical scores, so
         the config round trip (``to_dict`` → ``from_dict``) must preserve
         this exactly.
+
+        >>> from repro.api import Engine, EngineConfig
+        >>> config = EngineConfig(dataset="mas")
+        >>> with Engine.from_config(config) as first:
+        ...     with Engine.from_config(config) as second:
+        ...         first.fingerprint() == second.fingerprint()
+        True
         """
         digest = hashlib.sha256(self.config.fingerprint().encode("utf-8"))
         digest.update(self.backend.name.encode("utf-8"))
@@ -361,12 +443,20 @@ class Engine:
         return digest.hexdigest()
 
     def stats(self) -> dict:
-        """Operational snapshot: service stats plus engine provenance."""
+        """Operational snapshot: service stats plus engine provenance.
+
+        >>> from repro.api import Engine, EngineConfig
+        >>> with Engine.from_config(EngineConfig(dataset="mas")) as engine:
+        ...     stats = engine.stats()
+        >>> sorted(stats)
+        ['caches', 'engine', 'metrics', 'pending_observations', 'qfg', 'system']
+        """
         stats = self.service.stats()
         stats["engine"] = self.provenance()
         return stats
 
     def close(self) -> None:
+        """Shut the serving layer down (absorbs pending observations)."""
         self.service.close()
 
     def __enter__(self) -> "Engine":

@@ -4,13 +4,16 @@
   three obscurity levels of Section IV, and extraction from bound SQL.
 * :mod:`repro.core.qfg` — the Query Fragment Graph (Definition 6).
 * :mod:`repro.core.log` — query log container and QFG construction.
+* :mod:`repro.core.candidate_index` — precomputed candidate-retrieval
+  index (numeric postings, inverted token→value postings, schema stems).
 * :mod:`repro.core.keyword_mapper` — MAPKEYWORDS (Algorithms 1-3) and
-  configuration ranking (Section V-C).
+  configuration ranking (Section V-C) with beam-search enumeration.
 * :mod:`repro.core.join_inference` — INFERJOINS (Section VI) with
   log-driven edge weights and self-join forking.
 * :mod:`repro.core.templar` — the facade an NLIDB talks to.
 """
 
+from repro.core.candidate_index import CandidateIndex
 from repro.core.fragments import (
     FragmentContext,
     FragmentKind,
@@ -33,6 +36,7 @@ from repro.core.qfg import QueryFragmentGraph
 from repro.core.templar import Templar
 
 __all__ = [
+    "CandidateIndex",
     "Configuration",
     "FragmentContext",
     "FragmentKind",

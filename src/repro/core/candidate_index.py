@@ -1,0 +1,453 @@
+"""Precomputed candidate-retrieval index for MAPKEYWORDS (Algorithm 2).
+
+The seed implementation of :meth:`~repro.core.keyword_mapper.KeywordMapper.
+keyword_candidates` rescanned the database on every request: each numeric
+keyword re-ran the ``exec(c)`` non-emptiness probe row by row over every
+numeric column, and each value keyword re-derived the schema-name stems of
+every searchable column before probing all of them.  A
+:class:`CandidateIndex` precomputes everything that depends only on the
+database — not on the keyword — once:
+
+* **relation / attribute shortlists** — the FROM-context relation
+  fragments and the full attribute list, built once and reused,
+* **numeric postings** — sorted distinct values per numeric column, so the
+  ``exec(c)`` check (does any row satisfy ``attr ω v``?) is a binary
+  search instead of a row scan,
+* **inverted token → value postings with stemmed keys** — the boolean-mode
+  full-text search per column, plus a *global* stemmed-prefix → column map
+  that shortlists which columns can possibly match a keyword before any
+  per-column search runs,
+* **schema-name stems and token lists** — per-column stems used to strip
+  schema words from search tokens (Section V-A), and the relation /
+  attribute word-token lists the similarity scorer compares against.
+
+The index serializes to JSON (:meth:`to_dict` / :meth:`from_dict`) so the
+artifact store can persist it as its own artifact kind and a serving
+process can load it instead of rebuilding at startup.
+
+Example — index retrieval equals the brute-force scans it replaces::
+
+    >>> from repro.core.candidate_index import CandidateIndex
+    >>> from repro.datasets import load_dataset
+    >>> db = load_dataset("mas").database
+    >>> index = CandidateIndex.from_database(db)
+    >>> index.predicate_nonempty("publication", "year", ">", 2000)
+    True
+    >>> index.search_column("journal", "name", ["tkde"])
+    ['TKDE']
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.fragments import FragmentContext, FragmentKind, QueryFragment
+from repro.db.catalog import ColumnRefSpec
+from repro.db.fulltext import iter_prefix_tokens
+from repro.db.stemmer import stem
+from repro.db.types import SqlValue
+from repro.embedding.tokenize import word_tokens
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.database import Database
+
+_ColumnKey = tuple[str, str]
+
+
+class CandidateIndex:
+    """Keyword-independent retrieval structures over one database.
+
+    Build with :meth:`from_database` (or deserialize a persisted one with
+    :meth:`from_dict`).  The index is immutable after construction; a
+    database mutation requires a rebuild, exactly like the full-text
+    index it subsumes.
+    """
+
+    def __init__(
+        self,
+        *,
+        relations: tuple[str, ...],
+        attributes: tuple[ColumnRefSpec, ...],
+        numeric: tuple[ColumnRefSpec, ...],
+        numeric_values: dict[_ColumnKey, list],
+        text: tuple[ColumnRefSpec, ...],
+        postings: dict[_ColumnKey, dict[str, tuple[str, ...]]],
+        display: frozenset[_ColumnKey],
+    ) -> None:
+        self._relations = relations
+        self._attributes = attributes
+        self._numeric = numeric
+        self._numeric_values = numeric_values
+        self._text = text
+        self._postings = postings
+        self._display = display
+
+        self._relation_fragments = tuple(
+            QueryFragment(
+                context=FragmentContext.FROM,
+                kind=FragmentKind.RELATION,
+                relation=relation,
+            )
+            for relation in relations
+        )
+        # Schema-name stems and word tokens, per column / relation.
+        self._relation_tokens: dict[str, tuple[str, ...]] = {
+            relation: tuple(word_tokens(relation)) for relation in relations
+        }
+        self._attribute_tokens: dict[_ColumnKey, tuple[str, ...]] = {
+            (ref.table, ref.column): tuple(word_tokens(ref.column))
+            for ref in attributes
+        }
+        self._schema_stems: dict[_ColumnKey, frozenset[str]] = {}
+        for ref in attributes:
+            key = (ref.table, ref.column)
+            self._schema_stems[key] = frozenset(
+                stem(token)
+                for token in word_tokens(ref.table) + word_tokens(ref.column)
+            )
+        # Per-column sorted vocabularies for prefix search.
+        self._sorted_tokens: dict[_ColumnKey, list[str]] = {
+            key: sorted(tokens) for key, tokens in postings.items()
+        }
+        # Global stemmed-token → columns map: which searchable columns can
+        # possibly answer a prefix at all (the retrieval shortlist).
+        token_columns: dict[str, set[_ColumnKey]] = {}
+        for key, tokens in postings.items():
+            for token in tokens:
+                token_columns.setdefault(token, set()).add(key)
+        self._token_columns = {
+            token: frozenset(columns) for token, columns in token_columns.items()
+        }
+        self._global_tokens = sorted(self._token_columns)
+        # Lazy per-value word-token memo (scoring helper, not serialized).
+        self._value_tokens: dict[str, tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------ building
+
+    @classmethod
+    def from_database(cls, database: "Database") -> "CandidateIndex":
+        """Build the index from a live database (one pass over the data)."""
+        catalog = database.catalog
+        numeric = tuple(catalog.numeric_attributes())
+        numeric_values: dict[_ColumnKey, list] = {}
+        for ref in numeric:
+            values = [
+                value
+                for value in database.distinct_values(ref.table, ref.column)
+                if value is not None
+            ]
+            numeric_values[(ref.table, ref.column)] = sorted(values)
+        text = tuple(catalog.text_attributes())
+        postings: dict[_ColumnKey, dict[str, tuple[str, ...]]] = {}
+        fulltext = database.fulltext
+        for ref in text:
+            key = (ref.table, ref.column)
+            column_postings = fulltext._postings.get(key, {})
+            postings[key] = {
+                token: tuple(sorted(values))
+                for token, values in column_postings.items()
+            }
+        display = frozenset(
+            (schema.name, schema.display_column)
+            for schema in catalog.tables.values()
+            if schema.display_column is not None
+        )
+        return cls(
+            relations=tuple(catalog.table_names),
+            attributes=tuple(catalog.all_attributes()),
+            numeric=numeric,
+            numeric_values=numeric_values,
+            text=text,
+            postings=postings,
+            display=display,
+        )
+
+    # ----------------------------------------------------------- shortlists
+
+    @property
+    def relations(self) -> tuple[str, ...]:
+        return self._relations
+
+    def relation_fragments(self) -> tuple[QueryFragment, ...]:
+        """Prebuilt FROM-context relation fragments (Algorithm 2, L5)."""
+        return self._relation_fragments
+
+    def attribute_refs(self) -> tuple[ColumnRefSpec, ...]:
+        """Every ``table.column`` pair, in schema order."""
+        return self._attributes
+
+    def numeric_refs(self) -> tuple[ColumnRefSpec, ...]:
+        """All numeric attributes (candidates for numeric keywords)."""
+        return self._numeric
+
+    def text_refs(self) -> tuple[ColumnRefSpec, ...]:
+        """All searchable text attributes (candidates for value keywords)."""
+        return self._text
+
+    # -------------------------------------------------------- numeric index
+
+    def predicate_nonempty(
+        self, table: str, column: str, op: str, literal: SqlValue
+    ) -> bool:
+        """The ``exec(c)`` check against the sorted distinct-value posting.
+
+        Equivalent to :meth:`repro.db.table.Table.any_value_satisfies` for
+        numeric columns (NULLs never satisfy a comparison), but answered
+        with a binary search instead of a row scan.
+        """
+        values = self._numeric_values.get((table, column))
+        if values is None:
+            raise ReproError(
+                f"{table}.{column} is not a numeric attribute of this index"
+            )
+        if not values:
+            return False
+        if op == "=":
+            position = bisect_left(values, literal)
+            return position < len(values) and values[position] == literal
+        if op in ("!=", "<>"):
+            return len(values) > 1 or values[0] != literal
+        if op == ">":
+            return values[-1] > literal
+        if op == ">=":
+            return values[-1] >= literal
+        if op == "<":
+            return values[0] < literal
+        if op == "<=":
+            return values[0] <= literal
+        # Unknown operator: fall back to a scan over the distinct values
+        # (same semantics as the row scan — NULLs are already excluded).
+        from repro.db.types import compare_values
+
+        return any(compare_values(value, literal, op) for value in values)
+
+    # ------------------------------------------------------- full-text index
+
+    def candidate_columns(
+        self, query_tokens: Iterable[str]
+    ) -> list[_ColumnKey]:
+        """Searchable columns that can possibly match ``query_tokens``.
+
+        A column can only match when every search token prefix-matches its
+        vocabulary — and the per-column search tokens are the query tokens
+        minus that column's schema-name stems (Section V-A).  So a column
+        survives the shortlist iff every query token either *is* one of the
+        column's schema stems or prefix-hits the column's vocabulary.  The
+        shortlist is a superset of the true match set; the exact per-column
+        search still runs on it.
+        """
+        survivors: set[_ColumnKey] | None = None
+        for token in query_tokens:
+            stemmed = stem(token)
+            hit_columns: set[_ColumnKey] = set()
+            for candidate in iter_prefix_tokens(self._global_tokens, stemmed):
+                hit_columns.update(self._token_columns[candidate])
+            allowed = hit_columns | {
+                key
+                for key in self._postings
+                if stemmed in self._schema_stems.get(key, ())
+            }
+            survivors = (
+                allowed if survivors is None else (survivors & allowed)
+            )
+            if not survivors:
+                return []
+        if survivors is None:
+            return []
+        return sorted(survivors)
+
+    def search_column(
+        self, table: str, column: str, query_tokens: list[str]
+    ) -> list[str]:
+        """Boolean-mode search of one column (``+tok*`` semantics).
+
+        Matches :meth:`repro.db.fulltext.FullTextIndex.search_column`
+        exactly: every stemmed query token must prefix-match some indexed
+        token of a value.  Returns matching distinct values, sorted.
+        """
+        if not query_tokens:
+            return []
+        key = (table, column)
+        postings = self._postings.get(key)
+        if not postings:
+            return []
+        tokens = self._sorted_tokens[key]
+        result: set[str] | None = None
+        for token in query_tokens:
+            stemmed = stem(token)
+            matched: set[str] = set()
+            for candidate in iter_prefix_tokens(tokens, stemmed):
+                matched.update(postings[candidate])
+            result = matched if result is None else (result & matched)
+            if not result:
+                return []
+        assert result is not None
+        return sorted(result)
+
+    # ------------------------------------------------------ scoring helpers
+
+    def schema_stems(self, table: str, column: str) -> frozenset[str]:
+        """Stemmed schema-name tokens of ``table`` + ``column``."""
+        stems = self._schema_stems.get((table, column))
+        if stems is not None:
+            return stems
+        return frozenset(
+            stem(token) for token in word_tokens(table) + word_tokens(column)
+        )
+
+    def relation_tokens(self, relation: str) -> tuple[str, ...]:
+        """Word tokens of a relation name (memoized)."""
+        tokens = self._relation_tokens.get(relation)
+        if tokens is None:
+            tokens = tuple(word_tokens(relation))
+            self._relation_tokens[relation] = tokens
+        return tokens
+
+    def attribute_tokens(self, table: str, column: str) -> tuple[str, ...]:
+        """Word tokens of an attribute name (memoized)."""
+        key = (table, column)
+        tokens = self._attribute_tokens.get(key)
+        if tokens is None:
+            tokens = tuple(word_tokens(column))
+            self._attribute_tokens[key] = tokens
+        return tokens
+
+    def value_tokens(self, value: str) -> tuple[str, ...]:
+        """Word tokens of a matched value (memoized across requests)."""
+        tokens = self._value_tokens.get(value)
+        if tokens is None:
+            tokens = tuple(word_tokens(value))
+            if len(self._value_tokens) > 250_000:
+                self._value_tokens.clear()
+            self._value_tokens[value] = tokens
+        return tokens
+
+    def is_display_attribute(self, table: str | None, column: str | None) -> bool:
+        """True when ``column`` is ``table``'s display column."""
+        return (table, column) in self._display
+
+    # ---------------------------------------------------------- persistence
+
+    def to_dict(self) -> dict:
+        """JSON-serializable payload (the artifact-store format)."""
+        return {
+            "relations": list(self._relations),
+            "attributes": [[ref.table, ref.column] for ref in self._attributes],
+            "numeric": [[ref.table, ref.column] for ref in self._numeric],
+            "numeric_values": [
+                {"table": table, "column": column, "values": values}
+                for (table, column), values in sorted(
+                    self._numeric_values.items()
+                )
+            ],
+            "text": [[ref.table, ref.column] for ref in self._text],
+            "postings": [
+                {
+                    "table": table,
+                    "column": column,
+                    "tokens": {
+                        token: list(values)
+                        for token, values in sorted(postings.items())
+                    },
+                }
+                for (table, column), postings in sorted(self._postings.items())
+            ],
+            "display": sorted([table, column] for table, column in self._display),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CandidateIndex":
+        try:
+            return cls(
+                relations=tuple(str(r) for r in data["relations"]),
+                attributes=tuple(
+                    ColumnRefSpec(str(t), str(c)) for t, c in data["attributes"]
+                ),
+                numeric=tuple(
+                    ColumnRefSpec(str(t), str(c)) for t, c in data["numeric"]
+                ),
+                numeric_values={
+                    (str(entry["table"]), str(entry["column"])): list(
+                        entry["values"]
+                    )
+                    for entry in data["numeric_values"]
+                },
+                text=tuple(
+                    ColumnRefSpec(str(t), str(c)) for t, c in data["text"]
+                ),
+                postings={
+                    (str(entry["table"]), str(entry["column"])): {
+                        str(token): tuple(str(v) for v in values)
+                        for token, values in entry["tokens"].items()
+                    }
+                    for entry in data["postings"]
+                },
+                display=frozenset(
+                    (str(t), str(c)) for t, c in data["display"]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed candidate index payload: {exc}") from exc
+
+    def matches_database(self, database: "Database") -> bool:
+        """True when this index describes ``database``'s current contents.
+
+        A deserialized index holds row-derived state (numeric postings,
+        value postings), so a consumer about to serve it over a live
+        database should check that the rows have not drifted since
+        compile time.  The check is one cheap pass over the distinct
+        values — no tokenization or stemming (those are code, not data):
+        catalog shortlists, sorted numeric values, and the distinct
+        tokenizable text values per searchable column must all agree.
+        """
+        from repro.db.fulltext import tokenize_text
+
+        catalog = database.catalog
+        if (
+            self._relations != tuple(catalog.table_names)
+            or self._attributes != tuple(catalog.all_attributes())
+            or self._numeric != tuple(catalog.numeric_attributes())
+            or self._text != tuple(catalog.text_attributes())
+        ):
+            return False
+        for ref in self._numeric:
+            live = sorted(
+                value
+                for value in database.distinct_values(ref.table, ref.column)
+                if value is not None
+            )
+            if live != self._numeric_values[(ref.table, ref.column)]:
+                return False
+        for ref in self._text:
+            key = (ref.table, ref.column)
+            indexed: set[str] = set()
+            for values in self._postings.get(key, {}).values():
+                indexed.update(values)
+            live_values = {
+                value
+                for value in database.distinct_values(ref.table, ref.column)
+                if isinstance(value, str) and tokenize_text(value)
+            }
+            if live_values != indexed:
+                return False
+        return True
+
+    def stats(self) -> dict[str, int]:
+        """Size counters (manifest/inspection)."""
+        return {
+            "relations": len(self._relations),
+            "attributes": len(self._attributes),
+            "numeric_columns": len(self._numeric),
+            "text_columns": len(self._text),
+            "tokens": len(self._global_tokens),
+        }
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"CandidateIndex({stats['relations']} relations, "
+            f"{stats['text_columns']} text columns, "
+            f"{stats['tokens']} tokens)"
+        )

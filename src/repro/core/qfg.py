@@ -113,6 +113,28 @@ class QueryFragmentGraph:
             return 0.0
         return 2.0 * self.ne(a, b) / denominator
 
+    def pair_dice(self, key_a: str, key_b: str) -> float:
+        """Dice over prebuilt vertex keys — the hot-path variant of
+        :meth:`dice`.
+
+        Callers that already hold canonical keys (the keyword mapper
+        renders each fragment's key once per request) skip the per-call
+        key derivation and dispatch; the co-occurrence lookup itself is
+        two dictionary probes.
+        """
+        nv = self._nv
+        count_a = nv.get(key_a, 0)
+        count_b = nv.get(key_b, 0)
+        denominator = count_a + count_b
+        if denominator == 0:
+            return 0.0
+        if key_a == key_b:
+            edge = count_a
+        else:
+            pair = (key_a, key_b) if key_a < key_b else (key_b, key_a)
+            edge = self._ne.get(pair, 0)
+        return 2.0 * edge / denominator
+
     def relation_key(self, relation: str) -> str:
         """The vertex key of a FROM-context relation fragment."""
         return f"{FragmentContext.FROM.value}::{relation}"

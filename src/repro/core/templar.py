@@ -14,6 +14,7 @@ needs.
 
 from __future__ import annotations
 
+from repro.core.candidate_index import CandidateIndex
 from repro.core.fragments import Obscurity, fragments_of_sql
 from repro.core.interface import Configuration, Keyword
 from repro.core.join_inference import JoinPath, JoinPathGenerator
@@ -43,6 +44,7 @@ class Templar:
         use_log_joins: bool = True,
         join_top_k: int = 3,
         join_graph: "JoinGraph | None" = None,
+        candidate_index: CandidateIndex | None = None,
     ) -> None:
         self.database = database
         self.similarity = similarity
@@ -76,6 +78,7 @@ class Templar:
             similarity,
             qfg=self.qfg if use_log_keywords else None,
             params=self.params,
+            candidate_index=candidate_index,
         )
         self.join_generator = JoinPathGenerator(
             database.catalog,
@@ -87,9 +90,20 @@ class Templar:
 
     # ---------------------------------------------------------- interface
 
-    def map_keywords(self, keywords: list[Keyword]) -> list[Configuration]:
-        """MAPKEYWORDS: ranked configurations for the NLQ's keywords."""
-        return self.keyword_mapper.map_keywords(keywords)
+    def map_keywords(
+        self, keywords: list[Keyword], limit: int | None = None
+    ) -> list[Configuration]:
+        """MAPKEYWORDS: ranked configurations for the NLQ's keywords.
+
+        ``limit`` requests only the exact top-``limit`` configurations
+        (best-first beam search; the cross product is never materialized).
+        """
+        return self.keyword_mapper.map_keywords(keywords, limit=limit)
+
+    @property
+    def candidate_index(self) -> CandidateIndex:
+        """The mapper's candidate-retrieval index (built lazily)."""
+        return self.keyword_mapper.index
 
     def infer_joins(self, known: list[str | ColumnRefSpec]) -> list[JoinPath]:
         """INFERJOINS: ranked join paths for the bag of known rels/attrs.

@@ -28,6 +28,10 @@ class Database:
             for table_name, schema in self.catalog.tables.items()
         }
         self._fulltext: FullTextIndex | None = None
+        #: monotonically increasing schema/data change counter; derived
+        #: structures (full-text index, candidate index) key their
+        #: staleness checks on it instead of hashing the data.
+        self.data_revision = 0
 
     # ------------------------------------------------------------------ DDL
 
@@ -36,7 +40,7 @@ class Database:
         self.catalog.add_table(schema)
         table = Table(schema)
         self._tables[schema.name] = table
-        self._fulltext = None
+        self._invalidate()
         return table
 
     def add_foreign_key(self, fk: ForeignKey) -> ForeignKey:
@@ -52,14 +56,19 @@ class Database:
 
     def insert(self, table: str, values: Sequence[Any] | dict[str, Any]) -> None:
         self.table(table).insert(values)
-        self._fulltext = None
+        self._invalidate()
 
     def insert_many(
         self, table: str, rows: Iterable[Sequence[Any] | dict[str, Any]]
     ) -> int:
         count = self.table(table).insert_many(rows)
-        self._fulltext = None
+        self._invalidate()
         return count
+
+    def _invalidate(self) -> None:
+        """Record a mutation: lazy derived structures must rebuild."""
+        self._fulltext = None
+        self.data_revision += 1
 
     # ----------------------------------------------------------- inspection
 

@@ -10,8 +10,10 @@ database.
 from __future__ import annotations
 
 import re
+from bisect import bisect_left
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 from repro.db.stemmer import stem
 
@@ -21,6 +23,23 @@ _WORD_RE = re.compile(r"[A-Za-z0-9]+")
 def tokenize_text(text: str) -> list[str]:
     """Lowercased alphanumeric word tokens of ``text``."""
     return [match.group(0).lower() for match in _WORD_RE.finditer(text)]
+
+
+def iter_prefix_tokens(sorted_tokens: Sequence[str], prefix: str) -> Iterator[str]:
+    """Tokens of a sorted vocabulary that start with ``prefix``.
+
+    Binary-searches for the start of the prefix range and walks only the
+    tokens inside it.  This is *the* prefix rule of the boolean-mode
+    ``+tok*`` search — shared by :class:`FullTextIndex` and the keyword
+    mapper's :class:`~repro.core.candidate_index.CandidateIndex` so the
+    two retrieval paths cannot drift apart.
+    """
+    start = bisect_left(sorted_tokens, prefix)
+    for index in range(start, len(sorted_tokens)):
+        token = sorted_tokens[index]
+        if not token.startswith(prefix):
+            return
+        yield token
 
 
 @dataclass(frozen=True)
@@ -40,9 +59,8 @@ class FullTextIndex:
     """Inverted index over the distinct values of searchable columns.
 
     Postings map a *stemmed token* to the set of distinct values containing
-    it.  Prefix search walks a sorted token list; with benchmark-scale
-    vocabularies a linear scan over the sorted keys within the prefix range
-    is fast and keeps the structure simple.
+    it.  Prefix search binary-searches a sorted token list for the start of
+    the prefix range and walks only the tokens inside it.
     """
 
     def __init__(self) -> None:
@@ -76,11 +94,8 @@ class FullTextIndex:
         """Distinct values containing a token whose stem starts with ``prefix``."""
         postings = self._postings[key]
         values: set[str] = set()
-        if prefix in postings:
-            values |= postings[prefix]
-        for token in self._tokens_for(key):
-            if token.startswith(prefix) and token != prefix:
-                values |= postings[token]
+        for token in iter_prefix_tokens(self._tokens_for(key), prefix):
+            values |= postings[token]
         return values
 
     def search_column(

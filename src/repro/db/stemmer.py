@@ -13,6 +13,8 @@ covered by the unit tests.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 _VOWELS = frozenset("aeiou")
 
 
@@ -206,11 +208,13 @@ def _step5b(word: str) -> str:
     return word
 
 
+@lru_cache(maxsize=65536)
 def stem(word: str) -> str:
     """Return the Porter stem of ``word`` (lowercased).
 
     Words of length <= 2 are returned unchanged (lowercased), per the
-    original algorithm.
+    original algorithm.  Stemming is pure, and the same tokens recur on
+    every keyword-mapping request, so results are memoized (bounded LRU).
     """
     word = word.lower()
     if len(word) <= 2:

@@ -140,7 +140,15 @@ class CompositeModel(SimilarityModel):
 
     The reproduction's stand-in for word2vec: curated pairs return their
     calibrated scores; everything else falls back to subword similarity.
+
+    Pair scores are memoized (the lexicon lookup stems both tokens, and
+    the same schema/keyword vocabulary recurs on every request).  The
+    model is treated as immutable; call :meth:`clear_cache` after
+    mutating the lexicon.
     """
+
+    #: bound on the pair memo; far above any benchmark vocabulary square.
+    _CACHE_LIMIT = 500_000
 
     def __init__(
         self,
@@ -149,9 +157,21 @@ class CompositeModel(SimilarityModel):
     ) -> None:
         self.lexicon = lexicon or Lexicon()
         self.backoff = backoff or NgramHashingModel()
+        self._pair_cache: dict[tuple[str, str], float] = {}
 
     def token_similarity(self, a: str, b: str) -> float:
+        key = (a, b)
+        cached = self._pair_cache.get(key)
+        if cached is not None:
+            return cached
         found = self.lexicon.lookup(a, b)
-        if found is not None:
-            return found
-        return self.backoff.token_similarity(a, b)
+        if found is None:
+            found = self.backoff.token_similarity(a, b)
+        if len(self._pair_cache) > self._CACHE_LIMIT:
+            self._pair_cache.clear()
+        self._pair_cache[key] = found
+        return found
+
+    def clear_cache(self) -> None:
+        """Drop memoized pair scores (after a lexicon mutation)."""
+        self._pair_cache.clear()

@@ -24,6 +24,14 @@ Session logs get the same treatment via :func:`ingest_session_log`:
 whole sessions are never split across shards, so the session-window
 co-occurrence mass of every shard is exactly what the direct build
 produces, and the shard merge stays lossless.
+
+Publishing an ingest result through
+:meth:`~repro.serving.artifacts.ArtifactStore.compile` (``repro ingest
+--artifacts``) stores the merged graph alongside the other serving
+artifacts — including the keyword mapper's
+:class:`~repro.core.candidate_index.CandidateIndex`, compiled from the
+dataset's database at publish time — so a serving process starts from
+deserialized state end to end.
 """
 
 from __future__ import annotations

@@ -73,9 +73,12 @@ class NalirNLIDB(NLIDB):
         return self.translate(parsed.keywords)
 
     def translate(self, keywords: list[Keyword]) -> list[TranslationResult]:
-        configurations = self._mapper.map_keywords(keywords)
+        # Beam-limited enumeration: only the top configurations are built.
+        configurations = self._mapper.map_keywords(
+            keywords, limit=self.max_configurations
+        )
         results: list[TranslationResult] = []
-        for configuration in configurations[: self.max_configurations]:
+        for configuration in configurations:
             bag = configuration.relation_bag()
             if not bag:
                 continue

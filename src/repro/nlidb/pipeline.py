@@ -53,9 +53,13 @@ class PipelineNLIDB(NLIDB):
             )
 
     def translate(self, keywords: list[Keyword]) -> list[TranslationResult]:
-        configurations = self._mapper.map_keywords(keywords)
+        # The limit makes the mapper's beam search enumerate exactly the
+        # top configurations instead of materializing the whole product.
+        configurations = self._mapper.map_keywords(
+            keywords, limit=self.max_configurations
+        )
         results: list[TranslationResult] = []
-        for configuration in configurations[: self.max_configurations]:
+        for configuration in configurations:
             results.extend(self._realize(configuration))
         results.sort(key=lambda r: (-r.config_score, -r.join_score, r.sql))
         return results

@@ -88,7 +88,16 @@ def register(
     augmented: bool = False,
     parses_nlq: bool = False,
 ) -> Callable[[BackendFactory], BackendFactory]:
-    """Decorator registering ``factory`` as backend ``name``."""
+    """Decorator registering ``factory`` as backend ``name``.
+
+    >>> @register("demo+", display_name="Demo+", augmented=True)
+    ... def _build_demo(dataset, templar, *, max_configurations, params,
+    ...                 simulate_parse_failures):
+    ...     raise NotImplementedError
+    >>> get_backend("demo+").display_name
+    'Demo+'
+    >>> unregister("demo+")
+    """
 
     def decorator(factory: BackendFactory) -> BackendFactory:
         key = _canonical(name)
@@ -121,24 +130,44 @@ def register(
 
 
 def unregister(name: str) -> None:
-    """Remove a registered backend (plugin teardown, tests)."""
+    """Remove a registered backend (plugin teardown, tests).
+
+    >>> unregister("no-such-backend")
+    Traceback (most recent call last):
+        ...
+    repro.errors.ReproError: unknown NLIDB backend 'no-such-backend'; registered: nalir, nalir+, pipeline, pipeline+
+    """
     spec = get_backend(name)
     del _REGISTRY[spec.name]
     _DISPLAY_ALIASES.pop(_canonical(spec.display_name), None)
 
 
 def backend_names() -> tuple[str, ...]:
-    """Canonical names of every registered backend, sorted."""
+    """Canonical names of every registered backend, sorted.
+
+    >>> backend_names()
+    ('nalir', 'nalir+', 'pipeline', 'pipeline+')
+    """
     return tuple(sorted(_REGISTRY))
 
 
 def display_names() -> tuple[str, ...]:
-    """Paper-style system names of every registered backend, sorted."""
+    """Paper-style system names of every registered backend, sorted.
+
+    >>> display_names()
+    ('NaLIR', 'NaLIR+', 'Pipeline', 'Pipeline+')
+    """
     return tuple(sorted(spec.display_name for spec in _REGISTRY.values()))
 
 
 def get_backend(name: str) -> BackendSpec:
-    """Resolve a backend by canonical or display name (case-insensitive)."""
+    """Resolve a backend by canonical or display name (case-insensitive).
+
+    >>> get_backend("Pipeline+").name
+    'pipeline+'
+    >>> get_backend("pipeline+").augmented
+    True
+    """
     key = _canonical(name)
     key = _DISPLAY_ALIASES.get(key, key)
     spec = _REGISTRY.get(key)
@@ -159,7 +188,17 @@ def build_backend(
     params: ScoringParams | None = None,
     simulate_parse_failures: bool = True,
 ) -> NLIDB:
-    """Instantiate backend ``name``, validating the Templar contract."""
+    """Instantiate backend ``name``, validating the Templar contract.
+
+    >>> from repro.datasets import load_dataset
+    >>> nlidb = build_backend("pipeline", load_dataset("mas"))
+    >>> nlidb.name
+    'Pipeline'
+    >>> build_backend("pipeline+", load_dataset("mas"))
+    Traceback (most recent call last):
+        ...
+    repro.errors.ReproError: backend 'pipeline+' is log-augmented and needs a Templar; supply one (or use 'pipeline' for the unaugmented baseline)
+    """
     spec = get_backend(name)
     if spec.augmented and templar is None:
         raise ReproError(

@@ -3,7 +3,8 @@
 A deployment should not re-parse its whole query log at every process
 start.  :class:`ArtifactStore` compiles a dataset + query log once into a
 versioned directory of JSON artifacts — the QFG co-occurrence tables, the
-similarity lexicon, the schema catalog and the relation join graph — and
+similarity lexicon, the schema catalog, the relation join graph and the
+keyword mapper's candidate-retrieval index — and
 loads them back with checksum verification, so startup is a deserialize
 instead of a rebuild.
 
@@ -14,6 +15,7 @@ Layout under the store root::
                               /catalog.json
                               /schema_graph.json
                               /query_log.sql
+                              /candidate_index.json
                               /manifest.json
     <root>/<dataset>/LATEST          # name of the newest version
 
@@ -29,11 +31,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import re
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core.candidate_index import CandidateIndex
 from repro.core.fragments import Obscurity
 from repro.core.log import QueryLog
 from repro.core.qfg import QueryFragmentGraph
@@ -46,6 +50,8 @@ from repro.embedding.lexicon import Lexicon
 from repro.embedding.model import CompositeModel, SimilarityModel
 from repro.errors import ArtifactError, ReproError
 from repro.schema_graph.graph import JoinEdge, JoinGraph
+
+logger = logging.getLogger(__name__)
 
 FORMAT_VERSION = 1
 
@@ -72,6 +78,12 @@ _ARTIFACT_FILES = (
     "schema_graph.json",
     "query_log.sql",
 )
+
+#: Optional artifact files: absent from pre-existing versions, checksum-
+#: verified when present.  ``candidate_index.json`` persists the keyword
+#: mapper's precomputed retrieval index so serving skips the startup
+#: rebuild over the database values.
+_OPTIONAL_ARTIFACT_FILES = ("candidate_index.json",)
 
 
 # ---------------------------------------------------------------- catalog
@@ -189,6 +201,9 @@ class ServingArtifacts:
     catalog: Catalog
     join_graph: JoinGraph
     manifest: dict
+    #: Precompiled keyword-retrieval index; ``None`` for versions compiled
+    #: before the index artifact existed (the mapper then rebuilds it).
+    candidate_index: CandidateIndex | None = None
 
     def verify_schema(self, database: Database) -> None:
         """Assert the artifacts were compiled against ``database``'s schema.
@@ -217,14 +232,32 @@ class ServingArtifacts:
     ) -> Templar:
         """A Templar over ``database`` with the prebuilt (deserialized) QFG.
 
-        The database still comes from the dataset builder (artifacts hold
-        log-derived and schema-level state, not table rows); what the
-        artifact path removes is the per-startup log parse.  The stored
-        catalog is checked against the database first (see
-        :meth:`verify_schema`), and the stored join graph becomes the
-        join generator's base graph.
+        The database still comes from the dataset builder; what the
+        artifact path removes is the per-startup log parse and the
+        candidate-index rebuild.  The stored catalog is checked against
+        the database first (see :meth:`verify_schema`), and the stored
+        join graph becomes the join generator's base graph.
+
+        The candidate index is the one artifact holding *row-derived*
+        state, so it is additionally checked against the live database's
+        contents (:meth:`CandidateIndex.matches_database`); if the rows
+        drifted since compile time the stale index is discarded with a
+        warning and the mapper rebuilds a fresh one — retrieval is never
+        served from data the database no longer holds.
         """
         self.verify_schema(database)
+        candidate_index = self.candidate_index
+        if candidate_index is not None and not candidate_index.matches_database(
+            database
+        ):
+            logger.warning(
+                "artifact version %s/%s: stored candidate index no longer "
+                "matches the database contents (rows drifted since "
+                "compile); rebuilding the index from the live data",
+                self.dataset,
+                self.version,
+            )
+            candidate_index = None
         model = similarity or CompositeModel(self.lexicon)
         return Templar(
             database,
@@ -232,6 +265,7 @@ class ServingArtifacts:
             qfg=self.qfg,
             obscurity=self.qfg.obscurity,
             join_graph=self.join_graph,
+            candidate_index=candidate_index,
             **templar_kwargs,
         )
 
@@ -278,12 +312,17 @@ class ArtifactStore:
         fingerprint = qfg.fingerprint()
         lexicon_payload = dataset.lexicon.to_dict()
         catalog_payload = catalog_to_dict(catalog)
+        index_payload = CandidateIndex.from_database(
+            dataset.database
+        ).to_dict()
         if version is None:
             # The version id covers every artifact payload, not just the
-            # QFG: a lexicon or schema change with an unchanged log must
-            # mint a fresh version, never overwrite a pinned one.
+            # QFG: a lexicon, schema or data change with an unchanged log
+            # must mint a fresh version, never overwrite a pinned one.
             combined = hashlib.sha256()
-            for payload in (fingerprint, lexicon_payload, catalog_payload):
+            for payload in (
+                fingerprint, lexicon_payload, catalog_payload, index_payload
+            ):
                 combined.update(
                     json.dumps(payload, sort_keys=True).encode("utf-8")
                 )
@@ -298,6 +337,7 @@ class ArtifactStore:
                 join_graph_to_dict(JoinGraph.from_catalog(catalog)), indent=1
             ),
             "query_log.sql": "\n".join(log.queries) + "\n",
+            "candidate_index.json": json.dumps(index_payload, indent=1),
         }
         checksums = {
             name: hashlib.sha256(text.encode("utf-8")).hexdigest()
@@ -342,6 +382,9 @@ class ArtifactStore:
                 "lexicon_entries": len(dataset.lexicon),
                 "relations": len(catalog.tables),
                 "foreign_keys": len(catalog.foreign_keys),
+                "index_tokens": sum(
+                    len(entry["tokens"]) for entry in index_payload["postings"]
+                ),
             },
             "checksums": checksums,
         }
@@ -421,9 +464,11 @@ class ArtifactStore:
             )
         checksums = manifest.get("checksums", {})
         raw: dict[str, bytes] = {}
-        for name in _ARTIFACT_FILES:
+        for name in _ARTIFACT_FILES + _OPTIONAL_ARTIFACT_FILES:
             path = target / name
             if not path.is_file():
+                if name in _OPTIONAL_ARTIFACT_FILES:
+                    continue  # pre-index version: the mapper rebuilds it
                 raise ArtifactError(f"artifact file {name} missing from {target}")
             data = path.read_bytes()
             recorded = checksums.get(name)
@@ -441,6 +486,13 @@ class ArtifactStore:
             catalog = catalog_from_dict(json.loads(raw["catalog.json"]))
             join_graph = join_graph_from_dict(
                 json.loads(raw["schema_graph.json"])
+            )
+            candidate_index = (
+                CandidateIndex.from_dict(
+                    json.loads(raw["candidate_index.json"])
+                )
+                if "candidate_index.json" in raw
+                else None
             )
         except json.JSONDecodeError as exc:
             raise ArtifactError(f"malformed artifact JSON in {target}: {exc}") from exc
@@ -472,4 +524,5 @@ class ArtifactStore:
             catalog=catalog,
             join_graph=join_graph,
             manifest=manifest,
+            candidate_index=candidate_index,
         )

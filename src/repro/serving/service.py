@@ -36,17 +36,34 @@ from repro.serving.wire import TranslationRequest, TranslationResponse
 
 
 class CachingKeywordMapper:
-    """Drop-in ``map_keywords`` memoizer around a keyword mapper."""
+    """Drop-in ``map_keywords`` memoizer around a keyword mapper.
+
+    Example::
+
+        >>> from repro.serving.cache import LRUCache
+        >>> class Inner:
+        ...     calls = 0
+        ...     def map_keywords(self, keywords, limit=None):
+        ...         self.calls += 1
+        ...         return list(keywords)
+        >>> mapper = CachingKeywordMapper(Inner(), LRUCache(8, "demo"), lambda: 0)
+        >>> mapper.map_keywords(("papers",)), mapper.map_keywords(("papers",))
+        (['papers'], ['papers'])
+        >>> mapper.inner.calls
+        1
+    """
 
     def __init__(self, inner, cache: LRUCache, revision_fn) -> None:
         self.inner = inner
         self.cache = cache
         self._revision = revision_fn
 
-    def map_keywords(self, keywords: list[Keyword]) -> list[Configuration]:
-        key = (keywords_cache_key(keywords), self._revision())
+    def map_keywords(
+        self, keywords: list[Keyword], limit: int | None = None
+    ) -> list[Configuration]:
+        key = (keywords_cache_key(keywords), self._revision(), limit)
         return self.cache.get_or_compute(
-            key, lambda: self.inner.map_keywords(keywords)
+            key, lambda: self.inner.map_keywords(keywords, limit=limit)
         )
 
     def __getattr__(self, name: str):
@@ -104,6 +121,21 @@ def resolve_request_keywords(
     return tuple(parsed.keywords), elapsed_ms
 
 
+def take_truncation(
+    service: "TranslationService", keywords: Sequence[Keyword]
+) -> int:
+    """Consume the mapper's truncation report for one request (0 if none).
+
+    Works through the service's installed stage cache (the wrapper
+    delegates to the real mapper); systems without a ``_mapper`` report 0.
+    """
+    mapper = getattr(service.nlidb, "_mapper", None)
+    take = getattr(mapper, "take_truncation", None)
+    if take is None:
+        return 0
+    return take(keywords)
+
+
 def translate_request(
     service: "TranslationService",
     request: TranslationRequest,
@@ -133,6 +165,12 @@ def translate_request(
     qfg = service.templar.qfg if service.templar is not None else None
     if qfg is not None:
         base["qfg_revision"] = qfg.revision
+    # Surface a configuration-space truncation (ScoringParams
+    # .max_configurations guard) in the provenance; cached repeats of a
+    # truncated request served from the LRU won't re-report it.
+    dropped = take_truncation(service, keywords)
+    if dropped:
+        base["configurations_truncated"] = dropped
     base.update(provenance or {})
     return TranslationResponse(
         request=request,
@@ -188,11 +226,15 @@ class TranslationService:
         self._pending: list[str] = []
         self._drain_scheduled = False
 
-        # Force lazy one-time structures (the full-text index) to build now,
-        # on this thread, instead of racing inside the first batch.
+        # Force lazy one-time structures (the full-text and candidate
+        # indexes) to build now, on this thread, instead of racing inside
+        # the first batch.
         database = getattr(nlidb, "database", None)
         if database is not None:
             database.fulltext
+        mapper = getattr(self.nlidb, "_mapper", None)
+        if mapper is not None and getattr(mapper, "use_index", False):
+            mapper.index
 
     def _install_stage_caches(self) -> None:
         """Memoize the NLIDB's mapper and join generator in place.

@@ -39,6 +39,14 @@ KEYWORD_FIELDS = (
 
 
 def keyword_to_dict(keyword: Keyword) -> dict:
+    """Encode one keyword as its JSON payload (default fields omitted).
+
+    >>> from repro.core import FragmentContext, Keyword, KeywordMetadata
+    >>> keyword = Keyword("after 2000", KeywordMetadata(
+    ...     context=FragmentContext.WHERE, comparison_op=">"))
+    >>> keyword_to_dict(keyword)
+    {'text': 'after 2000', 'context': 'WHERE', 'comparison_op': '>'}
+    """
     metadata = keyword.metadata
     payload: dict = {"text": keyword.text, "context": metadata.context.value}
     if metadata.comparison_op is not None:
@@ -57,6 +65,15 @@ def keyword_to_dict(keyword: Keyword) -> dict:
 
 
 def keyword_from_dict(data: dict) -> Keyword:
+    """Strict decode of one keyword payload (unknown fields rejected).
+
+    >>> keyword_from_dict({"text": "papers", "context": "SELECT"})
+    Keyword(text='papers', metadata=KeywordMetadata(context=<FragmentContext.SELECT: 'SELECT'>, comparison_op=None, aggregates=(), grouped=False, distinct=False, descending=False, limit=None))
+    >>> keyword_from_dict({"text": "papers", "ctx": "SELECT"})
+    Traceback (most recent call last):
+        ...
+    repro.errors.ServingError: unknown keyword field(s): ctx; allowed: text, context, comparison_op, aggregates, grouped, distinct, descending, limit
+    """
     if not isinstance(data, dict):
         raise ServingError(f"keyword must be an object, got {type(data).__name__}")
     unknown = sorted(set(data) - set(KEYWORD_FIELDS))
@@ -113,12 +130,31 @@ def keyword_from_dict(data: dict) -> Keyword:
 
 
 def keywords_from_payload(data: object) -> list[Keyword]:
+    """Decode a request's ``keywords`` array (must be non-empty).
+
+    >>> keywords = keywords_from_payload([{"text": "papers"}])
+    >>> [keyword.text for keyword in keywords]
+    ['papers']
+    >>> keywords_from_payload([])
+    Traceback (most recent call last):
+        ...
+    repro.errors.ServingError: 'keywords' must be a non-empty array of objects
+    """
     if not isinstance(data, list) or not data:
         raise ServingError("'keywords' must be a non-empty array of objects")
     return [keyword_from_dict(item) for item in data]
 
 
 def result_to_dict(result: TranslationResult) -> dict:
+    """Encode one ranked translation for the response payload.
+
+    Scores are rounded to 6 places — stable payloads over float noise:
+
+    >>> from types import SimpleNamespace
+    >>> result_to_dict(SimpleNamespace(
+    ...     sql="SELECT 1", config_score=0.51234567, join_score=1.0))
+    {'sql': 'SELECT 1', 'config_score': 0.512346, 'join_score': 1.0}
+    """
     return {
         "sql": result.sql,
         "config_score": round(result.config_score, 6),
@@ -129,6 +165,14 @@ def result_to_dict(result: TranslationResult) -> dict:
 def results_to_payload(
     results: list[TranslationResult], limit: int | None = None
 ) -> dict:
+    """Ranked results as a payload; ``limit`` caps what is surfaced.
+
+    ``count`` always reports the full result count, so a limited client
+    can see how much it did not fetch.
+
+    >>> results_to_payload([], limit=5)
+    {'count': 0, 'results': []}
+    """
     shown = results if limit is None else results[:limit]
     return {
         "count": len(results),
@@ -154,6 +198,13 @@ class TranslationRequest:
     Exactly one of ``nlq`` / ``keywords`` must be set.  ``limit`` caps the
     results surfaced in the response payload; ``observe`` asks the serving
     side to feed the top translation back into the QFG learning queue.
+
+    >>> TranslationRequest(nlq="return the papers", limit=3)
+    TranslationRequest(nlq='return the papers', keywords=None, limit=3, observe=False)
+    >>> TranslationRequest()
+    Traceback (most recent call last):
+        ...
+    repro.errors.ServingError: request must contain either 'keywords' or 'nlq'
     """
 
     nlq: str | None = None
@@ -191,6 +242,11 @@ class TranslationRequest:
         Accepts an existing request (returned as-is unless ``limit`` /
         ``observe`` override it), a raw NLQ string, a sequence of
         :class:`~repro.core.interface.Keyword`, or a JSON payload dict.
+
+        >>> TranslationRequest.of("return the papers").nlq
+        'return the papers'
+        >>> TranslationRequest.of({"nlq": "return the papers"}, limit=1).limit
+        1
         """
         if isinstance(request, cls):
             if limit is None and observe is None:
@@ -225,7 +281,17 @@ class TranslationRequest:
 
     @classmethod
     def from_payload(cls, payload: object) -> "TranslationRequest":
-        """Strict decode of a JSON request body."""
+        """Strict decode of a JSON request body.
+
+        >>> request = TranslationRequest.from_payload(
+        ...     {"keywords": [{"text": "papers", "context": "SELECT"}]})
+        >>> request.keywords[0].text
+        'papers'
+        >>> TranslationRequest.from_payload({"nlq": "x", "observ": True})
+        Traceback (most recent call last):
+            ...
+        repro.errors.ServingError: unknown request field(s): observ; allowed: keywords, nlq, limit, observe
+        """
         if not isinstance(payload, dict):
             raise ServingError("request body must be a JSON object")
         unknown = sorted(set(payload) - set(REQUEST_FIELDS))
@@ -249,6 +315,11 @@ class TranslationRequest:
         )
 
     def to_payload(self) -> dict:
+        """The JSON body for this request; round-trips via ``from_payload``.
+
+        >>> TranslationRequest(nlq="return the papers", limit=2).to_payload()
+        {'nlq': 'return the papers', 'limit': 2}
+        """
         payload: dict = {}
         if self.nlq is not None:
             payload["nlq"] = self.nlq
@@ -275,6 +346,13 @@ class TranslationResponse:
       ``total``); responses produced by a batched translate share the
       batch's wall-clock for ``translate``/``total`` and carry a
       ``batch_size`` entry marking them as batch-level numbers.
+
+    >>> response = TranslationResponse(
+    ...     request=TranslationRequest(nlq="return the papers"), results=[])
+    >>> response.sql is None and response.top is None
+    True
+    >>> response.to_payload()
+    {'count': 0, 'results': [], 'keywords': [], 'provenance': {}, 'timings_ms': {}}
     """
 
     request: TranslationRequest
@@ -285,6 +363,7 @@ class TranslationResponse:
 
     @property
     def top(self) -> TranslationResult | None:
+        """The best-ranked translation, or None when nothing translated."""
         return self.results[0] if self.results else None
 
     @property
@@ -294,6 +373,7 @@ class TranslationResponse:
         return top.sql if top is not None else None
 
     def to_payload(self) -> dict:
+        """The JSON body every frontend serves for this response."""
         payload = results_to_payload(self.results, self.request.limit)
         payload["keywords"] = [keyword_to_dict(k) for k in self.keywords]
         payload["provenance"] = dict(self.provenance)

@@ -312,3 +312,83 @@ class TestArtifactStore:
             expected = [(r.sql, r.config_score) for r in direct.translate(keywords)]
             actual = [(r.sql, r.config_score) for r in served.translate(keywords)]
             assert actual == expected
+
+
+class TestCandidateIndexArtifact:
+    def test_compile_emits_and_load_restores_index(
+        self, mini_dataset, mini_log, tmp_path
+    ):
+        from repro.core.candidate_index import CandidateIndex
+
+        store = ArtifactStore(tmp_path)
+        artifacts = store.compile(mini_dataset, mini_log)
+        assert (artifacts.path / "candidate_index.json").is_file()
+        assert artifacts.candidate_index is not None
+        live = CandidateIndex.from_database(mini_dataset.database)
+        assert artifacts.candidate_index.to_dict() == live.to_dict()
+        # The index checksum is covered by the manifest.
+        assert "candidate_index.json" in artifacts.manifest["checksums"]
+
+    def test_build_templar_injects_stored_index(
+        self, mini_dataset, mini_log, mini_model, tmp_path
+    ):
+        store = ArtifactStore(tmp_path)
+        artifacts = store.compile(mini_dataset, mini_log)
+        templar = artifacts.build_templar(mini_dataset.database, mini_model)
+        assert templar.keyword_mapper._index is artifacts.candidate_index
+
+    def test_pre_index_version_still_loads(
+        self, mini_dataset, mini_log, tmp_path
+    ):
+        """A version compiled before the index artifact existed serves."""
+        store = ArtifactStore(tmp_path)
+        artifacts = store.compile(mini_dataset, mini_log, version="old")
+        target = artifacts.path
+        (target / "candidate_index.json").unlink()
+        manifest = json.loads((target / "manifest.json").read_text())
+        del manifest["checksums"]["candidate_index.json"]
+        (target / "manifest.json").write_text(json.dumps(manifest))
+
+        loaded = store.load("mini", "old")
+        assert loaded.candidate_index is None
+        templar = loaded.build_templar(mini_dataset.database)
+        # The mapper rebuilds the index lazily instead.
+        assert templar.candidate_index is not None
+
+    def test_corrupt_index_artifact_rejected(
+        self, mini_dataset, mini_log, tmp_path
+    ):
+        store = ArtifactStore(tmp_path)
+        artifacts = store.compile(mini_dataset, mini_log)
+        index_file = artifacts.path / "candidate_index.json"
+        index_file.write_text(index_file.read_text() + " ")
+        with pytest.raises(ArtifactError, match="corrupt"):
+            store.load("mini", artifacts.version)
+
+    def test_drifted_rows_discard_stored_index(
+        self, mini_dataset, mini_log, mini_model, tmp_path
+    ):
+        """Rows changed since compile: the stale index must not serve."""
+        store = ArtifactStore(tmp_path)
+        artifacts = store.compile(mini_dataset, mini_log)
+        db = mini_dataset.database
+        db.insert("journal", (9, "Post-compile Journal"))
+        assert artifacts.candidate_index.matches_database(db) is False
+        templar = artifacts.build_templar(db, mini_model)
+        # The injected stale index was dropped; the lazily rebuilt one
+        # sees the new row.
+        assert templar.keyword_mapper._index is None
+        hits = templar.candidate_index.search_column(
+            "journal", "name", ["post", "compile"]
+        )
+        assert hits == ["Post-compile Journal"]
+
+    def test_matching_rows_keep_stored_index(
+        self, mini_dataset, mini_log, mini_model, tmp_path
+    ):
+        store = ArtifactStore(tmp_path)
+        artifacts = store.compile(mini_dataset, mini_log)
+        db = mini_dataset.database
+        assert artifacts.candidate_index.matches_database(db) is True
+        templar = artifacts.build_templar(db, mini_model)
+        assert templar.keyword_mapper._index is artifacts.candidate_index

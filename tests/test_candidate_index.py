@@ -1,0 +1,231 @@
+"""CandidateIndex: indexed retrieval must equal the brute-force scans."""
+
+import pytest
+
+from repro.core import FragmentContext, Keyword, KeywordMetadata
+from repro.core.candidate_index import CandidateIndex
+from repro.core.keyword_mapper import KeywordMapper
+from repro.db import Column, ColumnType, Database, TableSchema
+from repro.db.stemmer import stem
+from repro.embedding import CompositeModel
+from repro.errors import ReproError
+
+WHERE = FragmentContext.WHERE
+SELECT = FragmentContext.SELECT
+FROM = FragmentContext.FROM
+
+
+def kw(text, context=WHERE, op=None, aggregates=(), **kwargs):
+    return Keyword(
+        text,
+        KeywordMetadata(
+            context=context, comparison_op=op, aggregates=aggregates, **kwargs
+        ),
+    )
+
+
+def workload_keywords(dataset):
+    for item in dataset.usable_items():
+        yield from item.keywords
+
+
+class TestIndexEqualsBruteForce:
+    """Index retrieval == a full scan, keyword by keyword (MAS and Yelp)."""
+
+    @pytest.mark.parametrize("name", ["mas_dataset", "yelp_dataset"])
+    def test_candidates_match_on_benchmark(self, name, request):
+        dataset = request.getfixturevalue(name)
+        model = CompositeModel(dataset.lexicon)
+        fast = KeywordMapper(dataset.database, model)
+        slow = KeywordMapper(dataset.database, model, use_index=False)
+        checked = 0
+        for keyword in workload_keywords(dataset):
+            assert fast.keyword_candidates(keyword) == slow.keyword_candidates(
+                keyword
+            ), f"candidate mismatch for {keyword!r}"
+            checked += 1
+        assert checked > 100  # the whole benchmark workload ran
+
+    @pytest.mark.parametrize("name", ["mas_dataset", "yelp_dataset"])
+    def test_scored_mappings_match_on_benchmark(self, name, request):
+        dataset = request.getfixturevalue(name)
+        model = CompositeModel(dataset.lexicon)
+        fast = KeywordMapper(dataset.database, model)
+        slow = KeywordMapper(dataset.database, model, use_index=False)
+        for keyword in workload_keywords(dataset):
+            scored_fast = fast.score_and_prune(
+                keyword, fast.keyword_candidates(keyword)
+            )
+            scored_slow = slow.score_and_prune(
+                keyword, slow.keyword_candidates(keyword)
+            )
+            assert scored_fast == scored_slow
+
+    def test_search_column_matches_fulltext(self, mas_dataset):
+        db = mas_dataset.database
+        index = CandidateIndex.from_database(db)
+        probes = (
+            ["query"], ["data", "mining"], ["xml"], ["nosuchtoken"],
+            ["restaur"], [],
+        )
+        for table, column in db.fulltext.columns():
+            for tokens in probes:
+                assert index.search_column(table, column, tokens) == (
+                    db.fulltext.search_column(table, column, tokens)
+                )
+
+    def test_candidate_columns_is_superset(self, mas_dataset):
+        """The shortlist never excludes a column the exact search matches."""
+        db = mas_dataset.database
+        index = CandidateIndex.from_database(db)
+        for tokens in (["query"], ["data"], ["journal"], ["h", "index"]):
+            shortlist = set(index.candidate_columns(tokens))
+            for table, column in db.fulltext.columns():
+                if db.fulltext.search_column(table, column, tokens):
+                    assert (table, column) in shortlist
+
+
+@pytest.fixture()
+def numeric_db():
+    db = Database("nums")
+    db.create_table(
+        TableSchema(
+            "reading",
+            [
+                Column("id", ColumnType.INTEGER),
+                Column("value", ColumnType.FLOAT),
+                Column("note", ColumnType.TEXT, searchable=True),
+            ],
+            primary_key="id",
+        )
+    )
+    db.create_table(
+        TableSchema("empty", [Column("n", ColumnType.INTEGER)])
+    )
+    db.insert_many(
+        "reading",
+        [
+            (1, 3.5, "Monitoring Systems"),
+            (2, 3.5, "System monitors"),
+            (3, -1.0, "Pressurized systems"),
+            (4, None, "No reading recorded"),
+        ],
+    )
+    return db
+
+
+class TestNumericEdgeCases:
+    OPS = ("=", "!=", "<>", "<", "<=", ">", ">=")
+    LITERALS = (-1.0, -0.5, 0, 3.5, 3.6, 100)
+
+    def test_matches_row_scan(self, numeric_db):
+        index = CandidateIndex.from_database(numeric_db)
+        for op in self.OPS:
+            for literal in self.LITERALS:
+                assert index.predicate_nonempty(
+                    "reading", "value", op, literal
+                ) == numeric_db.predicate_nonempty(
+                    "reading", "value", op, literal
+                ), f"value {op} {literal}"
+
+    def test_empty_column_never_matches(self, numeric_db):
+        index = CandidateIndex.from_database(numeric_db)
+        for op in self.OPS:
+            assert index.predicate_nonempty("empty", "n", op, 0) is False
+
+    def test_nulls_never_satisfy(self, numeric_db):
+        # Row 4 has value NULL; != must not treat it as a match.
+        index = CandidateIndex.from_database(numeric_db)
+        # All non-NULL distinct values are {3.5, -1.0}: != 3.5 matches -1.0
+        assert index.predicate_nonempty("reading", "value", "!=", 3.5)
+        # A column whose only non-NULL value equals the literal: build one.
+        db = Database("single")
+        db.create_table(
+            TableSchema("t", [Column("x", ColumnType.INTEGER)])
+        )
+        db.insert_many("t", [(7,), (None,), (7,)])
+        single = CandidateIndex.from_database(db)
+        assert single.predicate_nonempty("t", "x", "!=", 7) is False
+        assert single.predicate_nonempty("t", "x", "=", 7) is True
+
+    def test_non_numeric_column_rejected(self, numeric_db):
+        index = CandidateIndex.from_database(numeric_db)
+        with pytest.raises(ReproError):
+            index.predicate_nonempty("reading", "note", "=", 1)
+
+
+class TestStemmingEdgeCases:
+    def test_stemmed_prefix_search(self, numeric_db):
+        """'monitoring' stems to 'monitor' and prefix-matches 'monitors'."""
+        index = CandidateIndex.from_database(numeric_db)
+        hits = index.search_column("reading", "note", ["monitoring"])
+        assert hits == ["Monitoring Systems", "System monitors"]
+
+    def test_schema_stems_cover_name_tokens(self, mas_dataset):
+        """Compound schema names contribute the stem of each word token."""
+        from repro.embedding.tokenize import word_tokens
+
+        index = CandidateIndex.from_database(mas_dataset.database)
+        for table, column in index._postings:
+            stems = index.schema_stems(table, column)
+            for token in word_tokens(table) + word_tokens(column):
+                assert stem(token) in stems
+
+    def test_value_keyword_mapping_uses_stems(self, mini_db, mini_model):
+        """'Queries' reaches 'Scalable Query Processing' via stemming on
+        both the indexed and the scan path."""
+        fast = KeywordMapper(mini_db, mini_model)
+        slow = KeywordMapper(mini_db, mini_model, use_index=False)
+        keyword = kw("Scalable Queries")
+        assert fast.keyword_candidates(keyword) == slow.keyword_candidates(
+            keyword
+        )
+        assert any(
+            c.value == "Scalable Query Processing"
+            for c in fast.keyword_candidates(keyword)
+        )
+
+
+class TestStaleness:
+    def test_index_rebuilds_after_insert(self, mini_db, mini_model):
+        mapper = KeywordMapper(mini_db, mini_model)
+        assert mapper.keyword_candidates(kw("TMC Letters")) == []
+        mini_db.insert("journal", (3, "TMC Letters"))
+        candidates = mapper.keyword_candidates(kw("TMC Letters"))
+        assert [c.value for c in candidates] == ["TMC Letters"]
+
+    def test_scored_memo_invalidated_by_insert(self, mini_db, mini_model):
+        mapper = KeywordMapper(mini_db, mini_model)
+        before = mapper.map_keywords([kw("TKDE")])
+        assert before  # warm the memo
+        mini_db.insert("journal", (3, "TKDE Letters"))
+        after = mapper.map_keywords([kw("TKDE Letters")])
+        values = {
+            m.fragment.value for c in after for m in c.mappings
+        }
+        assert "TKDE Letters" in values
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_retrieval(self, mas_dataset):
+        db = mas_dataset.database
+        original = CandidateIndex.from_database(db)
+        restored = CandidateIndex.from_dict(original.to_dict())
+        assert restored.to_dict() == original.to_dict()
+        for table, column in db.fulltext.columns():
+            assert restored.search_column(
+                table, column, ["data"]
+            ) == original.search_column(table, column, ["data"])
+        for ref in original.numeric_refs():
+            assert restored.predicate_nonempty(
+                ref.table, ref.column, ">", 0
+            ) == original.predicate_nonempty(ref.table, ref.column, ">", 0)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ReproError):
+            CandidateIndex.from_dict({"relations": []})
+
+    def test_injected_index_used(self, mini_db, mini_model):
+        index = CandidateIndex.from_database(mini_db)
+        mapper = KeywordMapper(mini_db, mini_model, candidate_index=index)
+        assert mapper.index is index
