@@ -406,6 +406,21 @@ class Engine:
         """
         return self.service.absorb_pending()
 
+    def take_pending(self) -> list[str]:
+        """Remove and return queued observations *without* absorbing them.
+
+        The gateway's hot-swap uses this to carry a retiring engine's
+        unabsorbed observations over to its replacement instead of
+        folding them into the graph that is being thrown away.
+
+        >>> from repro.api import Engine, EngineConfig
+        >>> with Engine.from_config(EngineConfig(dataset="mas")) as engine:
+        ...     engine.observe("SELECT name FROM author")
+        ...     engine.take_pending()
+        ['SELECT name FROM author']
+        """
+        return self.service.take_pending()
+
     # ----------------------------------------------------------- lifecycle
 
     def provenance(self) -> dict:

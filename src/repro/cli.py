@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli warmup --dataset mas --artifacts ./artifacts
     python -m repro.cli ingest --dataset mas --log big.sql --artifacts ./artifacts
     python -m repro.cli serve --dataset mas --artifacts ./artifacts --port 8080
+    python -m repro.cli gateway --config gateway.json --port 8080
 
 Every subcommand that translates or serves builds its stack through
 ``repro.api.Engine.from_config`` — the CLI only describes *what* to run
@@ -25,7 +26,9 @@ from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
+import threading
 import time
 import warnings
 
@@ -274,6 +277,26 @@ def _build_service(args: argparse.Namespace):
     return engine.service, engine.parser
 
 
+def _install_sigterm_shutdown(server) -> None:
+    """Make SIGTERM a graceful stop, not a kill.
+
+    ``kill <pid>`` (the normal supervisor/container stop signal) then
+    behaves like Ctrl-C: the serve loop exits, and the caller's cleanup
+    path flushes acknowledged observations into the QFG before the
+    process ends — observed queries are never lost on restart.  The
+    handler hands ``shutdown()`` to a helper thread because it blocks
+    until the serve loop (running on this very thread) notices.
+    """
+
+    def _handle(signum, frame) -> None:
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _handle)
+    except ValueError:
+        pass  # not the main thread (embedded/test use); Ctrl-C still works
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the JSON translation endpoint for one dataset."""
     from repro.serving import make_server
@@ -290,14 +313,65 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ("health", f"http://{host}:{port}/healthz"),
         ("stats", f"http://{host}:{port}/stats"),
         ("metrics", f"http://{host}:{port}/metrics"),
-    ]))
+    ]), flush=True)
+    _install_sigterm_shutdown(server)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
         server.shutdown()
+        pending = engine.service.pending_observations
         engine.close()
+        print(f"flushed {pending} pending observation(s) into the QFG",
+              flush=True)
+    return EXIT_OK
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    """Run the multi-tenant gateway endpoint from a gateway.json."""
+    from repro.gateway import Gateway, make_gateway_server
+
+    gateway = Gateway.from_config(args.config)
+    server = make_gateway_server(
+        gateway, host=args.host, port=args.port, quiet=False
+    )
+    host, port = server.server_address[:2]
+    print(format_kv([
+        ("tenants", ", ".join(sorted(gateway.hosts))),
+        ("translate", f"http://{host}:{port}/t/<tenant>/translate"),
+        ("health", f"http://{host}:{port}/healthz"),
+        ("ready", f"http://{host}:{port}/readyz"),
+        ("stats", f"http://{host}:{port}/stats"),
+        ("reload", f"POST http://{host}:{port}/admin/reload"),
+    ]), flush=True)
+
+    # Engines warm up off the serve loop so the listener (and an honest
+    # /readyz) is up immediately; a failed warm-up stops the server.
+    warmup_failure: list[ReproError] = []
+
+    def _warm_up() -> None:
+        try:
+            gateway.start()
+        except ReproError as exc:
+            warmup_failure.append(exc)
+            server.shutdown()
+
+    warmup = threading.Thread(target=_warm_up, daemon=True)
+    warmup.start()
+    _install_sigterm_shutdown(server)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        pending = gateway.pending_observations()
+        gateway.close()
+        print(f"flushed {pending} pending observation(s) into the QFG",
+              flush=True)
+    if warmup_failure:
+        raise warmup_failure[0]
     return EXIT_OK
 
 
@@ -411,6 +485,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--learn-batch", type=int, default=None,
                        help="absorb served queries into the QFG every N "
                             "observations (default: learning off)")
+
+    gateway = sub.add_parser(
+        "gateway",
+        help="run the multi-tenant gateway HTTP endpoint (many datasets "
+             "behind one port, with artifact hot-reload)",
+    )
+    gateway.add_argument("--config", required=True,
+                         help="gateway.json: tenants (engine config + "
+                              "admission limits), reload polling, learning "
+                              "scheduler")
+    gateway.add_argument("--host", default="127.0.0.1")
+    gateway.add_argument("--port", type=int, default=8080)
     return parser
 
 
@@ -423,6 +509,7 @@ _COMMANDS = {
     "warmup": _cmd_warmup,
     "ingest": _cmd_ingest,
     "serve": _cmd_serve,
+    "gateway": _cmd_gateway,
 }
 
 

@@ -88,5 +88,18 @@ class ServingError(ReproError):
     """The translation service received an invalid or unservable request."""
 
 
+class AdmissionError(ServingError):
+    """A tenant's in-flight request cap is exhausted (HTTP 429).
+
+    Raised *before* any translation work happens, so a rejected request
+    costs the gateway one counter check — overload sheds load instead of
+    amplifying it.
+    """
+
+
+class GatewayError(ReproError):
+    """Gateway-level failure: unknown tenant, invalid gateway config."""
+
+
 class ConfigError(ReproError):
     """An :class:`~repro.api.config.EngineConfig` is invalid or unreadable."""

@@ -1,0 +1,45 @@
+"""Multi-tenant serving gateway: many engines, one process, one port.
+
+The paper's loop is continuous — Templar's QFG is rebuilt from an
+ever-growing SQL query log — so a production deployment must pick up
+freshly compiled artifact versions without dropping traffic, and real
+NLIDB deployments front many databases at once.  This package hosts one
+:class:`~repro.api.engine.Engine` per *tenant* behind a single HTTP
+surface:
+
+* :mod:`repro.gateway.config` — :class:`GatewayConfig` /
+  :class:`TenantConfig`: the declarative ``gateway.json`` (same strict
+  unknown-key rejection as :class:`~repro.api.config.EngineConfig`).
+* :mod:`repro.gateway.host` — :class:`EngineHost`: owns the live engine
+  for one tenant; atomic RCU-style hot-swap (in-flight requests finish
+  on the old engine, zero dropped or blocked requests) and per-tenant
+  admission control.
+* :mod:`repro.gateway.reloader` — :class:`Reloader`: watches each
+  tenant's artifact store and swaps in newly published versions.
+* :mod:`repro.gateway.scheduler` — :class:`LearningScheduler`:
+  periodically absorbs observed queries into each tenant's QFG on a
+  jittered interval, so the graph keeps learning from served traffic.
+* :mod:`repro.gateway.core` — :class:`Gateway`: the facade tying hosts,
+  reloader and scheduler together; per-tenant and aggregate telemetry.
+* :mod:`repro.gateway.http` — ``/t/<tenant>/translate`` routing plus
+  ``/healthz``, ``/readyz``, ``/stats``, ``/metrics`` and
+  ``/admin/reload`` (``repro gateway`` wires it to a config file).
+"""
+
+from repro.gateway.config import GatewayConfig, TenantConfig
+from repro.gateway.core import Gateway
+from repro.gateway.host import EngineHost
+from repro.gateway.http import GatewayHTTPServer, make_gateway_server
+from repro.gateway.reloader import Reloader
+from repro.gateway.scheduler import LearningScheduler
+
+__all__ = [
+    "EngineHost",
+    "Gateway",
+    "GatewayConfig",
+    "GatewayHTTPServer",
+    "LearningScheduler",
+    "Reloader",
+    "TenantConfig",
+    "make_gateway_server",
+]

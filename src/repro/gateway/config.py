@@ -1,0 +1,251 @@
+"""Declarative gateway configuration: one ``gateway.json`` per deployment.
+
+A gateway hosts many tenants; each tenant is one
+:class:`~repro.api.config.EngineConfig` plus gateway-side serving knobs
+(admission control).  The codec follows the engine config's contract:
+strict decoding, unknown keys rejected with
+:class:`~repro.errors.ConfigError`, JSON round trip, stable fingerprint.
+
+Example ``gateway.json``::
+
+    {
+     "tenants": {
+      "mas":  {"engine": {"dataset": "mas"}},
+      "yelp": {"engine": {"dataset": "yelp"}, "max_in_flight": 32}
+     },
+     "reload_poll_seconds": 5.0,
+     "learn_interval_seconds": 30.0
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.api.config import EngineConfig
+from repro.errors import ConfigError
+
+#: Tenant ids become URL path segments (``/t/<tenant>/translate``) and
+#: telemetry keys; restrict them accordingly.
+_TENANT_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+_TENANT_FIELDS = ("engine", "max_in_flight")
+_GATEWAY_FIELDS = (
+    "tenants",
+    "reload_poll_seconds",
+    "learn_interval_seconds",
+    "learn_jitter",
+)
+
+
+def _check_tenant_id(tenant_id: str) -> str:
+    if not isinstance(tenant_id, str) or not _TENANT_ID_RE.match(tenant_id):
+        raise ConfigError(
+            f"invalid tenant id {tenant_id!r}: use 1-64 letters, digits, "
+            f"dots, dashes or underscores"
+        )
+    return tenant_id
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant: an engine description plus gateway-side knobs.
+
+    >>> tenant = TenantConfig.from_dict(
+    ...     {"engine": {"dataset": "mas"}, "max_in_flight": 8})
+    >>> tenant.engine.dataset, tenant.max_in_flight
+    ('mas', 8)
+    >>> TenantConfig.from_dict({"engine": {"dataset": "mas"}, "maxx": 1})
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigError: unknown tenant config field(s): maxx; allowed: engine, max_in_flight
+    """
+
+    engine: EngineConfig
+    #: Admission control: requests beyond this many concurrently in
+    #: flight for the tenant are rejected with HTTP 429.
+    max_in_flight: int = 64
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.engine, EngineConfig):
+            raise ConfigError(
+                f"tenant 'engine' must be an EngineConfig, "
+                f"got {type(self.engine).__name__}"
+            )
+        if self.max_in_flight < 1:
+            raise ConfigError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "engine": self.engine.to_dict(),
+            "max_in_flight": self.max_in_flight,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantConfig":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"tenant config must be an object, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - set(_TENANT_FIELDS))
+        if unknown:
+            raise ConfigError(
+                f"unknown tenant config field(s): {', '.join(unknown)}; "
+                f"allowed: {', '.join(_TENANT_FIELDS)}"
+            )
+        if "engine" not in data:
+            raise ConfigError("tenant config requires an 'engine' object")
+        try:
+            return cls(
+                engine=EngineConfig.from_dict(data["engine"]),
+                max_in_flight=data.get("max_in_flight", 64),
+            )
+        except TypeError as exc:
+            # e.g. "max_in_flight": "8" — a string survives until the
+            # bound comparison; strict decoding owes a ConfigError.
+            raise ConfigError(f"invalid tenant config: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Everything needed to run one multi-tenant gateway.
+
+    >>> config = GatewayConfig.from_dict({
+    ...     "tenants": {"mas": {"engine": {"dataset": "mas"}}}})
+    >>> sorted(config.tenants)
+    ['mas']
+    >>> GatewayConfig.from_dict({"tenant": {}})
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigError: unknown gateway config field(s): tenant; allowed: tenants, reload_poll_seconds, learn_interval_seconds, learn_jitter
+    """
+
+    tenants: dict[str, TenantConfig] = field(default_factory=dict)
+    #: Poll each tenant's artifact store for newly published versions
+    #: every this many seconds; ``None`` disables background polling
+    #: (``POST /admin/reload`` still works).
+    reload_poll_seconds: float | None = None
+    #: Absorb each tenant's observed queries into its QFG roughly every
+    #: this many seconds; ``None`` disables the background scheduler.
+    learn_interval_seconds: float | None = None
+    #: Relative jitter applied to the learning interval (0.1 = ±10%) so
+    #: tenants don't all absorb — and invalidate caches — in lockstep.
+    learn_jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tenants, dict) or not self.tenants:
+            raise ConfigError("gateway config requires at least one tenant")
+        for tenant_id, tenant in self.tenants.items():
+            _check_tenant_id(tenant_id)
+            if not isinstance(tenant, TenantConfig):
+                raise ConfigError(
+                    f"tenant {tenant_id!r} must be a TenantConfig, "
+                    f"got {type(tenant).__name__}"
+                )
+        if self.reload_poll_seconds is not None and self.reload_poll_seconds <= 0:
+            raise ConfigError(
+                f"reload_poll_seconds must be > 0 (or null to disable "
+                f"polling), got {self.reload_poll_seconds}"
+            )
+        if (
+            self.learn_interval_seconds is not None
+            and self.learn_interval_seconds <= 0
+        ):
+            raise ConfigError(
+                f"learn_interval_seconds must be > 0 (or null to disable "
+                f"the scheduler), got {self.learn_interval_seconds}"
+            )
+        if not 0.0 <= self.learn_jitter < 1.0:
+            raise ConfigError(
+                f"learn_jitter must be in [0, 1), got {self.learn_jitter}"
+            )
+
+    # --------------------------------------------------------------- codec
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict; ``from_dict(to_dict())`` is the identity.
+
+        >>> config = GatewayConfig.from_dict(
+        ...     {"tenants": {"mas": {"engine": {"dataset": "mas"}}}})
+        >>> GatewayConfig.from_dict(config.to_dict()) == config
+        True
+        """
+        return {
+            "tenants": {
+                tenant_id: tenant.to_dict()
+                for tenant_id, tenant in sorted(self.tenants.items())
+            },
+            "reload_poll_seconds": self.reload_poll_seconds,
+            "learn_interval_seconds": self.learn_interval_seconds,
+            "learn_jitter": self.learn_jitter,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GatewayConfig":
+        """Strict decode: unknown keys raise :class:`ConfigError`."""
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"gateway config must be an object, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - set(_GATEWAY_FIELDS))
+        if unknown:
+            raise ConfigError(
+                f"unknown gateway config field(s): {', '.join(unknown)}; "
+                f"allowed: {', '.join(_GATEWAY_FIELDS)}"
+            )
+        raw_tenants = data.get("tenants")
+        if not isinstance(raw_tenants, dict):
+            raise ConfigError("gateway config requires a 'tenants' object")
+        tenants = {
+            _check_tenant_id(tenant_id): TenantConfig.from_dict(tenant)
+            for tenant_id, tenant in raw_tenants.items()
+        }
+        try:
+            return cls(
+                tenants=tenants,
+                reload_poll_seconds=data.get("reload_poll_seconds"),
+                learn_interval_seconds=data.get("learn_interval_seconds"),
+                learn_jitter=data.get("learn_jitter", 0.1),
+            )
+        except TypeError as exc:
+            # Wrong-typed values (e.g. "reload_poll_seconds": "5") must
+            # fail the same way unknown keys do, not with a traceback.
+            raise ConfigError(f"invalid gateway config: {exc}") from exc
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "GatewayConfig":
+        """Load a ``gateway.json`` file (strictly decoded)."""
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except OSError as exc:
+            raise ConfigError(f"cannot read gateway config {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"gateway config {path} is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(data)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the config as JSON; the file round-trips via from_file."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=1, sort_keys=True))
+        return path
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the whole gateway configuration.
+
+        >>> config = GatewayConfig.from_dict(
+        ...     {"tenants": {"mas": {"engine": {"dataset": "mas"}}}})
+        >>> config.fingerprint() == GatewayConfig.from_dict(
+        ...     config.to_dict()).fingerprint()
+        True
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -1,0 +1,245 @@
+"""The gateway facade: tenant registry, background loops, aggregate stats.
+
+A :class:`Gateway` is to a fleet of engines what
+:class:`~repro.api.engine.Engine` is to one translation stack: a single
+declaratively-constructed object that the HTTP layer, the CLI and tests
+all talk to.  It owns one :class:`~repro.gateway.host.EngineHost` per
+tenant, the artifact :class:`~repro.gateway.reloader.Reloader`, the
+:class:`~repro.gateway.scheduler.LearningScheduler`, and the
+gateway-level telemetry that aggregates across tenants.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.api.engine import Engine
+from repro.errors import GatewayError
+from repro.gateway.config import GatewayConfig
+from repro.gateway.host import EngineHost, ReloadResult
+from repro.gateway.reloader import Reloader
+from repro.gateway.scheduler import LearningScheduler
+from repro.serving.telemetry import MetricsRegistry
+from repro.serving.wire import TranslationRequest, TranslationResponse
+
+
+class Gateway:
+    """Hosts many tenants' engines in one process behind one surface."""
+
+    def __init__(
+        self,
+        config: GatewayConfig,
+        *,
+        engine_factories: Mapping[str, Callable[[], Engine]] | None = None,
+    ) -> None:
+        self.config = config
+        self.metrics = MetricsRegistry()
+        factories = dict(engine_factories or {})
+        unknown = sorted(set(factories) - set(config.tenants))
+        if unknown:
+            raise GatewayError(
+                f"engine_factories name tenant(s) not in the config: "
+                f"{', '.join(unknown)}"
+            )
+        self.hosts: dict[str, EngineHost] = {
+            tenant_id: EngineHost(
+                tenant_id, tenant, engine_factory=factories.get(tenant_id)
+            )
+            for tenant_id, tenant in config.tenants.items()
+        }
+        self.reloader = (
+            Reloader(
+                self.hosts, config.reload_poll_seconds, metrics=self.metrics
+            )
+            if config.reload_poll_seconds is not None
+            else None
+        )
+        self.scheduler = (
+            LearningScheduler(
+                self.hosts,
+                config.learn_interval_seconds,
+                jitter=config.learn_jitter,
+                metrics=self.metrics,
+            )
+            if config.learn_interval_seconds is not None
+            else None
+        )
+        self._state_lock = threading.Lock()
+        self._started = False
+        self._closed = False
+
+    @classmethod
+    def from_config(
+        cls,
+        config: GatewayConfig | dict | str | Path,
+        *,
+        engine_factories: Mapping[str, Callable[[], Engine]] | None = None,
+    ) -> "Gateway":
+        """Resolve a config (object, dict, or JSON file path) into a gateway.
+
+        Engines are *not* built yet — call :meth:`start` (so ``/readyz``
+        can honestly report the warm-up phase while the HTTP listener is
+        already up).
+        """
+        if isinstance(config, (str, Path)):
+            config = GatewayConfig.from_file(config)
+        elif isinstance(config, dict):
+            config = GatewayConfig.from_dict(config)
+        return cls(config, engine_factories=engine_factories)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> "Gateway":
+        """Build every tenant's engine, then start the background loops.
+
+        Idempotent.  Hosts are started one at a time; ``/readyz`` flips
+        tenant by tenant as their engines come up.
+        """
+        with self._state_lock:
+            if self._started or self._closed:
+                return self
+        for host in self.hosts.values():
+            host.start()  # no-op on a host close() already shut
+        with self._state_lock:
+            if self._closed:
+                # close() ran mid-warm-up (SIGTERM during startup): the
+                # background loops must never come up after it stopped
+                # them, or they would poll closed hosts forever.
+                return self
+            if self.reloader is not None:
+                self.reloader.start()
+            if self.scheduler is not None:
+                self.scheduler.start()
+            self._started = True
+        return self
+
+    def ready(self) -> bool:
+        """True once every tenant has a live engine."""
+        with self._state_lock:
+            if self._closed:
+                return False
+        return all(host.live for host in self.hosts.values())
+
+    def close(self) -> None:
+        """Deterministic shutdown: stop the loops, drain and close hosts.
+
+        Background threads stop *first* so no reload or absorb races the
+        host teardown; each host then drains its in-flight requests and
+        flushes acknowledged observations into its QFG.  Idempotent.
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self.reloader is not None:
+            self.reloader.stop()
+        if self.scheduler is not None:
+            self.scheduler.stop()
+        for host in self.hosts.values():
+            host.close()
+
+    def __enter__(self) -> "Gateway":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- serving
+
+    def host(self, tenant: str) -> EngineHost:
+        """The named tenant's host; unknown tenants raise (HTTP 404)."""
+        try:
+            return self.hosts[tenant]
+        except KeyError:
+            raise GatewayError(
+                f"unknown tenant {tenant!r}; configured: "
+                f"{', '.join(sorted(self.hosts))}"
+            ) from None
+
+    def translate(
+        self,
+        tenant: str,
+        request: TranslationRequest,
+        *,
+        observe: bool | None = None,
+    ) -> TranslationResponse:
+        """Route one request to its tenant's live engine."""
+        self.metrics.increment("gateway_requests")
+        self.metrics.increment(f"tenant.{tenant}.requests")
+        with self.metrics.time("gateway_translate"):
+            return self.host(tenant).translate(request, observe=observe)
+
+    def reload(self, tenant: str | None = None) -> list[ReloadResult]:
+        """Hot-swap one tenant (or every tenant) onto a fresh engine."""
+        hosts = [self.host(tenant)] if tenant is not None else list(
+            self.hosts.values()
+        )
+        results = []
+        for host in hosts:
+            results.append(host.reload())
+            self.metrics.increment("gateway_reloads")
+        return results
+
+    @property
+    def learning_scheduled(self) -> bool:
+        """True when a background drain exists for observed queries."""
+        return self.scheduler is not None
+
+    def pending_observations(self) -> int:
+        """Observations queued across all live tenants."""
+        total = 0
+        for host in self.hosts.values():
+            if host.live:
+                total += host.engine.service.pending_observations
+        return total
+
+    # --------------------------------------------------------------- stats
+
+    def stats(self) -> dict:
+        """Per-tenant isolated snapshots plus the cross-tenant aggregate."""
+        tenants = {
+            tenant_id: host.stats() for tenant_id, host in self.hosts.items()
+        }
+        aggregate = {
+            "tenants": len(self.hosts),
+            "live_tenants": sum(
+                1 for snapshot in tenants.values() if snapshot["live"]
+            ),
+            "requests": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "pending_observations": 0,
+            "in_flight": 0,
+            "rejected": 0,
+            "reloads": 0,
+        }
+        for snapshot in tenants.values():
+            aggregate["in_flight"] += snapshot["in_flight"]
+            aggregate["rejected"] += snapshot["rejected"]
+            aggregate["reloads"] += snapshot["reloads"]
+            engine_stats = snapshot.get("engine")
+            if engine_stats is None:
+                continue
+            counters = engine_stats["metrics"]["counters"]
+            aggregate["requests"] += counters.get("requests", 0)
+            aggregate["pending_observations"] += engine_stats[
+                "pending_observations"
+            ]
+            for cache in engine_stats["caches"]:
+                aggregate["cache_hits"] += cache["hits"]
+                aggregate["cache_misses"] += cache["misses"]
+        return {
+            "config_fingerprint": self.config.fingerprint()[:12],
+            "ready": self.ready(),
+            "aggregate": aggregate,
+            "tenants": tenants,
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Gateway({len(self.hosts)} tenants: "
+            f"{', '.join(sorted(self.hosts))})"
+        )

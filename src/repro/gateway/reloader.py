@@ -1,0 +1,86 @@
+"""Background artifact watcher: hot-swap freshly published versions.
+
+The paper's deployment story is a loop — the query log grows, the QFG is
+recompiled, serving picks the new graph up.  :class:`Reloader` closes
+that loop in-process: it polls each tenant's artifact store (cheap: one
+``LATEST`` pointer read per tenant per tick) and triggers
+:meth:`~repro.gateway.host.EngineHost.reload` when a version appears
+that the tenant is not serving yet.
+
+Polling is the portable default; ``POST /admin/reload`` triggers the
+same path explicitly (e.g. from the publisher's CI step), so deployments
+can disable polling entirely with ``reload_poll_seconds: null``.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from typing import Mapping
+
+from repro.errors import ReproError
+from repro.gateway.host import EngineHost, ReloadResult
+from repro.serving.telemetry import MetricsRegistry
+
+logger = logging.getLogger(__name__)
+
+
+class Reloader:
+    """Polls artifact stores and hot-swaps tenants onto new versions."""
+
+    def __init__(
+        self,
+        hosts: Mapping[str, EngineHost],
+        poll_seconds: float,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if poll_seconds <= 0:
+            raise ValueError(f"poll_seconds must be > 0, got {poll_seconds}")
+        self.hosts = hosts
+        self.poll_seconds = poll_seconds
+        self.metrics = metrics or MetricsRegistry()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def check_once(self) -> list[ReloadResult]:
+        """One poll pass over every tenant; returns the swaps performed.
+
+        A tenant whose reload fails (corrupt artifacts, store offline) is
+        logged and counted but does not stop the pass — one bad tenant
+        must not freeze everyone else's updates.
+        """
+        results: list[ReloadResult] = []
+        for host in self.hosts.values():
+            try:
+                if host.has_newer_version():
+                    results.append(host.reload())
+                    self.metrics.increment("gateway_reloads")
+            except ReproError as exc:
+                self.metrics.increment("gateway_reload_errors")
+                logger.warning(
+                    "tenant %s: reload check failed: %s", host.tenant, exc
+                )
+        return results
+
+    # ------------------------------------------------------------- thread
+
+    def start(self) -> "Reloader":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="repro-gateway-reloader", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        # Event.wait gives a stoppable sleep: stop() interrupts a tick
+        # immediately instead of waiting out the poll interval.
+        while not self._stop.wait(self.poll_seconds):
+            self.check_once()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None

@@ -1,0 +1,105 @@
+"""Background learning: absorb observed queries on a jittered interval.
+
+A single engine only folds served queries into its QFG when traffic
+happens to trip ``learn_batch_size`` or an operator calls
+``absorb_pending()``.  A long-lived gateway should not depend on either:
+:class:`LearningScheduler` walks every tenant roughly every
+``interval_seconds`` and absorbs whatever their engines observed, so the
+graph keeps learning from served traffic exactly as the paper's
+log-driven design intends — even for tenants with sparse traffic.
+
+The interval is jittered (±``jitter`` relative) so tenants don't absorb
+— and therefore invalidate their revision-keyed caches — in lockstep
+across a fleet of gateway processes.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import threading
+from typing import Mapping
+
+from repro.errors import ReproError
+from repro.gateway.host import EngineHost
+from repro.serving.telemetry import MetricsRegistry
+
+logger = logging.getLogger(__name__)
+
+
+class LearningScheduler:
+    """Periodically absorbs each tenant's pending observations."""
+
+    def __init__(
+        self,
+        hosts: Mapping[str, EngineHost],
+        interval_seconds: float,
+        *,
+        jitter: float = 0.1,
+        metrics: MetricsRegistry | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ValueError(
+                f"interval_seconds must be > 0, got {interval_seconds}"
+            )
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.hosts = hosts
+        self.interval_seconds = interval_seconds
+        self.jitter = jitter
+        self.metrics = metrics or MetricsRegistry()
+        self._rng = rng or random.Random()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def next_delay(self) -> float:
+        """The jittered wait before the next absorb pass."""
+        if self.jitter == 0.0:
+            return self.interval_seconds
+        spread = self._rng.uniform(-self.jitter, self.jitter)
+        return self.interval_seconds * (1.0 + spread)
+
+    def absorb_all(self) -> int:
+        """One pass over every tenant; returns total observations absorbed.
+
+        A tenant whose absorb fails is logged and counted but does not
+        stop the pass.
+        """
+        total = 0
+        for host in self.hosts.values():
+            try:
+                absorbed = host.absorb_pending()
+            except ReproError as exc:
+                self.metrics.increment("gateway_learn_errors")
+                logger.warning(
+                    "tenant %s: background absorb failed: %s",
+                    host.tenant,
+                    exc,
+                )
+                continue
+            total += absorbed
+        if total:
+            self.metrics.increment("gateway_learned", total)
+        return total
+
+    # ------------------------------------------------------------- thread
+
+    def start(self) -> "LearningScheduler":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="repro-gateway-learner", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.next_delay()):
+            self.absorb_all()
+
+    def stop(self) -> None:
+        """Stop the learner thread deterministically (joins it)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None

@@ -16,6 +16,9 @@ sit behind traffic:
   thread-safe LRU cache and the latency/QPS/counter registry behind it.
 * :mod:`repro.serving.http_server` — a stdlib-only JSON endpoint
   (``repro serve`` wires it to a dataset).
+* :mod:`repro.serving.http_common` — request decoding and the uniform
+  error envelope shared with the multi-tenant gateway
+  (:mod:`repro.gateway`).
 """
 
 from repro.serving.artifacts import (
@@ -27,6 +30,7 @@ from repro.serving.artifacts import (
     join_graph_to_dict,
 )
 from repro.serving.cache import CacheStats, LRUCache
+from repro.serving.http_common import error_envelope
 from repro.serving.http_server import ServingHTTPServer, make_server
 from repro.serving.service import (
     CachingJoinPathGenerator,
@@ -53,6 +57,7 @@ __all__ = [
     "TranslationService",
     "catalog_from_dict",
     "catalog_to_dict",
+    "error_envelope",
     "join_graph_from_dict",
     "join_graph_to_dict",
     "make_server",

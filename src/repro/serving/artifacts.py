@@ -420,6 +420,19 @@ class ArtifactStore:
             found.append((created, path.name))
         return [name for _, name in sorted(found)]
 
+    def latest_version(self, dataset: str) -> str | None:
+        """Name of the newest loadable version, or ``None`` when empty.
+
+        Cheap enough to poll: resolving follows the LATEST pointer (one
+        small file read) and only falls back to a directory scan when the
+        pointer is missing or stale.  The gateway's reloader calls this
+        to notice freshly published versions.
+        """
+        try:
+            return self.resolve(dataset).name
+        except ArtifactError:
+            return None
+
     def resolve(self, dataset: str, version: str | None = None) -> Path:
         """Directory of ``version`` (or the latest one), verified to exist."""
         base = self.root / dataset

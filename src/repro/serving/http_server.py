@@ -26,21 +26,31 @@ dependency.
 
 from __future__ import annotations
 
-import json
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from http.server import ThreadingHTTPServer
 
-from repro.errors import ReproError, ServingError
+from repro.errors import ServingError
+from repro.serving.http_common import MAX_BODY_BYTES, JSONRequestHandlerMixin
 from repro.serving.service import TranslationService, translate_request
 from repro.serving.wire import TranslationRequest, TranslationResponse
 
-#: Reject request bodies above this size (1 MiB) before reading them.
-MAX_BODY_BYTES = 1 << 20
+__all__ = [
+    "MAX_BODY_BYTES",
+    "ServingHTTPServer",
+    "ServingRequestHandler",
+    "make_server",
+]
 
 
 class ServingHTTPServer(ThreadingHTTPServer):
     """HTTP server bound to one :class:`TranslationService` or Engine."""
 
     daemon_threads = True
+
+    #: socketserver's default TCP backlog of 5 overflows under a handful
+    #: of concurrent connection-per-request clients; the kernel's SYN
+    #: retransmits then collapse throughput (measured in
+    #: bench_gateway.py's consolidation comparison).
+    request_queue_size = 128
 
     def __init__(
         self,
@@ -72,51 +82,11 @@ class ServingHTTPServer(ThreadingHTTPServer):
         return translate_request(self.service, request, parser=self.parser)
 
 
-class ServingRequestHandler(BaseHTTPRequestHandler):
+class ServingRequestHandler(JSONRequestHandlerMixin):
+    """Single-engine routes; JSON plumbing (body decode, the uniform
+    error envelope, content-type checks) comes from the shared mixin."""
+
     server: ServingHTTPServer
-
-    #: Socket timeout: a client announcing more body bytes than it sends
-    #: must not pin a handler thread forever.
-    timeout = 30.0
-
-    #: Every response carries Content-Length, so keep-alive is safe and
-    #: spares sequential clients a TCP handshake per request.
-    protocol_version = "HTTP/1.1"
-
-    # ------------------------------------------------------------- plumbing
-
-    def log_message(self, format: str, *args) -> None:  # noqa: A002
-        if not self.server.quiet:
-            super().log_message(format, *args)
-
-    def _send_json(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
-
-    def _read_json_body(self) -> dict:
-        try:
-            length = int(self.headers.get("Content-Length", 0))
-        except ValueError as exc:
-            raise ServingError("Content-Length header must be an integer") from exc
-        if length <= 0:
-            raise ServingError("request body is required")
-        if length > MAX_BODY_BYTES:
-            raise ServingError(f"request body exceeds {MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length)
-        try:
-            payload = json.loads(raw)
-        except json.JSONDecodeError as exc:
-            raise ServingError(f"request body is not valid JSON: {exc}") from exc
-        if not isinstance(payload, dict):
-            raise ServingError("request body must be a JSON object")
-        return payload
 
     # ------------------------------------------------------------- routing
 
@@ -146,44 +116,28 @@ class ServingRequestHandler(BaseHTTPRequestHandler):
         if path != "/translate":
             self._send_error_json(404, f"unknown path {path!r}")
             return
-        try:
-            # Strict decode + cheap field validation before paying for
-            # translation; unknown fields are rejected here.
-            request = TranslationRequest.from_payload(self._read_json_body())
-            if request.observe and self.server.service.templar is None:
-                raise ServingError(
-                    "this service cannot observe queries: the wrapped NLIDB "
-                    "has no Templar"
-                )
-            if request.observe and not self.server.service.learning_enabled:
-                # Without a drain schedule the queue would just fill and
-                # drop; refusing beats acknowledging a permanent no-op.
-                raise ServingError(
-                    "online learning is disabled on this server; restart "
-                    "with --learn-batch to accept 'observe'"
-                )
-            response = self.server.translate(request)
-            if request.observe and response.results:
-                self.server.service.observe(response.results[0].sql)
-        except ServingError as exc:
-            self._send_error_json(400, str(exc))
-            return
-        except ReproError as exc:
-            self._send_error_json(422, f"translation failed: {exc}")
-            return
-        except Exception as exc:  # noqa: BLE001 - last-resort 500
-            # A JSON client must get a JSON failure, not a reset socket.
-            try:
-                self._send_error_json(
-                    500, f"internal error: {type(exc).__name__}: {exc}"
-                )
-            except OSError:
-                pass  # client already gone; nothing left to tell it
-            raise
-        try:
-            self._send_json(200, response.to_payload())
-        except OSError:
-            pass  # client disconnected before reading the response
+        self._dispatch_json(self._translate_route)
+
+    def _translate_route(self) -> tuple[int, dict]:
+        # Strict decode + cheap field validation before paying for
+        # translation; unknown fields are rejected here.
+        request = TranslationRequest.from_payload(self._read_json_body())
+        if request.observe and self.server.service.templar is None:
+            raise ServingError(
+                "this service cannot observe queries: the wrapped NLIDB "
+                "has no Templar"
+            )
+        if request.observe and not self.server.service.learning_enabled:
+            # Without a drain schedule the queue would just fill and
+            # drop; refusing beats acknowledging a permanent no-op.
+            raise ServingError(
+                "online learning is disabled on this server; restart "
+                "with --learn-batch to accept 'observe'"
+            )
+        response = self.server.translate(request)
+        if request.observe and response.results:
+            self.server.service.observe(response.results[0].sql)
+        return 200, response.to_payload()
 
 
 def make_server(

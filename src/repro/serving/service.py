@@ -225,6 +225,7 @@ class TranslationService:
         self._absorb_lock = threading.Lock()    # serializes graph swaps
         self._pending: list[str] = []
         self._drain_scheduled = False
+        self._closed = False
 
         # Force lazy one-time structures (the full-text and candidate
         # indexes) to build now, on this thread, instead of racing inside
@@ -341,6 +342,10 @@ class TranslationService:
             )
         schedule_drain = False
         with self._learn_lock:
+            if self._closed:
+                raise ServingError(
+                    "this service is closed and no longer accepts observations"
+                )
             self._pending.append(sql)
             if len(self._pending) > self.max_pending:
                 del self._pending[0]
@@ -356,7 +361,17 @@ class TranslationService:
                 schedule_drain = True
         self.metrics.increment("observed_queued")
         if schedule_drain:
+            self._submit_drain()
+
+    def _submit_drain(self) -> None:
+        try:
             self._pool.submit(self._drain)
+        except RuntimeError:
+            # The pool shut down between the scheduling decision and the
+            # submit (an observe racing close()); close()'s final
+            # absorb_pending flushes whatever is queued.
+            with self._learn_lock:
+                self._drain_scheduled = False
 
     def _drain(self) -> None:
         resubmit = False
@@ -367,12 +382,13 @@ class TranslationService:
                 # Observations that arrived while this drain ran must not
                 # strand in the queue waiting for future traffic.
                 resubmit = (
-                    self.learn_batch_size is not None
+                    not self._closed
+                    and self.learn_batch_size is not None
                     and len(self._pending) >= self.learn_batch_size
                 )
                 self._drain_scheduled = resubmit
         if resubmit:
-            self._pool.submit(self._drain)
+            self._submit_drain()
 
     def absorb_pending(self) -> int:
         """Apply queued observations to the QFG; returns how many absorbed.
@@ -424,6 +440,18 @@ class TranslationService:
         with self._learn_lock:
             return len(self._pending)
 
+    def take_pending(self) -> list[str]:
+        """Remove and return the queued observations without absorbing them.
+
+        The gateway's hot-swap path uses this to carry a retiring
+        engine's unabsorbed observations over to its replacement:
+        absorbing them into the old engine's QFG would throw the
+        learning away with the old graph.
+        """
+        with self._learn_lock:
+            pending, self._pending = self._pending, []
+        return pending
+
     # ----------------------------------------------------------- lifecycle
 
     def stats(self) -> dict:
@@ -458,11 +486,22 @@ class TranslationService:
             cache.clear()
 
     def close(self) -> None:
-        # Observations were acknowledged to clients; don't drop them on
-        # the floor at shutdown.
+        """Shut down deterministically without losing acknowledged work.
+
+        Ordering matters: mark closed (new observations are refused and
+        in-flight drains stop rescheduling themselves), wait for the
+        worker pool — any running drain finishes — and only then flush
+        whatever is still queued.  Observations were acknowledged to
+        clients, so they must reach the QFG before the process exits.
+        Idempotent: a second close is a no-op.
+        """
+        with self._learn_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=True)
         if self.templar is not None and self.pending_observations:
             self.absorb_pending()
-        self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "TranslationService":
         return self

@@ -63,15 +63,30 @@ class LatencySummary:
 
 
 class MetricsRegistry:
-    """Thread-safe counters and latency series for one service."""
+    """Thread-safe counters and latency series for one service.
+
+    Memory is bounded by construction: every latency series is a ring
+    buffer of at most ``window`` samples, so a long-lived process (the
+    gateway runs indefinitely) holds a fixed amount of telemetry no
+    matter how much traffic it serves.  The cap is surfaced as
+    ``latency_window`` in :meth:`snapshot` so operators can see what
+    span the percentiles describe.
+    """
 
     def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window < 1:
+            raise ValueError(f"telemetry window must be >= 1, got {window}")
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
         #: name -> deque of (monotonic arrival time, duration seconds)
         self._series: dict[str, deque[tuple[float, float]]] = {}
         self._window = window
         self._started = time.monotonic()
+
+    @property
+    def window(self) -> int:
+        """Samples retained per latency series (the memory bound)."""
+        return self._window
 
     # ------------------------------------------------------------ recording
 
@@ -145,6 +160,7 @@ class MetricsRegistry:
             names = sorted(self._series)
         return {
             "uptime_seconds": round(self.uptime_seconds(), 3),
+            "latency_window": self._window,
             "counters": counters,
             "latencies": {
                 name: self.latency_summary(name).as_dict() for name in names

@@ -341,7 +341,8 @@ class TranslationResponse:
     * ``keywords`` — the keywords the translation actually ran on (the
       request's own, or the parse of its NLQ),
     * ``provenance`` — how the answer was produced: backend, dataset,
-      config fingerprint, artifact version, QFG revision,
+      config fingerprint, artifact version, QFG revision (plus the
+      ``tenant`` id when served through the multi-tenant gateway),
     * ``timings_ms`` — per-stage wall-clock (``parse``, ``translate``,
       ``total``); responses produced by a batched translate share the
       batch's wall-clock for ``translate``/``total`` and carry a

@@ -157,3 +157,22 @@ class TestMetricsRegistry:
 
     def test_qps_empty_series_is_zero(self):
         assert MetricsRegistry().qps("never") == 0.0
+
+    def test_latency_series_memory_is_bounded(self):
+        # A long-lived gateway must not grow telemetry without bound:
+        # each series is a ring buffer of exactly `window` samples.
+        metrics = MetricsRegistry(window=8)
+        for _ in range(10_000):
+            metrics.record_latency("translate", 0.001)
+        assert metrics.latency_summary("translate").count == 8
+        assert metrics.window == 8
+
+    def test_snapshot_exposes_the_cap(self):
+        metrics = MetricsRegistry(window=32)
+        metrics.record_latency("translate", 0.001)
+        snapshot = metrics.snapshot()
+        assert snapshot["latency_window"] == 32
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            MetricsRegistry(window=0)

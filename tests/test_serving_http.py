@@ -154,6 +154,37 @@ class TestEndpoints:
         assert status == 200
         assert server.service.pending_observations == 1
 
+    def test_unsupported_content_type_is_400(self, server):
+        port = server.server_address[1]
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/translate",
+            data=json.dumps(KEYWORD_PAYLOAD).encode("utf-8"),
+            headers={"Content-Type": "text/plain"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(request)
+        assert exc_info.value.code == 400
+        body = json.loads(exc_info.value.read())
+        assert "unsupported content type" in body["error"]
+        assert body["status"] == 400
+
+    def test_json_content_type_with_charset_accepted(self, server):
+        port = server.server_address[1]
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/translate",
+            data=json.dumps(KEYWORD_PAYLOAD).encode("utf-8"),
+            headers={"Content-Type": "application/json; charset=utf-8"},
+        )
+        with urllib.request.urlopen(request) as response:
+            assert response.status == 200
+
+    def test_error_envelope_is_uniform(self, server):
+        # Same {"error": ..., "status": ...} shape the gateway serves.
+        status, body = _post(server, "/translate", {"wrong": 1})
+        assert status == 400
+        assert set(body) == {"error", "status"}
+        assert body["status"] == 400
+
     def test_bad_json_is_400(self, server):
         port = server.server_address[1]
         request = urllib.request.Request(

@@ -1,0 +1,137 @@
+"""Regression: killing a server mid-stream must not lose observed queries.
+
+Both ``repro serve`` and ``repro gateway`` acknowledge ``observe``
+requests before the QFG absorbs them; a SIGTERM (the normal supervisor
+stop signal) arriving with observations still queued must flush them
+into the graph before the process exits.  These tests run the real CLI
+in a subprocess, stream observations at it, kill it, and assert the
+flush happened — the shutdown message is printed only after
+``engine.close()``/``gateway.close()`` absorbed the queue.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+_ENDPOINT_RE = re.compile(r"http://127\.0\.0\.1:(\d+)/")
+
+
+def _spawn(args: list[str]) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.cli", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+    )
+
+
+def _await_port(proc: subprocess.Popen, timeout: float = 120.0) -> int:
+    """Port parsed from the CLI's startup banner (``--port 0`` = ephemeral)."""
+    deadline = time.time() + timeout
+    lines = []
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise AssertionError(
+                f"server exited during startup:\n{''.join(lines)}"
+            )
+        lines.append(line)
+        match = _ENDPOINT_RE.search(line)
+        if match:
+            return int(match.group(1))
+    raise AssertionError(f"no endpoint line within {timeout}s:\n{''.join(lines)}")
+
+
+def _post(port: int, path: str, payload: dict) -> int:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status
+
+
+def _terminate_and_collect(proc: subprocess.Popen) -> str:
+    proc.send_signal(signal.SIGTERM)
+    try:
+        output, _ = proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        output, _ = proc.communicate()
+        pytest.fail("server did not exit within 60s of SIGTERM")
+    return output
+
+
+@pytest.mark.slow
+def test_sigterm_flushes_pending_observations_serve():
+    # learn batch far above the traffic: nothing auto-drains, so every
+    # observation is still queued when the kill arrives.
+    proc = _spawn(["serve", "--dataset", "mas", "--port", "0",
+                   "--learn-batch", "500"])
+    try:
+        port = _await_port(proc)
+        for _ in range(3):
+            status = _post(port, "/translate", {
+                "nlq": "return the papers after 2000", "observe": True,
+            })
+            assert status == 200
+        output = _terminate_and_collect(proc)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, output
+    # The acknowledged observations reached the QFG, not the floor.
+    assert "flushed 3 pending observation(s) into the QFG" in output, output
+
+
+@pytest.mark.slow
+def test_sigterm_flushes_pending_observations_gateway(tmp_path):
+    config = {
+        "tenants": {"mas": {"engine": {"dataset": "mas"}}},
+        # Scheduler present (observe is accepted) but never fires in-test.
+        "learn_interval_seconds": 3600.0,
+    }
+    config_path = tmp_path / "gateway.json"
+    config_path.write_text(json.dumps(config))
+    proc = _spawn(["gateway", "--config", str(config_path), "--port", "0"])
+    try:
+        port = _await_port(proc)
+        # The listener is up before the engines; wait for readiness.
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            try:
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/readyz", timeout=5
+                ) as response:
+                    if response.status == 200:
+                        break
+            except urllib.error.HTTPError:
+                pass
+            time.sleep(0.2)
+        for _ in range(2):
+            status = _post(port, "/t/mas/translate", {
+                "nlq": "return the papers after 2000", "observe": True,
+            })
+            assert status == 200
+        output = _terminate_and_collect(proc)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, output
+    assert "flushed 2 pending observation(s) into the QFG" in output, output

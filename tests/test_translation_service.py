@@ -205,6 +205,31 @@ class TestOnlineLearning:
             with pytest.raises(ServingError):
                 service.observe("SELECT j.name FROM journal j")
 
+    def test_take_pending_moves_queue_without_absorbing(self, service):
+        revision = service.templar.qfg.revision
+        service.observe("SELECT j.name FROM journal j")
+        service.observe("SELECT a.name FROM author a")
+        taken = service.take_pending()
+        assert taken == [
+            "SELECT j.name FROM journal j", "SELECT a.name FROM author a"
+        ]
+        assert service.pending_observations == 0
+        # Nothing reached the graph: the caller owns the statements now
+        # (the gateway hands them to a replacement engine on hot-swap).
+        assert service.templar.qfg.revision == revision
+        assert service.absorb_pending() == 0
+
+    def test_closed_service_refuses_observations(self, service):
+        service.close()
+        with pytest.raises(ServingError, match="closed"):
+            service.observe("SELECT j.name FROM journal j")
+
+    def test_close_is_idempotent(self, service):
+        service.observe("SELECT j.name FROM journal j")
+        service.close()
+        service.close()
+        assert service.pending_observations == 0
+
 
 class TestServiceStats:
     def test_stats_shape(self, service):
