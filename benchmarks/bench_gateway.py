@@ -38,10 +38,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 from _harness import format_rows, publish  # noqa: E402
+from snapshot import emit_snapshot  # noqa: E402
 
 from repro.core.log import QueryLog  # noqa: E402
 from repro.datasets import load_dataset  # noqa: E402
 from repro.gateway import Gateway, GatewayConfig, make_gateway_server  # noqa: E402
+from repro.obs.prometheus import parse_exposition  # noqa: E402
 from repro.serving import ArtifactStore  # noqa: E402
 from repro.serving.http_server import make_server  # noqa: E402
 
@@ -64,6 +66,53 @@ def _post(port: int, path: str, payload: dict, timeout: float = 30.0):
     )
     with urllib.request.urlopen(request, timeout=timeout) as response:
         return response.status, json.loads(response.read())
+
+
+def _scrape(port: int, timeout: float = 30.0) -> tuple[str, str]:
+    """(content_type, body) of a live server's ``/metrics`` page."""
+    url = f"http://127.0.0.1:{port}/metrics"
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return (
+            response.headers.get("Content-Type", ""),
+            response.read().decode("utf-8"),
+        )
+
+
+def check_exposition(content_type: str, body: str) -> list[str]:
+    """Validation failures of one scraped exposition page (empty = ok)."""
+    problems = []
+    if not content_type.startswith("text/plain; version=0.0.4"):
+        problems.append(f"unexpected /metrics content type {content_type!r}")
+    try:
+        metrics = parse_exposition(body)
+    except ValueError as exc:
+        return problems + [f"/metrics page does not parse: {exc}"]
+    tenant_series = [
+        labels
+        for labels, _ in metrics.get("repro_requests_total", [])
+        if "tenant" in labels
+    ]
+    if not tenant_series:
+        problems.append(
+            "no tenant-labelled repro_requests_total series on the page"
+        )
+    for name, series in metrics.items():
+        if not name.endswith("_bucket"):
+            continue
+        by_key: dict[tuple, list[tuple[float, float]]] = {}
+        for labels, value in series:
+            rest = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
+            le = float(labels.get("le", "inf"))  # float('+Inf') parses
+            by_key.setdefault(rest, []).append((le, value))
+        for key, buckets in by_key.items():
+            counts = [count for _, count in sorted(buckets)]
+            if counts != sorted(counts):
+                problems.append(
+                    f"non-monotonic cumulative buckets in {name}{dict(key)}"
+                )
+    return problems
 
 
 def _serve(server) -> threading.Thread:
@@ -130,6 +179,9 @@ def bench_consolidation(store_root: Path, threads_per_tenant: int,
         gateway_qps, gateway_failures = _drive(
             targets, threads_per_tenant, requests_per_thread
         )
+        # Scrape while the tenants are live and have served traffic, so
+        # the page carries tenant-labelled histograms worth validating.
+        scrape = _scrape(port)
         server.shutdown()
 
     separate_servers = []
@@ -153,7 +205,10 @@ def bench_consolidation(store_root: Path, threads_per_tenant: int,
     for server, engine in separate_servers:
         server.shutdown()
         engine.close()
-    return gateway_qps, separate_qps, gateway_failures + separate_failures
+    return (
+        gateway_qps, separate_qps,
+        gateway_failures + separate_failures, scrape,
+    )
 
 
 def bench_reload_blackout(store_root: Path, client_threads: int,
@@ -249,8 +304,10 @@ def main() -> int:
         for name in TENANTS:
             store.compile(load_dataset(name))
 
-        gateway_qps, separate_qps, transport_failures = bench_consolidation(
-            store_root, threads_per_tenant, requests_per_thread
+        gateway_qps, separate_qps, transport_failures, scrape = (
+            bench_consolidation(
+                store_root, threads_per_tenant, requests_per_thread
+            )
         )
         results, reload_info = bench_reload_blackout(
             store_root, client_threads=threads_per_tenant,
@@ -292,6 +349,8 @@ def main() -> int:
     )
 
     hard_failures = []
+    # Exposition validity is deterministic — always a hard gate.
+    hard_failures.extend(check_exposition(*scrape))
     if failed or transport_failures:
         hard_failures.append(
             f"{len(failed) + transport_failures} failed requests "
@@ -316,6 +375,27 @@ def main() -> int:
         )
         (advisories if args.smoke else hard_failures).append(message)
 
+    snapshot = emit_snapshot(
+        "gateway",
+        {
+            "gateway_qps": round(gateway_qps, 1),
+            "separate_qps": round(separate_qps, 1),
+            "consolidation_ratio": round(ratio, 3),
+            "blackout_ms": round(blackout_ms, 3),
+            "steady_p50_ms": round(p50_ms, 3),
+            "hammered_requests": len(results),
+            "failed_requests": len(failed) + transport_failures,
+        },
+        config={
+            "tenants": list(TENANTS),
+            "threads_per_tenant": threads_per_tenant,
+            "requests_per_thread": requests_per_thread,
+            "hammer_seconds": hammer_seconds,
+            "smoke": args.smoke,
+        },
+    )
+    print(f"snapshot: {snapshot}")
+
     for failure in hard_failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     for advisory in advisories:
@@ -324,7 +404,8 @@ def main() -> int:
         print(
             f"PASS: zero failed requests across {len(results)} hammered "
             f"({len(swap_window)} in the swap window), both versions "
-            f"served, gateway at {ratio:.2f}x of separate servers"
+            f"served, /metrics scrape parsed with tenant labels, "
+            f"gateway at {ratio:.2f}x of separate servers"
         )
     return 1 if hard_failures else 0
 

@@ -24,6 +24,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 from _harness import RESULTS_DIR, format_rows, publish  # noqa: E402
+from snapshot import emit_snapshot  # noqa: E402
 
 from repro.core import QueryLog, Templar
 from repro.core.fragments import fragments_of_sql
@@ -35,6 +36,9 @@ from repro.schema_graph import JoinGraph, steiner_tree
 
 #: Required warm-path speedup of indexed+beam MAPKEYWORDS over the seed.
 SPEEDUP_GATE = 3.0
+
+#: Maximum tracing overhead on the warm cached translate path (percent).
+TRACING_OVERHEAD_GATE_PCT = 5.0
 
 PASSES = 3
 
@@ -202,6 +206,72 @@ def bench_engine(smoke: bool) -> dict:
     }
 
 
+def bench_tracing_overhead(smoke: bool) -> dict:
+    """Warm cached-translate cost with tracing on vs off.
+
+    The tracer defers both the sink allocation (lazy, first stage only)
+    and all tree-building (tail-sampled) past the warm path, so a cache
+    hit pays one ContextVar set/reset and a float comparison; this
+    measures that claim.  Absolute deltas are sub-microsecond, so the
+    estimator has to be deliberate about noise:
+
+    * ONE engine, toggling ``tracer.enabled`` — the exact knob
+      ``EngineConfig(tracing=False)`` sets — instead of two engine
+      instances.  Separate instances differ in allocator layout and
+      cache residency, which on a busy box dwarfs the effect measured.
+    * Paired rounds: each round times both modes back to back, order
+      alternating between rounds, so frequency drift hits both equally.
+    * Long windows: each timed sample runs the full request sweep
+      several times, so a millisecond scheduling blip is a few percent
+      of the window instead of half of it.
+    * The reported overhead is the *median* per-round ratio — a round
+      polluted by a blip anyway skews one sample, not the estimate.
+    """
+    from repro.api import Engine, EngineConfig
+
+    engine = Engine.from_config(EngineConfig(dataset="mas"))
+    tracer = engine.service.tracer
+    requests = [
+        list(item.keywords)
+        for item in engine.dataset.usable_items()
+        if item.keywords
+    ]
+    if smoke:
+        requests = requests[:25]
+    for enabled in (True, False):  # fill caches + saturate trace store
+        tracer.enabled = enabled
+        for _ in range(2):
+            for keywords in requests:
+                engine.translate(keywords)
+    best = {True: float("inf"), False: float("inf")}
+    ratios = []
+    rounds = 5 if smoke else max(7 * PASSES, 21)
+    sweeps = 8
+    for index in range(rounds):
+        sample = {}
+        # ABBA ordering: consecutive round pairs mirror each other, so
+        # linear frequency drift cancels within every pair of rounds.
+        order = (True, False) if index % 4 in (0, 3) else (False, True)
+        for enabled in order:
+            tracer.enabled = enabled
+            started = time.perf_counter()
+            for _ in range(sweeps):
+                for keywords in requests:
+                    engine.translate(keywords)
+            sample[enabled] = time.perf_counter() - started
+            best[enabled] = min(best[enabled], sample[enabled])
+        ratios.append(sample[True] / sample[False])
+    engine.close()
+    ratios.sort()
+    median_ratio = ratios[len(ratios) // 2]
+    per_request = 1e6 / (sweeps * len(requests))
+    return {
+        "warm_traced_us": best[True] * per_request,
+        "warm_untraced_us": best[False] * per_request,
+        "tracing_overhead_pct": 100.0 * (median_ratio - 1.0),
+    }
+
+
 def main(argv: list[str]) -> int:
     smoke = "--smoke" in argv
     # Parity assertions inside bench_mapkeywords always hard-fail; the
@@ -210,6 +280,7 @@ def main(argv: list[str]) -> int:
     advisory_speedup = "--advisory-speedup" in argv
     result = bench_mapkeywords(smoke)
     result.update(bench_engine(smoke))
+    result.update(bench_tracing_overhead(smoke))
 
     rows = [[
         result["workload"].upper(),
@@ -234,18 +305,50 @@ def main(argv: list[str]) -> int:
     )
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "perf_core.json").write_text(json.dumps(result, indent=1))
+    snapshot = emit_snapshot(
+        "perf_core",
+        {
+            key: round(result[key], 3)
+            for key in (
+                "seed_ms", "indexed_ms", "index_build_ms", "speedup",
+                "cold_build_ms", "warm_translate_us", "warm_traced_us",
+                "warm_untraced_us", "tracing_overhead_pct",
+            )
+        },
+        config={
+            "workload": result["workload"],
+            "requests": result["requests"],
+            "passes": PASSES,
+            "smoke": smoke,
+        },
+    )
+    print(f"snapshot: {snapshot}")
 
+    failed = False
     if result["speedup"] < SPEEDUP_GATE:
         print(
             f"{'NOTE' if advisory_speedup else 'FAIL'}: warm-path speedup "
             f"{result['speedup']:.1f}x is below the {SPEEDUP_GATE:.0f}x gate",
             file=sys.stderr,
         )
-        if not advisory_speedup:
-            return 1
+        failed = failed or not advisory_speedup
+    if result["tracing_overhead_pct"] > TRACING_OVERHEAD_GATE_PCT:
+        # Same advisory escape hatch as the speedup gate: µs-scale warm
+        # paths jitter on shared CI runners; quiet hardware decides.
+        print(
+            f"{'NOTE' if advisory_speedup else 'FAIL'}: tracing overhead "
+            f"{result['tracing_overhead_pct']:.1f}% exceeds the "
+            f"{TRACING_OVERHEAD_GATE_PCT:.0f}% gate",
+            file=sys.stderr,
+        )
+        failed = failed or not advisory_speedup
+    if failed:
+        return 1
     print(
         f"OK: warm-path speedup {result['speedup']:.1f}x "
-        f"(gate {SPEEDUP_GATE:.0f}x), parity held on "
+        f"(gate {SPEEDUP_GATE:.0f}x), tracing overhead "
+        f"{result['tracing_overhead_pct']:+.1f}% "
+        f"(gate {TRACING_OVERHEAD_GATE_PCT:.0f}%), parity held on "
         f"{result['requests']} requests"
     )
     return 0

@@ -24,6 +24,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 from _harness import format_rows, publish  # noqa: E402
+from snapshot import emit_snapshot  # noqa: E402
 
 from repro.core import QueryLog, Templar  # noqa: E402
 from repro.datasets import load_dataset  # noqa: E402
@@ -106,6 +107,20 @@ def main() -> int:
         f"Serving subsystem: MAS workload ({len(log)} queries)",
         table,
     )
+
+    snapshot = emit_snapshot(
+        "serving_throughput",
+        {
+            "rebuild_ms": round(rebuild_s * 1000, 3),
+            "load_ms": round(load_s * 1000, 3),
+            "load_ratio": round(load_ratio, 2),
+            "cold_qps": round(cold_qps, 1),
+            "warm_qps": round(warm_qps, 1),
+            "throughput_ratio": round(qps_ratio, 2),
+        },
+        config={"workload": "mas", "queries": len(log), "repeats": REPEATS},
+    )
+    print(f"snapshot: {snapshot}")
 
     failures = []
     if load_ratio < LOAD_TARGET:

@@ -1,0 +1,106 @@
+"""Standardized perf-trajectory snapshots (``BENCH_<name>.json``).
+
+Every headline benchmark writes one snapshot file at the repo root via
+:func:`emit_snapshot`, so the performance trajectory of the codebase is
+visible in version control: each PR that moves a headline number leaves
+a machine-readable record of *what* the number was, *where* it was
+measured (machine fingerprint), and *how* (the benchmark's config).
+
+Schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "name": "perf_core",
+      "created_unix": 1754550000.0,
+      "machine": {"platform": ..., "python": ..., "machine": ..., "cpus": ...},
+      "config": {...},          # benchmark knobs (smoke, passes, workload)
+      "headline": {...}         # the numbers, flat name -> value
+    }
+
+Snapshot files land at the repository root (not ``benchmarks/results/``,
+which is gitignored) precisely so they get committed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+#: Bump when the snapshot layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Snapshots are committed, so they live at the repo root.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def machine_fingerprint() -> dict:
+    """Where a snapshot was measured: enough to judge comparability."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def snapshot_path(name: str, out_dir: str | Path | None = None) -> Path:
+    root = Path(out_dir) if out_dir is not None else REPO_ROOT
+    return root / f"BENCH_{name}.json"
+
+
+def emit_snapshot(
+    name: str,
+    headline: dict,
+    *,
+    config: dict | None = None,
+    out_dir: str | Path | None = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``headline`` is the flat dict of numbers the benchmark stands
+    behind; ``config`` records the knobs that produced them (smoke mode,
+    pass counts, workload size).  ``out_dir`` redirects the file into
+    another directory (used by tests to write into a tmp dir).
+    """
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "name": name,
+        "created_unix": round(time.time(), 3),
+        "machine": machine_fingerprint(),
+        "config": dict(config or {}),
+        "headline": dict(headline),
+    }
+    path = snapshot_path(name, out_dir)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def read_snapshot(path: str | Path) -> dict:
+    """Load and structurally validate one snapshot file."""
+    payload = json.loads(Path(path).read_text())
+    missing = {
+        "schema_version", "name", "created_unix", "machine", "config",
+        "headline",
+    } - set(payload)
+    if missing:
+        raise ValueError(
+            f"snapshot {path} is missing field(s): {', '.join(sorted(missing))}"
+        )
+    if payload["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"snapshot {path} has schema_version "
+            f"{payload['schema_version']}, expected {SCHEMA_VERSION}"
+        )
+    return payload
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "emit_snapshot",
+    "machine_fingerprint",
+    "read_snapshot",
+    "snapshot_path",
+]

@@ -72,6 +72,13 @@ class EngineConfig:
     max_workers: int = 4
     learn_batch_size: int | None = None
 
+    # Observability knobs: request tracing (tail-sampled span trees,
+    # ``trace_keep`` slowest requests retained) and the slow-query log
+    # threshold in milliseconds (None disables the log).
+    tracing: bool = True
+    trace_keep: int = 64
+    slow_query_ms: float | None = None
+
     # NLQ front-end: the harness keeps the paper-faithful failure modes,
     # end-user frontends use the best-effort parse.
     simulate_parse_failures: bool = False
@@ -122,6 +129,12 @@ class EngineConfig:
             raise ConfigError(f"cache_size must be >= 1, got {self.cache_size}")
         if self.max_workers < 1:
             raise ConfigError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.trace_keep < 1:
+            raise ConfigError(f"trace_keep must be >= 1, got {self.trace_keep}")
+        if self.slow_query_ms is not None and self.slow_query_ms <= 0:
+            raise ConfigError(
+                f"slow_query_ms must be positive, got {self.slow_query_ms}"
+            )
 
     # ------------------------------------------------------------ resolved
 
@@ -160,7 +173,7 @@ class EngineConfig:
         >>> EngineConfig.from_dict({"dataset": "mas", "capa": 5})
         Traceback (most recent call last):
             ...
-        repro.errors.ConfigError: unknown engine config field(s): capa; allowed: artifact_version, artifacts, backend, cache_size, dataset, kappa, lam, learn_batch_size, log_path, log_source, max_configurations, max_workers, obscurity, simulate_parse_failures, use_log_joins, use_log_keywords
+        repro.errors.ConfigError: unknown engine config field(s): capa; allowed: artifact_version, artifacts, backend, cache_size, dataset, kappa, lam, learn_batch_size, log_path, log_source, max_configurations, max_workers, obscurity, simulate_parse_failures, slow_query_ms, trace_keep, tracing, use_log_joins, use_log_keywords
         """
         if not isinstance(data, dict):
             raise ConfigError(

@@ -51,6 +51,7 @@ from repro.errors import ConfigError, ServingError, TranslationError
 from repro.nlidb.base import NLIDB
 from repro.nlidb.nalir_parser import NalirParser
 from repro.nlidb.registry import BackendSpec, build_backend, get_backend
+from repro.obs.trace import Tracer
 from repro.serving.service import (
     TranslationService,
     resolve_request_keywords,
@@ -226,6 +227,10 @@ class Engine:
             cache_size=config.cache_size,
             max_workers=config.max_workers,
             learn_batch_size=config.learn_batch_size,
+            tracer=Tracer(
+                enabled=config.tracing, keep_slowest=config.trace_keep
+            ),
+            slow_query_ms=config.slow_query_ms,
         )
         # Raw-NLQ front-end: a backend that brings its own parser (the
         # NaLIR family, plugins with parses_nlq=True) keeps it; everyone
@@ -381,6 +386,20 @@ class Engine:
             response.top.configuration,
             self.templar.qfg if self.templar is not None else None,
         )
+
+    @property
+    def tracer(self):
+        """The serving layer's request tracer (span trees, trace store).
+
+        >>> from repro.api import Engine, EngineConfig
+        >>> with Engine.from_config(EngineConfig(dataset="mas")) as engine:
+        ...     response = engine.translate("return the papers after 2000")
+        ...     trace = engine.tracer.store.get(
+        ...         response.provenance["trace_id"])
+        >>> [span["name"] for span in trace.root["children"]]
+        ['parse', 'translate']
+        """
+        return self.service.tracer
 
     # ------------------------------------------------------------ learning
 

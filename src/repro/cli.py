@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli evaluate --dataset mas --system Pipeline+
     python -m repro.cli sweep --parameter kappa --dataset mas
     python -m repro.cli translate --dataset mas --nlq "return the papers after 2000"
+    python -m repro.cli trace --dataset mas --nlq "return the papers after 2000"
     python -m repro.cli export --dataset yelp --output yelp.sql
     python -m repro.cli warmup --dataset mas --artifacts ./artifacts
     python -m repro.cli ingest --dataset mas --log big.sql --artifacts ./artifacts
@@ -109,6 +110,7 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig:
         cache_size=getattr(args, "cache_size", 2048),
         max_workers=getattr(args, "workers", 4),
         learn_batch_size=getattr(args, "learn_batch", None),
+        slow_query_ms=getattr(args, "slow_query_ms", None),
         # Best-effort parsing for end users (the evaluation harness uses
         # the failure-faithful parser instead).
         simulate_parse_failures=False,
@@ -144,6 +146,38 @@ def _cmd_translate(args: argparse.Namespace) -> int:
             print(f"\nanswer ({len(answer.rows)} rows):")
             for row in answer.rows[: args.limit]:
                 print(f"  {row}")
+    return EXIT_OK
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Translate one NLQ and pretty-print its retained span tree."""
+    from repro.obs.trace import format_trace
+
+    with Engine.from_config(_engine_config(args)) as engine:
+        try:
+            response = engine.translate(args.nlq)
+        except ReproError as exc:
+            # Failed requests always retain their trace; show it.
+            print(f"translation failed: {exc}", file=sys.stderr)
+            failed = engine.tracer.store.traces(limit=1)
+            if failed:
+                print(format_trace(failed[0]), file=sys.stderr)
+            return EXIT_NO_RESULT
+        if not response.results:
+            print("no translation found", file=sys.stderr)
+            return EXIT_NO_RESULT
+        trace_id = response.provenance.get("trace_id")
+        trace = (
+            engine.tracer.store.get(trace_id) if trace_id is not None else None
+        )
+        if trace is None:
+            # Tracing off, or the request fell below the store's
+            # retention floor (only possible on a warmed engine).
+            print("trace was not retained (is tracing enabled?)",
+                  file=sys.stderr)
+            return EXIT_NO_RESULT
+        print(f"SQL: {response.top.sql}\n")
+        print(format_trace(trace))
     return EXIT_OK
 
 
@@ -302,6 +336,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving import make_server
 
     _check_serve_args(args)
+    if args.json_logs:
+        from repro.obs.logs import configure_json_logging
+
+        configure_json_logging()
     engine = Engine.from_config(_engine_config(args))
     server = make_server(
         engine=engine, host=args.host, port=args.port, quiet=False
@@ -332,6 +370,10 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     """Run the multi-tenant gateway endpoint from a gateway.json."""
     from repro.gateway import Gateway, make_gateway_server
 
+    if args.json_logs:
+        from repro.obs.logs import configure_json_logging
+
+        configure_json_logging()
     gateway = Gateway.from_config(args.config)
     server = make_gateway_server(
         gateway, host=args.host, port=args.port, quiet=False
@@ -416,6 +458,18 @@ def build_parser() -> argparse.ArgumentParser:
                            help="run the SQL against the synthetic database")
     translate.add_argument("--limit", type=int, default=10)
 
+    trace = sub.add_parser(
+        "trace",
+        help="translate one NLQ and print its span tree with per-stage "
+             "self-times",
+    )
+    trace.add_argument("--dataset", choices=sorted(DATASET_BUILDERS),
+                       default="mas")
+    trace.add_argument("--nlq", required=True)
+    trace.add_argument("--backend", choices=backend_names(),
+                       default="pipeline+",
+                       help="registered NLIDB backend to translate with")
+
     export = sub.add_parser("export", help="dump a dataset as SQL DDL+INSERTs")
     export.add_argument("--dataset", choices=sorted(DATASET_BUILDERS),
                         default="mas")
@@ -485,6 +539,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--learn-batch", type=int, default=None,
                        help="absorb served queries into the QFG every N "
                             "observations (default: learning off)")
+    serve.add_argument("--slow-query-ms", type=float, default=None,
+                       help="WARN-log any translate slower than this many "
+                            "milliseconds (default: off)")
+    serve.add_argument("--json-logs", action="store_true",
+                       help="emit one structured JSON log line per record "
+                            "(request log, slow-query log)")
 
     gateway = sub.add_parser(
         "gateway",
@@ -497,6 +557,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "scheduler")
     gateway.add_argument("--host", default="127.0.0.1")
     gateway.add_argument("--port", type=int, default=8080)
+    gateway.add_argument("--json-logs", action="store_true",
+                         help="emit one structured JSON log line per record "
+                              "(request log, slow-query log)")
     return parser
 
 
@@ -505,6 +568,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "sweep": _cmd_sweep,
     "translate": _cmd_translate,
+    "trace": _cmd_trace,
     "export": _cmd_export,
     "warmup": _cmd_warmup,
     "ingest": _cmd_ingest,

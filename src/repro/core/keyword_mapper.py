@@ -50,6 +50,7 @@ from repro.db.stemmer import stem
 from repro.embedding.model import SimilarityModel
 from repro.embedding.tokenize import content_tokens, word_tokens
 from repro.errors import MappingError
+from repro.obs.trace import stage
 
 logger = logging.getLogger(__name__)
 
@@ -197,16 +198,18 @@ class KeywordMapper:
         request_key = keywords_cache_key(tuple(keywords))
         self._truncations.pop(request_key, None)
         per_keyword: list[list[QueryFragmentMapping]] = []
-        for keyword in keywords:
-            scored = self._scored_candidates(keyword)
-            if not scored:
-                return []
-            per_keyword.append(scored)
-        if limit is not None:
-            return self._rank_configurations_beam(
-                per_keyword, limit, request_key
-            )
-        return self._rank_configurations(per_keyword, request_key)
+        with stage("candidate_probe"):
+            for keyword in keywords:
+                scored = self._scored_candidates(keyword)
+                if not scored:
+                    return []
+                per_keyword.append(scored)
+        with stage("enumeration"):
+            if limit is not None:
+                return self._rank_configurations_beam(
+                    per_keyword, limit, request_key
+                )
+            return self._rank_configurations(per_keyword, request_key)
 
     def _scored_candidates(self, keyword: Keyword) -> list[QueryFragmentMapping]:
         """Retrieve + score + prune one keyword, memoized across requests.

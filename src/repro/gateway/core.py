@@ -165,11 +165,23 @@ class Gateway:
         *,
         observe: bool | None = None,
     ) -> TranslationResponse:
-        """Route one request to its tenant's live engine."""
+        """Route one request to its tenant's live engine.
+
+        Failures leave a counter trail by exception type and tenant
+        (``gateway_errors{tenant=...,type=...}``) before propagating to
+        the HTTP error mapping.
+        """
         self.metrics.increment("gateway_requests")
         self.metrics.increment(f"tenant.{tenant}.requests")
-        with self.metrics.time("gateway_translate"):
-            return self.host(tenant).translate(request, observe=observe)
+        try:
+            with self.metrics.time("gateway_translate"):
+                return self.host(tenant).translate(request, observe=observe)
+        except Exception as exc:
+            self.metrics.increment(
+                "gateway_errors",
+                labels={"tenant": tenant, "type": type(exc).__name__},
+            )
+            raise
 
     def reload(self, tenant: str | None = None) -> list[ReloadResult]:
         """Hot-swap one tenant (or every tenant) onto a fresh engine."""
@@ -194,6 +206,44 @@ class Gateway:
             if host.live:
                 total += host.engine.service.pending_observations
         return total
+
+    # ------------------------------------------------------- observability
+
+    def metrics_sources(self) -> list[tuple[dict, MetricsRegistry]]:
+        """Registries for one exposition page: gateway + live tenants.
+
+        Each live tenant's service registry is labelled ``{"tenant":
+        ...}``, which is how per-tenant latency histograms and error
+        counters reach an external scraper from a single ``/metrics``.
+        """
+        sources: list[tuple[dict, MetricsRegistry]] = [({}, self.metrics)]
+        for tenant_id, host in sorted(self.hosts.items()):
+            if host.live:
+                sources.append(
+                    ({"tenant": tenant_id}, host.engine.service.metrics)
+                )
+        return sources
+
+    def traces(self, tenant: str | None = None, limit: int = 50) -> list[dict]:
+        """Retained traces across tenants, newest first, tenant-stamped.
+
+        ``tenant`` narrows to one tenant (unknown tenants raise
+        :class:`~repro.errors.GatewayError`, the HTTP 404 path).
+        """
+        if tenant is not None:
+            hosts = [(tenant, self.host(tenant))]
+        else:
+            hosts = sorted(self.hosts.items())
+        stamped: list[tuple[float, dict]] = []
+        for tenant_id, host in hosts:
+            if not host.live:
+                continue
+            for trace in host.engine.tracer.store.traces(limit=limit):
+                payload = trace.to_dict()
+                payload["tenant"] = tenant_id
+                stamped.append((trace.started_unix, payload))
+        stamped.sort(key=lambda pair: pair[0], reverse=True)
+        return [payload for _, payload in stamped[:limit]]
 
     # --------------------------------------------------------------- stats
 

@@ -5,7 +5,11 @@ Endpoints::
     GET  /healthz                 process liveness + uptime + tenant count
     GET  /readyz                  200 once every tenant engine is live, 503 before
     GET  /stats                   aggregate + per-tenant snapshots
-    GET  /metrics                 gateway-level telemetry only
+    GET  /metrics                 Prometheus text exposition: gateway plus every
+                                  live tenant, tenant-labelled (?format=json for
+                                  the legacy gateway-only JSON snapshot)
+    GET  /admin/traces            retained request traces across tenants
+                                  (?tenant=<id> narrows to one tenant)
     GET  /t/<tenant>/healthz      one tenant: live flag + served artifact version
     GET  /t/<tenant>/stats        one tenant's isolated stats
     POST /t/<tenant>/translate    unified TranslationRequest -> TranslationResponse
@@ -27,13 +31,19 @@ admin request's thread) never blocks translation traffic.
 
 from __future__ import annotations
 
+import logging
 import re
 from http.server import ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
 
 from repro.errors import GatewayError, ServingError
 from repro.gateway.core import Gateway
+from repro.obs.prometheus import EXPOSITION_CONTENT_TYPE, render_exposition
 from repro.serving.http_common import JSONRequestHandlerMixin, error_envelope
 from repro.serving.wire import TranslationRequest
+
+#: One structured INFO line per served translate request.
+_REQUEST_LOGGER = logging.getLogger("repro.request")
 
 _TENANT_ROUTE = re.compile(r"^/t/([^/]+)/(translate|stats|healthz)$")
 
@@ -70,7 +80,9 @@ class GatewayRequestHandler(JSONRequestHandlerMixin):
     # ------------------------------------------------------------- routing
 
     def do_GET(self) -> None:  # noqa: N802
-        path = self.path.split("?", 1)[0]
+        parsed = urlparse(self.path)
+        path = parsed.path
+        query = parse_qs(parsed.query)
         gateway = self.server.gateway
         try:
             if path == "/healthz":
@@ -99,7 +111,20 @@ class GatewayRequestHandler(JSONRequestHandlerMixin):
             elif path == "/stats":
                 self._send_json(200, gateway.stats())
             elif path == "/metrics":
-                self._send_json(200, gateway.metrics.snapshot())
+                if query.get("format") == ["json"]:
+                    self._send_json(200, gateway.metrics.snapshot())
+                else:
+                    self._send_text(
+                        200,
+                        render_exposition(gateway.metrics_sources()),
+                        EXPOSITION_CONTENT_TYPE,
+                    )
+            elif path == "/admin/traces":
+                tenant = query.get("tenant", [None])[0]
+                traces = gateway.traces(tenant=tenant)
+                self._send_json(
+                    200, {"count": len(traces), "traces": traces}
+                )
             else:
                 match = _TENANT_ROUTE.match(path)
                 if match is None or match.group(2) == "translate":
@@ -152,6 +177,18 @@ class GatewayRequestHandler(JSONRequestHandlerMixin):
         if request.observe:
             self._check_observable(host)
         response = gateway.translate(tenant, request)
+        if _REQUEST_LOGGER.isEnabledFor(logging.INFO):
+            _REQUEST_LOGGER.info(
+                "POST /t/%s/translate",
+                tenant,
+                extra={
+                    "tenant": tenant,
+                    "trace_id": response.provenance.get("trace_id"),
+                    "status": 200,
+                    "results": len(response.results),
+                    "total_ms": round(response.timings_ms["total"], 3),
+                },
+            )
         return 200, response.to_payload()
 
     def _check_observable(self, host) -> None:

@@ -28,6 +28,7 @@ from repro.errors import GraphError, TranslationError
 from repro.nlidb.base import NLIDB, TranslationResult
 from repro.nlidb.nalir_parser import NalirParser, ParsedNLQ
 from repro.nlidb.sql_builder import build_sql
+from repro.obs.trace import stage
 
 
 class NalirNLIDB(NLIDB):
@@ -74,16 +75,18 @@ class NalirNLIDB(NLIDB):
 
     def translate(self, keywords: list[Keyword]) -> list[TranslationResult]:
         # Beam-limited enumeration: only the top configurations are built.
-        configurations = self._mapper.map_keywords(
-            keywords, limit=self.max_configurations
-        )
+        with stage("keyword_mapping"):
+            configurations = self._mapper.map_keywords(
+                keywords, limit=self.max_configurations
+            )
         results: list[TranslationResult] = []
         for configuration in configurations:
             bag = configuration.relation_bag()
             if not bag:
                 continue
             try:
-                paths = self._joins.infer(bag)
+                with stage("join_inference"):
+                    paths = self._joins.infer(bag)
             except GraphError:
                 continue
             if not paths:

@@ -22,6 +22,7 @@ from repro.embedding.model import SimilarityModel
 from repro.errors import GraphError, TranslationError
 from repro.nlidb.base import NLIDB, TranslationResult
 from repro.nlidb.sql_builder import build_sql
+from repro.obs.trace import stage
 
 
 class PipelineNLIDB(NLIDB):
@@ -55,9 +56,10 @@ class PipelineNLIDB(NLIDB):
     def translate(self, keywords: list[Keyword]) -> list[TranslationResult]:
         # The limit makes the mapper's beam search enumerate exactly the
         # top configurations instead of materializing the whole product.
-        configurations = self._mapper.map_keywords(
-            keywords, limit=self.max_configurations
-        )
+        with stage("keyword_mapping"):
+            configurations = self._mapper.map_keywords(
+                keywords, limit=self.max_configurations
+            )
         results: list[TranslationResult] = []
         for configuration in configurations:
             results.extend(self._realize(configuration))
@@ -75,28 +77,30 @@ class PipelineNLIDB(NLIDB):
         bag = configuration.relation_bag()
         if not bag:
             return []
-        try:
-            paths = self._joins.infer(bag)
-        except GraphError:
-            return []
+        with stage("join_inference"):
+            try:
+                paths = self._joins.infer(bag)
+            except GraphError:
+                return []
         if not paths:
             return []
         best_cost = paths[0].cost
         results: list[TranslationResult] = []
-        for path in paths[:3]:
-            if path.cost > best_cost + 1e-9:
-                break
-            try:
-                query = build_sql(configuration, path, self.database.catalog)
-            except TranslationError:
-                continue
-            results.append(
-                TranslationResult(
-                    query=query,
-                    configuration=configuration,
-                    join_path=path,
-                    config_score=configuration.score,
-                    join_score=path.score,
+        with stage("sql_generation"):
+            for path in paths[:3]:
+                if path.cost > best_cost + 1e-9:
+                    break
+                try:
+                    query = build_sql(configuration, path, self.database.catalog)
+                except TranslationError:
+                    continue
+                results.append(
+                    TranslationResult(
+                        query=query,
+                        configuration=configuration,
+                        join_path=path,
+                        config_score=configuration.score,
+                        join_score=path.score,
+                    )
                 )
-            )
         return results

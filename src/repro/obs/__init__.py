@@ -1,0 +1,49 @@
+"""Observability: request tracing, mergeable histograms, exposition.
+
+Zero-dependency building blocks threaded through the serving stack:
+
+* :mod:`repro.obs.trace` — request-scoped span trees with tail-based
+  sampling (:class:`Tracer`, :class:`TraceStore`, :func:`stage`),
+* :mod:`repro.obs.histogram` — fixed-bucket latency histograms with
+  exact merge (:class:`Histogram`),
+* :mod:`repro.obs.prometheus` — Prometheus text exposition
+  (:func:`render_exposition`, :func:`parse_exposition`),
+* :mod:`repro.obs.logs` — structured JSON logging
+  (:func:`configure_json_logging`).
+
+See ``docs/observability.md`` for the operator-facing tour.
+"""
+
+from repro.obs.histogram import Histogram, log_spaced_bounds
+from repro.obs.prometheus import (
+    EXPOSITION_CONTENT_TYPE,
+    parse_exposition,
+    render_exposition,
+)
+from repro.obs.trace import (
+    SpanSink,
+    Trace,
+    Tracer,
+    TraceStore,
+    current_sink,
+    format_trace,
+    stage,
+)
+from repro.obs.logs import JsonLogFormatter, configure_json_logging
+
+__all__ = [
+    "EXPOSITION_CONTENT_TYPE",
+    "Histogram",
+    "JsonLogFormatter",
+    "SpanSink",
+    "Trace",
+    "TraceStore",
+    "Tracer",
+    "configure_json_logging",
+    "current_sink",
+    "format_trace",
+    "log_spaced_bounds",
+    "parse_exposition",
+    "render_exposition",
+    "stage",
+]

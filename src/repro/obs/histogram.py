@@ -1,0 +1,186 @@
+"""Fixed-bucket latency histograms with exact merge.
+
+The serving ring buffers give exact percentiles over a recent window,
+but two of them cannot be combined: percentiles do not compose.  A
+:class:`Histogram` over *fixed, shared* bucket bounds can — merging is
+element-wise addition of bucket counts, and the merge is exact: merging
+two histograms is indistinguishable from having recorded the union of
+their samples into one.  That property is what multi-process workers
+(ROADMAP item 1) and the Prometheus exposition both need — scrapers
+aggregate ``_bucket`` counters across instances the same way.
+
+Bounds are log-spaced because request latencies span decades: a cache
+hit is tens of microseconds, a cold translate tens of milliseconds.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = ["DEFAULT_LATENCY_BOUNDS", "Histogram", "log_spaced_bounds"]
+
+
+def log_spaced_bounds(
+    low: float = 1e-5, high: float = 100.0, per_decade: int = 4
+) -> tuple[float, ...]:
+    """Log-spaced bucket upper bounds from ``low`` to ``high`` seconds.
+
+    >>> bounds = log_spaced_bounds(0.001, 1.0, per_decade=1)
+    >>> [round(b, 4) for b in bounds]
+    [0.001, 0.01, 0.1, 1.0]
+    """
+    if low <= 0 or high <= low:
+        raise ValueError(f"need 0 < low < high, got {low}..{high}")
+    if per_decade < 1:
+        raise ValueError(f"per_decade must be >= 1, got {per_decade}")
+    bounds = []
+    step = 0
+    while True:
+        value = low * 10.0 ** (step / per_decade)
+        if value > high * 1.0000001:
+            break
+        bounds.append(float(f"{value:.6g}"))
+        step += 1
+    return tuple(bounds)
+
+
+#: Seconds; 10 µs .. 100 s at four buckets per decade (29 bounds).
+DEFAULT_LATENCY_BOUNDS = log_spaced_bounds()
+
+
+class Histogram:
+    """Cumulative fixed-bucket histogram of one latency series.
+
+    ``counts[i]`` holds observations ``<= bounds[i]`` (and greater than
+    the previous bound); the final slot is the overflow bucket, so
+    ``len(counts) == len(bounds) + 1``.
+
+    >>> h = Histogram(bounds=(0.001, 0.01, 0.1))
+    >>> for value in (0.0005, 0.002, 0.002, 5.0):
+    ...     h.record(value)
+    >>> h.count, h.counts
+    (4, [1, 2, 0, 1])
+    >>> round(h.sum, 4)
+    5.0045
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS) -> None:
+        bounds = tuple(bounds)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError("bounds must be non-empty and strictly increasing")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def record(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """A new histogram equal to having recorded both sample sets.
+
+        Exact by construction — no interpolation, no loss — provided
+        both sides share the same bounds (mismatched bounds raise).
+
+        >>> a, b = Histogram((1.0, 2.0)), Histogram((1.0, 2.0))
+        >>> a.record(0.5); b.record(5.0)
+        >>> merged = a.merge(b)
+        >>> merged.count, merged.counts, merged.min, merged.max
+        (2, [1, 0, 1], 0.5, 5.0)
+        """
+        if self.bounds != other.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        merged = Histogram(self.bounds)
+        merged.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        merged.count = self.count + other.count
+        merged.sum = self.sum + other.sum
+        merged.min = min(self.min, other.min)
+        merged.max = max(self.max, other.max)
+        return merged
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile (0..1).
+
+        Resolution is one bucket — good enough for dashboards; exact
+        windowed percentiles stay on the ring buffers.
+
+        >>> h = Histogram((0.001, 0.01, 0.1))
+        >>> for _ in range(99):
+        ...     h.record(0.005)
+        >>> h.record(0.05)
+        >>> h.quantile(0.5), h.quantile(0.999)
+        (0.01, 0.1)
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} out of [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= target:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max
+        return self.max
+
+    def to_dict(self) -> dict:
+        """JSON codec; :meth:`from_dict` restores an equal histogram.
+
+        >>> h = Histogram((1.0,)); h.record(0.5)
+        >>> Histogram.from_dict(h.to_dict()) == h
+        True
+        """
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        histogram = cls(tuple(data["bounds"]))
+        counts = list(data["counts"])
+        if len(counts) != len(histogram.counts):
+            raise ValueError("counts length does not match bounds")
+        histogram.counts = counts
+        histogram.count = int(data["count"])
+        histogram.sum = float(data["sum"])
+        histogram.min = (
+            float(data["min"]) if data.get("min") is not None else float("inf")
+        )
+        histogram.max = float(data["max"]) if data.get("max") is not None else 0.0
+        return histogram
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self.bounds == other.bounds
+            and self.counts == other.counts
+            and self.count == other.count
+            and abs(self.sum - other.sum) < 1e-9
+            and self.min == other.min
+            and self.max == other.max
+        )
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, sum={self.sum:.6f})"

@@ -1,0 +1,102 @@
+"""Structured JSON logging for the serving stack.
+
+One line per event, one JSON object per line, machine-parseable by any
+log shipper.  Request-scoped fields (trace ids, tenants, timings) ride
+along as ``extra={...}`` keys on ordinary :mod:`logging` calls; the
+formatter folds them into the emitted object, so instrumented code
+never formats JSON by hand.
+
+Logger names used by the stack:
+
+* ``repro.request`` — one INFO line per served HTTP request,
+* ``repro.slowquery`` — one WARNING line per request slower than the
+  configured ``slow_query_ms`` threshold,
+* ``repro.gateway.*`` — gateway lifecycle (reload, scheduler), as before.
+
+``repro serve --json-logs`` / ``repro gateway --json-logs`` call
+:func:`configure_json_logging` at startup; library users can call it
+themselves (it is idempotent per stream).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+
+__all__ = ["JsonLogFormatter", "configure_json_logging"]
+
+#: LogRecord attributes that are plumbing, not payload.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Format each record as a single-line JSON object.
+
+    >>> import logging
+    >>> record = logging.LogRecord(
+    ...     "repro.request", logging.INFO, __file__, 1,
+    ...     "handled", (), None)
+    >>> record.trace_id = "ab12-000001"
+    >>> line = JsonLogFormatter().format(record)
+    >>> payload = json.loads(line)
+    >>> payload["logger"], payload["level"], payload["trace_id"]
+    ('repro.request', 'INFO', 'ab12-000001')
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = {
+                "type": record.exc_info[0].__name__,
+                "message": str(record.exc_info[1]),
+            }
+        return json.dumps(payload, default=str)
+
+
+def configure_json_logging(
+    level: int = logging.INFO, stream=None, logger: str = ""
+) -> logging.Handler:
+    """Attach a JSON-formatting handler to ``logger`` (root by default).
+
+    Returns the installed handler so callers (tests, servers shutting
+    down) can remove it.  Calling twice with the same stream replaces
+    the previous JSON handler instead of duplicating output lines.
+    """
+    stream = stream if stream is not None else sys.stderr
+    target = logging.getLogger(logger)
+    for existing in list(target.handlers):
+        if isinstance(existing.formatter, JsonLogFormatter):
+            target.removeHandler(existing)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLogFormatter())
+    target.addHandler(handler)
+    if target.level == logging.NOTSET or target.level > level:
+        target.setLevel(level)
+    return handler
+
+
+def log_event(logger: logging.Logger, message: str, **fields) -> None:
+    """INFO-log ``message`` with structured ``fields`` (cheap when off).
+
+    >>> import io, logging
+    >>> buffer = io.StringIO()
+    >>> demo = logging.getLogger("repro.doctest.demo")
+    >>> handler = configure_json_logging(stream=buffer, logger=demo.name)
+    >>> demo.propagate = False
+    >>> log_event(demo, "served", trace_id="x-1", total_ms=1.25)
+    >>> json.loads(buffer.getvalue())["total_ms"]
+    1.25
+    """
+    if logger.isEnabledFor(logging.INFO):
+        logger.info(message, extra=fields)

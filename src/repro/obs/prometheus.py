@@ -1,0 +1,197 @@
+"""Prometheus text exposition (format 0.0.4) for metrics registries.
+
+:func:`render_exposition` turns one or more
+:class:`~repro.serving.telemetry.MetricsRegistry` instances into the
+plain-text scrape format: counters become ``<name>_total``, latency
+series become ``<name>_latency_seconds`` histogram families
+(``_bucket``/``_sum``/``_count`` with cumulative ``le`` buckets), and
+each source contributes an ``uptime_seconds`` gauge.  Multiple sources
+render into one page with distinguishing labels — the gateway passes
+``{"tenant": ...}`` per hosted engine, which is how per-tenant latency
+histograms reach an external scraper.
+
+:func:`parse_exposition` is the matching (deliberately small) parser;
+tests and the benchmark smoke checks use it to prove the rendered page
+round-trips, so the format cannot rot unnoticed.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "EXPOSITION_CONTENT_TYPE",
+    "escape_label_value",
+    "parse_exposition",
+    "render_exposition",
+    "sanitize_metric_name",
+]
+
+#: The content type Prometheus scrapers expect for text format 0.0.4.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_FIX = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce an internal series name into a legal metric name.
+
+    >>> sanitize_metric_name("tenant.b.requests")
+    'tenant_b_requests'
+    >>> sanitize_metric_name("9lives")
+    '_9lives'
+    """
+    if _NAME_OK.match(name):
+        return name
+    fixed = _NAME_FIX.sub("_", name)
+    if not fixed or not (fixed[0].isalpha() or fixed[0] in "_:"):
+        fixed = "_" + fixed
+    return fixed
+
+
+def escape_label_value(value: str) -> str:
+    r"""Escape a label value per the exposition grammar.
+
+    >>> escape_label_value('say "hi"\n')
+    'say \\"hi\\"\\n'
+    """
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, int) or value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize_metric_name(str(key))}="{escape_label_value(str(val))}"'
+        for key, val in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_exposition(sources, *, namespace: str = "repro") -> str:
+    """Render ``[(extra_labels, registry), ...]`` as one scrape page.
+
+    Counters render as ``<ns>_<name>_total``, latency series as
+    ``<ns>_<name>_latency_seconds`` histograms, uptime as a gauge.
+    ``extra_labels`` (e.g. ``{"tenant": "mas"}``) are stamped on every
+    sample from that source, so one page can carry many engines.
+    """
+    counters: dict[str, list[tuple[dict, float]]] = {}
+    histograms: dict[str, list[tuple[dict, object]]] = {}
+    gauges: dict[str, list[tuple[dict, float]]] = {}
+    for extra_labels, registry in sources:
+        collected = registry.collect()
+        gauges.setdefault(f"{namespace}_uptime_seconds", []).append(
+            (dict(extra_labels), collected["uptime_seconds"])
+        )
+        for name, labels, value in collected["counters"]:
+            metric = f"{namespace}_{sanitize_metric_name(name)}_total"
+            merged = dict(extra_labels)
+            merged.update(labels)
+            counters.setdefault(metric, []).append((merged, float(value)))
+        for name, labels, histogram in collected["histograms"]:
+            metric = f"{namespace}_{sanitize_metric_name(name)}_latency_seconds"
+            merged = dict(extra_labels)
+            merged.update(labels)
+            histograms.setdefault(metric, []).append((merged, histogram))
+
+    lines: list[str] = []
+    for metric in sorted(gauges):
+        lines.append(f"# TYPE {metric} gauge")
+        for labels, value in gauges[metric]:
+            lines.append(f"{metric}{_labels_text(labels)} {value:.3f}")
+    for metric in sorted(counters):
+        lines.append(f"# TYPE {metric} counter")
+        for labels, value in counters[metric]:
+            lines.append(f"{metric}{_labels_text(labels)} {_format_value(value)}")
+    for metric in sorted(histograms):
+        lines.append(f"# TYPE {metric} histogram")
+        for labels, histogram in histograms[metric]:
+            cumulative = 0
+            for bound, count in zip(
+                list(histogram.bounds) + [float("inf")], histogram.counts
+            ):
+                cumulative += count
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _format_value(bound)
+                lines.append(
+                    f"{metric}_bucket{_labels_text(bucket_labels)} {cumulative}"
+                )
+            lines.append(
+                f"{metric}_sum{_labels_text(labels)} {repr(histogram.sum)}"
+            )
+            lines.append(
+                f"{metric}_count{_labels_text(labels)} {histogram.count}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def _unescape(value: str) -> str:
+    out = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def parse_exposition(text: str) -> dict[str, list[tuple[dict, float]]]:
+    r"""Parse a text-format scrape page back into samples.
+
+    Returns ``{metric_name: [(labels, value), ...]}``.  Raises
+    ``ValueError`` on any malformed line — the point of this parser is
+    validation, so it is strict where a lenient scraper might shrug.
+
+    >>> page = 'demo_total{kind="a b"} 3\n'
+    >>> parse_exposition(page)
+    {'demo_total': [({'kind': 'a b'}, 3.0)]}
+    """
+    samples: dict[str, list[tuple[dict, float]]] = {}
+    for line in text.splitlines():
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        labels: dict[str, str] = {}
+        raw = match.group("labels")
+        if raw:
+            consumed = 0
+            for label in _LABEL.finditer(raw):
+                if label.start() != consumed:
+                    raise ValueError(f"malformed labels in line: {line!r}")
+                labels[label.group("key")] = _unescape(label.group("value"))
+                consumed = label.end()
+            if consumed != len(raw):
+                raise ValueError(f"malformed labels in line: {line!r}")
+        raw_value = match.group("value")
+        value = float("inf") if raw_value == "+Inf" else float(raw_value)
+        samples.setdefault(match.group("name"), []).append((labels, value))
+    return samples

@@ -72,6 +72,17 @@ class JSONRequestHandlerMixin(BaseHTTPRequestHandler):
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json(status, error_envelope(status, message))
 
+    def _send_text(
+        self, status: int, body: str, content_type: str = "text/plain"
+    ) -> None:
+        """Plain-text response (the Prometheus exposition path)."""
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
     def _check_content_type(self) -> None:
         """Reject non-JSON POST bodies up front (400, not a late 500).
 

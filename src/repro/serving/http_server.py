@@ -2,10 +2,12 @@
 
 Endpoints::
 
-    GET  /healthz    liveness + uptime
-    GET  /stats      caches, QFG state, metrics (TranslationService.stats)
-    GET  /metrics    telemetry snapshot only
-    POST /translate  {"keywords": [...]} or {"nlq": "..."} -> ranked SQL
+    GET  /healthz        liveness + uptime
+    GET  /stats          caches, QFG state, metrics (TranslationService.stats)
+    GET  /metrics        Prometheus text exposition (?format=json for the
+                         legacy JSON snapshot)
+    GET  /admin/traces   retained request traces (tail-sampled; ?id=<trace>)
+    POST /translate      {"keywords": [...]} or {"nlq": "..."} -> ranked SQL
 
 ``POST /translate`` bodies are decoded into the unified
 :class:`~repro.serving.wire.TranslationRequest` (strict: unknown fields
@@ -26,12 +28,18 @@ dependency.
 
 from __future__ import annotations
 
+import logging
 from http.server import ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
 
 from repro.errors import ServingError
+from repro.obs.prometheus import EXPOSITION_CONTENT_TYPE, render_exposition
 from repro.serving.http_common import MAX_BODY_BYTES, JSONRequestHandlerMixin
 from repro.serving.service import TranslationService, translate_request
 from repro.serving.wire import TranslationRequest, TranslationResponse
+
+#: One structured INFO line per served translate request.
+_REQUEST_LOGGER = logging.getLogger("repro.request")
 
 __all__ = [
     "MAX_BODY_BYTES",
@@ -91,7 +99,9 @@ class ServingRequestHandler(JSONRequestHandlerMixin):
     # ------------------------------------------------------------- routing
 
     def do_GET(self) -> None:  # noqa: N802
-        path = self.path.split("?", 1)[0]
+        parsed = urlparse(self.path)
+        path = parsed.path
+        query = parse_qs(parsed.query)
         if path == "/healthz":
             self._send_json(
                 200,
@@ -107,9 +117,32 @@ class ServingRequestHandler(JSONRequestHandlerMixin):
             source = self.server.engine or self.server.service
             self._send_json(200, source.stats())
         elif path == "/metrics":
-            self._send_json(200, self.server.service.metrics.snapshot())
+            if query.get("format") == ["json"]:
+                self._send_json(200, self.server.service.metrics.snapshot())
+            else:
+                self._send_text(
+                    200,
+                    render_exposition([({}, self.server.service.metrics)]),
+                    EXPOSITION_CONTENT_TYPE,
+                )
+        elif path == "/admin/traces":
+            self._send_json(200, self._traces_payload(query))
         else:
             self._send_error_json(404, f"unknown path {path!r}")
+
+    def _traces_payload(self, query: dict) -> dict:
+        """Retained traces, newest first; ``?id=`` narrows to one trace."""
+        store = self.server.service.tracer.store
+        wanted = query.get("id", [None])[0]
+        if wanted is not None:
+            trace = store.get(wanted)
+            traces = [trace] if trace is not None else []
+        else:
+            traces = store.traces(limit=50)
+        return {
+            "count": len(traces),
+            "traces": [trace.to_dict() for trace in traces],
+        }
 
     def do_POST(self) -> None:  # noqa: N802
         path = self.path.split("?", 1)[0]
@@ -137,6 +170,16 @@ class ServingRequestHandler(JSONRequestHandlerMixin):
         response = self.server.translate(request)
         if request.observe and response.results:
             self.server.service.observe(response.results[0].sql)
+        if _REQUEST_LOGGER.isEnabledFor(logging.INFO):
+            _REQUEST_LOGGER.info(
+                "POST /translate",
+                extra={
+                    "trace_id": response.provenance.get("trace_id"),
+                    "status": 200,
+                    "results": len(response.results),
+                    "total_ms": round(response.timings_ms["total"], 3),
+                },
+            )
         return 200, response.to_payload()
 
 

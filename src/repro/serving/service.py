@@ -18,6 +18,7 @@ serialized behind a lock.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -30,9 +31,14 @@ from repro.core.qfg import QueryFragmentGraph
 from repro.core.templar import Templar
 from repro.errors import ReproError, ServingError
 from repro.nlidb.base import NLIDB, TranslationResult
+from repro.obs.trace import _ARMED, _SINK, Tracer
 from repro.serving.cache import LRUCache
 from repro.serving.telemetry import MetricsRegistry
 from repro.serving.wire import TranslationRequest, TranslationResponse
+
+#: One WARNING line per request slower than the service's
+#: ``slow_query_ms`` threshold (see docs/observability.md).
+_SLOW_QUERY_LOGGER = logging.getLogger("repro.slowquery")
 
 
 class CachingKeywordMapper:
@@ -136,6 +142,31 @@ def take_truncation(
     return take(keywords)
 
 
+def request_summary(request: TranslationRequest, limit: int = 96) -> str:
+    """A one-line description of a request for traces and slow-query logs."""
+    if request.nlq is not None:
+        text = request.nlq
+    else:
+        text = ", ".join(k.text for k in request.keywords or ())
+    if len(text) > limit:
+        text = text[: limit - 1] + "…"
+    return text
+
+
+def _collect_sink():
+    """Detach and return the request's materialised span sink, if any.
+
+    Clears the ContextVar so the next request on this thread starts
+    clean; the armed sentinel (miss that never entered a stage) reads
+    as ``None``.
+    """
+    sink = _SINK.get()
+    if sink is None:
+        return None
+    _SINK.set(None)
+    return None if sink is _ARMED else sink
+
+
 def translate_request(
     service: "TranslationService",
     request: TranslationRequest,
@@ -146,16 +177,44 @@ def translate_request(
     """Serve one unified request through a service: the one wire path.
 
     Every frontend — ``Engine.translate``, the HTTP endpoint, the CLI —
-    funnels through here, so request parsing, stage timing and response
-    assembly cannot drift between them.  ``observe`` handling is left to
-    the caller (the engine and the HTTP handler have different
-    learning-availability checks).
+    funnels through here, so request parsing, stage timing, tracing,
+    error accounting and response assembly cannot drift between them.
+    ``observe`` handling is left to the caller (the engine and the HTTP
+    handler have different learning-availability checks).
+
+    Tracing rides the timings this function already takes: span
+    collection is armed only when the translate cache *misses* (all
+    instrumented stages live inside ``nlidb.translate``), and the span
+    *tree* is only built after the request finished and only when the
+    tail-sampling store would retain it — a warm cache hit therefore
+    performs no ContextVar write and no allocation; its whole tracing
+    bill is a handful of attribute reads, one ContextVar read and one
+    float comparison.  Failures are counted by exception type
+    (``translate_errors{type=...}``) and their traces always kept.
     """
+    tracer = service.tracer
+    if tracer is not None and not tracer.enabled:
+        tracer = None
     started = time.perf_counter()
-    keywords, parse_ms = resolve_request_keywords(request, parser)
-    translate_started = time.perf_counter()
-    results = service.translate(keywords)
-    now = time.perf_counter()
+    try:
+        keywords, parse_ms = resolve_request_keywords(request, parser)
+        translate_started = time.perf_counter()
+        results = service.translate(keywords, trace=tracer is not None)
+        now = time.perf_counter()
+    except Exception as exc:
+        service.metrics.increment(
+            "translate_errors", labels={"type": type(exc).__name__}
+        )
+        if tracer is not None:
+            tracer.conclude(
+                _collect_sink(),
+                started=started,
+                duration_s=time.perf_counter() - started,
+                children=[],
+                summary=request_summary(request),
+                error=exc,
+            )
+        raise
     timings = {
         "parse": parse_ms,
         "translate": (now - translate_started) * 1000.0,
@@ -172,6 +231,49 @@ def translate_request(
     if dropped:
         base["configurations_truncated"] = dropped
     base.update(provenance or {})
+    if tracer is not None:
+        # Warm-path fast exit: one lock-free float comparison and one
+        # ContextVar read (None on a cache hit — nothing was armed)
+        # decide whether anything else happens.  This is what keeps
+        # tracing within its <= 5% overhead gate (bench_perf_core.py)
+        # on cached ~15 µs requests.
+        sink = _SINK.get()
+        if sink is not None or now - started > tracer.store.floor:
+            if sink is not None:
+                _SINK.set(None)
+                if sink is _ARMED:
+                    sink = None
+            children = []
+            if parse_ms:
+                children.append(("parse", 0.0, parse_ms / 1000.0))
+            children.append(
+                ("translate", translate_started - started,
+                 now - translate_started)
+            )
+            trace_id = tracer.conclude(
+                sink,
+                started=started,
+                duration_s=now - started,
+                children=children,
+                summary=request_summary(request),
+            )
+            if trace_id is not None:
+                base["trace_id"] = trace_id
+    slow_ms = service.slow_query_ms
+    if slow_ms is not None and timings["total"] >= slow_ms:
+        _SLOW_QUERY_LOGGER.warning(
+            "slow query: %.3f ms (threshold %.1f ms)",
+            timings["total"],
+            slow_ms,
+            extra={
+                "trace_id": base.get("trace_id"),
+                "total_ms": round(timings["total"], 3),
+                "parse_ms": round(parse_ms, 3),
+                "translate_ms": round(timings["translate"], 3),
+                "system": base.get("system"),
+                "request": request_summary(request),
+            },
+        )
     return TranslationResponse(
         request=request,
         results=results,
@@ -194,11 +296,17 @@ class TranslationService:
         learn_batch_size: int | None = None,
         max_pending: int = 1024,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        slow_query_ms: float | None = None,
     ) -> None:
         if max_workers < 1:
             raise ServingError("max_workers must be >= 1")
         if max_pending < 1:
             raise ServingError("max_pending must be >= 1")
+        if slow_query_ms is not None and slow_query_ms <= 0:
+            raise ServingError(
+                f"slow_query_ms must be positive, got {slow_query_ms}"
+            )
         if learn_batch_size is not None and not (
             1 <= learn_batch_size <= max_pending
         ):
@@ -210,6 +318,8 @@ class TranslationService:
         self.nlidb = nlidb
         self.templar = templar or getattr(nlidb, "templar", None)
         self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.slow_query_ms = slow_query_ms
         self.learn_batch_size = learn_batch_size
         self.max_pending = max_pending
 
@@ -271,8 +381,17 @@ class TranslationService:
 
     # ----------------------------------------------------------- translate
 
-    def translate(self, keywords: Sequence[Keyword]) -> list[TranslationResult]:
-        """Ranked translations for one request, served from cache when warm."""
+    def translate(
+        self, keywords: Sequence[Keyword], *, trace: bool = False
+    ) -> list[TranslationResult]:
+        """Ranked translations for one request, served from cache when warm.
+
+        ``trace=True`` arms span collection for the duration of a cache
+        *miss* (the request path sets it; batch workers don't).  Arming
+        here rather than per-request keeps warm hits free of ContextVar
+        writes — the caller collects the sink afterwards via the
+        ContextVar and is responsible for clearing it.
+        """
         key = (keywords_cache_key(tuple(keywords)), self._qfg_revision())
         self.metrics.increment("requests")
         with self.metrics.time("translate"):
@@ -281,6 +400,8 @@ class TranslationService:
             if cached is not None:
                 return cached
             with self.metrics.time("translate_uncached"):
+                if trace:
+                    _SINK.set(_ARMED)
                 results = self.nlidb.translate(list(keywords))
             self._translate_cache.put(key, results)
             return results

@@ -1,9 +1,20 @@
-"""Serving telemetry: latency percentiles, counters, and QPS.
+"""Serving telemetry: latency percentiles, counters, histograms, QPS.
 
-A :class:`MetricsRegistry` is deliberately small: named monotonic
-counters plus named latency series (bounded ring buffers of the most
-recent observations, with arrival timestamps for windowed QPS).  The HTTP
-endpoint and the CLI both render :meth:`MetricsRegistry.snapshot`.
+A :class:`MetricsRegistry` keeps three views of one service's traffic:
+
+* named monotonic **counters**, optionally labelled (e.g.
+  ``translate_errors{type="ParseError"}``),
+* per-series **ring buffers** of the most recent observations, which
+  give exact windowed percentiles and arrival timestamps for QPS,
+* per-series fixed-bucket **histograms**
+  (:class:`~repro.obs.histogram.Histogram`), cumulative over the
+  process lifetime and exactly mergeable across registries — the view
+  the Prometheus exposition serves and the one multi-process workers
+  will aggregate.
+
+The HTTP endpoints and the CLI render :meth:`MetricsRegistry.snapshot`;
+scrapers get :meth:`MetricsRegistry.collect` via
+:func:`repro.obs.prometheus.render_exposition`.
 """
 
 from __future__ import annotations
@@ -12,6 +23,8 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
+
+from repro.obs.histogram import Histogram
 
 #: Observations retained per latency series; old samples age out so the
 #: percentiles track recent behaviour rather than all-time history.
@@ -62,24 +75,53 @@ class LatencySummary:
         }
 
 
+def _labels_key(labels: dict | None) -> tuple:
+    """Canonical hashable form of a label set (sorted item tuple)."""
+    if not labels:
+        return ()
+    return tuple(sorted(labels.items()))
+
+
+def _render_name(name: str, key: tuple) -> str:
+    """Display name for a series: ``name`` or ``name{k="v",...}``."""
+    if not key:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+def _summarize(name: str, samples: list[float]) -> LatencySummary:
+    millis = sorted(s * 1000.0 for s in samples)
+    return LatencySummary(
+        name=name,
+        count=len(millis),
+        mean_ms=sum(millis) / len(millis) if millis else 0.0,
+        p50_ms=_interpolate(millis, 50.0) if millis else 0.0,
+        p95_ms=_interpolate(millis, 95.0) if millis else 0.0,
+        p99_ms=_interpolate(millis, 99.0) if millis else 0.0,
+        max_ms=millis[-1] if millis else 0.0,
+    )
+
+
 class MetricsRegistry:
     """Thread-safe counters and latency series for one service.
 
     Memory is bounded by construction: every latency series is a ring
-    buffer of at most ``window`` samples, so a long-lived process (the
-    gateway runs indefinitely) holds a fixed amount of telemetry no
-    matter how much traffic it serves.  The cap is surfaced as
-    ``latency_window`` in :meth:`snapshot` so operators can see what
-    span the percentiles describe.
+    buffer of at most ``window`` samples plus one fixed-size histogram,
+    so a long-lived process (the gateway runs indefinitely) holds a
+    fixed amount of telemetry no matter how much traffic it serves.
+    The cap is surfaced as ``latency_window`` in :meth:`snapshot` so
+    operators can see what span the percentiles describe.
     """
 
     def __init__(self, window: int = DEFAULT_WINDOW) -> None:
         if window < 1:
             raise ValueError(f"telemetry window must be >= 1, got {window}")
         self._lock = threading.Lock()
-        self._counters: dict[str, int] = {}
-        #: name -> deque of (monotonic arrival time, duration seconds)
-        self._series: dict[str, deque[tuple[float, float]]] = {}
+        self._counters: dict[tuple[str, tuple], int] = {}
+        #: series key -> deque of (monotonic arrival time, duration seconds)
+        self._series: dict[tuple[str, tuple], deque[tuple[float, float]]] = {}
+        self._hists: dict[tuple[str, tuple], Histogram] = {}
         self._window = window
         self._started = time.monotonic()
 
@@ -90,17 +132,25 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------ recording
 
-    def increment(self, name: str, amount: int = 1) -> None:
+    def increment(
+        self, name: str, amount: int = 1, *, labels: dict | None = None
+    ) -> None:
+        key = (name, _labels_key(labels))
         with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + amount
+            self._counters[key] = self._counters.get(key, 0) + amount
 
-    def record_latency(self, name: str, seconds: float) -> None:
+    def record_latency(
+        self, name: str, seconds: float, *, labels: dict | None = None
+    ) -> None:
+        key = (name, _labels_key(labels))
         with self._lock:
-            series = self._series.get(name)
+            series = self._series.get(key)
             if series is None:
                 series = deque(maxlen=self._window)
-                self._series[name] = series
+                self._series[key] = series
+                self._hists[key] = Histogram()
             series.append((time.monotonic(), seconds))
+            self._hists[key].record(seconds)
 
     def time(self, name: str) -> "_Timer":
         """Context manager recording the block's wall time under ``name``."""
@@ -108,37 +158,51 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------- reading
 
-    def counter(self, name: str) -> int:
+    def counter(self, name: str, *, labels: dict | None = None) -> int:
         with self._lock:
-            return self._counters.get(name, 0)
+            return self._counters.get((name, _labels_key(labels)), 0)
 
-    def latency_summary(self, name: str) -> LatencySummary:
+    def latency_summary(
+        self, name: str, *, labels: dict | None = None
+    ) -> LatencySummary:
+        key = (name, _labels_key(labels))
         with self._lock:
-            samples = [duration for _, duration in self._series.get(name, ())]
-        millis = sorted(s * 1000.0 for s in samples)
-        return LatencySummary(
-            name=name,
-            count=len(millis),
-            mean_ms=sum(millis) / len(millis) if millis else 0.0,
-            p50_ms=_interpolate(millis, 50.0) if millis else 0.0,
-            p95_ms=_interpolate(millis, 95.0) if millis else 0.0,
-            p99_ms=_interpolate(millis, 99.0) if millis else 0.0,
-            max_ms=millis[-1] if millis else 0.0,
-        )
+            samples = [duration for _, duration in self._series.get(key, ())]
+        return _summarize(name, samples)
+
+    def histogram(
+        self, name: str, *, labels: dict | None = None
+    ) -> Histogram | None:
+        """A point-in-time copy of one series' cumulative histogram."""
+        key = (name, _labels_key(labels))
+        with self._lock:
+            hist = self._hists.get(key)
+            return Histogram.from_dict(hist.to_dict()) if hist else None
 
     def qps(self, name: str, window_seconds: float = 60.0) -> float:
         """Requests per second over the trailing window (retained samples)."""
         now = time.monotonic()
-        cutoff = now - window_seconds
+        key = (name, ())
         with self._lock:
-            series = self._series.get(name)
+            series = self._series.get(key)
             if not series:
                 return 0.0
             ring_full = len(series) == series.maxlen
-            oldest = series[0][0]
-            recent = sum(1 for arrived, _ in series if arrived >= cutoff)
+            samples = list(series)
+        return self._qps_of(samples, ring_full, now, window_seconds)
+
+    def _qps_of(
+        self,
+        samples: list[tuple[float, float]],
+        ring_full: bool,
+        now: float,
+        window_seconds: float,
+    ) -> float:
+        cutoff = now - window_seconds
+        recent = sum(1 for arrived, _ in samples if arrived >= cutoff)
         if recent == 0:
             return 0.0
+        oldest = samples[0][0]
         if ring_full and oldest > cutoff:
             # The ring evicted samples that were still inside the window;
             # rate over the span actually retained, or high traffic would
@@ -153,19 +217,70 @@ class MetricsRegistry:
     def uptime_seconds(self) -> float:
         return time.monotonic() - self._started
 
-    def snapshot(self) -> dict:
-        """JSON-ready view of every counter and latency series."""
+    def collect(self) -> dict:
+        """Raw series for exposition: one consistent pass under the lock.
+
+        Histograms are copied so the renderer never races recording.
+        """
         with self._lock:
-            counters = dict(sorted(self._counters.items()))
-            names = sorted(self._series)
+            counters = [
+                (name, dict(key), value)
+                for (name, key), value in sorted(self._counters.items())
+            ]
+            histograms = [
+                (name, dict(key), Histogram.from_dict(hist.to_dict()))
+                for (name, key), hist in sorted(self._hists.items())
+            ]
         return {
-            "uptime_seconds": round(self.uptime_seconds(), 3),
+            "uptime_seconds": self.uptime_seconds(),
+            "counters": counters,
+            "histograms": histograms,
+        }
+
+    def snapshot(self) -> dict:
+        """JSON-ready view of every counter and latency series.
+
+        All state is copied under a single lock acquisition, so the
+        counters, latencies and rates in one payload describe one
+        consistent moment — they cannot be torn across concurrent
+        recording the way per-series re-locking would allow.
+        """
+        now = time.monotonic()
+        with self._lock:
+            counters = {
+                _render_name(name, key): value
+                for (name, key), value in sorted(self._counters.items())
+            }
+            series_copy = {
+                (name, key): (
+                    [duration for _, duration in series],
+                    list(series),
+                    len(series) == series.maxlen,
+                )
+                for (name, key), series in self._series.items()
+            }
+            hist_copy = {
+                _render_name(name, key): hist.to_dict()
+                for (name, key), hist in sorted(self._hists.items())
+            }
+            uptime = now - self._started
+        latencies = {}
+        qps = {}
+        for (name, key) in sorted(series_copy):
+            durations, samples, ring_full = series_copy[(name, key)]
+            rendered = _render_name(name, key)
+            latencies[rendered] = _summarize(rendered, durations).as_dict()
+            if not key:
+                qps[rendered] = round(
+                    self._qps_of(samples, ring_full, now, 60.0), 3
+                )
+        return {
+            "uptime_seconds": round(uptime, 3),
             "latency_window": self._window,
             "counters": counters,
-            "latencies": {
-                name: self.latency_summary(name).as_dict() for name in names
-            },
-            "qps": {name: round(self.qps(name), 3) for name in names},
+            "latencies": latencies,
+            "histograms": hist_copy,
+            "qps": qps,
         }
 
 

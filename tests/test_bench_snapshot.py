@@ -1,0 +1,63 @@
+"""The BENCH_<name>.json perf-trajectory emitter (benchmarks/snapshot.py)."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+from snapshot import (  # noqa: E402
+    SCHEMA_VERSION,
+    emit_snapshot,
+    machine_fingerprint,
+    read_snapshot,
+    snapshot_path,
+)
+
+
+def test_emit_and_read_round_trip(tmp_path):
+    path = emit_snapshot(
+        "demo",
+        {"speedup": 3.5, "warm_us": 12.0},
+        config={"smoke": True},
+        out_dir=tmp_path,
+    )
+    assert path == tmp_path / "BENCH_demo.json"
+    payload = read_snapshot(path)
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["name"] == "demo"
+    assert payload["headline"] == {"speedup": 3.5, "warm_us": 12.0}
+    assert payload["config"] == {"smoke": True}
+    assert payload["machine"]["cpus"] >= 1
+
+
+def test_fingerprint_names_the_interpreter():
+    fingerprint = machine_fingerprint()
+    assert set(fingerprint) == {"platform", "python", "machine", "cpus"}
+    assert fingerprint["python"].count(".") >= 1
+
+
+def test_default_path_is_the_repo_root():
+    path = snapshot_path("perf_core")
+    assert path.name == "BENCH_perf_core.json"
+    assert (path.parent / "benchmarks").is_dir()
+
+
+def test_read_rejects_missing_fields(tmp_path):
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text(json.dumps({"name": "bad"}))
+    with pytest.raises(ValueError, match="missing field"):
+        read_snapshot(bad)
+
+
+def test_read_rejects_wrong_schema_version(tmp_path):
+    path = emit_snapshot("versioned", {"x": 1}, out_dir=tmp_path)
+    payload = json.loads(path.read_text())
+    payload["schema_version"] = SCHEMA_VERSION + 1
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match="schema_version"):
+        read_snapshot(path)

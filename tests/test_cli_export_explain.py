@@ -123,6 +123,28 @@ class TestCli:
         )
         assert code == 1
 
+    def test_trace_command_prints_a_telescoping_span_tree(self, capsys):
+        code = main(
+            ["trace", "--dataset", "mas",
+             "--nlq", "return the papers after 2005"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SQL: SELECT" in out
+        assert "request" in out and "translate" in out
+        # The footer states the acceptance invariant: per-stage
+        # self-times telescope to the reported total.
+        footer = next(
+            line for line in out.splitlines()
+            if line.startswith("stage self-times sum to")
+        )
+        parts = footer.split()
+        assert parts[4] == parts[7]  # summed ms == total ms, verbatim
+
+    def test_trace_command_no_result(self, capsys):
+        code = main(["trace", "--dataset", "mas", "--nlq", "xyzzy gibberish"])
+        assert code == 1
+
     def test_export_command(self, tmp_path, capsys):
         out_file = tmp_path / "dump.sql"
         assert main(["export", "--dataset", "mas", "--output", str(out_file)]) == 0

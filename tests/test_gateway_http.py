@@ -164,10 +164,50 @@ class TestHealthAndStats:
             for snapshot in stats["tenants"].values()
         )
         assert aggregate["requests"] == per_tenant >= 3
-        status, metrics = _get(port, "/metrics")
+        status, metrics = _get(port, "/metrics?format=json")
         assert status == 200
         assert metrics["counters"]["gateway_requests"] >= 3
         assert "latency_window" in metrics
+
+    def test_metrics_scrape_carries_tenant_labels(self, gateway_port):
+        from repro.obs.prometheus import parse_exposition
+
+        gateway, port = gateway_port
+        for tenant, nlq in NLQS.items():
+            _post(port, f"/t/{tenant}/translate", {"nlq": nlq})
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics"
+        ) as response:
+            content_type = response.headers.get("Content-Type", "")
+            page = response.read().decode("utf-8")
+        assert content_type.startswith("text/plain; version=0.0.4")
+        samples = parse_exposition(page)
+        assert any(
+            labels == {} for labels, _ in samples["repro_gateway_requests_total"]
+        )
+        tenants_on_page = {
+            labels["tenant"]
+            for labels, _ in samples["repro_requests_total"]
+            if "tenant" in labels
+        }
+        assert tenants_on_page == {"mas", "yelp", "imdb"}
+        assert any(
+            "tenant" in labels
+            for labels, _ in samples["repro_translate_latency_seconds_bucket"]
+        )
+
+    def test_admin_traces_filters_by_tenant(self, gateway_port):
+        gateway, port = gateway_port
+        status, body = _post(port, "/t/mas/translate", {"nlq": NLQS["mas"]})
+        assert status == 200
+        status, payload = _get(port, "/admin/traces?tenant=mas")
+        assert status == 200
+        assert payload["count"] >= 1
+        assert all(t["tenant"] == "mas" for t in payload["traces"])
+        status, everything = _get(port, "/admin/traces")
+        assert status == 200
+        assert everything["count"] >= payload["count"]
+        assert _get(port, "/admin/traces?tenant=enron")[0] == 404
 
     def test_observe_queues_for_the_scheduler(self, gateway_port):
         gateway, port = gateway_port

@@ -1,0 +1,103 @@
+"""Merge algebra of the fixed-bucket histograms.
+
+The whole point of :class:`repro.obs.histogram.Histogram` is that
+merging is *exact*: combining two histograms is indistinguishable from
+having recorded the union of their samples into one.  That property is
+what lets multi-process workers and cross-instance scrapers aggregate
+without loss, so it gets spelled out as tests here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.histogram import (
+    DEFAULT_LATENCY_BOUNDS,
+    Histogram,
+    log_spaced_bounds,
+)
+
+BOUNDS = (0.001, 0.01, 0.1, 1.0)
+
+SAMPLES_A = [0.0004, 0.002, 0.03, 0.03, 0.5]
+SAMPLES_B = [0.009, 0.2, 7.0]
+
+
+def _filled(samples, bounds=BOUNDS) -> Histogram:
+    histogram = Histogram(bounds)
+    for value in samples:
+        histogram.record(value)
+    return histogram
+
+
+class TestMergeAlgebra:
+    def test_merge_equals_union_of_samples(self):
+        merged = _filled(SAMPLES_A).merge(_filled(SAMPLES_B))
+        assert merged == _filled(SAMPLES_A + SAMPLES_B)
+
+    def test_merge_is_commutative(self):
+        a, b = _filled(SAMPLES_A), _filled(SAMPLES_B)
+        assert a.merge(b) == b.merge(a)
+
+    def test_merge_is_associative(self):
+        a = _filled(SAMPLES_A)
+        b = _filled(SAMPLES_B)
+        c = _filled([0.0001, 0.05])
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    def test_empty_is_the_identity(self):
+        a = _filled(SAMPLES_A)
+        empty = Histogram(BOUNDS)
+        assert a.merge(empty) == a
+        assert empty.merge(a) == a
+
+    def test_merging_two_empties_stays_empty(self):
+        merged = Histogram(BOUNDS).merge(Histogram(BOUNDS))
+        assert merged.count == 0
+        assert merged.counts == [0] * (len(BOUNDS) + 1)
+        assert merged.quantile(0.99) == 0.0
+
+    def test_mismatched_bounds_refuse_to_merge(self):
+        with pytest.raises(ValueError, match="bounds"):
+            Histogram((1.0, 2.0)).merge(Histogram((1.0, 3.0)))
+
+    def test_merge_does_not_mutate_inputs(self):
+        a, b = _filled(SAMPLES_A), _filled(SAMPLES_B)
+        a.merge(b)
+        assert a == _filled(SAMPLES_A)
+        assert b == _filled(SAMPLES_B)
+
+
+class TestBucketSemantics:
+    def test_value_on_bound_lands_in_that_le_bucket(self):
+        # Prometheus 'le' buckets are inclusive of their upper bound.
+        histogram = Histogram(BOUNDS)
+        histogram.record(0.01)
+        assert histogram.counts[BOUNDS.index(0.01)] == 1
+
+    def test_overflow_bucket_catches_values_past_the_top(self):
+        histogram = Histogram(BOUNDS)
+        histogram.record(99.0)
+        assert histogram.counts[-1] == 1
+
+    def test_dict_round_trip(self):
+        original = _filled(SAMPLES_A)
+        assert Histogram.from_dict(original.to_dict()) == original
+
+    def test_empty_dict_round_trip(self):
+        empty = Histogram(BOUNDS)
+        restored = Histogram.from_dict(empty.to_dict())
+        assert restored == empty
+        restored.record(0.5)  # still usable after the trip
+        assert restored.count == 1
+
+    def test_default_bounds_cover_microseconds_to_seconds(self):
+        assert DEFAULT_LATENCY_BOUNDS[0] <= 1e-5
+        assert DEFAULT_LATENCY_BOUNDS[-1] >= 100.0
+        assert list(DEFAULT_LATENCY_BOUNDS) == sorted(DEFAULT_LATENCY_BOUNDS)
+
+    def test_log_spaced_bounds_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            log_spaced_bounds(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_spaced_bounds(1.0, 0.5)

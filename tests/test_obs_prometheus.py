@@ -1,0 +1,109 @@
+"""Prometheus text exposition: rendering, escaping, strict re-parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.prometheus import (
+    EXPOSITION_CONTENT_TYPE,
+    escape_label_value,
+    parse_exposition,
+    render_exposition,
+    sanitize_metric_name,
+)
+from repro.serving.telemetry import MetricsRegistry
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    metrics = MetricsRegistry()
+    metrics.increment("requests", 3)
+    metrics.increment("translate_errors", labels={"type": "ParseError"})
+    metrics.record_latency("translate", 0.002)
+    metrics.record_latency("translate", 0.040)
+    return metrics
+
+
+class TestRendering:
+    def test_content_type_is_the_scrape_format(self):
+        assert EXPOSITION_CONTENT_TYPE.startswith("text/plain; version=0.0.4")
+
+    def test_page_round_trips_through_the_parser(self, registry):
+        page = render_exposition([({}, registry)])
+        samples = parse_exposition(page)
+        assert samples["repro_requests_total"] == [({}, 3.0)]
+        assert samples["repro_translate_errors_total"] == [
+            ({"type": "ParseError"}, 1.0)
+        ]
+        counts = samples["repro_translate_latency_seconds_count"]
+        assert counts == [({}, 2.0)]
+        [(labels, total)] = samples["repro_translate_latency_seconds_sum"]
+        assert total == pytest.approx(0.042)
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self, registry):
+        page = render_exposition([({}, registry)])
+        buckets = parse_exposition(page)["repro_translate_latency_seconds_bucket"]
+        values = [value for _, value in buckets]
+        assert values == sorted(values)  # cumulative => monotone
+        assert values[-1] == 2.0
+        assert buckets[-1][0]["le"] == "+Inf"
+
+    def test_type_lines_precede_each_family(self, registry):
+        page = render_exposition([({}, registry)])
+        lines = page.splitlines()
+        assert "# TYPE repro_requests_total counter" in lines
+        assert "# TYPE repro_translate_latency_seconds histogram" in lines
+        assert "# TYPE repro_uptime_seconds gauge" in lines
+
+    def test_source_labels_stamp_every_sample(self, registry):
+        other = MetricsRegistry()
+        other.increment("requests", 7)
+        page = render_exposition(
+            [({"tenant": "mas"}, registry), ({"tenant": "yelp"}, other)]
+        )
+        by_tenant = {
+            labels["tenant"]: value
+            for labels, value in parse_exposition(page)["repro_requests_total"]
+        }
+        assert by_tenant == {"mas": 3.0, "yelp": 7.0}
+
+    def test_dotted_counter_names_are_sanitized(self):
+        metrics = MetricsRegistry()
+        metrics.increment("tenant.b.requests")
+        samples = parse_exposition(render_exposition([({}, metrics)]))
+        assert "repro_tenant_b_requests_total" in samples
+
+
+class TestEscaping:
+    def test_label_values_escape_and_round_trip(self):
+        hostile = 'quote " backslash \\ newline \n end'
+        metrics = MetricsRegistry()
+        metrics.increment("errors", labels={"message": hostile})
+        page = render_exposition([({}, metrics)])
+        [(labels, value)] = parse_exposition(page)["repro_errors_total"]
+        assert labels["message"] == hostile
+        assert value == 1.0
+
+    def test_escape_label_value_covers_the_grammar(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("ok_name:sub") == "ok_name:sub"
+        assert sanitize_metric_name("tenant.b.requests") == "tenant_b_requests"
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+
+class TestStrictParser:
+    def test_malformed_sample_line_raises(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_exposition("this is not a sample\n")
+
+    def test_malformed_labels_raise(self):
+        with pytest.raises(ValueError, match="labels"):
+            parse_exposition('metric{key=unquoted} 1\n')
+
+    def test_comments_and_blank_lines_are_skipped(self):
+        page = "# HELP something\n\n# TYPE x counter\nx_total 4\n"
+        assert parse_exposition(page) == {"x_total": [({}, 4.0)]}

@@ -1,0 +1,225 @@
+"""Tracer, span-tree assembly, and tail-based trace retention."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    MAX_SPANS_PER_TRACE,
+    SpanSink,
+    TraceStore,
+    Tracer,
+    build_trace,
+    current_sink,
+    format_trace,
+    stage,
+)
+
+
+def _trace(trace_id: str, duration_s: float, error: Exception | None = None):
+    return build_trace(
+        trace_id,
+        started=0.0,
+        duration_s=duration_s,
+        children=[],
+        error=error,
+    )
+
+
+class TestTraceStore:
+    def test_everything_kept_while_filling(self):
+        store = TraceStore(keep_slowest=3)
+        for index, duration in enumerate((0.001, 0.002, 0.003)):
+            assert store.offer(_trace(f"t{index}", duration))
+        assert len(store) == 3
+
+    def test_slower_request_evicts_the_fastest_retained(self):
+        store = TraceStore(keep_slowest=3)
+        for index, duration in enumerate((0.001, 0.002, 0.003)):
+            store.offer(_trace(f"t{index}", duration))
+        assert store.offer(_trace("slow", 0.004))
+        assert len(store) == 3
+        assert store.get("t0") is None  # the 1 ms trace fell out
+        assert store.get("slow") is not None
+
+    def test_fast_request_rejected_once_full(self):
+        store = TraceStore(keep_slowest=3)
+        for index, duration in enumerate((0.002, 0.003, 0.004)):
+            store.offer(_trace(f"t{index}", duration))
+        assert not store.offer(_trace("fast", 0.0005))
+        assert store.get("fast") is None
+        assert len(store) == 3
+
+    def test_would_keep_tracks_the_retention_floor(self):
+        store = TraceStore(keep_slowest=2)
+        assert store.would_keep(0.0001)  # filling: everything qualifies
+        store.offer(_trace("a", 0.002))
+        store.offer(_trace("b", 0.003))
+        assert not store.would_keep(0.001)  # below the heap floor
+        assert store.would_keep(0.005)
+
+    def test_errors_always_kept_regardless_of_duration(self):
+        store = TraceStore(keep_slowest=1, keep_errors=2)
+        store.offer(_trace("slow", 5.0))
+        boom = RuntimeError("boom")
+        assert store.offer(_trace("err", 0.0001, error=boom))
+        assert store.get("err").error["type"] == "RuntimeError"
+
+    def test_error_ring_is_fifo_bounded(self):
+        store = TraceStore(keep_slowest=1, keep_errors=2)
+        for index in range(4):
+            store.offer(_trace(f"e{index}", 0.001, error=ValueError(str(index))))
+        assert store.get("e0") is None
+        assert store.get("e1") is None
+        assert store.get("e2") is not None
+        assert store.get("e3") is not None
+
+    def test_traces_lists_newest_first(self):
+        store = TraceStore(keep_slowest=4)
+        for index in range(3):
+            trace = _trace(f"t{index}", 0.001)
+            trace.started_unix = 1000.0 + index  # explicit arrival order
+            store.offer(trace)
+        listed = store.traces()
+        assert [t.trace_id for t in listed] == ["t2", "t1", "t0"]
+        assert [t.trace_id for t in store.traces(limit=1)] == ["t2"]
+
+    def test_bad_limits_rejected(self):
+        with pytest.raises(ValueError):
+            TraceStore(keep_slowest=0)
+        with pytest.raises(ValueError):
+            TraceStore(keep_errors=0)
+
+
+class TestTracer:
+    def test_disabled_tracer_is_inert(self):
+        tracer = Tracer(enabled=False)
+        sink, token = tracer.begin()
+        assert sink is None and token is None
+        trace_id = tracer.finish(
+            sink, token, started=0.0, duration_s=1.0, children=[]
+        )
+        assert trace_id is None
+        assert len(tracer.store) == 0
+
+    def test_stage_records_into_the_active_sink(self):
+        tracer = Tracer()
+        _, token = tracer.begin()
+        # The sink is lazy: nothing is materialised until a stage runs.
+        assert current_sink() is None
+        with stage("alpha"):
+            with stage("beta"):
+                pass
+        sink = current_sink()
+        assert sink is not None
+        tracer.reset(token)
+        assert current_sink() is None
+        assert [(row[0], row[1]) for row in sink.spans] == [
+            ("alpha", 1), ("beta", 2),
+        ]
+
+    def test_stage_without_sink_is_a_noop(self):
+        assert current_sink() is None
+        with stage("outside"):
+            pass  # must not raise or record anywhere
+
+    def test_finish_retains_and_ids_are_unique(self):
+        tracer = Tracer(keep_slowest=4)
+        ids = set()
+        for _ in range(3):
+            sink, token = tracer.begin()
+            trace_id = tracer.finish(
+                sink, token, started=0.0, duration_s=0.01, children=[]
+            )
+            assert trace_id is not None
+            ids.add(trace_id)
+        assert len(ids) == 3
+        assert all(tracer.store.get(trace_id) for trace_id in ids)
+
+    def test_error_requests_always_get_a_trace(self):
+        tracer = Tracer(keep_slowest=1)
+        sink, token = tracer.begin()
+        tracer.finish(sink, token, started=0.0, duration_s=9.0, children=[])
+        sink, token = tracer.begin()
+        trace_id = tracer.finish(
+            sink,
+            token,
+            started=0.0,
+            duration_s=0.0001,  # far below the floor
+            children=[],
+            error=ValueError("bad input"),
+        )
+        assert trace_id is not None
+        assert tracer.store.get(trace_id).error["message"] == "bad input"
+
+    def test_span_cap_bounds_one_trace(self):
+        tracer = Tracer()
+        _, token = tracer.begin()
+        for _ in range(MAX_SPANS_PER_TRACE + 5):
+            with stage("loop"):
+                pass
+        sink = current_sink()
+        tracer.reset(token)
+        assert len(sink.spans) == MAX_SPANS_PER_TRACE
+        assert sink.dropped == 5
+
+
+class TestSpanTree:
+    def _sum_self(self, node: dict) -> float:
+        return node["self_ms"] + sum(
+            self._sum_self(child) for child in node["children"]
+        )
+
+    def test_self_times_telescope_to_the_total(self):
+        origin = time.perf_counter()
+        sink = SpanSink()
+        sink.spans = [
+            ["keyword_mapping", 1, origin + 0.010, 0.004],
+            ["candidate_probe", 2, origin + 0.011, 0.002],
+            ["join_inference", 1, origin + 0.015, 0.003],
+        ]
+        trace = build_trace(
+            "t1",
+            started=origin,
+            duration_s=0.025,
+            children=[("parse", 0.0, 0.005), ("translate", 0.008, 0.016)],
+            sink=sink,
+        )
+        assert self._sum_self(trace.root) == pytest.approx(25.0, abs=1e-3)
+
+    def test_sink_rows_nest_under_the_containing_top_level_stage(self):
+        origin = 100.0
+        sink = SpanSink()
+        sink.spans = [["keyword_mapping", 1, origin + 0.010, 0.004]]
+        trace = build_trace(
+            "t2",
+            started=origin,
+            duration_s=0.025,
+            children=[("parse", 0.0, 0.005), ("translate", 0.008, 0.016)],
+            sink=sink,
+        )
+        translate = trace.root["children"][1]
+        assert translate["name"] == "translate"
+        assert [c["name"] for c in translate["children"]] == ["keyword_mapping"]
+
+    def test_format_trace_reports_the_telescoped_sum(self):
+        trace = build_trace(
+            "pretty",
+            started=0.0,
+            duration_s=0.010,
+            children=[("parse", 0.0, 0.004)],
+        )
+        rendered = format_trace(trace)
+        assert "trace pretty" in rendered
+        assert "stage self-times sum to 10.000 ms of 10.000 ms total" in rendered
+
+    def test_to_dict_is_json_shaped(self):
+        trace = build_trace(
+            "wire", started=0.0, duration_s=0.01, children=[]
+        )
+        payload = trace.to_dict()
+        assert payload["trace_id"] == "wire"
+        assert payload["error"] is None
+        assert payload["spans"]["name"] == "request"

@@ -144,7 +144,7 @@ class TestEndpoints:
         )
         assert translate_cache["hits"] >= 1
 
-        status, metrics = _get(server, "/metrics")
+        status, metrics = _get(server, "/metrics?format=json")
         assert status == 200
         assert metrics["latencies"]["translate"]["count"] >= 2
 
