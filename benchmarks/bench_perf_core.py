@@ -40,6 +40,10 @@ SPEEDUP_GATE = 3.0
 #: Maximum tracing overhead on the warm cached translate path (percent).
 TRACING_OVERHEAD_GATE_PCT = 5.0
 
+#: Maximum request-journal overhead on the warm serving wire path
+#: (NLQ in, parse on every request, translate served from cache).
+JOURNAL_OVERHEAD_GATE_PCT = 5.0
+
 PASSES = 3
 
 
@@ -272,6 +276,138 @@ def bench_tracing_overhead(smoke: bool) -> dict:
     }
 
 
+def bench_journal_overhead(smoke: bool) -> dict:
+    """Warm serving cost with the request journal on vs off.
+
+    The journal's *request-path* bill is one bounded-deque append of a
+    pre-built row tuple plus a ``meta`` dict — serialization, rotation
+    and writes all happen later, on the background writer thread.  Two
+    measurements pin that claim down:
+
+    * **The gated number** (``journal_overhead_pct``) is taken on the
+      serving wire path: requests enter as NLQ strings, exactly as they
+      arrive over HTTP.  The translate cache is keyed on canonicalized
+      keywords, so parsing runs on *every* request and only the
+      translate stage is served from cache — that is what a warm served
+      request actually pays, and what the <= 5% regression budget
+      protects.  Paired ABBA rounds with the ratio of per-mode median
+      window times keep the estimate stable on noisy (virtualized,
+      single-core) hosts.
+    * **The informational number** (``journal_hit_delta_ns``) isolates
+      the absolute per-request bill on the keyword fast path
+      (pre-parsed programmatic callers, ~10 us/request), where a
+      few-hundred-ns append is proportionally largest.  Whole-window
+      timing cannot resolve it under scheduler jitter, so each request
+      is timed individually and the per-request *minimum* over many
+      paired reps is compared — timing noise on a preemptible host is
+      strictly additive, so the floor is the least-noise estimate of
+      the true cost (the same reasoning behind ``timeit``'s min).
+
+    Bench hygiene, in both phases: the writer is parked on a very long
+    flush interval and the queue is drained at round boundaries —
+    *outside* the timed windows, so the serialization burst sits
+    symmetrically between rounds — and the GC is paused inside the
+    paired windows and run between rounds (in production the writer
+    drains every 0.2 s and the queue stays near-empty; without this the
+    gen-0 collections triggered by the bench-only retention would be
+    billed to the request path).
+    """
+    import gc
+    import tempfile
+
+    from repro.api import Engine, EngineConfig
+    from repro.obs.journal import RequestJournal
+
+    engine = Engine.from_config(EngineConfig(dataset="mas"))
+    service = engine.service
+    items = [item for item in engine.dataset.usable_items() if item.keywords]
+    if smoke:
+        items = items[:25]
+    nlqs = [item.nlq for item in items]
+    keyword_requests = [list(item.keywords) for item in items]
+    times = {True: [], False: []}
+    floors = {
+        True: [9e9] * len(keyword_requests),
+        False: [9e9] * len(keyword_requests),
+    }
+    rounds = 5 if smoke else max(7 * PASSES, 21)
+    floor_reps = 20 if smoke else 120
+    with tempfile.TemporaryDirectory() as root:
+        journal = RequestJournal(
+            root,
+            segment_bytes=64_000_000,
+            segments=2,
+            flush_interval=3600.0,
+            max_queue=100_000,
+        )
+        for journaled in (True, False):  # fill the caches in both modes
+            service.journal = journal if journaled else None
+            for nlq in nlqs:
+                engine.translate(nlq)
+            for keywords in keyword_requests:
+                engine.translate(keywords)
+        journal.flush()
+        gc_was_enabled = gc.isenabled()
+        perf = time.perf_counter
+        try:
+            # Phase 1 — the gated wire-path ratio (NLQ in, parse every
+            # request, translate from cache).
+            for index in range(rounds):
+                order = (
+                    (True, False) if index % 4 in (0, 3) else (False, True)
+                )
+                gc.collect()
+                gc.disable()
+                for journaled in order:
+                    service.journal = journal if journaled else None
+                    started = perf()
+                    for nlq in nlqs:
+                        engine.translate(nlq)
+                    times[journaled].append(perf() - started)
+                if gc_was_enabled:
+                    gc.enable()
+                journal.flush()  # round boundary: outside both windows
+            # Phase 2 — the informational keyword fast-path floor delta.
+            gc.collect()
+            gc.disable()
+            for rep in range(floor_reps):
+                order = (True, False) if rep % 4 in (0, 3) else (False, True)
+                for journaled in order:
+                    service.journal = journal if journaled else None
+                    mins = floors[journaled]
+                    for i, keywords in enumerate(keyword_requests):
+                        started = perf()
+                        engine.translate(keywords)
+                        elapsed = perf() - started
+                        if elapsed < mins[i]:
+                            mins[i] = elapsed
+                journal.flush()
+                if rep % 40 == 39:
+                    gc.enable()
+                    gc.collect()
+                    gc.disable()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            service.journal = None
+        dropped = journal.dropped
+        journal.close()
+    engine.close()
+    assert dropped == 0, f"journal shed {dropped} records during the bench"
+    median = lambda s: sorted(s)[len(s) // 2]  # noqa: E731
+    median_ratio = median(times[True]) / median(times[False])
+    per_request = 1e6 / len(nlqs)
+    hit_delta_ns = (
+        (sum(floors[True]) - sum(floors[False])) * 1e9 / len(keyword_requests)
+    )
+    return {
+        "warm_journaled_us": median(times[True]) * per_request,
+        "warm_unjournaled_us": median(times[False]) * per_request,
+        "journal_overhead_pct": 100.0 * (median_ratio - 1.0),
+        "journal_hit_delta_ns": hit_delta_ns,
+    }
+
+
 def main(argv: list[str]) -> int:
     smoke = "--smoke" in argv
     # Parity assertions inside bench_mapkeywords always hard-fail; the
@@ -281,6 +417,7 @@ def main(argv: list[str]) -> int:
     result = bench_mapkeywords(smoke)
     result.update(bench_engine(smoke))
     result.update(bench_tracing_overhead(smoke))
+    result.update(bench_journal_overhead(smoke))
 
     rows = [[
         result["workload"].upper(),
@@ -313,6 +450,8 @@ def main(argv: list[str]) -> int:
                 "seed_ms", "indexed_ms", "index_build_ms", "speedup",
                 "cold_build_ms", "warm_translate_us", "warm_traced_us",
                 "warm_untraced_us", "tracing_overhead_pct",
+                "warm_journaled_us", "warm_unjournaled_us",
+                "journal_overhead_pct", "journal_hit_delta_ns",
             )
         },
         config={
@@ -342,14 +481,25 @@ def main(argv: list[str]) -> int:
             file=sys.stderr,
         )
         failed = failed or not advisory_speedup
+    if result["journal_overhead_pct"] > JOURNAL_OVERHEAD_GATE_PCT:
+        print(
+            f"{'NOTE' if advisory_speedup else 'FAIL'}: journal overhead "
+            f"{result['journal_overhead_pct']:.1f}% exceeds the "
+            f"{JOURNAL_OVERHEAD_GATE_PCT:.0f}% gate",
+            file=sys.stderr,
+        )
+        failed = failed or not advisory_speedup
     if failed:
         return 1
     print(
         f"OK: warm-path speedup {result['speedup']:.1f}x "
         f"(gate {SPEEDUP_GATE:.0f}x), tracing overhead "
         f"{result['tracing_overhead_pct']:+.1f}% "
-        f"(gate {TRACING_OVERHEAD_GATE_PCT:.0f}%), parity held on "
-        f"{result['requests']} requests"
+        f"(gate {TRACING_OVERHEAD_GATE_PCT:.0f}%), journal overhead "
+        f"{result['journal_overhead_pct']:+.1f}% "
+        f"(gate {JOURNAL_OVERHEAD_GATE_PCT:.0f}%, "
+        f"hit delta {result['journal_hit_delta_ns']:+.0f} ns), "
+        f"parity held on {result['requests']} requests"
     )
     return 0
 

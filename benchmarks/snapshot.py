@@ -6,16 +6,24 @@ visible in version control: each PR that moves a headline number leaves
 a machine-readable record of *what* the number was, *where* it was
 measured (machine fingerprint), and *how* (the benchmark's config).
 
-Schema (``schema_version`` 1)::
+Schema (``schema_version`` 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "name": "perf_core",
       "created_unix": 1754550000.0,
       "machine": {"platform": ..., "python": ..., "machine": ..., "cpus": ...},
       "config": {...},          # benchmark knobs (smoke, passes, workload)
-      "headline": {...}         # the numbers, flat name -> value
+      "headline": {...},        # the numbers, flat name -> value
+      "history": [...]          # prior runs' {created_unix, config,
+                                # headline}, oldest first, capped at
+                                # HISTORY_KEEP
     }
+
+Re-running a benchmark does not discard the previous run: its headline
+is folded into ``history`` (the perf *trajectory*), so a committed
+snapshot shows how the numbers moved across the runs that produced it.
+Version-1 snapshots (no ``history``) still read fine.
 
 Snapshot files land at the repository root (not ``benchmarks/results/``,
 which is gitignored) precisely so they get committed.
@@ -30,7 +38,14 @@ import time
 from pathlib import Path
 
 #: Bump when the snapshot layout changes incompatibly.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Prior runs retained in a snapshot's ``history`` trajectory.
+HISTORY_KEEP = 12
+
+#: Schema versions :func:`read_snapshot` still understands.  Version 1
+#: predates ``history``; reading one surfaces an empty trajectory.
+_READABLE_VERSIONS = (1, SCHEMA_VERSION)
 
 #: Snapshots are committed, so they live at the repo root.
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -64,7 +79,13 @@ def emit_snapshot(
     behind; ``config`` records the knobs that produced them (smoke mode,
     pass counts, workload size).  ``out_dir`` redirects the file into
     another directory (used by tests to write into a tmp dir).
+
+    An existing snapshot at the same path is not discarded: its headline
+    joins the new snapshot's ``history``, so repeated runs accumulate
+    the performance trajectory (capped at :data:`HISTORY_KEEP` prior
+    runs, oldest dropped first).
     """
+    path = snapshot_path(name, out_dir)
     payload = {
         "schema_version": SCHEMA_VERSION,
         "name": name,
@@ -72,14 +93,41 @@ def emit_snapshot(
         "machine": machine_fingerprint(),
         "config": dict(config or {}),
         "headline": dict(headline),
+        "history": _carried_history(path),
     }
-    path = snapshot_path(name, out_dir)
     path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
     return path
 
 
+def _carried_history(path: Path) -> list[dict]:
+    """The trajectory a new snapshot at ``path`` inherits: the previous
+    snapshot's history plus the previous run itself, oldest first."""
+    try:
+        prior = read_snapshot(path)
+    except (OSError, ValueError, json.JSONDecodeError):
+        # No prior snapshot (first run), or one too old/corrupt to carry
+        # numbers forward from; start the trajectory fresh.
+        return []
+    history = list(prior.get("history", []))
+    history.append(
+        {
+            "created_unix": prior["created_unix"],
+            # Carried so trajectory readers can tell comparable runs
+            # apart from e.g. smoke runs over a truncated workload.
+            "config": prior.get("config", {}),
+            "headline": prior["headline"],
+        }
+    )
+    return history[-HISTORY_KEEP:]
+
+
 def read_snapshot(path: str | Path) -> dict:
-    """Load and structurally validate one snapshot file."""
+    """Load and structurally validate one snapshot file.
+
+    Accepts the current schema and version 1 (pre-``history``); a v1
+    payload comes back with an empty ``history`` so callers read one
+    shape.
+    """
     payload = json.loads(Path(path).read_text())
     missing = {
         "schema_version", "name", "created_unix", "machine", "config",
@@ -89,15 +137,17 @@ def read_snapshot(path: str | Path) -> dict:
         raise ValueError(
             f"snapshot {path} is missing field(s): {', '.join(sorted(missing))}"
         )
-    if payload["schema_version"] != SCHEMA_VERSION:
+    if payload["schema_version"] not in _READABLE_VERSIONS:
         raise ValueError(
             f"snapshot {path} has schema_version "
             f"{payload['schema_version']}, expected {SCHEMA_VERSION}"
         )
+    payload.setdefault("history", [])
     return payload
 
 
 __all__ = [
+    "HISTORY_KEEP",
     "SCHEMA_VERSION",
     "emit_snapshot",
     "machine_fingerprint",

@@ -79,6 +79,14 @@ class EngineConfig:
     trace_keep: int = 64
     slow_query_ms: float | None = None
 
+    # Durable request journal (repro.obs.journal): JSONL segments under
+    # ``journal_dir`` (None disables journaling), rotated at
+    # ``journal_segment_bytes`` with the oldest deleted beyond
+    # ``journal_segments``.
+    journal_dir: str | None = None
+    journal_segment_bytes: int = 1_000_000
+    journal_segments: int = 8
+
     # NLQ front-end: the harness keeps the paper-faithful failure modes,
     # end-user frontends use the best-effort parse.
     simulate_parse_failures: bool = False
@@ -135,6 +143,15 @@ class EngineConfig:
             raise ConfigError(
                 f"slow_query_ms must be positive, got {self.slow_query_ms}"
             )
+        if self.journal_segment_bytes < 256:
+            raise ConfigError(
+                f"journal_segment_bytes must be >= 256, "
+                f"got {self.journal_segment_bytes}"
+            )
+        if self.journal_segments < 1:
+            raise ConfigError(
+                f"journal_segments must be >= 1, got {self.journal_segments}"
+            )
 
     # ------------------------------------------------------------ resolved
 
@@ -173,7 +190,7 @@ class EngineConfig:
         >>> EngineConfig.from_dict({"dataset": "mas", "capa": 5})
         Traceback (most recent call last):
             ...
-        repro.errors.ConfigError: unknown engine config field(s): capa; allowed: artifact_version, artifacts, backend, cache_size, dataset, kappa, lam, learn_batch_size, log_path, log_source, max_configurations, max_workers, obscurity, simulate_parse_failures, slow_query_ms, trace_keep, tracing, use_log_joins, use_log_keywords
+        repro.errors.ConfigError: unknown engine config field(s): capa; allowed: artifact_version, artifacts, backend, cache_size, dataset, journal_dir, journal_segment_bytes, journal_segments, kappa, lam, learn_batch_size, log_path, log_source, max_configurations, max_workers, obscurity, simulate_parse_failures, slow_query_ms, trace_keep, tracing, use_log_joins, use_log_keywords
         """
         if not isinstance(data, dict):
             raise ConfigError(

@@ -86,6 +86,7 @@ class Engine:
         parser: NalirParser | None = None,
         templar: Templar | None = None,
         artifact_version: str | None = None,
+        owned_journal=None,
     ) -> None:
         self.config = config
         self.dataset = dataset
@@ -95,6 +96,11 @@ class Engine:
         self.parser = parser
         self.templar = templar
         self.artifact_version = artifact_version
+        #: The RequestJournal this engine built from its own config (and
+        #: therefore closes); an injected shared journal (the gateway's)
+        #: stays owned by its creator and is reachable via
+        #: ``service.journal``.
+        self._owned_journal = owned_journal
         # Everything in the provenance is immutable after construction;
         # hash the config once instead of on every request.
         self._provenance = {
@@ -114,6 +120,8 @@ class Engine:
         *,
         dataset: BenchmarkDataset | None = None,
         query_log: QueryLog | None = None,
+        journal=None,
+        journal_tenant: str | None = None,
     ) -> "Engine":
         """Resolve a config into a ready engine.
 
@@ -121,7 +129,11 @@ class Engine:
         decoded), or a path to a JSON config file.  ``dataset`` overrides
         the named dataset with an in-memory one (custom schemas, tests);
         ``query_log`` overrides the log source with an explicit log
-        (incompatible with ``log_source="artifacts"``).
+        (incompatible with ``log_source="artifacts"``).  ``journal``
+        injects a shared :class:`~repro.obs.journal.RequestJournal` (the
+        gateway's, tenant-stamped with ``journal_tenant``) — mutually
+        exclusive with ``config.journal_dir``, which builds a journal
+        this engine owns and closes.
 
         >>> from repro.api import Engine
         >>> with Engine.from_config({"dataset": "mas",
@@ -221,6 +233,22 @@ class Engine:
             params=config.scoring_params(),
             simulate_parse_failures=config.simulate_parse_failures,
         )
+        owned_journal = None
+        if config.journal_dir:
+            if journal is not None:
+                # Two destinations for the same records would silently
+                # fork the serving history.
+                raise ConfigError(
+                    f"an injected journal cannot override journal_dir "
+                    f"{config.journal_dir!r}; drop one of the two"
+                )
+            from repro.obs.journal import RequestJournal
+
+            journal = owned_journal = RequestJournal(
+                config.journal_dir,
+                segment_bytes=config.journal_segment_bytes,
+                segments=config.journal_segments,
+            )
         service = TranslationService(
             nlidb,
             templar=templar,
@@ -231,6 +259,8 @@ class Engine:
                 enabled=config.tracing, keep_slowest=config.trace_keep
             ),
             slow_query_ms=config.slow_query_ms,
+            journal=journal,
+            journal_tenant=journal_tenant or config.dataset,
         )
         # Raw-NLQ front-end: a backend that brings its own parser (the
         # NaLIR family, plugins with parses_nlq=True) keeps it; everyone
@@ -251,6 +281,7 @@ class Engine:
             parser=parser,
             templar=templar,
             artifact_version=artifact_version,
+            owned_journal=owned_journal,
         )
 
     # ----------------------------------------------------------- translate
@@ -489,9 +520,16 @@ class Engine:
         stats["engine"] = self.provenance()
         return stats
 
+    @property
+    def journal(self):
+        """The request journal this engine's requests land in, or None."""
+        return self.service.journal
+
     def close(self) -> None:
         """Shut the serving layer down (absorbs pending observations)."""
         self.service.close()
+        if self._owned_journal is not None:
+            self._owned_journal.close()
 
     def __enter__(self) -> "Engine":
         return self

@@ -12,6 +12,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli ingest --dataset mas --log big.sql --artifacts ./artifacts
     python -m repro.cli serve --dataset mas --artifacts ./artifacts --port 8080
     python -m repro.cli gateway --config gateway.json --port 8080
+    python -m repro.cli logs query --journal ./journal --nlq "slowest tenant today"
 
 Every subcommand that translates or serves builds its stack through
 ``repro.api.Engine.from_config`` — the CLI only describes *what* to run
@@ -111,6 +112,7 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig:
         max_workers=getattr(args, "workers", 4),
         learn_batch_size=getattr(args, "learn_batch", None),
         slow_query_ms=getattr(args, "slow_query_ms", None),
+        journal_dir=getattr(args, "journal", None),
         # Best-effort parsing for end users (the evaluation harness uses
         # the failure-faithful parser instead).
         simulate_parse_failures=False,
@@ -153,7 +155,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     """Translate one NLQ and pretty-print its retained span tree."""
     from repro.obs.trace import format_trace
 
-    with Engine.from_config(_engine_config(args)) as engine:
+    if args.config is not None:
+        config = EngineConfig.from_file(args.config)
+    else:
+        config = _engine_config(args)
+    if not config.tracing:
+        # Without the tracer there is no span tree to print; fail loudly
+        # (exit 2) instead of translating and then shrugging "no trace".
+        raise ReproError(
+            "tracing is disabled in this configuration; set "
+            '"tracing": true in the engine config to use `repro trace`'
+        )
+    with Engine.from_config(config) as engine:
         try:
             response = engine.translate(args.nlq)
         except ReproError as exc:
@@ -417,6 +430,38 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_logs(args: argparse.Namespace) -> int:
+    """Self-analytics: translate an NLQ over the serving journal itself."""
+    from repro.errors import TranslationError
+    from repro.obs.selfquery import SelfQueryService
+
+    service = SelfQueryService(args.journal)
+    try:
+        try:
+            result = service.query(args.nlq, limit=args.limit)
+        except TranslationError as exc:
+            print(f"no translation found: {exc}", file=sys.stderr)
+            return EXIT_NO_RESULT
+    finally:
+        service.close()
+    if args.sql_only:
+        print(result["sql"])
+        return EXIT_OK
+    print(format_kv([
+        ("nlq", result["nlq"]),
+        ("normalized", result["normalized_nlq"]),
+        ("sql", result["sql"]),
+        ("rows", result["row_count"]),
+    ]))
+    if result["rows"]:
+        print(format_rows(list(result["columns"]),
+                          [list(row) for row in result["rows"]]))
+    if result["truncated"]:
+        print(f"(showing the first {args.limit} of "
+              f"{result['row_count']} rows)")
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -469,6 +514,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--backend", choices=backend_names(),
                        default="pipeline+",
                        help="registered NLIDB backend to translate with")
+    trace.add_argument("--config", default=None,
+                       help="engine config JSON file to build the stack from "
+                            "(overrides --dataset/--backend; exits 2 when it "
+                            "disables tracing)")
 
     export = sub.add_parser("export", help="dump a dataset as SQL DDL+INSERTs")
     export.add_argument("--dataset", choices=sorted(DATASET_BUILDERS),
@@ -542,6 +591,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--slow-query-ms", type=float, default=None,
                        help="WARN-log any translate slower than this many "
                             "milliseconds (default: off)")
+    serve.add_argument("--journal", default=None,
+                       help="durably journal every request as JSONL segments "
+                            "under this directory (enables "
+                            "/admin/logs/query self-analytics and "
+                            "`repro logs query`)")
     serve.add_argument("--json-logs", action="store_true",
                        help="emit one structured JSON log line per record "
                             "(request log, slow-query log)")
@@ -560,6 +614,30 @@ def build_parser() -> argparse.ArgumentParser:
     gateway.add_argument("--json-logs", action="store_true",
                          help="emit one structured JSON log line per record "
                               "(request log, slow-query log)")
+
+    logs = sub.add_parser(
+        "logs",
+        help="self-analytics over the durable request journal (the NLIDB "
+             "answers NLQs about its own serving history)",
+    )
+    logs_sub = logs.add_subparsers(dest="logs_command", required=True)
+    logs_query = logs_sub.add_parser(
+        "query",
+        help="translate an NLQ over the journal's telemetry schema and "
+             "execute the resulting SQL",
+    )
+    logs_query.add_argument("--journal", required=True,
+                            help="journal directory written by "
+                                 "`repro serve --journal` or a gateway "
+                                 "with journal_dir")
+    logs_query.add_argument("--nlq", required=True,
+                            help="e.g. 'slowest tenant today' or "
+                                 "'number of errors'")
+    logs_query.add_argument("--limit", type=int, default=20,
+                            help="print at most this many answer rows")
+    logs_query.add_argument("--sql-only", action="store_true",
+                            help="print only the generated SQL (for "
+                                 "scripting and CI assertions)")
     return parser
 
 
@@ -574,6 +652,7 @@ _COMMANDS = {
     "ingest": _cmd_ingest,
     "serve": _cmd_serve,
     "gateway": _cmd_gateway,
+    "logs": _cmd_logs,
 }
 
 

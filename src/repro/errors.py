@@ -103,3 +103,12 @@ class GatewayError(ReproError):
 
 class ConfigError(ReproError):
     """An :class:`~repro.api.config.EngineConfig` is invalid or unreadable."""
+
+
+class JournalError(ReproError):
+    """The request journal is misconfigured or its directory is unusable.
+
+    Journal *writes* never raise this: the hot path sheds to a counter
+    on overload and the writer thread counts encode failures — only
+    construction and explicit management operations can fail loudly.
+    """

@@ -39,6 +39,9 @@ _GATEWAY_FIELDS = (
     "reload_poll_seconds",
     "learn_interval_seconds",
     "learn_jitter",
+    "journal_dir",
+    "journal_segment_bytes",
+    "journal_segments",
 )
 
 
@@ -123,7 +126,7 @@ class GatewayConfig:
     >>> GatewayConfig.from_dict({"tenant": {}})
     Traceback (most recent call last):
         ...
-    repro.errors.ConfigError: unknown gateway config field(s): tenant; allowed: tenants, reload_poll_seconds, learn_interval_seconds, learn_jitter
+    repro.errors.ConfigError: unknown gateway config field(s): tenant; allowed: tenants, reload_poll_seconds, learn_interval_seconds, learn_jitter, journal_dir, journal_segment_bytes, journal_segments
     """
 
     tenants: dict[str, TenantConfig] = field(default_factory=dict)
@@ -137,6 +140,13 @@ class GatewayConfig:
     #: Relative jitter applied to the learning interval (0.1 = ±10%) so
     #: tenants don't all absorb — and invalidate caches — in lockstep.
     learn_jitter: float = 0.1
+    #: One shared durable request journal for the whole gateway
+    #: (``repro.obs.journal``), every record stamped with its tenant;
+    #: ``None`` disables journaling.  Tenant engine configs must not set
+    #: their own ``journal_dir`` when this is set.
+    journal_dir: str | None = None
+    journal_segment_bytes: int = 1_000_000
+    journal_segments: int = 8
 
     def __post_init__(self) -> None:
         if not isinstance(self.tenants, dict) or not self.tenants:
@@ -165,6 +175,27 @@ class GatewayConfig:
             raise ConfigError(
                 f"learn_jitter must be in [0, 1), got {self.learn_jitter}"
             )
+        if self.journal_segment_bytes < 256:
+            raise ConfigError(
+                f"journal_segment_bytes must be >= 256, "
+                f"got {self.journal_segment_bytes}"
+            )
+        if self.journal_segments < 1:
+            raise ConfigError(
+                f"journal_segments must be >= 1, got {self.journal_segments}"
+            )
+        if self.journal_dir is not None:
+            clashing = sorted(
+                tenant_id
+                for tenant_id, tenant in self.tenants.items()
+                if tenant.engine.journal_dir
+            )
+            if clashing:
+                raise ConfigError(
+                    f"tenant(s) {', '.join(clashing)} set engine.journal_dir "
+                    f"but the gateway already journals every tenant to "
+                    f"{self.journal_dir!r}; drop one of the two"
+                )
 
     # --------------------------------------------------------------- codec
 
@@ -184,6 +215,9 @@ class GatewayConfig:
             "reload_poll_seconds": self.reload_poll_seconds,
             "learn_interval_seconds": self.learn_interval_seconds,
             "learn_jitter": self.learn_jitter,
+            "journal_dir": self.journal_dir,
+            "journal_segment_bytes": self.journal_segment_bytes,
+            "journal_segments": self.journal_segments,
         }
 
     @classmethod
@@ -212,6 +246,11 @@ class GatewayConfig:
                 reload_poll_seconds=data.get("reload_poll_seconds"),
                 learn_interval_seconds=data.get("learn_interval_seconds"),
                 learn_jitter=data.get("learn_jitter", 0.1),
+                journal_dir=data.get("journal_dir"),
+                journal_segment_bytes=data.get(
+                    "journal_segment_bytes", 1_000_000
+                ),
+                journal_segments=data.get("journal_segments", 8),
             )
         except TypeError as exc:
             # Wrong-typed values (e.g. "reload_poll_seconds": "5") must

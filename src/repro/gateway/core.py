@@ -16,11 +16,12 @@ from pathlib import Path
 from typing import Callable, Mapping
 
 from repro.api.engine import Engine
-from repro.errors import GatewayError
+from repro.errors import GatewayError, ServingError
 from repro.gateway.config import GatewayConfig
 from repro.gateway.host import EngineHost, ReloadResult
 from repro.gateway.reloader import Reloader
 from repro.gateway.scheduler import LearningScheduler
+from repro.obs.journal import RequestJournal
 from repro.serving.telemetry import MetricsRegistry
 from repro.serving.wire import TranslationRequest, TranslationResponse
 
@@ -43,9 +44,24 @@ class Gateway:
                 f"engine_factories name tenant(s) not in the config: "
                 f"{', '.join(unknown)}"
             )
+        #: One shared durable journal for the whole fleet: every tenant's
+        #: engine writes to it with its tenant id stamped on each record,
+        #: so the self-analytics layer can ask cross-tenant questions.
+        self.journal = (
+            RequestJournal(
+                config.journal_dir,
+                segment_bytes=config.journal_segment_bytes,
+                segments=config.journal_segments,
+            )
+            if config.journal_dir is not None
+            else None
+        )
         self.hosts: dict[str, EngineHost] = {
             tenant_id: EngineHost(
-                tenant_id, tenant, engine_factory=factories.get(tenant_id)
+                tenant_id,
+                tenant,
+                engine_factory=factories.get(tenant_id),
+                journal=self.journal,
             )
             for tenant_id, tenant in config.tenants.items()
         }
@@ -69,6 +85,7 @@ class Gateway:
         self._state_lock = threading.Lock()
         self._started = False
         self._closed = False
+        self._selfquery = None
 
     @classmethod
     def from_config(
@@ -139,6 +156,11 @@ class Gateway:
             self.scheduler.stop()
         for host in self.hosts.values():
             host.close()
+        # Last, after every writer is gone: flush and close the journal.
+        if self._selfquery is not None:
+            self._selfquery.close()
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "Gateway":
         return self.start()
@@ -244,6 +266,33 @@ class Gateway:
                 stamped.append((trace.started_unix, payload))
         stamped.sort(key=lambda pair: pair[0], reverse=True)
         return [payload for _, payload in stamped[:limit]]
+
+    def query_logs(self, nlq: str, *, limit: int | None = 20) -> dict:
+        """Self-analytics: translate an NLQ over the gateway's own journal.
+
+        The journal records every tenant's traffic; the self-query
+        engine (built lazily, rebuilt when the journal grows) answers
+        questions like *"slowest tenant today"* by translating them with
+        the NLIDB itself and executing the SQL over the telemetry
+        database.  Raises :class:`~repro.errors.ServingError` (a client
+        mistake, HTTP 400) when the gateway has no journal configured.
+        """
+        if self.journal is None:
+            raise ServingError(
+                "this gateway has no journal (set journal_dir in the "
+                "gateway config to enable self-analytics)"
+            )
+        with self._state_lock:
+            if self._closed:
+                raise GatewayError("gateway is closed")
+            if self._selfquery is None:
+                from repro.obs.selfquery import SelfQueryService
+
+                self._selfquery = SelfQueryService(
+                    self.journal.directory, journal=self.journal
+                )
+            service = self._selfquery
+        return service.query(nlq, limit=limit)
 
     # --------------------------------------------------------------- stats
 

@@ -97,13 +97,22 @@ class EngineHost:
         config: TenantConfig,
         *,
         engine_factory: Callable[[], Engine] | None = None,
+        journal=None,
     ) -> None:
         self.tenant = tenant
         self.config = config
+        #: Gateway-shared request journal (owned by the gateway, never
+        #: closed here); every engine built for this host writes to it
+        #: with the tenant id stamped on each record.
+        self._journal = journal
         # Read self.config at call time, not construction time, so an
         # updated tenant config takes effect on the next (re)build.
         self._factory = engine_factory or (
-            lambda: Engine.from_config(self.config.engine)
+            lambda: Engine.from_config(
+                self.config.engine,
+                journal=self._journal,
+                journal_tenant=self.tenant,
+            )
         )
         #: Guards the lease reference and the in-flight counter.
         self._swap_lock = threading.Lock()
@@ -282,6 +291,14 @@ class EngineHost:
                 carried_observations=carried,
                 build_seconds=build_seconds,
             )
+            if self._journal is not None:
+                self._journal.log_reload(
+                    self.tenant,
+                    old_version=result.old_version,
+                    new_version=result.new_version,
+                    carried_observations=carried,
+                    build_ms=build_seconds * 1000.0,
+                )
             logger.info(
                 "tenant %s: hot-swapped %s -> %s (%d observations carried, "
                 "build %.3fs)",

@@ -10,6 +10,10 @@ Endpoints::
                                   the legacy gateway-only JSON snapshot)
     GET  /admin/traces            retained request traces across tenants
                                   (?tenant=<id> narrows to one tenant)
+    GET  /admin/logs/query        self-analytics: translate ?nlq=... over the
+                                  gateway's shared request journal and execute
+                                  it (requires journal_dir in the gateway
+                                  config)
     GET  /t/<tenant>/healthz      one tenant: live flag + served artifact version
     GET  /t/<tenant>/stats        one tenant's isolated stats
     POST /t/<tenant>/translate    unified TranslationRequest -> TranslationResponse
@@ -125,6 +129,11 @@ class GatewayRequestHandler(JSONRequestHandlerMixin):
                 self._send_json(
                     200, {"count": len(traces), "traces": traces}
                 )
+            elif path == "/admin/logs/query":
+                self._dispatch_json(
+                    lambda: self._logs_query_route(query),
+                    repro_error_prefix="self-query failed",
+                )
             else:
                 match = _TENANT_ROUTE.match(path)
                 if match is None or match.group(2) == "translate":
@@ -144,6 +153,10 @@ class GatewayRequestHandler(JSONRequestHandlerMixin):
                     )
         except GatewayError as exc:
             self._send_error_json(404, str(exc))
+
+    def _logs_query_route(self, query: dict) -> tuple[int, dict]:
+        nlq, limit = self._logs_query_params(query)
+        return 200, self.server.gateway.query_logs(nlq, limit=limit)
 
     def do_POST(self) -> None:  # noqa: N802
         path = self.path.split("?", 1)[0]

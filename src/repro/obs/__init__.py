@@ -9,12 +9,18 @@ Zero-dependency building blocks threaded through the serving stack:
 * :mod:`repro.obs.prometheus` — Prometheus text exposition
   (:func:`render_exposition`, :func:`parse_exposition`),
 * :mod:`repro.obs.logs` — structured JSON logging
-  (:func:`configure_json_logging`).
+  (:func:`configure_json_logging`),
+* :mod:`repro.obs.journal` — durable on-disk request journal
+  (:class:`RequestJournal`, :func:`replay_journal`),
+* :mod:`repro.obs.selfquery` — self-analytics: NLQs answered over the
+  journal by the system itself (imported lazily; it pulls in the full
+  engine stack).
 
 See ``docs/observability.md`` for the operator-facing tour.
 """
 
 from repro.obs.histogram import Histogram, log_spaced_bounds
+from repro.obs.journal import RequestJournal, replay_journal, segment_files
 from repro.obs.prometheus import (
     EXPOSITION_CONTENT_TYPE,
     parse_exposition,
@@ -35,6 +41,7 @@ __all__ = [
     "EXPOSITION_CONTENT_TYPE",
     "Histogram",
     "JsonLogFormatter",
+    "RequestJournal",
     "SpanSink",
     "Trace",
     "TraceStore",
@@ -45,5 +52,7 @@ __all__ = [
     "log_spaced_bounds",
     "parse_exposition",
     "render_exposition",
+    "replay_journal",
+    "segment_files",
     "stage",
 ]

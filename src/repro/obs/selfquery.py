@@ -1,0 +1,443 @@
+"""Self-analytics: the NLIDB answers NLQs over its own serving logs.
+
+The paper's thesis is that SQL query logs carry the semantics NLIDBs
+lack; this module closes the loop on ourselves.  The request journal
+(:mod:`repro.obs.journal`) is replayed into a generated **telemetry
+schema** — ``tenants``, ``requests``, ``errors``, ``reloads`` — inside a
+regular :class:`repro.db.database.Database`, and a dedicated
+self-analytics :class:`~repro.api.engine.Engine` is built over it,
+seeded with a *curated telemetry query log* so the Query Fragment Graph
+has mass before the first self-query arrives.  ``repro logs query
+--nlq "slowest tenant yesterday"`` and ``GET /admin/logs/query?nlq=...``
+then translate the question into SQL **using the system itself** and
+execute it over the journal-backed database.
+
+Nothing here is a second translation stack: the telemetry engine is an
+ordinary engine over an ordinary dataset.  The only telemetry-specific
+pieces are the schema, the curated lexicon/log that give it vocabulary
+and QFG mass, and a thin NLQ normalizer (:class:`TelemetryParser`) that
+rewrites operational vocabulary ("slowest", "yesterday") into the forms
+the rule-based parser already understands.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+import threading
+from pathlib import Path
+
+from repro.core.log import QueryLog
+from repro.datasets.base import BenchmarkDataset
+from repro.db.catalog import Catalog, Column, ForeignKey, TableSchema
+from repro.db.database import Database
+from repro.db.types import ColumnType
+from repro.embedding.lexicon import Lexicon
+from repro.errors import JournalError, TranslationError
+from repro.nlidb.nalir_parser import NalirParser
+from repro.obs.journal import replay_journal, segment_files
+
+_TEXT = ColumnType.TEXT
+_INT = ColumnType.INTEGER
+_FLOAT = ColumnType.FLOAT
+
+#: Extra NL nouns for the parser beyond the auto-derived relation and
+#: column names ("tenants", "latency ms", "cache hit", ...).
+TELEMETRY_SCHEMA_TERMS = [
+    "latency",
+    "version",
+    "trace",
+]
+
+#: Words implying DESC after "ordered by", beyond the parser's defaults.
+TELEMETRY_DESCENDING_TERMS = ("slowest", "worst", "largest")
+
+
+def telemetry_catalog() -> Catalog:
+    """The generated telemetry schema the journal is replayed into.
+
+    4 relations, 3 FK-PK constraints; one display column per relation so
+    bare entity keywords project something human-readable (the tenant's
+    name, the request's NLQ, the error's type, the reload's new
+    version).
+    """
+    catalog = Catalog()
+    catalog.add_table(TableSchema("tenants", [
+        Column("tid", _INT),
+        Column("name", _TEXT, display=True, searchable=True),
+    ], primary_key="tid"))
+    catalog.add_table(TableSchema("requests", [
+        Column("rid", _INT),
+        Column("tenant_id", _INT),
+        Column("ts", _FLOAT),
+        Column("day", _TEXT, searchable=True),
+        Column("nlq", _TEXT, display=True, searchable=True),
+        Column("sql", _TEXT),
+        Column("latency_ms", _FLOAT),
+        Column("cache_hit", _INT),
+        Column("status", _TEXT, searchable=True),
+        Column("artifact_version", _TEXT, searchable=True),
+        Column("trace_id", _TEXT, searchable=True),
+    ], primary_key="rid"))
+    catalog.add_table(TableSchema("errors", [
+        Column("eid", _INT),
+        Column("tenant_id", _INT),
+        Column("ts", _FLOAT),
+        Column("day", _TEXT, searchable=True),
+        # No latency column here: "latency" questions should map to
+        # requests, not the error table (the journal still records it).
+        Column("error_type", _TEXT, display=True, searchable=True),
+        Column("nlq", _TEXT, searchable=True),
+    ], primary_key="eid"))
+    catalog.add_table(TableSchema("reloads", [
+        Column("lid", _INT),
+        Column("tenant_id", _INT),
+        Column("ts", _FLOAT),
+        Column("day", _TEXT, searchable=True),
+        Column("old_version", _TEXT, searchable=True),
+        Column("new_version", _TEXT, display=True, searchable=True),
+        Column("carried_observations", _INT),
+        Column("build_ms", _FLOAT),
+    ], primary_key="lid"))
+    for source in ("requests", "errors", "reloads"):
+        catalog.add_foreign_key(
+            ForeignKey(source, "tenant_id", "tenants", "tid")
+        )
+    return catalog
+
+
+def telemetry_lexicon() -> Lexicon:
+    """Calibrated operational vocabulary -> telemetry schema tokens."""
+    lexicon = Lexicon()
+    for a, b, score in [
+        ("latency", "ms", 0.80),
+        ("slow", "latency", 0.85),
+        ("slowest", "latency", 0.90),
+        ("fast", "latency", 0.80),
+        ("duration", "latency", 0.90),
+        ("time", "latency", 0.70),
+        ("tenant", "name", 0.75),
+        ("failure", "error", 0.90),
+        ("crash", "error", 0.80),
+        ("question", "nlq", 0.90),
+        ("query", "nlq", 0.80),
+        ("translation", "sql", 0.80),
+        ("deploy", "reload", 0.80),
+        ("swap", "reload", 0.85),
+        ("version", "artifact", 0.70),
+        ("date", "day", 0.90),
+    ]:
+        lexicon.add(a, b, score)
+    return lexicon
+
+
+#: The curated telemetry query log: plausible operator questions as SQL
+#: over the telemetry schema.  It seeds the self-analytics QFG with mass
+#: (Score_QFG) before the first self-query, exactly as the paper seeds
+#: Templar with an existing workload's log.  Every statement must parse
+#: and bind against :func:`telemetry_catalog` — tests assert zero
+#: skipped entries.
+TELEMETRY_QUERY_LOG = [
+    # request inspection
+    "SELECT t1.nlq FROM requests t1",
+    "SELECT t1.nlq FROM requests t1 WHERE t1.latency_ms > 100",
+    "SELECT t1.nlq FROM requests t1 WHERE t1.latency_ms > 50",
+    "SELECT t1.nlq FROM requests t1 ORDER BY t1.latency_ms DESC",
+    "SELECT t1.nlq FROM requests t1 ORDER BY t1.latency_ms ASC",
+    "SELECT t1.nlq FROM requests t1 ORDER BY t1.ts DESC",
+    "SELECT t1.nlq FROM requests t1 WHERE t1.cache_hit = 0",
+    "SELECT t1.nlq FROM requests t1 WHERE t1.cache_hit = 1",
+    "SELECT t1.sql FROM requests t1",
+    "SELECT t1.sql FROM requests t1 ORDER BY t1.latency_ms DESC",
+    "SELECT t1.nlq FROM requests t1 WHERE t1.day = '2026-01-01'",
+    "SELECT t1.latency_ms FROM requests t1 ORDER BY t1.latency_ms DESC",
+    "SELECT COUNT(t1.rid) FROM requests t1",
+    "SELECT AVG(t1.latency_ms) FROM requests t1",
+    "SELECT MAX(t1.latency_ms) FROM requests t1",
+    # tenant-centric
+    "SELECT t1.name FROM tenants t1",
+    "SELECT t1.name FROM tenants t1, requests t2 WHERE t2.tenant_id = t1.tid",
+    "SELECT t1.name FROM tenants t1, requests t2 "
+    "WHERE t2.tenant_id = t1.tid ORDER BY t2.latency_ms DESC",
+    "SELECT t1.name FROM tenants t1, requests t2 "
+    "WHERE t2.tenant_id = t1.tid AND t2.day = '2026-01-01'",
+    "SELECT t1.name FROM tenants t1, requests t2 "
+    "WHERE t2.tenant_id = t1.tid AND t2.day = '2026-01-01' "
+    "ORDER BY t2.latency_ms DESC",
+    "SELECT t2.nlq FROM tenants t1, requests t2 "
+    "WHERE t2.tenant_id = t1.tid AND t1.name = 'mas'",
+    "SELECT t2.nlq FROM tenants t1, requests t2 "
+    "WHERE t2.tenant_id = t1.tid AND t1.name = 'yelp'",
+    "SELECT COUNT(t2.rid) FROM tenants t1, requests t2 "
+    "WHERE t2.tenant_id = t1.tid AND t1.name = 'mas'",
+    "SELECT AVG(t2.latency_ms) FROM tenants t1, requests t2 "
+    "WHERE t2.tenant_id = t1.tid AND t1.name = 'mas'",
+    # errors
+    "SELECT t1.error_type FROM errors t1",
+    "SELECT COUNT(t1.eid) FROM errors t1",
+    "SELECT t1.nlq FROM errors t1",
+    "SELECT t1.error_type FROM errors t1 ORDER BY t1.ts DESC",
+    "SELECT t1.name FROM tenants t1, errors t2 WHERE t2.tenant_id = t1.tid",
+    "SELECT t2.error_type FROM tenants t1, errors t2 "
+    "WHERE t2.tenant_id = t1.tid AND t1.name = 'mas'",
+    # reloads
+    "SELECT t1.new_version FROM reloads t1",
+    "SELECT t1.new_version FROM reloads t1 ORDER BY t1.ts DESC",
+    "SELECT COUNT(t1.lid) FROM reloads t1",
+    "SELECT t1.name FROM tenants t1, reloads t2 WHERE t2.tenant_id = t1.tid",
+    "SELECT t2.build_ms FROM tenants t1, reloads t2 "
+    "WHERE t2.tenant_id = t1.tid ORDER BY t2.build_ms DESC",
+]
+
+
+def _text(value) -> str:
+    return "" if value is None else str(value)
+
+
+def _day_of(ts: float) -> str:
+    if not ts:
+        return ""
+    return datetime.datetime.fromtimestamp(ts).date().isoformat()
+
+
+def load_telemetry_database(records) -> Database:
+    """Replayed journal records -> populated telemetry database."""
+    database = Database("telemetry", telemetry_catalog())
+    tenant_ids: dict[str, int] = {}
+    counts = {"request": 0, "error": 0, "reload": 0}
+
+    def tenant_id(name) -> int:
+        name = _text(name) or "default"
+        tid = tenant_ids.get(name)
+        if tid is None:
+            tid = len(tenant_ids) + 1
+            tenant_ids[name] = tid
+            database.insert("tenants", [tid, name])
+        return tid
+
+    for record in records:
+        kind = record.get("kind")
+        if kind not in counts:
+            continue
+        ts = float(record.get("ts") or 0.0)
+        tid = tenant_id(record.get("tenant"))
+        counts[kind] += 1
+        if kind == "request":
+            nlq = _text(record.get("nlq"))
+            if not nlq:
+                nlq = ", ".join(record.get("keywords") or ())
+            database.insert("requests", [
+                counts[kind], tid, ts, _day_of(ts), nlq,
+                _text(record.get("sql")),
+                float(record.get("latency_ms") or 0.0),
+                1 if record.get("cache_hit") else 0,
+                "ok",
+                _text(record.get("artifact_version")),
+                _text(record.get("trace_id")),
+            ])
+        elif kind == "error":
+            nlq = _text(record.get("nlq"))
+            if not nlq:
+                nlq = ", ".join(record.get("keywords") or ())
+            database.insert("errors", [
+                counts[kind], tid, ts, _day_of(ts),
+                _text(record.get("error_type")), nlq,
+            ])
+        else:
+            database.insert("reloads", [
+                counts[kind], tid, ts, _day_of(ts),
+                _text(record.get("old_version")),
+                _text(record.get("new_version")),
+                int(record.get("carried_observations") or 0),
+                float(record.get("build_ms") or 0.0),
+            ])
+    return database
+
+
+def build_telemetry_dataset(records) -> BenchmarkDataset:
+    """A regular :class:`BenchmarkDataset` over the journal's contents."""
+    return BenchmarkDataset(
+        name="telemetry",
+        database=load_telemetry_database(records),
+        items=[],
+        lexicon=telemetry_lexicon(),
+        schema_terms=list(TELEMETRY_SCHEMA_TERMS),
+    )
+
+
+def normalize_nlq(nlq: str, *, today: datetime.date | None = None) -> str:
+    """Rewrite operational vocabulary into parser-understood forms.
+
+    * ``yesterday`` / ``today`` become quoted ISO dates matching the
+      telemetry ``day`` columns,
+    * ``slowest X`` / ``fastest X`` become ``X ordered by [highest]
+      latency`` (the parser reads descending markers *before* the order
+      term),
+    * ``failed``/``failing`` becomes ``errors`` (the relation name).
+
+    >>> normalize_nlq("slowest tenant yesterday",
+    ...               today=__import__("datetime").date(2026, 8, 7))
+    "tenant '2026-08-06' ordered by highest latency"
+    """
+    if today is None:
+        today = datetime.date.today()
+    text = nlq
+    for word, day in (
+        ("yesterday", today - datetime.timedelta(days=1)),
+        ("today", today),
+    ):
+        text = re.sub(
+            rf"\b{word}\b", f"'{day.isoformat()}'", text, flags=re.IGNORECASE
+        )
+    text = re.sub(r"\bfail(ed|ing|ures?)?\b", "errors", text,
+                  flags=re.IGNORECASE)
+    for word, clause in (
+        ("slowest", " ordered by highest latency"),
+        ("fastest", " ordered by latency"),
+    ):
+        if re.search(rf"\b{word}\b", text, flags=re.IGNORECASE):
+            text = re.sub(rf"\b{word}\b\s*", "", text, flags=re.IGNORECASE)
+            text = text.strip() + clause
+    return " ".join(text.split())
+
+
+class TelemetryParser(NalirParser):
+    """The telemetry engine's NLQ front door: normalize, then parse."""
+
+    def __init__(self, database: Database) -> None:
+        super().__init__(
+            database,
+            TELEMETRY_SCHEMA_TERMS,
+            descending_terms=TELEMETRY_DESCENDING_TERMS,
+            simulate_failures=False,
+        )
+
+    def parse(self, nlq: str):
+        return super().parse(normalize_nlq(nlq))
+
+
+def build_selfquery_engine(directory):
+    """Replay a journal directory into a ready self-analytics engine.
+
+    The returned engine is a stock :class:`~repro.api.engine.Engine`
+    (Pipeline+ backend) over the telemetry dataset, with the curated
+    telemetry log injected as its QFG source and the
+    :class:`TelemetryParser` as its NLQ front door.  The caller owns it
+    and must ``close()`` it.
+    """
+    from repro.api import Engine, EngineConfig
+
+    records = list(replay_journal(directory))
+    if not records:
+        raise JournalError(
+            f"journal at {directory} has no records to query "
+            f"(serve some requests with a journal configured first)"
+        )
+    dataset = build_telemetry_dataset(records)
+    engine = Engine.from_config(
+        EngineConfig(
+            dataset="telemetry",
+            log_source="none",
+            tracing=False,
+            simulate_parse_failures=False,
+        ),
+        dataset=dataset,
+        query_log=QueryLog(list(TELEMETRY_QUERY_LOG)),
+    )
+    engine.parser = TelemetryParser(dataset.database)
+    return engine
+
+
+class SelfQueryService:
+    """Cached self-analytics over one journal directory.
+
+    Rebuilding the telemetry engine costs milliseconds, not enough to
+    matter per CLI call but too much per HTTP request — so the service
+    fingerprints the journal's segment files (name + size) and rebuilds
+    the engine only when the journal actually grew or rotated.  Pass the
+    live :class:`~repro.obs.journal.RequestJournal` as ``journal`` so
+    pending records are flushed before each staleness check.
+    """
+
+    def __init__(self, directory, *, journal=None) -> None:
+        self.directory = Path(directory)
+        self._journal = journal
+        self._engine = None
+        self._fingerprint = None
+        self._lock = threading.Lock()
+
+    def _current_fingerprint(self) -> tuple:
+        return tuple(
+            (path.name, path.stat().st_size)
+            for path in segment_files(self.directory)
+        )
+
+    def engine(self):
+        """The current telemetry engine, rebuilt if the journal moved."""
+        with self._lock:
+            if self._journal is not None:
+                self._journal.flush()
+            fingerprint = self._current_fingerprint()
+            if self._engine is None or fingerprint != self._fingerprint:
+                if self._engine is not None:
+                    self._engine.close()
+                    self._engine = None
+                self._engine = build_selfquery_engine(self.directory)
+                self._fingerprint = fingerprint
+            return self._engine
+
+    def query(self, nlq: str, *, limit: int | None = 20) -> dict:
+        """Translate ``nlq`` with the system itself and execute it.
+
+        Returns the full self-query envelope: the normalized question,
+        the SQL the engine produced, and the rows it yields over the
+        journal-backed database.  Raises
+        :class:`~repro.errors.TranslationError` (no translation),
+        :class:`~repro.errors.JournalError` (empty journal) or an
+        execution error — all :class:`~repro.errors.ReproError`
+        subclasses the frontends already map.
+        """
+        engine = self.engine()
+        response = engine.translate(nlq, observe=False)
+        sql = response.sql
+        if sql is None:
+            raise TranslationError(
+                f"the telemetry engine produced no translation for {nlq!r} "
+                f"(normalized: {normalize_nlq(nlq)!r})"
+            )
+        result = engine.dataset.database.execute(sql)
+        rows = [list(row) for row in result.rows]
+        truncated = limit is not None and len(rows) > limit
+        if truncated:
+            rows = rows[:limit]
+        return {
+            "nlq": nlq,
+            "normalized_nlq": normalize_nlq(nlq),
+            "sql": sql,
+            "columns": list(result.columns),
+            "rows": rows,
+            "row_count": len(result.rows),
+            "truncated": truncated,
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._engine is not None:
+                self._engine.close()
+                self._engine = None
+                self._fingerprint = None
+
+
+__all__ = [
+    "SelfQueryService",
+    "TELEMETRY_DESCENDING_TERMS",
+    "TELEMETRY_QUERY_LOG",
+    "TELEMETRY_SCHEMA_TERMS",
+    "TelemetryParser",
+    "build_selfquery_engine",
+    "build_telemetry_dataset",
+    "load_telemetry_database",
+    "normalize_nlq",
+    "telemetry_catalog",
+    "telemetry_lexicon",
+]

@@ -150,6 +150,31 @@ class JSONRequestHandlerMixin(BaseHTTPRequestHandler):
         except OSError:
             pass  # client disconnected before reading the response
 
+    def _logs_query_params(self, query: dict) -> tuple[str, int]:
+        """Decode ``/admin/logs/query``'s ``?nlq=`` and ``?limit=`` params.
+
+        Shared by the single-engine and gateway servers so the
+        self-analytics route validates identically on both.
+        """
+        nlq = query.get("nlq", [None])[0]
+        if not nlq or not nlq.strip():
+            raise ServingError(
+                "query parameter 'nlq' is required, e.g. "
+                "/admin/logs/query?nlq=slowest+tenant+today"
+            )
+        raw_limit = query.get("limit", [None])[0]
+        if raw_limit is None:
+            return nlq, 20
+        try:
+            limit = int(raw_limit)
+        except ValueError:
+            raise ServingError(
+                f"query parameter 'limit' must be an integer, got {raw_limit!r}"
+            ) from None
+        if limit < 1:
+            raise ServingError(f"'limit' must be >= 1, got {limit}")
+        return nlq, limit
+
     def _read_json_body(self) -> dict:
         self._check_content_type()
         try:

@@ -7,6 +7,9 @@ Endpoints::
     GET  /metrics        Prometheus text exposition (?format=json for the
                          legacy JSON snapshot)
     GET  /admin/traces   retained request traces (tail-sampled; ?id=<trace>)
+    GET  /admin/logs/query  self-analytics: translate ?nlq=... over the
+                         server's own request journal and execute it
+                         (requires journal_dir in the engine config)
     POST /translate      {"keywords": [...]} or {"nlq": "..."} -> ranked SQL
 
 ``POST /translate`` bodies are decoded into the unified
@@ -29,6 +32,7 @@ dependency.
 from __future__ import annotations
 
 import logging
+import threading
 from http.server import ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
@@ -81,6 +85,8 @@ class ServingHTTPServer(ThreadingHTTPServer):
         self.service = service
         self.parser = parser
         self.quiet = quiet
+        self._selfquery = None
+        self._selfquery_lock = threading.Lock()
         super().__init__(address, ServingRequestHandler)
 
     def translate(self, request: TranslationRequest) -> TranslationResponse:
@@ -88,6 +94,29 @@ class ServingHTTPServer(ThreadingHTTPServer):
         if self.engine is not None:
             return self.engine.translate(request, observe=False)
         return translate_request(self.service, request, parser=self.parser)
+
+    def query_logs(self, nlq: str, *, limit: int | None = 20) -> dict:
+        """Self-analytics: answer ``nlq`` over this server's own journal."""
+        journal = self.service.journal
+        if journal is None:
+            raise ServingError(
+                "this server has no request journal (set journal_dir in "
+                "the engine config to enable self-analytics)"
+            )
+        with self._selfquery_lock:
+            if self._selfquery is None:
+                from repro.obs.selfquery import SelfQueryService
+
+                self._selfquery = SelfQueryService(
+                    journal.directory, journal=journal
+                )
+            selfquery = self._selfquery
+        return selfquery.query(nlq, limit=limit)
+
+    def server_close(self) -> None:
+        if self._selfquery is not None:
+            self._selfquery.close()
+        super().server_close()
 
 
 class ServingRequestHandler(JSONRequestHandlerMixin):
@@ -127,6 +156,11 @@ class ServingRequestHandler(JSONRequestHandlerMixin):
                 )
         elif path == "/admin/traces":
             self._send_json(200, self._traces_payload(query))
+        elif path == "/admin/logs/query":
+            self._dispatch_json(
+                lambda: self._logs_query_route(query),
+                repro_error_prefix="self-query failed",
+            )
         else:
             self._send_error_json(404, f"unknown path {path!r}")
 
@@ -143,6 +177,10 @@ class ServingRequestHandler(JSONRequestHandlerMixin):
             "count": len(traces),
             "traces": [trace.to_dict() for trace in traces],
         }
+
+    def _logs_query_route(self, query: dict) -> tuple[int, dict]:
+        nlq, limit = self._logs_query_params(query)
+        return 200, self.server.query_logs(nlq, limit=limit)
 
     def do_POST(self) -> None:  # noqa: N802
         path = self.path.split("?", 1)[0]

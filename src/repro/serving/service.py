@@ -40,6 +40,12 @@ from repro.serving.wire import TranslationRequest, TranslationResponse
 #: ``slow_query_ms`` threshold (see docs/observability.md).
 _SLOW_QUERY_LOGGER = logging.getLogger("repro.slowquery")
 
+#: Wall-clock epoch of the perf_counter origin: journal records stamp
+#: ``_EPOCH + perf_counter`` instead of calling ``time.time()`` on the
+#: gated warm path.  NTP slew over a long process lifetime can drift
+#: these stamps by milliseconds — irrelevant at telemetry granularity.
+_EPOCH = time.time() - time.perf_counter()
+
 
 class CachingKeywordMapper:
     """Drop-in ``map_keywords`` memoizer around a keyword mapper.
@@ -195,11 +201,16 @@ def translate_request(
     tracer = service.tracer
     if tracer is not None and not tracer.enabled:
         tracer = None
+    journal = service.journal
+    meta = None if journal is None else {}
     started = time.perf_counter()
+    keywords = request.keywords
     try:
         keywords, parse_ms = resolve_request_keywords(request, parser)
         translate_started = time.perf_counter()
-        results = service.translate(keywords, trace=tracer is not None)
+        results = service.translate(
+            keywords, trace=tracer is not None, meta=meta
+        )
         now = time.perf_counter()
     except Exception as exc:
         service.metrics.increment(
@@ -214,12 +225,21 @@ def translate_request(
                 summary=request_summary(request),
                 error=exc,
             )
+        if journal is not None:
+            journal.offer((
+                "error", time.time(), service.journal_tenant, request.nlq,
+                keywords, type(exc).__name__,
+                (time.perf_counter() - started) * 1000.0,
+                (provenance or {}).get("artifact_version"),
+            ))
         raise
+    total_ms = (now - started) * 1000.0
     timings = {
         "parse": parse_ms,
         "translate": (now - translate_started) * 1000.0,
-        "total": (now - started) * 1000.0,
+        "total": total_ms,
     }
+    trace_id = None
     base = {"system": getattr(service.nlidb, "name", "nlidb")}
     qfg = service.templar.qfg if service.templar is not None else None
     if qfg is not None:
@@ -274,6 +294,21 @@ def translate_request(
                 "request": request_summary(request),
             },
         )
+    if journal is not None:
+        # One pre-built tuple of references; all serialization happens on
+        # the journal's writer thread.  Scalars (not the meta/provenance
+        # dicts) go into the row so a queued record retains nothing but
+        # the tuple; latency and trace id come from locals rather than
+        # dict lookups, and the wall-clock stamp is the import-time epoch
+        # plus a perf_counter already taken — no time.time() call.  This
+        # block (plus the `meta` dict above) is the warm path's whole
+        # journaling bill — gated <= 5% in bench_perf_core.py alongside
+        # tracing's identical budget.
+        journal.offer((
+            "request", _EPOCH + now, service.journal_tenant, request.nlq,
+            keywords, results[0] if results else None, total_ms,
+            meta["cache_hit"], base.get("artifact_version"), trace_id,
+        ))
     return TranslationResponse(
         request=request,
         results=results,
@@ -298,6 +333,8 @@ class TranslationService:
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         slow_query_ms: float | None = None,
+        journal=None,
+        journal_tenant: str = "default",
     ) -> None:
         if max_workers < 1:
             raise ServingError("max_workers must be >= 1")
@@ -320,6 +357,12 @@ class TranslationService:
         self.metrics = metrics or MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
         self.slow_query_ms = slow_query_ms
+        #: Durable request journal (``repro.obs.journal.RequestJournal``)
+        #: every ``translate_request`` appends to, or None.  The journal
+        #: is owned by whoever built it (engine or gateway), not closed
+        #: here; ``journal_tenant`` stamps this service's records.
+        self.journal = journal
+        self.journal_tenant = journal_tenant
         self.learn_batch_size = learn_batch_size
         self.max_pending = max_pending
 
@@ -382,7 +425,11 @@ class TranslationService:
     # ----------------------------------------------------------- translate
 
     def translate(
-        self, keywords: Sequence[Keyword], *, trace: bool = False
+        self,
+        keywords: Sequence[Keyword],
+        *,
+        trace: bool = False,
+        meta: dict | None = None,
     ) -> list[TranslationResult]:
         """Ranked translations for one request, served from cache when warm.
 
@@ -391,6 +438,10 @@ class TranslationService:
         here rather than per-request keeps warm hits free of ContextVar
         writes — the caller collects the sink afterwards via the
         ContextVar and is responsible for clearing it.
+
+        ``meta``, when passed, receives per-call facts the return value
+        cannot carry (currently ``cache_hit``); the journaling request
+        path passes a dict, everyone else pays one ``is not None`` test.
         """
         key = (keywords_cache_key(tuple(keywords)), self._qfg_revision())
         self.metrics.increment("requests")
@@ -398,7 +449,11 @@ class TranslationService:
             # Hit/miss tallies live on the cache itself (stats()["caches"]).
             cached = self._translate_cache.get(key)
             if cached is not None:
+                if meta is not None:
+                    meta["cache_hit"] = True
                 return cached
+            if meta is not None:
+                meta["cache_hit"] = False
             with self.metrics.time("translate_uncached"):
                 if trace:
                     _SINK.set(_ARMED)

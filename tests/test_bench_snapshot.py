@@ -11,6 +11,7 @@ import pytest
 sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
 
 from snapshot import (  # noqa: E402
+    HISTORY_KEEP,
     SCHEMA_VERSION,
     emit_snapshot,
     machine_fingerprint,
@@ -33,6 +34,60 @@ def test_emit_and_read_round_trip(tmp_path):
     assert payload["headline"] == {"speedup": 3.5, "warm_us": 12.0}
     assert payload["config"] == {"smoke": True}
     assert payload["machine"]["cpus"] >= 1
+    assert payload["history"] == []
+
+
+def test_rerun_accumulates_history(tmp_path):
+    for run in range(3):
+        path = emit_snapshot("demo", {"x": float(run)}, out_dir=tmp_path)
+    payload = read_snapshot(path)
+    assert payload["headline"] == {"x": 2.0}
+    assert [entry["headline"] for entry in payload["history"]] == [
+        {"x": 0.0}, {"x": 1.0},
+    ]
+    stamps = [entry["created_unix"] for entry in payload["history"]]
+    assert stamps == sorted(stamps)  # oldest first
+
+
+def test_history_entries_carry_their_config(tmp_path):
+    """Trajectory readers must be able to tell smoke runs from full runs."""
+    emit_snapshot("demo", {"x": 1.0}, config={"smoke": True}, out_dir=tmp_path)
+    path = emit_snapshot(
+        "demo", {"x": 2.0}, config={"smoke": False}, out_dir=tmp_path
+    )
+    history = read_snapshot(path)["history"]
+    assert [entry["config"] for entry in history] == [{"smoke": True}]
+
+
+def test_history_is_capped(tmp_path):
+    for run in range(HISTORY_KEEP + 5):
+        path = emit_snapshot("demo", {"x": float(run)}, out_dir=tmp_path)
+    history = read_snapshot(path)["history"]
+    assert len(history) == HISTORY_KEEP
+    # The oldest runs fell off the front; the newest prior run survives.
+    assert history[-1]["headline"] == {"x": float(HISTORY_KEEP + 3)}
+
+
+def test_corrupt_prior_snapshot_starts_history_fresh(tmp_path):
+    (tmp_path / "BENCH_demo.json").write_text("{not json")
+    path = emit_snapshot("demo", {"x": 1.0}, out_dir=tmp_path)
+    assert read_snapshot(path)["history"] == []
+
+
+def test_reads_version_1_with_empty_history(tmp_path):
+    path = emit_snapshot("demo", {"x": 1.0}, out_dir=tmp_path)
+    payload = json.loads(path.read_text())
+    payload["schema_version"] = 1
+    del payload["history"]
+    path.write_text(json.dumps(payload))
+    loaded = read_snapshot(path)
+    assert loaded["schema_version"] == 1
+    assert loaded["history"] == []
+    # Re-emitting over a v1 snapshot carries its headline forward.
+    emit_snapshot("demo", {"x": 2.0}, out_dir=tmp_path)
+    assert [entry["headline"] for entry in read_snapshot(path)["history"]] == [
+        {"x": 1.0},
+    ]
 
 
 def test_fingerprint_names_the_interpreter():

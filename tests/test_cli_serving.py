@@ -51,3 +51,65 @@ class TestHardenedErrors:
                      str(tmp_path), "--version", "gone", "--port", "0"])
         assert code == 2
         assert "not found" in capsys.readouterr().err
+
+
+class TestTraceConfigGating:
+    def test_trace_exits_2_when_tracing_disabled(self, tmp_path, capsys):
+        config = tmp_path / "engine.json"
+        config.write_text('{"dataset": "mas", "tracing": false}')
+        code = main(["trace", "--config", str(config),
+                     "--nlq", "return the papers after 2000"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "tracing is disabled" in err
+        assert '"tracing": true' in err  # the fix is named, not implied
+
+    def test_trace_runs_when_config_enables_tracing(self, tmp_path, capsys):
+        config = tmp_path / "engine.json"
+        config.write_text('{"dataset": "mas", "tracing": true}')
+        code = main(["trace", "--config", str(config),
+                     "--nlq", "return the papers after 2000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SQL:" in out and "trace " in out
+
+
+class TestLogsQueryCommand:
+    @pytest.fixture()
+    def journal(self, tmp_path):
+        from repro.api import Engine, EngineConfig
+
+        jdir = tmp_path / "journal"
+        with Engine.from_config(
+            EngineConfig(dataset="mas", journal_dir=str(jdir))
+        ) as engine:
+            engine.translate("return the papers after 2000")
+            engine.translate("return all the authors")
+        return jdir
+
+    def test_query_prints_sql_and_rows(self, journal, capsys):
+        code = main(["logs", "query", "--journal", str(journal),
+                     "--nlq", "number of requests"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SELECT COUNT(t1.nlq) FROM requests t1" in out
+        assert "2" in out
+
+    def test_sql_only_prints_the_bare_statement(self, journal, capsys):
+        code = main(["logs", "query", "--journal", str(journal),
+                     "--nlq", "number of requests", "--sql-only"])
+        assert code == 0
+        out = capsys.readouterr().out.strip()
+        assert out == "SELECT COUNT(t1.nlq) FROM requests t1"
+
+    def test_unanswerable_question_is_exit_1(self, journal, capsys):
+        code = main(["logs", "query", "--journal", str(journal),
+                     "--nlq", "what is the airspeed of an unladen swallow"])
+        assert code in (1, 2)
+        assert capsys.readouterr().err.strip()
+
+    def test_empty_journal_is_exit_2(self, tmp_path, capsys):
+        code = main(["logs", "query", "--journal", str(tmp_path / "empty"),
+                     "--nlq", "number of requests"])
+        assert code == 2
+        assert "no records" in capsys.readouterr().err

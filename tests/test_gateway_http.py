@@ -419,3 +419,89 @@ class TestAdmission:
             release.set()
             server.shutdown()
             gateway.close()
+
+
+class TestJournaledGateway:
+    @pytest.fixture()
+    def journaled_gateway(self, tmp_path):
+        """A 2-tenant gateway writing one shared, tenant-stamped journal."""
+        config = GatewayConfig.from_dict({
+            "tenants": {
+                "mas": {"engine": {"dataset": "mas"}},
+                "yelp": {"engine": {"dataset": "yelp"}},
+            },
+            "journal_dir": str(tmp_path / "journal"),
+        })
+        gateway = Gateway.from_config(config)
+        server = make_gateway_server(gateway, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        gateway.start()
+        try:
+            yield gateway, server.server_address[1]
+        finally:
+            server.shutdown()
+            gateway.close()
+
+    def test_records_are_stamped_with_their_tenant(self, journaled_gateway):
+        gateway, port = journaled_gateway
+        for tenant in ("mas", "yelp"):
+            status, _ = _post(
+                port, f"/t/{tenant}/translate", {"nlq": NLQS[tenant]}
+            )
+            assert status == 200
+        gateway.journal.flush()
+        tenants = [r["tenant"] for r in gateway.journal.records()]
+        assert tenants == ["mas", "yelp"]
+
+    def test_admin_logs_query_answers_over_the_shared_journal(
+        self, journaled_gateway
+    ):
+        gateway, port = journaled_gateway
+        _post(port, "/t/mas/translate", {"nlq": NLQS["mas"]})
+        _post(port, "/t/mas/translate", {"nlq": NLQS["mas"]})
+        _post(port, "/t/yelp/translate", {"nlq": NLQS["yelp"]})
+        status, body = _get(port, "/admin/logs/query?nlq=number+of+requests")
+        assert status == 200, body
+        assert body["rows"] == [[3]]
+        # The gateway answered a question about itself with its own NLIDB.
+        assert body["sql"].startswith("SELECT COUNT(")
+        status, body = _get(
+            port, "/admin/logs/query?nlq=slowest+tenant+today"
+        )
+        assert status == 200, body
+        assert set(row[0] for row in body["rows"]) == {"mas", "yelp"}
+
+    def test_reloads_are_journaled(self, journaled_gateway):
+        gateway, port = journaled_gateway
+        status, _ = _post(port, "/admin/reload", {"tenant": "mas"})
+        assert status == 200
+        gateway.journal.flush()
+        reloads = [
+            r for r in gateway.journal.records() if r["kind"] == "reload"
+        ]
+        assert len(reloads) == 1
+        assert reloads[0]["tenant"] == "mas"
+
+    def test_unjournaled_gateway_is_400(self, gateway_port):
+        _, port = gateway_port
+        status, body = _get(port, "/admin/logs/query?nlq=x")
+        assert status == 400
+        assert "journal" in body["error"]
+        assert body["status"] == 400
+
+    def test_traces_filter_excludes_other_tenants(self, journaled_gateway):
+        """Traffic on two tenants; each filter sees only its own traces."""
+        gateway, port = journaled_gateway
+        for tenant in ("mas", "yelp"):
+            status, _ = _post(
+                port, f"/t/{tenant}/translate", {"nlq": NLQS[tenant]}
+            )
+            assert status == 200
+        for tenant, other in (("mas", "yelp"), ("yelp", "mas")):
+            status, payload = _get(port, f"/admin/traces?tenant={tenant}")
+            assert status == 200
+            assert payload["count"] >= 1
+            seen = {t["tenant"] for t in payload["traces"]}
+            assert seen == {tenant}
+            assert other not in seen

@@ -1,0 +1,283 @@
+"""Durable request journal: rotation, retention, crash repair, replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError, JournalError
+from repro.obs.journal import (
+    KINDS,
+    RequestJournal,
+    replay_journal,
+    segment_files,
+)
+
+
+def _request_row(nlq: str, latency_ms: float = 1.0, tenant: str = "mas"):
+    return ("request", 1754550000.0, tenant, nlq, ["papers", "2000"],
+            None, latency_ms, True, None, None)
+
+
+class TestRoundTrip:
+    def test_all_three_kinds_replay(self, tmp_path):
+        with RequestJournal(tmp_path) as journal:
+            assert journal.offer(_request_row("return the papers"))
+            assert journal.offer((
+                "error", 1754550001.0, "mas", "%%%", [], "TranslationError",
+                2.5, None,
+            ))
+            assert journal.log_reload(
+                "mas", old_version="a1", new_version="b2",
+                carried_observations=3, build_ms=120.0,
+            )
+            records = journal.records()
+        assert [r["kind"] for r in records] == ["request", "error", "reload"]
+        assert all(r["kind"] in KINDS for r in records)
+        request, error, reload_ = records
+        assert request["nlq"] == "return the papers"
+        assert request["keywords"] == ["papers", "2000"]
+        assert request["cache_hit"] is True
+        assert error["error_type"] == "TranslationError"
+        assert reload_["old_version"] == "a1"
+        assert reload_["carried_observations"] == 3
+
+    def test_result_fields_serialized_from_top_result(self, tmp_path):
+        class Result:
+            sql = "SELECT 1"
+            config_score = 0.5
+            join_score = 0.25
+
+        with RequestJournal(tmp_path) as journal:
+            row = ("request", 1.0, "mas", "q", [], Result(), 1.0, False,
+                   "v7", "trace-1")
+            journal.offer(row)
+            record = journal.records()[0]
+        assert record["sql"] == "SELECT 1"
+        assert record["config_score"] == 0.5
+        assert record["artifact_version"] == "v7"
+        assert record["trace_id"] == "trace-1"
+
+    def test_writer_thread_drains_without_explicit_flush(self, tmp_path):
+        import time
+
+        journal = RequestJournal(tmp_path, flush_interval=0.02)
+        try:
+            journal.offer(_request_row("background"))
+            deadline = time.time() + 5.0
+            while journal.written == 0 and time.time() < deadline:
+                time.sleep(0.01)
+            assert journal.written == 1
+        finally:
+            journal.close()
+
+
+class TestRotationAndRetention:
+    def test_record_never_splits_across_segments(self, tmp_path):
+        """A record that would straddle the boundary rotates first."""
+        with RequestJournal(tmp_path, segment_bytes=512, segments=50) as j:
+            for i in range(20):
+                j.offer(_request_row(f"query number {i:04d}"))
+            j.flush()
+            paths = j.segment_paths()
+        assert len(paths) > 1  # rotation actually happened
+        for path in paths:
+            data = path.read_bytes()
+            assert data.endswith(b"\n")
+            for line in data.decode().strip().split("\n"):
+                assert json.loads(line)["kind"] == "request"
+
+    def test_oversized_record_lands_whole_in_its_own_segment(self, tmp_path):
+        with RequestJournal(tmp_path, segment_bytes=256, segments=50) as j:
+            j.offer(_request_row("small"))
+            j.offer(_request_row("x" * 600))  # bigger than a whole segment
+            j.offer(_request_row("small again"))
+            j.flush()
+            records = j.records()
+        assert [r["nlq"] for r in records] == [
+            "small", "x" * 600, "small again",
+        ]
+
+    def test_retention_deletes_oldest_segments(self, tmp_path):
+        with RequestJournal(tmp_path, segment_bytes=512, segments=2) as j:
+            for i in range(60):
+                j.offer(_request_row(f"query number {i:04d}"))
+            j.flush()
+            paths = j.segment_paths()
+            records = j.records()
+        assert len(paths) <= 2
+        # The newest records survived; the oldest were pruned with their
+        # segments.
+        assert records[-1]["nlq"] == "query number 0059"
+        assert records[0]["nlq"] != "query number 0000"
+
+    def test_reopen_appends_to_the_tail_segment(self, tmp_path):
+        with RequestJournal(tmp_path) as j:
+            j.offer(_request_row("first"))
+        with RequestJournal(tmp_path) as j:
+            j.offer(_request_row("second"))
+            records = j.records()
+        assert [r["nlq"] for r in records] == ["first", "second"]
+        assert len(segment_files(tmp_path)) == 1
+
+
+class TestCrashRepairAndReplay:
+    def test_torn_final_line_is_truncated_on_open(self, tmp_path):
+        with RequestJournal(tmp_path) as j:
+            j.offer(_request_row("complete"))
+        tail = segment_files(tmp_path)[-1]
+        with open(tail, "ab") as handle:  # simulated crash mid-append
+            handle.write(b'{"kind":"request","nlq":"torn')
+        with RequestJournal(tmp_path) as j:
+            j.offer(_request_row("after crash"))
+            records = j.records()
+        assert [r["nlq"] for r in records] == ["complete", "after crash"]
+        assert tail.read_bytes().endswith(b"\n")
+
+    def test_replay_skips_torn_line_without_repair(self, tmp_path):
+        with RequestJournal(tmp_path) as j:
+            j.offer(_request_row("complete"))
+        tail = segment_files(tmp_path)[-1]
+        with open(tail, "ab") as handle:
+            handle.write(b'{"kind":"request","nlq":"torn')
+        # Read-only replay (no journal opened, nothing repaired).
+        assert [r["nlq"] for r in replay_journal(tmp_path)] == ["complete"]
+
+    def test_replay_is_idempotent(self, tmp_path):
+        with RequestJournal(tmp_path) as j:
+            for i in range(5):
+                j.offer(_request_row(f"q{i}"))
+        first = list(replay_journal(tmp_path))
+        second = list(replay_journal(tmp_path))
+        assert first == second
+        assert [r["nlq"] for r in first] == [f"q{i}" for i in range(5)]
+
+    def test_replay_tolerates_corrupt_and_foreign_lines(self, tmp_path):
+        with RequestJournal(tmp_path) as j:
+            j.offer(_request_row("good"))
+        tail = segment_files(tmp_path)[-1]
+        with open(tail, "ab") as handle:
+            handle.write(b"not json at all\n")
+            handle.write(b'{"kind": "alien"}\n')
+            handle.write(b'[1, 2, 3]\n')
+        assert [r["nlq"] for r in replay_journal(tmp_path)] == ["good"]
+
+    def test_replay_of_missing_directory_is_empty(self, tmp_path):
+        assert list(replay_journal(tmp_path / "nope")) == []
+
+
+class TestBackpressureAndErrors:
+    def test_full_queue_sheds_instead_of_blocking(self, tmp_path):
+        journal = RequestJournal(tmp_path, max_queue=3, flush_interval=3600.0)
+        try:
+            accepted = [journal.offer(_request_row(f"q{i}")) for i in range(5)]
+            assert accepted == [True, True, True, False, False]
+            assert journal.dropped == 2
+            journal.flush()
+            assert len(journal.records()) == 3
+        finally:
+            journal.close()
+
+    def test_closed_journal_sheds(self, tmp_path):
+        journal = RequestJournal(tmp_path)
+        journal.close()
+        assert journal.offer(_request_row("late")) is False
+        assert journal.dropped == 1
+        journal.close()  # idempotent
+
+    def test_unknown_kind_counts_an_encode_error(self, tmp_path):
+        with RequestJournal(tmp_path) as journal:
+            journal.offer(("martian", 1.0))
+            journal.offer(_request_row("fine"))
+            records = journal.records()
+            assert journal.encode_errors == 1
+        assert [r["nlq"] for r in records] == ["fine"]
+
+    def test_invalid_construction_raises(self, tmp_path):
+        with pytest.raises(JournalError, match="segment_bytes"):
+            RequestJournal(tmp_path, segment_bytes=10)
+        with pytest.raises(JournalError, match="segments"):
+            RequestJournal(tmp_path, segments=0)
+
+
+class TestEngineOwnership:
+    def test_engine_builds_and_closes_a_config_journal(self, tmp_path):
+        from repro.api import Engine, EngineConfig
+
+        jdir = tmp_path / "journal"
+        engine = Engine.from_config(
+            EngineConfig(dataset="mas", journal_dir=str(jdir))
+        )
+        try:
+            assert engine.journal is not None
+            engine.translate("return the papers after 2000")
+        finally:
+            engine.close()
+        records = list(replay_journal(jdir))
+        assert len(records) == 1
+        record = records[0]
+        assert record["kind"] == "request"
+        assert record["tenant"] == "mas"  # journal_tenant defaults to dataset
+        assert record["sql"].startswith("SELECT")
+        assert record["latency_ms"] > 0
+        assert record["cache_hit"] is False
+
+    def test_cache_hit_flag_flips_on_repeat(self, tmp_path):
+        from repro.api import Engine, EngineConfig
+
+        jdir = tmp_path / "journal"
+        with Engine.from_config(
+            EngineConfig(dataset="mas", journal_dir=str(jdir))
+        ) as engine:
+            engine.translate("return the papers after 2000")
+            engine.translate("return the papers after 2000")
+            engine.journal.flush()
+            hits = [r["cache_hit"] for r in replay_journal(jdir)]
+        assert hits == [False, True]
+
+    def test_errors_are_journaled(self, tmp_path):
+        from repro.api import Engine, EngineConfig
+        from repro.errors import ReproError
+
+        jdir = tmp_path / "journal"
+        with Engine.from_config(
+            EngineConfig(dataset="mas", journal_dir=str(jdir))
+        ) as engine:
+            with pytest.raises(ReproError):
+                engine.translate("%%%%")
+            engine.journal.flush()
+            records = list(replay_journal(jdir))
+        assert len(records) == 1
+        assert records[0]["kind"] == "error"
+        assert records[0]["error_type"]
+
+    def test_injected_journal_conflicts_with_config_journal_dir(self, tmp_path):
+        from repro.api import Engine, EngineConfig
+
+        with RequestJournal(tmp_path / "a") as journal:
+            with pytest.raises(ConfigError, match="journal_dir"):
+                Engine.from_config(
+                    EngineConfig(
+                        dataset="mas", journal_dir=str(tmp_path / "b")
+                    ),
+                    journal=journal,
+                )
+
+    def test_engine_close_does_not_close_injected_journal(self, tmp_path):
+        from repro.api import Engine, EngineConfig
+
+        journal = RequestJournal(tmp_path)
+        try:
+            with Engine.from_config(
+                EngineConfig(dataset="mas"),
+                journal=journal,
+                journal_tenant="custom",
+            ) as engine:
+                engine.translate("return the papers after 2000")
+            # The engine is closed; the injected journal must still work.
+            assert journal.offer(_request_row("still open"))
+            records = journal.records()
+        finally:
+            journal.close()
+        assert records[0]["tenant"] == "custom"
