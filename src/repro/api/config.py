@@ -87,6 +87,17 @@ class EngineConfig:
     journal_segment_bytes: int = 1_000_000
     journal_segments: int = 8
 
+    # Persistent control plane (repro.controlplane): one WAL-mode SQLite
+    # file shared by every replica serving this config (None disables
+    # it).  The three surfaces toggle independently: the durable
+    # translation cache, idempotency keys (with request-hash fallback
+    # for observe requests), and the user-feedback loop.
+    control_plane_path: str | None = None
+    control_plane_cache: bool = True
+    control_plane_idempotency: bool = True
+    control_plane_feedback: bool = True
+    idempotency_ttl_seconds: float = 3600.0
+
     # NLQ front-end: the harness keeps the paper-faithful failure modes,
     # end-user frontends use the best-effort parse.
     simulate_parse_failures: bool = False
@@ -152,6 +163,11 @@ class EngineConfig:
             raise ConfigError(
                 f"journal_segments must be >= 1, got {self.journal_segments}"
             )
+        if self.idempotency_ttl_seconds <= 0:
+            raise ConfigError(
+                f"idempotency_ttl_seconds must be positive, "
+                f"got {self.idempotency_ttl_seconds}"
+            )
 
     # ------------------------------------------------------------ resolved
 
@@ -190,7 +206,7 @@ class EngineConfig:
         >>> EngineConfig.from_dict({"dataset": "mas", "capa": 5})
         Traceback (most recent call last):
             ...
-        repro.errors.ConfigError: unknown engine config field(s): capa; allowed: artifact_version, artifacts, backend, cache_size, dataset, journal_dir, journal_segment_bytes, journal_segments, kappa, lam, learn_batch_size, log_path, log_source, max_configurations, max_workers, obscurity, simulate_parse_failures, slow_query_ms, trace_keep, tracing, use_log_joins, use_log_keywords
+        repro.errors.ConfigError: unknown engine config field(s): capa; allowed: artifact_version, artifacts, backend, cache_size, control_plane_cache, control_plane_feedback, control_plane_idempotency, control_plane_path, dataset, idempotency_ttl_seconds, journal_dir, journal_segment_bytes, journal_segments, kappa, lam, learn_batch_size, log_path, log_source, max_configurations, max_workers, obscurity, simulate_parse_failures, slow_query_ms, trace_keep, tracing, use_log_joins, use_log_keywords
         """
         if not isinstance(data, dict):
             raise ConfigError(

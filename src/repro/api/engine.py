@@ -87,6 +87,7 @@ class Engine:
         templar: Templar | None = None,
         artifact_version: str | None = None,
         owned_journal=None,
+        owned_control_plane=None,
     ) -> None:
         self.config = config
         self.dataset = dataset
@@ -101,6 +102,9 @@ class Engine:
         #: stays owned by its creator and is reachable via
         #: ``service.journal``.
         self._owned_journal = owned_journal
+        #: Same ownership rule for the control plane: built-from-config
+        #: planes are closed here, injected (gateway-shared) ones are not.
+        self._owned_control_plane = owned_control_plane
         # Everything in the provenance is immutable after construction;
         # hash the config once instead of on every request.
         self._provenance = {
@@ -122,6 +126,7 @@ class Engine:
         query_log: QueryLog | None = None,
         journal=None,
         journal_tenant: str | None = None,
+        control_plane=None,
     ) -> "Engine":
         """Resolve a config into a ready engine.
 
@@ -133,7 +138,12 @@ class Engine:
         injects a shared :class:`~repro.obs.journal.RequestJournal` (the
         gateway's, tenant-stamped with ``journal_tenant``) — mutually
         exclusive with ``config.journal_dir``, which builds a journal
-        this engine owns and closes.
+        this engine owns and closes.  ``control_plane`` injects a shared
+        :class:`~repro.controlplane.ControlPlane` under the same
+        ownership rule as the journal (mutually exclusive with
+        ``config.control_plane_path``); when the plane carries feedback,
+        the engine applies the tenant's durable feedback history to its
+        freshly built QFG before serving.
 
         >>> from repro.api import Engine
         >>> with Engine.from_config({"dataset": "mas",
@@ -249,6 +259,23 @@ class Engine:
                 segment_bytes=config.journal_segment_bytes,
                 segments=config.journal_segments,
             )
+        owned_control_plane = None
+        if config.control_plane_path:
+            if control_plane is not None:
+                raise ConfigError(
+                    f"an injected control plane cannot override "
+                    f"control_plane_path {config.control_plane_path!r}; "
+                    f"drop one of the two"
+                )
+            from repro.controlplane import ControlPlane
+
+            control_plane = owned_control_plane = ControlPlane(
+                config.control_plane_path,
+                cache=config.control_plane_cache,
+                idempotency=config.control_plane_idempotency,
+                feedback=config.control_plane_feedback,
+                idempotency_ttl_seconds=config.idempotency_ttl_seconds,
+            )
         service = TranslationService(
             nlidb,
             templar=templar,
@@ -261,6 +288,7 @@ class Engine:
             slow_query_ms=config.slow_query_ms,
             journal=journal,
             journal_tenant=journal_tenant or config.dataset,
+            control_plane=control_plane,
         )
         # Raw-NLQ front-end: a backend that brings its own parser (the
         # NaLIR family, plugins with parses_nlq=True) keeps it; everyone
@@ -272,7 +300,7 @@ class Engine:
                 dataset.schema_terms,
                 simulate_failures=config.simulate_parse_failures,
             )
-        return cls(
+        engine = cls(
             config,
             dataset=dataset,
             backend=spec,
@@ -282,7 +310,15 @@ class Engine:
             templar=templar,
             artifact_version=artifact_version,
             owned_journal=owned_journal,
+            owned_control_plane=owned_control_plane,
         )
+        if control_plane is not None and control_plane.feedback_enabled \
+                and templar is not None:
+            # Catch up on the tenant's durable feedback history: a fresh
+            # replica (or a post-crash restart) rebuilds its QFG from the
+            # log source, which does not include user verdicts.
+            engine.apply_feedback()
+        return engine
 
     # ----------------------------------------------------------- translate
 
@@ -292,11 +328,15 @@ class Engine:
         *,
         limit: int | None = None,
         observe: bool | None = None,
+        idempotency_key: str | None = None,
     ) -> TranslationResponse:
         """Answer one request (raw NLQ, keywords, payload, or request).
 
         When the request asks to ``observe``, the top translation is fed
-        back into the QFG learning queue after translation.
+        back into the QFG learning queue after translation — unless the
+        control plane identified the request as an idempotent replay or
+        a concurrent duplicate (``response.learnable`` is False), in
+        which case the retry contributes exactly zero observations.
 
         >>> from repro.api import Engine, EngineConfig
         >>> with Engine.from_config(EngineConfig(dataset="mas")) as engine:
@@ -310,8 +350,9 @@ class Engine:
         response = translate_request(
             self.service, request,
             parser=self.parser, provenance=self.provenance(),
+            idempotency_key=idempotency_key,
         )
-        if request.observe and response.results:
+        if request.observe and response.results and response.learnable:
             self.observe(response.results[0].sql)
         return response
 
@@ -413,8 +454,22 @@ class Engine:
             raise TranslationError(
                 "nothing to explain: the request produced no translation"
             )
+        configuration = response.top.configuration
+        if configuration is None:
+            # Durable-cache replays carry only the wire fields; recompute
+            # through the service (warm in-process caches) to recover the
+            # configuration lineage the explanation decomposes.
+            keywords, _ = self._resolve_keywords(
+                TranslationRequest.of(request)
+            )
+            results = self.service.translate(keywords)
+            if not results:  # pragma: no cover - replay implies results
+                raise TranslationError(
+                    "nothing to explain: the request produced no translation"
+                )
+            configuration = results[0].configuration
         return explain_configuration(
-            response.top.configuration,
+            configuration,
             self.templar.qfg if self.templar is not None else None,
         )
 
@@ -455,6 +510,18 @@ class Engine:
         1
         """
         return self.service.absorb_pending()
+
+    def apply_feedback(self) -> int:
+        """Absorb unseen durable user feedback into the QFG; returns count.
+
+        Walks the control plane's feedback table past this engine's
+        cursor: accepted SQL and corrections are observed and absorbed,
+        rejects advance the cursor without teaching anything.  A no-op
+        without a control plane (or with feedback disabled).
+        """
+        from repro.controlplane.feedback import apply_feedback
+
+        return apply_feedback(self.service)
 
     def take_pending(self) -> list[str]:
         """Remove and return queued observations *without* absorbing them.
@@ -514,7 +581,7 @@ class Engine:
         >>> with Engine.from_config(EngineConfig(dataset="mas")) as engine:
         ...     stats = engine.stats()
         >>> sorted(stats)
-        ['caches', 'engine', 'metrics', 'pending_observations', 'qfg', 'system']
+        ['caches', 'control_plane', 'engine', 'journal', 'metrics', 'pending_observations', 'qfg', 'system']
         """
         stats = self.service.stats()
         stats["engine"] = self.provenance()
@@ -525,9 +592,16 @@ class Engine:
         """The request journal this engine's requests land in, or None."""
         return self.service.journal
 
+    @property
+    def control_plane(self):
+        """The durable control plane this engine serves through, or None."""
+        return self.service.control_plane
+
     def close(self) -> None:
         """Shut the serving layer down (absorbs pending observations)."""
         self.service.close()
+        if self._owned_control_plane is not None:
+            self._owned_control_plane.close()
         if self._owned_journal is not None:
             self._owned_journal.close()
 

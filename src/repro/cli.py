@@ -113,6 +113,7 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig:
         learn_batch_size=getattr(args, "learn_batch", None),
         slow_query_ms=getattr(args, "slow_query_ms", None),
         journal_dir=getattr(args, "journal", None),
+        control_plane_path=getattr(args, "control_plane", None),
         # Best-effort parsing for end users (the evaluation harness uses
         # the failure-faithful parser instead).
         simulate_parse_failures=False,
@@ -358,13 +359,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         engine=engine, host=args.host, port=args.port, quiet=False
     )
     host, port = server.server_address[:2]
-    print(format_kv([
+    rows = [
         ("serving", f"{engine.nlidb.name} on {args.dataset.upper()}"),
         ("endpoint", f"http://{host}:{port}/translate"),
         ("health", f"http://{host}:{port}/healthz"),
         ("stats", f"http://{host}:{port}/stats"),
         ("metrics", f"http://{host}:{port}/metrics"),
-    ]), flush=True)
+    ]
+    if engine.control_plane is not None:
+        rows.append(("feedback", f"POST http://{host}:{port}/feedback"))
+    print(format_kv(rows), flush=True)
     _install_sigterm_shutdown(server)
     try:
         server.serve_forever()
@@ -459,6 +463,80 @@ def _cmd_logs(args: argparse.Namespace) -> int:
     if result["truncated"]:
         print(f"(showing the first {args.limit} of "
               f"{result['row_count']} rows)")
+    return EXIT_OK
+
+
+def _cmd_feedback(args: argparse.Namespace) -> int:
+    """Record a user verdict on a prior translation, straight to the store."""
+    from repro.controlplane import ControlPlane, validate_feedback_payload
+
+    payload = {"verdict": args.verdict}
+    for field in ("request_id", "trace_id", "nlq", "sql", "corrected_sql"):
+        value = getattr(args, field)
+        if value is not None:
+            payload[field] = value
+    data = validate_feedback_payload(payload)
+    plane = ControlPlane(args.store)
+    try:
+        record = plane.submit_feedback(
+            args.tenant,
+            data["verdict"],
+            request_id=data["request_id"],
+            trace_id=data["trace_id"],
+            nlq=data["nlq"],
+            sql=data["sql"],
+            corrected_sql=data["corrected_sql"],
+        )
+    finally:
+        plane.close()
+    print(format_kv([
+        ("feedback_id", record["feedback_id"]),
+        ("tenant", args.tenant),
+        ("verdict", record["verdict"]),
+        ("sql", record.get("sql") or "-"),
+        ("corrected_sql", record.get("corrected_sql") or "-"),
+    ]))
+    return EXIT_OK
+
+
+def _cmd_controlplane(args: argparse.Namespace) -> int:
+    """Inspect or maintain a shared control-plane store."""
+    from repro.controlplane import ControlPlaneStore
+
+    store = ControlPlaneStore(args.store)
+    try:
+        if args.controlplane_command == "stats":
+            stats = store.stats()
+            counts = stats["rows"]
+            rows = [
+                ("store", stats["path"]),
+                ("schema_version", stats["schema_version"]),
+                ("size_bytes", stats["size_bytes"]),
+                ("cache_entries", counts["cache"]),
+                ("idempotency_keys", counts["idempotency"]),
+                ("responses", counts["responses"]),
+                ("feedback", counts["feedback"]),
+            ]
+            for verdict, count in sorted(stats["feedback_by_verdict"].items()):
+                rows.append((f"feedback[{verdict}]", count))
+            print(format_kv(rows))
+        else:  # prune
+            before = store.stats()["rows"]
+            store.prune(
+                idempotency_ttl_seconds=args.idempotency_ttl,
+                cache_keep=args.cache_keep,
+                responses_keep=args.responses_keep,
+            )
+            after = store.stats()["rows"]
+            print(format_kv([
+                ("cache_entries", f"{before['cache']} -> {after['cache']}"),
+                ("idempotency_keys",
+                 f"{before['idempotency']} -> {after['idempotency']}"),
+                ("responses",
+                 f"{before['responses']} -> {after['responses']}"),
+            ]))
+    finally:
+        store.close()
     return EXIT_OK
 
 
@@ -596,6 +674,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "under this directory (enables "
                             "/admin/logs/query self-analytics and "
                             "`repro logs query`)")
+    serve.add_argument("--control-plane", default=None, dest="control_plane",
+                       help="shared WAL-mode SQLite control plane at this "
+                            "path: durable translation cache, Idempotency-Key "
+                            "support and the POST /feedback loop (replicas "
+                            "pointing at the same file share all three)")
     serve.add_argument("--json-logs", action="store_true",
                        help="emit one structured JSON log line per record "
                             "(request log, slow-query log)")
@@ -638,6 +721,63 @@ def build_parser() -> argparse.ArgumentParser:
     logs_query.add_argument("--sql-only", action="store_true",
                             help="print only the generated SQL (for "
                                  "scripting and CI assertions)")
+
+    feedback = sub.add_parser(
+        "feedback",
+        help="record an accept/reject/correct verdict on a prior "
+             "translation in the shared control plane",
+    )
+    feedback.add_argument("--store", required=True,
+                          help="control-plane SQLite file (the serve/gateway "
+                               "control_plane_path)")
+    feedback.add_argument("--tenant", default="default",
+                          help="tenant the verdict belongs to (single-engine "
+                               "servers use their dataset name, e.g. 'mas')")
+    feedback.add_argument("--verdict", required=True,
+                          choices=("accept", "reject", "correct"))
+    feedback.add_argument("--request-id", default=None, dest="request_id",
+                          help="the response's provenance.request_id")
+    feedback.add_argument("--trace-id", default=None, dest="trace_id",
+                          help="the response's provenance.trace_id")
+    feedback.add_argument("--nlq", default=None,
+                          help="the original question (optional context)")
+    feedback.add_argument("--sql", default=None,
+                          help="the served SQL (when not referencing a "
+                               "prior response)")
+    feedback.add_argument("--corrected-sql", default=None,
+                          dest="corrected_sql",
+                          help="the SQL that should have been returned "
+                               "(required for --verdict correct)")
+
+    controlplane = sub.add_parser(
+        "controlplane",
+        help="inspect or prune a shared control-plane store",
+    )
+    controlplane_sub = controlplane.add_subparsers(
+        dest="controlplane_command", required=True
+    )
+    cp_stats = controlplane_sub.add_parser(
+        "stats", help="row counts, size, and feedback verdict breakdown"
+    )
+    cp_stats.add_argument("--store", required=True,
+                          help="control-plane SQLite file")
+    cp_prune = controlplane_sub.add_parser(
+        "prune", help="expire idempotency keys and trim cache/responses"
+    )
+    cp_prune.add_argument("--store", required=True,
+                          help="control-plane SQLite file")
+    cp_prune.add_argument("--idempotency-ttl", type=float, default=3600.0,
+                          dest="idempotency_ttl",
+                          help="drop idempotency keys older than this many "
+                               "seconds")
+    cp_prune.add_argument("--cache-keep", type=int, default=10_000,
+                          dest="cache_keep",
+                          help="keep at most this many cache entries "
+                               "(newest first)")
+    cp_prune.add_argument("--responses-keep", type=int, default=10_000,
+                          dest="responses_keep",
+                          help="keep at most this many feedback-resolvable "
+                               "responses")
     return parser
 
 
@@ -653,6 +793,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "gateway": _cmd_gateway,
     "logs": _cmd_logs,
+    "feedback": _cmd_feedback,
+    "controlplane": _cmd_controlplane,
 }
 
 

@@ -1,0 +1,60 @@
+"""Persistent control plane shared across gateway/server replicas.
+
+Everything above this package is per-process: the LRU caches die with
+the process, a retried request is a brand-new request, and the only
+learning signal is the system's own output.  The control plane is the
+durable layer beneath all replicas — one WAL-mode SQLite file
+(:mod:`repro.controlplane.store`) holding three surfaces:
+
+* a **durable translation cache** (replica B serves replica A's warm
+  entries, and a restart loses nothing),
+* **idempotency keys** (at-least-once clients can retry without ever
+  double-learning),
+* **user feedback** (accept / reject / corrected-SQL verdicts that flow
+  back into each tenant's QFG — the paper's query-log learning loop,
+  closed with user-vetted signal).
+
+:class:`ControlPlane` (:mod:`repro.controlplane.plane`) is the
+per-process client; :mod:`repro.controlplane.feedback` holds the
+verdict codec and the cursor-based apply loop.  Configure with
+``control_plane_path`` on :class:`~repro.api.config.EngineConfig` or
+:class:`~repro.gateway.config.GatewayConfig`; inspect with
+``repro controlplane stats`` and submit verdicts with ``repro
+feedback``.
+"""
+
+from repro.controlplane.feedback import (
+    FEEDBACK_FIELDS,
+    FEEDBACK_VERDICTS,
+    apply_feedback,
+    learnable_sql,
+    validate_feedback_payload,
+)
+from repro.controlplane.plane import (
+    AUTO_KEY_PREFIX,
+    Admission,
+    ControlPlane,
+    StoredTranslation,
+    encode_stored_response,
+)
+from repro.controlplane.store import (
+    DEFAULT_BUSY_TIMEOUT_MS,
+    SCHEMA_VERSION,
+    ControlPlaneStore,
+)
+
+__all__ = [
+    "AUTO_KEY_PREFIX",
+    "Admission",
+    "ControlPlane",
+    "ControlPlaneStore",
+    "DEFAULT_BUSY_TIMEOUT_MS",
+    "FEEDBACK_FIELDS",
+    "FEEDBACK_VERDICTS",
+    "SCHEMA_VERSION",
+    "StoredTranslation",
+    "apply_feedback",
+    "encode_stored_response",
+    "learnable_sql",
+    "validate_feedback_payload",
+]

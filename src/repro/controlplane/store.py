@@ -1,0 +1,460 @@
+"""SQLite-backed shared state for gateway/server replicas.
+
+:class:`ControlPlaneStore` is the durable half of the control plane: a
+single WAL-mode SQLite file that any number of serving processes open
+concurrently.  WAL mode gives multi-process readers-don't-block-writers
+semantics; a generous ``busy_timeout`` absorbs writer collisions between
+replicas instead of surfacing ``database is locked`` to request threads.
+Everything here is stdlib (:mod:`sqlite3`), so the store works in CI and
+on a laptop exactly like it works behind a fleet.
+
+Four relations (plus a ``meta`` version row):
+
+``cache``
+    Durable translation cache keyed ``(tenant, fingerprint,
+    request_key)`` where ``fingerprint`` pins the artifact generation
+    (backend + dataset + config + QFG content hash) and ``request_key``
+    is the canonical request hash.  The value is the encoded wire
+    response.  A replica that never served a request still answers it
+    warm if any replica did.
+``idempotency``
+    One row per ``(tenant, idempotency key)``: claimed ``pending`` by
+    the first replica to see the key (atomic ``INSERT OR IGNORE``),
+    completed to ``done`` with the encoded response.  Retries replay;
+    a key reused with a different request hash is a conflict.
+``responses``
+    ``request_id``/``trace_id`` → served NLQ + SQL, so feedback can
+    reference a prior response by either id.
+``feedback``
+    Monotonic (``feedback_id``) accept/reject/correct verdicts; replicas
+    consume rows past a cursor and feed accepted SQL back into the QFG.
+
+Doctest — two store handles on one file see each other's writes::
+
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "cp.sqlite")
+    >>> a, b = ControlPlaneStore(path), ControlPlaneStore(path)
+    >>> a.cache_put("mas", "fp1", "req1", '{"sql": "SELECT 1"}', ts=1.0)
+    >>> b.cache_get("mas", "fp1", "req1")
+    '{"sql": "SELECT 1"}'
+    >>> a.idempotency_begin("mas", "key-1", "req1", ts=1.0)
+    ('claimed', None)
+    >>> b.idempotency_begin("mas", "key-1", "req1", ts=2.0)
+    ('pending', None)
+    >>> a.idempotency_complete("mas", "key-1", '{"sql": "SELECT 1"}')
+    >>> b.idempotency_begin("mas", "key-1", "req1", ts=3.0)
+    ('replay', '{"sql": "SELECT 1"}')
+    >>> b.idempotency_begin("mas", "key-1", "OTHER", ts=4.0)
+    ('conflict', None)
+    >>> a.close(); b.close()
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from pathlib import Path
+
+from ..errors import ControlPlaneError
+
+#: Bump when the table layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: How long a connection waits on a writer in another process/thread
+#: before giving up (milliseconds).  WAL keeps these waits rare and
+#: short; the timeout is generous so replica collisions retry inside
+#: SQLite instead of failing a request.
+DEFAULT_BUSY_TIMEOUT_MS = 5_000
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cache (
+    tenant TEXT NOT NULL,
+    fingerprint TEXT NOT NULL,
+    request_key TEXT NOT NULL,
+    response TEXT NOT NULL,
+    created_ts REAL NOT NULL,
+    PRIMARY KEY (tenant, fingerprint, request_key)
+);
+CREATE TABLE IF NOT EXISTS idempotency (
+    tenant TEXT NOT NULL,
+    idem_key TEXT NOT NULL,
+    request_key TEXT NOT NULL,
+    status TEXT NOT NULL,
+    response TEXT,
+    created_ts REAL NOT NULL,
+    PRIMARY KEY (tenant, idem_key)
+);
+CREATE TABLE IF NOT EXISTS responses (
+    request_id TEXT PRIMARY KEY,
+    tenant TEXT NOT NULL,
+    trace_id TEXT,
+    nlq TEXT,
+    sql TEXT,
+    created_ts REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS responses_trace ON responses (tenant, trace_id);
+CREATE TABLE IF NOT EXISTS feedback (
+    feedback_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    tenant TEXT NOT NULL,
+    request_id TEXT,
+    trace_id TEXT,
+    verdict TEXT NOT NULL,
+    nlq TEXT,
+    sql TEXT,
+    corrected_sql TEXT,
+    created_ts REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS feedback_tenant ON feedback (tenant, feedback_id);
+"""
+
+
+class ControlPlaneStore:
+    """One WAL-mode SQLite file shared by every replica.
+
+    Connections are per-thread (sqlite3 connections are not thread-safe
+    under concurrent use); each carries the same pragmas.  All methods
+    are safe to call from multiple threads and multiple processes.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        busy_timeout_ms: int = DEFAULT_BUSY_TIMEOUT_MS,
+    ) -> None:
+        self.path = Path(path)
+        self.busy_timeout_ms = int(busy_timeout_ms)
+        self._local = threading.local()
+        self._conns: list[sqlite3.Connection] = []
+        self._conns_lock = threading.Lock()
+        self._closed = False
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = self._conn()
+            conn.executescript(_SCHEMA)
+            conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(SCHEMA_VERSION)),
+            )
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is not None and int(row[0]) != SCHEMA_VERSION:
+                raise ControlPlaneError(
+                    f"control-plane store {self.path} has schema version "
+                    f"{row[0]}, this build expects {SCHEMA_VERSION}"
+                )
+        except sqlite3.Error as exc:
+            raise ControlPlaneError(
+                f"cannot open control-plane store {self.path}: {exc}"
+            ) from exc
+
+    # -- connections -------------------------------------------------------
+
+    def _conn(self) -> sqlite3.Connection:
+        if self._closed:
+            raise ControlPlaneError(
+                f"control-plane store {self.path} is closed"
+            )
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            return conn
+        conn = sqlite3.connect(
+            str(self.path),
+            timeout=self.busy_timeout_ms / 1000.0,
+            isolation_level=None,  # autocommit; statements are atomic
+            check_same_thread=False,
+        )
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute(f"PRAGMA busy_timeout={self.busy_timeout_ms}")
+        self._local.conn = conn
+        with self._conns_lock:
+            self._conns.append(conn)
+        return conn
+
+    # -- durable translation cache ----------------------------------------
+
+    def cache_get(self, tenant: str, fingerprint: str, request_key: str) -> str | None:
+        row = self._conn().execute(
+            "SELECT response FROM cache"
+            " WHERE tenant = ? AND fingerprint = ? AND request_key = ?",
+            (tenant, fingerprint, request_key),
+        ).fetchone()
+        return row[0] if row is not None else None
+
+    def cache_put(
+        self,
+        tenant: str,
+        fingerprint: str,
+        request_key: str,
+        response: str,
+        *,
+        ts: float | None = None,
+    ) -> None:
+        self._conn().execute(
+            "INSERT OR REPLACE INTO cache"
+            " (tenant, fingerprint, request_key, response, created_ts)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (tenant, fingerprint, request_key, response,
+             time.time() if ts is None else ts),
+        )
+
+    def cache_prune(self, keep: int) -> int:
+        """Drop the oldest cache rows beyond ``keep``; returns rows removed."""
+        cur = self._conn().execute(
+            "DELETE FROM cache WHERE rowid IN ("
+            " SELECT rowid FROM cache ORDER BY created_ts DESC"
+            " LIMIT -1 OFFSET ?)",
+            (max(0, int(keep)),),
+        )
+        return cur.rowcount
+
+    # -- idempotency -------------------------------------------------------
+
+    def idempotency_begin(
+        self,
+        tenant: str,
+        idem_key: str,
+        request_key: str,
+        *,
+        ts: float | None = None,
+    ) -> tuple[str, str | None]:
+        """Claim ``idem_key`` or report its state.
+
+        Returns one of:
+
+        * ``("claimed", None)`` — this caller owns the key and must
+          :meth:`idempotency_complete` (or :meth:`idempotency_release`
+          on failure).
+        * ``("replay", response)`` — the key completed; serve the stored
+          response, learn nothing.
+        * ``("pending", None)`` — another replica is mid-flight.
+        * ``("conflict", None)`` — the key exists with a *different*
+          request hash.
+
+        The claim is a single atomic ``INSERT OR IGNORE``, so exactly
+        one of N racing replicas wins even across processes.
+        """
+        conn = self._conn()
+        cur = conn.execute(
+            "INSERT OR IGNORE INTO idempotency"
+            " (tenant, idem_key, request_key, status, response, created_ts)"
+            " VALUES (?, ?, ?, 'pending', NULL, ?)",
+            (tenant, idem_key, request_key,
+             time.time() if ts is None else ts),
+        )
+        if cur.rowcount == 1:
+            return ("claimed", None)
+        row = conn.execute(
+            "SELECT request_key, status, response FROM idempotency"
+            " WHERE tenant = ? AND idem_key = ?",
+            (tenant, idem_key),
+        ).fetchone()
+        if row is None:  # pragma: no cover - pruned between the two statements
+            return ("pending", None)
+        if row[0] != request_key:
+            return ("conflict", None)
+        if row[1] == "done" and row[2] is not None:
+            return ("replay", row[2])
+        return ("pending", None)
+
+    def idempotency_complete(self, tenant: str, idem_key: str, response: str) -> None:
+        self._conn().execute(
+            "UPDATE idempotency SET status = 'done', response = ?"
+            " WHERE tenant = ? AND idem_key = ?",
+            (response, tenant, idem_key),
+        )
+
+    def idempotency_get(self, tenant: str, idem_key: str) -> str | None:
+        """The stored response for a completed key, else ``None``."""
+        row = self._conn().execute(
+            "SELECT response FROM idempotency"
+            " WHERE tenant = ? AND idem_key = ? AND status = 'done'",
+            (tenant, idem_key),
+        ).fetchone()
+        return row[0] if row is not None else None
+
+    def idempotency_release(self, tenant: str, idem_key: str) -> None:
+        """Drop a still-pending claim (translate failed); retries restart."""
+        self._conn().execute(
+            "DELETE FROM idempotency"
+            " WHERE tenant = ? AND idem_key = ? AND status = 'pending'",
+            (tenant, idem_key),
+        )
+
+    def idempotency_prune(self, ttl_seconds: float, *, now: float | None = None) -> int:
+        cur = self._conn().execute(
+            "DELETE FROM idempotency WHERE created_ts < ?",
+            ((time.time() if now is None else now) - float(ttl_seconds),),
+        )
+        return cur.rowcount
+
+    # -- responses (feedback references) -----------------------------------
+
+    def record_response(
+        self,
+        request_id: str,
+        tenant: str,
+        *,
+        trace_id: str | None,
+        nlq: str | None,
+        sql: str | None,
+        ts: float | None = None,
+    ) -> None:
+        self._conn().execute(
+            "INSERT OR REPLACE INTO responses"
+            " (request_id, tenant, trace_id, nlq, sql, created_ts)"
+            " VALUES (?, ?, ?, ?, ?, ?)",
+            (request_id, tenant, trace_id, nlq, sql,
+             time.time() if ts is None else ts),
+        )
+
+    def find_response(
+        self,
+        tenant: str,
+        *,
+        request_id: str | None = None,
+        trace_id: str | None = None,
+    ) -> dict | None:
+        conn = self._conn()
+        row = None
+        if request_id is not None:
+            row = conn.execute(
+                "SELECT request_id, trace_id, nlq, sql FROM responses"
+                " WHERE tenant = ? AND request_id = ?",
+                (tenant, request_id),
+            ).fetchone()
+        if row is None and trace_id is not None:
+            row = conn.execute(
+                "SELECT request_id, trace_id, nlq, sql FROM responses"
+                " WHERE tenant = ? AND trace_id = ?"
+                " ORDER BY created_ts DESC LIMIT 1",
+                (tenant, trace_id),
+            ).fetchone()
+        if row is None:
+            return None
+        return {
+            "request_id": row[0], "trace_id": row[1],
+            "nlq": row[2], "sql": row[3],
+        }
+
+    def responses_prune(self, keep: int) -> int:
+        cur = self._conn().execute(
+            "DELETE FROM responses WHERE rowid IN ("
+            " SELECT rowid FROM responses ORDER BY created_ts DESC"
+            " LIMIT -1 OFFSET ?)",
+            (max(0, int(keep)),),
+        )
+        return cur.rowcount
+
+    # -- feedback ----------------------------------------------------------
+
+    def add_feedback(
+        self,
+        tenant: str,
+        verdict: str,
+        *,
+        request_id: str | None = None,
+        trace_id: str | None = None,
+        nlq: str | None = None,
+        sql: str | None = None,
+        corrected_sql: str | None = None,
+        ts: float | None = None,
+    ) -> int:
+        cur = self._conn().execute(
+            "INSERT INTO feedback"
+            " (tenant, request_id, trace_id, verdict, nlq, sql,"
+            "  corrected_sql, created_ts)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (tenant, request_id, trace_id, verdict, nlq, sql, corrected_sql,
+             time.time() if ts is None else ts),
+        )
+        return int(cur.lastrowid)
+
+    def feedback_after(
+        self, tenant: str, after_id: int, *, limit: int = 256
+    ) -> list[dict]:
+        """Feedback rows past a replica's cursor, oldest first."""
+        rows = self._conn().execute(
+            "SELECT feedback_id, request_id, trace_id, verdict, nlq, sql,"
+            " corrected_sql, created_ts FROM feedback"
+            " WHERE tenant = ? AND feedback_id > ?"
+            " ORDER BY feedback_id LIMIT ?",
+            (tenant, int(after_id), int(limit)),
+        ).fetchall()
+        return [
+            {
+                "feedback_id": r[0], "request_id": r[1], "trace_id": r[2],
+                "verdict": r[3], "nlq": r[4], "sql": r[5],
+                "corrected_sql": r[6], "created_ts": r[7],
+            }
+            for r in rows
+        ]
+
+    # -- management --------------------------------------------------------
+
+    def stats(self) -> dict:
+        conn = self._conn()
+        counts = {
+            table: conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+            for table in ("cache", "idempotency", "responses", "feedback")
+        }
+        verdicts = dict(conn.execute(
+            "SELECT verdict, COUNT(*) FROM feedback GROUP BY verdict"
+        ).fetchall())
+        try:
+            size_bytes = self.path.stat().st_size
+        except OSError:  # pragma: no cover - racing deletion
+            size_bytes = 0
+        return {
+            "path": str(self.path),
+            "schema_version": SCHEMA_VERSION,
+            "size_bytes": size_bytes,
+            "rows": counts,
+            "feedback_by_verdict": verdicts,
+        }
+
+    def prune(
+        self,
+        *,
+        idempotency_ttl_seconds: float = 3600.0,
+        cache_keep: int = 10_000,
+        responses_keep: int = 10_000,
+    ) -> dict:
+        return {
+            "idempotency": self.idempotency_prune(idempotency_ttl_seconds),
+            "cache": self.cache_prune(cache_keep),
+            "responses": self.responses_prune(responses_keep),
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            try:
+                conn.close()
+            except sqlite3.Error:  # pragma: no cover - already closed
+                pass
+        self._local = threading.local()
+
+    def __enter__(self) -> "ControlPlaneStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = [
+    "DEFAULT_BUSY_TIMEOUT_MS",
+    "SCHEMA_VERSION",
+    "ControlPlaneStore",
+]

@@ -112,3 +112,22 @@ class JournalError(ReproError):
     on overload and the writer thread counts encode failures — only
     construction and explicit management operations can fail loudly.
     """
+
+
+class ControlPlaneError(ReproError):
+    """The durable control-plane store is misconfigured or unusable.
+
+    Same contract as :class:`JournalError`: hot-path operations (cache
+    lookups, write-behind persistence) degrade to counters instead of
+    raising — only construction, feedback ingestion and explicit
+    management operations (``stats``/``prune``) fail loudly.
+    """
+
+
+class IdempotencyError(ServingError):
+    """An ``Idempotency-Key`` was reused with a *different* request body.
+
+    Replaying the stored response would silently answer the wrong
+    question, so the conflict is surfaced to the client (HTTP 409)
+    instead.
+    """

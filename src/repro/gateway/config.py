@@ -42,6 +42,11 @@ _GATEWAY_FIELDS = (
     "journal_dir",
     "journal_segment_bytes",
     "journal_segments",
+    "control_plane_path",
+    "control_plane_cache",
+    "control_plane_idempotency",
+    "control_plane_feedback",
+    "idempotency_ttl_seconds",
 )
 
 
@@ -126,7 +131,7 @@ class GatewayConfig:
     >>> GatewayConfig.from_dict({"tenant": {}})
     Traceback (most recent call last):
         ...
-    repro.errors.ConfigError: unknown gateway config field(s): tenant; allowed: tenants, reload_poll_seconds, learn_interval_seconds, learn_jitter, journal_dir, journal_segment_bytes, journal_segments
+    repro.errors.ConfigError: unknown gateway config field(s): tenant; allowed: tenants, reload_poll_seconds, learn_interval_seconds, learn_jitter, journal_dir, journal_segment_bytes, journal_segments, control_plane_path, control_plane_cache, control_plane_idempotency, control_plane_feedback, idempotency_ttl_seconds
     """
 
     tenants: dict[str, TenantConfig] = field(default_factory=dict)
@@ -147,6 +152,17 @@ class GatewayConfig:
     journal_dir: str | None = None
     journal_segment_bytes: int = 1_000_000
     journal_segments: int = 8
+    #: One shared durable control plane (``repro.controlplane``) for the
+    #: whole gateway — and for every *other* gateway replica pointed at
+    #: the same path: durable translation cache, idempotency keys and
+    #: the user-feedback loop.  ``None`` disables it.  Tenant engine
+    #: configs must not set their own ``control_plane_path`` when this
+    #: is set.
+    control_plane_path: str | None = None
+    control_plane_cache: bool = True
+    control_plane_idempotency: bool = True
+    control_plane_feedback: bool = True
+    idempotency_ttl_seconds: float = 3600.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.tenants, dict) or not self.tenants:
@@ -196,6 +212,24 @@ class GatewayConfig:
                     f"but the gateway already journals every tenant to "
                     f"{self.journal_dir!r}; drop one of the two"
                 )
+        if self.idempotency_ttl_seconds <= 0:
+            raise ConfigError(
+                f"idempotency_ttl_seconds must be positive, "
+                f"got {self.idempotency_ttl_seconds}"
+            )
+        if self.control_plane_path is not None:
+            clashing = sorted(
+                tenant_id
+                for tenant_id, tenant in self.tenants.items()
+                if tenant.engine.control_plane_path
+            )
+            if clashing:
+                raise ConfigError(
+                    f"tenant(s) {', '.join(clashing)} set "
+                    f"engine.control_plane_path but the gateway already "
+                    f"shares one control plane at "
+                    f"{self.control_plane_path!r}; drop one of the two"
+                )
 
     # --------------------------------------------------------------- codec
 
@@ -218,6 +252,11 @@ class GatewayConfig:
             "journal_dir": self.journal_dir,
             "journal_segment_bytes": self.journal_segment_bytes,
             "journal_segments": self.journal_segments,
+            "control_plane_path": self.control_plane_path,
+            "control_plane_cache": self.control_plane_cache,
+            "control_plane_idempotency": self.control_plane_idempotency,
+            "control_plane_feedback": self.control_plane_feedback,
+            "idempotency_ttl_seconds": self.idempotency_ttl_seconds,
         }
 
     @classmethod
@@ -251,6 +290,17 @@ class GatewayConfig:
                     "journal_segment_bytes", 1_000_000
                 ),
                 journal_segments=data.get("journal_segments", 8),
+                control_plane_path=data.get("control_plane_path"),
+                control_plane_cache=data.get("control_plane_cache", True),
+                control_plane_idempotency=data.get(
+                    "control_plane_idempotency", True
+                ),
+                control_plane_feedback=data.get(
+                    "control_plane_feedback", True
+                ),
+                idempotency_ttl_seconds=data.get(
+                    "idempotency_ttl_seconds", 3600.0
+                ),
             )
         except TypeError as exc:
             # Wrong-typed values (e.g. "reload_poll_seconds": "5") must

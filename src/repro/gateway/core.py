@@ -56,12 +56,29 @@ class Gateway:
             if config.journal_dir is not None
             else None
         )
+        #: One shared persistent control plane for the whole fleet: the
+        #: durable translation cache, idempotency ledger and feedback
+        #: table live in a single WAL-mode SQLite file, so a request
+        #: warmed by one replica hits on every other replica pointed at
+        #: the same path.
+        self.control_plane = None
+        if config.control_plane_path is not None:
+            from repro.controlplane import ControlPlane
+
+            self.control_plane = ControlPlane(
+                config.control_plane_path,
+                cache=config.control_plane_cache,
+                idempotency=config.control_plane_idempotency,
+                feedback=config.control_plane_feedback,
+                idempotency_ttl_seconds=config.idempotency_ttl_seconds,
+            )
         self.hosts: dict[str, EngineHost] = {
             tenant_id: EngineHost(
                 tenant_id,
                 tenant,
                 engine_factory=factories.get(tenant_id),
                 journal=self.journal,
+                control_plane=self.control_plane,
             )
             for tenant_id, tenant in config.tenants.items()
         }
@@ -156,7 +173,10 @@ class Gateway:
             self.scheduler.stop()
         for host in self.hosts.values():
             host.close()
-        # Last, after every writer is gone: flush and close the journal.
+        # Last, after every writer is gone: flush and close the shared
+        # control plane and journal.
+        if self.control_plane is not None:
+            self.control_plane.close()
         if self._selfquery is not None:
             self._selfquery.close()
         if self.journal is not None:
@@ -186,6 +206,7 @@ class Gateway:
         request: TranslationRequest,
         *,
         observe: bool | None = None,
+        idempotency_key: str | None = None,
     ) -> TranslationResponse:
         """Route one request to its tenant's live engine.
 
@@ -197,13 +218,64 @@ class Gateway:
         self.metrics.increment(f"tenant.{tenant}.requests")
         try:
             with self.metrics.time("gateway_translate"):
-                return self.host(tenant).translate(request, observe=observe)
+                return self.host(tenant).translate(
+                    request,
+                    observe=observe,
+                    idempotency_key=idempotency_key,
+                )
         except Exception as exc:
             self.metrics.increment(
                 "gateway_errors",
                 labels={"tenant": tenant, "type": type(exc).__name__},
             )
             raise
+
+    def feedback(self, tenant: str, payload: dict) -> dict:
+        """Record a user verdict on a prior translation, durably.
+
+        The payload (see
+        :func:`~repro.controlplane.feedback.validate_feedback_payload`)
+        names a prior response by ``request_id`` or ``trace_id``, or
+        carries the SQL explicitly.  The verdict is persisted in the
+        shared control plane — every replica sees it — then applied to
+        this process's live engine immediately; other replicas pick it
+        up on their next learning tick.  Unknown tenants raise
+        :class:`~repro.errors.GatewayError` (HTTP 404); a gateway with
+        no control plane raises :class:`~repro.errors.ServingError`
+        (HTTP 400).
+        """
+        host = self.host(tenant)
+        if self.control_plane is None:
+            raise ServingError(
+                "this gateway has no control plane (set control_plane_path "
+                "in the gateway config to enable feedback)"
+            )
+        from repro.controlplane import validate_feedback_payload
+
+        data = validate_feedback_payload(payload)
+        record = self.control_plane.submit_feedback(
+            tenant,
+            data["verdict"],
+            request_id=data["request_id"],
+            trace_id=data["trace_id"],
+            nlq=data["nlq"],
+            sql=data["sql"],
+            corrected_sql=data["corrected_sql"],
+        )
+        self.metrics.increment(
+            "feedback", labels={"verdict": record["verdict"]}
+        )
+        if self.journal is not None:
+            self.journal.log_feedback(
+                tenant,
+                verdict=record["verdict"],
+                nlq=record.get("nlq"),
+                sql=record.get("sql"),
+                corrected_sql=record.get("corrected_sql"),
+                request_id=record.get("request_id"),
+            )
+        record["applied"] = host.apply_feedback()
+        return record
 
     def reload(self, tenant: str | None = None) -> list[ReloadResult]:
         """Hot-swap one tenant (or every tenant) onto a fresh engine."""
@@ -238,13 +310,40 @@ class Gateway:
         ...}``, which is how per-tenant latency histograms and error
         counters reach an external scraper from a single ``/metrics``.
         """
+        self._sync_writer_counters()
         sources: list[tuple[dict, MetricsRegistry]] = [({}, self.metrics)]
         for tenant_id, host in sorted(self.hosts.items()):
             if host.live:
-                sources.append(
-                    ({"tenant": tenant_id}, host.engine.service.metrics)
-                )
+                service = host.engine.service
+                service.sync_observability_counters()
+                sources.append(({"tenant": tenant_id}, service.metrics))
         return sources
+
+    def _sync_writer_counters(self) -> None:
+        """Publish the shared writers' shed counters on the gateway registry.
+
+        The journal and the control plane's write-behind thread drop
+        records rather than block the hot path; their attribute counters
+        become gateway-level metrics here so a scraper sees data loss.
+        """
+        if self.journal is not None:
+            self.metrics.set_counter(
+                "journal_dropped_records", self.journal.dropped
+            )
+            self.metrics.set_counter(
+                "journal_written_records", self.journal.written
+            )
+            self.metrics.set_counter(
+                "journal_encode_errors", self.journal.encode_errors
+            )
+        if self.control_plane is not None:
+            self.metrics.set_counter(
+                "control_plane_dropped_writes",
+                self.control_plane.dropped_writes,
+            )
+            self.metrics.set_counter(
+                "control_plane_errors", self.control_plane.errors
+            )
 
     def traces(self, tenant: str | None = None, limit: int = 50) -> list[dict]:
         """Retained traces across tenants, newest first, tenant-stamped.
@@ -298,6 +397,7 @@ class Gateway:
 
     def stats(self) -> dict:
         """Per-tenant isolated snapshots plus the cross-tenant aggregate."""
+        self._sync_writer_counters()
         tenants = {
             tenant_id: host.stats() for tenant_id, host in self.hosts.items()
         }
@@ -335,6 +435,12 @@ class Gateway:
             "aggregate": aggregate,
             "tenants": tenants,
             "metrics": self.metrics.snapshot(),
+            "journal": self.journal.stats() if self.journal else None,
+            "control_plane": (
+                self.control_plane.stats_local()
+                if self.control_plane
+                else None
+            ),
         }
 
     def __repr__(self) -> str:

@@ -98,6 +98,7 @@ class EngineHost:
         *,
         engine_factory: Callable[[], Engine] | None = None,
         journal=None,
+        control_plane=None,
     ) -> None:
         self.tenant = tenant
         self.config = config
@@ -105,6 +106,10 @@ class EngineHost:
         #: closed here); every engine built for this host writes to it
         #: with the tenant id stamped on each record.
         self._journal = journal
+        #: Gateway-shared control plane (owned by the gateway, never
+        #: closed here); every engine generation built for this host
+        #: shares the same durable cache / idempotency / feedback store.
+        self._control_plane = control_plane
         # Read self.config at call time, not construction time, so an
         # updated tenant config takes effect on the next (re)build.
         self._factory = engine_factory or (
@@ -112,6 +117,7 @@ class EngineHost:
                 self.config.engine,
                 journal=self._journal,
                 journal_tenant=self.tenant,
+                control_plane=self._control_plane,
             )
         )
         #: Guards the lease reference and the in-flight counter.
@@ -197,6 +203,7 @@ class EngineHost:
         request: TranslationRequest,
         *,
         observe: bool | None = None,
+        idempotency_key: str | None = None,
     ) -> TranslationResponse:
         """Serve one request on the current engine generation.
 
@@ -208,7 +215,9 @@ class EngineHost:
         """
         lease = self._checkout()
         try:
-            response = lease.engine.translate(request, observe=observe)
+            response = lease.engine.translate(
+                request, observe=observe, idempotency_key=idempotency_key
+            )
             response.provenance["tenant"] = self.tenant
             return response
         finally:
@@ -230,6 +239,23 @@ class EngineHost:
             if lease.engine.templar is None:
                 return 0
             return lease.engine.absorb_pending()
+        finally:
+            lease.release()
+
+    def apply_feedback(self) -> int:
+        """Drain durable feedback rows into the current engine (0 if none).
+
+        Same lease discipline as :meth:`absorb_pending`: no admission
+        slot is consumed, and a concurrent reload cannot close the
+        engine mid-apply.
+        """
+        with self._swap_lock:
+            lease = self._lease
+            if lease is None or self._closed:
+                return 0
+            lease.acquire()
+        try:
+            return lease.engine.apply_feedback()
         finally:
             lease.release()
 

@@ -17,6 +17,10 @@ Endpoints::
     GET  /t/<tenant>/healthz      one tenant: live flag + served artifact version
     GET  /t/<tenant>/stats        one tenant's isolated stats
     POST /t/<tenant>/translate    unified TranslationRequest -> TranslationResponse
+                                  (honours the ``Idempotency-Key`` header when a
+                                  control plane is configured)
+    POST /t/<tenant>/feedback     record accept/reject/correct on a prior
+                                  response (requires control_plane_path)
     POST /admin/reload            {} for every tenant or {"tenant": "mas"}
 
 Status mapping is uniform with the single-engine endpoint
@@ -49,7 +53,10 @@ from repro.serving.wire import TranslationRequest
 #: One structured INFO line per served translate request.
 _REQUEST_LOGGER = logging.getLogger("repro.request")
 
-_TENANT_ROUTE = re.compile(r"^/t/([^/]+)/(translate|stats|healthz)$")
+_TENANT_ROUTE = re.compile(r"^/t/([^/]+)/(translate|feedback|stats|healthz)$")
+
+#: Tenant sub-paths that only accept POST.
+_POST_ONLY = ("translate", "feedback")
 
 #: Fields accepted by ``POST /admin/reload``.
 _RELOAD_FIELDS = ("tenant",)
@@ -136,7 +143,7 @@ class GatewayRequestHandler(JSONRequestHandlerMixin):
                 )
             else:
                 match = _TENANT_ROUTE.match(path)
-                if match is None or match.group(2) == "translate":
+                if match is None or match.group(2) in _POST_ONLY:
                     self._send_error_json(404, f"unknown path {path!r}")
                     return
                 host = gateway.host(match.group(1))
@@ -164,10 +171,13 @@ class GatewayRequestHandler(JSONRequestHandlerMixin):
             self._handle_reload()
             return
         match = _TENANT_ROUTE.match(path)
-        if match is None or match.group(2) != "translate":
+        if match is None or match.group(2) not in _POST_ONLY:
             self._send_error_json(404, f"unknown path {path!r}")
             return
-        self._handle_translate(match.group(1))
+        if match.group(2) == "feedback":
+            self._handle_feedback(match.group(1))
+        else:
+            self._handle_translate(match.group(1))
 
     # ------------------------------------------------------------ handlers
 
@@ -189,7 +199,11 @@ class GatewayRequestHandler(JSONRequestHandlerMixin):
             )
         if request.observe:
             self._check_observable(host)
-        response = gateway.translate(tenant, request)
+        response = gateway.translate(
+            tenant,
+            request,
+            idempotency_key=self.headers.get("Idempotency-Key"),
+        )
         if _REQUEST_LOGGER.isEnabledFor(logging.INFO):
             _REQUEST_LOGGER.info(
                 "POST /t/%s/translate",
@@ -223,6 +237,16 @@ class GatewayRequestHandler(JSONRequestHandlerMixin):
                 f"configure learn_interval_seconds on the gateway or "
                 f"learn_batch_size on the tenant engine"
             )
+
+    def _handle_feedback(self, tenant: str) -> None:
+        self._dispatch_json(
+            lambda: self._feedback_route(tenant),
+            repro_error_prefix="feedback failed",
+        )
+
+    def _feedback_route(self, tenant: str) -> tuple[int, dict]:
+        record = self.server.gateway.feedback(tenant, self._read_json_body())
+        return 200, record
 
     def _handle_reload(self) -> None:
         self._dispatch_json(

@@ -67,8 +67,13 @@ class LearningScheduler:
         stop the pass.
         """
         total = 0
+        feedback_applied = 0
         for host in self.hosts.values():
             try:
+                # Feedback first: verdicts submitted on *other* replicas
+                # land in the shared control plane and reach this
+                # replica's QFG here, on the same cadence as learning.
+                feedback_applied += host.apply_feedback()
                 absorbed = host.absorb_pending()
             except ReproError as exc:
                 self.metrics.increment("gateway_learn_errors")
@@ -81,6 +86,8 @@ class LearningScheduler:
             total += absorbed
         if total:
             self.metrics.increment("gateway_learned", total)
+        if feedback_applied:
+            self.metrics.increment("gateway_feedback_applied", feedback_applied)
         return total
 
     # ------------------------------------------------------------- thread

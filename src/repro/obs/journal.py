@@ -50,7 +50,7 @@ SEGMENT_PREFIX = "journal-"
 SEGMENT_SUFFIX = ".jsonl"
 
 #: Record kinds written by the journal (the ``kind`` field of each line).
-KINDS = ("request", "error", "reload")
+KINDS = ("request", "error", "reload", "feedback")
 
 
 def _segment_index(path: Path) -> int | None:
@@ -192,12 +192,38 @@ class RequestJournal:
             int(carried_observations), float(build_ms),
         ))
 
+    def log_feedback(
+        self,
+        tenant: str,
+        *,
+        verdict: str,
+        nlq: str | None = None,
+        sql: str | None = None,
+        corrected_sql: str | None = None,
+        request_id: str | None = None,
+    ) -> bool:
+        """One user verdict (accept/reject/correct) on a served response."""
+        return self.offer((
+            "feedback", time.time(), tenant, verdict, nlq, sql,
+            corrected_sql, request_id,
+        ))
+
     # -- lifecycle ---------------------------------------------------------
 
     @property
     def pending(self) -> int:
         """Records enqueued but not yet written."""
         return len(self._queue)
+
+    def stats(self) -> dict:
+        """Writer counters: what reached disk, what was shed, what waits."""
+        return {
+            "directory": str(self.directory),
+            "written": self.written,
+            "dropped": self.dropped,
+            "encode_errors": self.encode_errors,
+            "pending": self.pending,
+        }
 
     def flush(self) -> None:
         """Drain the queue and flush the tail segment, synchronously."""
@@ -357,6 +383,19 @@ class RequestJournal:
                 "error_type": error_type,
                 "latency_ms": round(latency_ms, 3),
                 "artifact_version": artifact_version,
+            }
+        elif kind == "feedback":
+            (_, ts, tenant, verdict, nlq, sql, corrected_sql,
+             request_id) = row
+            record = {
+                "kind": "feedback",
+                "ts": round(ts, 6),
+                "tenant": tenant,
+                "verdict": verdict,
+                "nlq": nlq,
+                "sql": sql,
+                "corrected_sql": corrected_sql,
+                "request_id": request_id,
             }
         elif kind == "reload":
             (_, ts, tenant, old_version, new_version, carried, build_ms) = row

@@ -3,7 +3,8 @@
 The paper's thesis is that SQL query logs carry the semantics NLIDBs
 lack; this module closes the loop on ourselves.  The request journal
 (:mod:`repro.obs.journal`) is replayed into a generated **telemetry
-schema** — ``tenants``, ``requests``, ``errors``, ``reloads`` — inside a
+schema** — ``tenants``, ``requests``, ``errors``, ``reloads``,
+``feedback`` — inside a
 regular :class:`repro.db.database.Database`, and a dedicated
 self-analytics :class:`~repro.api.engine.Engine` is built over it,
 seeded with a *curated telemetry query log* so the Query Fragment Graph
@@ -56,10 +57,10 @@ TELEMETRY_DESCENDING_TERMS = ("slowest", "worst", "largest")
 def telemetry_catalog() -> Catalog:
     """The generated telemetry schema the journal is replayed into.
 
-    4 relations, 3 FK-PK constraints; one display column per relation so
+    5 relations, 4 FK-PK constraints; one display column per relation so
     bare entity keywords project something human-readable (the tenant's
     name, the request's NLQ, the error's type, the reload's new
-    version).
+    version, the feedback's verdict).
     """
     catalog = Catalog()
     catalog.add_table(TableSchema("tenants", [
@@ -99,7 +100,16 @@ def telemetry_catalog() -> Catalog:
         Column("carried_observations", _INT),
         Column("build_ms", _FLOAT),
     ], primary_key="lid"))
-    for source in ("requests", "errors", "reloads"):
+    catalog.add_table(TableSchema("feedback", [
+        Column("fid", _INT),
+        Column("tenant_id", _INT),
+        Column("ts", _FLOAT),
+        Column("day", _TEXT, searchable=True),
+        Column("verdict", _TEXT, display=True, searchable=True),
+        Column("nlq", _TEXT, searchable=True),
+        Column("sql", _TEXT),
+    ], primary_key="fid"))
+    for source in ("requests", "errors", "reloads", "feedback"):
         catalog.add_foreign_key(
             ForeignKey(source, "tenant_id", "tenants", "tid")
         )
@@ -126,6 +136,10 @@ def telemetry_lexicon() -> Lexicon:
         ("swap", "reload", 0.85),
         ("version", "artifact", 0.70),
         ("date", "day", 0.90),
+        ("rejected", "verdict", 0.85),
+        ("accepted", "verdict", 0.85),
+        ("corrected", "verdict", 0.85),
+        ("verdict", "feedback", 0.80),
     ]:
         lexicon.add(a, b, score)
     return lexicon
@@ -187,6 +201,19 @@ TELEMETRY_QUERY_LOG = [
     "SELECT t1.name FROM tenants t1, reloads t2 WHERE t2.tenant_id = t1.tid",
     "SELECT t2.build_ms FROM tenants t1, reloads t2 "
     "WHERE t2.tenant_id = t1.tid ORDER BY t2.build_ms DESC",
+    # feedback
+    "SELECT t1.verdict FROM feedback t1",
+    "SELECT t1.nlq FROM feedback t1",
+    "SELECT COUNT(t1.fid) FROM feedback t1",
+    "SELECT COUNT(t1.fid) FROM feedback t1 WHERE t1.verdict = 'reject'",
+    "SELECT COUNT(t1.fid) FROM feedback t1 WHERE t1.verdict = 'accept'",
+    "SELECT t1.verdict FROM feedback t1 ORDER BY t1.ts DESC",
+    "SELECT t1.nlq FROM feedback t1 WHERE t1.verdict = 'reject'",
+    "SELECT t1.name FROM tenants t1, feedback t2 WHERE t2.tenant_id = t1.tid",
+    "SELECT t1.name FROM tenants t1, feedback t2 "
+    "WHERE t2.tenant_id = t1.tid AND t2.verdict = 'reject'",
+    "SELECT COUNT(t2.fid) FROM tenants t1, feedback t2 "
+    "WHERE t2.tenant_id = t1.tid AND t1.name = 'mas'",
 ]
 
 
@@ -204,7 +231,7 @@ def load_telemetry_database(records) -> Database:
     """Replayed journal records -> populated telemetry database."""
     database = Database("telemetry", telemetry_catalog())
     tenant_ids: dict[str, int] = {}
-    counts = {"request": 0, "error": 0, "reload": 0}
+    counts = {"request": 0, "error": 0, "reload": 0, "feedback": 0}
 
     def tenant_id(name) -> int:
         name = _text(name) or "default"
@@ -243,13 +270,20 @@ def load_telemetry_database(records) -> Database:
                 counts[kind], tid, ts, _day_of(ts),
                 _text(record.get("error_type")), nlq,
             ])
-        else:
+        elif kind == "reload":
             database.insert("reloads", [
                 counts[kind], tid, ts, _day_of(ts),
                 _text(record.get("old_version")),
                 _text(record.get("new_version")),
                 int(record.get("carried_observations") or 0),
                 float(record.get("build_ms") or 0.0),
+            ])
+        else:  # feedback
+            database.insert("feedback", [
+                counts[kind], tid, ts, _day_of(ts),
+                _text(record.get("verdict")),
+                _text(record.get("nlq")),
+                _text(record.get("corrected_sql") or record.get("sql")),
             ])
     return database
 
@@ -273,11 +307,15 @@ def normalize_nlq(nlq: str, *, today: datetime.date | None = None) -> str:
     * ``slowest X`` / ``fastest X`` become ``X ordered by [highest]
       latency`` (the parser reads descending markers *before* the order
       term),
-    * ``failed``/``failing`` becomes ``errors`` (the relation name).
+    * ``failed``/``failing`` becomes ``errors`` (the relation name),
+    * ``rejected``/``accepted``/``corrected`` (and inflections) become
+      the quoted verdict literals the feedback table stores.
 
     >>> normalize_nlq("slowest tenant yesterday",
     ...               today=__import__("datetime").date(2026, 8, 7))
     "tenant '2026-08-06' ordered by highest latency"
+    >>> normalize_nlq("feedback rejected")
+    "feedback 'reject'"
     """
     if today is None:
         today = datetime.date.today()
@@ -291,6 +329,13 @@ def normalize_nlq(nlq: str, *, today: datetime.date | None = None) -> str:
         )
     text = re.sub(r"\bfail(ed|ing|ures?)?\b", "errors", text,
                   flags=re.IGNORECASE)
+    for stem, verdict in (
+        ("reject(s|ed|ing|ions?)?", "reject"),
+        ("accept(s|ed|ing|ances?)?", "accept"),
+        ("correct(s|ed|ing|ions?)?", "correct"),
+    ):
+        text = re.sub(rf"\b{stem}\b", f"'{verdict}'", text,
+                      flags=re.IGNORECASE)
     for word, clause in (
         ("slowest", " ordered by highest latency"),
         ("fastest", " ordered by latency"),

@@ -23,6 +23,7 @@ from typing import Callable
 from repro.errors import (
     AdmissionError,
     GatewayError,
+    IdempotencyError,
     ReproError,
     ServingError,
 )
@@ -115,17 +116,21 @@ class JSONRequestHandlerMixin(BaseHTTPRequestHandler):
         ``route`` returns ``(status, payload)``; every serving endpoint
         funnels through here so the mapping cannot drift between the
         single-engine server and the gateway: 429 admission overflow,
-        404 unknown tenant, 400 client mistakes (malformed body, bad
-        fields, unsupported content type), 422 operational failures
-        (prefixed with ``repro_error_prefix``), 500 (JSON, then
-        re-raised) for wiring bugs.  Order matters: ``AdmissionError``
-        subclasses ``ServingError`` and ``GatewayError``/``ServingError``
-        subclass ``ReproError``.
+        409 idempotency-key reuse with a different body, 404 unknown
+        tenant, 400 client mistakes (malformed body, bad fields,
+        unsupported content type), 422 operational failures (prefixed
+        with ``repro_error_prefix``), 500 (JSON, then re-raised) for
+        wiring bugs.  Order matters: ``AdmissionError`` and
+        ``IdempotencyError`` subclass ``ServingError`` and
+        ``GatewayError``/``ServingError`` subclass ``ReproError``.
         """
         try:
             status, payload = route()
         except AdmissionError as exc:
             self._send_error_json(429, str(exc))
+            return
+        except IdempotencyError as exc:
+            self._send_error_json(409, str(exc))
             return
         except GatewayError as exc:
             self._send_error_json(404, str(exc))

@@ -11,6 +11,10 @@ Endpoints::
                          server's own request journal and execute it
                          (requires journal_dir in the engine config)
     POST /translate      {"keywords": [...]} or {"nlq": "..."} -> ranked SQL
+                         (honours the ``Idempotency-Key`` header when a
+                         control plane is configured)
+    POST /feedback       record accept/reject/correct on a prior response
+                         (requires control_plane_path in the engine config)
 
 ``POST /translate`` bodies are decoded into the unified
 :class:`~repro.serving.wire.TranslationRequest` (strict: unknown fields
@@ -89,11 +93,23 @@ class ServingHTTPServer(ThreadingHTTPServer):
         self._selfquery_lock = threading.Lock()
         super().__init__(address, ServingRequestHandler)
 
-    def translate(self, request: TranslationRequest) -> TranslationResponse:
+    def translate(
+        self,
+        request: TranslationRequest,
+        *,
+        idempotency_key: str | None = None,
+    ) -> TranslationResponse:
         """One wire path for both construction modes (observe excluded)."""
         if self.engine is not None:
-            return self.engine.translate(request, observe=False)
-        return translate_request(self.service, request, parser=self.parser)
+            return self.engine.translate(
+                request, observe=False, idempotency_key=idempotency_key
+            )
+        return translate_request(
+            self.service,
+            request,
+            parser=self.parser,
+            idempotency_key=idempotency_key,
+        )
 
     def query_logs(self, nlq: str, *, limit: int | None = 20) -> dict:
         """Self-analytics: answer ``nlq`` over this server's own journal."""
@@ -146,6 +162,9 @@ class ServingRequestHandler(JSONRequestHandlerMixin):
             source = self.server.engine or self.server.service
             self._send_json(200, source.stats())
         elif path == "/metrics":
+            # Pull the journal's and control plane's attribute-counted
+            # shed/written totals onto the registry before rendering.
+            self.server.service.sync_observability_counters()
             if query.get("format") == ["json"]:
                 self._send_json(200, self.server.service.metrics.snapshot())
             else:
@@ -184,10 +203,14 @@ class ServingRequestHandler(JSONRequestHandlerMixin):
 
     def do_POST(self) -> None:  # noqa: N802
         path = self.path.split("?", 1)[0]
-        if path != "/translate":
+        if path == "/translate":
+            self._dispatch_json(self._translate_route)
+        elif path == "/feedback":
+            self._dispatch_json(
+                self._feedback_route, repro_error_prefix="feedback failed"
+            )
+        else:
             self._send_error_json(404, f"unknown path {path!r}")
-            return
-        self._dispatch_json(self._translate_route)
 
     def _translate_route(self) -> tuple[int, dict]:
         # Strict decode + cheap field validation before paying for
@@ -205,8 +228,12 @@ class ServingRequestHandler(JSONRequestHandlerMixin):
                 "online learning is disabled on this server; restart "
                 "with --learn-batch to accept 'observe'"
             )
-        response = self.server.translate(request)
-        if request.observe and response.results:
+        response = self.server.translate(
+            request, idempotency_key=self.headers.get("Idempotency-Key")
+        )
+        if request.observe and response.results and response.learnable:
+            # learnable is False for idempotent replays/duplicates: a
+            # retried request must contribute zero extra observations.
             self.server.service.observe(response.results[0].sql)
         if _REQUEST_LOGGER.isEnabledFor(logging.INFO):
             _REQUEST_LOGGER.info(
@@ -219,6 +246,46 @@ class ServingRequestHandler(JSONRequestHandlerMixin):
                 },
             )
         return 200, response.to_payload()
+
+    def _feedback_route(self) -> tuple[int, dict]:
+        service = self.server.service
+        plane = service.control_plane
+        if plane is None:
+            raise ServingError(
+                "this server has no control plane (set control_plane_path "
+                "in the engine config to enable feedback)"
+            )
+        from repro.controlplane import validate_feedback_payload
+
+        data = validate_feedback_payload(self._read_json_body())
+        record = plane.submit_feedback(
+            service.journal_tenant,
+            data["verdict"],
+            request_id=data["request_id"],
+            trace_id=data["trace_id"],
+            nlq=data["nlq"],
+            sql=data["sql"],
+            corrected_sql=data["corrected_sql"],
+        )
+        service.metrics.increment(
+            "feedback", labels={"verdict": record["verdict"]}
+        )
+        if service.journal is not None:
+            service.journal.log_feedback(
+                service.journal_tenant,
+                verdict=record["verdict"],
+                nlq=record.get("nlq"),
+                sql=record.get("sql"),
+                corrected_sql=record.get("corrected_sql"),
+                request_id=record.get("request_id"),
+            )
+        if service.templar is not None:
+            from repro.controlplane import apply_feedback
+
+            record["applied"] = apply_feedback(service)
+        else:
+            record["applied"] = 0
+        return 200, record
 
 
 def make_server(

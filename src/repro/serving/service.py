@@ -29,7 +29,7 @@ from repro.core.interface import Configuration, Keyword, keywords_cache_key
 from repro.core.join_inference import JoinPath, JoinPathGenerator
 from repro.core.qfg import QueryFragmentGraph
 from repro.core.templar import Templar
-from repro.errors import ReproError, ServingError
+from repro.errors import IdempotencyError, ReproError, ServingError
 from repro.nlidb.base import NLIDB, TranslationResult
 from repro.obs.trace import _ARMED, _SINK, Tracer
 from repro.serving.cache import LRUCache
@@ -179,6 +179,7 @@ def translate_request(
     *,
     parser=None,
     provenance: dict | None = None,
+    idempotency_key: str | None = None,
 ) -> TranslationResponse:
     """Serve one unified request through a service: the one wire path.
 
@@ -187,6 +188,17 @@ def translate_request(
     error accounting and response assembly cannot drift between them.
     ``observe`` handling is left to the caller (the engine and the HTTP
     handler have different learning-availability checks).
+
+    When the service carries a :class:`~repro.controlplane.ControlPlane`,
+    the durable layers run *before* parsing: an idempotent retry replays
+    the stored response (``provenance["idempotent_replay"]`` tells
+    callers to learn nothing), and a request any replica already served
+    under the same artifact fingerprint returns the durable cache entry
+    (``provenance["control_plane"] == "durable"``).  Fresh computations
+    are persisted write-behind.  ``idempotency_key`` is the client's
+    ``Idempotency-Key`` header; ``observe`` requests without one get a
+    request-hash fallback key so at-least-once delivery can never
+    double-learn.
 
     Tracing rides the timings this function already takes: span
     collection is armed only when the translate cache *misses* (all
@@ -204,6 +216,46 @@ def translate_request(
     journal = service.journal
     meta = None if journal is None else {}
     started = time.perf_counter()
+    plane = service.control_plane
+    admission = None
+    cp_tenant = cp_fingerprint = cp_key = None
+    if plane is not None:
+        cp_tenant = service.journal_tenant
+        cp_key = plane.request_key(request)
+        cp_fingerprint = plane.artifact_fingerprint(service, provenance)
+        try:
+            admission = plane.admit(
+                cp_tenant, cp_fingerprint, cp_key,
+                idempotency_key=idempotency_key, observe=request.observe,
+            )
+        except IdempotencyError:
+            service.metrics.increment("idempotency_conflicts")
+            raise
+        if admission.payload is not None:
+            response = plane.build_response(
+                request, admission.payload, admission.source,
+                suppress_observe=admission.suppress_observe,
+            )
+            now = time.perf_counter()
+            total_ms = (now - started) * 1000.0
+            response.timings_ms["total"] = total_ms
+            service.metrics.increment("requests")
+            if admission.source == "durable":
+                service.metrics.increment("durable_cache_hits")
+            else:
+                service.metrics.increment("idempotent_replays")
+            if journal is not None:
+                journal.offer((
+                    "request", _EPOCH + now, service.journal_tenant,
+                    request.nlq, request.keywords,
+                    response.results[0] if response.results else None,
+                    total_ms, True,
+                    response.provenance.get("artifact_version"),
+                    response.provenance.get("trace_id"),
+                ))
+            return response
+        if plane.cache_enabled:
+            service.metrics.increment("durable_cache_misses")
     keywords = request.keywords
     try:
         keywords, parse_ms = resolve_request_keywords(request, parser)
@@ -213,6 +265,10 @@ def translate_request(
         )
         now = time.perf_counter()
     except Exception as exc:
+        if admission is not None and admission.claim is not None:
+            # Release the idempotency claim so a retry can recompute;
+            # leaving it pending would block the key until TTL expiry.
+            plane.release(cp_tenant, admission.claim)
         service.metrics.increment(
             "translate_errors", labels={"type": type(exc).__name__}
         )
@@ -309,6 +365,18 @@ def translate_request(
             keywords, results[0] if results else None, total_ms,
             meta["cache_hit"], base.get("artifact_version"), trace_id,
         ))
+    if admission is not None:
+        if admission.suppress_observe:
+            # Another replica owns the idempotency claim: the client
+            # gets its answer, the QFG gets nothing.
+            base["idempotent_duplicate"] = True
+        request_id = plane.finish(
+            cp_tenant, cp_fingerprint, cp_key,
+            claim=admission.claim, results=results, keywords=keywords,
+            provenance=base, trace_id=trace_id, nlq=request.nlq,
+        )
+        if request_id is not None:
+            base["request_id"] = request_id
     return TranslationResponse(
         request=request,
         results=results,
@@ -335,6 +403,7 @@ class TranslationService:
         slow_query_ms: float | None = None,
         journal=None,
         journal_tenant: str = "default",
+        control_plane=None,
     ) -> None:
         if max_workers < 1:
             raise ServingError("max_workers must be >= 1")
@@ -363,6 +432,13 @@ class TranslationService:
         #: here; ``journal_tenant`` stamps this service's records.
         self.journal = journal
         self.journal_tenant = journal_tenant
+        #: Shared durable control plane (``repro.controlplane.ControlPlane``)
+        #: or None.  Like the journal, it is owned by whoever built it;
+        #: ``journal_tenant`` doubles as the control-plane tenant.
+        self.control_plane = control_plane
+        #: Highest durable feedback_id this service has applied to its
+        #: QFG (see ``repro.controlplane.feedback.apply_feedback``).
+        self.feedback_cursor = 0
         self.learn_batch_size = learn_batch_size
         self.max_pending = max_pending
 
@@ -630,8 +706,29 @@ class TranslationService:
 
     # ----------------------------------------------------------- lifecycle
 
+    def sync_observability_counters(self) -> None:
+        """Copy journal/control-plane writer counters into the registry.
+
+        The journal and control-plane writers count shed records on
+        plain attributes (their hot paths take no registry lock); this
+        publishes those numbers as proper counters so ``/metrics`` and
+        ``stats()`` surface overflow instead of hiding it.
+        """
+        journal = self.journal
+        if journal is not None:
+            self.metrics.set_counter("journal_dropped_records", journal.dropped)
+            self.metrics.set_counter("journal_written_records", journal.written)
+            self.metrics.set_counter("journal_encode_errors", journal.encode_errors)
+        plane = self.control_plane
+        if plane is not None:
+            self.metrics.set_counter(
+                "control_plane_dropped_writes", plane.dropped_writes
+            )
+            self.metrics.set_counter("control_plane_errors", plane.errors)
+
     def stats(self) -> dict:
         """JSON-ready operational snapshot (caches, metrics, QFG state)."""
+        self.sync_observability_counters()
         qfg = self.templar.qfg if self.templar is not None else None
         return {
             "system": getattr(self.nlidb, "name", "nlidb"),
@@ -654,6 +751,13 @@ class TranslationService:
                 else None
             ),
             "pending_observations": self.pending_observations,
+            "journal": (
+                self.journal.stats() if self.journal is not None else None
+            ),
+            "control_plane": (
+                self.control_plane.stats_local()
+                if self.control_plane is not None else None
+            ),
             "metrics": self.metrics.snapshot(),
         }
 

@@ -139,6 +139,19 @@ class MetricsRegistry:
         with self._lock:
             self._counters[key] = self._counters.get(key, 0) + amount
 
+    def set_counter(
+        self, name: str, value: int, *, labels: dict | None = None
+    ) -> None:
+        """Publish an externally-maintained monotonic count as a counter.
+
+        Writers that shed on their own hot paths (the journal, the
+        control plane) count on plain attributes; syncing them here
+        before a scrape or ``stats()`` keeps one exposition surface.
+        """
+        key = (name, _labels_key(labels))
+        with self._lock:
+            self._counters[key] = int(value)
+
     def record_latency(
         self, name: str, seconds: float, *, labels: dict | None = None
     ) -> None:

@@ -373,6 +373,20 @@ class TranslationResponse:
         top = self.top
         return top.sql if top is not None else None
 
+    @property
+    def learnable(self) -> bool:
+        """False when observing this response would double-learn.
+
+        The control plane marks idempotent replays and concurrent
+        duplicates in the provenance; every observe site checks this one
+        property so a retried request contributes exactly zero QFG
+        observations no matter which frontend served it.
+        """
+        return not (
+            self.provenance.get("idempotent_replay")
+            or self.provenance.get("idempotent_duplicate")
+        )
+
     def to_payload(self) -> dict:
         """The JSON body every frontend serves for this response."""
         payload = results_to_payload(self.results, self.request.limit)

@@ -1,0 +1,292 @@
+"""Control-plane store and plane tests: durability, idempotency, concurrency.
+
+The multi-process correctness battery for the PR's tentpole: concurrent
+writers on one WAL-mode SQLite store (threads *and* a subprocess), the
+atomic idempotency claim under a same-key race, and the feedback table's
+append/consume contract.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.controlplane import (
+    AUTO_KEY_PREFIX,
+    ControlPlane,
+    ControlPlaneStore,
+    encode_stored_response,
+    learnable_sql,
+    validate_feedback_payload,
+)
+from repro.errors import ControlPlaneError, ServingError
+from repro.serving.wire import TranslationRequest
+
+
+class TestStore:
+    def test_cache_survives_handles(self, tmp_path):
+        """An entry written by one handle is read by a second (restart)."""
+        path = tmp_path / "cp.db"
+        with ControlPlaneStore(path) as a:
+            a.cache_put("t", "fp", "k", '{"sql": "SELECT 1"}')
+        with ControlPlaneStore(path) as b:
+            assert b.cache_get("t", "fp", "k") == '{"sql": "SELECT 1"}'
+            assert b.cache_get("t", "other-fp", "k") is None
+            assert b.cache_get("other", "fp", "k") is None
+
+    def test_cache_prune_keeps_newest(self, tmp_path):
+        with ControlPlaneStore(tmp_path / "cp.db") as store:
+            for i in range(10):
+                store.cache_put("t", "fp", f"k{i}", "{}", ts=float(i))
+            removed = store.cache_prune(keep=3)
+            assert removed == 7
+            assert store.cache_get("t", "fp", "k9") is not None
+            assert store.cache_get("t", "fp", "k0") is None
+
+    def test_idempotency_lifecycle(self, tmp_path):
+        with ControlPlaneStore(tmp_path / "cp.db") as store:
+            assert store.idempotency_begin("t", "key", "req") == ("claimed", None)
+            # Same key, same request, still in flight elsewhere.
+            assert store.idempotency_begin("t", "key", "req") == ("pending", None)
+            # Same key, different body: the 409 path.
+            assert store.idempotency_begin("t", "key", "other") == (
+                "conflict", None,
+            )
+            store.idempotency_complete("t", "key", '{"done": 1}')
+            assert store.idempotency_begin("t", "key", "req") == (
+                "replay", '{"done": 1}',
+            )
+            assert store.idempotency_get("t", "key") == '{"done": 1}'
+
+    def test_idempotency_release_reopens_key(self, tmp_path):
+        """A failed compute releases its claim so a retry can try again."""
+        with ControlPlaneStore(tmp_path / "cp.db") as store:
+            assert store.idempotency_begin("t", "key", "req")[0] == "claimed"
+            store.idempotency_release("t", "key")
+            assert store.idempotency_begin("t", "key", "req")[0] == "claimed"
+
+    def test_idempotency_release_never_drops_completed(self, tmp_path):
+        with ControlPlaneStore(tmp_path / "cp.db") as store:
+            store.idempotency_begin("t", "key", "req")
+            store.idempotency_complete("t", "key", "{}")
+            store.idempotency_release("t", "key")  # only deletes pending
+            assert store.idempotency_begin("t", "key", "req")[0] == "replay"
+
+    def test_idempotency_prune_expires_old_keys(self, tmp_path):
+        with ControlPlaneStore(tmp_path / "cp.db") as store:
+            store.idempotency_begin("t", "old", "r", ts=100.0)
+            store.idempotency_begin("t", "new", "r", ts=1000.0)
+            removed = store.idempotency_prune(ttl_seconds=600.0, now=1100.0)
+            assert removed == 1
+            assert store.idempotency_begin("t", "old", "r")[0] == "claimed"
+            assert store.idempotency_begin("t", "new", "r")[0] == "pending"
+
+    def test_response_resolution(self, tmp_path):
+        with ControlPlaneStore(tmp_path / "cp.db") as store:
+            store.record_response(
+                "rid-1", "t", trace_id="tr-1", nlq="q", sql="SELECT 1",
+            )
+            by_rid = store.find_response("t", request_id="rid-1")
+            assert by_rid["sql"] == "SELECT 1"
+            by_trace = store.find_response("t", trace_id="tr-1")
+            assert by_trace["request_id"] == "rid-1"
+            assert store.find_response("t", request_id="nope") is None
+            assert store.find_response("other", request_id="rid-1") is None
+
+    def test_feedback_append_and_cursor(self, tmp_path):
+        with ControlPlaneStore(tmp_path / "cp.db") as store:
+            first = store.add_feedback(
+                "t", "accept", request_id="r1", trace_id=None,
+                nlq="q", sql="SELECT 1", corrected_sql=None,
+            )
+            second = store.add_feedback(
+                "t", "reject", request_id=None, trace_id=None,
+                nlq=None, sql=None, corrected_sql=None,
+            )
+            assert second > first
+            rows = store.feedback_after("t", 0)
+            assert [row["verdict"] for row in rows] == ["accept", "reject"]
+            # The cursor contract: nothing at or before after_id returns.
+            assert store.feedback_after("t", first)[0]["verdict"] == "reject"
+            assert store.feedback_after("t", second) == []
+            assert store.feedback_after("other", 0) == []
+
+    def test_stats_counts_rows(self, tmp_path):
+        with ControlPlaneStore(tmp_path / "cp.db") as store:
+            store.cache_put("t", "fp", "k", "{}")
+            store.add_feedback(
+                "t", "reject", request_id=None, trace_id=None,
+                nlq=None, sql=None, corrected_sql=None,
+            )
+            stats = store.stats()
+            assert stats["rows"]["cache"] == 1
+            assert stats["rows"]["feedback"] == 1
+            assert stats["feedback_by_verdict"] == {"reject": 1}
+            assert stats["size_bytes"] > 0
+
+
+class TestStoreConcurrency:
+    def test_threaded_writers_one_store(self, tmp_path):
+        """Many threads hammering one handle: WAL + per-thread conns hold."""
+        store = ControlPlaneStore(tmp_path / "cp.db")
+        errors: list[Exception] = []
+
+        def write(worker: int) -> None:
+            try:
+                for i in range(25):
+                    store.cache_put("t", "fp", f"w{worker}-k{i}", "{}")
+                    store.add_feedback(
+                        "t", "accept", request_id=None, trace_id=None,
+                        nlq=None, sql=f"SELECT {worker}", corrected_sql=None,
+                    )
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=write, args=(n,)) for n in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = store.stats()
+        assert stats["rows"]["cache"] == 200
+        assert stats["rows"]["feedback"] == 200
+        store.close()
+
+    def test_idempotency_claim_race_single_winner(self, tmp_path):
+        """N racing claimants on one key: exactly one wins, across handles."""
+        path = tmp_path / "cp.db"
+        ControlPlaneStore(path).close()  # create the schema up front
+        outcomes: list[str] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(6)
+
+        def claim() -> None:
+            store = ControlPlaneStore(path)
+            try:
+                barrier.wait()
+                outcome, _ = store.idempotency_begin("t", "hot-key", "req")
+                with lock:
+                    outcomes.append(outcome)
+            finally:
+                store.close()
+
+        threads = [threading.Thread(target=claim) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert outcomes.count("claimed") == 1
+        assert outcomes.count("pending") == 5
+
+    def test_subprocess_writer_shares_store(self, tmp_path):
+        """A second *process* writes; this process reads it back (WAL)."""
+        path = tmp_path / "cp.db"
+        with ControlPlaneStore(path) as store:
+            store.cache_put("t", "fp", "local", "{}")
+            script = (
+                "from repro.controlplane import ControlPlaneStore\n"
+                f"store = ControlPlaneStore({str(path)!r})\n"
+                "store.cache_put('t', 'fp', 'remote', '{\"from\": \"child\"}')\n"
+                "store.add_feedback('t', 'correct', request_id=None,"
+                " trace_id=None, nlq='q', sql=None,"
+                " corrected_sql='SELECT 42')\n"
+                "assert store.cache_get('t', 'fp', 'local') is not None\n"
+                "store.close()\n"
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                timeout=60,
+                env={"PYTHONPATH": str(Path(__file__).parent.parent / "src")},
+            )
+            assert proc.returncode == 0, proc.stderr
+            assert store.cache_get("t", "fp", "remote") == '{"from": "child"}'
+            rows = store.feedback_after("t", 0)
+            assert rows and rows[0]["corrected_sql"] == "SELECT 42"
+
+
+class TestPlane:
+    def test_request_key_canonicalization(self, tmp_path):
+        plane = ControlPlane(tmp_path / "cp.db")
+        try:
+            a = plane.request_key(TranslationRequest.of("papers by X"))
+            b = plane.request_key(TranslationRequest.of("papers by X"))
+            c = plane.request_key(TranslationRequest.of("papers by Y"))
+            assert a == b != c
+            # Delivery options (limit/observe) do not change the key.
+            limited = TranslationRequest(nlq="papers by X", limit=3)
+            observed = TranslationRequest(nlq="papers by X", observe=True)
+            assert plane.request_key(limited) == a
+            assert plane.request_key(observed) == a
+        finally:
+            plane.close()
+
+    def test_write_behind_flush_lands_rows(self, tmp_path):
+        path = tmp_path / "cp.db"
+        plane = ControlPlane(path)
+        try:
+            payload = encode_stored_response("rid-1", [], [], {})
+            plane.store.cache_put("t", "fp", "k", payload)
+            plane.flush()
+        finally:
+            plane.close()
+        with ControlPlaneStore(path) as store:
+            decoded = json.loads(store.cache_get("t", "fp", "k"))
+            assert decoded["request_id"] == "rid-1"
+
+    def test_invalid_ttl_rejected(self, tmp_path):
+        with pytest.raises(ControlPlaneError, match="ttl"):
+            ControlPlane(tmp_path / "cp.db", idempotency_ttl_seconds=0)
+
+    def test_submit_feedback_unknown_reference(self, tmp_path):
+        with ControlPlane(tmp_path / "cp.db") as plane:
+            with pytest.raises(ServingError, match="unknown response"):
+                plane.submit_feedback("t", "reject", request_id="missing")
+
+    def test_submit_feedback_disabled(self, tmp_path):
+        with ControlPlane(tmp_path / "cp.db", feedback=False) as plane:
+            with pytest.raises(ServingError, match="disabled"):
+                plane.submit_feedback("t", "reject", sql="SELECT 1")
+
+    def test_accept_requires_sql(self, tmp_path):
+        with ControlPlane(tmp_path / "cp.db") as plane:
+            with pytest.raises(ServingError, match="accept"):
+                plane.submit_feedback("t", "accept", nlq="q")
+
+    def test_auto_key_prefix_is_stable_contract(self):
+        # http clients never send auto- keys; the fallback namespace is ours.
+        assert AUTO_KEY_PREFIX == "auto-"
+
+
+class TestFeedbackCodec:
+    def test_strict_fields(self):
+        with pytest.raises(ServingError, match="unknown feedback field"):
+            validate_feedback_payload({"verdict": "accept", "vote": 1})
+
+    def test_verdict_whitelist(self):
+        with pytest.raises(ServingError, match="verdict must be one of"):
+            validate_feedback_payload({"verdict": "love-it", "sql": "x"})
+
+    def test_correct_requires_corrected_sql(self):
+        with pytest.raises(ServingError, match="corrected_sql"):
+            validate_feedback_payload({"verdict": "correct", "trace_id": "t"})
+
+    def test_must_reference_something(self):
+        with pytest.raises(ServingError, match="reference a prior response"):
+            validate_feedback_payload({"verdict": "accept"})
+
+    def test_learnable_sql_per_verdict(self):
+        assert learnable_sql({"verdict": "accept", "sql": "A"}) == "A"
+        assert learnable_sql(
+            {"verdict": "correct", "sql": "A", "corrected_sql": "B"}
+        ) == "B"
+        assert learnable_sql({"verdict": "reject", "sql": "A"}) is None

@@ -147,7 +147,7 @@ class StubEngine:
         self.closed = False
         self._gate = gate
 
-    def translate(self, request, *, observe=None):
+    def translate(self, request, *, observe=None, idempotency_key=None):
         if self._gate is not None:
             self._gate.wait(5.0)
         return TranslationResponse(
@@ -173,6 +173,9 @@ class StubEngine:
         absorbed = len(self.service.take_pending())
         self.absorbed += absorbed
         return absorbed
+
+    def apply_feedback(self) -> int:
+        return 0  # no control plane behind the stub
 
     def close(self) -> None:
         self.closed = True

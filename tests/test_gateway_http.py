@@ -365,7 +365,7 @@ class TestAdmission:
             class service:  # noqa: N801 - attribute stand-in
                 pending_observations = 0
 
-            def translate(self, request, *, observe=None):
+            def translate(self, request, *, observe=None, idempotency_key=None):
                 gate.set()
                 release.wait(10.0)
                 return TranslationResponse(request=request, results=[])
