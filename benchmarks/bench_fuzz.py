@@ -1,0 +1,114 @@
+"""Fuzz-harness throughput benchmark + differential gate.
+
+Runs the adversarial workload fuzzer (``src/repro/fuzz/``) for a fixed
+seed and reports cases/sec across the four differential oracles.  Two
+things are **hard-gated** (a failure exits non-zero, also under
+``--smoke``):
+
+* zero differential violations and zero unminimized crashes, and
+* stream determinism — generating the same seed twice yields the same
+  SHA-256 case-stream digest.
+
+Throughput itself is informative only (wall clocks jitter on shared
+runners).  The run emits ``BENCH_fuzz.json`` via ``snapshot.py`` so fuzz
+throughput joins the tracked perf trajectory.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_fuzz.py [--smoke]``
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import format_rows, publish  # noqa: E402
+from snapshot import emit_snapshot, read_snapshot, snapshot_path  # noqa: E402
+
+from repro.fuzz import FuzzContext, build_pool, case_stream, run_fuzz
+from repro.fuzz.generator import stream_digest
+
+SEED = 0
+CASES = 2000
+SMOKE_CASES = 300
+
+
+def _digest_for(seed: int, count: int, context: FuzzContext) -> str:
+    import random
+
+    rng = random.Random(seed)
+    pools = {
+        name: build_pool(rng, name, ctx.dataset.usable_items())
+        for name, ctx in sorted(context.workloads.items())
+    }
+    return stream_digest(case_stream(seed, count, pools))
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    cases = SMOKE_CASES if smoke else CASES
+
+    report = run_fuzz(SEED, cases)
+    failures = []
+    if report.violations:
+        failures.append(
+            f"{len(report.violations)} differential violation(s): "
+            + "; ".join(
+                f"[{v['oracle']}] {v['detail'][:160]}"
+                for v in report.violations[:5]
+            )
+        )
+    if report.crashes:
+        failures.append(f"{report.crashes} crash(es) during fuzzing")
+
+    # Determinism gate: the same seed must reproduce the identical case
+    # stream byte-for-byte (fresh context, fresh RNGs).
+    with FuzzContext() as context:
+        second_digest = _digest_for(SEED, cases, context)
+    if second_digest != report.digest:
+        failures.append(
+            f"stream digest not reproducible: {report.digest} != "
+            f"{second_digest}"
+        )
+
+    rows = [
+        ("seed", str(SEED)),
+        ("cases", str(report.cases)),
+        ("cases/sec", f"{report.cases_per_second:.1f}"),
+        ("elapsed (s)", f"{report.elapsed_seconds:.2f}"),
+        ("violations", str(len(report.violations))),
+        ("crashes", str(report.crashes)),
+        ("digest", report.digest[:16]),
+        ("digest reproducible", "yes" if not failures else "CHECK"),
+    ]
+    table = format_rows(["metric", "value"], rows)
+    print(table)
+    publish("fuzz", "Adversarial fuzz harness", table)
+
+    path = emit_snapshot(
+        "fuzz",
+        {
+            "cases": report.cases,
+            "cases_per_second": round(report.cases_per_second, 2),
+            "violations": len(report.violations),
+            "crashes": report.crashes,
+            "elapsed_seconds": round(report.elapsed_seconds, 3),
+        },
+        config={
+            "seed": SEED,
+            "digest": report.digest,
+            "smoke": smoke,
+            "workloads": sorted(report.workload_counts),
+        },
+    )
+    print(f"snapshot: {path} "
+          f"(headline: {read_snapshot(snapshot_path('fuzz'))['headline']})")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK: all oracles agree on every case; stream is reproducible")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

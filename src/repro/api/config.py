@@ -144,8 +144,11 @@ class EngineConfig:
             raise ConfigError(
                 f"max_configurations must be >= 1, got {self.max_configurations}"
             )
-        if self.cache_size < 1:
-            raise ConfigError(f"cache_size must be >= 1, got {self.cache_size}")
+        if self.cache_size < 0:
+            raise ConfigError(
+                f"cache_size must be >= 0 (0 disables caching), "
+                f"got {self.cache_size}"
+            )
         if self.max_workers < 1:
             raise ConfigError(f"max_workers must be >= 1, got {self.max_workers}")
         if self.trace_keep < 1:

@@ -540,6 +540,50 @@ def _cmd_controlplane(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run the adversarial fuzzer + differential oracles."""
+    from repro.fuzz import DEFAULT_WORKLOADS, emit_fuzz_snapshot, run_fuzz
+
+    cases = 300 if args.smoke and args.cases is None else (args.cases or 2000)
+    workloads = tuple(args.workloads) if args.workloads else DEFAULT_WORKLOADS
+
+    def progress(done: int, total: int) -> None:
+        if args.progress and (done % 100 == 0 or done == total):
+            print(f"  ... {done}/{total} cases", file=sys.stderr)
+
+    report = run_fuzz(
+        args.seed, cases,
+        workloads=workloads,
+        corpus_dir=args.corpus_dir,
+        progress=progress,
+    )
+    rows = [
+        ("seed", report.seed),
+        ("cases", report.cases),
+        ("stream_digest", report.digest),
+        ("elapsed_seconds", f"{report.elapsed_seconds:.2f}"),
+        ("cases_per_second", f"{report.cases_per_second:.1f}"),
+        ("violations", len(report.violations)),
+        ("crashes", report.crashes),
+    ]
+    for oracle in sorted(report.oracle_counts):
+        rows.append((f"violations[{oracle}]", report.oracle_counts[oracle]))
+    for workload in sorted(report.workload_counts):
+        rows.append((f"cases[{workload}]", report.workload_counts[workload]))
+    print(format_kv(rows))
+    if not args.no_snapshot:
+        path = emit_fuzz_snapshot(report, smoke=args.smoke)
+        print(f"snapshot: {path}")
+    for violation in report.violations:
+        print(
+            f"VIOLATION [{violation['oracle']}] {violation['detail']}",
+            file=sys.stderr,
+        )
+    for path in report.corpus_files:
+        print(f"minimized repro written: {path}", file=sys.stderr)
+    return EXIT_OK if report.clean else EXIT_NO_RESULT
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -749,6 +793,32 @@ def build_parser() -> argparse.ArgumentParser:
                           help="the SQL that should have been returned "
                                "(required for --verdict correct)")
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="adversarial workload fuzzer with differential oracles "
+             "(beam≡brute-force, cache on≡off, gateway≡engine, "
+             "mutation invariance); exits 1 on any violation",
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="master seed; one seed = one byte-identical "
+                           "case stream")
+    fuzz.add_argument("--cases", type=int, default=None,
+                      help="cases to generate (default 2000; 300 with "
+                           "--smoke)")
+    fuzz.add_argument("--smoke", action="store_true",
+                      help="CI budget: fewer cases, same hard gates")
+    fuzz.add_argument("--workloads", nargs="+", metavar="DATASET",
+                      choices=sorted(DATASET_BUILDERS), default=None,
+                      help="datasets to fuzz (default: mas wide)")
+    fuzz.add_argument("--corpus-dir", default=None, dest="corpus_dir",
+                      help="write minimized violation repros here "
+                           "(use tests/corpus to commit them)")
+    fuzz.add_argument("--no-snapshot", action="store_true",
+                      dest="no_snapshot",
+                      help="skip writing BENCH_fuzz.json")
+    fuzz.add_argument("--progress", action="store_true",
+                      help="print a progress line every 100 cases")
+
     controlplane = sub.add_parser(
         "controlplane",
         help="inspect or prune a shared control-plane store",
@@ -795,6 +865,7 @@ _COMMANDS = {
     "logs": _cmd_logs,
     "feedback": _cmd_feedback,
     "controlplane": _cmd_controlplane,
+    "fuzz": _cmd_fuzz,
 }
 
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.fragments import FragmentContext, QueryFragment
+from repro.core.fragments import FragmentContext, Obscurity, QueryFragment
 
 
 @dataclass(frozen=True)
@@ -93,6 +93,31 @@ class Configuration:
             for mapping in self.mappings
             if mapping.fragment.context is not FragmentContext.FROM
         ]
+
+    def fragment_key_set(
+        self,
+        obscurity: Obscurity,
+        *,
+        exclude: tuple[FragmentContext, ...] = (
+            FragmentContext.FROM,
+            FragmentContext.GROUP_BY,
+        ),
+    ) -> frozenset[str]:
+        """The set of fragment keys this configuration maps to.
+
+        This is the comparison currency for both keyword-mapping
+        evaluation (``eval.metrics.kw_correct``) and the fuzzer's
+        mutation-invariance oracle: two configurations are "the same
+        answer" when their keyed fragments agree at the given obscurity.
+        FROM fragments (relation scaffolding) and GROUP BY fragments
+        (implied by aggregation metadata, not keyword content) are
+        excluded by default, mirroring the paper's KW-level scoring.
+        """
+        return frozenset(
+            mapping.fragment.key(obscurity)
+            for mapping in self.mappings
+            if mapping.fragment.context not in exclude
+        )
 
     def relation_bag(self) -> list[str]:
         """Relations implied by this configuration (the bag B_R).

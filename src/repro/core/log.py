@@ -44,15 +44,19 @@ class QueryLog:
         delegated to the streaming ingest reader, which normalizes each
         statement to one line.
         """
-        from repro.ingest.reader import is_line_per_statement, iter_statements
+        from repro.ingest.reader import (
+            is_line_per_statement, iter_statements, normalize_statement,
+        )
 
         text = Path(path).read_text()
         log = cls()
         if is_line_per_statement(text):
+            # Normalize here too, so a statement loads identically no
+            # matter which path its file qualifies for.
             for line in text.splitlines():
                 line = line.strip()
                 if line and not line.startswith("--"):
-                    log.add(line)
+                    log.add(normalize_statement(line) or line)
             return log
         log.extend(iter_statements(text.splitlines()))
         return log

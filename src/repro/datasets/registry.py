@@ -8,15 +8,17 @@ from repro.datasets.base import BenchmarkDataset
 from repro.datasets.workload_imdb import build_imdb_dataset
 from repro.datasets.workload_mas import build_mas_dataset
 from repro.datasets.workload_yelp import build_yelp_dataset
+from repro.datasets.wide import build_wide_dataset
 from repro.errors import DatasetError
 
 DATASET_BUILDERS: dict[str, Callable[[int], BenchmarkDataset]] = {
     "mas": build_mas_dataset,
     "yelp": build_yelp_dataset,
     "imdb": build_imdb_dataset,
+    "wide": build_wide_dataset,
 }
 
-_DEFAULT_SEEDS = {"mas": 11, "yelp": 22, "imdb": 33}
+_DEFAULT_SEEDS = {"mas": 11, "yelp": 22, "imdb": 33, "wide": 44}
 
 _cache: dict[tuple[str, int], BenchmarkDataset] = {}
 

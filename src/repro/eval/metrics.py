@@ -43,12 +43,7 @@ def kw_correct(
     except ReproError:
         return False
     top = results[0]
-    config_keys = {
-        mapping.fragment.key(Obscurity.FULL)
-        for mapping in top.configuration.mappings
-        if mapping.fragment.context
-        not in (FragmentContext.FROM, FragmentContext.GROUP_BY)
-    }
+    config_keys = top.configuration.fragment_key_set(Obscurity.FULL)
     return config_keys == gold_keys
 
 

@@ -1,0 +1,220 @@
+"""Deterministic adversarial case stream.
+
+One :class:`random.Random` seeded by the CLI drives every choice —
+workload, benchmark item, obscurity level, result limit, mutation plan —
+so a seed identifies a byte-for-byte reproducible stream of
+:class:`FuzzCase` payloads (verified by :func:`stream_digest`).
+
+Item selection is Zipf-skewed per workload: a handful of hot items
+dominate the trace, the tail trickles.  That mirrors production traffic
+(and is exactly the shape the serving caches and the gateway's
+mixed-tenant path should be stressed with), while still visiting the
+tail given enough cases.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.fuzz import mutators
+from repro.serving.wire import keyword_from_dict
+
+#: Obscurity axis values a case may sweep (paper Section VI).
+OBSCURITIES = ("Full", "NoConst", "NoConstOp")
+
+#: Result limits a case may request from the beam.
+LIMITS = (1, 2, 3, 5, 10)
+
+#: Mutations per case: most cases carry 0–1, a tail carries up to 3.
+_MUTATION_COUNTS = (0, 1, 2, 3)
+_MUTATION_WEIGHTS = (0.30, 0.40, 0.20, 0.10)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated case: a keyword request plus a mutation plan.
+
+    ``keywords`` are wire-format payload dicts (the pre-mutation base);
+    ``mutations`` is an ordered plan of ``{keyword, mutator, salt}``
+    records.  Everything is JSON-plain so a case round-trips through the
+    regression corpus unchanged.
+    """
+
+    case_id: int
+    workload: str
+    item_id: str
+    obscurity: str
+    keywords: tuple[dict, ...]
+    mutations: tuple[dict, ...] = ()
+    limit: int = 3
+    tenant: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            object.__setattr__(self, "tenant", self.workload)
+        object.__setattr__(self, "keywords", tuple(self.keywords))
+        object.__setattr__(self, "mutations", tuple(self.mutations))
+
+    # ------------------------------------------------------------- payload
+
+    def to_dict(self) -> dict:
+        return {
+            "case_id": self.case_id,
+            "workload": self.workload,
+            "item_id": self.item_id,
+            "obscurity": self.obscurity,
+            "keywords": [dict(k) for k in self.keywords],
+            "mutations": [dict(m) for m in self.mutations],
+            "limit": self.limit,
+            "tenant": self.tenant,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FuzzCase":
+        return cls(
+            case_id=int(data["case_id"]),
+            workload=str(data["workload"]),
+            item_id=str(data["item_id"]),
+            obscurity=str(data["obscurity"]),
+            keywords=tuple(dict(k) for k in data["keywords"]),
+            mutations=tuple(dict(m) for m in data.get("mutations", ())),
+            limit=int(data.get("limit", 3)),
+            tenant=str(data.get("tenant", "") or data["workload"]),
+        )
+
+    # ------------------------------------------------------------ keywords
+
+    def base_keywords(self) -> list:
+        """The unmutated keyword objects (strict wire decode)."""
+        return [keyword_from_dict(dict(k)) for k in self.keywords]
+
+    def mutated_texts(self, synonyms: dict | None = None) -> list[str]:
+        """Keyword texts after applying the mutation plan in order."""
+        texts = [str(k["text"]) for k in self.keywords]
+        for mutation in self.mutations:
+            index = int(mutation["keyword"]) % len(texts)
+            texts[index] = mutators.apply_mutation(
+                str(mutation["mutator"]), int(mutation["salt"]),
+                texts[index], synonyms,
+            )
+        return texts
+
+    def mutated_keywords(self, synonyms: dict | None = None) -> list:
+        """Keyword objects with the mutation plan applied."""
+        keywords = []
+        for payload, text in zip(self.keywords, self.mutated_texts(synonyms)):
+            mutated = dict(payload)
+            mutated["text"] = text
+            keywords.append(keyword_from_dict(mutated))
+        return keywords
+
+    def is_preserving(self) -> bool:
+        """True when every planned mutation is semantics-preserving."""
+        return all(
+            mutators.is_preserving(str(m["mutator"])) for m in self.mutations
+        )
+
+    def without_mutation(self, index: int) -> "FuzzCase":
+        """A copy with mutation ``index`` removed (shrinker move)."""
+        kept = tuple(
+            m for i, m in enumerate(self.mutations) if i != index
+        )
+        return replace(self, mutations=kept)
+
+
+# ---------------------------------------------------------------- pools
+
+
+@dataclass(frozen=True)
+class WorkloadPool:
+    """The items of one workload, in seed-shuffled hot-key order."""
+
+    name: str
+    items: tuple[tuple[str, tuple[dict, ...]], ...]  # (item_id, keywords)
+
+    @property
+    def weights(self) -> list[float]:
+        """Zipf-ish weights over the (already shuffled) item ranks."""
+        return [1.0 / (rank + 1) for rank in range(len(self.items))]
+
+
+def build_pool(rng: random.Random, name: str, items) -> WorkloadPool:
+    """Encode a dataset's usable items as a shuffled fuzz pool.
+
+    The shuffle (driven by the master ``rng``) decides which items are
+    the trace's hot keys for this seed.
+    """
+    from repro.serving.wire import keyword_to_dict
+
+    encoded = [
+        (item.item_id, tuple(keyword_to_dict(k) for k in item.keywords))
+        for item in items
+    ]
+    rng.shuffle(encoded)
+    return WorkloadPool(name=name, items=tuple(encoded))
+
+
+# --------------------------------------------------------------- stream
+
+#: Workload mix: the paper workload dominates, the wide schema stresses
+#: join inference on a steady minority of the trace.
+_WORKLOAD_WEIGHTS = {"mas": 0.6, "wide": 0.4}
+
+
+def case_stream(seed: int, count: int, pools: dict[str, WorkloadPool]):
+    """Yield ``count`` deterministic cases for ``seed`` over ``pools``."""
+    rng = random.Random(seed)
+    names = sorted(pools)
+    workload_weights = [_WORKLOAD_WEIGHTS.get(name, 1.0) for name in names]
+    for case_id in range(count):
+        workload = rng.choices(names, weights=workload_weights)[0]
+        pool = pools[workload]
+        item_id, keywords = rng.choices(pool.items, weights=pool.weights)[0]
+        obscurity = rng.choices(OBSCURITIES, weights=(0.5, 0.3, 0.2))[0]
+        limit = rng.choice(LIMITS)
+        count_mutations = rng.choices(
+            _MUTATION_COUNTS, weights=_MUTATION_WEIGHTS
+        )[0]
+        mutations = []
+        for _ in range(count_mutations):
+            pool_name = (
+                mutators.PRESERVING if rng.random() < 0.5
+                else mutators.ADVERSARIAL
+            )
+            mutations.append({
+                "keyword": rng.randrange(len(keywords)),
+                "mutator": rng.choice(pool_name),
+                "salt": rng.getrandbits(32),
+            })
+        yield FuzzCase(
+            case_id=case_id,
+            workload=workload,
+            item_id=item_id,
+            obscurity=obscurity,
+            keywords=keywords,
+            mutations=tuple(mutations),
+            limit=limit,
+        )
+
+
+def case_bytes(case: FuzzCase) -> bytes:
+    """Canonical byte encoding of one case (digest input)."""
+    return json.dumps(
+        case.to_dict(), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def stream_digest(cases) -> str:
+    """SHA-256 over the canonical encoding of a case sequence.
+
+    Two runs of the same seed must produce the same digest — this is the
+    acceptance check for byte-for-byte stream reproducibility.
+    """
+    digest = hashlib.sha256()
+    for case in cases:
+        digest.update(case_bytes(case))
+        digest.update(b"\n")
+    return digest.hexdigest()

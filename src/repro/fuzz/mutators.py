@@ -1,0 +1,229 @@
+"""NLQ keyword mutators: the adversarial vocabulary of the fuzzer.
+
+Each mutator is a pure function ``(rng, text, synonyms) -> str`` driven
+entirely by the :class:`random.Random` it is handed, so a mutation is
+reproducible from its ``(mutator, salt, text)`` triple alone — the
+shrinker and the regression corpus replay mutations without access to
+the generator's master stream.
+
+Mutators come in two classes with very different oracle contracts:
+
+* **Preserving** mutators cannot change what the keyword means to the
+  mapper, *by construction*: every consumer of keyword text goes
+  through :func:`repro.embedding.tokenize.word_tokens`, which lowercases
+  and splits on non-alphanumerics, so case, surrounding whitespace, and
+  trailing ``?``/``!`` are invisible to it.  The mutation-invariance
+  oracle asserts the top-ranked fragment set is identical under these.
+  (Trailing ``.`` is deliberately *not* used: next to a digit it would
+  extend a number literal.)
+* **Adversarial** mutators (typos, stemmer-hostile inflections,
+  lexicon-driven synonym swaps, numeric jitter, token drops) may
+  legitimately change the answer.  For these the oracles only demand
+  robustness: no crash, deterministic output, and beam ≡ brute-force.
+
+>>> import random
+>>> case_upper(random.Random(0), "cheap restaurants")
+'CHEAP RESTAURANTS'
+>>> typo_swap(random.Random(7), "papers")
+'ppaers'
+>>> synonym(random.Random(1), "retail customer", {"customer": ["client"]})
+'retail client'
+"""
+
+from __future__ import annotations
+
+import random
+import re
+import string
+
+_WORD_RE = re.compile(r"[A-Za-z]+")
+_NUMBER_RE = re.compile(r"\d+")
+
+#: Stemmer-hostile suffixes: forms the Porter stemmer may or may not
+#: reduce back to the original stem (``-ational`` famously survives as
+#: ``-ate``), which is exactly the robustness surface worth fuzzing.
+_INFLECTIONS = ("s", "es", "ed", "ing", "ation", "ational", "ly")
+
+
+# ------------------------------------------------------------- preserving
+
+
+def case_upper(rng: random.Random, text: str, synonyms=None) -> str:
+    """Uppercase the whole keyword (tokenization-invariant)."""
+    return text.upper()
+
+
+def case_title(rng: random.Random, text: str, synonyms=None) -> str:
+    """Title-case the keyword (tokenization-invariant)."""
+    return text.title()
+
+
+def case_random(rng: random.Random, text: str, synonyms=None) -> str:
+    """Randomly flip the case of each letter (tokenization-invariant).
+
+    >>> import random
+    >>> case_random(random.Random(3), "journal")
+    'JoUrnAL'
+    """
+    return "".join(
+        c.upper() if c.islower() and rng.random() < 0.5 else c for c in text
+    )
+
+
+def pad_whitespace(rng: random.Random, text: str, synonyms=None) -> str:
+    """Pad with leading/trailing blanks and widen one internal gap."""
+    padded = " " * rng.randint(0, 2) + text + " " * rng.randint(0, 2)
+    gaps = [i for i, c in enumerate(padded) if c == " " and 0 < i < len(padded) - 1]
+    if gaps:
+        at = rng.choice(gaps)
+        padded = padded[:at] + " " * rng.randint(1, 2) + padded[at:]
+    return padded
+
+
+def trailing_punct(rng: random.Random, text: str, synonyms=None) -> str:
+    """Append ``?`` or ``!`` — punctuation the tokenizer discards."""
+    return text + rng.choice("?!")
+
+
+# ------------------------------------------------------------ adversarial
+
+
+def _pick_word(rng: random.Random, text: str, min_len: int = 1):
+    words = [m for m in _WORD_RE.finditer(text) if len(m.group()) >= min_len]
+    return rng.choice(words) if words else None
+
+
+def typo_swap(rng: random.Random, text: str, synonyms=None) -> str:
+    """Transpose two adjacent letters inside one word."""
+    word = _pick_word(rng, text, min_len=2)
+    if word is None:
+        return text
+    at = word.start() + rng.randrange(len(word.group()) - 1)
+    return text[:at] + text[at + 1] + text[at] + text[at + 2:]
+
+
+def typo_drop(rng: random.Random, text: str, synonyms=None) -> str:
+    """Delete one letter from one word."""
+    word = _pick_word(rng, text, min_len=2)
+    if word is None:
+        return text
+    at = word.start() + rng.randrange(len(word.group()))
+    return text[:at] + text[at + 1:]
+
+
+def typo_dup(rng: random.Random, text: str, synonyms=None) -> str:
+    """Double one letter of one word (fat-finger repeat)."""
+    word = _pick_word(rng, text)
+    if word is None:
+        return text
+    at = word.start() + rng.randrange(len(word.group()))
+    return text[:at] + text[at] + text[at:]
+
+
+def typo_replace(rng: random.Random, text: str, synonyms=None) -> str:
+    """Replace one letter of one word with a random lowercase letter."""
+    word = _pick_word(rng, text)
+    if word is None:
+        return text
+    at = word.start() + rng.randrange(len(word.group()))
+    return text[:at] + rng.choice(string.ascii_lowercase) + text[at + 1:]
+
+
+def inflect(rng: random.Random, text: str, synonyms=None) -> str:
+    """Append a stemmer-hostile suffix to one word."""
+    word = _pick_word(rng, text, min_len=3)
+    if word is None:
+        return text
+    suffix = rng.choice(_INFLECTIONS)
+    return text[: word.end()] + suffix + text[word.end():]
+
+
+def synonym(rng: random.Random, text: str, synonyms=None) -> str:
+    """Swap one word for a lexicon synonym (paraphrase pressure).
+
+    ``synonyms`` maps a lowercase token to its alternates, as built by
+    :func:`synonym_map` from a dataset lexicon.  Identity when no word
+    of the text has an entry.
+    """
+    if not synonyms:
+        return text
+    words = [
+        m for m in _WORD_RE.finditer(text) if m.group().lower() in synonyms
+    ]
+    if not words:
+        return text
+    word = rng.choice(words)
+    replacement = rng.choice(synonyms[word.group().lower()])
+    return text[: word.start()] + replacement + text[word.end():]
+
+
+def number_jitter(rng: random.Random, text: str, synonyms=None) -> str:
+    """Shift one integer literal by ±1..10 (clamped at zero)."""
+    numbers = list(_NUMBER_RE.finditer(text))
+    if not numbers:
+        return text
+    match = rng.choice(numbers)
+    value = max(0, int(match.group()) + rng.choice([-1, 1]) * rng.randint(1, 10))
+    return text[: match.start()] + str(value) + text[match.end():]
+
+
+def drop_token(rng: random.Random, text: str, synonyms=None) -> str:
+    """Remove one whitespace-separated token (if more than one)."""
+    tokens = text.split()
+    if len(tokens) < 2:
+        return text
+    del tokens[rng.randrange(len(tokens))]
+    return " ".join(tokens)
+
+
+# --------------------------------------------------------------- registry
+
+PRESERVING = (
+    "case_upper", "case_title", "case_random", "pad_whitespace",
+    "trailing_punct",
+)
+
+ADVERSARIAL = (
+    "typo_swap", "typo_drop", "typo_dup", "typo_replace",
+    "inflect", "synonym", "number_jitter", "drop_token",
+)
+
+MUTATORS = {name: globals()[name] for name in PRESERVING + ADVERSARIAL}
+
+
+def is_preserving(name: str) -> bool:
+    """Whether ``name`` is a semantics-preserving mutator.
+
+    >>> is_preserving("case_upper"), is_preserving("typo_swap")
+    (True, False)
+    """
+    return name in PRESERVING
+
+
+def apply_mutation(
+    name: str, salt: int, text: str, synonyms: dict | None = None
+) -> str:
+    """Apply one mutation, reproducibly: same triple, same output.
+
+    >>> apply_mutation("typo_dup", 5, "papers")
+    'paperss'
+    >>> apply_mutation("typo_dup", 5, "papers")
+    'paperss'
+    """
+    if name not in MUTATORS:
+        raise KeyError(f"unknown mutator {name!r}; known: {sorted(MUTATORS)}")
+    return MUTATORS[name](random.Random(salt), text, synonyms)
+
+
+def synonym_map(lexicon) -> dict[str, list[str]]:
+    """Token → alternates map from a dataset lexicon's entry table.
+
+    Built from :meth:`~repro.embedding.lexicon.Lexicon.to_dict`, so only
+    genuinely registered pairs (not stem-identity fallbacks) feed the
+    paraphrase mutator.  Alternates are sorted for determinism.
+    """
+    table: dict[str, set[str]] = {}
+    for a, b, _score in lexicon.to_dict()["entries"]:
+        table.setdefault(a, set()).add(b)
+        table.setdefault(b, set()).add(a)
+    return {token: sorted(others) for token, others in sorted(table.items())}

@@ -1,0 +1,252 @@
+"""The fuzz loop: generate → check → shrink → record → snapshot.
+
+:func:`run_fuzz` is what both the ``repro fuzz`` CLI and
+``benchmarks/bench_fuzz.py`` call.  It builds one
+:class:`~repro.fuzz.oracles.FuzzContext`, drives the deterministic case
+stream through every oracle, shrinks anything that violates, and (when
+given a corpus directory) writes the minimized repro files that
+``tests/test_fuzz_corpus.py`` replays forever.  A
+``BENCH_fuzz.json`` snapshot (cases/sec, violations) is emitted through
+``benchmarks/snapshot.py`` so fuzz throughput joins the tracked perf
+trajectory.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.fuzz.corpus import write_case
+from repro.fuzz.generator import (
+    FuzzCase, build_pool, case_stream, stream_digest,
+)
+from repro.fuzz.oracles import DEFAULT_WORKLOADS, FuzzContext, ORACLES
+from repro.fuzz.shrink import shrink_case
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz run."""
+
+    seed: int
+    cases: int
+    digest: str
+    elapsed_seconds: float
+    violations: list[dict] = field(default_factory=list)
+    crashes: int = 0
+    oracle_counts: dict = field(default_factory=dict)
+    workload_counts: dict = field(default_factory=dict)
+    corpus_files: list[str] = field(default_factory=list)
+
+    @property
+    def cases_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.cases / self.elapsed_seconds
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "cases": self.cases,
+            "digest": self.digest,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "cases_per_second": round(self.cases_per_second, 2),
+            "violations": self.violations,
+            "crashes": self.crashes,
+            "oracle_counts": self.oracle_counts,
+            "workload_counts": self.workload_counts,
+            "corpus_files": self.corpus_files,
+        }
+
+
+def _make_rng_free_seed_stream(seed: int, count: int, context: FuzzContext):
+    """Materialized case list + digest for ``seed`` (one pass, reusable)."""
+    import random
+
+    rng = random.Random(seed)
+    pools = {
+        name: build_pool(rng, name, ctx.dataset.usable_items())
+        for name, ctx in sorted(context.workloads.items())
+    }
+    cases = list(case_stream(seed, count, pools))
+    return cases, stream_digest(cases)
+
+
+def run_fuzz(
+    seed: int,
+    count: int,
+    *,
+    workloads=DEFAULT_WORKLOADS,
+    corpus_dir: str | Path | None = None,
+    context: FuzzContext | None = None,
+    progress=None,
+) -> FuzzReport:
+    """Fuzz ``count`` cases from ``seed``; shrink and record violations.
+
+    ``corpus_dir`` (usually ``tests/corpus``) receives one minimized
+    JSON repro per violation.  ``progress`` is an optional callable
+    ``(done, total) -> None`` for CLI feedback.  An injected ``context``
+    is reused (and not closed) — the pytest corpus replay shares one.
+    """
+    owned_context = context is None
+    if context is None:
+        context = FuzzContext(workloads)
+    started = time.perf_counter()
+    try:
+        cases, digest = _make_rng_free_seed_stream(seed, count, context)
+        report = FuzzReport(
+            seed=seed, cases=len(cases), digest=digest, elapsed_seconds=0.0,
+            oracle_counts={oracle: 0 for oracle in ORACLES},
+        )
+        for done, case in enumerate(cases, start=1):
+            report.workload_counts[case.workload] = (
+                report.workload_counts.get(case.workload, 0) + 1
+            )
+            violation = _check_with_crash_guard(context, case)
+            if violation is not None:
+                _record_violation(context, report, violation, corpus_dir)
+            if progress is not None:
+                progress(done, len(cases))
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+    finally:
+        if owned_context:
+            context.close()
+
+
+def _check_with_crash_guard(context: FuzzContext, case: FuzzCase):
+    """One case through every oracle; exceptions become crash records."""
+    try:
+        return context.check_case(case)
+    except Exception as exc:  # noqa: BLE001 - the whole point of a fuzzer
+        return {
+            "oracle": "crash",
+            "case": case.to_dict(),
+            "detail": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(limit=8),
+        }
+
+
+def _record_violation(
+    context: FuzzContext,
+    report: FuzzReport,
+    violation: dict,
+    corpus_dir: str | Path | None,
+) -> None:
+    """Shrink the violating case, then record (and optionally persist)."""
+    oracle = violation["oracle"]
+    case = FuzzCase.from_dict(violation["case"])
+    if oracle == "crash":
+        report.crashes += 1
+        exception_name = str(violation["detail"]).split(":", 1)[0]
+
+        def still_violates(candidate: FuzzCase) -> bool:
+            try:
+                context.check_case(candidate)
+            except Exception as exc:  # noqa: BLE001
+                return type(exc).__name__ == exception_name
+            return False
+
+    else:
+        report.oracle_counts[oracle] = report.oracle_counts.get(oracle, 0) + 1
+        checker = context.checker(oracle)
+
+        def still_violates(candidate: FuzzCase) -> bool:
+            return checker(candidate) is not None
+
+    minimized, steps = shrink_case(case, still_violates)
+    violation = dict(violation)
+    violation["case"] = minimized.to_dict()
+    violation["shrink_steps"] = steps
+    report.violations.append(violation)
+    if corpus_dir is not None:
+        path = write_case(
+            corpus_dir, oracle, minimized,
+            note=str(violation["detail"])[:400],
+            found=f"repro fuzz --seed {report.seed}",
+        )
+        report.corpus_files.append(str(path))
+
+
+# -------------------------------------------------------------- snapshot
+
+
+def _load_snapshot_module():
+    """Import ``benchmarks/snapshot.py`` from a source checkout.
+
+    The benchmarks directory is not a package; load it by path.  Returns
+    ``None`` outside a checkout (installed-package scenario) — the
+    caller falls back to a schema-compatible minimal writer.
+    """
+    path = _REPO_ROOT / "benchmarks" / "snapshot.py"
+    if not path.is_file():
+        return None
+    spec = importlib.util.spec_from_file_location("repro_bench_snapshot", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def emit_fuzz_snapshot(
+    report: FuzzReport, *, smoke: bool = False, out_dir: str | Path | None = None
+) -> Path:
+    """Write ``BENCH_fuzz.json`` for this run; returns the path.
+
+    Headline numbers (throughput, violation counts) feed the perf
+    trajectory; run identity (seed, digest) rides in ``config`` so a
+    snapshot pins the exact case stream it measured.
+    """
+    headline = {
+        "cases": report.cases,
+        "cases_per_second": round(report.cases_per_second, 2),
+        "violations": len(report.violations),
+        "crashes": report.crashes,
+        "elapsed_seconds": round(report.elapsed_seconds, 3),
+    }
+    config = {
+        "seed": report.seed,
+        "digest": report.digest,
+        "smoke": smoke,
+        "workloads": sorted(report.workload_counts),
+    }
+    snapshot = _load_snapshot_module()
+    if snapshot is not None:
+        return snapshot.emit_snapshot(
+            "fuzz", headline, config=config, out_dir=out_dir
+        )
+    # Minimal fallback: the same required fields read_snapshot validates
+    # (schema_version, name, created_unix, machine, config, headline).
+    import json
+    import os
+    import platform
+    import time as _time
+
+    out = Path(out_dir) if out_dir is not None else _REPO_ROOT
+    path = out / "BENCH_fuzz.json"
+    payload = {
+        "schema_version": 2,
+        "name": "fuzz",
+        "created_unix": round(_time.time(), 3),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "headline": headline,
+        "config": config,
+        "history": [],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path

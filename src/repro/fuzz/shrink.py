@@ -1,0 +1,93 @@
+"""Greedy case minimizer (delta debugging, small and deterministic).
+
+Given a violating case and a predicate ("does this still violate the
+same oracle?"), :func:`shrink_case` repeatedly tries simplifications in
+a fixed order and keeps any that still reproduce:
+
+1. drop a mutation from the plan,
+2. drop a keyword (when more than one remains),
+3. drop the last whitespace token of a keyword's text,
+4. lower the requested limit to 1.
+
+The order matters for readable repros: mutation noise goes first, then
+structural width, then text length.  The loop restarts after every
+accepted simplification and stops at a fixed point (or a step budget,
+so a pathological predicate can't spin forever).  Everything is pure
+case surgery — no randomness — so a shrink is reproducible too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.fuzz.generator import FuzzCase
+
+#: Upper bound on predicate evaluations per shrink.
+MAX_STEPS = 400
+
+
+def _candidates(case: FuzzCase):
+    """Simplified variants of ``case``, most aggressive first per axis."""
+    for index in range(len(case.mutations)):
+        yield case.without_mutation(index)
+    if len(case.keywords) > 1:
+        for index in range(len(case.keywords)):
+            kept_keywords = tuple(
+                k for i, k in enumerate(case.keywords) if i != index
+            )
+            kept_mutations = tuple(
+                {**m, "keyword": int(m["keyword"]) % len(kept_keywords)}
+                for m in case.mutations
+            )
+            yield replace(
+                case, keywords=kept_keywords, mutations=kept_mutations
+            )
+    for index, payload in enumerate(case.keywords):
+        tokens = str(payload["text"]).split()
+        if len(tokens) > 1:
+            shortened = dict(payload)
+            shortened["text"] = " ".join(tokens[:-1])
+            yield replace(
+                case,
+                keywords=tuple(
+                    shortened if i == index else k
+                    for i, k in enumerate(case.keywords)
+                ),
+            )
+    if case.limit > 1:
+        yield replace(case, limit=1)
+
+
+def shrink_case(
+    case: FuzzCase,
+    still_violates: Callable[[FuzzCase], bool],
+    max_steps: int = MAX_STEPS,
+) -> tuple[FuzzCase, int]:
+    """Minimize ``case`` under ``still_violates``; returns (case, steps).
+
+    The returned case is 1-minimal with respect to the move set: no
+    single remaining simplification reproduces the violation (unless the
+    step budget ran out first).  The predicate must treat a case that
+    *crashes the same way* as still violating — the runner arranges
+    that.
+    """
+    steps = 0
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        for candidate in _candidates(case):
+            steps += 1
+            if steps >= max_steps:
+                break
+            try:
+                reproduces = still_violates(candidate)
+            except Exception:
+                # A *different* failure while probing a simplification
+                # must not derail the shrink of the original one.
+                reproduces = False
+            if reproduces:
+                case = candidate
+                improved = True
+                break
+    return case, steps

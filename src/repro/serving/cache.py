@@ -54,11 +54,18 @@ class CacheStats:
 
 
 class LRUCache:
-    """Bounded mapping with least-recently-used eviction."""
+    """Bounded mapping with least-recently-used eviction.
+
+    ``maxsize=0`` is a true off switch: every ``get`` misses and ``put``
+    stores nothing, but the stats counters still tick, so a disabled
+    cache remains observable.  The differential fuzz harness relies on
+    this to run cache-on vs. cache-off engines through identical code
+    paths.
+    """
 
     def __init__(self, maxsize: int = 1024, name: str = "cache") -> None:
-        if maxsize < 1:
-            raise ServingError("cache maxsize must be >= 1")
+        if maxsize < 0:
+            raise ServingError("cache maxsize must be >= 0")
         self.maxsize = maxsize
         self.name = name
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
@@ -78,6 +85,8 @@ class LRUCache:
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
+        if self.maxsize == 0:
+            return
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)

@@ -10,6 +10,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
 
+from perf_report import render_trajectory  # noqa: E402
 from snapshot import (  # noqa: E402
     HISTORY_KEEP,
     SCHEMA_VERSION,
@@ -116,3 +117,43 @@ def test_read_rejects_wrong_schema_version(tmp_path):
     path.write_text(json.dumps(payload))
     with pytest.raises(ValueError, match="schema_version"):
         read_snapshot(path)
+
+
+# ------------------------------------------------- trajectory rendering
+
+
+def test_trajectory_renders_empty_history_single_run(tmp_path):
+    """A fresh snapshot (no prior runs) renders its one row plus a note
+    instead of assuming history has entries."""
+    emit_snapshot("demo", {"cases": 2000, "rate": 18.5}, out_dir=tmp_path)
+    table = render_trajectory("demo", out_dir=tmp_path)
+    rows = [line for line in table.splitlines() if line.startswith("|")]
+    assert len(rows) == 3  # header, separator, the single run
+    assert "2000.00" in rows[2]
+    assert "first recorded run" in table
+
+
+def test_trajectory_derives_columns_from_headline(tmp_path):
+    """Non-perf_core snapshots chart whatever headline keys they carry."""
+    emit_snapshot("demo", {"cases_per_second": 18.0}, out_dir=tmp_path)
+    table = render_trajectory("demo", out_dir=tmp_path)
+    assert "cases per second" in table
+
+
+def test_trajectory_tolerates_missing_and_non_numeric_values(tmp_path):
+    emit_snapshot("demo", {"x": 1.0, "label": "full"}, out_dir=tmp_path)
+    emit_snapshot("demo", {"y": 2.0}, out_dir=tmp_path)
+    table = render_trajectory("demo", out_dir=tmp_path)
+    assert "—" in table  # each run lacks the other's key
+    assert "full" in table  # strings render verbatim, no format crash
+
+
+def test_trajectory_flags_smoke_runs(tmp_path):
+    emit_snapshot("demo", {"x": 1.0}, config={"smoke": True}, out_dir=tmp_path)
+    emit_snapshot("demo", {"x": 2.0}, config={"smoke": False}, out_dir=tmp_path)
+    table = render_trajectory("demo", out_dir=tmp_path)
+    assert table.count("(smoke)") == 1
+
+
+def test_trajectory_reports_missing_snapshot(tmp_path):
+    assert "no snapshot" in render_trajectory("absent", out_dir=tmp_path)

@@ -1,0 +1,60 @@
+"""Replay the committed regression corpus (``tests/corpus/``) forever.
+
+Every JSON file under ``tests/corpus/`` is one minimized fuzz case.  A
+file whose ``oracle`` names a differential oracle records a violation
+that was found and fixed — replaying it proves the fix holds.  A
+``self_test`` file documents the harness's own serialize → shrink →
+replay path.  Either way the contract is the same: **today, every
+oracle must pass on every corpus case.**
+
+To triage a new violation: run ``repro fuzz`` with ``--corpus-dir
+tests/corpus``, commit the minimized file it writes, fix the bug, and
+this test keeps the case green forever.  See ``docs/fuzzing.md``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import FuzzContext, load_corpus
+from repro.fuzz.corpus import case_id
+from repro.fuzz.oracles import ORACLES
+
+CORPUS_DIR = Path(__file__).resolve().parent / "corpus"
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+@pytest.fixture(scope="module")
+def fuzz_context():
+    with FuzzContext() as context:
+        yield context
+
+
+def test_corpus_is_seeded():
+    """The corpus exists and is non-empty (satellite requirement)."""
+    assert ENTRIES, (
+        f"{CORPUS_DIR} must contain at least the harness self-test corpus"
+    )
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[entry.path.name for entry in ENTRIES]
+)
+def test_corpus_entry_integrity(entry):
+    """Filenames embed the content hash; a hand-edited case must re-hash."""
+    assert entry.path.name == f"{entry.oracle}-{case_id(entry.case)}.json"
+    assert entry.oracle in (*ORACLES, "self_test", "crash")
+    assert entry.note, f"{entry.path.name}: corpus entries document why"
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[entry.path.name for entry in ENTRIES]
+)
+def test_corpus_entry_replays_clean(fuzz_context, entry):
+    """No corpus case may violate any oracle today (regressions stay fixed)."""
+    violation = fuzz_context.check_case(entry.case)
+    assert violation is None, (
+        f"{entry.path.name} regressed: [{violation['oracle']}] "
+        f"{violation['detail']}\nOriginal note: {entry.note}"
+    )

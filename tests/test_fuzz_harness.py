@@ -1,0 +1,242 @@
+"""The fuzz harness itself: determinism, mutators, shrinker, snapshot.
+
+The expensive differential context is module-scoped and shared; the
+cheap generator/shrinker/corpus properties run without any engines.
+"""
+
+import importlib.util
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.embedding.tokenize import word_tokens
+from repro.fuzz import (
+    ADVERSARIAL, PRESERVING, FuzzCase, FuzzContext, apply_mutation,
+    build_pool, case_stream, load_corpus, run_fuzz, shrink_case,
+    stream_digest, write_case,
+)
+from repro.fuzz.corpus import case_id, load_entry
+from repro.fuzz.mutators import MUTATORS, synonym_map
+from repro.fuzz.runner import emit_fuzz_snapshot
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def fuzz_context():
+    with FuzzContext() as context:
+        yield context
+
+
+def _pools(context, seed):
+    rng = random.Random(seed)
+    return {
+        name: build_pool(rng, name, ctx.dataset.usable_items())
+        for name, ctx in sorted(context.workloads.items())
+    }
+
+
+# ------------------------------------------------------------ determinism
+
+
+def test_same_seed_same_stream_byte_for_byte(fuzz_context):
+    first = list(case_stream(7, 120, _pools(fuzz_context, 7)))
+    second = list(case_stream(7, 120, _pools(fuzz_context, 7)))
+    assert first == second
+    assert stream_digest(first) == stream_digest(second)
+
+
+def test_different_seeds_differ(fuzz_context):
+    a = stream_digest(case_stream(1, 60, _pools(fuzz_context, 1)))
+    b = stream_digest(case_stream(2, 60, _pools(fuzz_context, 2)))
+    assert a != b
+
+
+def test_mutation_application_is_salt_deterministic():
+    for name in MUTATORS:
+        first = apply_mutation(name, 1234, "number of papers after 2000")
+        second = apply_mutation(name, 1234, "number of papers after 2000")
+        assert first == second, name
+
+
+# --------------------------------------------------------------- mutators
+
+
+@pytest.mark.parametrize("name", PRESERVING)
+def test_preserving_mutators_are_tokenization_invariant(name):
+    """The preserving contract: word_tokens cannot see the mutation."""
+    texts = [
+        "papers", "John Smith", "after 2000", "number of papers",
+        "VLDB  conference", "retail customer",
+    ]
+    for salt in range(30):
+        for text in texts:
+            mutated = apply_mutation(name, salt, text)
+            assert word_tokens(mutated) == word_tokens(text), (
+                f"{name}(salt={salt}) changed tokens: "
+                f"{text!r} -> {mutated!r}"
+            )
+
+
+@pytest.mark.parametrize("name", ADVERSARIAL)
+def test_adversarial_mutators_are_total(name):
+    """Never crash, always return a string — even on hostile inputs."""
+    synonyms = {"papers": ["articles"]}
+    for salt in range(20):
+        for text in ("", "x", "papers", "42", "a b c", "  ", "'"):
+            assert isinstance(
+                apply_mutation(name, salt, text, synonyms), str
+            )
+
+
+def test_synonym_mutator_uses_lexicon_pairs(fuzz_context):
+    synonyms = fuzz_context.workloads["wide"].synonyms
+    assert "customer" in synonyms
+    mutated = apply_mutation(
+        "synonym", 0, "retail customer", synonyms
+    )
+    assert mutated != "retail customer"
+
+
+def test_trailing_punct_never_extends_numbers():
+    """Guard for extract_number: only ? and ! — never '.' — get appended."""
+    for salt in range(50):
+        mutated = apply_mutation("trailing_punct", salt, "after 2000")
+        assert mutated[-1] in "?!"
+
+
+# ---------------------------------------------------------------- shrinker
+
+
+def _toy_case(mutation_count=3, keywords=3, limit=10):
+    return FuzzCase(
+        case_id=0,
+        workload="mas",
+        item_id="mas-001",
+        obscurity="Full",
+        keywords=tuple(
+            {"text": f"word{i} extra tail", "context": "SELECT"}
+            for i in range(keywords)
+        ),
+        mutations=tuple(
+            {"keyword": i % keywords, "mutator": "typo_dup", "salt": i}
+            for i in range(mutation_count)
+        ),
+        limit=limit,
+    )
+
+
+def test_shrinker_minimizes_planted_violation():
+    """Predicate: 'violates while any mutation remains' → 1-mutation min."""
+    case = _toy_case()
+    minimized, steps = shrink_case(case, lambda c: len(c.mutations) > 0)
+    assert len(minimized.mutations) == 1
+    assert len(minimized.keywords) == 1
+    assert minimized.limit == 1
+    assert all(
+        len(str(k["text"]).split()) == 1 for k in minimized.keywords
+    )
+    assert steps > 0
+
+
+def test_shrinker_is_deterministic():
+    predicate = lambda c: len(c.mutations) > 0  # noqa: E731
+    a, _ = shrink_case(_toy_case(), predicate)
+    b, _ = shrink_case(_toy_case(), predicate)
+    assert a == b
+
+
+def test_shrinker_survives_crashing_predicate():
+    """A probe that raises on some candidates must not abort the shrink."""
+
+    def predicate(c):
+        if c.limit == 1:
+            raise RuntimeError("different failure while probing")
+        return len(c.mutations) > 0
+
+    minimized, _ = shrink_case(_toy_case(), predicate)
+    assert len(minimized.mutations) == 1
+    assert minimized.limit > 1  # the crashing simplification was rejected
+
+
+# ------------------------------------------------------------------ corpus
+
+
+def test_corpus_round_trip(tmp_path):
+    case = _toy_case()
+    path = write_case(tmp_path, "beam", case, note="planted", found="test")
+    entry = load_entry(path)
+    assert entry.case == case
+    assert entry.oracle == "beam"
+    assert entry.note == "planted"
+    assert entry.path.name == f"beam-{case_id(case)}.json"
+    assert load_corpus(tmp_path) == [entry]
+
+
+def test_corpus_write_is_idempotent(tmp_path):
+    case = _toy_case()
+    first = write_case(tmp_path, "cache", case)
+    second = write_case(tmp_path, "cache", case)
+    assert first == second
+    assert len(load_corpus(tmp_path)) == 1
+
+
+def test_corpus_rejects_malformed(tmp_path):
+    from repro.errors import ReproError
+
+    bad = tmp_path / "beam-deadbeef.json"
+    bad.write_text("{not json")
+    with pytest.raises(ReproError):
+        load_corpus(tmp_path)
+
+
+# ------------------------------------------------- end-to-end + snapshot
+
+
+def test_small_run_is_clean_and_reproducible(fuzz_context, tmp_path):
+    report = run_fuzz(5, 25, context=fuzz_context, corpus_dir=tmp_path)
+    assert report.violations == []
+    assert report.crashes == 0
+    assert report.cases == 25
+    assert sorted(report.workload_counts) <= ["mas", "wide"]
+    again = run_fuzz(5, 25, context=fuzz_context)
+    assert again.digest == report.digest
+    assert list(tmp_path.glob("*.json")) == []  # clean run, no repro files
+
+
+def test_snapshot_emits_and_parses(fuzz_context, tmp_path):
+    report = run_fuzz(11, 10, context=fuzz_context)
+    path = emit_fuzz_snapshot(report, smoke=True, out_dir=tmp_path)
+    assert path.name == "BENCH_fuzz.json"
+    spec = importlib.util.spec_from_file_location(
+        "snapshot_under_test", REPO_ROOT / "benchmarks" / "snapshot.py"
+    )
+    snapshot = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(snapshot)
+    payload = snapshot.read_snapshot(path)
+    assert payload["name"] == "fuzz"
+    assert payload["headline"]["cases"] == 10
+    assert payload["headline"]["violations"] == 0
+    assert payload["config"]["digest"] == report.digest
+    # Raw JSON also keeps the run identity for the trajectory.
+    raw = json.loads(path.read_text())
+    assert raw["config"]["seed"] == 11
+
+
+def test_cli_fuzz_exits_zero_on_clean_run(tmp_path, capsys):
+    from repro.cli import main
+
+    code = main([
+        "fuzz", "--seed", "2", "--cases", "8",
+        "--workloads", "mas", "--no-snapshot",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    values = dict(
+        line.split(None, 1) for line in out.splitlines() if line.strip()
+    )
+    assert values["violations"] == "0"
+    assert values["crashes"] == "0"
+    assert len(values["stream_digest"]) == 64

@@ -72,7 +72,17 @@ class TestLRUCache:
 
     def test_invalid_maxsize_rejected(self):
         with pytest.raises(ServingError):
-            LRUCache(maxsize=0)
+            LRUCache(maxsize=-1)
+
+    def test_zero_maxsize_disables_caching(self):
+        """maxsize=0 is the off-switch (the fuzz harness's cache-off
+        engine relies on it): puts are dropped, every get misses."""
+        cache = LRUCache(maxsize=0)
+        cache.put("k", "v")
+        assert cache.get("k") is None
+        assert len(cache) == 0
+        assert cache.stats().misses == 1
+        assert cache.stats().hits == 0
 
     def test_concurrent_mixed_access_is_safe(self):
         cache = LRUCache(maxsize=64)
