@@ -18,6 +18,13 @@ numbers of the multi-tenant gateway subsystem:
   request latency in the swap window — with RCU swapping there is no
   pause, so it should sit near the steady-state tail, and the new
   engine is built entirely off the serving path.
+* **shadow-canary gate** — a deliberately degraded artifact (the QFG
+  compiled from a truncated query log) is published and a reload is
+  requested while traffic hammers the tenant.  Acceptance: the canary
+  replay detects the divergence and the reload is **rejected with 422**,
+  the old version keeps serving with zero failed requests, and a
+  subsequently published clean artifact passes the same gate and swaps
+  normally.  All of this is gated, never advisory.
 
 Run with ``PYTHONPATH=src python benchmarks/bench_gateway.py``; CI runs
 ``--smoke`` (small request counts, throughput ratio advisory — shared
@@ -286,6 +293,135 @@ def bench_reload_blackout(store_root: Path, client_threads: int,
     }
 
 
+def bench_canary_gate(root: Path, client_threads: int) -> dict:
+    """Degraded artifact blocked, old version serves on, clean one swaps.
+
+    Uses its own artifact store and journal so the phase is independent
+    of the other benchmarks' stores.  The degraded artifact is the MAS
+    QFG compiled from only the first three log statements — enough to
+    still translate, wrong enough that replayed traffic diverges.
+    """
+    dataset = load_dataset("mas")
+    store = ArtifactStore(root / "canary-store")
+    clean_version = store.compile(dataset).version
+    config = GatewayConfig.from_dict({
+        "tenants": {"mas": {"engine": {
+            "dataset": "mas",
+            "log_source": "artifacts",
+            "artifacts": str(root / "canary-store"),
+        }, "max_in_flight": 4 * client_threads}},
+        "journal_dir": str(root / "canary-journal"),
+        "canary_requests": 16,
+        "canary_divergence": 0.2,
+    })
+    outcome: dict = {"failures": []}
+    with Gateway.from_config(config) as gateway:
+        server = make_gateway_server(gateway, port=0)
+        _serve(server)
+        port = server.server_address[1]
+
+        # Seed the journal with traffic the canary will replay; the
+        # papers-after-2000 NLQ is the one a truncated-log QFG gets
+        # wrong (join ranking collapses without log evidence).
+        for _ in range(12):
+            _post(port, "/t/mas/translate", {"nlq": NLQS["mas"]})
+        for nlq in ("number of papers", "conferences with papers"):
+            for _ in range(2):
+                _post(port, "/t/mas/translate", {"nlq": nlq})
+
+        degraded_log = QueryLog(
+            [item.gold_sql for item in dataset.usable_items()][:3]
+        )
+        degraded_version = store.compile(dataset, degraded_log).version
+
+        stop = threading.Event()
+        hammer_failures = [0]
+        lock = threading.Lock()
+
+        def hammer() -> None:
+            while not stop.is_set():
+                try:
+                    status, _ = _post(
+                        port, "/t/mas/translate", {"nlq": NLQS["mas"]}
+                    )
+                    if status != 200:
+                        raise RuntimeError(f"status {status}")
+                except Exception:  # noqa: BLE001 - tallied, not raised
+                    with lock:
+                        hammer_failures[0] += 1
+
+        workers = [
+            threading.Thread(target=hammer) for _ in range(client_threads)
+        ]
+        for worker in workers:
+            worker.start()
+
+        blocked_status = None
+        blocked_message = ""
+        try:
+            blocked_status, _ = _post(port, "/admin/reload", {"tenant": "mas"})
+        except urllib.error.HTTPError as error:
+            blocked_status = error.code
+            blocked_message = json.loads(error.read()).get("error", "")
+        if blocked_status != 422:
+            outcome["failures"].append(
+                f"degraded reload answered {blocked_status}, expected a "
+                f"422 canary rejection"
+            )
+        elif "canary blocked" not in blocked_message:
+            outcome["failures"].append(
+                f"422 reload error does not mention the canary: "
+                f"{blocked_message!r}"
+            )
+        serving = gateway.host("mas").artifact_version
+        if serving != clean_version:
+            outcome["failures"].append(
+                f"after the blocked reload the tenant serves {serving}, "
+                f"expected the old version {clean_version}"
+            )
+
+        # A clean republish (same log plus one benign statement) must
+        # pass the very same gate and swap.
+        clean_log = QueryLog(
+            [item.gold_sql for item in dataset.usable_items()]
+            + ["SELECT name FROM author WHERE name = 'canary'"]
+        )
+        new_version = store.compile(dataset, clean_log).version
+        status, body = _post(port, "/admin/reload", {"tenant": "mas"})
+        canary = (body.get("reloads") or [{}])[0].get("canary") or {}
+        if status != 200 or not canary.get("passed"):
+            outcome["failures"].append(
+                f"clean reload did not pass the canary: status {status}, "
+                f"canary {canary}"
+            )
+        if gateway.host("mas").artifact_version != new_version:
+            outcome["failures"].append(
+                f"clean reload did not swap to {new_version}"
+            )
+
+        stop.set()
+        for worker in workers:
+            worker.join(30.0)
+        if hammer_failures[0]:
+            outcome["failures"].append(
+                f"{hammer_failures[0]} failed requests while the canary "
+                f"evaluated (acceptance requires zero)"
+            )
+        stats = gateway.stats()["aggregate"]
+        outcome.update({
+            "old_version": clean_version,
+            "degraded_version": degraded_version,
+            "new_version": new_version,
+            "blocked_status": blocked_status,
+            "clean_canary": canary,
+            "canary_passed": stats["canary_passed"],
+            "canary_blocked": stats["canary_blocked"],
+            "hammer_failures": hammer_failures[0],
+        })
+        server.shutdown()
+    return outcome
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -293,10 +429,32 @@ def main() -> int:
         help="tiny traffic volumes; the throughput ratio becomes advisory "
              "(the zero-failed-requests gate stays hard)",
     )
+    parser.add_argument(
+        "--canary-only", action="store_true",
+        help="run only the shadow-canary reload gate (every canary check "
+             "is hard); exits 0 iff the degraded artifact is blocked under "
+             "live load and the clean one passes and swaps",
+    )
     args = parser.parse_args()
     threads_per_tenant = 2 if args.smoke else 4
     requests_per_thread = 5 if args.smoke else 40
     hammer_seconds = 1.0 if args.smoke else 4.0
+
+    if args.canary_only:
+        with tempfile.TemporaryDirectory() as tmp:
+            canary = bench_canary_gate(
+                Path(tmp), client_threads=threads_per_tenant
+            )
+        for failure in canary["failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if not canary["failures"]:
+            print(
+                f"PASS: canary blocked the degraded artifact "
+                f"({canary['blocked_status']}), passed the clean one "
+                f"(divergence {canary['clean_canary'].get('divergence')}), "
+                f"{canary['hammer_failures']} failed during the gate"
+            )
+        return 1 if canary["failures"] else 0
 
     with tempfile.TemporaryDirectory() as tmp:
         store_root = Path(tmp)
@@ -312,6 +470,9 @@ def main() -> int:
         results, reload_info = bench_reload_blackout(
             store_root, client_threads=threads_per_tenant,
             seconds=hammer_seconds,
+        )
+        canary = bench_canary_gate(
+            store_root, client_threads=threads_per_tenant
         )
 
     failed = [entry for entry in results if not entry[0]]
@@ -339,6 +500,10 @@ def main() -> int:
          f"{len(versions)} distinct"],
         ["worst latency in swap window", f"{blackout_ms:.1f} ms",
          f"p50 steady {p50_ms:.1f} ms"],
+        ["canary verdicts (blocked/passed)",
+         f"{canary['canary_blocked']}/{canary['canary_passed']}",
+         f"degraded rejected {canary['blocked_status']}, "
+         f"{canary['hammer_failures']} failed during gate"],
     ]
     table = format_rows(["measure", "value", "note"], rows)
     publish(
@@ -367,6 +532,8 @@ def main() -> int:
             f"{reload_info['new']}, saw only {versions} (swap did not "
             f"happen mid-traffic; raise the hammer duration)"
         )
+    # Canary acceptance is deterministic — always a hard gate.
+    hard_failures.extend(canary["failures"])
     advisories = []
     if ratio < CONSOLIDATION_TARGET:
         message = (
@@ -385,6 +552,13 @@ def main() -> int:
             "steady_p50_ms": round(p50_ms, 3),
             "hammered_requests": len(results),
             "failed_requests": len(failed) + transport_failures,
+            "canary_blocked": canary["canary_blocked"],
+            "canary_passed": canary["canary_passed"],
+            "canary_blocked_status": canary["blocked_status"],
+            "canary_clean_divergence": canary["clean_canary"].get(
+                "divergence"
+            ),
+            "canary_hammer_failures": canary["hammer_failures"],
         },
         config={
             "tenants": list(TENANTS),
@@ -405,6 +579,8 @@ def main() -> int:
             f"PASS: zero failed requests across {len(results)} hammered "
             f"({len(swap_window)} in the swap window), both versions "
             f"served, /metrics scrape parsed with tenant labels, "
+            f"canary blocked the degraded artifact (422) and passed the "
+            f"clean one with zero failures during the gate, "
             f"gateway at {ratio:.2f}x of separate servers"
         )
     return 1 if hard_failures else 0

@@ -1,0 +1,300 @@
+"""Gateway load test: fuzz-generated traffic against live SLOs.
+
+Not part of the paper's evaluation; this closes the loop between the
+adversarial workload generator and the SLO engine.  A multi-tenant
+gateway (mas + wide, with a gateway-default SLO policy) is hammered at
+high client concurrency with:
+
+* the deterministic fuzz case stream (``repro.fuzz.case_stream`` — the
+  same seed-driven trace the differential fuzzer checks, Zipf-skewed
+  hot keys, mutation plans applied), and
+* every committed regression corpus case under ``tests/corpus/``.
+
+Each response's latency lands in a per-tenant histogram; afterwards the
+live ``GET /slo`` endpoint is scraped and the run **passes only if no
+objective is alerting and no request failed at the transport level**
+(4xx translation rejections are legitimate results for adversarial
+cases — they feed the error-rate objective instead of failing the run).
+Results land in ``BENCH_loadtest.json``.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_loadtest.py``; CI runs
+``--smoke`` (fewer cases, same hard gates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _harness import format_rows, publish  # noqa: E402
+from snapshot import emit_snapshot  # noqa: E402
+
+import random  # noqa: E402
+
+from repro.datasets import load_dataset  # noqa: E402
+from repro.fuzz import build_pool, case_stream, load_corpus, synonym_map  # noqa: E402
+from repro.gateway import Gateway, GatewayConfig, make_gateway_server  # noqa: E402
+from repro.obs.histogram import Histogram  # noqa: E402
+from repro.serving.wire import keyword_to_dict  # noqa: E402
+
+WORKLOADS = ("mas", "wide")
+
+#: Latency bucket upper bounds, milliseconds.
+LATENCY_BOUNDS_MS = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+    2000.0, 5000.0,
+)
+
+#: The gateway-default policy every tenant is held to during the run.
+#: Latency is the meaningful gate (alerts when >6% of requests in both
+#: windows exceed the objective); the objective is sized for the wide
+#: 100+-table workload under full client concurrency on a shared CI
+#: runner — cold Steiner solves on unique fuzz cases own the tail.  The
+#: error budget is sized for adversarial traffic, where translation
+#: rejections are expected results.
+SLO_POLICY = {
+    "latency_p99_ms": 3000.0,
+    "error_rate": 0.45,
+}
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "tests" / "corpus"
+
+
+def _post(port: int, path: str, payload: dict, timeout: float = 60.0) -> int:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        response.read()
+        return response.status
+
+
+def build_requests(seed: int, count: int) -> list[tuple[str, dict]]:
+    """(tenant, wire payload) pairs: fuzz stream + committed corpus."""
+    rng = random.Random(seed)
+    datasets = {name: load_dataset(name) for name in WORKLOADS}
+    synonyms = {
+        name: synonym_map(dataset.lexicon)
+        for name, dataset in datasets.items()
+    }
+    pools = {
+        name: build_pool(rng, name, dataset.usable_items())
+        for name, dataset in sorted(datasets.items())
+    }
+    cases = list(case_stream(seed, count, pools))
+    for entry in load_corpus(CORPUS_DIR):
+        if entry.case.tenant in datasets:
+            cases.append(entry.case)
+    requests = []
+    for case in cases:
+        keywords = [
+            keyword_to_dict(k)
+            for k in case.mutated_keywords(synonyms[case.workload])
+        ]
+        requests.append(
+            (case.tenant, {"keywords": keywords, "limit": case.limit})
+        )
+    return requests
+
+
+def drive(port: int, requests: list[tuple[str, dict]], threads: int) -> dict:
+    """Concurrent replay; per-tenant latency/status tallies."""
+    tenants = sorted({tenant for tenant, _ in requests})
+    state = {
+        tenant: {
+            "histogram": Histogram(LATENCY_BOUNDS_MS),
+            "latencies_ms": [],
+            "ok": 0,
+            "rejected": 0,
+            "transport_failures": 0,
+        }
+        for tenant in tenants
+    }
+    lock = threading.Lock()
+    cursor = [0]
+
+    def worker() -> None:
+        while True:
+            with lock:
+                index = cursor[0]
+                if index >= len(requests):
+                    return
+                cursor[0] = index + 1
+            tenant, payload = requests[index]
+            begun = time.perf_counter()
+            try:
+                _post(port, f"/t/{tenant}/translate", payload)
+                outcome = "ok"
+            except urllib.error.HTTPError as error:
+                error.read()
+                # Adversarial cases legitimately fail translation; only
+                # server-side breakage (5xx) is a transport failure.
+                outcome = (
+                    "rejected" if 400 <= error.code < 500
+                    else "transport_failures"
+                )
+            except Exception:  # noqa: BLE001 - tallied, not raised
+                outcome = "transport_failures"
+            elapsed_ms = (time.perf_counter() - begun) * 1000.0
+            with lock:
+                tally = state[tenant]
+                tally[outcome] = tally[outcome] + 1
+                tally["histogram"].record(elapsed_ms)
+                tally["latencies_ms"].append(elapsed_ms)
+    workers = [threading.Thread(target=worker) for _ in range(threads)]
+    started = time.perf_counter()
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return {"tenants": state, "elapsed_seconds": elapsed}
+
+
+def percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fewer cases for CI; the SLO and transport gates stay hard",
+    )
+    parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument("--threads", type=int, default=None)
+    parser.add_argument("--cases", type=int, default=None)
+    args = parser.parse_args()
+    threads = args.threads or (8 if args.smoke else 16)
+    count = args.cases or (120 if args.smoke else 600)
+
+    requests = build_requests(args.seed, count)
+    config = GatewayConfig.from_dict({
+        "tenants": {
+            name: {"engine": {"dataset": name}, "max_in_flight": 4 * threads}
+            for name in WORKLOADS
+        },
+        "slo": dict(SLO_POLICY),
+    })
+    with Gateway.from_config(config) as gateway:
+        http_server = make_gateway_server(gateway, port=0)
+        serve_thread = threading.Thread(
+            target=http_server.serve_forever, daemon=True
+        )
+        serve_thread.start()
+        port = http_server.server_address[1]
+
+        # Warm pass over a slice so cold build cost stays out of the
+        # measured latencies.
+        drive(port, requests[: min(20, len(requests))], threads=4)
+        outcome = drive(port, requests, threads=threads)
+
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/slo", timeout=30
+        ) as response:
+            slo = json.loads(response.read())
+        http_server.shutdown()
+
+    tenants = outcome["tenants"]
+    total = sum(
+        t["ok"] + t["rejected"] + t["transport_failures"]
+        for t in tenants.values()
+    )
+    transport_failures = sum(
+        t["transport_failures"] for t in tenants.values()
+    )
+    qps = total / outcome["elapsed_seconds"] if outcome["elapsed_seconds"] else 0.0
+
+    rows = []
+    headline: dict = {
+        "requests": total,
+        "qps": round(qps, 1),
+        "threads": threads,
+        "transport_failures": transport_failures,
+        "slo_alerting": bool(slo.get("alerting")),
+    }
+    per_tenant_json = {}
+    for tenant, tally in sorted(tenants.items()):
+        latencies = tally["latencies_ms"]
+        p50 = percentile(latencies, 0.50)
+        p99 = percentile(latencies, 0.99)
+        report = slo["tenants"].get(tenant, {})
+        alerting = bool(report.get("alerting"))
+        rows.append([
+            tenant,
+            str(tally["ok"]),
+            str(tally["rejected"]),
+            str(tally["transport_failures"]),
+            f"{p50:.1f}",
+            f"{p99:.1f}",
+            "ALERT" if alerting else "ok",
+        ])
+        headline[f"{tenant}_p50_ms"] = round(p50, 3)
+        headline[f"{tenant}_p99_ms"] = round(p99, 3)
+        headline[f"{tenant}_rejected"] = tally["rejected"]
+        per_tenant_json[tenant] = {
+            "latency_histogram_ms": tally["histogram"].to_dict(),
+            "slo": report,
+        }
+    table = format_rows(
+        ["tenant", "ok", "rejected", "transport", "p50 ms", "p99 ms", "slo"],
+        rows,
+    )
+    publish(
+        "loadtest",
+        f"Fuzz-stream load test: {total} requests over {len(tenants)} "
+        f"tenants at {threads} client threads ({qps:.0f} q/s)",
+        table,
+    )
+
+    snapshot = emit_snapshot(
+        "loadtest",
+        headline,
+        config={
+            "seed": args.seed,
+            "cases": count,
+            "threads": threads,
+            "workloads": list(WORKLOADS),
+            "slo_policy": dict(SLO_POLICY),
+            "smoke": args.smoke,
+            "per_tenant": per_tenant_json,
+        },
+    )
+    print(f"snapshot: {snapshot}")
+
+    failures = []
+    if transport_failures:
+        failures.append(
+            f"{transport_failures} transport-level failures "
+            f"(acceptance requires zero)"
+        )
+    if slo.get("alerting"):
+        burning = [
+            tenant for tenant, report in slo["tenants"].items()
+            if report.get("alerting")
+        ]
+        failures.append(f"SLO alerting for tenant(s): {', '.join(burning)}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            f"PASS: {total} requests, zero transport failures, "
+            f"no SLO alerts (policy {SLO_POLICY})"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,6 +44,12 @@ TRACING_OVERHEAD_GATE_PCT = 5.0
 #: (NLQ in, parse on every request, translate served from cache).
 JOURNAL_OVERHEAD_GATE_PCT = 5.0
 
+#: Maximum SLO-evaluator + drift-monitor overhead on the same warm wire
+#: path.  The per-request bill is one DriftMonitor.observe (two bisects
+#: + a memoized fragment digest under a lock); SLO evaluation itself is
+#: scrape-cadence work and never runs on the request path.
+SLO_OVERHEAD_GATE_PCT = 5.0
+
 PASSES = 3
 
 
@@ -408,6 +414,83 @@ def bench_journal_overhead(smoke: bool) -> dict:
     }
 
 
+def bench_slo_overhead(smoke: bool) -> dict:
+    """Warm serving cost with the SLO evaluator + drift monitor on vs off.
+
+    Both features are scoped so the request path pays almost nothing:
+    the SLO evaluator runs at scrape cadence (``/metrics``, ``stats()``)
+    and never inside ``translate``; the drift monitor's per-request bill
+    is ``DriftMonitor.observe`` — two histogram bisects and a memoized
+    fragment-key digest under one lock.  Same estimator discipline as
+    :func:`bench_journal_overhead`: one engine, toggling the exact
+    attributes the config knobs set, paired ABBA rounds on the NLQ wire
+    path, median per-round ratio, GC paused inside the windows.
+    """
+    import gc
+
+    from repro.api import Engine, EngineConfig
+    from repro.obs.slo import SLOPolicy
+
+    engine = Engine.from_config(EngineConfig(
+        dataset="mas",
+        slo=SLOPolicy(
+            latency_p99_ms=500.0, error_rate=0.05, cache_hit_rate=0.5,
+            feedback_reject_rate=0.3,
+        ),
+        drift_threshold=0.35,
+    ))
+    service = engine.service
+    evaluator, drift = service.slo_evaluator, service.drift
+    assert evaluator is not None and drift is not None
+    nlqs = [
+        item.nlq for item in engine.dataset.usable_items() if item.keywords
+    ]
+    if smoke:
+        nlqs = nlqs[:25]
+    for monitored in (True, False):  # fill caches in both modes
+        service.slo_evaluator = evaluator if monitored else None
+        service.drift = drift if monitored else None
+        for nlq in nlqs:
+            engine.translate(nlq)
+    times = {True: [], False: []}
+    rounds = 5 if smoke else max(7 * PASSES, 21)
+    sweeps = 4
+    gc_was_enabled = gc.isenabled()
+    perf = time.perf_counter
+    try:
+        for index in range(rounds):
+            order = (True, False) if index % 4 in (0, 3) else (False, True)
+            gc.collect()
+            gc.disable()
+            for monitored in order:
+                service.slo_evaluator = evaluator if monitored else None
+                service.drift = drift if monitored else None
+                started = perf()
+                for _ in range(sweeps):
+                    for nlq in nlqs:
+                        engine.translate(nlq)
+                times[monitored].append(perf() - started)
+            if gc_was_enabled:
+                gc.enable()
+            # Scrape-cadence work happens here, between rounds — exactly
+            # where production pays it (the /metrics handler's thread).
+            service.sync_observability_counters()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        service.slo_evaluator = evaluator
+        service.drift = drift
+    engine.close()
+    median = lambda s: sorted(s)[len(s) // 2]  # noqa: E731
+    median_ratio = median(times[True]) / median(times[False])
+    per_request = 1e6 / (sweeps * len(nlqs))
+    return {
+        "warm_monitored_us": median(times[True]) * per_request,
+        "warm_unmonitored_us": median(times[False]) * per_request,
+        "slo_overhead_pct": 100.0 * (median_ratio - 1.0),
+    }
+
+
 def main(argv: list[str]) -> int:
     smoke = "--smoke" in argv
     # Parity assertions inside bench_mapkeywords always hard-fail; the
@@ -418,6 +501,7 @@ def main(argv: list[str]) -> int:
     result.update(bench_engine(smoke))
     result.update(bench_tracing_overhead(smoke))
     result.update(bench_journal_overhead(smoke))
+    result.update(bench_slo_overhead(smoke))
 
     rows = [[
         result["workload"].upper(),
@@ -452,6 +536,8 @@ def main(argv: list[str]) -> int:
                 "warm_untraced_us", "tracing_overhead_pct",
                 "warm_journaled_us", "warm_unjournaled_us",
                 "journal_overhead_pct", "journal_hit_delta_ns",
+                "warm_monitored_us", "warm_unmonitored_us",
+                "slo_overhead_pct",
             )
         },
         config={
@@ -489,6 +575,14 @@ def main(argv: list[str]) -> int:
             file=sys.stderr,
         )
         failed = failed or not advisory_speedup
+    if result["slo_overhead_pct"] > SLO_OVERHEAD_GATE_PCT:
+        print(
+            f"{'NOTE' if advisory_speedup else 'FAIL'}: SLO+drift overhead "
+            f"{result['slo_overhead_pct']:.1f}% exceeds the "
+            f"{SLO_OVERHEAD_GATE_PCT:.0f}% gate",
+            file=sys.stderr,
+        )
+        failed = failed or not advisory_speedup
     if failed:
         return 1
     print(
@@ -499,6 +593,8 @@ def main(argv: list[str]) -> int:
         f"{result['journal_overhead_pct']:+.1f}% "
         f"(gate {JOURNAL_OVERHEAD_GATE_PCT:.0f}%, "
         f"hit delta {result['journal_hit_delta_ns']:+.0f} ns), "
+        f"SLO+drift overhead {result['slo_overhead_pct']:+.1f}% "
+        f"(gate {SLO_OVERHEAD_GATE_PCT:.0f}%), "
         f"parity held on {result['requests']} requests"
     )
     return 0

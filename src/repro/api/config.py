@@ -22,6 +22,7 @@ from pathlib import Path
 from repro.core.fragments import Obscurity
 from repro.core.keyword_mapper import ScoringParams
 from repro.errors import ConfigError
+from repro.obs.slo import SLOPolicy
 
 #: Where the query log that feeds the QFG comes from.
 #:
@@ -98,6 +99,14 @@ class EngineConfig:
     control_plane_feedback: bool = True
     idempotency_ttl_seconds: float = 3600.0
 
+    # Judgment layer (repro.obs.slo / repro.obs.drift): declarative
+    # service-level objectives evaluated over the metrics registry with
+    # multi-window burn-rate alerting (None = no SLOs declared), and the
+    # quality-drift detection threshold — the total-variation shift in
+    # ranking behaviour that flags a tick (None disables the monitor).
+    slo: SLOPolicy | None = None
+    drift_threshold: float | None = None
+
     # NLQ front-end: the harness keeps the paper-faithful failure modes,
     # end-user frontends use the best-effort parse.
     simulate_parse_failures: bool = False
@@ -171,6 +180,18 @@ class EngineConfig:
                 f"idempotency_ttl_seconds must be positive, "
                 f"got {self.idempotency_ttl_seconds}"
             )
+        if self.slo is not None and not isinstance(self.slo, SLOPolicy):
+            raise ConfigError(
+                f"slo must be an SLOPolicy (or a dict via from_dict), "
+                f"got {type(self.slo).__name__}"
+            )
+        if self.drift_threshold is not None and not (
+            0.0 < self.drift_threshold <= 1.0
+        ):
+            raise ConfigError(
+                f"drift_threshold must be in (0, 1], "
+                f"got {self.drift_threshold}"
+            )
 
     # ------------------------------------------------------------ resolved
 
@@ -199,8 +220,15 @@ class EngineConfig:
         >>> config = EngineConfig(dataset="yelp", kappa=7)
         >>> EngineConfig.from_dict(config.to_dict()) == config
         True
+        >>> policy = SLOPolicy(latency_p99_ms=50.0)
+        >>> config = EngineConfig(slo=policy)
+        >>> EngineConfig.from_dict(config.to_dict()).slo == policy
+        True
         """
-        return asdict(self)
+        payload = asdict(self)
+        if self.slo is not None:
+            payload["slo"] = self.slo.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "EngineConfig":
@@ -209,7 +237,7 @@ class EngineConfig:
         >>> EngineConfig.from_dict({"dataset": "mas", "capa": 5})
         Traceback (most recent call last):
             ...
-        repro.errors.ConfigError: unknown engine config field(s): capa; allowed: artifact_version, artifacts, backend, cache_size, control_plane_cache, control_plane_feedback, control_plane_idempotency, control_plane_path, dataset, idempotency_ttl_seconds, journal_dir, journal_segment_bytes, journal_segments, kappa, lam, learn_batch_size, log_path, log_source, max_configurations, max_workers, obscurity, simulate_parse_failures, slow_query_ms, trace_keep, tracing, use_log_joins, use_log_keywords
+        repro.errors.ConfigError: unknown engine config field(s): capa; allowed: artifact_version, artifacts, backend, cache_size, control_plane_cache, control_plane_feedback, control_plane_idempotency, control_plane_path, dataset, drift_threshold, idempotency_ttl_seconds, journal_dir, journal_segment_bytes, journal_segments, kappa, lam, learn_batch_size, log_path, log_source, max_configurations, max_workers, obscurity, simulate_parse_failures, slo, slow_query_ms, trace_keep, tracing, use_log_joins, use_log_keywords
         """
         if not isinstance(data, dict):
             raise ConfigError(
@@ -222,6 +250,9 @@ class EngineConfig:
                 f"unknown engine config field(s): {', '.join(unknown)}; "
                 f"allowed: {', '.join(sorted(known))}"
             )
+        if isinstance(data.get("slo"), dict):
+            data = dict(data)
+            data["slo"] = SLOPolicy.from_dict(data["slo"])
         try:
             return cls(**data)
         except TypeError as exc:

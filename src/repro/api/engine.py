@@ -289,6 +289,8 @@ class Engine:
             journal=journal,
             journal_tenant=journal_tenant or config.dataset,
             control_plane=control_plane,
+            slo=config.slo,
+            drift_threshold=config.drift_threshold,
         )
         # Raw-NLQ front-end: a backend that brings its own parser (the
         # NaLIR family, plugins with parses_nlq=True) keeps it; everyone
@@ -581,7 +583,7 @@ class Engine:
         >>> with Engine.from_config(EngineConfig(dataset="mas")) as engine:
         ...     stats = engine.stats()
         >>> sorted(stats)
-        ['caches', 'control_plane', 'engine', 'journal', 'metrics', 'pending_observations', 'qfg', 'system']
+        ['caches', 'control_plane', 'drift', 'engine', 'journal', 'metrics', 'pending_observations', 'qfg', 'slo', 'system']
         """
         stats = self.service.stats()
         stats["engine"] = self.provenance()

@@ -13,6 +13,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli serve --dataset mas --artifacts ./artifacts --port 8080
     python -m repro.cli gateway --config gateway.json --port 8080
     python -m repro.cli logs query --journal ./journal --nlq "slowest tenant today"
+    python -m repro.cli slo --url http://127.0.0.1:8080
+    python -m repro.cli slo --journal ./journal --latency-p99-ms 50
 
 Every subcommand that translates or serves builds its stack through
 ``repro.api.Engine.from_config`` — the CLI only describes *what* to run
@@ -540,6 +542,85 @@ def _cmd_controlplane(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _slo_rows(tenant: str, report: dict) -> list[list[object]]:
+    """Table rows for one tenant's /slo payload (or offline report)."""
+    if not report.get("configured"):
+        note = "engine warming up" if report.get("live") is False \
+            else "no SLO policy configured"
+        return [[tenant, "-", "-", "-", "-", note]]
+    rows = []
+    for objective in report.get("objectives", []):
+        if objective["alerting"]:
+            status = "ALERT"
+        elif not objective["healthy"]:
+            status = "burning"
+        else:
+            status = "ok"
+        rows.append([
+            tenant,
+            objective["objective"],
+            objective["target"],
+            f"{objective['fast_burn']:.2f}",
+            f"{objective['slow_burn']:.2f}",
+            status,
+        ])
+    return rows
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """SLO compliance from a running server or an offline journal replay."""
+    if (args.url is None) == (args.journal is None):
+        raise ReproError(
+            "pass exactly one of --url (live server) or --journal "
+            "(offline replay)"
+        )
+    if args.url is not None:
+        import json
+        from urllib.error import URLError
+        from urllib.request import urlopen
+
+        url = args.url.rstrip("/") + "/slo"
+        try:
+            with urlopen(url, timeout=10) as response:
+                payload = json.load(response)
+        except (URLError, OSError, ValueError) as exc:
+            raise ReproError(f"could not fetch {url}: {exc}") from exc
+        # The gateway nests per-tenant reports; the single-engine server
+        # returns one bare report.
+        reports = payload.get("tenants") if "tenants" in payload \
+            else {"default": payload}
+    else:
+        from repro.obs.slo import SLOPolicy, evaluate_journal
+
+        policy = SLOPolicy(
+            latency_p99_ms=args.latency_p99_ms,
+            error_rate=args.error_rate,
+            cache_hit_rate=args.cache_hit_rate,
+            feedback_reject_rate=args.feedback_reject_rate,
+            fast_window_seconds=args.fast_window,
+            slow_window_seconds=args.slow_window,
+            burn_threshold=args.burn_threshold,
+        )
+        reports = {
+            tenant: report.as_dict()
+            for tenant, report in evaluate_journal(args.journal, policy).items()
+        }
+        if not reports:
+            print("no request records found in the journal", file=sys.stderr)
+            return EXIT_OK
+
+    rows: list[list[object]] = []
+    for tenant in sorted(reports):
+        rows.extend(_slo_rows(tenant, reports[tenant]))
+    print(format_rows(
+        ["tenant", "objective", "target", "fast burn", "slow burn", "status"],
+        rows,
+    ))
+    alerting = any(r.get("alerting") for r in reports.values())
+    print("status: ALERTING" if alerting else "status: healthy")
+    return EXIT_NO_RESULT if alerting else EXIT_OK
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     """Run the adversarial fuzzer + differential oracles."""
     from repro.fuzz import DEFAULT_WORKLOADS, emit_fuzz_snapshot, run_fuzz
@@ -793,6 +874,42 @@ def build_parser() -> argparse.ArgumentParser:
                           help="the SQL that should have been returned "
                                "(required for --verdict correct)")
 
+    slo = sub.add_parser(
+        "slo",
+        help="SLO compliance: burn rates + alerts from a running server "
+             "(GET /slo) or an offline journal replay",
+    )
+    slo.add_argument("--url", default=None,
+                     help="base URL of a running serve/gateway endpoint, "
+                          "e.g. http://127.0.0.1:8080")
+    slo.add_argument("--journal", default=None,
+                     help="journal directory to replay offline (windows "
+                          "anchor at the newest record)")
+    slo.add_argument("--latency-p99-ms", type=float, default=None,
+                     dest="latency_p99_ms",
+                     help="p99 latency objective in milliseconds "
+                          "(--journal mode)")
+    slo.add_argument("--error-rate", type=float, default=None,
+                     dest="error_rate",
+                     help="error-rate budget in (0, 1) (--journal mode)")
+    slo.add_argument("--cache-hit-rate", type=float, default=None,
+                     dest="cache_hit_rate",
+                     help="cache hit-rate floor in (0, 1) (--journal mode)")
+    slo.add_argument("--feedback-reject-rate", type=float, default=None,
+                     dest="feedback_reject_rate",
+                     help="feedback reject-rate budget in (0, 1) "
+                          "(--journal mode)")
+    slo.add_argument("--fast-window", type=float, default=300.0,
+                     dest="fast_window",
+                     help="fast burn window in seconds (default 300)")
+    slo.add_argument("--slow-window", type=float, default=3600.0,
+                     dest="slow_window",
+                     help="slow burn window in seconds (default 3600)")
+    slo.add_argument("--burn-threshold", type=float, default=6.0,
+                     dest="burn_threshold",
+                     help="burn rate at which both windows must sit to "
+                          "alert (default 6.0)")
+
     fuzz = sub.add_parser(
         "fuzz",
         help="adversarial workload fuzzer with differential oracles "
@@ -865,6 +982,7 @@ _COMMANDS = {
     "logs": _cmd_logs,
     "feedback": _cmd_feedback,
     "controlplane": _cmd_controlplane,
+    "slo": _cmd_slo,
     "fuzz": _cmd_fuzz,
 }
 

@@ -124,6 +124,17 @@ class ControlPlaneError(ReproError):
     """
 
 
+class CanaryError(ReproError):
+    """A shadow canary blocked an artifact hot-reload.
+
+    The candidate engine diverged from the live one on replayed traffic
+    beyond the configured threshold, so the RCU swap was refused and the
+    old version keeps serving.  Operators can override with
+    ``force=true`` on ``POST /admin/reload`` after inspecting the
+    ``canary`` journal record.
+    """
+
+
 class IdempotencyError(ServingError):
     """An ``Idempotency-Key`` was reused with a *different* request body.
 

@@ -28,6 +28,7 @@ from pathlib import Path
 
 from repro.api.config import EngineConfig
 from repro.errors import ConfigError
+from repro.obs.slo import SLOPolicy
 
 #: Tenant ids become URL path segments (``/t/<tenant>/translate``) and
 #: telemetry keys; restrict them accordingly.
@@ -47,6 +48,9 @@ _GATEWAY_FIELDS = (
     "control_plane_idempotency",
     "control_plane_feedback",
     "idempotency_ttl_seconds",
+    "slo",
+    "canary_requests",
+    "canary_divergence",
 )
 
 
@@ -131,7 +135,7 @@ class GatewayConfig:
     >>> GatewayConfig.from_dict({"tenant": {}})
     Traceback (most recent call last):
         ...
-    repro.errors.ConfigError: unknown gateway config field(s): tenant; allowed: tenants, reload_poll_seconds, learn_interval_seconds, learn_jitter, journal_dir, journal_segment_bytes, journal_segments, control_plane_path, control_plane_cache, control_plane_idempotency, control_plane_feedback, idempotency_ttl_seconds
+    repro.errors.ConfigError: unknown gateway config field(s): tenant; allowed: tenants, reload_poll_seconds, learn_interval_seconds, learn_jitter, journal_dir, journal_segment_bytes, journal_segments, control_plane_path, control_plane_cache, control_plane_idempotency, control_plane_feedback, idempotency_ttl_seconds, slo, canary_requests, canary_divergence
     """
 
     tenants: dict[str, TenantConfig] = field(default_factory=dict)
@@ -163,6 +167,16 @@ class GatewayConfig:
     control_plane_idempotency: bool = True
     control_plane_feedback: bool = True
     idempotency_ttl_seconds: float = 3600.0
+    #: Gateway-wide default SLO policy; a tenant's ``engine.slo``
+    #: overrides it.  ``None`` = no default objectives.
+    slo: SLOPolicy | None = None
+    #: Shadow-canary gate on hot reloads: replay this many journaled
+    #: requests against the candidate engine before swapping (0 disables
+    #: the gate; requires the shared ``journal_dir``).
+    canary_requests: int = 0
+    #: Block the swap when more than this fraction of replayed requests
+    #: change their top-1 SQL.
+    canary_divergence: float = 0.1
 
     def __post_init__(self) -> None:
         if not isinstance(self.tenants, dict) or not self.tenants:
@@ -230,6 +244,26 @@ class GatewayConfig:
                     f"shares one control plane at "
                     f"{self.control_plane_path!r}; drop one of the two"
                 )
+        if self.slo is not None and not isinstance(self.slo, SLOPolicy):
+            raise ConfigError(
+                f"slo must be an SLOPolicy (or a dict via from_dict), "
+                f"got {type(self.slo).__name__}"
+            )
+        if self.canary_requests < 0:
+            raise ConfigError(
+                f"canary_requests must be >= 0 (0 disables the canary), "
+                f"got {self.canary_requests}"
+            )
+        if self.canary_requests and self.journal_dir is None:
+            raise ConfigError(
+                "canary_requests needs journaled traffic to replay; "
+                "set the gateway journal_dir (or disable the canary)"
+            )
+        if not 0.0 <= self.canary_divergence <= 1.0:
+            raise ConfigError(
+                f"canary_divergence must be in [0, 1], "
+                f"got {self.canary_divergence}"
+            )
 
     # --------------------------------------------------------------- codec
 
@@ -257,6 +291,9 @@ class GatewayConfig:
             "control_plane_idempotency": self.control_plane_idempotency,
             "control_plane_feedback": self.control_plane_feedback,
             "idempotency_ttl_seconds": self.idempotency_ttl_seconds,
+            "slo": self.slo.to_dict() if self.slo is not None else None,
+            "canary_requests": self.canary_requests,
+            "canary_divergence": self.canary_divergence,
         }
 
     @classmethod
@@ -301,6 +338,13 @@ class GatewayConfig:
                 idempotency_ttl_seconds=data.get(
                     "idempotency_ttl_seconds", 3600.0
                 ),
+                slo=(
+                    SLOPolicy.from_dict(data["slo"])
+                    if isinstance(data.get("slo"), dict)
+                    else data.get("slo")
+                ),
+                canary_requests=data.get("canary_requests", 0),
+                canary_divergence=data.get("canary_divergence", 0.1),
             )
         except TypeError as exc:
             # Wrong-typed values (e.g. "reload_poll_seconds": "5") must

@@ -12,6 +12,7 @@ gateway-level telemetry that aggregates across tenants.
 from __future__ import annotations
 
 import threading
+from dataclasses import replace
 from pathlib import Path
 from typing import Callable, Mapping
 
@@ -75,10 +76,12 @@ class Gateway:
         self.hosts: dict[str, EngineHost] = {
             tenant_id: EngineHost(
                 tenant_id,
-                tenant,
+                self._effective_tenant(tenant),
                 engine_factory=factories.get(tenant_id),
                 journal=self.journal,
                 control_plane=self.control_plane,
+                canary_requests=config.canary_requests,
+                canary_divergence=config.canary_divergence,
             )
             for tenant_id, tenant in config.tenants.items()
         }
@@ -103,6 +106,16 @@ class Gateway:
         self._started = False
         self._closed = False
         self._selfquery = None
+
+    def _effective_tenant(self, tenant):
+        """Apply gateway-wide defaults a tenant did not set itself.
+
+        Currently just the SLO policy: ``gateway.slo`` is the fleet
+        default, a tenant's own ``engine.slo`` wins.
+        """
+        if self.config.slo is None or tenant.engine.slo is not None:
+            return tenant
+        return replace(tenant, engine=replace(tenant.engine, slo=self.config.slo))
 
     @classmethod
     def from_config(
@@ -265,6 +278,12 @@ class Gateway:
         self.metrics.increment(
             "feedback", labels={"verdict": record["verdict"]}
         )
+        if host.live:
+            # Also count on the tenant's own registry: the per-tenant
+            # SLO evaluator (feedback_reject_rate) reads that one.
+            host.engine.service.metrics.increment(
+                "feedback", labels={"verdict": record["verdict"]}
+            )
         if self.journal is not None:
             self.journal.log_feedback(
                 tenant,
@@ -277,14 +296,22 @@ class Gateway:
         record["applied"] = host.apply_feedback()
         return record
 
-    def reload(self, tenant: str | None = None) -> list[ReloadResult]:
-        """Hot-swap one tenant (or every tenant) onto a fresh engine."""
+    def reload(
+        self, tenant: str | None = None, *, force: bool = False
+    ) -> list[ReloadResult]:
+        """Hot-swap one tenant (or every tenant) onto a fresh engine.
+
+        ``force=True`` overrides a blocking shadow-canary verdict (the
+        verdict is still journaled); without it a diverging candidate
+        raises :class:`~repro.errors.CanaryError` and the old engine
+        keeps serving.
+        """
         hosts = [self.host(tenant)] if tenant is not None else list(
             self.hosts.values()
         )
         results = []
         for host in hosts:
-            results.append(host.reload())
+            results.append(host.reload(force=force))
             self.metrics.increment("gateway_reloads")
         return results
 
@@ -336,6 +363,18 @@ class Gateway:
             self.metrics.set_counter(
                 "journal_encode_errors", self.journal.encode_errors
             )
+            self.metrics.set_gauge(
+                "journal_queue_depth", self.journal.pending
+            )
+        for tenant_id, host in self.hosts.items():
+            if host.canary_requests:
+                labels = {"tenant": tenant_id}
+                self.metrics.set_counter(
+                    "canary_passed", host.canary_passed_count, labels=labels
+                )
+                self.metrics.set_counter(
+                    "canary_blocked", host.canary_blocked_count, labels=labels
+                )
         if self.control_plane is not None:
             self.metrics.set_counter(
                 "control_plane_dropped_writes",
@@ -344,6 +383,30 @@ class Gateway:
             self.metrics.set_counter(
                 "control_plane_errors", self.control_plane.errors
             )
+
+    def slo_reports(self, tenant: str | None = None) -> dict:
+        """Per-tenant SLO compliance (the ``GET /slo`` body).
+
+        Tenants without a policy — no ``engine.slo`` and no gateway
+        default — report ``{"configured": False}`` rather than being
+        omitted, so a scraper can tell "no objectives" from "tenant
+        missing".  Unknown tenants raise (HTTP 404).
+        """
+        if tenant is not None:
+            hosts = [(tenant, self.host(tenant))]
+        else:
+            hosts = sorted(self.hosts.items())
+        reports = {}
+        for tenant_id, host in hosts:
+            if not host.live:
+                reports[tenant_id] = {"configured": False, "live": False}
+                continue
+            report = host.engine.service.slo_report()
+            reports[tenant_id] = (
+                report.as_dict() if report is not None
+                else {"configured": False}
+            )
+        return reports
 
     def traces(self, tenant: str | None = None, limit: int = 50) -> list[dict]:
         """Retained traces across tenants, newest first, tenant-stamped.
@@ -413,11 +476,15 @@ class Gateway:
             "in_flight": 0,
             "rejected": 0,
             "reloads": 0,
+            "canary_passed": 0,
+            "canary_blocked": 0,
         }
         for snapshot in tenants.values():
             aggregate["in_flight"] += snapshot["in_flight"]
             aggregate["rejected"] += snapshot["rejected"]
             aggregate["reloads"] += snapshot["reloads"]
+            aggregate["canary_passed"] += snapshot["canary"]["passed"]
+            aggregate["canary_blocked"] += snapshot["canary"]["blocked"]
             engine_stats = snapshot.get("engine")
             if engine_stats is None:
                 continue

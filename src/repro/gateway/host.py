@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.api.engine import Engine
-from repro.errors import AdmissionError, GatewayError
+from repro.errors import AdmissionError, CanaryError, GatewayError
 from repro.gateway.config import TenantConfig
 from repro.serving.wire import TranslationRequest, TranslationResponse
 
@@ -77,6 +77,9 @@ class ReloadResult:
     #: Wall-clock seconds spent building the replacement engine (traffic
     #: kept being served by the old engine for all of it).
     build_seconds: float
+    #: The shadow canary's verdict (``CanaryReport.as_dict()``), or None
+    #: when the gate is disabled / had no journal to replay.
+    canary: dict | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -85,6 +88,7 @@ class ReloadResult:
             "new_version": self.new_version,
             "carried_observations": self.carried_observations,
             "build_seconds": round(self.build_seconds, 3),
+            "canary": self.canary,
         }
 
 
@@ -99,6 +103,8 @@ class EngineHost:
         engine_factory: Callable[[], Engine] | None = None,
         journal=None,
         control_plane=None,
+        canary_requests: int = 0,
+        canary_divergence: float = 0.1,
     ) -> None:
         self.tenant = tenant
         self.config = config
@@ -131,6 +137,13 @@ class EngineHost:
         self._closed = False
         self.reload_count = 0
         self.rejected_count = 0
+        #: Shadow-canary gate (PR 10): replay the tenant's last N
+        #: journaled requests against the candidate before every swap;
+        #: 0 disables the gate.
+        self.canary_requests = int(canary_requests)
+        self.canary_divergence = float(canary_divergence)
+        self.canary_passed_count = 0
+        self.canary_blocked_count = 0
 
     # ------------------------------------------------------------ lifecycle
 
@@ -284,7 +297,9 @@ class EngineHost:
         latest = self.latest_published_version()
         return latest is not None and latest != self.artifact_version
 
-    def reload(self, *, drain_timeout: float | None = 30.0) -> ReloadResult:
+    def reload(
+        self, *, drain_timeout: float | None = 30.0, force: bool = False
+    ) -> ReloadResult:
         """Atomically swap in a freshly built engine; zero dropped requests.
 
         The replacement is fully built (warm candidate index included —
@@ -294,6 +309,14 @@ class EngineHost:
         finish on the old one.  Once the old generation drains, its
         unabsorbed observations are queued on the new engine and the old
         engine is closed.
+
+        With the shadow canary enabled (``canary_requests > 0`` and a
+        journal present), the candidate must first agree with the live
+        engine on recent replayed traffic: a divergence above
+        ``canary_divergence`` closes the candidate and raises
+        :class:`~repro.errors.CanaryError` — the old engine keeps
+        serving, nothing was swapped.  ``force=True`` records the
+        verdict but swaps anyway (the ``/admin/reload`` override).
         """
         with self._reload_lock:
             if self._closed:
@@ -304,6 +327,22 @@ class EngineHost:
             started = time.perf_counter()
             new_engine = self._factory()
             build_seconds = time.perf_counter() - started
+            canary = self._run_canary(new_engine, force=force)
+            if canary is not None and canary.blocked:
+                self.canary_blocked_count += 1
+                new_engine.close()
+                logger.warning(
+                    "tenant %s: canary blocked reload %s -> %s (%s)",
+                    self.tenant, old_version,
+                    canary.new_version, canary.describe(),
+                )
+                raise CanaryError(
+                    f"canary blocked reload for tenant {self.tenant!r}: "
+                    f"{canary.describe()}; pass force=true to override"
+                )
+            if canary is not None:
+                self.canary_passed_count += 1
+            self._carry_drift_reference(new_engine)
             with self._swap_lock:
                 old_lease, self._lease = self._lease, _EngineLease(new_engine)
             self.reload_count += 1
@@ -316,6 +355,7 @@ class EngineHost:
                 new_version=new_engine.artifact_version,
                 carried_observations=carried,
                 build_seconds=build_seconds,
+                canary=canary.as_dict() if canary is not None else None,
             )
             if self._journal is not None:
                 self._journal.log_reload(
@@ -335,6 +375,56 @@ class EngineHost:
                 build_seconds,
             )
             return result
+
+    def _run_canary(self, new_engine: Engine, *, force: bool):
+        """Shadow-replay recent journaled traffic against the candidate.
+
+        Returns the :class:`~repro.obs.canary.CanaryReport` (journaled
+        either way), or None when the gate is disabled or there is no
+        live engine yet (first start).  Runs under ``_reload_lock`` —
+        ``close()`` takes the same lock, so the live engine cannot be
+        closed out from under the replay.
+        """
+        if not self.canary_requests or self._journal is None:
+            return None
+        with self._swap_lock:
+            lease = self._lease
+        if lease is None:
+            return None
+        from repro.obs.canary import run_canary, tail_requests
+
+        self._journal.flush()
+        records = tail_requests(
+            self._journal.directory, self.tenant, self.canary_requests
+        )
+        report = run_canary(
+            lease.engine, new_engine, records,
+            tenant=self.tenant,
+            threshold=self.canary_divergence,
+            old_version=lease.engine.artifact_version,
+            new_version=new_engine.artifact_version,
+            forced=force,
+        )
+        self._journal.log_canary(report)
+        return report
+
+    def _carry_drift_reference(self, new_engine: Engine) -> None:
+        """Seed the candidate's drift monitor with the live reference.
+
+        The first post-reload tick then judges the *new* artifact
+        against the *old* one's lifetime behaviour — exactly the shift a
+        reload can introduce.  No-op unless both generations monitor.
+        """
+        with self._swap_lock:
+            lease = self._lease
+        if lease is None:
+            return
+        old_drift = getattr(lease.engine.service, "drift", None)
+        new_drift = getattr(new_engine.service, "drift", None)
+        if old_drift is None or new_drift is None:
+            return
+        old_drift.tick("reload")
+        new_drift.adopt_reference(old_drift.reference_snapshot())
 
     def _retire(
         self,
@@ -383,6 +473,12 @@ class EngineHost:
             "max_in_flight": self.config.max_in_flight,
             "reloads": self.reload_count,
             "rejected": self.rejected_count,
+            "canary": {
+                "requests": self.canary_requests,
+                "divergence_threshold": self.canary_divergence,
+                "passed": self.canary_passed_count,
+                "blocked": self.canary_blocked_count,
+            },
         }
         if lease is not None:
             base["engine"] = lease.engine.stats()

@@ -5,6 +5,8 @@ Endpoints::
     GET  /healthz                 process liveness + uptime + tenant count
     GET  /readyz                  200 once every tenant engine is live, 503 before
     GET  /stats                   aggregate + per-tenant snapshots
+    GET  /slo                     per-tenant SLO compliance (burn rates +
+                                  alerts; ?tenant=<id> narrows to one)
     GET  /metrics                 Prometheus text exposition: gateway plus every
                                   live tenant, tenant-labelled (?format=json for
                                   the legacy gateway-only JSON snapshot)
@@ -21,7 +23,9 @@ Endpoints::
                                   control plane is configured)
     POST /t/<tenant>/feedback     record accept/reject/correct on a prior
                                   response (requires control_plane_path)
-    POST /admin/reload            {} for every tenant or {"tenant": "mas"}
+    POST /admin/reload            {} for every tenant or {"tenant": "mas"};
+                                  {"force": true} overrides a blocking
+                                  shadow-canary verdict (422 otherwise)
 
 Status mapping is uniform with the single-engine endpoint
 (:mod:`repro.serving.http_server`), sharing its error envelope
@@ -59,7 +63,7 @@ _TENANT_ROUTE = re.compile(r"^/t/([^/]+)/(translate|feedback|stats|healthz)$")
 _POST_ONLY = ("translate", "feedback")
 
 #: Fields accepted by ``POST /admin/reload``.
-_RELOAD_FIELDS = ("tenant",)
+_RELOAD_FIELDS = ("tenant", "force")
 
 
 class GatewayHTTPServer(ThreadingHTTPServer):
@@ -121,6 +125,18 @@ class GatewayRequestHandler(JSONRequestHandlerMixin):
                 )
             elif path == "/stats":
                 self._send_json(200, gateway.stats())
+            elif path == "/slo":
+                tenant = query.get("tenant", [None])[0]
+                reports = gateway.slo_reports(tenant=tenant)
+                self._send_json(
+                    200,
+                    {
+                        "alerting": any(
+                            r.get("alerting") for r in reports.values()
+                        ),
+                        "tenants": reports,
+                    },
+                )
             elif path == "/metrics":
                 if query.get("format") == ["json"]:
                     self._send_json(200, gateway.metrics.snapshot())
@@ -264,7 +280,10 @@ class GatewayRequestHandler(JSONRequestHandlerMixin):
         tenant = payload.get("tenant")
         if tenant is not None and not isinstance(tenant, str):
             raise ServingError("'tenant' must be a string tenant id")
-        results = self.server.gateway.reload(tenant)
+        force = payload.get("force", False)
+        if not isinstance(force, bool):
+            raise ServingError("'force' must be a boolean")
+        results = self.server.gateway.reload(tenant, force=force)
         return 200, {"reloads": [result.as_dict() for result in results]}
 
     def _has_body(self) -> bool:

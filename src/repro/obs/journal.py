@@ -50,7 +50,7 @@ SEGMENT_PREFIX = "journal-"
 SEGMENT_SUFFIX = ".jsonl"
 
 #: Record kinds written by the journal (the ``kind`` field of each line).
-KINDS = ("request", "error", "reload", "feedback")
+KINDS = ("request", "error", "reload", "feedback", "canary")
 
 
 def _segment_index(path: Path) -> int | None:
@@ -206,6 +206,20 @@ class RequestJournal:
         return self.offer((
             "feedback", time.time(), tenant, verdict, nlq, sql,
             corrected_sql, request_id,
+        ))
+
+    def log_canary(self, report) -> bool:
+        """One shadow-canary verdict (a reload's pre-swap judgment).
+
+        ``report`` is a :class:`~repro.obs.canary.CanaryReport`; only
+        plain fields are journaled so replay needs no class.
+        """
+        return self.offer((
+            "canary", time.time(), report.tenant, report.old_version,
+            report.new_version, int(report.replayed),
+            int(report.mismatches), float(report.divergence),
+            float(report.score_shift), float(report.threshold),
+            bool(report.passed), bool(report.forced),
         ))
 
     # -- lifecycle ---------------------------------------------------------
@@ -407,6 +421,23 @@ class RequestJournal:
                 "new_version": new_version,
                 "carried_observations": carried,
                 "build_ms": round(build_ms, 3),
+            }
+        elif kind == "canary":
+            (_, ts, tenant, old_version, new_version, replayed, mismatches,
+             divergence, score_shift, threshold, passed, forced) = row
+            record = {
+                "kind": "canary",
+                "ts": round(ts, 6),
+                "tenant": tenant,
+                "old_version": old_version,
+                "new_version": new_version,
+                "replayed": replayed,
+                "mismatches": mismatches,
+                "divergence": round(divergence, 4),
+                "score_shift": round(score_shift, 4),
+                "threshold": threshold,
+                "passed": passed,
+                "forced": forced,
             }
         else:
             raise JournalError(f"unknown journal record kind {kind!r}")

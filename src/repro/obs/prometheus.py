@@ -100,6 +100,11 @@ def render_exposition(sources, *, namespace: str = "repro") -> str:
             merged = dict(extra_labels)
             merged.update(labels)
             counters.setdefault(metric, []).append((merged, float(value)))
+        for name, labels, value in collected.get("gauges", ()):
+            metric = f"{namespace}_{sanitize_metric_name(name)}"
+            merged = dict(extra_labels)
+            merged.update(labels)
+            gauges.setdefault(metric, []).append((merged, float(value)))
         for name, labels, histogram in collected["histograms"]:
             metric = f"{namespace}_{sanitize_metric_name(name)}_latency_seconds"
             merged = dict(extra_labels)

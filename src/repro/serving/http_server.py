@@ -4,6 +4,8 @@ Endpoints::
 
     GET  /healthz        liveness + uptime
     GET  /stats          caches, QFG state, metrics (TranslationService.stats)
+    GET  /slo            SLO compliance: burn rates and alerts per objective
+                         (requires an ``slo`` policy in the engine config)
     GET  /metrics        Prometheus text exposition (?format=json for the
                          legacy JSON snapshot)
     GET  /admin/traces   retained request traces (tail-sampled; ?id=<trace>)
@@ -161,6 +163,13 @@ class ServingRequestHandler(JSONRequestHandlerMixin):
         elif path == "/stats":
             source = self.server.engine or self.server.service
             self._send_json(200, source.stats())
+        elif path == "/slo":
+            report = self.server.service.slo_report()
+            self._send_json(
+                200,
+                report.as_dict() if report is not None
+                else {"configured": False},
+            )
         elif path == "/metrics":
             # Pull the journal's and control plane's attribute-counted
             # shed/written totals onto the registry before rendering.

@@ -31,6 +31,8 @@ from repro.core.qfg import QueryFragmentGraph
 from repro.core.templar import Templar
 from repro.errors import IdempotencyError, ReproError, ServingError
 from repro.nlidb.base import NLIDB, TranslationResult
+from repro.obs.drift import DriftMonitor
+from repro.obs.slo import SLOEvaluator, SLOPolicy, default_totals
 from repro.obs.trace import _ARMED, _SINK, Tracer
 from repro.serving.cache import LRUCache
 from repro.serving.telemetry import MetricsRegistry
@@ -306,6 +308,12 @@ def translate_request(
     dropped = take_truncation(service, keywords)
     if dropped:
         base["configurations_truncated"] = dropped
+    drift = service.drift
+    if drift is not None and results:
+        # Hot-path half of the quality-drift monitor: histogram bisects
+        # behind one lock, fragment digest memoized by result identity —
+        # judgment happens off-path at tick time.
+        drift.observe(results, truncated=dropped)
     base.update(provenance or {})
     if tracer is not None:
         # Warm-path fast exit: one lock-free float comparison and one
@@ -404,6 +412,8 @@ class TranslationService:
         journal=None,
         journal_tenant: str = "default",
         control_plane=None,
+        slo: SLOPolicy | None = None,
+        drift_threshold: float | None = None,
     ) -> None:
         if max_workers < 1:
             raise ServingError("max_workers must be >= 1")
@@ -441,6 +451,24 @@ class TranslationService:
         self.feedback_cursor = 0
         self.learn_batch_size = learn_batch_size
         self.max_pending = max_pending
+        #: Judgment layer (PR 10): a declarative SLO policy evaluated
+        #: lazily over the registry at scrape/stats time, and a
+        #: quality-drift monitor fed by the request path and ticked after
+        #: learning absorbs and reloads.  Both None when unconfigured.
+        self.slo_policy = slo
+        self.slo_evaluator = (
+            SLOEvaluator(slo, self.metrics, totals_fn=self._slo_totals)
+            if slo is not None else None
+        )
+        self.drift = (
+            DriftMonitor(
+                drift_threshold,
+                obscurity=getattr(
+                    self.templar or nlidb, "obscurity", None
+                ),
+            )
+            if drift_threshold is not None else None
+        )
 
         self._translate_cache = LRUCache(cache_size, "translate")
         self._mapping_cache = LRUCache(cache_size, "keyword_mapping")
@@ -680,6 +708,10 @@ class TranslationService:
             if absorbed:
                 templar.swap_qfg(working)
         self.metrics.increment("observed_absorbed", absorbed)
+        if absorbed and self.drift is not None:
+            # A learning tick is exactly the moment serving quality can
+            # move: judge the window accumulated since the last tick.
+            self.drift.tick("learn")
         return absorbed
 
     @property
@@ -704,6 +736,32 @@ class TranslationService:
             pending, self._pending = self._pending, []
         return pending
 
+    # ----------------------------------------------------------- judgment
+
+    def _slo_totals(self) -> dict:
+        """Cumulative totals the SLO evaluator differences into rates.
+
+        Requests/errors/feedback come off the registry's counters; the
+        translate cache tallies hits and misses on the cache object (its
+        hot path takes no registry lock), so those are read directly.
+        """
+        totals = default_totals(self.metrics)
+        stats = self._translate_cache.stats()
+        totals["cache_hits"] = stats.hits
+        totals["cache_misses"] = stats.misses
+        return totals
+
+    def slo_report(self):
+        """Evaluate the policy now (None when no SLOs are declared).
+
+        Each evaluation publishes ``slo_burn_rate`` / ``slo_alert``
+        gauges into the registry, so whoever asks (``/slo``, a scrape,
+        ``stats()``) refreshes the judgment for everyone.
+        """
+        if self.slo_evaluator is None:
+            return None
+        return self.slo_evaluator.evaluate()
+
     # ----------------------------------------------------------- lifecycle
 
     def sync_observability_counters(self) -> None:
@@ -719,12 +777,19 @@ class TranslationService:
             self.metrics.set_counter("journal_dropped_records", journal.dropped)
             self.metrics.set_counter("journal_written_records", journal.written)
             self.metrics.set_counter("journal_encode_errors", journal.encode_errors)
+            # Queue depth is shed *risk* (records enqueued, not yet on
+            # disk) — a level, so it rides the gauge channel.
+            self.metrics.set_gauge("journal_queue_depth", journal.pending)
         plane = self.control_plane
         if plane is not None:
             self.metrics.set_counter(
                 "control_plane_dropped_writes", plane.dropped_writes
             )
             self.metrics.set_counter("control_plane_errors", plane.errors)
+        if self.drift is not None:
+            self.drift.publish(self.metrics)
+        if self.slo_evaluator is not None:
+            self.slo_evaluator.evaluate()
 
     def stats(self) -> dict:
         """JSON-ready operational snapshot (caches, metrics, QFG state)."""
@@ -758,6 +823,15 @@ class TranslationService:
                 self.control_plane.stats_local()
                 if self.control_plane is not None else None
             ),
+            # sync_observability_counters above already evaluated the
+            # policy; reuse that report rather than evaluating twice.
+            "slo": (
+                self.slo_evaluator.last_report.as_dict()
+                if self.slo_evaluator is not None
+                and self.slo_evaluator.last_report is not None
+                else None
+            ),
+            "drift": self.drift.stats() if self.drift is not None else None,
             "metrics": self.metrics.snapshot(),
         }
 

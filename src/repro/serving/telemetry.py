@@ -119,6 +119,7 @@ class MetricsRegistry:
             raise ValueError(f"telemetry window must be >= 1, got {window}")
         self._lock = threading.Lock()
         self._counters: dict[tuple[str, tuple], int] = {}
+        self._gauges: dict[tuple[str, tuple], float] = {}
         #: series key -> deque of (monotonic arrival time, duration seconds)
         self._series: dict[tuple[str, tuple], deque[tuple[float, float]]] = {}
         self._hists: dict[tuple[str, tuple], Histogram] = {}
@@ -152,6 +153,19 @@ class MetricsRegistry:
         with self._lock:
             self._counters[key] = int(value)
 
+    def set_gauge(
+        self, name: str, value: float, *, labels: dict | None = None
+    ) -> None:
+        """Publish a point-in-time value (level, not count).
+
+        Gauges carry values that move both ways — SLO burn rates, drift
+        scores, queue depths — which counters cannot represent without
+        lying to rate() queries.
+        """
+        key = (name, _labels_key(labels))
+        with self._lock:
+            self._gauges[key] = float(value)
+
     def record_latency(
         self, name: str, seconds: float, *, labels: dict | None = None
     ) -> None:
@@ -174,6 +188,39 @@ class MetricsRegistry:
     def counter(self, name: str, *, labels: dict | None = None) -> int:
         with self._lock:
             return self._counters.get((name, _labels_key(labels)), 0)
+
+    def gauge(self, name: str, *, labels: dict | None = None) -> float:
+        with self._lock:
+            return self._gauges.get((name, _labels_key(labels)), 0.0)
+
+    def window_latencies(
+        self,
+        name: str,
+        window_seconds: float,
+        *,
+        labels: dict | None = None,
+        now: float | None = None,
+    ) -> list[float]:
+        """Durations (seconds) recorded within the trailing window.
+
+        The SLO evaluator counts threshold breaches over this view —
+        exact per-sample comparison over the retained ring, not a bucket
+        approximation.  Samples older than ``now - window_seconds`` are
+        excluded; an aged-out ring yields an empty list.
+        """
+        if now is None:
+            now = time.monotonic()
+        cutoff = now - window_seconds
+        key = (name, _labels_key(labels))
+        with self._lock:
+            series = self._series.get(key)
+            if not series:
+                return []
+            return [
+                duration
+                for arrived, duration in series
+                if arrived > cutoff
+            ]
 
     def latency_summary(
         self, name: str, *, labels: dict | None = None
@@ -240,6 +287,10 @@ class MetricsRegistry:
                 (name, dict(key), value)
                 for (name, key), value in sorted(self._counters.items())
             ]
+            gauges = [
+                (name, dict(key), value)
+                for (name, key), value in sorted(self._gauges.items())
+            ]
             histograms = [
                 (name, dict(key), Histogram.from_dict(hist.to_dict()))
                 for (name, key), hist in sorted(self._hists.items())
@@ -247,6 +298,7 @@ class MetricsRegistry:
         return {
             "uptime_seconds": self.uptime_seconds(),
             "counters": counters,
+            "gauges": gauges,
             "histograms": histograms,
         }
 
@@ -263,6 +315,10 @@ class MetricsRegistry:
             counters = {
                 _render_name(name, key): value
                 for (name, key), value in sorted(self._counters.items())
+            }
+            gauges = {
+                _render_name(name, key): round(value, 6)
+                for (name, key), value in sorted(self._gauges.items())
             }
             series_copy = {
                 (name, key): (
@@ -291,6 +347,7 @@ class MetricsRegistry:
             "uptime_seconds": round(uptime, 3),
             "latency_window": self._window,
             "counters": counters,
+            "gauges": gauges,
             "latencies": latencies,
             "histograms": hist_copy,
             "qps": qps,
